@@ -1,0 +1,17 @@
+"""Shared configuration constants for the benchmark suite.
+
+The values below define the smoke-scale sweeps; they are deliberately small so
+``pytest benchmarks/ --benchmark-only`` completes in minutes.  Scale the
+datasets up with ``REPRO_BENCH_SCALE`` for paper-scale runs.
+"""
+
+from __future__ import annotations
+
+#: Error bounds swept by the compression-ratio figures (Figures 6, 7, 9).
+SWEEP_EPSILONS = (0.005, 0.02)
+
+#: Target compression ratios used by the forecasting experiments (EXP1/EXP2).
+FORECAST_RATIOS = (2.0, 6.0)
+
+#: Target compression ratios for the highly seasonal EXP3 sweep.
+SEASONAL_RATIOS = (5.0, 15.0)

@@ -1,0 +1,64 @@
+"""Shared fixtures and configuration for the paper-reproduction benchmarks.
+
+Every module in this directory regenerates one table or figure of the paper
+(see DESIGN.md's per-experiment index).  The workloads run at "smoke" scale
+by default so the whole suite finishes in minutes; set ``REPRO_BENCH_SCALE``
+(e.g. ``=5``) to enlarge the synthetic datasets towards paper scale, and
+``REPRO_BENCH_ALL_DATASETS=1`` to sweep all eight datasets where the default
+uses a representative subset.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.benchlib import bench_dataset
+
+
+def pytest_report_header(config):  # noqa: D103 - pytest hook
+    scale = os.environ.get("REPRO_BENCH_SCALE", "1.0")
+    return f"repro benchmarks: REPRO_BENCH_SCALE={scale} (raise it for paper-scale runs)"
+
+
+@pytest.fixture(autouse=True)
+def _show_tables(capsys):
+    """Disable output capture so every regenerated paper table is visible in
+    the live benchmark log (and in ``bench_output.txt``)."""
+    with capsys.disabled():
+        yield
+
+
+def all_datasets_requested() -> bool:
+    """Whether the full eight-dataset sweep was requested via environment."""
+    return os.environ.get("REPRO_BENCH_ALL_DATASETS", "0") not in ("0", "", "false")
+
+
+#: Representative subset used by the sweep figures when the full set is not
+#: requested: one dataset from each group.
+DEFAULT_SWEEP_DATASETS = ("Pedestrian", "Humidity")
+
+
+@pytest.fixture(scope="session")
+def sweep_datasets():
+    """Datasets used by the CR sweep figures."""
+    if all_datasets_requested():
+        from repro.data import dataset_names
+
+        names = dataset_names()
+    else:
+        names = DEFAULT_SWEEP_DATASETS
+    return {name: bench_dataset(name) for name in names}
+
+
+@pytest.fixture(scope="session")
+def group1_dataset():
+    """A group-1 dataset (direct ACF preservation)."""
+    return bench_dataset("Pedestrian")
+
+
+@pytest.fixture(scope="session")
+def group2_dataset():
+    """A group-2 dataset (ACF on window aggregates)."""
+    return bench_dataset("Humidity")

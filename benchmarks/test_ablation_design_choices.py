@@ -1,0 +1,72 @@
+"""Ablations of CAMEO's design choices (DESIGN.md Section 5).
+
+Three ablations complement the paper's figures:
+
+* constraint metric (MAE vs Chebyshev vs RMSE) at a fixed budget,
+* ACF on the raw series vs on window aggregates of different sizes,
+* greedy policy at the stopping point (``stop`` vs ``skip``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.benchlib import bench_dataset, format_table
+from repro.compressors import acf_deviation_of
+from repro.core import CameoCompressor
+
+
+def _metric_ablation(series) -> list:
+    max_lag = series.metadata["acf_lags"]
+    rows = []
+    for metric in ("mae", "cheb", "rmse"):
+        result = CameoCompressor(max_lag, 0.01, metric=metric).compress(series.values)
+        deviation = acf_deviation_of(series.values, result.decompress(), max_lag,
+                                     metric=metric)
+        rows.append(["metric", metric, f"{result.compression_ratio():.2f}",
+                     f"{deviation:.5f}"])
+    return rows
+
+
+def _aggregation_ablation(series) -> list:
+    rows = []
+    for window in (1, 12, 24):
+        result = CameoCompressor(12, 0.01, agg_window=window).compress(series.values)
+        deviation = acf_deviation_of(series.values, result.decompress(), 12,
+                                     agg_window=window)
+        rows.append(["agg_window", str(window), f"{result.compression_ratio():.2f}",
+                     f"{deviation:.5f}"])
+    return rows
+
+
+def _policy_ablation(series) -> list:
+    max_lag = series.metadata["acf_lags"]
+    rows = []
+    for policy in ("stop", "skip"):
+        result = CameoCompressor(max_lag, 0.01, on_violation=policy).compress(series.values)
+        deviation = acf_deviation_of(series.values, result.decompress(), max_lag)
+        rows.append(["on_violation", policy, f"{result.compression_ratio():.2f}",
+                     f"{deviation:.5f}"])
+    return rows
+
+
+def test_ablation_design_choices(benchmark):
+    """Run the three ablations and verify the expected orderings."""
+    series = bench_dataset("Pedestrian")
+    rows = benchmark.pedantic(
+        lambda: _metric_ablation(series) + _aggregation_ablation(series)
+        + _policy_ablation(series),
+        rounds=1, iterations=1)
+    print()
+    print(format_table(["Ablation", "Setting", "CR", "Deviation"], rows,
+                       title=f"CAMEO design-choice ablations on {series.name}"))
+
+    by_key = {(r[0], r[1]): float(r[2]) for r in rows}
+    deviations = {(r[0], r[1]): float(r[3]) for r in rows}
+    # Every configuration honours its bound.
+    assert all(value <= 0.01 + 1e-6 for value in deviations.values())
+    # The exhaustive policy can only improve compression over early stopping.
+    assert by_key[("on_violation", "skip")] >= by_key[("on_violation", "stop")] - 1e-9
+    # All settings achieve real compression.
+    assert all(value > 1.0 for value in by_key.values())
+    assert np.isfinite(list(by_key.values())).all()

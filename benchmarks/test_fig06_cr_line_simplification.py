@@ -1,0 +1,59 @@
+"""Figure 6 — compression ratio vs ACF error bound, line-simplification baselines.
+
+For each dataset and each ACF error bound, run CAMEO and the ACF-constrained
+adaptations of VW, TPs, TPm, PIPv, PIPe, and record the achieved compression
+ratio.  The paper's finding: CAMEO consistently achieves the highest CR at
+the same bound because it is the only method whose removal order optimises
+the ACF directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from bench_config import SWEEP_EPSILONS
+from repro.benchlib import LINE_SIMPLIFIERS, format_table, run_cameo, run_line_simplifier
+
+
+def _sweep(datasets) -> list:
+    records = []
+    for series in datasets.values():
+        for epsilon in SWEEP_EPSILONS:
+            records.append(run_cameo(series, epsilon))
+            for name in LINE_SIMPLIFIERS:
+                records.append(run_line_simplifier(name, series, epsilon))
+    return records
+
+
+def test_figure6_compression_ratio_line_simplification(benchmark, sweep_datasets):
+    """Regenerate the Figure 6 CR-vs-epsilon series."""
+    records = benchmark.pedantic(lambda: _sweep(sweep_datasets), rounds=1, iterations=1)
+
+    headers = ["Method", "Dataset", "Epsilon", "CR", "ACF dev", "NRMSE", "Time [s]"]
+    print()
+    print(format_table(headers, [r.as_row() for r in records],
+                       title="Figure 6: Compression ratio vs ACF error bound "
+                             "(line-simplification baselines)"))
+
+    # --- paper-shape assertions ------------------------------------------ #
+    methods = ["CAMEO"] + list(LINE_SIMPLIFIERS)
+    for record in records:
+        assert record.acf_deviation <= record.epsilon + 1e-6, (
+            f"{record.method} violated the bound on {record.dataset}")
+
+    for dataset in sweep_datasets:
+        for method in methods:
+            ratios = [r.compression_ratio for r in records
+                      if r.dataset == dataset and r.method == method]
+            # CR is monotone (non-decreasing) in the error bound.
+            assert all(b >= a - 1e-9 for a, b in zip(ratios, ratios[1:])), (
+                f"{method} CR not monotone on {dataset}")
+
+    # CAMEO wins (or ties within 10%) against the best baseline on average.
+    cameo_mean = np.mean([r.compression_ratio for r in records if r.method == "CAMEO"])
+    for method in LINE_SIMPLIFIERS:
+        baseline_mean = np.mean([r.compression_ratio for r in records
+                                 if r.method == method])
+        assert cameo_mean >= 0.9 * baseline_mean, (
+            f"CAMEO ({cameo_mean:.2f}) should not lose clearly to {method} "
+            f"({baseline_mean:.2f}) on average")

@@ -1,0 +1,81 @@
+"""Figure 10 — fine-grained and coarse-grained parallelization.
+
+(a) Fine-grained: the ReHeap look-ahead is split over worker threads; the
+    figure reports execution-time speed-up vs. the single-threaded run for
+    different blocking sizes.
+(b) Coarse-grained: the series is partitioned across workers with a local
+    error budget; the figure reports speed-up, the achieved global ACF
+    deviation (must stay below the bound), and the compression ratio
+    relative to the single-worker run.
+
+Pure-Python threads cannot reproduce the paper's absolute OpenMP speed-ups,
+so the assertions target correctness (bound always met, results consistent)
+and report the measured timings for inspection.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.benchlib import bench_dataset, format_table
+from repro.compressors import acf_deviation_of
+from repro.core import CoarseGrainedCameo, FineGrainedCameo
+
+EPSILON = 0.01
+THREAD_COUNTS = (1, 2, 4)
+
+
+def _fine_grained(series) -> list:
+    max_lag = series.metadata["acf_lags"]
+    rows = []
+    baseline_time = None
+    for threads in THREAD_COUNTS:
+        start = time.perf_counter()
+        result = FineGrainedCameo(max_lag, EPSILON, threads=threads,
+                                  blocking="5logn").compress(series.values)
+        elapsed = time.perf_counter() - start
+        if baseline_time is None:
+            baseline_time = elapsed
+        deviation = acf_deviation_of(series.values, result.decompress(), max_lag)
+        rows.append(["fine", threads, f"{elapsed:.2f}",
+                     f"{baseline_time / elapsed:.2f}x",
+                     f"{result.compression_ratio():.2f}", f"{deviation:.5f}"])
+    return rows
+
+
+def _coarse_grained(series) -> list:
+    max_lag = series.metadata["acf_lags"]
+    rows = []
+    baseline_time = None
+    baseline_ratio = None
+    for workers in THREAD_COUNTS:
+        compressor = CoarseGrainedCameo(max_lag, EPSILON, workers=workers,
+                                        agg_window=series.metadata["agg_window"],
+                                        blocking="5logn")
+        start = time.perf_counter()
+        result, report = compressor.compress(series)
+        elapsed = time.perf_counter() - start
+        if baseline_time is None:
+            baseline_time = elapsed
+            baseline_ratio = max(result.compression_ratio(), 1e-9)
+        rows.append(["coarse", workers, f"{elapsed:.2f}",
+                     f"{baseline_time / elapsed:.2f}x",
+                     f"{result.compression_ratio() / baseline_ratio:.2f}",
+                     f"{report.global_deviation:.5f}"])
+    return rows
+
+
+def test_figure10_parallel_strategies(benchmark, group1_dataset):
+    """Regenerate the Figure 10 scaling measurements."""
+    rows = benchmark.pedantic(
+        lambda: _fine_grained(group1_dataset) + _coarse_grained(group1_dataset),
+        rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["Strategy", "Workers", "Time [s]", "Speed-up", "CR (rel. for coarse)", "ACF dev"],
+        rows, title=f"Figure 10: Parallelization on {group1_dataset.name} "
+                    f"(epsilon={EPSILON})"))
+
+    for row in rows:
+        deviation = float(row[5])
+        assert deviation <= EPSILON + 1e-6, f"{row[0]} with {row[1]} workers broke the bound"

@@ -1,0 +1,71 @@
+"""Figure 11 — joint fine- and coarse-grained parallelization.
+
+The paper combines both strategies: the series is partitioned across
+coarse-grained workers and each worker's ReHeap look-ahead is additionally
+chunked over fine-grained threads.  This benchmark sweeps a small
+(fine x coarse) grid and reports the speed-up relative to the (1, 1)
+configuration, checking that the error bound survives every combination.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.benchlib import bench_dataset, format_table
+from repro.compressors import acf_deviation_of
+from repro.core import CoarseGrainedCameo, FineGrainedCameo
+from repro.data.timeseries import TimeSeries
+
+EPSILON = 0.01
+FINE_THREADS = (1, 2)
+COARSE_WORKERS = (1, 2, 4)
+
+
+class _HybridCameo(CoarseGrainedCameo):
+    """Coarse-grained partitioning whose per-partition compressor is fine-grained."""
+
+    def __init__(self, *args, fine_threads: int = 1, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.fine_threads = fine_threads
+
+    def _compress_partition(self, values, local_epsilon):
+        compressor = FineGrainedCameo(
+            self.max_lag, local_epsilon, threads=self.fine_threads, metric=self.metric,
+            statistic=self.statistic, agg_window=self.agg_window, agg=self.agg,
+            blocking=self.blocking)
+        return compressor.compress(values)
+
+
+def _sweep(series: TimeSeries) -> list:
+    max_lag = series.metadata["acf_lags"]
+    rows = []
+    baseline_time = None
+    for fine in FINE_THREADS:
+        for coarse in COARSE_WORKERS:
+            compressor = _HybridCameo(max_lag, EPSILON, workers=coarse,
+                                      fine_threads=fine, blocking="5logn",
+                                      agg_window=series.metadata["agg_window"])
+            start = time.perf_counter()
+            result, report = compressor.compress(series)
+            elapsed = time.perf_counter() - start
+            if baseline_time is None:
+                baseline_time = elapsed
+            rows.append([fine, coarse, f"{elapsed:.2f}", f"{baseline_time / elapsed:.2f}x",
+                         f"{result.compression_ratio():.2f}",
+                         f"{report.global_deviation:.5f}"])
+    return rows
+
+
+def test_figure11_hybrid_parallelization(benchmark):
+    """Regenerate the Figure 11 hybrid-parallelization grid."""
+    series = bench_dataset("MinTemp")
+    rows = benchmark.pedantic(lambda: _sweep(series), rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["Fine threads", "Coarse workers", "Time [s]", "Speed-up", "CR", "ACF dev"],
+        rows, title=f"Figure 11: Hybrid parallelization on {series.name} "
+                    f"(epsilon={EPSILON})"))
+
+    for row in rows:
+        assert float(row[5]) <= EPSILON + 1e-6
+        assert float(row[4]) >= 1.0

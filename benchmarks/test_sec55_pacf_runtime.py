@@ -1,0 +1,75 @@
+"""Section 5.5 (PACF paragraph) — runtime cost of preserving the PACF.
+
+The paper reports that preserving the PACF instead of the ACF keeps the
+compression-ratio advantage but is markedly slower (≈6x on ElecPower at
+10·log n blocking) because the Durbin-Levinson recursion is O(L²) and runs on
+every candidate evaluation.  This benchmark regenerates that comparison on
+the synthetic ElecPower stand-in: same bound, statistic switched between
+``acf`` and ``pacf``.
+
+Shape assertions: both statistics respect their deviation bound, both achieve
+non-trivial compression, and the PACF run costs more time than the ACF run.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.benchlib import bench_dataset, format_table
+from repro.core import CameoCompressor
+from repro.metrics import mae
+from repro.stats import acf, pacf
+
+EPSILON = 0.01
+BLOCKING = "5logn"
+
+
+def _run(series, statistic: str) -> dict:
+    max_lag = int(series.metadata.get("acf_lags", 24))
+    compressor = CameoCompressor(max_lag, EPSILON, statistic=statistic, blocking=BLOCKING)
+    start = time.perf_counter()
+    result = compressor.compress(series.values)
+    elapsed = time.perf_counter() - start
+    reconstruction = result.decompress()
+    if statistic == "acf":
+        deviation = mae(acf(series.values, max_lag), acf(reconstruction, max_lag))
+    else:
+        deviation = mae(pacf(series.values, max_lag), pacf(reconstruction, max_lag))
+    return {
+        "statistic": statistic.upper(),
+        "ratio": result.compression_ratio(),
+        "deviation": float(deviation),
+        "seconds": elapsed,
+    }
+
+
+def test_section55_pacf_preservation_runtime(benchmark):
+    """Regenerate the ACF-vs-PACF runtime comparison of Section 5.5."""
+    series = bench_dataset("ElecPower")
+
+    def _collect():
+        return [_run(series, "acf"), _run(series, "pacf")]
+
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    print()
+    print(format_table(
+        ["Statistic", "CR", "Deviation", "Time [s]"],
+        [[r["statistic"], f"{r['ratio']:.2f}", f"{r['deviation']:.5f}",
+          f"{r['seconds']:.3f}"] for r in rows],
+        title=f"Section 5.5: preserving the PACF vs the ACF (eps={EPSILON}, "
+              f"blocking={BLOCKING})"))
+
+    by_stat = {row["statistic"]: row for row in rows}
+    acf_row, pacf_row = by_stat["ACF"], by_stat["PACF"]
+
+    # Both respect their bound and achieve real compression.
+    for row in rows:
+        assert row["deviation"] <= EPSILON + 1e-9
+        assert row["ratio"] > 1.2
+        assert np.isfinite(row["seconds"])
+    # The paper's observation: the O(L^2) Durbin-Levinson recursion makes the
+    # PACF variant substantially slower than the ACF variant.
+    assert pacf_row["seconds"] > acf_row["seconds"]

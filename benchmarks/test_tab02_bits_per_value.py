@@ -1,0 +1,60 @@
+"""Table 2 — bits/value of lossless codecs vs VW and CAMEO.
+
+Gorilla and Chimp compress the raw doubles losslessly; VW and CAMEO are run
+at small ACF error bounds and charged 64 bits per retained point.  The table
+reports, per dataset, the bits/value of each method and the bound used for
+the lossy ones, mirroring the paper's Table 2 (where CAMEO reaches lower
+bits/value than both lossless codecs at very small ACF deviation).
+"""
+
+from __future__ import annotations
+
+from repro.benchlib import bench_dataset, format_table
+from repro.core import CameoCompressor
+from repro.data import dataset_names
+from repro.lossless import ChimpCodec, GorillaCodec
+from repro.simplify import AcfConstrainedSimplifier, VisvalingamWhyatt
+
+#: ACF error bounds per group (the paper uses dataset-specific bounds in the
+#: 1e-5..7e-3 range; group-2 datasets get the tighter bound).
+EPSILON_GROUP1 = 5e-3
+EPSILON_GROUP2 = 1e-3
+
+
+def _row(name: str) -> list:
+    series = bench_dataset(name)
+    values = series.values
+    max_lag = series.metadata["acf_lags"]
+    agg_window = series.metadata["agg_window"]
+    epsilon = EPSILON_GROUP1 if agg_window == 1 else EPSILON_GROUP2
+
+    gorilla = GorillaCodec().bits_per_value(values)
+    chimp = ChimpCodec().bits_per_value(values)
+
+    vw = AcfConstrainedSimplifier(VisvalingamWhyatt(), max_lag, epsilon,
+                                  agg_window=agg_window).compress(values)
+    cameo = CameoCompressor(max_lag, epsilon, agg_window=agg_window).compress(values)
+    return [name, f"{gorilla:.2f}", f"{chimp:.2f}",
+            f"{vw.bits_per_value():.2f}", f"{epsilon:g}",
+            f"{cameo.bits_per_value():.2f}", f"{epsilon:g}"]
+
+
+def test_table2_bits_per_value(benchmark):
+    """Regenerate Table 2 (bits/value comparison)."""
+    rows = benchmark.pedantic(lambda: [_row(name) for name in dataset_names()],
+                              rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["Dataset", "Gorilla", "Chimp", "VW bits/v", "VW eps", "CAMEO bits/v", "CAMEO eps"],
+        rows, title="Table 2: Bits/value of lossless codecs vs ACF-bounded compression"))
+
+    for row in rows:
+        name = row[0]
+        gorilla, chimp = float(row[1]), float(row[2])
+        vw_bits, cameo_bits = float(row[3]), float(row[5])
+        # Lossless codecs stay in a plausible band for 64-bit doubles.
+        assert 1.0 <= gorilla <= 80.0 and 1.0 <= chimp <= 80.0
+        # CAMEO (and VW) reach lower bits/value than the best lossless codec
+        # on these smooth, seasonal series — the paper's Table 2 shape.
+        assert cameo_bits <= min(gorilla, chimp) + 1e-9, f"CAMEO not smaller on {name}"
+        assert vw_bits <= 64.0

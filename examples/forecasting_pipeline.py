@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Forecasting on compressed data (the paper's EXP2/EXP3 scenario).
+
+An IoT gateway wants to ship far less data to the cloud but the cloud-side
+forecasting jobs must keep working.  This example:
+
+1. generates a synthetic UK-electricity-demand-like series,
+2. compresses the training window with CAMEO and, for comparison, with the
+   SWING filter at a matched compression ratio,
+3. trains the same forecasting models on the raw and on the decompressed
+   training data,
+4. reports the forecast accuracy (mSMAPE) against the *raw* hold-out.
+
+Run with::
+
+    python examples/forecasting_pipeline.py
+"""
+
+from __future__ import annotations
+
+from repro import CameoCompressor, load_dataset
+from repro.compressors import SwingFilter, search_parameter_for_acf
+from repro.forecasting import evaluate_forecast, make_forecaster, train_test_split
+
+
+HORIZON = 48            # forecast one day of half-hourly values
+TARGET_RATIO = 8.0      # ship 8x less data
+
+
+def main() -> None:
+    series = load_dataset("UKElecDem", length=4800, seed=11)
+    period = series.metadata["acf_lags"]  # 48 half-hours = daily seasonality
+    train, test = train_test_split(series.values, HORIZON)
+
+    # --- compress the training window ------------------------------------ #
+    cameo = CameoCompressor(period, epsilon=None, target_ratio=TARGET_RATIO).compress(train)
+    cameo_train = cameo.decompress()
+
+    swing_model, _parameter, swing_deviation = search_parameter_for_acf(
+        lambda bound: SwingFilter(bound * (train.max() - train.min())).compress(train),
+        train, period, epsilon=0.05, high=0.5)
+    swing_train = swing_model.decompress()
+
+    print(f"dataset          : {series.name}, train={train.size} points, "
+          f"horizon={HORIZON}")
+    print(f"CAMEO            : CR={cameo.compression_ratio():.1f}x "
+          f"(ACF dev {cameo.metadata['achieved_deviation']:.4f})")
+    print(f"SWING            : CR={swing_model.compression_ratio():.1f}x "
+          f"(ACF dev {swing_deviation:.4f})")
+    print()
+
+    # --- forecast with several models ------------------------------------ #
+    header = f"{'model':<12} {'raw':>10} {'CAMEO':>10} {'SWING':>10}"
+    print(header)
+    print("-" * len(header))
+    for model_name in ("snaive", "holt-winters", "dhr-arima", "mlp"):
+        errors = []
+        for train_values in (train, cameo_train, swing_train):
+            model = make_forecaster(model_name, period=period)
+            evaluation = evaluate_forecast(model, train_values, test)
+            errors.append(evaluation.error)
+        print(f"{model_name:<12} {errors[0]:>10.4f} {errors[1]:>10.4f} {errors[2]:>10.4f}")
+
+    print("\nLower is better; CAMEO's column should track the raw column closely,")
+    print("because the daily autocorrelation the models rely on is preserved.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""CAMEO: autocorrelation-preserving lossy time series compression.
+
+Reproduction of "CAMEO: Autocorrelation-Preserving Line Simplification for
+Lossy Time Series Compression" (EDBT 2026).  The top-level package re-exports
+the most frequently used entry points; the subpackages contain the full
+system:
+
+``repro.core``          CAMEO compressor, blocking, parallel strategies
+``repro.stats``         ACF/PACF and incremental aggregate maintenance
+``repro.metrics``       quality measures (MAE, NRMSE, mSMAPE, ...)
+``repro.simplify``      VW / TP / PIP / RDP baselines + ACF adapter
+``repro.compressors``   PMC, SWING, Sim-Piece, FFT baselines
+``repro.lossless``      Gorilla and Chimp codecs
+``repro.forecasting``   ETS, STL, ARIMA-lite, DHR, MLP, Box-Cox
+``repro.anomaly``       Matrix Profile, irregular MP, UCR scoring
+``repro.features``      tsfeatures-style feature extraction
+``repro.data``          synthetic datasets and containers
+``repro.io``            serialization of compressed representations
+``repro.storage``       compression-aware segment store + query engine
+``repro.streaming``     chunked streaming CAMEO, online ACF, drift monitor
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import cameo_compress
+>>> series = np.sin(np.arange(1000) * 2 * np.pi / 50) + 0.1
+>>> compressed = cameo_compress(series, max_lag=50, epsilon=0.02)
+>>> reconstruction = compressed.decompress()
+>>> compressed.compression_ratio() > 2
+True
+"""
+
+from .core import CameoCompressor, CoarseGrainedCameo, FineGrainedCameo, cameo_compress
+from .data import IrregularSeries, TimeSeries, dataset_names, load_dataset
+from .exceptions import (
+    CodecError,
+    CompressionError,
+    ConstraintViolationError,
+    DatasetError,
+    DecompressionError,
+    InvalidParameterError,
+    InvalidSeriesError,
+    ModelError,
+    ReproError,
+)
+from .metrics import mae, msmape, nrmse, psnr, rmse
+from .simplify import AcfConstrainedSimplifier, make_simplifier
+from .stats import Statistic, acf, make_statistic, pacf
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "CameoCompressor",
+    "cameo_compress",
+    "FineGrainedCameo",
+    "CoarseGrainedCameo",
+    "TimeSeries",
+    "IrregularSeries",
+    "load_dataset",
+    "dataset_names",
+    "acf",
+    "pacf",
+    "Statistic",
+    "make_statistic",
+    "mae",
+    "rmse",
+    "nrmse",
+    "msmape",
+    "psnr",
+    "AcfConstrainedSimplifier",
+    "make_simplifier",
+    "ReproError",
+    "InvalidSeriesError",
+    "InvalidParameterError",
+    "CompressionError",
+    "ConstraintViolationError",
+    "DecompressionError",
+    "CodecError",
+    "ModelError",
+    "DatasetError",
+]

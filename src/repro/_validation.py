@@ -1,0 +1,115 @@
+"""Shared input-validation helpers.
+
+These utilities normalise user input into ``numpy`` arrays and raise the
+library's exception types with actionable messages.  They are used by every
+public entry point so that error behaviour is consistent across subsystems.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .exceptions import InvalidParameterError, InvalidSeriesError
+
+__all__ = [
+    "as_float_array",
+    "check_min_length",
+    "check_positive_int",
+    "check_probability",
+    "check_positive_float",
+    "check_lag",
+]
+
+
+def as_float_array(values: Iterable[float], name: str = "values") -> np.ndarray:
+    """Convert ``values`` to a 1-D ``float64`` array and validate it.
+
+    Parameters
+    ----------
+    values:
+        Any iterable of numbers (list, tuple, ndarray, generator).
+    name:
+        Name used in error messages.
+
+    Returns
+    -------
+    numpy.ndarray
+        A contiguous 1-D ``float64`` copy of the input.
+
+    Raises
+    ------
+    InvalidSeriesError
+        If the input is empty, not one-dimensional, or contains NaN/inf.
+    """
+    array = np.asarray(list(values) if not isinstance(values, np.ndarray) else values,
+                       dtype=np.float64)
+    if array.ndim != 1:
+        raise InvalidSeriesError(
+            f"{name} must be one-dimensional, got shape {array.shape}"
+        )
+    if array.size == 0:
+        raise InvalidSeriesError(f"{name} must not be empty")
+    if not np.all(np.isfinite(array)):
+        raise InvalidSeriesError(f"{name} contains NaN or infinite entries")
+    return np.ascontiguousarray(array)
+
+
+def check_min_length(values: np.ndarray, minimum: int, name: str = "series") -> None:
+    """Raise if ``values`` has fewer than ``minimum`` elements."""
+    if values.size < minimum:
+        raise InvalidSeriesError(
+            f"{name} must contain at least {minimum} points, got {values.size}"
+        )
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it."""
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise InvalidParameterError(f"{name} must be an integer, got {value!r}")
+    if value <= 0:
+        raise InvalidParameterError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_positive_float(value: float, name: str, *, allow_zero: bool = False) -> float:
+    """Validate that ``value`` is a positive (or non-negative) finite float."""
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise InvalidParameterError(f"{name} must be a number, got {value!r}") from exc
+    if not np.isfinite(value):
+        raise InvalidParameterError(f"{name} must be finite, got {value}")
+    if allow_zero:
+        if value < 0:
+            raise InvalidParameterError(f"{name} must be >= 0, got {value}")
+    elif value <= 0:
+        raise InvalidParameterError(f"{name} must be > 0, got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise InvalidParameterError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_lag(max_lag: int, n: int, name: str = "max_lag") -> int:
+    """Validate an ACF maximum lag against the series length ``n``."""
+    max_lag = check_positive_int(max_lag, name)
+    if max_lag >= n:
+        raise InvalidParameterError(
+            f"{name} must be smaller than the series length ({n}), got {max_lag}"
+        )
+    return max_lag
+
+
+def ensure_sequence_of_arrays(series: Sequence[Iterable[float]],
+                              name: str = "series") -> list[np.ndarray]:
+    """Validate a collection of series and return them as float arrays."""
+    if len(series) == 0:
+        raise InvalidSeriesError(f"{name} must contain at least one series")
+    return [as_float_array(s, name=f"{name}[{i}]") for i, s in enumerate(series)]

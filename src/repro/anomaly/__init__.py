@@ -1,0 +1,27 @@
+"""Anomaly-detection substrate: Matrix Profile, irregular MP, UCR scoring."""
+
+from .imp import (
+    IrregularProfileResult,
+    irregular_matrix_profile,
+    regular_matrix_profile_naive,
+)
+from .matrix_profile import (
+    MatrixProfileResult,
+    matrix_profile,
+    sliding_window_stats,
+    top_discord,
+)
+from .ucr import DetectionOutcome, detect_discord, ucr_score
+
+__all__ = [
+    "MatrixProfileResult",
+    "matrix_profile",
+    "top_discord",
+    "sliding_window_stats",
+    "IrregularProfileResult",
+    "irregular_matrix_profile",
+    "regular_matrix_profile_naive",
+    "DetectionOutcome",
+    "detect_discord",
+    "ucr_score",
+]

@@ -1,0 +1,27 @@
+"""Benchmark-harness utilities shared by the ``benchmarks/`` targets."""
+
+from .harness import (
+    LINE_SIMPLIFIERS,
+    LOSSY_BASELINES,
+    CompressorRun,
+    bench_dataset,
+    bench_scale,
+    format_table,
+    run_cameo,
+    run_line_simplifier,
+    run_lossy_baseline,
+    scaled_length,
+)
+
+__all__ = [
+    "bench_scale",
+    "scaled_length",
+    "bench_dataset",
+    "CompressorRun",
+    "run_cameo",
+    "run_line_simplifier",
+    "run_lossy_baseline",
+    "format_table",
+    "LINE_SIMPLIFIERS",
+    "LOSSY_BASELINES",
+]

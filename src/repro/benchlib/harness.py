@@ -1,0 +1,227 @@
+"""Shared helpers for the paper-reproduction benchmark harness.
+
+The ``benchmarks/`` directory contains one module per table/figure; they all
+need the same plumbing:
+
+* a single switch (environment variable ``REPRO_BENCH_SCALE``) that scales
+  dataset sizes between "smoke" (CI-friendly) and "paper" (hours) runs,
+* uniform construction of every compressor under a shared ACF budget,
+* pretty-printing of result tables in the same rows/series the paper reports.
+
+Nothing in here is specific to one experiment.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..compressors import (
+    FFTCompressor,
+    PoorMansCompressionMean,
+    SimPiece,
+    SwingFilter,
+    acf_deviation_of,
+    search_parameter_for_acf,
+)
+from ..core import CameoCompressor
+from ..data import load_dataset
+from ..data.timeseries import TimeSeries
+from ..simplify import AcfConstrainedSimplifier, make_simplifier
+
+__all__ = [
+    "bench_scale",
+    "scaled_length",
+    "bench_dataset",
+    "CompressorRun",
+    "run_cameo",
+    "run_line_simplifier",
+    "run_lossy_baseline",
+    "format_table",
+    "LINE_SIMPLIFIERS",
+    "LOSSY_BASELINES",
+]
+
+#: Line-simplification baselines of Figure 6, in the paper's order.
+LINE_SIMPLIFIERS = ("VW", "TPs", "TPm", "PIPv", "PIPe")
+
+#: Additional lossy baselines of Figure 7.
+LOSSY_BASELINES = ("PMC", "SWING", "SP", "FFT")
+
+
+def bench_scale() -> float:
+    """Global benchmark scale factor from ``REPRO_BENCH_SCALE`` (default 1.0).
+
+    1.0 runs every experiment at smoke scale (a few thousand points per
+    dataset); larger values increase dataset lengths proportionally, up to
+    the paper-scale lengths.
+    """
+    try:
+        return max(float(os.environ.get("REPRO_BENCH_SCALE", "1.0")), 0.1)
+    except ValueError:
+        return 1.0
+
+
+def scaled_length(base: int, maximum: int | None = None) -> int:
+    """Scale a base length by :func:`bench_scale`, optionally capped."""
+    length = int(round(base * bench_scale()))
+    if maximum is not None:
+        length = min(length, maximum)
+    return max(length, 256)
+
+
+#: Smoke-scale lengths per dataset (scaled up by ``REPRO_BENCH_SCALE``).
+_BENCH_BASE_LENGTHS = {
+    "ElecPower": 800,
+    "MinTemp": 800,
+    "Pedestrian": 960,
+    "UKElecDem": 960,
+    "AUSElecDem": 1_440,
+    "Humidity": 1_200,
+    "IRBioTemp": 1_200,
+    "SolarPower": 1_440,
+}
+
+
+def bench_dataset(name: str, *, seed: int = 7) -> TimeSeries:
+    """Load a dataset at benchmark scale (see ``_BENCH_BASE_LENGTHS``)."""
+    spec_length = _BENCH_BASE_LENGTHS.get(name, 2_000)
+    length = scaled_length(spec_length)
+    return load_dataset(name, length=length, seed=seed)
+
+
+@dataclass
+class CompressorRun:
+    """Uniform record of one compression run used by every benchmark table."""
+
+    method: str
+    dataset: str
+    epsilon: float | None
+    compression_ratio: float
+    acf_deviation: float
+    nrmse: float
+    elapsed_seconds: float
+    extra: dict = field(default_factory=dict)
+
+    def as_row(self) -> list:
+        return [self.method, self.dataset,
+                "-" if self.epsilon is None else f"{self.epsilon:g}",
+                f"{self.compression_ratio:.2f}", f"{self.acf_deviation:.5f}",
+                f"{self.nrmse:.4f}", f"{self.elapsed_seconds:.3f}"]
+
+
+def _nrmse(original: np.ndarray, reconstruction: np.ndarray) -> float:
+    value_range = float(np.max(original) - np.min(original)) or 1.0
+    return float(np.sqrt(np.mean((original - reconstruction) ** 2)) / value_range)
+
+
+def run_cameo(series: TimeSeries, epsilon: float, *, metric="mae",
+              blocking="5logn", statistic: str = "acf",
+              target_ratio: float | None = None) -> CompressorRun:
+    """Run CAMEO with the dataset's own lag/window configuration."""
+    import time
+
+    max_lag = int(series.metadata.get("acf_lags", 24))
+    agg_window = int(series.metadata.get("agg_window", 1))
+    compressor = CameoCompressor(max_lag, epsilon, metric=metric, statistic=statistic,
+                                 agg_window=agg_window, blocking=blocking,
+                                 target_ratio=target_ratio)
+    start = time.perf_counter()
+    result = compressor.compress(series)
+    elapsed = time.perf_counter() - start
+    reconstruction = result.decompress()
+    deviation = acf_deviation_of(series.values, reconstruction, max_lag,
+                                 metric=metric, agg_window=agg_window)
+    return CompressorRun(method="CAMEO", dataset=series.name, epsilon=epsilon,
+                         compression_ratio=result.compression_ratio(),
+                         acf_deviation=deviation,
+                         nrmse=_nrmse(series.values, reconstruction),
+                         elapsed_seconds=elapsed,
+                         extra={"kept": len(result), "stopped_by":
+                                result.metadata.get("stopped_by")})
+
+
+def run_line_simplifier(name: str, series: TimeSeries, epsilon: float, *,
+                        metric="mae", target_ratio: float | None = None) -> CompressorRun:
+    """Run one ACF-constrained line-simplification baseline."""
+    import time
+
+    max_lag = int(series.metadata.get("acf_lags", 24))
+    agg_window = int(series.metadata.get("agg_window", 1))
+    adapter = AcfConstrainedSimplifier(make_simplifier(name), max_lag, epsilon,
+                                       metric=metric, agg_window=agg_window,
+                                       target_ratio=target_ratio)
+    start = time.perf_counter()
+    result = adapter.compress(series)
+    elapsed = time.perf_counter() - start
+    reconstruction = result.decompress()
+    deviation = acf_deviation_of(series.values, reconstruction, max_lag,
+                                 metric=metric, agg_window=agg_window)
+    return CompressorRun(method=name, dataset=series.name, epsilon=epsilon,
+                         compression_ratio=result.compression_ratio(),
+                         acf_deviation=deviation,
+                         nrmse=_nrmse(series.values, reconstruction),
+                         elapsed_seconds=elapsed,
+                         extra={"kept": len(result)})
+
+
+def _baseline_factory(name: str, series: TimeSeries) -> Callable[[float], object]:
+    value_range = float(np.max(series.values) - np.min(series.values)) or 1.0
+    if name == "PMC":
+        return lambda parameter: PoorMansCompressionMean(parameter * value_range).compress(series)
+    if name == "SWING":
+        return lambda parameter: SwingFilter(parameter * value_range).compress(series)
+    if name == "SP":
+        return lambda parameter: SimPiece(parameter * value_range).compress(series)
+    if name == "FFT":
+        return lambda parameter: FFTCompressor(
+            keep_fraction=min(max(parameter, 1e-4), 1.0)).compress(series)
+    raise ValueError(f"unknown lossy baseline {name!r}")
+
+
+def run_lossy_baseline(name: str, series: TimeSeries, epsilon: float, *,
+                       metric="mae") -> CompressorRun:
+    """Trial-and-error tune a lossy baseline for the target ACF deviation."""
+    import time
+
+    max_lag = int(series.metadata.get("acf_lags", 24))
+    agg_window = int(series.metadata.get("agg_window", 1))
+    factory = _baseline_factory(name, series)
+    start = time.perf_counter()
+    if name == "FFT":
+        # Larger keep-fraction means *less* deviation, so invert the knob.
+        model, _param, deviation = search_parameter_for_acf(
+            lambda parameter: factory(1.0 - parameter), series.values, max_lag, epsilon,
+            metric=metric, agg_window=agg_window, low=1e-3, high=1.0 - 1e-3)
+    else:
+        model, _param, deviation = search_parameter_for_acf(
+            factory, series.values, max_lag, epsilon,
+            metric=metric, agg_window=agg_window, low=1e-4, high=0.5)
+    elapsed = time.perf_counter() - start
+    reconstruction = model.decompress()
+    return CompressorRun(method=name, dataset=series.name, epsilon=epsilon,
+                         compression_ratio=model.compression_ratio(),
+                         acf_deviation=deviation,
+                         nrmse=_nrmse(series.values, reconstruction),
+                         elapsed_seconds=elapsed,
+                         extra={"stored_values": model.stored_values})
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "") -> str:
+    """Fixed-width text table, printed by every benchmark for inspection."""
+    rows = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(width) for header, width in zip(headers, widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)

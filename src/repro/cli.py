@@ -1,0 +1,221 @@
+"""Command-line interface for the CAMEO reproduction library.
+
+Three subcommands cover the typical workflow on CSV data:
+
+``compress``
+    Compress a single-column CSV (or one column of a wider CSV) with CAMEO
+    under an ACF/PACF bound and write the compressed representation as JSON
+    or ``.npz``.
+
+``decompress``
+    Reconstruct the regular series from a compressed representation and write
+    it back to CSV.
+
+``analyze``
+    Print the dataset summary, the ACF deviation and compression ratio a
+    given bound would achieve, and the bits/value comparison against the
+    Gorilla/Chimp lossless codecs — a quick "should I compress this lossily?"
+    report.
+
+Example
+-------
+::
+
+    python -m repro.cli compress readings.csv --column value --max-lag 24 \
+        --epsilon 0.01 --output readings.cameo.json
+    python -m repro.cli decompress readings.cameo.json --output restored.csv
+    python -m repro.cli analyze readings.csv --column value --max-lag 24
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .core import CameoCompressor
+from .data.timeseries import IrregularSeries
+from .exceptions import ReproError
+from .io import load_irregular_json, load_irregular_npz, save_irregular_json, save_irregular_npz
+from .lossless import ChimpCodec, GorillaCodec
+from .metrics import get_metric
+from .stats import acf, tumbling_window_aggregate
+
+__all__ = ["main", "build_parser"]
+
+
+def _read_csv_column(path: Path, column: str | None) -> np.ndarray:
+    """Read one numeric column from a CSV file (header optional)."""
+    with open(path, newline="", encoding="utf-8") as handle:
+        sample = handle.read(4096)
+        handle.seek(0)
+        has_header = False
+        try:
+            has_header = csv.Sniffer().has_header(sample)
+        except csv.Error:
+            pass
+        reader = csv.reader(handle)
+        rows = [row for row in reader if row]
+    if not rows:
+        raise ReproError(f"{path} contains no data")
+    header = rows[0] if has_header else None
+    data_rows = rows[1:] if has_header else rows
+    if column is None:
+        index = len(rows[0]) - 1 if header is None else len(header) - 1
+    elif header is not None and column in header:
+        index = header.index(column)
+    else:
+        try:
+            index = int(column)
+        except ValueError as exc:
+            raise ReproError(
+                f"column {column!r} not found in header {header}") from exc
+    try:
+        return np.asarray([float(row[index]) for row in data_rows], dtype=np.float64)
+    except (ValueError, IndexError) as exc:
+        raise ReproError(f"cannot parse column {column!r} of {path}: {exc}") from exc
+
+
+def _write_csv(path: Path, values: np.ndarray, column_name: str = "value") -> None:
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["index", column_name])
+        for index, value in enumerate(values):
+            writer.writerow([index, repr(float(value))])
+
+
+def _load_compressed(path: Path) -> IrregularSeries:
+    if path.suffix == ".npz":
+        return load_irregular_npz(path)
+    return load_irregular_json(path)
+
+
+# --------------------------------------------------------------------------- #
+# subcommand implementations
+# --------------------------------------------------------------------------- #
+def _cmd_compress(args: argparse.Namespace) -> int:
+    values = _read_csv_column(Path(args.input), args.column)
+    compressor = CameoCompressor(
+        args.max_lag,
+        epsilon=args.epsilon,
+        metric=args.metric,
+        statistic=args.statistic,
+        agg_window=args.agg_window,
+        blocking=args.blocking,
+        target_ratio=args.target_ratio,
+    )
+    result = compressor.compress(values)
+    output = Path(args.output) if args.output else Path(args.input).with_suffix(".cameo.json")
+    if output.suffix == ".npz":
+        save_irregular_npz(result, output)
+    else:
+        save_irregular_json(result, output)
+    print(f"compressed {values.size} -> {len(result)} points "
+          f"(ratio {result.compression_ratio():.2f}x, "
+          f"deviation {result.metadata.get('achieved_deviation', 0.0):.6f})")
+    print(f"wrote {output}")
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    compressed = _load_compressed(Path(args.input))
+    reconstruction = compressed.decompress()
+    output = Path(args.output) if args.output else Path(args.input).with_suffix(".restored.csv")
+    _write_csv(output, reconstruction)
+    print(f"reconstructed {reconstruction.size} points from {len(compressed)} retained")
+    print(f"wrote {output}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    values = _read_csv_column(Path(args.input), args.column)
+    max_lag = min(args.max_lag, values.size // (2 * max(args.agg_window, 1)) or 1)
+    tracked = values if args.agg_window <= 1 else tumbling_window_aggregate(
+        values, args.agg_window)
+    max_lag = max(1, min(max_lag, tracked.size - 2))
+
+    print(f"points          : {values.size}")
+    print(f"value range     : [{values.min():.4g}, {values.max():.4g}]")
+    print(f"ACF lags tracked: {max_lag}"
+          + (f" on {args.agg_window}-point windows" if args.agg_window > 1 else ""))
+    acf_values = acf(tracked, max_lag)
+    print(f"ACF1            : {acf_values[0]:.3f}   "
+          f"strongest lag: {int(np.argmax(np.abs(acf_values))) + 1}")
+
+    for codec in (GorillaCodec(), ChimpCodec()):
+        print(f"{codec.name:<16}: {codec.bits_per_value(values):.2f} bits/value (lossless)")
+
+    compressor = CameoCompressor(max_lag, args.epsilon, metric=args.metric,
+                                 agg_window=args.agg_window, blocking=args.blocking)
+    result = compressor.compress(values)
+    reconstruction = result.decompress()
+    candidate = reconstruction if args.agg_window <= 1 else tumbling_window_aggregate(
+        reconstruction, args.agg_window)
+    deviation = float(get_metric(args.metric)(acf(tracked, max_lag), acf(candidate, max_lag)))
+    print(f"CAMEO eps={args.epsilon:<7g}: {result.bits_per_value():.2f} bits/value, "
+          f"ratio {result.compression_ratio():.2f}x, ACF deviation {deviation:.6f}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# parser
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="CAMEO autocorrelation-preserving compression")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("input", help="input file")
+        sub.add_argument("--column", default=None,
+                         help="CSV column name or index (default: last column)")
+        sub.add_argument("--max-lag", type=int, default=24,
+                         help="number of ACF lags to preserve (default 24)")
+        sub.add_argument("--epsilon", type=float, default=0.01,
+                         help="maximum ACF deviation (default 0.01)")
+        sub.add_argument("--metric", default="mae",
+                         help="deviation measure: mae, cheb, rmse, ... (default mae)")
+        sub.add_argument("--agg-window", type=int, default=1,
+                         help="tumbling-window size for the on-aggregates variant")
+        sub.add_argument("--blocking", default="5logn",
+                         help="blocking neighbourhood (default 5logn)")
+
+    compress = subparsers.add_parser("compress", help="compress a CSV column with CAMEO")
+    add_common(compress)
+    compress.add_argument("--statistic", choices=("acf", "pacf"), default="acf")
+    compress.add_argument("--target-ratio", type=float, default=None,
+                          help="compression-centric mode: stop at this ratio")
+    compress.add_argument("--output", default=None,
+                          help="output path (.json or .npz; default <input>.cameo.json)")
+    compress.set_defaults(func=_cmd_compress)
+
+    decompress = subparsers.add_parser("decompress",
+                                       help="reconstruct a compressed representation")
+    decompress.add_argument("input", help="compressed .json or .npz file")
+    decompress.add_argument("--output", default=None, help="output CSV path")
+    decompress.set_defaults(func=_cmd_decompress)
+
+    analyze = subparsers.add_parser("analyze",
+                                    help="report compressibility of a CSV column")
+    add_common(analyze)
+    analyze.set_defaults(func=_cmd_analyze)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return int(args.func(args))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Lossy compression baselines: PMC, SWING, Sim-Piece, FFT."""
+
+from .base import (
+    CompressedModel,
+    LossyCompressor,
+    acf_deviation_of,
+    search_parameter_for_acf,
+)
+from .fft import FFTCompressor
+from .pmc import PoorMansCompressionMean, pmc_segments
+from .simpiece import SimPiece, simpiece_segments
+from .swing import SwingFilter, swing_segments
+
+__all__ = [
+    "CompressedModel",
+    "LossyCompressor",
+    "acf_deviation_of",
+    "search_parameter_for_acf",
+    "PoorMansCompressionMean",
+    "pmc_segments",
+    "SwingFilter",
+    "swing_segments",
+    "SimPiece",
+    "simpiece_segments",
+    "FFTCompressor",
+]

@@ -1,0 +1,153 @@
+"""Common interface for the functional-approximation / transform baselines.
+
+Unlike the line-simplification family, these compressors do not retain a
+subset of original points: PMC and SWING/Sim-Piece store per-segment model
+parameters, FFT stores frequency coefficients.  They expose:
+
+* :meth:`LossyCompressor.compress` — produce a :class:`CompressedModel`,
+* :meth:`CompressedModel.decompress` — reconstruct the regular series,
+* :meth:`CompressedModel.bits` / ``compression_ratio`` — size accounting,
+
+plus a shared trial-and-error search (:func:`search_parameter_for_acf`) that
+mirrors how the paper tunes each baseline's own error knob until a desired
+ACF deviation is met, since none of them can bound the ACF directly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .._validation import as_float_array
+from ..data.timeseries import BITS_PER_VALUE_RAW, TimeSeries
+from ..exceptions import InvalidParameterError
+from ..metrics import get_metric
+from ..stats.acf import acf
+from ..stats.windowed import tumbling_window_aggregate
+
+__all__ = ["CompressedModel", "LossyCompressor", "acf_deviation_of", "search_parameter_for_acf"]
+
+
+@dataclass
+class CompressedModel:
+    """Generic compressed representation with reconstruction attached.
+
+    Attributes
+    ----------
+    reconstruct:
+        Zero-argument callable returning the reconstructed series.
+    stored_values:
+        Number of scalar values the representation stores (each charged 64
+        bits, matching the paper's accounting).
+    original_length:
+        Length of the original series.
+    name / metadata:
+        Book-keeping for benchmark tables.
+    """
+
+    reconstruct: Callable[[], np.ndarray]
+    stored_values: int
+    original_length: int
+    name: str = "model"
+    metadata: dict = field(default_factory=dict)
+
+    def decompress(self) -> np.ndarray:
+        """Reconstruct the regular series."""
+        return self.reconstruct()
+
+    def compression_ratio(self) -> float:
+        """Original values over stored values."""
+        return float(self.original_length) / max(float(self.stored_values), 1.0)
+
+    def bits(self) -> int:
+        """Compressed size in bits (64 bits per stored scalar)."""
+        return int(self.stored_values) * BITS_PER_VALUE_RAW
+
+    def bits_per_value(self) -> float:
+        """Bits of compressed storage per original value."""
+        return self.bits() / float(self.original_length)
+
+
+class LossyCompressor(ABC):
+    """Base class for the PMC / SWING / Sim-Piece / FFT baselines."""
+
+    #: Short name used in benchmark tables.
+    name: str = "lossy"
+
+    @abstractmethod
+    def compress(self, series) -> CompressedModel:
+        """Compress an array-like or :class:`TimeSeries`."""
+
+    @staticmethod
+    def _values_of(series) -> tuple[np.ndarray, str]:
+        if isinstance(series, TimeSeries):
+            return series.values, series.name
+        return as_float_array(series), "series"
+
+
+def acf_deviation_of(original: np.ndarray, reconstruction: np.ndarray, max_lag: int, *,
+                     metric="mae", agg_window: int = 1, agg: str = "mean") -> float:
+    """ACF deviation between a series and its reconstruction.
+
+    Used by every baseline (and the benchmarks) to measure how much a given
+    parameter setting disturbed the autocorrelation structure.
+    """
+    original = as_float_array(original)
+    reconstruction = as_float_array(reconstruction)
+    if agg_window > 1:
+        original = tumbling_window_aggregate(original, agg_window, agg)
+        reconstruction = tumbling_window_aggregate(reconstruction, agg_window, agg)
+    lag = min(max_lag, original.size - 1)
+    metric_fn = get_metric(metric)
+    return float(metric_fn(acf(original, lag), acf(reconstruction, lag)))
+
+
+def search_parameter_for_acf(compress_fn: Callable[[float], CompressedModel],
+                             original: np.ndarray, max_lag: int, epsilon: float, *,
+                             metric="mae", agg_window: int = 1, agg: str = "mean",
+                             low: float = 1e-6, high: float = 1.0,
+                             iterations: int = 12) -> tuple[CompressedModel, float, float]:
+    """Trial-and-error search of a baseline's error knob for a target ACF bound.
+
+    The paper cannot enforce the ACF constraint inside PMC/SWING/SP/FFT, so
+    it explores each method's own parameter until the measured ACF deviation
+    is as close to (but not above) ``epsilon`` as possible.  This helper
+    performs a monotone bisection on the parameter in ``[low, high]``:
+    larger parameters are assumed to compress more and deviate more.
+
+    Returns ``(best_model, best_parameter, achieved_deviation)``; when even
+    the smallest parameter violates the bound, that smallest-parameter model
+    is returned with its deviation so callers can decide what to do.
+    """
+    if epsilon <= 0:
+        raise InvalidParameterError("epsilon must be positive")
+    original = as_float_array(original)
+
+    def deviation_of(model: CompressedModel) -> float:
+        return acf_deviation_of(original, model.decompress(), max_lag,
+                                metric=metric, agg_window=agg_window, agg=agg)
+
+    best_model = compress_fn(low)
+    best_parameter = low
+    best_deviation = deviation_of(best_model)
+    if best_deviation >= epsilon:
+        return best_model, best_parameter, best_deviation
+
+    low_bound, high_bound = low, high
+    for _iteration in range(iterations):
+        middle = np.sqrt(low_bound * high_bound) if low_bound > 0 else (
+            (low_bound + high_bound) / 2.0)
+        model = compress_fn(float(middle))
+        deviation = deviation_of(model)
+        if deviation < epsilon:
+            if model.compression_ratio() >= best_model.compression_ratio():
+                best_model, best_parameter, best_deviation = model, float(middle), deviation
+            low_bound = float(middle)
+        else:
+            high_bound = float(middle)
+        if high_bound / max(low_bound, 1e-12) < 1.05:
+            break
+    return best_model, best_parameter, best_deviation

@@ -1,0 +1,71 @@
+"""Lossy compression through the discrete Fourier transform.
+
+The FFT baseline keeps only the ``k`` largest-magnitude frequency components
+of the real FFT and discards the rest; decompression is the inverse FFT of
+the sparse spectrum.  Storage is charged as three scalars per retained
+component (index, real part, imaginary part), matching how a sparse spectrum
+would actually be persisted.
+
+Two knobs are offered because the paper sweeps "compression levels":
+
+* ``keep_fraction`` — fraction of rFFT components retained,
+* ``keep_components`` — absolute number of retained components (overrides
+  the fraction when given).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from .base import CompressedModel, LossyCompressor
+
+__all__ = ["FFTCompressor"]
+
+
+class FFTCompressor(LossyCompressor):
+    """Keep the top-k magnitude rFFT coefficients."""
+
+    name = "FFT"
+
+    def __init__(self, keep_fraction: float = 0.1, *, keep_components: int | None = None):
+        if keep_components is None:
+            if not 0.0 < keep_fraction <= 1.0:
+                raise InvalidParameterError("keep_fraction must lie in (0, 1]")
+        elif keep_components < 1:
+            raise InvalidParameterError("keep_components must be >= 1")
+        self.keep_fraction = float(keep_fraction)
+        self.keep_components = keep_components
+
+    def compress(self, series) -> CompressedModel:
+        values, name = self._values_of(series)
+        n = values.size
+        spectrum = np.fft.rfft(values)
+        total_components = spectrum.size
+        if self.keep_components is not None:
+            keep = min(int(self.keep_components), total_components)
+        else:
+            keep = max(1, int(round(self.keep_fraction * total_components)))
+        # Always retain the DC component plus the top-(keep-1) magnitudes.
+        magnitudes = np.abs(spectrum)
+        magnitudes[0] = np.inf
+        kept_indices = np.sort(np.argpartition(magnitudes, -keep)[-keep:])
+        kept_values = spectrum[kept_indices]
+
+        def reconstruct() -> np.ndarray:
+            sparse = np.zeros(total_components, dtype=np.complex128)
+            sparse[kept_indices] = kept_values
+            return np.fft.irfft(sparse, n=n)
+
+        return CompressedModel(
+            reconstruct=reconstruct,
+            stored_values=3 * keep,
+            original_length=n,
+            name=f"FFT({name})",
+            metadata={
+                "compressor": self.name,
+                "kept_components": int(keep),
+                "total_components": int(total_components),
+                "keep_fraction": float(keep) / float(total_components),
+            },
+        )

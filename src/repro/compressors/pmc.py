@@ -1,0 +1,99 @@
+"""Poor Man's Compression — Mean (PMC-Mean).
+
+PMC approximates the series with constant segments: a segment grows while all
+of its values stay within ``error_bound`` of the running mean (the
+"mean" variant; the "midrange" variant uses the mid-point of min/max).  Each
+segment stores two scalars — the constant value and the segment end — so the
+stored-value count is ``2 * number_of_segments``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive_float
+from .base import CompressedModel, LossyCompressor
+
+__all__ = ["PoorMansCompressionMean", "pmc_segments"]
+
+
+def pmc_segments(values: np.ndarray, error_bound: float, *, variant: str = "midrange"
+                 ) -> list[tuple[int, int, float]]:
+    """Greedy constant-segment cover of ``values``.
+
+    Returns a list of ``(start, end_exclusive, constant)`` triples whose
+    union covers the series.  Every value differs from its segment constant
+    by at most ``error_bound`` (the classical L-infinity guarantee of PMC).
+    """
+    segments: list[tuple[int, int, float]] = []
+    n = values.size
+    start = 0
+    running_min = values[0]
+    running_max = values[0]
+    running_sum = values[0]
+    for index in range(1, n + 1):
+        if index < n:
+            candidate_min = min(running_min, values[index])
+            candidate_max = max(running_max, values[index])
+            if candidate_max - candidate_min <= 2.0 * error_bound:
+                running_min, running_max = candidate_min, candidate_max
+                running_sum += values[index]
+                continue
+        length = index - start
+        if variant == "mean":
+            constant = running_sum / length
+        else:
+            constant = 0.5 * (running_min + running_max)
+        segments.append((start, index, float(constant)))
+        if index < n:
+            start = index
+            running_min = running_max = running_sum = values[index]
+    return segments
+
+
+class PoorMansCompressionMean(LossyCompressor):
+    """PMC with a per-value L-infinity error bound.
+
+    Parameters
+    ----------
+    error_bound:
+        Maximum absolute deviation of any value from its segment constant.
+    variant:
+        ``"midrange"`` (classical PMC-MR, default) or ``"mean"``.
+    """
+
+    name = "PMC"
+
+    def __init__(self, error_bound: float, *, variant: str = "midrange"):
+        self.error_bound = check_positive_float(error_bound, "error_bound")
+        if variant not in ("mean", "midrange"):
+            raise ValueError("variant must be 'mean' or 'midrange'")
+        self.variant = variant
+
+    def compress(self, series) -> CompressedModel:
+        values, name = self._values_of(series)
+        segments = pmc_segments(values, self.error_bound, variant=self.variant)
+        n = values.size
+        ends = np.asarray([end for _start, end, _constant in segments], dtype=np.int64)
+        constants = np.asarray([constant for _s, _e, constant in segments], dtype=np.float64)
+
+        def reconstruct() -> np.ndarray:
+            out = np.empty(n, dtype=np.float64)
+            start = 0
+            for end, constant in zip(ends, constants):
+                out[start:end] = constant
+                start = int(end)
+            return out
+
+        return CompressedModel(
+            reconstruct=reconstruct,
+            stored_values=2 * len(segments),
+            original_length=n,
+            name=f"PMC({name})",
+            metadata={
+                "compressor": self.name,
+                "error_bound": self.error_bound,
+                "variant": self.variant,
+                "segments": len(segments),
+            },
+        )

@@ -1,0 +1,116 @@
+"""Swing Filter — online piece-wise linear approximation with an L-infinity bound.
+
+The Swing filter (Elmeleegy et al., PVLDB 2009) maintains, for the current
+segment, the cone of admissible line slopes (the "swing door"): every new
+point narrows the upper and lower slope bounds; when the cone collapses the
+segment is closed and a new one starts.  Each segment stores two scalars
+(end index and end value — the start is the previous segment's end), so the
+stored-value count is ``2 * segments + 2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import check_positive_float
+from .base import CompressedModel, LossyCompressor
+
+__all__ = ["SwingFilter", "swing_segments"]
+
+
+def swing_segments(values: np.ndarray, error_bound: float) -> list[tuple[int, float, int, float]]:
+    """Greedy swing-door segmentation.
+
+    Returns ``(start_index, start_value, end_index, end_value)`` tuples; the
+    reconstruction linearly interpolates between the two anchor points of
+    each segment and is guaranteed to stay within ``error_bound`` of every
+    original value of that segment.
+    """
+    n = values.size
+    segments: list[tuple[int, float, int, float]] = []
+    start = 0
+    anchor_value = float(values[0])
+    if n == 1:
+        return [(0, anchor_value, 0, anchor_value)]
+
+    upper_slope = np.inf
+    lower_slope = -np.inf
+    last_admissible = start
+
+    index = 1
+    while index < n:
+        dx = index - start
+        value = float(values[index])
+        upper_candidate = (value + error_bound - anchor_value) / dx
+        lower_candidate = (value - error_bound - anchor_value) / dx
+        new_upper = min(upper_slope, upper_candidate)
+        new_lower = max(lower_slope, lower_candidate)
+        if new_lower <= new_upper:
+            upper_slope, lower_slope = new_upper, new_lower
+            last_admissible = index
+            index += 1
+            continue
+        # The cone collapsed: close the segment at the last admissible point.
+        slope = 0.5 * (upper_slope + lower_slope) if np.isfinite(upper_slope) else 0.0
+        end = last_admissible
+        end_value = anchor_value + slope * (end - start)
+        segments.append((start, anchor_value, end, end_value))
+        start = end
+        anchor_value = end_value
+        upper_slope, lower_slope = np.inf, -np.inf
+        last_admissible = start
+        # Do not advance ``index``: the violating point starts the next cone.
+        if end == index:
+            index += 1
+    slope = 0.5 * (upper_slope + lower_slope) if np.isfinite(upper_slope) else 0.0
+    end = n - 1
+    end_value = anchor_value + slope * (end - start)
+    segments.append((start, anchor_value, end, end_value))
+    return segments
+
+
+class SwingFilter(LossyCompressor):
+    """Connected piece-wise linear compressor with per-value error bound."""
+
+    name = "SWING"
+
+    def __init__(self, error_bound: float):
+        self.error_bound = check_positive_float(error_bound, "error_bound")
+
+    def compress(self, series) -> CompressedModel:
+        values, name = self._values_of(series)
+        segments = swing_segments(values, self.error_bound)
+        n = values.size
+
+        starts = np.asarray([s for s, _sv, _e, _ev in segments], dtype=np.int64)
+        start_values = np.asarray([sv for _s, sv, _e, _ev in segments], dtype=np.float64)
+        ends = np.asarray([e for _s, _sv, e, _ev in segments], dtype=np.int64)
+        end_values = np.asarray([ev for _s, _sv, _e, ev in segments], dtype=np.float64)
+
+        def reconstruct() -> np.ndarray:
+            out = np.empty(n, dtype=np.float64)
+            for start, start_value, end, end_value in zip(starts, start_values,
+                                                          ends, end_values):
+                if end == start:
+                    out[start] = start_value
+                    continue
+                t = np.arange(start, end + 1, dtype=np.float64)
+                out[start:end + 1] = start_value + (end_value - start_value) * (
+                    (t - start) / (end - start))
+            out[-1] = end_values[-1] if ends[-1] == n - 1 else out[-1]
+            return out
+
+        # Connected segments share anchors: store one (index, value) pair per
+        # segment boundary.
+        stored = 2 * (len(segments) + 1)
+        return CompressedModel(
+            reconstruct=reconstruct,
+            stored_values=stored,
+            original_length=n,
+            name=f"SWING({name})",
+            metadata={
+                "compressor": self.name,
+                "error_bound": self.error_bound,
+                "segments": len(segments),
+            },
+        )

@@ -1,0 +1,34 @@
+"""CAMEO core: compressor, impact evaluation, blocking, parallel strategies."""
+
+from .blocking import resolve_blocking_hops
+from .compressor import CameoCompressor, CompressionStats, cameo_compress, compress_multivariate
+from .custom import GenericStatisticTracker
+from .heap import IndexedMinHeap
+from .impact import (
+    batched_single_change_impacts,
+    initial_interpolation_deltas,
+    metric_rowwise,
+    segment_interpolation_deltas,
+)
+from .neighbors import NeighborList
+from .parallel import CoarseGrainedCameo, FineGrainedCameo, ParallelReport
+from .tracker import StatisticTracker
+
+__all__ = [
+    "CameoCompressor",
+    "CompressionStats",
+    "cameo_compress",
+    "compress_multivariate",
+    "IndexedMinHeap",
+    "NeighborList",
+    "StatisticTracker",
+    "GenericStatisticTracker",
+    "resolve_blocking_hops",
+    "batched_single_change_impacts",
+    "initial_interpolation_deltas",
+    "segment_interpolation_deltas",
+    "metric_rowwise",
+    "CoarseGrainedCameo",
+    "FineGrainedCameo",
+    "ParallelReport",
+]

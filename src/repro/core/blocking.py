@@ -1,0 +1,72 @@
+"""Blocking-neighbourhood sizing (paper Section 4.3 and Figure 9).
+
+After removing a point, only the impacts of the ``h`` nearest surviving
+neighbours are refreshed.  The paper explores ``h`` between ``log n`` and
+``n/2`` and settles on small multiples of ``log n`` as the sweet spot.  This
+module turns a user-friendly specification (string, integer, or callable)
+into a concrete hop count for a given series length.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Callable
+
+from ..exceptions import InvalidParameterError
+
+__all__ = ["resolve_blocking_hops", "BLOCKING_PRESETS"]
+
+#: Named presets accepted by :func:`resolve_blocking_hops`.
+BLOCKING_PRESETS = ("logn", "sqrt", "half", "all", "none")
+
+_MULTIPLE_PATTERN = re.compile(r"^(\d+(?:\.\d+)?)\s*\*?\s*log\s*n?$")
+
+
+def resolve_blocking_hops(spec, n: int) -> int:
+    """Resolve a blocking specification into a hop count for length ``n``.
+
+    Accepted specifications
+    -----------------------
+    ``int``            a fixed hop count (must be >= 1)
+    ``callable``       ``spec(n) -> int``
+    ``"logn"``         ``ceil(log2 n)``
+    ``"5logn"``        any ``<k>logn`` multiple, e.g. ``"3logn"``, ``"10logn"``
+    ``"sqrt"``         ``ceil(sqrt n)``
+    ``"half"``         ``n // 2`` (brute force reference from Figure 9)
+    ``"all"`` / ``"none"`` / ``None``  update every point (no blocking)
+    """
+    if n < 2:
+        raise InvalidParameterError("series length must be at least 2")
+    if spec is None:
+        return n
+    if callable(spec):
+        hops = int(spec(n))
+        if hops < 1:
+            raise InvalidParameterError("blocking callable must return >= 1")
+        return hops
+    if isinstance(spec, bool):
+        raise InvalidParameterError("blocking must not be a boolean")
+    if isinstance(spec, (int, float)) and not isinstance(spec, bool):
+        hops = int(spec)
+        if hops < 1:
+            raise InvalidParameterError("blocking hop count must be >= 1")
+        return hops
+    if isinstance(spec, str):
+        text = spec.strip().lower().replace(" ", "")
+        if text in ("all", "none"):
+            return n
+        if text == "half":
+            return max(1, n // 2)
+        if text == "sqrt":
+            return max(1, math.ceil(math.sqrt(n)))
+        if text in ("logn", "log"):
+            return max(1, math.ceil(math.log2(max(n, 2))))
+        match = _MULTIPLE_PATTERN.match(text)
+        if match:
+            factor = float(match.group(1))
+            return max(1, math.ceil(factor * math.log2(max(n, 2))))
+    raise InvalidParameterError(
+        f"invalid blocking specification {spec!r}; use an int, a callable, or one of "
+        f"{BLOCKING_PRESETS} / '<k>logn'"
+    )

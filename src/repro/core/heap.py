@@ -1,0 +1,210 @@
+"""Indexed binary min-heap with decrease/increase-key support.
+
+CAMEO keeps every removable point in a priority queue ordered by its impact
+on the ACF and needs to *update* a point's priority whenever a neighbour is
+removed (the ``ReHeap`` operation of Algorithm 1).  A plain ``heapq`` cannot
+update entries in place, so this module provides an array-based indexed heap
+where items are integers ``0..capacity-1`` and every operation that moves an
+entry keeps an item→slot map in sync.
+
+All operations are ``O(log n)`` except :meth:`IndexedMinHeap.heapify`, which
+uses Floyd's bottom-up construction in ``O(n)`` — the same construction the
+paper credits for the initial heap build.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["IndexedMinHeap"]
+
+_ABSENT = -1
+
+
+class IndexedMinHeap:
+    """Min-heap over integer items with updatable priorities.
+
+    Parameters
+    ----------
+    capacity:
+        Items are integers in ``[0, capacity)``.  Each item can be present at
+        most once.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = int(capacity)
+        self._keys = np.empty(capacity, dtype=np.float64)
+        self._items = np.empty(capacity, dtype=np.int64)
+        self._slot_of = np.full(capacity, _ABSENT, dtype=np.int64)
+        self._size = 0
+
+    # ------------------------------------------------------------------ #
+    # basic queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, item: int) -> bool:
+        return 0 <= item < self._capacity and self._slot_of[item] != _ABSENT
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of distinct items."""
+        return self._capacity
+
+    def key_of(self, item: int) -> float:
+        """Current priority of ``item`` (raises ``KeyError`` if absent)."""
+        slot = self._slot_of[item]
+        if slot == _ABSENT:
+            raise KeyError(f"item {item} is not in the heap")
+        return float(self._keys[slot])
+
+    def peek(self) -> tuple[int, float]:
+        """Return ``(item, key)`` of the minimum without removing it."""
+        if self._size == 0:
+            raise IndexError("peek on an empty heap")
+        return int(self._items[0]), float(self._keys[0])
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def heapify(self, items, keys) -> None:
+        """Bulk-load ``items`` with ``keys`` using Floyd's method (O(n)).
+
+        Discards any previous content.
+        """
+        items = np.asarray(items, dtype=np.int64)
+        keys = np.asarray(keys, dtype=np.float64)
+        if items.shape != keys.shape or items.ndim != 1:
+            raise ValueError("items and keys must be 1-D arrays of equal length")
+        if items.size > self._capacity:
+            raise ValueError("more items than heap capacity")
+        if items.size and (items.min() < 0 or items.max() >= self._capacity):
+            raise ValueError("items out of range")
+        if np.unique(items).size != items.size:
+            raise ValueError("items must be unique")
+        self._slot_of.fill(_ABSENT)
+        size = items.size
+        self._size = size
+        self._items[:size] = items
+        self._keys[:size] = keys
+        self._slot_of[items] = np.arange(size, dtype=np.int64)
+        for slot in range(size // 2 - 1, -1, -1):
+            self._sift_down(slot)
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def push(self, item: int, key: float) -> None:
+        """Insert ``item`` with priority ``key`` (item must be absent)."""
+        item = int(item)
+        if not 0 <= item < self._capacity:
+            raise ValueError(f"item {item} out of range [0, {self._capacity})")
+        if self._slot_of[item] != _ABSENT:
+            raise ValueError(f"item {item} is already in the heap; use update()")
+        slot = self._size
+        self._size += 1
+        self._items[slot] = item
+        self._keys[slot] = key
+        self._slot_of[item] = slot
+        self._sift_up(slot)
+
+    def pop(self) -> tuple[int, float]:
+        """Remove and return ``(item, key)`` with the smallest key."""
+        if self._size == 0:
+            raise IndexError("pop from an empty heap")
+        item = int(self._items[0])
+        key = float(self._keys[0])
+        self._remove_slot(0)
+        return item, key
+
+    def remove(self, item: int) -> None:
+        """Remove ``item`` from the heap (no-op if absent)."""
+        slot = self._slot_of[item]
+        if slot == _ABSENT:
+            return
+        self._remove_slot(int(slot))
+
+    def update(self, item: int, key: float) -> None:
+        """Change the priority of ``item`` (inserting it if absent)."""
+        slot = self._slot_of[item]
+        if slot == _ABSENT:
+            self.push(item, key)
+            return
+        slot = int(slot)
+        old = self._keys[slot]
+        self._keys[slot] = key
+        if key < old:
+            self._sift_up(slot)
+        elif key > old:
+            self._sift_down(slot)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _remove_slot(self, slot: int) -> None:
+        last = self._size - 1
+        removed_item = int(self._items[slot])
+        self._slot_of[removed_item] = _ABSENT
+        if slot != last:
+            self._items[slot] = self._items[last]
+            self._keys[slot] = self._keys[last]
+            self._slot_of[self._items[slot]] = slot
+        self._size = last
+        if slot < self._size:
+            # The moved entry may need to travel either direction.
+            self._sift_down(slot)
+            self._sift_up(slot)
+
+    def _swap(self, a: int, b: int) -> None:
+        self._items[a], self._items[b] = self._items[b], self._items[a]
+        self._keys[a], self._keys[b] = self._keys[b], self._keys[a]
+        self._slot_of[self._items[a]] = a
+        self._slot_of[self._items[b]] = b
+
+    def _sift_up(self, slot: int) -> None:
+        while slot > 0:
+            parent = (slot - 1) // 2
+            if self._keys[slot] < self._keys[parent]:
+                self._swap(slot, parent)
+                slot = parent
+            else:
+                break
+
+    def _sift_down(self, slot: int) -> None:
+        size = self._size
+        while True:
+            left = 2 * slot + 1
+            right = left + 1
+            smallest = slot
+            if left < size and self._keys[left] < self._keys[smallest]:
+                smallest = left
+            if right < size and self._keys[right] < self._keys[smallest]:
+                smallest = right
+            if smallest == slot:
+                return
+            self._swap(slot, smallest)
+            slot = smallest
+
+    # ------------------------------------------------------------------ #
+    # debugging / testing aids
+    # ------------------------------------------------------------------ #
+    def items(self) -> np.ndarray:
+        """Items currently in the heap (arbitrary order, copy)."""
+        return self._items[: self._size].copy()
+
+    def check_invariants(self) -> bool:
+        """Verify the heap property and the item→slot map (tests only)."""
+        for slot in range(1, self._size):
+            parent = (slot - 1) // 2
+            if self._keys[parent] > self._keys[slot]:
+                return False
+        for slot in range(self._size):
+            if self._slot_of[self._items[slot]] != slot:
+                return False
+        return True

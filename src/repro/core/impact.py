@@ -1,0 +1,159 @@
+"""ACF-impact evaluation (Algorithm 2 and the ReHeap look-ahead).
+
+Two entry points:
+
+* :func:`batched_single_change_impacts` — the vectorised ``GetAllImpact`` of
+  Algorithm 2: for many candidate points at once, compute the deviation the
+  ACF would suffer if that point alone changed by its interpolation delta.
+  Works directly on the per-lag aggregate vectors, so each candidate costs
+  O(L) and the whole batch is a handful of NumPy operations per chunk.
+* :func:`segment_interpolation_deltas` — the exact multi-point deltas used in
+  the inner loop: when point ``i`` is removed, every already-removed point in
+  the surviving gap ``(left, right)`` is re-interpolated on the new segment.
+
+The deviation measure ``D`` is vectorised for the common metrics (MAE,
+Chebyshev, RMSE/MSE); any other callable falls back to a row-wise loop.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..metrics import get_metric
+from ..stats.aggregates import ACFAggregateState
+
+__all__ = [
+    "metric_rowwise",
+    "batched_single_change_impacts",
+    "segment_interpolation_deltas",
+    "initial_interpolation_deltas",
+]
+
+_VECTORISED_METRICS = {"mae", "cheb", "chebyshev", "max", "rmse", "mse"}
+
+
+def metric_rowwise(metric, reference: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+    """Evaluate ``D(reference, row)`` for every row of ``candidates``.
+
+    ``metric`` may be a registered metric name or a callable ``(x, y) ->
+    float``.  Common names use closed-form NumPy expressions; callables are
+    applied row by row.
+    """
+    candidates = np.atleast_2d(candidates)
+    if isinstance(metric, str):
+        name = metric.strip().lower()
+        if name in _VECTORISED_METRICS:
+            diff = candidates - reference[np.newaxis, :]
+            if name == "mae":
+                return np.mean(np.abs(diff), axis=1)
+            if name in ("cheb", "chebyshev", "max"):
+                return np.max(np.abs(diff), axis=1)
+            if name == "mse":
+                return np.mean(diff * diff, axis=1)
+            return np.sqrt(np.mean(diff * diff, axis=1))
+    fn: Callable[..., float] = get_metric(metric)
+    return np.array([fn(reference, row) for row in candidates], dtype=np.float64)
+
+
+def batched_single_change_impacts(state: ACFAggregateState, positions, deltas,
+                                  reference: np.ndarray, metric="mae", *,
+                                  chunk_size: int = 16384) -> np.ndarray:
+    """Deviation of the ACF if each candidate position changed independently.
+
+    Parameters
+    ----------
+    state:
+        The aggregate state whose sums describe the *current* series.
+    positions, deltas:
+        Candidate positions (into the state's series) and the value change
+        each candidate would apply.  Each candidate is evaluated in
+        isolation.
+    reference:
+        The reference ACF vector the deviation is measured against (the ACF
+        of the *original* series, ``P_L`` in Algorithm 1).
+    metric:
+        Deviation measure ``D`` (name or callable).
+    chunk_size:
+        Number of candidates evaluated per NumPy batch; bounds memory at
+        ``chunk_size * L`` floats.
+    """
+    positions = np.asarray(positions, dtype=np.int64)
+    deltas = np.asarray(deltas, dtype=np.float64)
+    if positions.shape != deltas.shape:
+        raise ValueError("positions and deltas must have the same shape")
+    if positions.size == 0:
+        return np.empty(0, dtype=np.float64)
+
+    sums = state.sums
+    lags = state.lags
+    counts = sums.counts
+    current = state.current
+    n = state.n
+    out = np.empty(positions.size, dtype=np.float64)
+
+    for start in range(0, positions.size, chunk_size):
+        stop = min(start + chunk_size, positions.size)
+        pos = positions[start:stop, np.newaxis]      # (m, 1)
+        delta = deltas[start:stop, np.newaxis]       # (m, 1)
+        head = pos + lags[np.newaxis, :] <= n - 1    # (m, L) position is in the lag head
+        tail = pos - lags[np.newaxis, :] >= 0        # (m, L) position is in the lag tail
+
+        own = current[pos]                           # (m, 1)
+        square_term = delta * (2.0 * own + delta)
+
+        new_sx = sums.sx + np.where(head, delta, 0.0)
+        new_sxl = sums.sxl + np.where(tail, delta, 0.0)
+        new_sx2 = sums.sx2 + np.where(head, square_term, 0.0)
+        new_sx2l = sums.sx2l + np.where(tail, square_term, 0.0)
+
+        right_idx = np.minimum(pos + lags[np.newaxis, :], n - 1)
+        left_idx = np.maximum(pos - lags[np.newaxis, :], 0)
+        new_sxxl = (sums.sxxl
+                    + np.where(head, delta * current[right_idx], 0.0)
+                    + np.where(tail, delta * current[left_idx], 0.0))
+
+        numerator = counts * new_sxxl - new_sx * new_sxl
+        var_head = counts * new_sx2 - new_sx * new_sx
+        var_tail = counts * new_sx2l - new_sxl * new_sxl
+        acf_new = np.zeros_like(numerator)
+        valid = (var_head > 0.0) & (var_tail > 0.0)
+        denom = np.sqrt(np.where(valid, var_head * var_tail, 1.0))
+        np.divide(numerator, denom, out=acf_new, where=valid)
+
+        out[start:stop] = metric_rowwise(metric, reference, acf_new)
+    return out
+
+
+def initial_interpolation_deltas(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-point delta if each interior point were replaced by the average of
+    its immediate neighbours (the linear interpolation at removal time).
+
+    Returns ``(positions, deltas)`` for positions ``1..n-2``; this is the
+    ``ΔX`` vector of Algorithm 2.
+    """
+    positions = np.arange(1, values.size - 1, dtype=np.int64)
+    deltas = 0.5 * (values[2:] + values[:-2]) - values[1:-1]
+    return positions, deltas
+
+
+def segment_interpolation_deltas(current: np.ndarray, left: int, right: int
+                                 ) -> tuple[int, np.ndarray]:
+    """Deltas to re-interpolate every point strictly inside ``(left, right)``.
+
+    ``current`` is the reconstructed series; ``left`` and ``right`` are the
+    surviving anchors of the segment after the candidate removal.  Every
+    position in between (the candidate plus previously removed points) gets
+    the value of the straight line from ``current[left]`` to
+    ``current[right]``; the returned deltas are *new minus current* for the
+    contiguous range starting at ``left + 1`` (the first returned value).
+    """
+    if right - left < 2:
+        return left + 1, np.empty(0, dtype=np.float64)
+    positions = np.arange(left + 1, right, dtype=np.int64)
+    span = float(right - left)
+    weights = (positions - left) / span
+    new_values = current[left] * (1.0 - weights) + current[right] * weights
+    deltas = new_values - current[positions]
+    return left + 1, deltas

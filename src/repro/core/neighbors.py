@@ -1,0 +1,129 @@
+"""Doubly-linked neighbour structure over the surviving points.
+
+CAMEO repeatedly needs, for a surviving point ``i``, its nearest surviving
+neighbours to the left and right (to interpolate across the gap) and the set
+of surviving points within ``h`` hops (the blocking neighbourhood whose
+impacts are refreshed after a removal).  Storing ``left``/``right`` pointer
+arrays gives O(1) removal and O(h) neighbourhood collection, exactly as
+described in Section 4.3 of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["NeighborList"]
+
+
+class NeighborList:
+    """Pointer-array doubly linked list over indices ``0..n-1``."""
+
+    def __init__(self, n: int):
+        if n < 2:
+            raise ValueError("a neighbour list needs at least two points")
+        self._n = int(n)
+        self._left = np.arange(-1, n - 1, dtype=np.int64)
+        self._right = np.arange(1, n + 1, dtype=np.int64)
+        self._right[-1] = n  # sentinel one past the end
+        self._alive = np.ones(n, dtype=bool)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def n(self) -> int:
+        """Total number of original positions."""
+        return self._n
+
+    def alive_count(self) -> int:
+        """Number of surviving points."""
+        return int(self._alive.sum())
+
+    def is_alive(self, index: int) -> bool:
+        """Whether position ``index`` still survives."""
+        return bool(self._alive[index])
+
+    def left_of(self, index: int) -> int:
+        """Nearest surviving position to the left (-1 when none)."""
+        return int(self._left[index])
+
+    def right_of(self, index: int) -> int:
+        """Nearest surviving position to the right (``n`` when none)."""
+        return int(self._right[index])
+
+    def alive_indices(self) -> np.ndarray:
+        """Sorted array of surviving positions."""
+        return np.flatnonzero(self._alive)
+
+    def alive_mask(self) -> np.ndarray:
+        """Boolean survival mask (copy)."""
+        return self._alive.copy()
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def remove(self, index: int) -> tuple[int, int]:
+        """Remove ``index`` and return its former ``(left, right)`` neighbours.
+
+        The first and last positions cannot be removed (they anchor the
+        interpolation), mirroring the compressor's contract.
+        """
+        index = int(index)
+        if index <= 0 or index >= self._n - 1:
+            raise ValueError("the first and last points cannot be removed")
+        if not self._alive[index]:
+            raise ValueError(f"position {index} was already removed")
+        left = int(self._left[index])
+        right = int(self._right[index])
+        self._right[left] = right
+        if right < self._n:
+            self._left[right] = left
+        self._alive[index] = False
+        return left, right
+
+    # ------------------------------------------------------------------ #
+    # neighbourhood collection (blocking)
+    # ------------------------------------------------------------------ #
+    def hops(self, index: int, h: int, *, include_endpoints: bool = False) -> list[int]:
+        """Surviving points within ``h`` hops left and right of ``index``.
+
+        ``index`` itself is *not* included (it is typically the point that
+        was just removed).  The first and last positions are excluded unless
+        ``include_endpoints`` is set, because their impact is pinned to
+        infinity anyway.
+        """
+        result: list[int] = []
+        # Start from the surviving anchors bracketing ``index`` (robust even
+        # when the point's own stale pointers reference other removed points).
+        left_anchor, right_anchor = self.gap(index)
+        cursor = left_anchor
+        steps = 0
+        while cursor >= 0 and steps < h:
+            if include_endpoints or 0 < cursor < self._n - 1:
+                result.append(cursor)
+            cursor = self.left_of(cursor)
+            steps += 1
+        cursor = right_anchor
+        steps = 0
+        while cursor < self._n and steps < h:
+            if include_endpoints or 0 < cursor < self._n - 1:
+                result.append(cursor)
+            cursor = self.right_of(cursor)
+            steps += 1
+        return result
+
+    def gap(self, index: int) -> tuple[int, int]:
+        """Surviving segment ``(left, right)`` that brackets position ``index``.
+
+        For a surviving point these are its direct neighbours; for a removed
+        point the surviving anchors of the segment it currently lies in.
+        """
+        if self._alive[index]:
+            return self.left_of(index), self.right_of(index)
+        left = index
+        while left >= 0 and not self._alive[left]:
+            left = int(self._left[left])
+        right = index
+        while right < self._n and not self._alive[right]:
+            right = int(self._right[right])
+        return int(left), int(right)

@@ -1,0 +1,211 @@
+"""Statistic tracking facade used by the CAMEO compressor.
+
+The compressor itself is agnostic about *which* statistic is being preserved
+and *on which* series (raw vs. tumbling-window aggregates).  The tracker
+wraps the incremental aggregate states from :mod:`repro.stats` and exposes a
+tiny interface:
+
+* ``reference`` — the statistic of the original series (``P_L``),
+* ``current_statistic()`` — the statistic of the current reconstruction,
+* ``preview(positions, deltas)`` — statistic after hypothetical changes,
+* ``apply(positions, deltas)`` — commit changes,
+* ``initial_impacts(metric)`` — Algorithm 2's vectorised initial heap keys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import InvalidParameterError
+from ..stats.aggregates import ACFAggregateState
+from ..stats.pacf import pacf_from_acf
+from ..stats.windowed import AggregatedACFState
+from .impact import batched_single_change_impacts, initial_interpolation_deltas, metric_rowwise
+
+__all__ = ["StatisticTracker", "SUPPORTED_STATISTICS"]
+
+SUPPORTED_STATISTICS = ("acf", "pacf")
+
+
+class StatisticTracker:
+    """Tracks the ACF or PACF of a (possibly window-aggregated) series."""
+
+    def __init__(self, values: np.ndarray, max_lag: int, *, statistic: str = "acf",
+                 agg_window: int = 1, agg: str = "mean"):
+        statistic = str(statistic).lower()
+        if statistic not in SUPPORTED_STATISTICS:
+            raise InvalidParameterError(
+                f"unsupported statistic {statistic!r}; choose from {SUPPORTED_STATISTICS}")
+        self._statistic = statistic
+        self._agg_window = int(agg_window)
+        if self._agg_window < 1:
+            raise InvalidParameterError("agg_window must be >= 1")
+        if self._agg_window == 1:
+            self._state: ACFAggregateState | AggregatedACFState = ACFAggregateState(
+                values, max_lag)
+        else:
+            self._state = AggregatedACFState(values, max_lag, self._agg_window, agg)
+        self._reference = self.current_statistic()
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+    @property
+    def statistic(self) -> str:
+        """Name of the tracked statistic (``"acf"`` or ``"pacf"``)."""
+        return self._statistic
+
+    @property
+    def agg_window(self) -> int:
+        """Tumbling-window size (1 = statistic on the raw series)."""
+        return self._agg_window
+
+    @property
+    def reference(self) -> np.ndarray:
+        """Statistic of the original, uncompressed series."""
+        return self._reference
+
+    @property
+    def max_lag(self) -> int:
+        """Number of lags of the tracked statistic."""
+        return self._state.max_lag
+
+    @property
+    def current_values(self) -> np.ndarray:
+        """Current reconstructed raw series (do not mutate)."""
+        if isinstance(self._state, AggregatedACFState):
+            return self._state.current_raw
+        return self._state.current
+
+    # ------------------------------------------------------------------ #
+    # statistic evaluation
+    # ------------------------------------------------------------------ #
+    def _to_statistic(self, acf_vector: np.ndarray) -> np.ndarray:
+        if self._statistic == "pacf":
+            return pacf_from_acf(acf_vector)
+        return acf_vector
+
+    def current_statistic(self) -> np.ndarray:
+        """Statistic of the current reconstructed series."""
+        return self._to_statistic(self._state.acf())
+
+    def preview(self, start: int, deltas) -> np.ndarray:
+        """Statistic after hypothetically changing the contiguous raw range
+        ``[start, start + len(deltas))`` by ``deltas`` (no mutation)."""
+        return self._to_statistic(self._state.preview_acf_contiguous(start, deltas))
+
+    def apply(self, start: int, deltas) -> None:
+        """Commit a contiguous raw-range change to the tracked state."""
+        self._state.apply_contiguous(start, deltas)
+
+    def deviation(self, metric, statistic_vector: np.ndarray) -> float:
+        """Deviation ``D(reference, statistic_vector)`` for a single vector."""
+        return float(metric_rowwise(metric, self._reference, statistic_vector)[0])
+
+    # ------------------------------------------------------------------ #
+    # batched hypothetical impacts (used by the ReHeap step)
+    # ------------------------------------------------------------------ #
+    def batch_impacts(self, changes: list[tuple[int, np.ndarray]], metric) -> np.ndarray:
+        """Impact of several independent hypothetical contiguous changes.
+
+        ``changes`` is a list of ``(start, deltas)`` pairs; each is evaluated
+        in isolation against the current state.  Single-position changes (the
+        overwhelming majority during compression) are evaluated in one
+        vectorised pass; longer changes fall back to individual previews.
+        """
+        if not changes:
+            return np.empty(0, dtype=np.float64)
+        impacts = np.empty(len(changes), dtype=np.float64)
+        singles: list[int] = []
+        single_positions: list[int] = []
+        single_deltas: list[float] = []
+        current_deviation: float | None = None
+
+        fast_acf_direct = self._statistic == "acf" and self._agg_window == 1
+        fast_acf_agg = (self._statistic == "acf"
+                        and isinstance(self._state, AggregatedACFState)
+                        and self._state.agg in ("mean", "sum"))
+
+        for index, (start, deltas) in enumerate(changes):
+            deltas = np.asarray(deltas, dtype=np.float64)
+            if deltas.size == 0:
+                if current_deviation is None:
+                    current_deviation = self.deviation(metric, self.current_statistic())
+                impacts[index] = current_deviation
+                continue
+            if fast_acf_direct and deltas.size == 1:
+                singles.append(index)
+                single_positions.append(int(start))
+                single_deltas.append(float(deltas[0]))
+                continue
+            if fast_acf_agg:
+                window_start, window_deltas = self._state._contiguous_window_deltas(
+                    int(start), deltas)
+                if window_deltas.size == 0:
+                    if current_deviation is None:
+                        current_deviation = self.deviation(metric, self.current_statistic())
+                    impacts[index] = current_deviation
+                    continue
+                if window_deltas.size == 1:
+                    singles.append(index)
+                    single_positions.append(int(window_start))
+                    single_deltas.append(float(window_deltas[0]))
+                    continue
+                statistic = self._state.inner.preview_acf_contiguous(
+                    window_start, window_deltas)
+                impacts[index] = self.deviation(metric, statistic)
+                continue
+            impacts[index] = self.deviation(metric, self.preview(int(start), deltas))
+
+        if singles:
+            target_state = (self._state.inner if fast_acf_agg and not fast_acf_direct
+                            else self._state)
+            batched = batched_single_change_impacts(
+                target_state, np.asarray(single_positions, dtype=np.int64),
+                np.asarray(single_deltas, dtype=np.float64), self._reference, metric)
+            impacts[np.asarray(singles, dtype=np.int64)] = batched
+        return impacts
+
+    # ------------------------------------------------------------------ #
+    # initial impacts (Algorithm 2)
+    # ------------------------------------------------------------------ #
+    def initial_impacts(self, metric) -> tuple[np.ndarray, np.ndarray]:
+        """Impact of removing each interior point in isolation.
+
+        Returns ``(positions, impacts)`` for positions ``1..n-2``.  The fast
+        vectorised path applies when the statistic is the ACF and the
+        aggregation is linear (raw series, or mean/sum windows); otherwise a
+        per-point preview loop is used.
+        """
+        values = self.current_values
+        positions, deltas = initial_interpolation_deltas(values)
+        if positions.size == 0:
+            return positions, np.empty(0, dtype=np.float64)
+
+        if self._statistic == "acf" and self._agg_window == 1:
+            impacts = batched_single_change_impacts(
+                self._state, positions, deltas, self._reference, metric)
+            return positions, impacts
+
+        if (self._statistic == "acf" and isinstance(self._state, AggregatedACFState)
+                and self._state.agg in ("mean", "sum")):
+            scale = 1.0 / self._state.window if self._state.agg == "mean" else 1.0
+            window_positions = positions // self._state.window
+            in_range = window_positions < self._state.num_windows
+            impacts = np.zeros(positions.size, dtype=np.float64)
+            if in_range.any():
+                impacts[in_range] = batched_single_change_impacts(
+                    self._state.inner, window_positions[in_range],
+                    deltas[in_range] * scale, self._reference, metric)
+            # Points in the trailing partial window do not move the
+            # aggregated ACF at all; their impact is the current deviation.
+            if (~in_range).any():
+                impacts[~in_range] = self.deviation(metric, self.current_statistic())
+            return positions, impacts
+
+        # Generic fallback: per-point preview (PACF and max/min aggregations).
+        impacts = np.empty(positions.size, dtype=np.float64)
+        for index, (position, delta) in enumerate(zip(positions, deltas)):
+            stat = self.preview(int(position), np.asarray([delta]))
+            impacts[index] = self.deviation(metric, stat)
+        return positions, impacts

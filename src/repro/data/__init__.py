@@ -1,0 +1,36 @@
+"""Datasets, containers, and synthetic generators."""
+
+from .anomaly_corpus import AnomalyCase, generate_anomaly_case, generate_anomaly_corpus
+from .datasets import DATASETS, DatasetSpec, dataset_names, load_all_datasets, load_dataset
+from .generators import (
+    SeasonalSpec,
+    SyntheticSeriesConfig,
+    generate_ar_process,
+    generate_intermittent_series,
+    generate_random_walk,
+    generate_seasonal_series,
+    generate_sine_mixture,
+)
+from .timeseries import BITS_PER_VALUE_RAW, IrregularSeries, MultivariateSeries, TimeSeries
+
+__all__ = [
+    "TimeSeries",
+    "IrregularSeries",
+    "MultivariateSeries",
+    "BITS_PER_VALUE_RAW",
+    "DatasetSpec",
+    "DATASETS",
+    "dataset_names",
+    "load_dataset",
+    "load_all_datasets",
+    "SeasonalSpec",
+    "SyntheticSeriesConfig",
+    "generate_seasonal_series",
+    "generate_random_walk",
+    "generate_ar_process",
+    "generate_intermittent_series",
+    "generate_sine_mixture",
+    "AnomalyCase",
+    "generate_anomaly_case",
+    "generate_anomaly_corpus",
+]

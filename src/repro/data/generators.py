@@ -1,0 +1,211 @@
+"""Synthetic time-series generators.
+
+The paper evaluates CAMEO on eight public datasets that are not available in
+this offline environment.  The generators below synthesize series with the
+same structural properties the algorithms rely on — length, seasonal
+period(s), trend, value range, noise level, and discreteness — so the shape
+of every experiment (who wins, where curves cross) is reproducible.  The
+mapping from each paper dataset to a generator configuration lives in
+:mod:`repro.data.datasets`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from .._validation import check_positive_int
+from ..exceptions import InvalidParameterError
+
+__all__ = [
+    "SeasonalSpec",
+    "SyntheticSeriesConfig",
+    "generate_seasonal_series",
+    "generate_random_walk",
+    "generate_ar_process",
+    "generate_intermittent_series",
+    "generate_sine_mixture",
+]
+
+
+@dataclass
+class SeasonalSpec:
+    """One seasonal component: period in samples, amplitude, optional harmonics."""
+
+    period: int
+    amplitude: float = 1.0
+    harmonics: int = 1
+    phase: float = 0.0
+
+    def render(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Evaluate the seasonal component over ``n`` samples."""
+        t = np.arange(n, dtype=np.float64)
+        component = np.zeros(n)
+        for harmonic in range(1, self.harmonics + 1):
+            # Higher harmonics decay in amplitude to keep the wave natural.
+            amplitude = self.amplitude / harmonic
+            phase = self.phase + rng.uniform(0, 2 * np.pi) * (harmonic > 1)
+            component += amplitude * np.sin(2 * np.pi * harmonic * t / self.period + phase)
+        return component
+
+
+@dataclass
+class SyntheticSeriesConfig:
+    """Full recipe for a synthetic series.
+
+    Attributes
+    ----------
+    length:
+        Number of samples.
+    seasonalities:
+        One or more :class:`SeasonalSpec` components (e.g. daily + weekly).
+    trend_slope:
+        Linear trend added per 1000 samples.
+    noise_std:
+        Standard deviation of additive Gaussian noise.
+    ar_coefficient:
+        Optional AR(1) coefficient for correlated noise (0 disables).
+    level:
+        Base level added to everything.
+    scale:
+        Final multiplicative scale.
+    clip_min / clip_max:
+        Optional clipping, e.g. to keep counts non-negative.
+    round_to:
+        Round values to this many decimals (None disables); integer datasets
+        such as Pedestrian use 0.
+    zero_fraction:
+        Fraction of the seasonal cycle forced to (near) zero — models solar
+        power production at night.
+    """
+
+    length: int
+    seasonalities: Sequence[SeasonalSpec] = field(default_factory=list)
+    trend_slope: float = 0.0
+    noise_std: float = 0.1
+    ar_coefficient: float = 0.0
+    level: float = 0.0
+    scale: float = 1.0
+    clip_min: float | None = None
+    clip_max: float | None = None
+    round_to: int | None = None
+    zero_fraction: float = 0.0
+
+
+def _correlated_noise(n: int, std: float, ar_coefficient: float,
+                      rng: np.random.Generator) -> np.ndarray:
+    """White or AR(1) noise with the requested marginal standard deviation."""
+    if std <= 0:
+        return np.zeros(n)
+    white = rng.normal(0.0, std, size=n)
+    if ar_coefficient == 0.0:
+        return white
+    if not -1.0 < ar_coefficient < 1.0:
+        raise InvalidParameterError("ar_coefficient must lie in (-1, 1)")
+    innovations = white * np.sqrt(1.0 - ar_coefficient ** 2)
+    noise = np.empty(n)
+    noise[0] = white[0]
+    for t in range(1, n):
+        noise[t] = ar_coefficient * noise[t - 1] + innovations[t]
+    return noise
+
+
+def generate_seasonal_series(config: SyntheticSeriesConfig, *,
+                             seed: int | None = None) -> np.ndarray:
+    """Generate a series from a :class:`SyntheticSeriesConfig`."""
+    n = check_positive_int(config.length, "length")
+    rng = np.random.default_rng(seed)
+    t = np.arange(n, dtype=np.float64)
+    series = np.full(n, float(config.level))
+    for spec in config.seasonalities:
+        series += spec.render(n, rng)
+    series += config.trend_slope * t / 1000.0
+    series += _correlated_noise(n, config.noise_std, config.ar_coefficient, rng)
+    if config.zero_fraction > 0.0 and config.seasonalities:
+        period = config.seasonalities[0].period
+        phase = (t % period) / period
+        mask = phase < config.zero_fraction
+        series[mask] = 0.0
+    series *= config.scale
+    if config.clip_min is not None or config.clip_max is not None:
+        series = np.clip(series, config.clip_min, config.clip_max)
+    if config.round_to is not None:
+        series = np.round(series, config.round_to)
+    return series
+
+
+def generate_random_walk(length: int, *, step_std: float = 1.0, level: float = 0.0,
+                         seed: int | None = None) -> np.ndarray:
+    """Gaussian random walk — a convenient non-seasonal stress test."""
+    length = check_positive_int(length, "length")
+    rng = np.random.default_rng(seed)
+    steps = rng.normal(0.0, step_std, size=length)
+    steps[0] = 0.0
+    return level + np.cumsum(steps)
+
+
+def generate_ar_process(length: int, coefficients: Sequence[float], *,
+                        noise_std: float = 1.0, seed: int | None = None) -> np.ndarray:
+    """Simulate an AR(p) process with the given coefficients.
+
+    Used by tests to produce series whose theoretical ACF/PACF are known.
+    """
+    length = check_positive_int(length, "length")
+    phi = np.asarray(coefficients, dtype=np.float64)
+    order = phi.size
+    if order == 0:
+        raise InvalidParameterError("AR process needs at least one coefficient")
+    rng = np.random.default_rng(seed)
+    burn_in = max(10 * order, 100)
+    total = length + burn_in
+    noise = rng.normal(0.0, noise_std, size=total)
+    x = np.zeros(total)
+    for t in range(order, total):
+        x[t] = float(np.dot(phi, x[t - order:t][::-1])) + noise[t]
+    return x[burn_in:]
+
+
+def generate_intermittent_series(length: int, *, period: int = 2880,
+                                 active_fraction: float = 0.5, peak: float = 100.0,
+                                 noise_std: float = 2.0,
+                                 seed: int | None = None) -> np.ndarray:
+    """Series that is exactly zero for part of every cycle (solar-power shape).
+
+    ``active_fraction`` of each period follows a half-sine bump up to
+    ``peak``; the remainder is zero.  This reproduces SolarPower's unusual
+    75% probability of consecutive equal values (Table 1).
+    """
+    length = check_positive_int(length, "length")
+    period = check_positive_int(period, "period")
+    rng = np.random.default_rng(seed)
+    t = np.arange(length, dtype=np.float64)
+    phase = (t % period) / period
+    series = np.zeros(length)
+    active = phase < active_fraction
+    bump = np.sin(np.pi * phase[active] / active_fraction)
+    series[active] = peak * bump + rng.normal(0.0, noise_std, size=int(active.sum()))
+    return np.clip(series, 0.0, None)
+
+
+def generate_sine_mixture(length: int, periods: Sequence[int], *,
+                          amplitudes: Sequence[float] | None = None,
+                          noise_std: float = 0.05,
+                          seed: int | None = None) -> np.ndarray:
+    """Simple mixture of sines — handy for unit tests with known spectrum."""
+    length = check_positive_int(length, "length")
+    if not periods:
+        raise InvalidParameterError("at least one period is required")
+    if amplitudes is None:
+        amplitudes = [1.0] * len(periods)
+    if len(amplitudes) != len(periods):
+        raise InvalidParameterError("amplitudes must match periods in length")
+    rng = np.random.default_rng(seed)
+    t = np.arange(length, dtype=np.float64)
+    series = np.zeros(length)
+    for period, amplitude in zip(periods, amplitudes):
+        series += amplitude * np.sin(2 * np.pi * t / period)
+    if noise_std > 0:
+        series += rng.normal(0.0, noise_std, size=length)
+    return series

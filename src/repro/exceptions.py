@@ -1,0 +1,52 @@
+"""Exception hierarchy for the CAMEO reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class.  Errors are grouped by the subsystem that raises
+them (compression, statistics, data handling, codecs).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class InvalidSeriesError(ReproError):
+    """A time series input is malformed (empty, non-finite, wrong shape)."""
+
+
+class InvalidParameterError(ReproError):
+    """A user-provided parameter is outside its valid domain."""
+
+
+class CompressionError(ReproError):
+    """A compressor failed to produce a valid compressed representation."""
+
+
+class ConstraintViolationError(CompressionError):
+    """A compressed output violates the requested statistical constraint."""
+
+
+class DecompressionError(ReproError):
+    """A compressed representation cannot be reconstructed."""
+
+
+class CodecError(ReproError):
+    """A lossless codec (Gorilla/Chimp) failed to encode or decode."""
+
+
+class ModelError(ReproError):
+    """A forecasting or anomaly-detection model failed to fit or predict."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated or loaded."""
+
+
+class StorageError(ReproError):
+    """A storage-engine operation (ingest, query, compaction) failed."""
+
+
+class SeriesNotFoundError(StorageError):
+    """The requested series does not exist in the store."""

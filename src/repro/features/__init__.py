@@ -1,0 +1,5 @@
+"""tsfeatures-style statistical features of time series."""
+
+from .extractor import FEATURE_NAMES, extract_features, feature_deviations
+
+__all__ = ["FEATURE_NAMES", "extract_features", "feature_deviations"]

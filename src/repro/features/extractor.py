@@ -1,0 +1,145 @@
+"""Time-series features in the spirit of the ``tsfeatures`` R package.
+
+The Figure 1 experiment correlates the *deviation* of several statistical
+features (measured between the original and the reconstructed series) with
+the impact on forecasting accuracy.  This module computes the features the
+paper lists — trend strength, linearity, curvature, nonlinearity, ACF1,
+ACF10, PACF5 — plus the reconstruction-error metrics (NRMSE, PSNR), and a
+helper that returns the per-feature deviation for a pair of series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_float_array
+from ..exceptions import ModelError
+from ..metrics import nrmse as nrmse_metric
+from ..metrics import psnr as psnr_metric
+from ..stats.acf import acf
+from ..stats.pacf import pacf
+from ..forecasting.stl import decompose
+
+__all__ = ["extract_features", "feature_deviations", "FEATURE_NAMES"]
+
+FEATURE_NAMES = (
+    "trend_strength",
+    "seasonal_strength",
+    "linearity",
+    "curvature",
+    "nonlinearity",
+    "acf1",
+    "acf10",
+    "pacf5",
+)
+
+
+def _orthogonal_poly_coefficients(trend: np.ndarray) -> tuple[float, float]:
+    """Linearity and curvature: coefficients of an orthogonal quadratic fit."""
+    n = trend.size
+    t = np.arange(n, dtype=np.float64)
+    t = (t - t.mean()) / (t.std() or 1.0)
+    design = np.column_stack([np.ones(n), t, t * t - float(np.mean(t * t))])
+    # Orthogonalise the quadratic column against the linear one (they are
+    # already centred); a plain least squares fit is adequate here.
+    solution, _res, _rank, _sv = np.linalg.lstsq(design, trend, rcond=None)
+    return float(solution[1]), float(solution[2])
+
+
+def _nonlinearity(values: np.ndarray) -> float:
+    """Teräsvirta-style nonlinearity score (scaled F statistic).
+
+    Regress the series on its first two lags, then test whether squared and
+    cubed lag terms explain additional variance.  The returned value is the
+    scaled test statistic used by ``tsfeatures``.
+    """
+    n = values.size
+    if n < 10:
+        return 0.0
+    y = values[2:]
+    lag1 = values[1:-1]
+    lag2 = values[:-2]
+    base = np.column_stack([np.ones_like(y), lag1, lag2])
+    extended = np.column_stack([base, lag1 ** 2, lag1 * lag2, lag2 ** 2,
+                                lag1 ** 3, lag1 ** 2 * lag2, lag1 * lag2 ** 2, lag2 ** 3])
+    base_fit, _r, _k, _s = np.linalg.lstsq(base, y, rcond=None)
+    extended_fit, _r2, _k2, _s2 = np.linalg.lstsq(extended, y, rcond=None)
+    sse_base = float(np.sum((y - base @ base_fit) ** 2))
+    sse_extended = float(np.sum((y - extended @ extended_fit) ** 2))
+    if sse_base <= 0.0:
+        return 0.0
+    statistic = y.size * np.log(max(sse_base, 1e-300) / max(sse_extended, 1e-300))
+    return float(statistic / y.size * 10.0)
+
+
+def extract_features(values, *, period: int | None = None, max_lag: int = 10) -> dict:
+    """Compute the Figure-1 feature set for one series.
+
+    Parameters
+    ----------
+    values:
+        Input series.
+    period:
+        Seasonal period used by the trend/seasonal-strength decomposition;
+        ``None`` (or a period that does not fit twice) skips the seasonal
+        strength and derives the trend from a long moving average instead.
+    max_lag:
+        Number of lags used for the ACF-family features (>= 10 recommended).
+    """
+    values = as_float_array(values)
+    max_lag = max(int(max_lag), 10)
+    effective_lag = min(max_lag, values.size - 2)
+    acf_values = acf(values, effective_lag)
+    pacf_values = pacf(values, min(effective_lag, 5))
+
+    features: dict[str, float] = {
+        "acf1": float(acf_values[0]),
+        "acf10": float(np.sum(acf_values[: min(10, acf_values.size)] ** 2)),
+        "pacf5": float(np.sum(pacf_values[: min(5, pacf_values.size)] ** 2)),
+        "nonlinearity": _nonlinearity(values),
+    }
+
+    trend = None
+    if period is not None and period >= 2 and values.size >= 2 * period:
+        try:
+            decomposition = decompose(values, period)
+            features["trend_strength"] = decomposition.trend_strength()
+            features["seasonal_strength"] = decomposition.seasonal_strength()
+            trend = decomposition.trend
+        except ModelError:
+            trend = None
+    if trend is None:
+        window = max(values.size // 10, 3)
+        kernel = np.ones(window) / window
+        trend = np.convolve(np.pad(values, (window // 2, window // 2), mode="edge"),
+                            kernel, mode="valid")[: values.size]
+        remainder = values - trend
+        denominator = float(np.var(values))
+        features.setdefault("trend_strength",
+                            float(max(0.0, 1.0 - np.var(remainder) / denominator))
+                            if denominator else 0.0)
+        features.setdefault("seasonal_strength", 0.0)
+
+    linearity, curvature = _orthogonal_poly_coefficients(trend)
+    features["linearity"] = linearity
+    features["curvature"] = curvature
+    return features
+
+
+def feature_deviations(original, reconstructed, *, period: int | None = None,
+                       max_lag: int = 10) -> dict:
+    """Absolute per-feature deviation between a series and its reconstruction.
+
+    Also includes the two reconstruction-error metrics the paper compares the
+    features against: NRMSE and PSNR (the PSNR is negated so that *larger*
+    always means *worse*, making correlation signs comparable).
+    """
+    original = as_float_array(original)
+    reconstructed = as_float_array(reconstructed)
+    features_a = extract_features(original, period=period, max_lag=max_lag)
+    features_b = extract_features(reconstructed, period=period, max_lag=max_lag)
+    deviations = {name: abs(features_a[name] - features_b[name]) for name in features_a}
+    deviations["nrmse"] = nrmse_metric(original, reconstructed)
+    psnr_value = psnr_metric(original, reconstructed)
+    deviations["psnr"] = 0.0 if np.isinf(psnr_value) else -psnr_value
+    return deviations

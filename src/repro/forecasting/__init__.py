@@ -1,0 +1,37 @@
+"""Forecasting substrate: ETS family, STL, AR/ARIMA-lite, DHR, MLP, Box-Cox."""
+
+from .arima import AutoRegressive, yule_walker
+from .base import Forecaster, ForecastEvaluation, evaluate_forecast, train_test_split
+from .boxcox import BoxCoxTransform, boxcox_transform, inverse_boxcox_transform
+from .dhr import DynamicHarmonicRegression, fourier_terms
+from .ets import HoltLinear, HoltWinters, SimpleExponentialSmoothing
+from .mlp import MLPAutoregressor
+from .naive import DriftForecaster, NaiveForecaster, ThetaForecaster
+from .pipelines import STLForecaster, SeasonalNaive, make_forecaster
+from .stl import SeasonalDecomposition, decompose
+
+__all__ = [
+    "Forecaster",
+    "ForecastEvaluation",
+    "evaluate_forecast",
+    "train_test_split",
+    "SimpleExponentialSmoothing",
+    "HoltLinear",
+    "HoltWinters",
+    "SeasonalDecomposition",
+    "decompose",
+    "AutoRegressive",
+    "yule_walker",
+    "DynamicHarmonicRegression",
+    "fourier_terms",
+    "MLPAutoregressor",
+    "NaiveForecaster",
+    "DriftForecaster",
+    "ThetaForecaster",
+    "STLForecaster",
+    "SeasonalNaive",
+    "make_forecaster",
+    "BoxCoxTransform",
+    "boxcox_transform",
+    "inverse_boxcox_transform",
+]

@@ -1,0 +1,137 @@
+"""Autoregressive forecasting models (AR, ARIMA-lite).
+
+The STL-ARIMA and DHR-ARIMA pipelines of the paper need an autoregressive
+error/trend model.  This module provides:
+
+* :func:`yule_walker` — AR coefficient estimation from the autocovariance,
+* :class:`AutoRegressive` — AR(p) with optional differencing and drift,
+  fitted by ordinary least squares (more robust on short series than
+  Yule-Walker) with an AIC-based automatic order selection.
+
+The implementation intentionally covers the subset of ARIMA used by the
+experiments: AR terms + differencing (``d`` in {0, 1}); a full MA component
+is unnecessary for reproducing the relative compression-impact results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_float_array, check_positive_int
+from ..exceptions import ModelError
+from .base import Forecaster
+
+__all__ = ["yule_walker", "AutoRegressive"]
+
+
+def yule_walker(values, order: int) -> np.ndarray:
+    """Estimate AR(p) coefficients by solving the Yule-Walker equations."""
+    values = as_float_array(values)
+    order = check_positive_int(order, "order")
+    if order >= values.size:
+        raise ModelError("AR order must be smaller than the series length")
+    centred = values - np.mean(values)
+    n = centred.size
+    autocovariance = np.array([
+        float(np.dot(centred[: n - lag], centred[lag:])) / n for lag in range(order + 1)
+    ])
+    if autocovariance[0] == 0.0:
+        return np.zeros(order)
+    r_matrix = np.array([[autocovariance[abs(i - j)] for j in range(order)]
+                         for i in range(order)])
+    rhs = autocovariance[1:order + 1]
+    try:
+        return np.linalg.solve(r_matrix, rhs)
+    except np.linalg.LinAlgError:
+        return np.linalg.lstsq(r_matrix, rhs, rcond=None)[0]
+
+
+class AutoRegressive(Forecaster):
+    """AR(p) forecaster with optional first differencing (ARIMA(p, d, 0)).
+
+    Parameters
+    ----------
+    order:
+        AR order ``p``; ``None`` selects the order in ``1..max_order`` by AIC.
+    difference:
+        Differencing order ``d`` (0 or 1).
+    max_order:
+        Upper bound for automatic order selection.
+    """
+
+    name = "ARIMA"
+
+    def __init__(self, order: int | None = None, *, difference: int = 0,
+                 max_order: int = 10):
+        super().__init__()
+        if difference not in (0, 1):
+            raise ModelError("difference must be 0 or 1")
+        self.order = order
+        self.difference = difference
+        self.max_order = check_positive_int(max_order, "max_order")
+        self.coefficients_: np.ndarray = np.zeros(0)
+        self.intercept_: float = 0.0
+        self.history_: np.ndarray = np.zeros(0)
+        self.last_value_: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _design_matrix(values: np.ndarray, order: int) -> tuple[np.ndarray, np.ndarray]:
+        rows = values.size - order
+        design = np.empty((rows, order + 1))
+        design[:, 0] = 1.0
+        for lag in range(1, order + 1):
+            design[:, lag] = values[order - lag: values.size - lag]
+        target = values[order:]
+        return design, target
+
+    def _fit_order(self, values: np.ndarray, order: int
+                   ) -> tuple[np.ndarray, float, float]:
+        design, target = self._design_matrix(values, order)
+        solution, residuals, _rank, _sv = np.linalg.lstsq(design, target, rcond=None)
+        prediction = design @ solution
+        sse = float(np.sum((target - prediction) ** 2))
+        n = target.size
+        sigma2 = max(sse / max(n, 1), 1e-12)
+        aic = n * np.log(sigma2) + 2 * (order + 1)
+        return solution, sse, float(aic)
+
+    def fit(self, values) -> "AutoRegressive":
+        values = as_float_array(values)
+        if values.size < 8:
+            raise ModelError("AutoRegressive needs at least 8 observations")
+        self.last_value_ = float(values[-1])
+        working = np.diff(values) if self.difference == 1 else values.copy()
+
+        if self.order is None:
+            best = None
+            upper = min(self.max_order, working.size // 3)
+            upper = max(upper, 1)
+            for order in range(1, upper + 1):
+                solution, _sse, aic = self._fit_order(working, order)
+                if best is None or aic < best[0]:
+                    best = (aic, order, solution)
+            _aic, order, solution = best
+            self.order = order
+        else:
+            solution, _sse, _aic = self._fit_order(working, int(self.order))
+        self.intercept_ = float(solution[0])
+        self.coefficients_ = np.asarray(solution[1:], dtype=np.float64)
+        self.history_ = working[-len(self.coefficients_):].copy()
+        self._fitted = True
+        return self
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        self._require_fitted()
+        horizon = check_positive_int(horizon, "horizon")
+        order = self.coefficients_.size
+        history = list(self.history_[-order:])
+        predictions = np.empty(horizon)
+        for step in range(horizon):
+            lagged = np.asarray(history[::-1][:order])
+            value = self.intercept_ + float(np.dot(self.coefficients_, lagged))
+            predictions[step] = value
+            history.append(value)
+        if self.difference == 1:
+            return self.last_value_ + np.cumsum(predictions)
+        return predictions

@@ -1,0 +1,90 @@
+"""Common forecasting-model interface.
+
+All models follow the scikit-learn-like two-phase contract used by the
+paper's forecasting experiments: ``fit(train_values)`` then
+``forecast(horizon)``.  The helper :func:`evaluate_forecast` trains a model
+on (possibly decompressed) data and scores the forecast against the *raw*
+hold-out, which is exactly the protocol of EXP1-EXP3 (Section 5.8).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_float_array, check_positive_int
+from ..exceptions import ModelError
+from ..metrics import get_metric
+
+__all__ = ["Forecaster", "ForecastEvaluation", "evaluate_forecast", "train_test_split"]
+
+
+class Forecaster(ABC):
+    """Base class for univariate point forecasters."""
+
+    #: Identifier used in benchmark tables.
+    name: str = "forecaster"
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    @abstractmethod
+    def fit(self, values) -> "Forecaster":
+        """Fit the model on the training series and return ``self``."""
+
+    @abstractmethod
+    def forecast(self, horizon: int) -> np.ndarray:
+        """Forecast ``horizon`` steps beyond the training series."""
+
+    def fit_forecast(self, values, horizon: int) -> np.ndarray:
+        """Convenience: ``fit`` followed by ``forecast``."""
+        return self.fit(values).forecast(horizon)
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise ModelError(f"{self.__class__.__name__} must be fitted before forecasting")
+
+
+def train_test_split(values, horizon: int) -> tuple[np.ndarray, np.ndarray]:
+    """Split a series into a training prefix and a ``horizon``-long hold-out."""
+    values = as_float_array(values)
+    horizon = check_positive_int(horizon, "horizon")
+    if horizon >= values.size:
+        raise ModelError(f"horizon ({horizon}) must be smaller than the series ({values.size})")
+    return values[:-horizon].copy(), values[-horizon:].copy()
+
+
+@dataclass
+class ForecastEvaluation:
+    """Result of evaluating one model on one (possibly compressed) series."""
+
+    model: str
+    horizon: int
+    error: float
+    metric: str
+    forecast: np.ndarray
+    actual: np.ndarray
+
+
+def evaluate_forecast(model: Forecaster, train_values, actual_future, *,
+                      metric="msmape") -> ForecastEvaluation:
+    """Train ``model`` on ``train_values`` and score against ``actual_future``.
+
+    ``train_values`` is typically the *decompressed* training prefix while
+    ``actual_future`` always comes from the raw series, mirroring the paper's
+    evaluation protocol (models trained on compressed data, accuracy measured
+    against reality).
+    """
+    actual = as_float_array(actual_future)
+    prediction = model.fit_forecast(train_values, actual.size)
+    prediction = np.asarray(prediction, dtype=np.float64)
+    if prediction.shape != actual.shape:
+        raise ModelError(
+            f"forecast shape {prediction.shape} does not match actual {actual.shape}")
+    metric_fn = get_metric(metric)
+    error = float(metric_fn(actual, prediction))
+    return ForecastEvaluation(model=model.name, horizon=actual.size, error=error,
+                              metric=metric if isinstance(metric, str) else "custom",
+                              forecast=prediction, actual=actual)

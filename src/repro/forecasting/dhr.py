@@ -1,0 +1,108 @@
+"""Dynamic Harmonic Regression (DHR-ARIMA).
+
+EXP3 of the paper forecasts highly seasonal series with DHR-ARIMA: the
+seasonality is captured by Fourier regressors (sin/cos pairs at harmonics of
+the seasonal period) and the regression errors follow an ARIMA process.  This
+implementation fits the harmonic regression by least squares and models the
+residuals with :class:`repro.forecasting.arima.AutoRegressive`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_float_array, check_positive_int
+from ..exceptions import ModelError
+from .arima import AutoRegressive
+from .base import Forecaster
+
+__all__ = ["DynamicHarmonicRegression", "fourier_terms"]
+
+
+def fourier_terms(length: int, period: float, num_harmonics: int, *,
+                  start: int = 0) -> np.ndarray:
+    """Fourier design matrix with ``2 * num_harmonics`` columns.
+
+    Column ``2k`` is ``sin(2 pi (k+1) t / period)`` and column ``2k+1`` the
+    matching cosine, for ``t = start .. start + length - 1``.
+    """
+    length = check_positive_int(length, "length")
+    num_harmonics = check_positive_int(num_harmonics, "num_harmonics")
+    t = np.arange(start, start + length, dtype=np.float64)
+    columns = []
+    for harmonic in range(1, num_harmonics + 1):
+        angle = 2.0 * np.pi * harmonic * t / float(period)
+        columns.append(np.sin(angle))
+        columns.append(np.cos(angle))
+    return np.column_stack(columns)
+
+
+class DynamicHarmonicRegression(Forecaster):
+    """Fourier-regression mean with autoregressive errors.
+
+    Parameters
+    ----------
+    period:
+        Seasonal period in samples.
+    num_harmonics:
+        Number of sin/cos harmonic pairs (K).  More harmonics follow sharper
+        seasonal shapes at the cost of more coefficients.
+    error_order:
+        AR order for the residual model; ``None`` selects it by AIC.
+    trend:
+        Include a linear time trend regressor.
+    """
+
+    name = "DHR-ARIMA"
+
+    def __init__(self, period: int, num_harmonics: int = 3, *,
+                 error_order: int | None = None, trend: bool = True):
+        super().__init__()
+        self.period = check_positive_int(period, "period")
+        self.num_harmonics = check_positive_int(num_harmonics, "num_harmonics")
+        if 2 * self.num_harmonics > self.period:
+            raise ModelError("num_harmonics must not exceed period / 2")
+        self.error_order = error_order
+        self.trend = trend
+        self.coefficients_: np.ndarray = np.zeros(0)
+        self.residual_model_: AutoRegressive | None = None
+        self.train_length_: int = 0
+
+    def _design(self, length: int, start: int) -> np.ndarray:
+        harmonics = fourier_terms(length, self.period, self.num_harmonics, start=start)
+        columns = [np.ones(length), harmonics]
+        if self.trend:
+            t = np.arange(start, start + length, dtype=np.float64)
+            columns.insert(1, (t / max(self.train_length_, 1)).reshape(-1, 1))
+        pieces = []
+        for column in columns:
+            column = np.asarray(column, dtype=np.float64)
+            pieces.append(column.reshape(length, -1))
+        return np.hstack(pieces)
+
+    def fit(self, values) -> "DynamicHarmonicRegression":
+        values = as_float_array(values)
+        if values.size < 2 * self.period:
+            raise ModelError(
+                f"DHR needs at least two seasonal cycles ({2 * self.period} points)")
+        self.train_length_ = values.size
+        design = self._design(values.size, 0)
+        solution, _residuals, _rank, _sv = np.linalg.lstsq(design, values, rcond=None)
+        self.coefficients_ = solution
+        residuals = values - design @ solution
+        self.residual_model_ = AutoRegressive(self.error_order, max_order=5)
+        try:
+            self.residual_model_.fit(residuals)
+        except ModelError:
+            self.residual_model_ = None
+        self._fitted = True
+        return self
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        self._require_fitted()
+        horizon = check_positive_int(horizon, "horizon")
+        design = self._design(horizon, self.train_length_)
+        mean_forecast = design @ self.coefficients_
+        if self.residual_model_ is not None:
+            mean_forecast = mean_forecast + self.residual_model_.forecast(horizon)
+        return mean_forecast

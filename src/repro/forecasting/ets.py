@@ -1,0 +1,207 @@
+"""Exponential smoothing forecasters (simple, Holt, Holt-Winters).
+
+The paper's EXP1 uses the Holt-Winters model and the Monash benchmark (EXP2)
+pairs STL decomposition with exponential smoothing (STL-ETS).  All variants
+here are additive; smoothing parameters are either user-provided or fitted by
+minimising the in-sample one-step-ahead squared error with
+``scipy.optimize.minimize`` (Nelder-Mead, bounded by clipping).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize
+
+from .._validation import as_float_array, check_positive_int
+from ..exceptions import ModelError
+from .base import Forecaster
+
+__all__ = ["SimpleExponentialSmoothing", "HoltLinear", "HoltWinters"]
+
+
+def _clip_unit(value: float) -> float:
+    return float(min(max(value, 1e-4), 1.0 - 1e-4))
+
+
+class SimpleExponentialSmoothing(Forecaster):
+    """Level-only exponential smoothing (flat forecast)."""
+
+    name = "SES"
+
+    def __init__(self, alpha: float | None = None):
+        super().__init__()
+        self.alpha = alpha
+        self.level_: float = 0.0
+
+    def _sse(self, alpha: float, values: np.ndarray) -> float:
+        level = values[0]
+        sse = 0.0
+        for value in values[1:]:
+            sse += (value - level) ** 2
+            level = alpha * value + (1 - alpha) * level
+        return sse
+
+    def fit(self, values) -> "SimpleExponentialSmoothing":
+        values = as_float_array(values)
+        if self.alpha is None:
+            result = optimize.minimize_scalar(
+                lambda a: self._sse(_clip_unit(a), values), bounds=(0.01, 0.99),
+                method="bounded")
+            self.alpha = _clip_unit(result.x)
+        level = values[0]
+        for value in values[1:]:
+            level = self.alpha * value + (1 - self.alpha) * level
+        self.level_ = float(level)
+        self._fitted = True
+        return self
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        self._require_fitted()
+        horizon = check_positive_int(horizon, "horizon")
+        return np.full(horizon, self.level_)
+
+
+class HoltLinear(Forecaster):
+    """Holt's linear trend method (level + trend, optional damping)."""
+
+    name = "Holt"
+
+    def __init__(self, alpha: float | None = None, beta: float | None = None,
+                 damped: bool = False, phi: float = 0.98):
+        super().__init__()
+        self.alpha = alpha
+        self.beta = beta
+        self.damped = damped
+        self.phi = float(phi)
+        self.level_: float = 0.0
+        self.trend_: float = 0.0
+
+    def _run(self, values: np.ndarray, alpha: float, beta: float
+             ) -> tuple[float, float, float]:
+        level = values[0]
+        trend = values[1] - values[0] if values.size > 1 else 0.0
+        phi = self.phi if self.damped else 1.0
+        sse = 0.0
+        for value in values[1:]:
+            prediction = level + phi * trend
+            sse += (value - prediction) ** 2
+            new_level = alpha * value + (1 - alpha) * prediction
+            trend = beta * (new_level - level) + (1 - beta) * phi * trend
+            level = new_level
+        return level, trend, sse
+
+    def fit(self, values) -> "HoltLinear":
+        values = as_float_array(values)
+        if values.size < 3:
+            raise ModelError("Holt's method needs at least 3 observations")
+        if self.alpha is None or self.beta is None:
+            def objective(params):
+                alpha, beta = (_clip_unit(params[0]), _clip_unit(params[1]))
+                return self._run(values, alpha, beta)[2]
+
+            result = optimize.minimize(objective, x0=np.array([0.3, 0.1]),
+                                       method="Nelder-Mead",
+                                       options={"maxiter": 200, "xatol": 1e-3})
+            self.alpha = _clip_unit(result.x[0])
+            self.beta = _clip_unit(result.x[1])
+        level, trend, _sse = self._run(values, self.alpha, self.beta)
+        self.level_, self.trend_ = float(level), float(trend)
+        self._fitted = True
+        return self
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        self._require_fitted()
+        horizon = check_positive_int(horizon, "horizon")
+        steps = np.arange(1, horizon + 1, dtype=np.float64)
+        if self.damped:
+            phi_sum = np.cumsum(self.phi ** steps)
+            return self.level_ + phi_sum * self.trend_
+        return self.level_ + steps * self.trend_
+
+
+class HoltWinters(Forecaster):
+    """Additive Holt-Winters (level + trend + seasonality).
+
+    Parameters
+    ----------
+    period:
+        Seasonal period in samples.
+    alpha, beta, gamma:
+        Smoothing parameters; any left as ``None`` are fitted by minimising
+        the in-sample one-step-ahead SSE.
+    """
+
+    name = "Holt-Winters"
+
+    def __init__(self, period: int, alpha: float | None = None,
+                 beta: float | None = None, gamma: float | None = None):
+        super().__init__()
+        self.period = check_positive_int(period, "period")
+        self.alpha = alpha
+        self.beta = beta
+        self.gamma = gamma
+        self.level_: float = 0.0
+        self.trend_: float = 0.0
+        self.seasonals_: np.ndarray = np.zeros(self.period)
+
+    # ------------------------------------------------------------------ #
+    def _initial_state(self, values: np.ndarray) -> tuple[float, float, np.ndarray]:
+        period = self.period
+        seasons = values.size // period
+        first_cycle = values[:period]
+        level = float(np.mean(first_cycle))
+        if seasons >= 2:
+            second_cycle = values[period:2 * period]
+            trend = float((np.mean(second_cycle) - np.mean(first_cycle)) / period)
+        else:
+            trend = 0.0
+        seasonals = first_cycle - level
+        return level, trend, seasonals.astype(np.float64)
+
+    def _run(self, values: np.ndarray, alpha: float, beta: float, gamma: float
+             ) -> tuple[float, float, np.ndarray, float]:
+        period = self.period
+        level, trend, seasonals = self._initial_state(values)
+        seasonals = seasonals.copy()
+        sse = 0.0
+        for t in range(values.size):
+            season_index = t % period
+            prediction = level + trend + seasonals[season_index]
+            error = values[t] - prediction
+            if t >= period:
+                sse += error * error
+            new_level = alpha * (values[t] - seasonals[season_index]) + (1 - alpha) * (
+                level + trend)
+            trend = beta * (new_level - level) + (1 - beta) * trend
+            seasonals[season_index] = gamma * (values[t] - new_level) + (
+                1 - gamma) * seasonals[season_index]
+            level = new_level
+        return level, trend, seasonals, sse
+
+    def fit(self, values) -> "HoltWinters":
+        values = as_float_array(values)
+        if values.size < 2 * self.period:
+            raise ModelError(
+                f"Holt-Winters needs at least two seasonal cycles "
+                f"({2 * self.period} points), got {values.size}")
+        if self.alpha is None or self.beta is None or self.gamma is None:
+            def objective(params):
+                alpha, beta, gamma = (_clip_unit(p) for p in params)
+                return self._run(values, alpha, beta, gamma)[3]
+
+            result = optimize.minimize(objective, x0=np.array([0.3, 0.05, 0.1]),
+                                       method="Nelder-Mead",
+                                       options={"maxiter": 300, "xatol": 1e-3})
+            self.alpha, self.beta, self.gamma = (_clip_unit(p) for p in result.x)
+        level, trend, seasonals, _sse = self._run(values, self.alpha, self.beta, self.gamma)
+        self.level_, self.trend_, self.seasonals_ = float(level), float(trend), seasonals
+        self._last_index = values.size
+        self._fitted = True
+        return self
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        self._require_fitted()
+        horizon = check_positive_int(horizon, "horizon")
+        steps = np.arange(1, horizon + 1, dtype=np.float64)
+        season_indices = (self._last_index + np.arange(horizon)) % self.period
+        return self.level_ + steps * self.trend_ + self.seasonals_[season_indices]

@@ -1,0 +1,147 @@
+"""Windowed MLP autoregressor — the offline stand-in for the paper's LSTM.
+
+The paper trains an LSTM on (compressed) series and forecasts the last 24
+points.  No deep-learning framework is available offline, so this module
+implements a small fully-connected network in NumPy:
+
+* input: the previous ``window`` (standardised) values,
+* one hidden ``tanh`` layer,
+* linear output predicting the next value,
+* training by mini-batch gradient descent with Adam,
+* multi-step forecasts produced recursively.
+
+Like an LSTM it is a nonlinear learner of temporal structure whose accuracy
+degrades when compression destroys the autocorrelation pattern — which is the
+property the EXP2/EXP3 experiments measure.  The substitution is documented in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_float_array, check_positive_int
+from ..exceptions import ModelError
+from .base import Forecaster
+
+__all__ = ["MLPAutoregressor"]
+
+
+class MLPAutoregressor(Forecaster):
+    """One-hidden-layer neural autoregressor trained with Adam.
+
+    Parameters
+    ----------
+    window:
+        Number of lagged inputs.
+    hidden_units:
+        Width of the hidden layer.
+    epochs, batch_size, learning_rate:
+        Training schedule.
+    seed:
+        Seed for weight initialisation and batch shuffling, making runs
+        reproducible.
+    """
+
+    name = "MLP"
+
+    def __init__(self, window: int = 24, hidden_units: int = 32, *, epochs: int = 60,
+                 batch_size: int = 32, learning_rate: float = 0.01, seed: int = 0):
+        super().__init__()
+        self.window = check_positive_int(window, "window")
+        self.hidden_units = check_positive_int(hidden_units, "hidden_units")
+        self.epochs = check_positive_int(epochs, "epochs")
+        self.batch_size = check_positive_int(batch_size, "batch_size")
+        self.learning_rate = float(learning_rate)
+        self.seed = int(seed)
+        self._weights: dict[str, np.ndarray] = {}
+        self._mean = 0.0
+        self._std = 1.0
+        self._history: np.ndarray = np.zeros(0)
+
+    # ------------------------------------------------------------------ #
+    def _make_dataset(self, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        window = self.window
+        rows = values.size - window
+        inputs = np.empty((rows, window))
+        targets = np.empty(rows)
+        for row in range(rows):
+            inputs[row] = values[row:row + window]
+            targets[row] = values[row + window]
+        return inputs, targets
+
+    def _forward(self, inputs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        hidden = np.tanh(inputs @ self._weights["w1"] + self._weights["b1"])
+        output = hidden @ self._weights["w2"] + self._weights["b2"]
+        return hidden, output.ravel()
+
+    def fit(self, values) -> "MLPAutoregressor":
+        values = as_float_array(values)
+        if values.size < self.window + 8:
+            raise ModelError(
+                f"MLPAutoregressor needs at least {self.window + 8} observations")
+        self._mean = float(np.mean(values))
+        self._std = float(np.std(values)) or 1.0
+        normalised = (values - self._mean) / self._std
+        self._history = normalised[-self.window:].copy()
+        inputs, targets = self._make_dataset(normalised)
+
+        rng = np.random.default_rng(self.seed)
+        scale = 1.0 / np.sqrt(self.window)
+        self._weights = {
+            "w1": rng.normal(0.0, scale, size=(self.window, self.hidden_units)),
+            "b1": np.zeros(self.hidden_units),
+            "w2": rng.normal(0.0, 1.0 / np.sqrt(self.hidden_units),
+                             size=(self.hidden_units, 1)),
+            "b2": np.zeros(1),
+        }
+        moments = {key: (np.zeros_like(value), np.zeros_like(value))
+                   for key, value in self._weights.items()}
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        indices = np.arange(inputs.shape[0])
+
+        for _epoch in range(self.epochs):
+            rng.shuffle(indices)
+            for start in range(0, indices.size, self.batch_size):
+                batch = indices[start:start + self.batch_size]
+                batch_inputs = inputs[batch]
+                batch_targets = targets[batch]
+                hidden = np.tanh(batch_inputs @ self._weights["w1"] + self._weights["b1"])
+                prediction = (hidden @ self._weights["w2"] + self._weights["b2"]).ravel()
+                error = prediction - batch_targets
+                batch_size = batch.size
+
+                grad_output = (error / batch_size).reshape(-1, 1)
+                grads = {
+                    "w2": hidden.T @ grad_output,
+                    "b2": grad_output.sum(axis=0),
+                }
+                grad_hidden = (grad_output @ self._weights["w2"].T) * (1.0 - hidden ** 2)
+                grads["w1"] = batch_inputs.T @ grad_hidden
+                grads["b1"] = grad_hidden.sum(axis=0)
+
+                step += 1
+                for key, gradient in grads.items():
+                    m, v = moments[key]
+                    m = beta1 * m + (1 - beta1) * gradient
+                    v = beta2 * v + (1 - beta2) * gradient * gradient
+                    moments[key] = (m, v)
+                    m_hat = m / (1 - beta1 ** step)
+                    v_hat = v / (1 - beta2 ** step)
+                    self._weights[key] = self._weights[key] - self.learning_rate * m_hat / (
+                        np.sqrt(v_hat) + eps)
+        self._fitted = True
+        return self
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        self._require_fitted()
+        horizon = check_positive_int(horizon, "horizon")
+        history = self._history.copy()
+        predictions = np.empty(horizon)
+        for step in range(horizon):
+            _hidden, output = self._forward(history.reshape(1, -1))
+            predictions[step] = float(output[0])
+            history = np.roll(history, -1)
+            history[-1] = predictions[step]
+        return predictions * self._std + self._mean

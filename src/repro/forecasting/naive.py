@@ -1,0 +1,160 @@
+"""Simple forecasting baselines: naive, drift, and the Theta method.
+
+The paper's forecasting experiments (Section 5.8) compare models trained on
+compressed data against models trained on raw data.  These classical
+baselines serve as sanity anchors in those experiments: a compressor that
+degrades a sophisticated model below the naive forecast has destroyed the
+temporal structure the model needed.
+
+* :class:`NaiveForecaster` — repeat the last observation.
+* :class:`DriftForecaster` — extrapolate the straight line between the first
+  and last observation (Hyndman & Athanasopoulos, "Forecasting: principles
+  and practice").
+* :class:`ThetaForecaster` — the Theta(0, 2) method: simple exponential
+  smoothing of the series plus half the slope of the fitted linear trend,
+  equivalent to the classical Theta method of Assimakopoulos & Nikolopoulos
+  that won the M3 competition.  An optional seasonal period applies classical
+  multiplicative seasonal adjustment before smoothing and restores it on the
+  forecast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_float_array, check_positive_int
+from ..exceptions import InvalidParameterError, ModelError
+from .base import Forecaster
+from .ets import SimpleExponentialSmoothing
+
+__all__ = ["NaiveForecaster", "DriftForecaster", "ThetaForecaster"]
+
+
+class NaiveForecaster(Forecaster):
+    """Forecast every future step with the last observed value."""
+
+    name = "Naive"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last = 0.0
+
+    def fit(self, values) -> "NaiveForecaster":
+        values = as_float_array(values)
+        self._last = float(values[-1])
+        self._fitted = True
+        return self
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        self._require_fitted()
+        horizon = check_positive_int(horizon, "horizon")
+        return np.full(horizon, self._last, dtype=np.float64)
+
+
+class DriftForecaster(Forecaster):
+    """Extrapolate the line through the first and last training observation."""
+
+    name = "Drift"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last = 0.0
+        self._slope = 0.0
+
+    def fit(self, values) -> "DriftForecaster":
+        values = as_float_array(values)
+        if values.size < 2:
+            raise ModelError("DriftForecaster needs at least two observations")
+        self._last = float(values[-1])
+        self._slope = float(values[-1] - values[0]) / float(values.size - 1)
+        self._fitted = True
+        return self
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        self._require_fitted()
+        horizon = check_positive_int(horizon, "horizon")
+        steps = np.arange(1, horizon + 1, dtype=np.float64)
+        return self._last + self._slope * steps
+
+
+class ThetaForecaster(Forecaster):
+    """Theta(0, 2) forecasting with optional classical seasonal adjustment.
+
+    The forecast is the simple-exponential-smoothing level of the
+    (deseasonalised) series plus half the slope of its least-squares linear
+    trend, re-seasonalised when a ``period`` is given.
+
+    Parameters
+    ----------
+    period:
+        Seasonal period; 0 or 1 disables seasonal adjustment.
+    alpha:
+        Smoothing parameter of the SES component; ``None`` lets the SES model
+        pick its default.
+    """
+
+    def __init__(self, period: int = 0, alpha: float | None = None):
+        super().__init__()
+        if period < 0:
+            raise InvalidParameterError("period must be >= 0")
+        self.period = int(period)
+        self.alpha = alpha
+        self.name = f"Theta{self.period}" if self.period > 1 else "Theta"
+        self._ses: SimpleExponentialSmoothing | None = None
+        self._slope = 0.0
+        self._train_length = 0
+        self._seasonal_cycle: np.ndarray | None = None
+
+    # ------------------------------------------------------------------ #
+    def fit(self, values) -> "ThetaForecaster":
+        values = as_float_array(values)
+        if values.size < 3:
+            raise ModelError("ThetaForecaster needs at least three observations")
+        if self.period > 1 and values.size < 2 * self.period:
+            raise ModelError(
+                "ThetaForecaster needs at least two full seasonal cycles "
+                f"({2 * self.period} points) for seasonal adjustment")
+
+        adjusted = values
+        self._seasonal_cycle = None
+        if self.period > 1:
+            self._seasonal_cycle = self._seasonal_indices(values, self.period)
+            tiled = np.tile(self._seasonal_cycle,
+                            int(np.ceil(values.size / self.period)))[: values.size]
+            adjusted = values / tiled
+
+        # Theta line with theta = 2 doubles the curvature; averaging it with
+        # the theta = 0 line (the linear trend) yields SES + slope / 2.
+        time_index = np.arange(adjusted.size, dtype=np.float64)
+        slope, _intercept = np.polyfit(time_index, adjusted, 1)
+        self._slope = float(slope)
+        ses_kwargs = {} if self.alpha is None else {"alpha": self.alpha}
+        self._ses = SimpleExponentialSmoothing(**ses_kwargs).fit(adjusted)
+        self._train_length = adjusted.size
+        self._fitted = True
+        return self
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        self._require_fitted()
+        horizon = check_positive_int(horizon, "horizon")
+        assert self._ses is not None
+        level = self._ses.forecast(horizon)
+        steps = np.arange(1, horizon + 1, dtype=np.float64)
+        forecast = level + 0.5 * self._slope * steps
+        if self._seasonal_cycle is not None:
+            phases = (self._train_length + np.arange(horizon)) % self.period
+            forecast = forecast * self._seasonal_cycle[phases]
+        return forecast
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _seasonal_indices(values: np.ndarray, period: int) -> np.ndarray:
+        """Multiplicative seasonal indices from per-phase means, normalised."""
+        usable = values[: values.size - values.size % period]
+        phase_means = usable.reshape(-1, period).mean(axis=0)
+        overall = float(np.mean(usable))
+        if overall == 0.0 or np.any(phase_means == 0.0):
+            # Fall back to a flat seasonal profile for centred/zero data.
+            return np.ones(period, dtype=np.float64)
+        indices = phase_means / overall
+        return indices / float(np.mean(indices))

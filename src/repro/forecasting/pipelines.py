@@ -1,0 +1,125 @@
+"""Composite forecasting pipelines used by the paper's experiments.
+
+* :class:`STLForecaster` — decompose the series, forecast the seasonally
+  adjusted part with a base model (ETS or ARIMA), and add back the last
+  seasonal cycle (the ``STL-ETS`` / ``STL-ARIMA`` models of EXP2).
+* :class:`SeasonalNaive` — repeat the last observed cycle; the sanity-check
+  baseline every seasonal model should beat.
+* :func:`make_forecaster` — construct any model used in the benchmarks from
+  its short name.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_float_array, check_positive_int
+from ..exceptions import InvalidParameterError, ModelError
+from .arima import AutoRegressive
+from .base import Forecaster
+from .dhr import DynamicHarmonicRegression
+from .ets import HoltLinear, HoltWinters, SimpleExponentialSmoothing
+from .mlp import MLPAutoregressor
+from .naive import DriftForecaster, NaiveForecaster, ThetaForecaster
+from .stl import decompose
+
+__all__ = ["SeasonalNaive", "STLForecaster", "make_forecaster"]
+
+
+class SeasonalNaive(Forecaster):
+    """Forecast by repeating the last full seasonal cycle."""
+
+    name = "SNaive"
+
+    def __init__(self, period: int):
+        super().__init__()
+        self.period = check_positive_int(period, "period")
+        self._last_cycle: np.ndarray = np.zeros(self.period)
+
+    def fit(self, values) -> "SeasonalNaive":
+        values = as_float_array(values)
+        if values.size < self.period:
+            raise ModelError("SeasonalNaive needs at least one full period")
+        self._last_cycle = values[-self.period:].copy()
+        self._fitted = True
+        return self
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        self._require_fitted()
+        horizon = check_positive_int(horizon, "horizon")
+        repeats = int(np.ceil(horizon / self.period))
+        return np.tile(self._last_cycle, repeats)[:horizon]
+
+
+class STLForecaster(Forecaster):
+    """Seasonal decomposition + base model on the seasonally adjusted series."""
+
+    def __init__(self, period: int, base: str = "ets"):
+        super().__init__()
+        self.period = check_positive_int(period, "period")
+        base = str(base).lower()
+        if base not in ("ets", "arima"):
+            raise InvalidParameterError("base must be 'ets' or 'arima'")
+        self.base = base
+        self.name = f"STL-{'ETS' if base == 'ets' else 'ARIMA'}"
+        self._base_model: Forecaster | None = None
+        self._seasonal_cycle: np.ndarray = np.zeros(self.period)
+        self._train_length = 0
+
+    def fit(self, values) -> "STLForecaster":
+        values = as_float_array(values)
+        decomposition = decompose(values, self.period)
+        adjusted = decomposition.deseasonalized
+        # Average seasonal pattern of the final cycle (it is periodic anyway).
+        self._seasonal_cycle = decomposition.seasonal[:self.period].copy()
+        self._train_length = values.size
+        if self.base == "ets":
+            self._base_model = HoltLinear(damped=True)
+        else:
+            self._base_model = AutoRegressive(difference=1, max_order=5)
+        self._base_model.fit(adjusted)
+        self._fitted = True
+        return self
+
+    def forecast(self, horizon: int) -> np.ndarray:
+        self._require_fitted()
+        horizon = check_positive_int(horizon, "horizon")
+        adjusted_forecast = self._base_model.forecast(horizon)
+        phases = (self._train_length + np.arange(horizon)) % self.period
+        return adjusted_forecast + self._seasonal_cycle[phases]
+
+
+def make_forecaster(name: str, period: int, **kwargs) -> Forecaster:
+    """Create a forecaster from its benchmark short name.
+
+    Supported names: ``holt-winters``, ``ses``, ``holt``, ``stl-ets``,
+    ``stl-arima``, ``arima``, ``dhr-arima``, ``mlp`` (the LSTM stand-in),
+    ``snaive``, ``naive``, ``drift`` and ``theta``.
+    """
+    key = str(name).strip().lower()
+    if key in ("holt-winters", "hw"):
+        return HoltWinters(period, **kwargs)
+    if key == "ses":
+        return SimpleExponentialSmoothing(**kwargs)
+    if key == "holt":
+        return HoltLinear(**kwargs)
+    if key == "stl-ets":
+        return STLForecaster(period, base="ets")
+    if key == "stl-arima":
+        return STLForecaster(period, base="arima")
+    if key == "arima":
+        return AutoRegressive(**kwargs)
+    if key == "dhr-arima":
+        return DynamicHarmonicRegression(period, **kwargs)
+    if key in ("mlp", "lstm"):
+        kwargs.setdefault("window", min(max(period, 8), 48))
+        return MLPAutoregressor(**kwargs)
+    if key == "snaive":
+        return SeasonalNaive(period)
+    if key == "naive":
+        return NaiveForecaster()
+    if key == "drift":
+        return DriftForecaster()
+    if key == "theta":
+        return ThetaForecaster(period, **kwargs)
+    raise InvalidParameterError(f"unknown forecaster {name!r}")

@@ -1,0 +1,105 @@
+"""Seasonal-trend decomposition (classical moving-average variant).
+
+The paper uses STL (LOESS-based) decomposition in the STL-ETS and STL-ARIMA
+pipelines.  This module implements the classical additive decomposition with
+a centred moving-average trend and averaged detrended seasonality, plus an
+optional LOESS-like smoothing pass on the seasonal component.  It exposes the
+same three components (trend, seasonal, remainder) the pipelines and the
+feature extractor need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_float_array, check_positive_int
+from ..exceptions import ModelError
+
+__all__ = ["SeasonalDecomposition", "decompose"]
+
+
+@dataclass
+class SeasonalDecomposition:
+    """Additive decomposition ``values = trend + seasonal + remainder``."""
+
+    trend: np.ndarray
+    seasonal: np.ndarray
+    remainder: np.ndarray
+    period: int
+
+    @property
+    def deseasonalized(self) -> np.ndarray:
+        """Series with the seasonal component removed."""
+        return self.trend + self.remainder
+
+    def seasonal_strength(self) -> float:
+        """Hyndman's seasonal-strength statistic ``1 - Var(R)/Var(S+R)``."""
+        denominator = float(np.var(self.seasonal + self.remainder))
+        if denominator == 0.0:
+            return 0.0
+        return float(max(0.0, 1.0 - np.var(self.remainder) / denominator))
+
+    def trend_strength(self) -> float:
+        """Hyndman's trend-strength statistic ``1 - Var(R)/Var(T+R)``."""
+        denominator = float(np.var(self.trend + self.remainder))
+        if denominator == 0.0:
+            return 0.0
+        return float(max(0.0, 1.0 - np.var(self.remainder) / denominator))
+
+
+def _centered_moving_average(values: np.ndarray, window: int) -> np.ndarray:
+    """Centred moving average with edge padding (trend estimate)."""
+    if window % 2 == 0:
+        # Classical 2xM average for even periods.
+        kernel = np.ones(window + 1)
+        kernel[0] = kernel[-1] = 0.5
+        kernel /= window
+    else:
+        kernel = np.ones(window) / window
+    padded = np.pad(values, (len(kernel) // 2, len(kernel) // 2), mode="edge")
+    return np.convolve(padded, kernel, mode="valid")[: values.size]
+
+
+def _smooth_seasonal(seasonal_pattern: np.ndarray, smoothing: int) -> np.ndarray:
+    """Light smoothing of the per-cycle seasonal pattern (LOESS stand-in)."""
+    if smoothing <= 1:
+        return seasonal_pattern
+    kernel = np.ones(smoothing) / smoothing
+    padded = np.pad(seasonal_pattern, (smoothing // 2, smoothing // 2), mode="wrap")
+    smoothed = np.convolve(padded, kernel, mode="valid")[: seasonal_pattern.size]
+    return smoothed
+
+
+def decompose(values, period: int, *, seasonal_smoothing: int = 1) -> SeasonalDecomposition:
+    """Additive seasonal decomposition of ``values`` with seasonal ``period``.
+
+    Parameters
+    ----------
+    values:
+        Input series (at least two full periods).
+    period:
+        Seasonal period in samples.
+    seasonal_smoothing:
+        Width of the circular smoothing applied to the seasonal pattern
+        (1 = classical decomposition, >1 approximates STL's seasonal LOESS).
+    """
+    values = as_float_array(values)
+    period = check_positive_int(period, "period")
+    if values.size < 2 * period:
+        raise ModelError(
+            f"decomposition needs at least two periods ({2 * period}), got {values.size}")
+    trend = _centered_moving_average(values, period)
+    detrended = values - trend
+
+    seasonal_pattern = np.zeros(period)
+    for phase in range(period):
+        seasonal_pattern[phase] = float(np.mean(detrended[phase::period]))
+    seasonal_pattern -= float(np.mean(seasonal_pattern))
+    seasonal_pattern = _smooth_seasonal(seasonal_pattern, seasonal_smoothing)
+
+    seasonal = np.tile(seasonal_pattern, values.size // period + 1)[: values.size]
+    remainder = values - trend - seasonal
+    return SeasonalDecomposition(trend=trend, seasonal=seasonal, remainder=remainder,
+                                 period=period)

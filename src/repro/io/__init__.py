@@ -1,0 +1,19 @@
+"""Persistence helpers for compressed representations."""
+
+from .serialization import (
+    irregular_from_json,
+    irregular_to_json,
+    load_irregular_json,
+    load_irregular_npz,
+    save_irregular_json,
+    save_irregular_npz,
+)
+
+__all__ = [
+    "save_irregular_npz",
+    "load_irregular_npz",
+    "irregular_to_json",
+    "irregular_from_json",
+    "save_irregular_json",
+    "load_irregular_json",
+]

@@ -1,0 +1,108 @@
+"""Serialization of compressed representations.
+
+Line-simplification results (:class:`repro.data.timeseries.IrregularSeries`)
+are persisted either as compact ``.npz`` archives or as JSON documents
+(useful for inspection and cross-language interchange).  A round trip through
+either format reproduces the representation exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..data.timeseries import IrregularSeries
+from ..exceptions import DecompressionError
+
+__all__ = [
+    "save_irregular_npz",
+    "load_irregular_npz",
+    "irregular_to_json",
+    "irregular_from_json",
+    "save_irregular_json",
+    "load_irregular_json",
+]
+
+
+def save_irregular_npz(series: IrregularSeries, path) -> Path:
+    """Persist an irregular series as a compressed ``.npz`` archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(
+        path,
+        indices=series.indices,
+        values=series.values,
+        original_length=np.asarray([series.original_length], dtype=np.int64),
+        name=np.asarray([series.name]),
+        metadata=np.asarray([json.dumps(series.metadata, default=str)]),
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_irregular_npz(path) -> IrregularSeries:
+    """Load an irregular series written by :func:`save_irregular_npz`."""
+    path = Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            metadata = json.loads(str(archive["metadata"][0]))
+            return IrregularSeries(
+                indices=archive["indices"],
+                values=archive["values"],
+                original_length=int(archive["original_length"][0]),
+                name=str(archive["name"][0]),
+                metadata=metadata,
+            )
+    except (OSError, KeyError, ValueError) as exc:
+        raise DecompressionError(f"cannot load irregular series from {path}: {exc}") from exc
+
+
+def irregular_to_json(series: IrregularSeries) -> str:
+    """Serialize an irregular series to a JSON string."""
+    document = {
+        "format": "repro.irregular-series",
+        "version": 1,
+        "name": series.name,
+        "original_length": series.original_length,
+        "indices": series.indices.tolist(),
+        "values": series.values.tolist(),
+        "metadata": series.metadata,
+    }
+    return json.dumps(document, default=str)
+
+
+def irregular_from_json(text: str) -> IrregularSeries:
+    """Deserialize an irregular series from :func:`irregular_to_json` output."""
+    try:
+        document = json.loads(text)
+        if document.get("format") != "repro.irregular-series":
+            raise ValueError("not a repro.irregular-series document")
+        return IrregularSeries(
+            indices=np.asarray(document["indices"], dtype=np.int64),
+            values=np.asarray(document["values"], dtype=np.float64),
+            original_length=int(document["original_length"]),
+            name=str(document.get("name", "compressed")),
+            metadata=dict(document.get("metadata", {})),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise DecompressionError(f"cannot parse irregular series JSON: {exc}") from exc
+
+
+def save_irregular_json(series: IrregularSeries, path) -> Path:
+    """Write the JSON representation to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(irregular_to_json(series), encoding="utf-8")
+    return path
+
+
+def load_irregular_json(path) -> IrregularSeries:
+    """Read a JSON representation from ``path``."""
+    path = Path(path)
+    try:
+        return irregular_from_json(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise DecompressionError(f"cannot read {path}: {exc}") from exc

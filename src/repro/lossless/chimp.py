@@ -1,0 +1,141 @@
+"""Chimp lossless floating-point compression (Liakos et al., PVLDB 2022).
+
+Chimp refines Gorilla's XOR scheme with a two-bit flag per value and a
+quantised leading-zero table, which shortens the encoding of values whose
+XOR has few trailing zeros (common in real sensor data):
+
+====  =========================================================
+flag  meaning
+====  =========================================================
+00    XOR is zero (value identical to its predecessor)
+01    reuse the previous leading-zero count, store centre bits up to the end
+10    new leading-zero count, store centre bits up to the end
+11    new leading-zero count + 6-bit centre length, store centre bits
+====  =========================================================
+
+This implementation follows the published reference behaviour: flags ``01``
+and ``10`` store ``64 - leading`` bits (no trailing-zero suppression), flag
+``11`` stores only the significant centre when the XOR has at least 6
+trailing zeros.  The codec is exactly invertible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_float_array
+from ..exceptions import CodecError
+from .bitstream import BitReader, BitWriter, bits_to_float, float_to_bits
+
+__all__ = ["ChimpCodec"]
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+#: Quantisation of leading-zero counts used by Chimp (3-bit codes).
+_LEADING_ROUND = [0, 8, 12, 16, 18, 20, 22, 24]
+_LEADING_REPRESENTATION = {}
+for _code, _value in enumerate(_LEADING_ROUND):
+    _LEADING_REPRESENTATION[_code] = _value
+
+
+def _round_leading(leading: int) -> tuple[int, int]:
+    """Quantise a leading-zero count; returns ``(code, rounded_value)``."""
+    code = 0
+    for index, threshold in enumerate(_LEADING_ROUND):
+        if leading >= threshold:
+            code = index
+    return code, _LEADING_ROUND[code]
+
+
+def _leading_zeros(value: int) -> int:
+    if value == 0:
+        return 64
+    return 64 - value.bit_length()
+
+
+def _trailing_zeros(value: int) -> int:
+    if value == 0:
+        return 64
+    return (value & -value).bit_length() - 1
+
+
+class ChimpCodec:
+    """Chimp128-style XOR codec (single previous value variant)."""
+
+    name = "Chimp"
+
+    def encode(self, values) -> tuple[bytes, int, int]:
+        """Encode ``values``; returns ``(payload, bit_length, count)``."""
+        values = as_float_array(values)
+        writer = BitWriter()
+        previous_bits = float_to_bits(values[0])
+        writer.write_bits(previous_bits, 64)
+        previous_leading_code = -1
+
+        for value in values[1:]:
+            current_bits = float_to_bits(value)
+            xor = (current_bits ^ previous_bits) & _MASK64
+            if xor == 0:
+                writer.write_bits(0b00, 2)
+                previous_leading_code = -1
+            else:
+                leading = _leading_zeros(xor)
+                trailing = _trailing_zeros(xor)
+                leading_code, leading_rounded = _round_leading(leading)
+                if trailing > 6:
+                    # Flag 11: store centre bits only.
+                    centre = 64 - leading_rounded - trailing
+                    writer.write_bits(0b11, 2)
+                    writer.write_bits(leading_code, 3)
+                    writer.write_bits(centre, 6)
+                    writer.write_bits(xor >> trailing, centre)
+                    previous_leading_code = -1
+                elif leading_code == previous_leading_code:
+                    # Flag 01: reuse the previous leading-zero count.
+                    writer.write_bits(0b01, 2)
+                    writer.write_bits(xor, 64 - leading_rounded)
+                else:
+                    # Flag 10: new leading-zero count, store to the end.
+                    writer.write_bits(0b10, 2)
+                    writer.write_bits(leading_code, 3)
+                    writer.write_bits(xor, 64 - leading_rounded)
+                    previous_leading_code = leading_code
+            previous_bits = current_bits
+        return writer.to_bytes(), writer.bit_length, values.size
+
+    def decode(self, payload: bytes, bit_length: int, count: int) -> np.ndarray:
+        """Decode ``count`` values from an encoded payload."""
+        if count <= 0:
+            raise CodecError("count must be positive")
+        reader = BitReader(payload, bit_length)
+        values = np.empty(count, dtype=np.float64)
+        previous_bits = reader.read_bits(64)
+        values[0] = bits_to_float(previous_bits)
+        previous_leading_rounded = 0
+
+        for index in range(1, count):
+            flag = reader.read_bits(2)
+            if flag == 0b00:
+                xor = 0
+            elif flag == 0b11:
+                leading_code = reader.read_bits(3)
+                leading_rounded = _LEADING_REPRESENTATION[leading_code]
+                centre = reader.read_bits(6)
+                trailing = 64 - leading_rounded - centre
+                xor = reader.read_bits(centre) << trailing
+            elif flag == 0b10:
+                leading_code = reader.read_bits(3)
+                leading_rounded = _LEADING_REPRESENTATION[leading_code]
+                xor = reader.read_bits(64 - leading_rounded)
+                previous_leading_rounded = leading_rounded
+            else:  # 0b01 — reuse previous leading count
+                xor = reader.read_bits(64 - previous_leading_rounded)
+            previous_bits = (previous_bits ^ xor) & _MASK64
+            values[index] = bits_to_float(previous_bits)
+        return values
+
+    # ------------------------------------------------------------------ #
+    def bits_per_value(self, values) -> float:
+        """Convenience: encode and report the bits/value metric (Table 2)."""
+        _payload, bit_length, count = self.encode(values)
+        return bit_length / float(count)

@@ -1,0 +1,110 @@
+"""Gorilla lossless floating-point compression (Pelkonen et al., PVLDB 2015).
+
+Gorilla XORs each value with its predecessor and encodes the XOR result with
+a three-way control code:
+
+* ``0``        — the XOR is zero (identical value), one bit total;
+* ``10``       — the meaningful bits fit inside the previous leading/trailing
+                 zero window, only those bits are stored;
+* ``11``       — a new window: 5 bits of leading-zero count, 6 bits of
+                 meaningful-bit length, then the meaningful bits.
+
+The first value is stored verbatim (64 bits).  The decoder reverses the
+process exactly, so the codec is lossless bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_float_array
+from ..exceptions import CodecError
+from .bitstream import BitReader, BitWriter, bits_to_float, float_to_bits
+
+__all__ = ["GorillaCodec"]
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _leading_zeros(value: int) -> int:
+    if value == 0:
+        return 64
+    return 64 - value.bit_length()
+
+
+def _trailing_zeros(value: int) -> int:
+    if value == 0:
+        return 64
+    return (value & -value).bit_length() - 1
+
+
+class GorillaCodec:
+    """XOR-based lossless codec for 64-bit floating point series."""
+
+    name = "Gorilla"
+
+    def encode(self, values) -> tuple[bytes, int, int]:
+        """Encode ``values``; returns ``(payload, bit_length, count)``."""
+        values = as_float_array(values)
+        writer = BitWriter()
+        previous_bits = float_to_bits(values[0])
+        writer.write_bits(previous_bits, 64)
+        previous_leading = 65   # force a new window on the first XOR
+        previous_trailing = 65
+
+        for value in values[1:]:
+            current_bits = float_to_bits(value)
+            xor = (current_bits ^ previous_bits) & _MASK64
+            if xor == 0:
+                writer.write_bit(0)
+            else:
+                writer.write_bit(1)
+                leading = min(_leading_zeros(xor), 31)
+                trailing = _trailing_zeros(xor)
+                if leading >= previous_leading and trailing >= previous_trailing:
+                    # Fits into the previous window: control bit 0.
+                    writer.write_bit(0)
+                    window = 64 - previous_leading - previous_trailing
+                    writer.write_bits(xor >> previous_trailing, window)
+                else:
+                    meaningful = 64 - leading - trailing
+                    writer.write_bit(1)
+                    writer.write_bits(leading, 5)
+                    writer.write_bits(meaningful - 1, 6)
+                    writer.write_bits(xor >> trailing, meaningful)
+                    previous_leading = leading
+                    previous_trailing = trailing
+            previous_bits = current_bits
+        return writer.to_bytes(), writer.bit_length, values.size
+
+    def decode(self, payload: bytes, bit_length: int, count: int) -> np.ndarray:
+        """Decode ``count`` values from an encoded payload."""
+        if count <= 0:
+            raise CodecError("count must be positive")
+        reader = BitReader(payload, bit_length)
+        values = np.empty(count, dtype=np.float64)
+        previous_bits = reader.read_bits(64)
+        values[0] = bits_to_float(previous_bits)
+        leading = 0
+        trailing = 0
+        for index in range(1, count):
+            if reader.read_bit() == 0:
+                values[index] = bits_to_float(previous_bits)
+                continue
+            if reader.read_bit() == 0:
+                window = 64 - leading - trailing
+                xor = reader.read_bits(window) << trailing
+            else:
+                leading = reader.read_bits(5)
+                meaningful = reader.read_bits(6) + 1
+                trailing = 64 - leading - meaningful
+                xor = reader.read_bits(meaningful) << trailing
+            previous_bits = (previous_bits ^ xor) & _MASK64
+            values[index] = bits_to_float(previous_bits)
+        return values
+
+    # ------------------------------------------------------------------ #
+    def bits_per_value(self, values) -> float:
+        """Convenience: encode and report the bits/value metric (Table 2)."""
+        _payload, bit_length, count = self.encode(values)
+        return bit_length / float(count)

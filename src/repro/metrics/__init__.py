@@ -1,0 +1,37 @@
+"""Quality measures used throughout the paper (Section 2.3).
+
+The module exposes the point-wise reconstruction-error metrics (MAE, RMSE,
+NRMSE, mSMAPE, MAPE, PSNR, Chebyshev) as plain functions plus a small string
+registry so compressors can be parameterised with a metric name, exactly like
+CAMEO's ``D`` argument in the problem definitions.
+"""
+
+from .pointwise import (
+    chebyshev,
+    mae,
+    mape,
+    mean_error,
+    msmape,
+    nrmse,
+    pearson_correlation,
+    psnr,
+    rmse,
+    smape,
+)
+from .registry import available_metrics, get_metric, register_metric
+
+__all__ = [
+    "mae",
+    "rmse",
+    "nrmse",
+    "msmape",
+    "smape",
+    "mape",
+    "psnr",
+    "chebyshev",
+    "mean_error",
+    "pearson_correlation",
+    "get_metric",
+    "register_metric",
+    "available_metrics",
+]

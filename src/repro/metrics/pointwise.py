@@ -1,0 +1,157 @@
+"""Point-wise distance and quality measures (paper Section 2.3).
+
+Every function takes two equally sized 1-D arrays (original ``x`` and
+approximation ``y``) and returns a scalar ``float``.  The functions are also
+used to compare ACF/PACF vectors — the constraint ``D(S(X), S(X'))`` from
+Definitions 1-3 — so they are deliberately agnostic about what the arrays
+represent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_float_array
+from ..exceptions import InvalidSeriesError
+
+__all__ = [
+    "mae",
+    "rmse",
+    "nrmse",
+    "msmape",
+    "smape",
+    "mape",
+    "psnr",
+    "chebyshev",
+    "mean_error",
+    "pearson_correlation",
+]
+
+
+def _pair(x, y) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a pair of series and return them as equally sized arrays."""
+    x = as_float_array(x, name="x")
+    y = as_float_array(y, name="y")
+    if x.shape != y.shape:
+        raise InvalidSeriesError(
+            f"x and y must have the same shape, got {x.shape} and {y.shape}"
+        )
+    return x, y
+
+
+def mae(x, y) -> float:
+    """Mean Absolute Error ``1/n * sum |x_i - y_i|``."""
+    x, y = _pair(x, y)
+    return float(np.mean(np.abs(x - y)))
+
+
+def mean_error(x, y) -> float:
+    """Signed mean error ``1/n * sum (x_i - y_i)`` (bias of the approximation)."""
+    x, y = _pair(x, y)
+    return float(np.mean(x - y))
+
+
+def rmse(x, y) -> float:
+    """Root Mean Square Error ``sqrt(1/n * sum (x_i - y_i)^2)``."""
+    x, y = _pair(x, y)
+    return float(np.sqrt(np.mean((x - y) ** 2)))
+
+
+def nrmse(x, y) -> float:
+    """RMSE normalised by the value range of the original series ``x``.
+
+    Matches the paper's definition ``NRMSE = RMSE / (max(X) - min(X))``.  If
+    the original series is constant the value range is zero; in that case the
+    RMSE itself is returned (it is zero whenever the approximation is exact).
+    """
+    x, y = _pair(x, y)
+    value_range = float(np.max(x) - np.min(x))
+    error = float(np.sqrt(np.mean((x - y) ** 2)))
+    if value_range == 0.0:
+        return error
+    return error / value_range
+
+
+def chebyshev(x, y) -> float:
+    """Chebyshev (maximum/L-infinity) distance ``max |x_i - y_i|``.
+
+    EXP1 in the paper uses this metric as the ACF-deviation measure inside
+    CAMEO; it spreads the error budget evenly over all lags.
+    """
+    x, y = _pair(x, y)
+    return float(np.max(np.abs(x - y)))
+
+
+def mape(x, y, *, epsilon: float = 1e-12) -> float:
+    """Mean Absolute Percentage Error in percent.
+
+    Zero entries in ``x`` are stabilised with ``epsilon`` to keep the metric
+    finite; this mirrors common forecasting-library behaviour.
+    """
+    x, y = _pair(x, y)
+    denominator = np.maximum(np.abs(x), epsilon)
+    return float(np.mean(np.abs(x - y) / denominator) * 100.0)
+
+
+def smape(x, y, *, epsilon: float = 1e-12) -> float:
+    """Symmetric MAPE with the conventional ``(|x|+|y|)/2`` denominator."""
+    x, y = _pair(x, y)
+    denominator = (np.abs(x) + np.abs(y)) / 2.0
+    denominator = np.maximum(denominator, epsilon)
+    return float(np.mean(np.abs(x - y) / denominator))
+
+
+def msmape(x, y, *, epsilon: float = 1e-12) -> float:
+    """Modified Symmetric MAPE as defined in the paper (Section 2.3).
+
+    ``mSMAPE = 1/n * sum |x_i - y_i| / ((|x_i + y_i|)/2 + S_i)`` where ``S_i``
+    is the mean absolute deviation of the first ``i-1`` values around their
+    running mean.  The stabiliser ``S_i`` prevents the metric from exploding
+    for near-zero actuals, which is why the Monash forecasting benchmark uses
+    it.  ``S_1`` is defined as 0 (no history); ``epsilon`` guards the fully
+    degenerate case where both the values and the history are zero.
+    """
+    x, y = _pair(x, y)
+    n = x.size
+    stabiliser = np.zeros(n)
+    if n > 1:
+        # Running mean of x_1..x_{i-1} and mean absolute deviation around it.
+        cumulative = np.cumsum(x)
+        counts = np.arange(1, n + 1, dtype=np.float64)
+        running_mean = cumulative / counts
+        for i in range(1, n):
+            stabiliser[i] = np.mean(np.abs(x[:i] - running_mean[i - 1]))
+    denominator = np.abs(x + y) / 2.0 + stabiliser
+    denominator = np.maximum(denominator, epsilon)
+    return float(np.mean(np.abs(x - y) / denominator))
+
+
+def psnr(x, y) -> float:
+    """Peak Signal-to-Noise Ratio in decibels.
+
+    Uses the value range of the original series as the peak signal.  A perfect
+    reconstruction returns ``inf``.
+    """
+    x, y = _pair(x, y)
+    mse = float(np.mean((x - y) ** 2))
+    if mse == 0.0:
+        return float("inf")
+    peak = float(np.max(x) - np.min(x))
+    if peak == 0.0:
+        peak = float(np.max(np.abs(x))) or 1.0
+    return float(10.0 * np.log10(peak * peak / mse))
+
+
+def pearson_correlation(x, y) -> float:
+    """Pearson correlation coefficient between two vectors.
+
+    Used by the Figure-1 experiment to correlate feature deviations with the
+    impact on forecasting accuracy.  Returns 0.0 when either input is
+    constant (correlation undefined).
+    """
+    x, y = _pair(x, y)
+    x_std = float(np.std(x))
+    y_std = float(np.std(y))
+    if x_std == 0.0 or y_std == 0.0:
+        return 0.0
+    return float(np.corrcoef(x, y)[0, 1])

@@ -1,0 +1,80 @@
+"""Name-based metric registry.
+
+CAMEO and the baseline adapters accept a metric either as a callable or as a
+string (``"mae"``, ``"cheb"``, ...).  The registry maps those names to the
+functions in :mod:`repro.metrics.pointwise` and allows downstream users to
+register custom quality measures without touching library code.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..exceptions import InvalidParameterError
+from . import pointwise
+
+MetricFn = Callable[..., float]
+
+_REGISTRY: Dict[str, MetricFn] = {}
+
+
+def register_metric(name: str, fn: MetricFn, *, overwrite: bool = False) -> None:
+    """Register ``fn`` under ``name`` (case-insensitive).
+
+    Parameters
+    ----------
+    name:
+        Lookup key, e.g. ``"mae"``.
+    fn:
+        Callable ``(x, y) -> float``.
+    overwrite:
+        Allow replacing an existing registration.  Defaults to ``False`` to
+        protect the built-in metrics from accidental shadowing.
+    """
+    key = name.strip().lower()
+    if not key:
+        raise InvalidParameterError("metric name must be a non-empty string")
+    if key in _REGISTRY and not overwrite:
+        raise InvalidParameterError(f"metric {name!r} is already registered")
+    if not callable(fn):
+        raise InvalidParameterError(f"metric {name!r} must be callable")
+    _REGISTRY[key] = fn
+
+
+def get_metric(metric: str | MetricFn) -> MetricFn:
+    """Resolve a metric given by name or return the callable unchanged."""
+    if callable(metric):
+        return metric
+    key = str(metric).strip().lower()
+    try:
+        return _REGISTRY[key]
+    except KeyError as exc:
+        raise InvalidParameterError(
+            f"unknown metric {metric!r}; available: {sorted(_REGISTRY)}"
+        ) from exc
+
+
+def available_metrics() -> list[str]:
+    """Return the sorted list of registered metric names."""
+    return sorted(_REGISTRY)
+
+
+def _register_builtins() -> None:
+    builtin = {
+        "mae": pointwise.mae,
+        "rmse": pointwise.rmse,
+        "nrmse": pointwise.nrmse,
+        "mape": pointwise.mape,
+        "smape": pointwise.smape,
+        "msmape": pointwise.msmape,
+        "psnr": pointwise.psnr,
+        "cheb": pointwise.chebyshev,
+        "chebyshev": pointwise.chebyshev,
+        "max": pointwise.chebyshev,
+        "pearson": pointwise.pearson_correlation,
+    }
+    for name, fn in builtin.items():
+        register_metric(name, fn, overwrite=True)
+
+
+_register_builtins()

@@ -1,0 +1,46 @@
+"""Line-simplification baselines (VW, TP, PIP, RDP) and the ACF-constrained adapter."""
+
+from .base import AcfConstrainedSimplifier, LineSimplifier, ranked_removal_order
+from .pip import PerceptualImportantPoints, euclidean_distance, vertical_distance
+from .rdp import RamerDouglasPeucker, rdp_mask
+from .turning_points import TurningPoints, turning_point_mask
+from .visvalingam import VisvalingamWhyatt, triangle_areas
+
+__all__ = [
+    "LineSimplifier",
+    "AcfConstrainedSimplifier",
+    "ranked_removal_order",
+    "VisvalingamWhyatt",
+    "triangle_areas",
+    "TurningPoints",
+    "turning_point_mask",
+    "PerceptualImportantPoints",
+    "vertical_distance",
+    "euclidean_distance",
+    "RamerDouglasPeucker",
+    "rdp_mask",
+]
+
+
+def make_simplifier(name: str) -> LineSimplifier:
+    """Construct a line simplifier from the paper's short names.
+
+    Supported: ``VW``, ``TPs``, ``TPm``, ``PIPv``, ``PIPe``, ``RDP``.
+    """
+    key = str(name).strip().lower()
+    if key == "vw":
+        return VisvalingamWhyatt()
+    if key == "tps":
+        return TurningPoints("sum")
+    if key == "tpm":
+        return TurningPoints("mae")
+    if key == "pipv":
+        return PerceptualImportantPoints("vertical")
+    if key == "pipe":
+        return PerceptualImportantPoints("euclidean")
+    if key == "rdp":
+        return RamerDouglasPeucker()
+    raise ValueError(f"unknown simplifier {name!r}")
+
+
+__all__.append("make_simplifier")

@@ -1,0 +1,186 @@
+"""Common infrastructure for line-simplification compressors.
+
+Every baseline in this package ranks points by an *importance* criterion and
+removes them bottom-up (VW, TP) or keeps the most important ones top-down
+(PIP, RDP).  The paper adapts all of them to the ACF-bounded problem by
+removing/keeping points in importance order while monitoring the deviation of
+the ACF of the reconstruction — the shared logic lives in
+:class:`AcfConstrainedSimplifier`.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from .._validation import as_float_array
+from ..data.timeseries import IrregularSeries, TimeSeries
+from ..exceptions import InvalidParameterError
+from ..stats.windowed import tumbling_window_aggregate
+from ..core.impact import metric_rowwise, segment_interpolation_deltas
+from ..core.tracker import StatisticTracker
+
+__all__ = ["LineSimplifier", "AcfConstrainedSimplifier", "ranked_removal_order"]
+
+
+class LineSimplifier(ABC):
+    """Base class: produce an importance ranking of removable points."""
+
+    #: Human-readable identifier used in result metadata and benchmark tables.
+    name: str = "line-simplifier"
+
+    @abstractmethod
+    def removal_order(self, values: np.ndarray) -> np.ndarray:
+        """Return interior point indices ordered from least to most important.
+
+        The first and last points are never part of the order (they are
+        always retained).  Implementations may return fewer indices than
+        ``n - 2`` when some points are never removable for the method (e.g.
+        turning points in the TP algorithm's first phase remove everything
+        else first).
+        """
+
+    def importance(self, values: np.ndarray) -> np.ndarray:
+        """Optional: per-point importance scores (higher = more important).
+
+        The default derives scores from the removal order; subclasses with a
+        natural scalar criterion (triangle area, vertical distance, ...)
+        override this.
+        """
+        values = as_float_array(values)
+        order = self.removal_order(values)
+        scores = np.full(values.size, float(values.size), dtype=np.float64)
+        for rank, index in enumerate(order):
+            scores[index] = float(rank)
+        return scores
+
+
+def ranked_removal_order(scores: np.ndarray) -> np.ndarray:
+    """Utility: turn per-point scores into a least-important-first order.
+
+    The first and last points are excluded.  Ties are broken by position to
+    keep results deterministic.
+    """
+    interior = np.arange(1, scores.size - 1)
+    order = interior[np.argsort(scores[1:-1], kind="stable")]
+    return order.astype(np.int64)
+
+
+class AcfConstrainedSimplifier:
+    """Adapt any :class:`LineSimplifier` to the ACF-bounded problem.
+
+    Points are removed in the baseline's importance order; after each removal
+    the ACF (optionally of the tumbling-window aggregates) of the linear-
+    interpolation reconstruction is updated incrementally and checked against
+    ``epsilon``.  The first removal that would violate the bound stops the
+    process, mirroring how the paper extends VW/TP/PIP with the ACF
+    constraint.
+
+    Parameters
+    ----------
+    simplifier:
+        The underlying ranking strategy.
+    max_lag, epsilon, metric, agg_window, agg:
+        Same meaning as for :class:`repro.core.CameoCompressor`.
+    target_ratio:
+        Optional compression-centric stop (Definition 3).
+    """
+
+    def __init__(self, simplifier: LineSimplifier, max_lag: int,
+                 epsilon: float | None = 0.01, *, metric="mae", agg_window: int = 1,
+                 agg: str = "mean", target_ratio: float | None = None):
+        if epsilon is None and target_ratio is None:
+            raise InvalidParameterError("provide epsilon and/or target_ratio")
+        self.simplifier = simplifier
+        self.max_lag = int(max_lag)
+        self.epsilon = epsilon
+        self.metric = metric
+        self.agg_window = int(agg_window)
+        self.agg = agg
+        self.target_ratio = target_ratio
+
+    def compress(self, series) -> IrregularSeries:
+        """Compress ``series`` under the ACF constraint."""
+        name = series.name if isinstance(series, TimeSeries) else "series"
+        values = as_float_array(series.values if isinstance(series, TimeSeries) else series)
+        n = values.size
+        start_time = time.perf_counter()
+        if n < 4:
+            return IrregularSeries(indices=np.arange(n), values=values.copy(),
+                                   original_length=n, name=f"{self.simplifier.name}({name})")
+
+        tracked_length = n if self.agg_window == 1 else n // self.agg_window
+        lag = min(self.max_lag, max(tracked_length - 1, 1))
+        tracker = StatisticTracker(values, lag, statistic="acf",
+                                   agg_window=self.agg_window, agg=self.agg)
+        order = self.simplifier.removal_order(values)
+
+        alive = np.ones(n, dtype=bool)
+        left = np.arange(-1, n - 1, dtype=np.int64)
+        right = np.arange(1, n + 1, dtype=np.int64)
+        kept = n
+        achieved = 0.0
+        target_kept = None
+        if self.target_ratio is not None:
+            target_kept = max(int(np.ceil(n / self.target_ratio)), 2)
+        stopped_by = "order-exhausted"
+
+        for index in order:
+            index = int(index)
+            if not alive[index] or index <= 0 or index >= n - 1:
+                continue
+            left_anchor, right_anchor = int(left[index]), int(right[index])
+            start, deltas = segment_interpolation_deltas(
+                tracker.current_values, left_anchor, right_anchor)
+            if deltas.size == 0:
+                deviation = achieved
+            else:
+                statistic = tracker.preview(start, deltas)
+                deviation = float(metric_rowwise(self.metric, tracker.reference,
+                                                 statistic)[0])
+            if self.epsilon is not None and deviation >= self.epsilon:
+                stopped_by = "error-bound"
+                break
+            if deltas.size:
+                tracker.apply(start, deltas)
+            alive[index] = False
+            right[left_anchor] = right_anchor
+            if right_anchor < n:
+                left[right_anchor] = left_anchor
+            kept -= 1
+            achieved = deviation
+            if target_kept is not None and kept <= target_kept:
+                stopped_by = "target-ratio"
+                break
+
+        indices = np.flatnonzero(alive)
+        metadata = {
+            "compressor": self.simplifier.name,
+            "epsilon": self.epsilon,
+            "target_ratio": self.target_ratio,
+            "metric": self.metric if isinstance(self.metric, str) else "custom",
+            "max_lag": self.max_lag,
+            "agg_window": self.agg_window,
+            "achieved_deviation": achieved,
+            "kept_points": int(kept),
+            "stopped_by": stopped_by,
+            "elapsed_seconds": time.perf_counter() - start_time,
+        }
+        return IrregularSeries(indices=indices, values=values[indices], original_length=n,
+                               name=f"{self.simplifier.name}({name})", metadata=metadata)
+
+    # ------------------------------------------------------------------ #
+    def acf_deviation(self, original: np.ndarray, result: IrregularSeries) -> float:
+        """Deviation of the ACF between original and reconstruction (check)."""
+        reconstruction = result.decompress()
+        if self.agg_window > 1:
+            original = tumbling_window_aggregate(original, self.agg_window, self.agg)
+            reconstruction = tumbling_window_aggregate(
+                reconstruction, self.agg_window, self.agg)
+        lag = min(self.max_lag, original.size - 1)
+        tracker_a = StatisticTracker(original, lag)
+        tracker_b = StatisticTracker(reconstruction, lag)
+        return float(metric_rowwise(self.metric, tracker_a.reference,
+                                    tracker_b.reference)[0])

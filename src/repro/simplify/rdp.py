@@ -1,0 +1,82 @@
+"""Ramer-Douglas-Peucker (RDP) line simplification.
+
+RDP is the classical top-down polyline simplification algorithm referenced in
+the paper's related-work discussion: recursively keep the point farthest from
+the chord while its distance exceeds a tolerance.  It is included both as an
+additional baseline and because its selection order (by decreasing chord
+distance) slots naturally into the shared ACF-constrained adapter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_float_array
+from .base import LineSimplifier
+from .pip import euclidean_distance
+
+__all__ = ["RamerDouglasPeucker", "rdp_mask"]
+
+
+def rdp_mask(values, tolerance: float) -> np.ndarray:
+    """Boolean keep-mask of the classical distance-threshold RDP."""
+    values = as_float_array(values)
+    n = values.size
+    keep = np.zeros(n, dtype=bool)
+    keep[0] = keep[-1] = True
+    if n < 3:
+        return keep
+    stack = [(0, n - 1)]
+    while stack:
+        left, right = stack.pop()
+        candidates = np.arange(left + 1, right, dtype=np.int64)
+        if candidates.size == 0:
+            continue
+        distances = euclidean_distance(values, left, right, candidates)
+        best = int(np.argmax(distances))
+        if float(distances[best]) > tolerance:
+            index = int(candidates[best])
+            keep[index] = True
+            stack.append((left, index))
+            stack.append((index, right))
+    return keep
+
+
+class RamerDouglasPeucker(LineSimplifier):
+    """RDP expressed as an importance ranking (farthest-point-first selection)."""
+
+    name = "RDP"
+
+    def selection_order(self, values: np.ndarray) -> np.ndarray:
+        """Interior points ordered from most to least important (RDP order)."""
+        values = as_float_array(values)
+        n = values.size
+        if n < 3:
+            return np.empty(0, dtype=np.int64)
+        import heapq
+
+        order: list[int] = []
+
+        def best_in(left: int, right: int) -> tuple[float, int]:
+            candidates = np.arange(left + 1, right, dtype=np.int64)
+            if candidates.size == 0:
+                return -1.0, -1
+            distances = euclidean_distance(values, left, right, candidates)
+            best = int(np.argmax(distances))
+            return float(distances[best]), int(candidates[best])
+
+        heap: list[tuple[float, int, int, int]] = []
+        score, index = best_in(0, n - 1)
+        if index >= 0:
+            heapq.heappush(heap, (-score, index, 0, n - 1))
+        while heap:
+            _negative, index, left, right = heapq.heappop(heap)
+            order.append(index)
+            for new_left, new_right in ((left, index), (index, right)):
+                score, candidate = best_in(new_left, new_right)
+                if candidate >= 0:
+                    heapq.heappush(heap, (-score, candidate, new_left, new_right))
+        return np.asarray(order, dtype=np.int64)
+
+    def removal_order(self, values: np.ndarray) -> np.ndarray:
+        return self.selection_order(values)[::-1].copy()

@@ -1,0 +1,49 @@
+"""Autocorrelation statistics substrate.
+
+Implements the ACF (Equations 1 and 2 of the paper), the PACF via the
+Durbin-Levinson recursion (Equation 3), and the incremental aggregate state
+used by CAMEO to re-evaluate the ACF in O(L) after every point removal
+(Equations 7-11).
+"""
+
+from .acf import acf, acf_from_sums, lagged_pearson_acf, stationary_acf
+from .pacf import pacf, pacf_from_acf
+from .aggregates import ACFAggregateState, LagSums
+from .descriptors import (
+    AcfStatistic,
+    CallableStatistic,
+    CompositeStatistic,
+    CrossCorrelationStatistic,
+    MomentStatistic,
+    PacfStatistic,
+    QuantileStatistic,
+    SpectralStatistic,
+    Statistic,
+    TumblingAggregateStatistic,
+    make_statistic,
+)
+from .windowed import AggregatedACFState, tumbling_window_aggregate
+
+__all__ = [
+    "acf",
+    "stationary_acf",
+    "lagged_pearson_acf",
+    "acf_from_sums",
+    "pacf",
+    "pacf_from_acf",
+    "ACFAggregateState",
+    "LagSums",
+    "AggregatedACFState",
+    "tumbling_window_aggregate",
+    "Statistic",
+    "AcfStatistic",
+    "PacfStatistic",
+    "MomentStatistic",
+    "QuantileStatistic",
+    "SpectralStatistic",
+    "CrossCorrelationStatistic",
+    "TumblingAggregateStatistic",
+    "CompositeStatistic",
+    "CallableStatistic",
+    "make_statistic",
+]

@@ -1,0 +1,121 @@
+"""Autocorrelation function implementations.
+
+The paper uses two equivalent ACF formulations:
+
+* Equation 1 — the classical *stationary* estimator that uses the global mean
+  and variance of the series.
+* Equation 2 — the *lagged Pearson* form expressed purely through running
+  sums, which is the one CAMEO maintains incrementally.  For each lag ``l``
+  it is the Pearson correlation between ``X[:-l]`` and ``X[l:]``.
+
+Both are provided; ``acf`` defaults to the lagged-Pearson form because it is
+the statistic the compressor actually bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_float_array, check_lag
+
+__all__ = ["acf", "stationary_acf", "lagged_pearson_acf", "acf_from_sums"]
+
+
+def stationary_acf(values, max_lag: int) -> np.ndarray:
+    """ACF under the stationarity assumption (paper Equation 1).
+
+    ``ACF_l = 1/((n-l) * sigma^2) * sum_{t=1}^{n-l} (x_t - mu)(x_{t+l} - mu)``
+    where ``mu`` and ``sigma`` are the global mean and standard deviation.
+
+    Parameters
+    ----------
+    values:
+        Input series.
+    max_lag:
+        Number of lags ``L``; the result has shape ``(L,)`` for lags
+        ``1..L``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ACF values for lags ``1..max_lag``.  Lags whose denominator is zero
+        (constant series) are reported as 0.
+    """
+    x = as_float_array(values)
+    n = x.size
+    max_lag = check_lag(max_lag, n)
+    mu = float(np.mean(x))
+    sigma2 = float(np.var(x))
+    centred = x - mu
+    out = np.zeros(max_lag, dtype=np.float64)
+    if sigma2 == 0.0:
+        return out
+    for lag in range(1, max_lag + 1):
+        overlap = n - lag
+        out[lag - 1] = float(np.dot(centred[:overlap], centred[lag:])) / (overlap * sigma2)
+    return out
+
+
+def lagged_pearson_acf(values, max_lag: int) -> np.ndarray:
+    """ACF as the Pearson correlation of the series with its lagged copy.
+
+    This is Equation 2 of the paper: for each lag ``l`` the correlation is
+    computed between ``X[0:n-l]`` and ``X[l:n]`` with their own means and
+    variances, which makes the estimator robust to mild non-stationarity and
+    expressible through five running sums (see
+    :class:`repro.stats.aggregates.ACFAggregateState`).
+    """
+    x = as_float_array(values)
+    n = x.size
+    max_lag = check_lag(max_lag, n)
+    out = np.zeros(max_lag, dtype=np.float64)
+    for lag in range(1, max_lag + 1):
+        head = x[: n - lag]
+        tail = x[lag:]
+        count = n - lag
+        sx = head.sum()
+        sxl = tail.sum()
+        sx2 = np.dot(head, head)
+        sx2l = np.dot(tail, tail)
+        sxxl = np.dot(head, tail)
+        out[lag - 1] = acf_from_sums(count, sx, sxl, sx2, sx2l, sxxl)
+    return out
+
+
+def acf(values, max_lag: int, *, method: str = "pearson") -> np.ndarray:
+    """Compute the ACF for lags ``1..max_lag``.
+
+    Parameters
+    ----------
+    values:
+        Input series.
+    max_lag:
+        Largest lag ``L``.
+    method:
+        ``"pearson"`` (Equation 2, default — what CAMEO preserves) or
+        ``"stationary"`` (Equation 1).
+    """
+    if method == "pearson":
+        return lagged_pearson_acf(values, max_lag)
+    if method == "stationary":
+        return stationary_acf(values, max_lag)
+    raise ValueError(f"unknown ACF method {method!r}")
+
+
+def acf_from_sums(count: float, sx: float, sxl: float, sx2: float,
+                  sx2l: float, sxxl: float) -> float:
+    """Evaluate Equation 2 from the five basic aggregates of a single lag.
+
+    ``count`` is ``n - l``.  Returns 0 when either marginal variance is zero
+    (degenerate overlap), matching the convention of the reference
+    implementation.
+    """
+    numerator = count * sxxl - sx * sxl
+    var_head = count * sx2 - sx * sx
+    var_tail = count * sx2l - sxl * sxl
+    if var_head <= 0.0 or var_tail <= 0.0:
+        return 0.0
+    denominator = np.sqrt(var_head * var_tail)
+    if denominator == 0.0:
+        return 0.0
+    return float(numerator / denominator)

@@ -1,0 +1,316 @@
+"""Pluggable statistical descriptors for constraint-preserving compression.
+
+The paper's framework section notes that CAMEO "is extensible to multivariate
+time series and other statistical features of the time series".  This module
+provides that extension point: a :class:`Statistic` is any object that maps a
+series to a fixed-length feature vector, and the compressor can bound the
+deviation ``D(S(X), S(X'))`` of *any* such statistic, not only the ACF/PACF.
+
+Built-in descriptors
+--------------------
+* :class:`AcfStatistic` / :class:`PacfStatistic` — the paper's statistics,
+  expressed through the generic interface (useful for composition).
+* :class:`MomentStatistic` — mean, standard deviation, skewness, kurtosis.
+* :class:`QuantileStatistic` — a configurable set of quantiles.
+* :class:`SpectralStatistic` — relative energy of the lowest frequency bins,
+  i.e. the spectral shape that FFT-based compressors implicitly preserve.
+* :class:`CrossCorrelationStatistic` — correlation against a fixed reference
+  column at several lags (the multivariate extension: preserve how a column
+  co-moves with another sensor).
+* :class:`TumblingAggregateStatistic` — any inner statistic evaluated on
+  tumbling-window aggregates (Definition 2 generalised beyond the ACF).
+* :class:`CompositeStatistic` — concatenation of several statistics with
+  per-part weights, so one bound can cover multiple features at once.
+
+The optimised incremental ACF/PACF maintenance of
+:class:`repro.core.tracker.StatisticTracker` remains the fast path for the
+paper's experiments; the generic descriptors trade speed for flexibility and
+are evaluated from the current reconstruction (see
+:class:`repro.core.custom.GenericStatisticTracker`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .._validation import as_float_array, check_lag, check_positive_int
+from ..exceptions import InvalidParameterError
+from .acf import acf
+from .pacf import pacf_from_acf
+from .windowed import tumbling_window_aggregate
+
+__all__ = [
+    "Statistic",
+    "AcfStatistic",
+    "PacfStatistic",
+    "MomentStatistic",
+    "QuantileStatistic",
+    "SpectralStatistic",
+    "CrossCorrelationStatistic",
+    "TumblingAggregateStatistic",
+    "CompositeStatistic",
+    "CallableStatistic",
+    "make_statistic",
+]
+
+
+class Statistic(ABC):
+    """A deterministic mapping from a series to a fixed-length feature vector.
+
+    Subclasses implement :meth:`compute`; the returned vector must have the
+    same length for every input of the same series length so that deviations
+    ``D(S(X), S(X'))`` are well defined during compression.
+    """
+
+    #: Short identifier used in result metadata and benchmark tables.
+    name: str = "statistic"
+
+    @abstractmethod
+    def compute(self, values: np.ndarray) -> np.ndarray:
+        """Evaluate the statistic on ``values`` and return a 1-D vector."""
+
+    # ------------------------------------------------------------------ #
+    def __call__(self, values) -> np.ndarray:
+        return self.compute(as_float_array(values))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.__class__.__name__}(name={self.name!r})"
+
+
+class AcfStatistic(Statistic):
+    """The autocorrelation function at lags ``1..max_lag`` (paper Eq. 1/2)."""
+
+    def __init__(self, max_lag: int):
+        self.max_lag = check_positive_int(max_lag, "max_lag")
+        self.name = f"acf{self.max_lag}"
+
+    def compute(self, values: np.ndarray) -> np.ndarray:
+        lag = check_lag(min(self.max_lag, values.size - 1), values.size)
+        return acf(values, lag)
+
+
+class PacfStatistic(Statistic):
+    """The partial autocorrelation function via Durbin-Levinson (Eq. 3)."""
+
+    def __init__(self, max_lag: int):
+        self.max_lag = check_positive_int(max_lag, "max_lag")
+        self.name = f"pacf{self.max_lag}"
+
+    def compute(self, values: np.ndarray) -> np.ndarray:
+        lag = check_lag(min(self.max_lag, values.size - 1), values.size)
+        return pacf_from_acf(acf(values, lag))
+
+
+#: Moment names supported by :class:`MomentStatistic`.
+_MOMENTS = ("mean", "std", "skewness", "kurtosis")
+
+
+class MomentStatistic(Statistic):
+    """Low-order distribution moments of the series.
+
+    Useful when downstream analytics care about the value distribution (e.g.
+    threshold-based alerting) rather than temporal structure.
+    """
+
+    def __init__(self, moments: Sequence[str] = _MOMENTS):
+        moments = tuple(str(m).lower() for m in moments)
+        unknown = [m for m in moments if m not in _MOMENTS]
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown moments {unknown}; choose from {_MOMENTS}")
+        if not moments:
+            raise InvalidParameterError("at least one moment is required")
+        self.moments = moments
+        self.name = "moments(" + ",".join(moments) + ")"
+
+    def compute(self, values: np.ndarray) -> np.ndarray:
+        mean = float(np.mean(values))
+        std = float(np.std(values))
+        if std > 0:
+            # Standardise first so extreme value scales cannot under/overflow
+            # when the deviations are raised to the third and fourth power.
+            standardized = (values - mean) / std
+            skewness = float(np.mean(standardized ** 3))
+            kurtosis = float(np.mean(standardized ** 4))
+        else:
+            skewness = 0.0
+            kurtosis = 0.0
+        lookup = {
+            "mean": mean,
+            "std": std,
+            "skewness": skewness,
+            "kurtosis": kurtosis,
+        }
+        return np.asarray([lookup[m] for m in self.moments], dtype=np.float64)
+
+
+class QuantileStatistic(Statistic):
+    """A fixed set of quantiles of the value distribution."""
+
+    def __init__(self, quantiles: Sequence[float] = (0.05, 0.25, 0.5, 0.75, 0.95)):
+        quantiles = tuple(float(q) for q in quantiles)
+        if not quantiles:
+            raise InvalidParameterError("at least one quantile is required")
+        for quantile in quantiles:
+            if not 0.0 <= quantile <= 1.0:
+                raise InvalidParameterError(
+                    f"quantiles must lie in [0, 1], got {quantile}")
+        self.quantiles = quantiles
+        self.name = "quantiles"
+
+    def compute(self, values: np.ndarray) -> np.ndarray:
+        return np.quantile(values, self.quantiles).astype(np.float64)
+
+
+class SpectralStatistic(Statistic):
+    """Relative spectral energy of the lowest ``num_bins`` frequency bins.
+
+    The DC component is excluded; each entry is the share of the total
+    (non-DC) power carried by that bin, so the vector is scale-invariant and
+    sums to at most one.
+    """
+
+    def __init__(self, num_bins: int = 16):
+        self.num_bins = check_positive_int(num_bins, "num_bins")
+        self.name = f"spectrum{self.num_bins}"
+
+    def compute(self, values: np.ndarray) -> np.ndarray:
+        spectrum = np.abs(np.fft.rfft(values - np.mean(values))) ** 2
+        power = spectrum[1:]
+        total = float(np.sum(power))
+        shares = np.zeros(self.num_bins, dtype=np.float64)
+        if total > 0:
+            available = min(self.num_bins, power.size)
+            shares[:available] = power[:available] / total
+        return shares
+
+
+class CrossCorrelationStatistic(Statistic):
+    """Pearson correlation against a fixed reference series at several lags.
+
+    This is the multivariate extension: when compressing one column of a
+    multivariate series, preserving its cross-correlation to another column
+    keeps joint analytics (e.g. lagged regressions between sensors) intact.
+    Lag ``l`` correlates ``values[: n - l]`` with ``reference[l:]``.
+    """
+
+    def __init__(self, reference, max_lag: int = 0):
+        self.reference = as_float_array(reference, name="reference")
+        if max_lag < 0:
+            raise InvalidParameterError("max_lag must be >= 0")
+        self.max_lag = int(max_lag)
+        if self.reference.size <= self.max_lag + 1:
+            raise InvalidParameterError("reference series too short for max_lag")
+        self.name = f"ccf{self.max_lag}"
+
+    def compute(self, values: np.ndarray) -> np.ndarray:
+        if values.size != self.reference.size:
+            raise InvalidParameterError(
+                "series and reference must have the same length "
+                f"({values.size} vs {self.reference.size})")
+        out = np.zeros(self.max_lag + 1, dtype=np.float64)
+        for lag in range(self.max_lag + 1):
+            left = values[: values.size - lag]
+            right = self.reference[lag:]
+            left_std = np.std(left)
+            right_std = np.std(right)
+            if left_std == 0 or right_std == 0:
+                out[lag] = 0.0
+                continue
+            out[lag] = float(np.mean(
+                (left - np.mean(left)) * (right - np.mean(right))) / (left_std * right_std))
+        return out
+
+
+class TumblingAggregateStatistic(Statistic):
+    """Any inner statistic evaluated on tumbling-window aggregates.
+
+    Generalises Definition 2 of the paper: ``S(Agg_kappa(X))`` for an
+    arbitrary ``S``, not only the ACF.
+    """
+
+    def __init__(self, inner: Statistic, window: int, agg: str = "mean"):
+        if not isinstance(inner, Statistic):
+            raise InvalidParameterError("inner must be a Statistic instance")
+        self.inner = inner
+        self.window = check_positive_int(window, "window")
+        self.agg = str(agg).lower()
+        self.name = f"{inner.name}@{self.agg}{self.window}"
+
+    def compute(self, values: np.ndarray) -> np.ndarray:
+        aggregated = tumbling_window_aggregate(values, self.window, self.agg)
+        return self.inner.compute(aggregated)
+
+
+class CompositeStatistic(Statistic):
+    """Concatenation of several statistics with optional per-part weights.
+
+    The weights scale each part's contribution to the deviation measure, so
+    e.g. ``CompositeStatistic([AcfStatistic(24), MomentStatistic()],
+    weights=[1.0, 0.5])`` bounds a blend of autocorrelation and moment drift.
+    """
+
+    def __init__(self, parts: Sequence[Statistic], weights: Sequence[float] | None = None):
+        parts = list(parts)
+        if not parts:
+            raise InvalidParameterError("at least one statistic is required")
+        for part in parts:
+            if not isinstance(part, Statistic):
+                raise InvalidParameterError("all parts must be Statistic instances")
+        if weights is None:
+            weights = [1.0] * len(parts)
+        weights = [float(w) for w in weights]
+        if len(weights) != len(parts):
+            raise InvalidParameterError("weights must match the number of parts")
+        if any(w < 0 for w in weights):
+            raise InvalidParameterError("weights must be non-negative")
+        self.parts = parts
+        self.weights = weights
+        self.name = "+".join(part.name for part in parts)
+
+    def compute(self, values: np.ndarray) -> np.ndarray:
+        pieces = [weight * part.compute(values)
+                  for part, weight in zip(self.parts, self.weights)]
+        return np.concatenate(pieces)
+
+
+class CallableStatistic(Statistic):
+    """Adapter turning a plain ``callable(values) -> vector`` into a Statistic."""
+
+    def __init__(self, fn: Callable[[np.ndarray], np.ndarray], name: str = "custom"):
+        if not callable(fn):
+            raise InvalidParameterError("fn must be callable")
+        self._fn = fn
+        self.name = str(name)
+
+    def compute(self, values: np.ndarray) -> np.ndarray:
+        result = np.atleast_1d(np.asarray(self._fn(values), dtype=np.float64))
+        if result.ndim != 1:
+            raise InvalidParameterError("a statistic must return a 1-D vector")
+        return result
+
+
+def make_statistic(name: str, **kwargs) -> Statistic:
+    """Construct a built-in statistic from a short name.
+
+    Supported names: ``acf``, ``pacf``, ``moments``, ``quantiles``,
+    ``spectrum``, ``ccf`` (requires ``reference``), each forwarding ``kwargs``
+    to the corresponding class.
+    """
+    key = str(name).strip().lower()
+    if key == "acf":
+        return AcfStatistic(**kwargs)
+    if key == "pacf":
+        return PacfStatistic(**kwargs)
+    if key == "moments":
+        return MomentStatistic(**kwargs)
+    if key == "quantiles":
+        return QuantileStatistic(**kwargs)
+    if key == "spectrum":
+        return SpectralStatistic(**kwargs)
+    if key == "ccf":
+        return CrossCorrelationStatistic(**kwargs)
+    raise InvalidParameterError(f"unknown statistic {name!r}")

@@ -1,0 +1,56 @@
+"""Compression-aware time series storage engine.
+
+The paper motivates CAMEO with storage and I/O pressure in time series
+databases; this subpackage provides that substrate so the compressor can be
+exercised end-to-end: buffered ingest into sealed segments, pluggable codecs
+(CAMEO, every baseline, and the lossless codecs), per-series footprint
+accounting, and an analytical query layer with aggregate pushdown.
+"""
+
+from .codecs import (
+    CameoSegmentCodec,
+    ChimpSegmentCodec,
+    EncodedChunk,
+    FftSegmentCodec,
+    GorillaSegmentCodec,
+    PmcSegmentCodec,
+    RawCodec,
+    SegmentCodec,
+    SimPieceSegmentCodec,
+    SimplifierSegmentCodec,
+    SwingSegmentCodec,
+    available_codecs,
+    make_codec,
+    register_codec,
+)
+from .persistence import load_store, save_store
+from .query import AggregateResult, QueryEngine, SUPPORTED_AGGREGATES
+from .segment import Segment, SegmentSummary
+from .store import DEFAULT_SEGMENT_SIZE, SeriesInfo, TimeSeriesStore
+
+__all__ = [
+    "EncodedChunk",
+    "SegmentCodec",
+    "RawCodec",
+    "GorillaSegmentCodec",
+    "ChimpSegmentCodec",
+    "CameoSegmentCodec",
+    "SimplifierSegmentCodec",
+    "PmcSegmentCodec",
+    "SwingSegmentCodec",
+    "SimPieceSegmentCodec",
+    "FftSegmentCodec",
+    "make_codec",
+    "register_codec",
+    "available_codecs",
+    "Segment",
+    "SegmentSummary",
+    "TimeSeriesStore",
+    "SeriesInfo",
+    "DEFAULT_SEGMENT_SIZE",
+    "QueryEngine",
+    "AggregateResult",
+    "SUPPORTED_AGGREGATES",
+    "save_store",
+    "load_store",
+]

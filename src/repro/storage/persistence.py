@@ -1,0 +1,193 @@
+"""Persistence of :class:`repro.storage.store.TimeSeriesStore` to disk.
+
+A store is written as one directory:
+
+``manifest.json``
+    Catalog of every series — codec specification, segment size, metadata,
+    the (raw) write-buffer tail, and one entry per sealed segment with its
+    summary and encoded payload.
+
+Payloads are stored in the codec's *encoded* form, so a CAMEO- or
+Gorilla-backed store keeps its compression benefit on disk: irregular
+segments persist their retained indices/values, XOR codecs persist the bit
+stream (hex-encoded), raw segments persist the values.  The
+functional-approximation codecs (PMC, SWING, Sim-Piece, FFT) keep closures as
+payloads and therefore do not support persistence; attempting to save such a
+store raises :class:`repro.exceptions.StorageError` with a pointer to
+:meth:`TimeSeriesStore.compact` as the workaround (re-encode with a
+persistable codec first).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..data.timeseries import IrregularSeries
+from ..exceptions import StorageError
+from .codecs import EncodedChunk, make_codec
+from .segment import Segment, SegmentSummary
+from .store import TimeSeriesStore
+
+__all__ = ["save_store", "load_store", "MANIFEST_NAME", "FORMAT_VERSION"]
+
+MANIFEST_NAME = "manifest.json"
+FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------- #
+# payload (de)serialization
+# ---------------------------------------------------------------------- #
+def _payload_to_document(payload) -> dict:
+    if isinstance(payload, IrregularSeries):
+        return {
+            "type": "irregular",
+            "indices": payload.indices.tolist(),
+            "values": payload.values.tolist(),
+            "original_length": payload.original_length,
+            "name": payload.name,
+            "metadata": payload.metadata,
+        }
+    if isinstance(payload, np.ndarray):
+        return {"type": "values", "values": payload.tolist()}
+    if (isinstance(payload, tuple) and len(payload) == 3
+            and isinstance(payload[0], (bytes, bytearray))):
+        data, bit_length, count = payload
+        return {"type": "bits", "data": bytes(data).hex(),
+                "bit_length": int(bit_length), "count": int(count)}
+    raise StorageError(
+        f"payload of type {type(payload).__name__} cannot be persisted; "
+        "compact the series with a persistable codec (cameo, a line "
+        "simplifier, gorilla, chimp or raw) first")
+
+
+def _payload_from_document(document: dict):
+    kind = document.get("type")
+    if kind == "irregular":
+        return IrregularSeries(
+            indices=np.asarray(document["indices"], dtype=np.int64),
+            values=np.asarray(document["values"], dtype=np.float64),
+            original_length=int(document["original_length"]),
+            name=str(document.get("name", "compressed")),
+            metadata=dict(document.get("metadata", {})))
+    if kind == "values":
+        return np.asarray(document["values"], dtype=np.float64)
+    if kind == "bits":
+        return (bytes.fromhex(document["data"]), int(document["bit_length"]),
+                int(document["count"]))
+    raise StorageError(f"unknown payload type {kind!r} in manifest")
+
+
+def _codec_spec(codec) -> dict:
+    """Build a ``make_codec``-compatible specification for ``codec``."""
+    options: dict = {}
+    for attribute in ("max_lag", "epsilon", "error_bound", "keep_fraction", "variant"):
+        if hasattr(codec, attribute):
+            options[attribute] = getattr(codec, attribute)
+    extra = getattr(codec, "options", None)
+    if isinstance(extra, dict):
+        options.update(extra)
+    return {"name": codec.name, "options": options}
+
+
+def _segment_to_document(segment: Segment) -> dict:
+    chunk = segment.chunk
+    return {
+        "start": segment.start,
+        "codec": chunk.codec,
+        "length": chunk.length,
+        "bits": chunk.bits,
+        "lossless": chunk.lossless,
+        "metadata": chunk.metadata,
+        "payload": _payload_to_document(chunk.payload),
+        "summary": {
+            "count": segment.summary.count,
+            "minimum": segment.summary.minimum,
+            "maximum": segment.summary.maximum,
+            "total": segment.summary.total,
+        },
+    }
+
+
+def _segment_from_document(document: dict, codec) -> Segment:
+    chunk = EncodedChunk(
+        codec=str(document["codec"]),
+        payload=_payload_from_document(document["payload"]),
+        length=int(document["length"]),
+        bits=int(document["bits"]),
+        lossless=bool(document["lossless"]),
+        metadata=dict(document.get("metadata", {})))
+    summary_doc = document["summary"]
+    summary = SegmentSummary(count=int(summary_doc["count"]),
+                             minimum=float(summary_doc["minimum"]),
+                             maximum=float(summary_doc["maximum"]),
+                             total=float(summary_doc["total"]))
+    return Segment(int(document["start"]), chunk, codec, summary=summary)
+
+
+# ---------------------------------------------------------------------- #
+# public API
+# ---------------------------------------------------------------------- #
+def save_store(store: TimeSeriesStore, directory) -> Path:
+    """Persist ``store`` into ``directory`` (created if missing).
+
+    Returns the path of the written manifest.  Every series must use a codec
+    with a serializable encoded form (see module docstring).
+    """
+    if not isinstance(store, TimeSeriesStore):
+        raise StorageError("save_store expects a TimeSeriesStore")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+
+    series_documents = {}
+    for name in store.list_series():
+        state = store._state(name)  # noqa: SLF001 - persistence is a store companion
+        series_documents[name] = {
+            "codec": _codec_spec(state.codec),
+            "segment_size": state.segment_size,
+            "metadata": state.metadata,
+            "buffer": list(state.buffer),
+            "segments": [_segment_to_document(segment) for segment in state.segments],
+        }
+
+    manifest = {
+        "format": "repro.timeseries-store",
+        "version": FORMAT_VERSION,
+        "default_segment_size": store.default_segment_size,
+        "series": series_documents,
+    }
+    path = directory / MANIFEST_NAME
+    path.write_text(json.dumps(manifest, default=float), encoding="utf-8")
+    return path
+
+
+def load_store(directory) -> TimeSeriesStore:
+    """Load a store previously written by :func:`save_store`."""
+    directory = Path(directory)
+    path = directory / MANIFEST_NAME if directory.is_dir() else directory
+    try:
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise StorageError(f"cannot read store manifest at {path}: {exc}") from exc
+    if manifest.get("format") != "repro.timeseries-store":
+        raise StorageError(f"{path} is not a repro.timeseries-store manifest")
+    if int(manifest.get("version", 0)) > FORMAT_VERSION:
+        raise StorageError(
+            f"manifest version {manifest.get('version')} is newer than supported "
+            f"({FORMAT_VERSION})")
+
+    store = TimeSeriesStore(
+        default_segment_size=int(manifest.get("default_segment_size", 1_024)))
+    for name, document in manifest.get("series", {}).items():
+        spec = document["codec"]
+        codec = make_codec(spec["name"], **spec.get("options", {}))
+        store.create_series(name, codec=codec,
+                            segment_size=int(document["segment_size"]),
+                            metadata=dict(document.get("metadata", {})))
+        state = store._state(name)  # noqa: SLF001
+        state.segments = [_segment_from_document(segment_doc, codec)
+                          for segment_doc in document.get("segments", [])]
+        state.buffer = [float(value) for value in document.get("buffer", [])]
+    return store

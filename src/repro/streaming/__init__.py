@@ -1,0 +1,14 @@
+"""Streaming extensions: chunked CAMEO compression and online ACF tooling."""
+
+from .chunked import ChunkResult, StreamingCameoCompressor, StreamReport, concat_irregular
+from .online_acf import AcfDriftMonitor, DriftEvent, OnlineAcfEstimator
+
+__all__ = [
+    "StreamingCameoCompressor",
+    "ChunkResult",
+    "StreamReport",
+    "concat_irregular",
+    "OnlineAcfEstimator",
+    "AcfDriftMonitor",
+    "DriftEvent",
+]

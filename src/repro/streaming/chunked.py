@@ -1,0 +1,214 @@
+"""Chunked (streaming) CAMEO compression for unbounded streams.
+
+The offline algorithm needs the full series to rank every point's impact.
+For streams, :class:`StreamingCameoCompressor` buffers values into fixed-size
+chunks and compresses each sealed chunk independently with the configured
+bound — the same local-budget idea as the paper's coarse-grained
+parallelization (Section 4.4), applied over time instead of over threads.
+Each chunk's ACF deviation is bounded by ``epsilon``, so the autocorrelation
+structure within every chunk is preserved; chunk boundaries are always
+retained points, so reconstructions of adjacent chunks join exactly.
+
+:func:`concat_irregular` stitches per-chunk results back into one
+:class:`repro.data.timeseries.IrregularSeries` over the whole stream, which
+is convenient for persisting a long session as a single object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._validation import as_float_array, check_positive_int
+from ..core import CameoCompressor
+from ..data.timeseries import IrregularSeries
+from ..exceptions import InvalidParameterError, InvalidSeriesError
+from .online_acf import OnlineAcfEstimator
+
+__all__ = ["ChunkResult", "StreamReport", "StreamingCameoCompressor", "concat_irregular"]
+
+
+@dataclass(frozen=True)
+class ChunkResult:
+    """One sealed chunk's compression outcome."""
+
+    index: int
+    start: int
+    compressed: IrregularSeries
+
+    @property
+    def length(self) -> int:
+        """Number of raw values in the chunk."""
+        return self.compressed.original_length
+
+    @property
+    def kept_points(self) -> int:
+        """Number of retained points."""
+        return len(self.compressed)
+
+    @property
+    def achieved_deviation(self) -> float:
+        """Statistic deviation reached inside the chunk."""
+        return float(self.compressed.metadata.get("achieved_deviation", 0.0))
+
+
+@dataclass
+class StreamReport:
+    """Aggregate statistics over everything the stream compressor sealed."""
+
+    chunks: int = 0
+    ingested_points: int = 0
+    sealed_points: int = 0
+    kept_points: int = 0
+    worst_chunk_deviation: float = 0.0
+    chunk_deviations: list[float] = field(default_factory=list)
+
+    @property
+    def buffered_points(self) -> int:
+        """Values received but not yet sealed into a chunk."""
+        return self.ingested_points - self.sealed_points
+
+    @property
+    def compression_ratio(self) -> float:
+        """Sealed raw points over retained points."""
+        if self.kept_points == 0:
+            return 1.0
+        return self.sealed_points / float(self.kept_points)
+
+
+class StreamingCameoCompressor:
+    """Compress an unbounded stream chunk-by-chunk under a per-chunk bound.
+
+    Parameters
+    ----------
+    chunk_size:
+        Values per sealed chunk.  Must comfortably exceed ``max_lag`` (at
+        least twice), otherwise the per-chunk ACF is meaningless.
+    max_lag, epsilon, **cameo_options:
+        Forwarded to :class:`repro.core.CameoCompressor` for every chunk.
+    track_global_acf:
+        When ``True`` (default) an :class:`OnlineAcfEstimator` follows the raw
+        stream so :meth:`global_acf` can report the reference ACF of all data
+        seen so far without retaining it.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.streaming import StreamingCameoCompressor
+    >>> stream = StreamingCameoCompressor(chunk_size=256, max_lag=24, epsilon=0.05)
+    >>> x = np.sin(np.arange(1000) * 2 * np.pi / 24)
+    >>> chunks = stream.add(x) + stream.finalize()
+    >>> sum(c.length for c in chunks)
+    1000
+    """
+
+    def __init__(self, chunk_size: int, max_lag: int, epsilon: float | None = 0.01, *,
+                 track_global_acf: bool = True, **cameo_options):
+        self.chunk_size = check_positive_int(chunk_size, "chunk_size")
+        self.max_lag = check_positive_int(max_lag, "max_lag")
+        if self.chunk_size < 2 * self.max_lag:
+            raise InvalidParameterError(
+                "chunk_size should be at least twice max_lag "
+                f"(got chunk_size={self.chunk_size}, max_lag={self.max_lag})")
+        self.epsilon = epsilon
+        self._compressor = CameoCompressor(self.max_lag, epsilon, **cameo_options)
+        self._buffer: list[float] = []
+        self._results: list[ChunkResult] = []
+        self._report = StreamReport()
+        self._estimator = OnlineAcfEstimator(self.max_lag) if track_global_acf else None
+
+    # ------------------------------------------------------------------ #
+    # ingest
+    # ------------------------------------------------------------------ #
+    def add(self, values) -> list[ChunkResult]:
+        """Feed values into the stream; returns chunks sealed by this call."""
+        if np.isscalar(values):
+            values = [float(values)]
+        values = as_float_array(values, name="values")
+        if self._estimator is not None:
+            self._estimator.update(values)
+        self._buffer.extend(values.tolist())
+        self._report.ingested_points += values.size
+
+        sealed: list[ChunkResult] = []
+        while len(self._buffer) >= self.chunk_size:
+            chunk_values = np.asarray(self._buffer[: self.chunk_size], dtype=np.float64)
+            del self._buffer[: self.chunk_size]
+            sealed.append(self._seal(chunk_values))
+        return sealed
+
+    def finalize(self) -> list[ChunkResult]:
+        """Seal whatever remains in the buffer (possibly a short chunk)."""
+        if not self._buffer:
+            return []
+        chunk_values = np.asarray(self._buffer, dtype=np.float64)
+        self._buffer.clear()
+        if chunk_values.size < 2:
+            raise InvalidSeriesError(
+                "cannot seal a final chunk with fewer than two values; "
+                "feed at least two values before finalizing")
+        return [self._seal(chunk_values)]
+
+    def _seal(self, values: np.ndarray) -> ChunkResult:
+        start = self._report.sealed_points
+        compressed = self._compressor.compress(values)
+        result = ChunkResult(index=len(self._results), start=start, compressed=compressed)
+        self._results.append(result)
+        report = self._report
+        report.chunks += 1
+        report.sealed_points += values.size
+        report.kept_points += len(compressed)
+        deviation = result.achieved_deviation
+        report.chunk_deviations.append(deviation)
+        report.worst_chunk_deviation = max(report.worst_chunk_deviation, deviation)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # inspection
+    # ------------------------------------------------------------------ #
+    @property
+    def results(self) -> list[ChunkResult]:
+        """All sealed chunks, in stream order."""
+        return list(self._results)
+
+    def report(self) -> StreamReport:
+        """Aggregate ingest/compression statistics so far."""
+        return self._report
+
+    def global_acf(self) -> np.ndarray:
+        """Exact ACF of the raw stream observed so far (needs tracking enabled)."""
+        if self._estimator is None:
+            raise InvalidParameterError(
+                "global ACF tracking was disabled (track_global_acf=False)")
+        return self._estimator.acf()
+
+    def to_irregular(self, name: str = "stream") -> IrregularSeries:
+        """Stitch every sealed chunk into one irregular series."""
+        return concat_irregular([result.compressed for result in self._results], name=name)
+
+
+def concat_irregular(chunks, name: str = "stream") -> IrregularSeries:
+    """Concatenate per-chunk irregular series into one global representation.
+
+    The chunks must describe consecutive, non-overlapping ranges in stream
+    order (exactly what :class:`StreamingCameoCompressor` produces).  Chunk
+    boundary points are always retained by the compressor, so the
+    concatenation reconstructs each chunk independently of its neighbours.
+    """
+    chunks = list(chunks)
+    if not chunks:
+        raise InvalidParameterError("at least one chunk is required")
+    indices: list[np.ndarray] = []
+    values: list[np.ndarray] = []
+    offset = 0
+    for chunk in chunks:
+        if not isinstance(chunk, IrregularSeries):
+            raise InvalidParameterError("chunks must be IrregularSeries instances")
+        indices.append(chunk.indices + offset)
+        values.append(chunk.values)
+        offset += chunk.original_length
+    return IrregularSeries(
+        indices=np.concatenate(indices), values=np.concatenate(values),
+        original_length=offset, name=name,
+        metadata={"compressor": "CAMEO-streaming", "chunks": len(chunks)})

@@ -1,0 +1,221 @@
+"""Online (streaming) ACF estimation and drift monitoring.
+
+CAMEO compresses whole series (or sealed segments), but the IoT scenarios the
+paper motivates produce unbounded streams.  Two pieces make the framework
+usable online:
+
+* :class:`OnlineAcfEstimator` — maintains the exact ACF of everything seen so
+  far in O(L) memory and O(L) time per value, using the same lag-sum
+  aggregates as Equation 7 of the paper (``sx``, ``sx_l``, ``sx2``, ``sx2_l``,
+  ``sxx_l``), built incrementally from a ring buffer of the last ``L``
+  values.
+* :class:`AcfDriftMonitor` — compares the ACF of a sliding recent window
+  against a reference ACF (e.g. the ACF the compressor is preserving) and
+  reports when the deviation exceeds a threshold, signalling that the chosen
+  error bound or lag count should be revisited.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._validation import as_float_array, check_positive_int
+from ..exceptions import InvalidParameterError, InvalidSeriesError
+from ..metrics import get_metric
+from ..stats.acf import acf, acf_from_sums
+
+__all__ = ["OnlineAcfEstimator", "AcfDriftMonitor", "DriftEvent"]
+
+
+class OnlineAcfEstimator:
+    """Exact streaming ACF over all values observed so far.
+
+    The estimator keeps, per lag ``l`` in ``1..max_lag``, the running sums of
+    Equation 7; each new value updates every lag's cross-product using the
+    ring buffer of the most recent ``max_lag`` values, so the per-value cost
+    is O(L) and memory is O(L).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.streaming import OnlineAcfEstimator
+    >>> x = np.sin(np.arange(500) * 2 * np.pi / 25)
+    >>> estimator = OnlineAcfEstimator(max_lag=25)
+    >>> estimator.update(x)
+    >>> bool(np.allclose(estimator.acf(), __import__('repro').acf(x, 25), atol=1e-9))
+    True
+    """
+
+    def __init__(self, max_lag: int):
+        self.max_lag = check_positive_int(max_lag, "max_lag")
+        self._count = 0
+        self._recent: deque[float] = deque(maxlen=self.max_lag)
+        # Prefix sums over the whole stream.
+        self._sum = 0.0
+        self._sum_sq = 0.0
+        # Per-lag sums: cross products and the sums/sums-of-squares of the
+        # first n-l and last n-l elements (Equation 7's sx, sx_l, sx2, sx2_l).
+        lags = self.max_lag
+        self._cross = np.zeros(lags, dtype=np.float64)
+        self._head_sum = np.zeros(lags, dtype=np.float64)
+        self._head_sum_sq = np.zeros(lags, dtype=np.float64)
+        self._tail_sum = np.zeros(lags, dtype=np.float64)
+        self._tail_sum_sq = np.zeros(lags, dtype=np.float64)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def count(self) -> int:
+        """Number of values observed so far."""
+        return self._count
+
+    def push(self, value: float) -> None:
+        """Observe a single value."""
+        value = float(value)
+        if not np.isfinite(value):
+            raise InvalidSeriesError("stream values must be finite")
+        recent = self._recent
+        n_recent = len(recent)
+        for offset in range(n_recent):
+            lag = offset + 1
+            partner = recent[n_recent - 1 - offset]
+            self._cross[lag - 1] += partner * value
+            # ``partner`` is x_{t-l} (a "head" element for this lag) and the
+            # new value is x_t (a "tail" element for this lag).
+            self._head_sum[lag - 1] += partner
+            self._head_sum_sq[lag - 1] += partner * partner
+            self._tail_sum[lag - 1] += value
+            self._tail_sum_sq[lag - 1] += value * value
+        recent.append(value)
+        self._sum += value
+        self._sum_sq += value * value
+        self._count += 1
+
+    def update(self, values) -> None:
+        """Observe a batch of values (order preserved)."""
+        values = as_float_array(values, name="values")
+        for value in values:
+            self.push(float(value))
+
+    def acf(self, max_lag: int | None = None) -> np.ndarray:
+        """ACF of the stream so far at lags ``1..max_lag`` (NaN-free).
+
+        Lags not yet observable (``lag >= count``) and constant streams yield
+        zero entries, mirroring :func:`repro.stats.acf`'s conventions.
+        """
+        limit = self.max_lag if max_lag is None else min(int(max_lag), self.max_lag)
+        if limit < 1:
+            raise InvalidParameterError("max_lag must be >= 1")
+        out = np.zeros(limit, dtype=np.float64)
+        n = self._count
+        for lag in range(1, limit + 1):
+            pairs = n - lag
+            if pairs < 2:
+                continue
+            out[lag - 1] = acf_from_sums(
+                pairs, self._head_sum[lag - 1], self._tail_sum[lag - 1],
+                self._head_sum_sq[lag - 1], self._tail_sum_sq[lag - 1],
+                self._cross[lag - 1])
+        return out
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """Record of one detected autocorrelation drift."""
+
+    position: int
+    deviation: float
+    threshold: float
+    window_acf: np.ndarray
+    reference_acf: np.ndarray
+
+
+class AcfDriftMonitor:
+    """Detects drift of the recent ACF away from a reference ACF.
+
+    Parameters
+    ----------
+    max_lag:
+        Number of lags of the compared ACFs.
+    window:
+        Length of the sliding window whose ACF is compared to the reference.
+        Must exceed ``max_lag``.
+    threshold:
+        Deviation (per ``metric``) beyond which a :class:`DriftEvent` is
+        emitted.
+    reference:
+        Reference ACF vector.  When omitted, the ACF of the first full window
+        becomes the reference (self-calibration).
+    metric:
+        Deviation measure, default MAE (the paper's default ``D``).
+    cooldown:
+        Minimum number of values between two events, to avoid flooding.
+    """
+
+    def __init__(self, max_lag: int, window: int, threshold: float, *,
+                 reference=None, metric="mae", cooldown: int | None = None):
+        self.max_lag = check_positive_int(max_lag, "max_lag")
+        self.window = check_positive_int(window, "window")
+        if self.window <= self.max_lag:
+            raise InvalidParameterError("window must be larger than max_lag")
+        if threshold <= 0:
+            raise InvalidParameterError("threshold must be positive")
+        self.threshold = float(threshold)
+        self.metric = get_metric(metric)
+        self.cooldown = self.window if cooldown is None else check_positive_int(
+            cooldown, "cooldown")
+        self._reference = None if reference is None else np.asarray(
+            reference, dtype=np.float64)
+        if self._reference is not None and self._reference.size != self.max_lag:
+            raise InvalidParameterError(
+                f"reference ACF must have {self.max_lag} entries")
+        self._buffer: deque[float] = deque(maxlen=self.window)
+        self._position = 0
+        self._last_event_position: int | None = None
+        self.events: list[DriftEvent] = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def reference(self) -> np.ndarray | None:
+        """The reference ACF (set explicitly or self-calibrated)."""
+        return self._reference
+
+    def push(self, value: float) -> DriftEvent | None:
+        """Observe one value; return a :class:`DriftEvent` if drift is detected."""
+        value = float(value)
+        if not np.isfinite(value):
+            raise InvalidSeriesError("stream values must be finite")
+        self._buffer.append(value)
+        self._position += 1
+        if len(self._buffer) < self.window:
+            return None
+
+        window_values = np.asarray(self._buffer, dtype=np.float64)
+        window_acf = acf(window_values, self.max_lag)
+        if self._reference is None:
+            self._reference = window_acf
+            return None
+        deviation = float(self.metric(self._reference, window_acf))
+        if deviation < self.threshold:
+            return None
+        if (self._last_event_position is not None
+                and self._position - self._last_event_position < self.cooldown):
+            return None
+        event = DriftEvent(position=self._position, deviation=deviation,
+                           threshold=self.threshold, window_acf=window_acf,
+                           reference_acf=self._reference.copy())
+        self._last_event_position = self._position
+        self.events.append(event)
+        return event
+
+    def update(self, values) -> list[DriftEvent]:
+        """Observe a batch of values; return all events they triggered."""
+        values = as_float_array(values, name="values")
+        events = []
+        for value in values:
+            event = self.push(float(value))
+            if event is not None:
+                events.append(event)
+        return events

@@ -1,0 +1,130 @@
+"""Tests for the Matrix Profile, irregular MP, and UCR scoring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.anomaly import (
+    detect_discord,
+    irregular_matrix_profile,
+    matrix_profile,
+    regular_matrix_profile_naive,
+    sliding_window_stats,
+    top_discord,
+    ucr_score,
+)
+from repro.core import cameo_compress
+from repro.data import generate_anomaly_case, generate_anomaly_corpus
+from repro.exceptions import InvalidParameterError
+
+
+def _signal_with_anomaly(n: int = 1500, period: int = 50, seed: int = 0
+                         ) -> tuple[np.ndarray, int]:
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    x = np.sin(2 * np.pi * t / period) + rng.normal(0, 0.1, n)
+    anomaly_at = 1000
+    x[anomaly_at:anomaly_at + 3] += 4.0
+    return x, anomaly_at
+
+
+class TestSlidingStats:
+    def test_matches_direct_computation(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0, 1, 200)
+        means, stds = sliding_window_stats(x, 20)
+        assert means.size == 181
+        assert means[0] == pytest.approx(np.mean(x[:20]))
+        assert stds[50] == pytest.approx(np.std(x[50:70]), abs=1e-9)
+
+
+class TestMatrixProfile:
+    def test_profile_shape(self):
+        x, _pos = _signal_with_anomaly(800)
+        result = matrix_profile(x, 50)
+        assert result.profile.size == x.size - 50 + 1
+
+    def test_discord_located_at_injected_anomaly(self):
+        x, anomaly_at = _signal_with_anomaly()
+        result = matrix_profile(x, 50)
+        assert abs(result.discord_index() - anomaly_at) <= 50
+
+    def test_periodic_signal_has_low_profile(self):
+        t = np.arange(600)
+        x = np.sin(2 * np.pi * t / 30)
+        result = matrix_profile(x, 30)
+        # Every subsequence repeats, so normalised distances are near zero
+        # except at the exclusion boundaries.
+        assert np.median(result.profile) < 0.5
+
+    def test_window_validation(self):
+        x, _pos = _signal_with_anomaly(300)
+        with pytest.raises(InvalidParameterError):
+            matrix_profile(x, 2)
+        with pytest.raises(InvalidParameterError):
+            matrix_profile(x, 200)
+
+    def test_top_discord_over_window_range(self):
+        x, anomaly_at = _signal_with_anomaly(seed=2)
+        index, distance, window = top_discord(x, (40, 60))
+        assert distance > 0
+        assert 40 <= window <= 60
+        assert abs(index - anomaly_at) <= 60
+
+    def test_detect_discord_returns_centre(self):
+        x, anomaly_at = _signal_with_anomaly(seed=3)
+        detected = detect_discord(x, window_range=(40, 60))
+        assert abs(detected - anomaly_at) <= 100
+
+
+class TestUcrScore:
+    def test_raw_corpus_scores_high(self):
+        corpus = generate_anomaly_corpus(6, length=1500, period=60, seed=2)
+        score, outcomes = ucr_score(corpus, window_range=(50, 70))
+        assert len(outcomes) == 6
+        assert score >= 0.5
+
+    def test_destroyed_series_scores_lower_or_equal(self):
+        corpus = generate_anomaly_corpus(4, length=1200, period=60, seed=3)
+        baseline_score, _ = ucr_score(corpus, window_range=(50, 70))
+        def destroy(case):
+            values = case.values
+            return np.interp(np.arange(values.size), [0, values.size - 1],
+                             [values[0], values[-1]])
+        destroyed_score, _ = ucr_score(corpus, destroy, window_range=(50, 70))
+        assert destroyed_score <= baseline_score
+
+    def test_outcome_details(self):
+        corpus = generate_anomaly_corpus(2, length=1200, period=60, seed=4)
+        _score, outcomes = ucr_score(corpus, window_range=(50, 70))
+        for outcome in outcomes:
+            assert "anomaly_start" in outcome.details
+            assert isinstance(outcome.hit, bool)
+
+
+class TestIrregularProfile:
+    def test_runs_on_compressed_series_and_uses_fewer_points(self):
+        x, anomaly_at = _signal_with_anomaly(seed=5)
+        compressed = cameo_compress(x, max_lag=50, epsilon=0.02)
+        result = irregular_matrix_profile(compressed, 100)
+        assert result.points_per_segment < 100
+        assert result.profile.size == result.starts.size
+        del anomaly_at
+
+    def test_regular_reference_finds_anomaly(self):
+        x, anomaly_at = _signal_with_anomaly(seed=6)
+        result = regular_matrix_profile_naive(x, 100)
+        assert abs(result.discord_index() - anomaly_at) <= 150
+
+    def test_irregular_close_to_regular_at_low_compression(self):
+        x, anomaly_at = _signal_with_anomaly(seed=7)
+        compressed = cameo_compress(x, max_lag=50, epsilon=0.002)
+        irregular = irregular_matrix_profile(compressed, 100)
+        assert abs(irregular.discord_index() - anomaly_at) <= 200
+
+    def test_window_validation(self):
+        x, _pos = _signal_with_anomaly(400, seed=8)
+        compressed = cameo_compress(x, max_lag=20, epsilon=0.05)
+        with pytest.raises(InvalidParameterError):
+            irregular_matrix_profile(compressed, 300)

@@ -1,0 +1,183 @@
+"""Tests for the lossy compression baselines (PMC, SWING, Sim-Piece, FFT)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compressors import (
+    FFTCompressor,
+    PoorMansCompressionMean,
+    SimPiece,
+    SwingFilter,
+    acf_deviation_of,
+    pmc_segments,
+    search_parameter_for_acf,
+    simpiece_segments,
+    swing_segments,
+)
+from repro.exceptions import InvalidParameterError
+from repro.metrics import nrmse
+
+
+def _series(n: int = 1500, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return 20 + 5 * np.sin(2 * np.pi * np.arange(n) / 48) + rng.normal(0, 0.5, n)
+
+
+class TestPmc:
+    def test_error_bound_holds(self):
+        x = _series()
+        model = PoorMansCompressionMean(0.5).compress(x)
+        assert np.max(np.abs(model.decompress() - x)) <= 0.5 + 1e-9
+
+    def test_constant_series_single_segment(self):
+        x = np.full(300, 7.0)
+        segments = pmc_segments(x, 0.1)
+        assert len(segments) == 1
+
+    def test_larger_bound_fewer_segments(self):
+        x = _series(seed=1)
+        small = PoorMansCompressionMean(0.2).compress(x)
+        large = PoorMansCompressionMean(2.0).compress(x)
+        assert large.metadata["segments"] <= small.metadata["segments"]
+
+    def test_mean_variant(self):
+        x = _series(seed=2)
+        model = PoorMansCompressionMean(1.0, variant="mean").compress(x)
+        assert np.max(np.abs(model.decompress() - x)) <= 2.0  # mean variant: 2x bound worst case
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            PoorMansCompressionMean(0.0)
+        with pytest.raises(ValueError):
+            PoorMansCompressionMean(1.0, variant="mode")
+
+    def test_compression_ratio_accounting(self):
+        x = _series(seed=3)
+        model = PoorMansCompressionMean(1.0).compress(x)
+        assert model.compression_ratio() == pytest.approx(
+            x.size / (2 * model.metadata["segments"]))
+        assert model.bits_per_value() == pytest.approx(
+            2 * model.metadata["segments"] * 64 / x.size)
+
+
+class TestSwing:
+    def test_error_bound_holds(self):
+        x = _series(seed=4)
+        model = SwingFilter(0.6).compress(x)
+        assert np.max(np.abs(model.decompress() - x)) <= 0.6 + 1e-6
+
+    def test_linear_series_one_segment(self):
+        x = np.linspace(0, 50, 400)
+        segments = swing_segments(x, 0.01)
+        assert len(segments) <= 2
+
+    def test_reconstruction_length(self):
+        x = _series(seed=5)
+        assert SwingFilter(0.5).compress(x).decompress().size == x.size
+
+    def test_larger_bound_more_compression(self):
+        x = _series(seed=6)
+        small = SwingFilter(0.2).compress(x)
+        large = SwingFilter(3.0).compress(x)
+        assert large.compression_ratio() >= small.compression_ratio()
+
+
+class TestSimPiece:
+    def test_error_bound_holds(self):
+        x = _series(seed=7)
+        model = SimPiece(0.6).compress(x)
+        assert np.max(np.abs(model.decompress() - x)) <= 2 * 0.6 + 1e-6
+
+    def test_groups_never_exceed_segments(self):
+        x = _series(seed=8)
+        model = SimPiece(0.5).compress(x)
+        assert model.metadata["groups"] <= model.metadata["segments"]
+
+    def test_segment_cover_is_complete(self):
+        x = _series(300, seed=9)
+        segments = simpiece_segments(x, 0.4)
+        covered = sorted((segment.start, segment.end) for segment in segments)
+        assert covered[0][0] == 0
+        assert covered[-1][1] == x.size - 1
+        for (s1, e1), (s2, _e2) in zip(covered[:-1], covered[1:]):
+            assert s2 == e1 + 1
+
+    def test_merging_improves_over_unmerged_storage(self):
+        x = _series(seed=10)
+        model = SimPiece(1.0).compress(x)
+        unmerged_cost = 3 * model.metadata["segments"]
+        assert model.stored_values <= unmerged_cost
+
+
+class TestFft:
+    def test_keep_all_components_reconstructs_exactly(self):
+        x = _series(512, seed=11)
+        model = FFTCompressor(1.0).compress(x)
+        assert np.allclose(model.decompress(), x, atol=1e-8)
+
+    def test_fewer_components_higher_error(self):
+        x = _series(1024, seed=12)
+        coarse = FFTCompressor(0.01).compress(x)
+        fine = FFTCompressor(0.3).compress(x)
+        assert nrmse(x, coarse.decompress()) >= nrmse(x, fine.decompress())
+
+    def test_seasonal_series_compresses_well(self):
+        t = np.arange(2048)
+        x = np.sin(2 * np.pi * t / 64) + 0.5 * np.sin(2 * np.pi * t / 16)
+        model = FFTCompressor(keep_components=4).compress(x)
+        assert nrmse(x, model.decompress()) < 0.01
+        assert model.compression_ratio() > 100
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            FFTCompressor(0.0)
+        with pytest.raises(InvalidParameterError):
+            FFTCompressor(keep_components=0)
+
+    def test_metadata(self):
+        x = _series(256, seed=13)
+        model = FFTCompressor(0.1).compress(x)
+        assert model.metadata["kept_components"] == round(0.1 * model.metadata["total_components"])
+
+
+class TestAcfSearch:
+    def test_deviation_helper_zero_for_identical(self):
+        x = _series(seed=14)
+        assert acf_deviation_of(x, x, 24) == pytest.approx(0.0, abs=1e-12)
+
+    def test_search_respects_bound_when_feasible(self):
+        x = _series(seed=15)
+        model, _param, deviation = search_parameter_for_acf(
+            lambda e: SwingFilter(e).compress(x), x, 24, 0.02, high=5.0)
+        assert deviation < 0.02
+        assert model.compression_ratio() >= 1.0
+
+    def test_search_monotone_improvement(self):
+        x = _series(seed=16)
+        tight, _p1, _d1 = search_parameter_for_acf(
+            lambda e: PoorMansCompressionMean(e).compress(x), x, 24, 0.005, high=5.0)
+        loose, _p2, _d2 = search_parameter_for_acf(
+            lambda e: PoorMansCompressionMean(e).compress(x), x, 24, 0.05, high=5.0)
+        assert loose.compression_ratio() >= tight.compression_ratio() - 1e-9
+
+    def test_invalid_epsilon(self):
+        x = _series(200, seed=17)
+        with pytest.raises(InvalidParameterError):
+            search_parameter_for_acf(lambda e: SwingFilter(e).compress(x), x, 10, 0.0)
+
+
+class TestPropertyBased:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000),
+           st.floats(min_value=0.05, max_value=2.0))
+    def test_pmc_and_swing_respect_linf_bound(self, seed, bound):
+        """Property: both segment compressors honour the per-value bound."""
+        rng = np.random.default_rng(seed)
+        x = np.cumsum(rng.normal(0, 1, 200))
+        for compressor in (PoorMansCompressionMean(bound), SwingFilter(bound)):
+            reconstruction = compressor.compress(x).decompress()
+            assert np.max(np.abs(reconstruction - x)) <= bound + 1e-6

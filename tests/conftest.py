@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    """Session-wide deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def seasonal_series() -> np.ndarray:
+    """A medium-length seasonal series with noise (period 24)."""
+    rng = np.random.default_rng(7)
+    t = np.arange(1200)
+    return (5.0 + 2.0 * np.sin(2 * np.pi * t / 24)
+            + 0.5 * np.sin(2 * np.pi * t / 168)
+            + rng.normal(0.0, 0.3, t.size))
+
+
+@pytest.fixture()
+def short_seasonal_series() -> np.ndarray:
+    """A short seasonal series for the slower algorithms (period 24)."""
+    rng = np.random.default_rng(11)
+    t = np.arange(400)
+    return 10.0 + 3.0 * np.sin(2 * np.pi * t / 24) + rng.normal(0.0, 0.4, t.size)
+
+
+@pytest.fixture()
+def noisy_walk() -> np.ndarray:
+    """A random-walk series without seasonality."""
+    rng = np.random.default_rng(3)
+    return np.cumsum(rng.normal(0.0, 1.0, 800))

@@ -1,0 +1,54 @@
+"""Tests for blocking-neighbourhood sizing."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import resolve_blocking_hops
+from repro.exceptions import InvalidParameterError
+
+
+class TestResolveBlockingHops:
+    def test_integer_passthrough(self):
+        assert resolve_blocking_hops(7, 1000) == 7
+
+    def test_logn(self):
+        assert resolve_blocking_hops("logn", 1024) == 10
+
+    def test_multiples_of_logn(self):
+        assert resolve_blocking_hops("5logn", 1024) == 50
+        assert resolve_blocking_hops("3 * log n", 1024) == 30
+        assert resolve_blocking_hops("10logn", 1024) == 100
+
+    def test_sqrt_and_half(self):
+        assert resolve_blocking_hops("sqrt", 10_000) == 100
+        assert resolve_blocking_hops("half", 10_000) == 5_000
+
+    def test_all_and_none_mean_no_blocking(self):
+        assert resolve_blocking_hops("all", 500) == 500
+        assert resolve_blocking_hops(None, 500) == 500
+
+    def test_callable(self):
+        assert resolve_blocking_hops(lambda n: int(math.sqrt(n)) + 1, 100) == 11
+
+    def test_fractional_multiple(self):
+        assert resolve_blocking_hops("1.5logn", 1024) == 15
+
+    def test_invalid_specs_raise(self):
+        with pytest.raises(InvalidParameterError):
+            resolve_blocking_hops("bogus", 100)
+        with pytest.raises(InvalidParameterError):
+            resolve_blocking_hops(0, 100)
+        with pytest.raises(InvalidParameterError):
+            resolve_blocking_hops(True, 100)
+        with pytest.raises(InvalidParameterError):
+            resolve_blocking_hops(lambda n: 0, 100)
+
+    def test_minimum_series_length(self):
+        with pytest.raises(InvalidParameterError):
+            resolve_blocking_hops("logn", 1)
+
+    def test_result_at_least_one(self):
+        assert resolve_blocking_hops("logn", 2) >= 1

@@ -1,0 +1,158 @@
+"""Tests for the indexed min-heap used by CAMEO's removal queue."""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import IndexedMinHeap
+
+
+class TestBasics:
+    def test_push_pop_single(self):
+        heap = IndexedMinHeap(10)
+        heap.push(3, 1.5)
+        assert len(heap) == 1
+        assert 3 in heap
+        item, key = heap.pop()
+        assert (item, key) == (3, 1.5)
+        assert len(heap) == 0
+
+    def test_pop_returns_minimum(self):
+        heap = IndexedMinHeap(10)
+        for item, key in [(0, 5.0), (1, 1.0), (2, 3.0)]:
+            heap.push(item, key)
+        assert heap.pop() == (1, 1.0)
+        assert heap.pop() == (2, 3.0)
+        assert heap.pop() == (0, 5.0)
+
+    def test_peek_does_not_remove(self):
+        heap = IndexedMinHeap(5)
+        heap.push(2, 0.5)
+        assert heap.peek() == (2, 0.5)
+        assert len(heap) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            IndexedMinHeap(3).pop()
+
+    def test_duplicate_push_raises(self):
+        heap = IndexedMinHeap(3)
+        heap.push(0, 1.0)
+        with pytest.raises(ValueError):
+            heap.push(0, 2.0)
+
+    def test_out_of_range_item_raises(self):
+        with pytest.raises(ValueError):
+            IndexedMinHeap(3).push(5, 1.0)
+
+    def test_key_of(self):
+        heap = IndexedMinHeap(4)
+        heap.push(1, 7.0)
+        assert heap.key_of(1) == 7.0
+        with pytest.raises(KeyError):
+            heap.key_of(2)
+
+
+class TestUpdateRemove:
+    def test_decrease_key_moves_to_front(self):
+        heap = IndexedMinHeap(10)
+        for item in range(5):
+            heap.push(item, float(item + 10))
+        heap.update(4, 0.1)
+        assert heap.pop() == (4, 0.1)
+
+    def test_increase_key_moves_back(self):
+        heap = IndexedMinHeap(10)
+        for item in range(5):
+            heap.push(item, float(item))
+        heap.update(0, 100.0)
+        assert heap.pop() == (1, 1.0)
+
+    def test_update_absent_item_inserts(self):
+        heap = IndexedMinHeap(5)
+        heap.update(3, 2.0)
+        assert 3 in heap
+
+    def test_remove_middle_item(self):
+        heap = IndexedMinHeap(10)
+        for item in range(6):
+            heap.push(item, float(item))
+        heap.remove(3)
+        assert 3 not in heap
+        popped = [heap.pop()[0] for _ in range(len(heap))]
+        assert popped == [0, 1, 2, 4, 5]
+
+    def test_remove_absent_is_noop(self):
+        heap = IndexedMinHeap(5)
+        heap.push(0, 1.0)
+        heap.remove(4)
+        assert len(heap) == 1
+
+
+class TestHeapify:
+    def test_heapify_orders_like_sorted(self):
+        rng = np.random.default_rng(0)
+        keys = rng.normal(size=200)
+        heap = IndexedMinHeap(200)
+        heap.heapify(np.arange(200), keys)
+        popped_keys = [heap.pop()[1] for _ in range(200)]
+        assert popped_keys == sorted(keys.tolist())
+
+    def test_heapify_resets_previous_content(self):
+        heap = IndexedMinHeap(10)
+        heap.push(9, 0.0)
+        heap.heapify(np.array([1, 2]), np.array([5.0, 4.0]))
+        assert 9 not in heap
+        assert len(heap) == 2
+
+    def test_heapify_duplicate_items_rejected(self):
+        heap = IndexedMinHeap(10)
+        with pytest.raises(ValueError):
+            heap.heapify(np.array([1, 1]), np.array([1.0, 2.0]))
+
+    def test_invariants_after_heapify(self):
+        rng = np.random.default_rng(1)
+        heap = IndexedMinHeap(100)
+        heap.heapify(np.arange(100), rng.normal(size=100))
+        assert heap.check_invariants()
+
+
+class TestAgainstHeapq:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_random_operation_sequences_match_reference(self, seed):
+        """Property: interleaved pushes/pops/updates agree with a reference
+        implementation (heapq with lazy deletion)."""
+        rng = np.random.default_rng(seed)
+        capacity = 50
+        heap = IndexedMinHeap(capacity)
+        reference: dict[int, float] = {}
+        for _step in range(120):
+            op = rng.integers(0, 4)
+            if op == 0:  # push
+                item = int(rng.integers(0, capacity))
+                key = float(np.round(rng.normal(), 6))
+                if item not in reference:
+                    heap.push(item, key)
+                    reference[item] = key
+            elif op == 1 and reference:  # update
+                item = int(rng.choice(list(reference)))
+                key = float(np.round(rng.normal(), 6))
+                heap.update(item, key)
+                reference[item] = key
+            elif op == 2 and reference:  # remove
+                item = int(rng.choice(list(reference)))
+                heap.remove(item)
+                del reference[item]
+            elif op == 3 and reference:  # pop minimum
+                item, key = heap.pop()
+                expected_item = min(reference, key=lambda k: (reference[k], ))
+                assert key == pytest.approx(reference[expected_item])
+                del reference[item]
+            assert len(heap) == len(reference)
+            assert heap.check_invariants()

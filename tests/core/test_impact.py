@@ -1,0 +1,134 @@
+"""Tests for the vectorised ACF-impact evaluation (Algorithm 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    batched_single_change_impacts,
+    initial_interpolation_deltas,
+    metric_rowwise,
+    segment_interpolation_deltas,
+)
+from repro.metrics import chebyshev, mae
+from repro.stats import ACFAggregateState
+
+
+def _series(seed: int = 0, n: int = 300) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.sin(np.arange(n) / 9.0) * 2 + rng.normal(0, 0.4, n)
+
+
+class TestMetricRowwise:
+    def test_mae_matches_function(self):
+        reference = np.array([0.1, 0.2, 0.3])
+        candidates = np.array([[0.1, 0.2, 0.3], [0.4, 0.2, 0.0]])
+        values = metric_rowwise("mae", reference, candidates)
+        assert values[0] == pytest.approx(0.0)
+        assert values[1] == pytest.approx(mae(reference, candidates[1]))
+
+    def test_cheb_matches_function(self):
+        reference = np.zeros(4)
+        candidate = np.array([[0.0, -0.5, 0.2, 0.1]])
+        assert metric_rowwise("cheb", reference, candidate)[0] == pytest.approx(
+            chebyshev(reference, candidate[0]))
+
+    def test_callable_fallback(self):
+        reference = np.array([1.0, 1.0])
+        candidates = np.array([[1.0, 2.0], [1.0, 1.0]])
+        values = metric_rowwise(lambda x, y: float(np.sum(np.abs(x - y))),
+                                reference, candidates)
+        assert np.allclose(values, [1.0, 0.0])
+
+    def test_rmse_and_mse(self):
+        reference = np.zeros(2)
+        candidates = np.array([[3.0, 4.0]])
+        assert metric_rowwise("rmse", reference, candidates)[0] == pytest.approx(
+            np.sqrt(12.5))
+        assert metric_rowwise("mse", reference, candidates)[0] == pytest.approx(12.5)
+
+
+class TestInitialDeltas:
+    def test_deltas_are_neighbour_average_minus_value(self):
+        values = np.array([0.0, 1.0, 4.0, 9.0, 16.0])
+        positions, deltas = initial_interpolation_deltas(values)
+        assert np.array_equal(positions, [1, 2, 3])
+        assert np.allclose(deltas, [(0 + 4) / 2 - 1, (1 + 9) / 2 - 4, (4 + 16) / 2 - 9])
+
+    def test_linear_series_has_zero_deltas(self):
+        values = np.linspace(0, 10, 20)
+        _positions, deltas = initial_interpolation_deltas(values)
+        assert np.allclose(deltas, 0.0, atol=1e-12)
+
+
+class TestSegmentDeltas:
+    def test_segment_reinterpolation(self):
+        current = np.array([0.0, 5.0, 5.0, 5.0, 8.0])
+        start, deltas = segment_interpolation_deltas(current, 0, 4)
+        assert start == 1
+        expected_new = np.array([2.0, 4.0, 6.0])
+        assert np.allclose(deltas, expected_new - current[1:4])
+
+    def test_adjacent_anchors_produce_empty(self):
+        current = np.arange(5.0)
+        _start, deltas = segment_interpolation_deltas(current, 2, 3)
+        assert deltas.size == 0
+
+    def test_points_on_line_give_zero_deltas(self):
+        current = np.linspace(0, 1, 10)
+        _start, deltas = segment_interpolation_deltas(current, 2, 7)
+        assert np.allclose(deltas, 0.0, atol=1e-12)
+
+
+class TestBatchedImpacts:
+    def test_matches_per_point_preview(self):
+        x = _series(1)
+        state = ACFAggregateState(x, 20)
+        reference = state.acf()
+        positions, deltas = initial_interpolation_deltas(x)
+        batched = batched_single_change_impacts(state, positions, deltas, reference, "mae")
+        # Compare a sample of points against the exact per-point preview.
+        for index in [0, 5, 50, 150, positions.size - 1]:
+            exact = mae(reference, state.preview_acf([positions[index]], [deltas[index]]))
+            assert batched[index] == pytest.approx(exact, abs=1e-10)
+
+    def test_chunking_gives_identical_results(self):
+        x = _series(2)
+        state = ACFAggregateState(x, 10)
+        reference = state.acf()
+        positions, deltas = initial_interpolation_deltas(x)
+        full = batched_single_change_impacts(state, positions, deltas, reference, "mae")
+        chunked = batched_single_change_impacts(state, positions, deltas, reference, "mae",
+                                                chunk_size=17)
+        assert np.allclose(full, chunked)
+
+    def test_zero_delta_impact_is_zero(self):
+        x = np.linspace(0, 1, 100)
+        state = ACFAggregateState(x + np.sin(np.arange(100)), 5)
+        reference = state.acf()
+        impacts = batched_single_change_impacts(state, np.array([10]), np.array([0.0]),
+                                                reference, "mae")
+        assert impacts[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_empty_input(self):
+        x = _series(3)
+        state = ACFAggregateState(x, 5)
+        out = batched_single_change_impacts(state, np.empty(0, dtype=int), np.empty(0),
+                                            state.acf(), "mae")
+        assert out.size == 0
+
+    def test_mismatched_shapes_raise(self):
+        x = _series(4)
+        state = ACFAggregateState(x, 5)
+        with pytest.raises(ValueError):
+            batched_single_change_impacts(state, np.array([1, 2]), np.array([0.1]),
+                                          state.acf(), "mae")
+
+    def test_larger_delta_larger_impact(self):
+        x = _series(5)
+        state = ACFAggregateState(x, 15)
+        reference = state.acf()
+        impacts = batched_single_change_impacts(
+            state, np.array([100, 100]), np.array([0.1, 5.0]), reference, "mae")
+        assert impacts[1] > impacts[0]

@@ -1,0 +1,77 @@
+"""Tests for the surviving-point neighbour list."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import NeighborList
+
+
+class TestNeighborList:
+    def test_initial_structure(self):
+        nl = NeighborList(5)
+        assert nl.alive_count() == 5
+        assert nl.left_of(2) == 1
+        assert nl.right_of(2) == 3
+        assert nl.left_of(0) == -1
+        assert nl.right_of(4) == 5
+
+    def test_remove_links_neighbours(self):
+        nl = NeighborList(6)
+        nl.remove(2)
+        assert not nl.is_alive(2)
+        assert nl.right_of(1) == 3
+        assert nl.left_of(3) == 1
+
+    def test_remove_endpoints_rejected(self):
+        nl = NeighborList(4)
+        with pytest.raises(ValueError):
+            nl.remove(0)
+        with pytest.raises(ValueError):
+            nl.remove(3)
+
+    def test_double_remove_rejected(self):
+        nl = NeighborList(5)
+        nl.remove(2)
+        with pytest.raises(ValueError):
+            nl.remove(2)
+
+    def test_remove_returns_former_neighbours(self):
+        nl = NeighborList(7)
+        assert nl.remove(3) == (2, 4)
+        assert nl.remove(4) == (2, 5)
+
+    def test_alive_indices_after_removals(self):
+        nl = NeighborList(8)
+        for index in (2, 4, 5):
+            nl.remove(index)
+        assert np.array_equal(nl.alive_indices(), [0, 1, 3, 6, 7])
+        assert nl.alive_count() == 5
+
+    def test_hops_excludes_removed_and_endpoints(self):
+        nl = NeighborList(10)
+        nl.remove(4)
+        nl.remove(5)
+        neighbours = nl.hops(4, 2)
+        # Two hops left of 4: 3, 2; two hops right (skipping removed 5): 6, 7.
+        assert sorted(neighbours) == [2, 3, 6, 7]
+        assert 0 not in nl.hops(1, 5)
+
+    def test_hops_with_endpoints_included(self):
+        nl = NeighborList(6)
+        neighbours = nl.hops(1, 3, include_endpoints=True)
+        assert 0 in neighbours
+
+    def test_gap_of_removed_point(self):
+        nl = NeighborList(10)
+        nl.remove(3)
+        nl.remove(4)
+        nl.remove(5)
+        assert nl.gap(4) == (2, 6)
+        # Surviving point: its direct neighbours.
+        assert nl.gap(6) == (2, 7)
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ValueError):
+            NeighborList(1)

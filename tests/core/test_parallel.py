@@ -1,0 +1,86 @@
+"""Tests for the fine- and coarse-grained parallel strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CameoCompressor, CoarseGrainedCameo, FineGrainedCameo
+from repro.exceptions import InvalidParameterError
+from repro.metrics import mae
+from repro.stats import acf
+
+
+def _series(n: int = 1500, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return 10 + 4 * np.sin(2 * np.pi * np.arange(n) / 48) + rng.normal(0, 0.4, n)
+
+
+class TestFineGrained:
+    def test_single_thread_equals_sequential(self):
+        x = _series(600)
+        sequential = CameoCompressor(24, 0.01).compress(x)
+        fine = FineGrainedCameo(24, 0.01, threads=1).compress(x)
+        assert np.array_equal(sequential.indices, fine.indices)
+
+    def test_multi_thread_respects_bound(self):
+        x = _series(600, seed=1)
+        result = FineGrainedCameo(24, 0.01, threads=4).compress(x)
+        deviation = mae(acf(x, 24), acf(result.decompress(), 24))
+        assert deviation <= 0.01 + 1e-9
+        assert result.metadata["fine_grained_threads"] == 4
+
+    def test_multi_thread_matches_sequential_result(self):
+        # The fine-grained strategy only parallelises the look-ahead; the
+        # algorithmic decisions must be identical.
+        x = _series(500, seed=2)
+        sequential = CameoCompressor(12, 0.02).compress(x)
+        fine = FineGrainedCameo(12, 0.02, threads=3).compress(x)
+        assert np.array_equal(sequential.indices, fine.indices)
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(InvalidParameterError):
+            FineGrainedCameo(10, 0.01, threads=0)
+
+
+class TestCoarseGrained:
+    def test_global_bound_respected(self):
+        x = _series(2000, seed=3)
+        compressor = CoarseGrainedCameo(24, 0.01, workers=4)
+        result, report = compressor.compress(x)
+        deviation = mae(acf(x, 24), acf(result.decompress(), 24))
+        assert deviation <= 0.01 + 1e-9
+        assert report.global_deviation <= 0.01 + 1e-9
+
+    def test_report_structure(self):
+        x = _series(1200, seed=4)
+        _result, report = CoarseGrainedCameo(24, 0.02, workers=3).compress(x)
+        assert report.workers >= 1
+        assert len(report.partition_sizes) == report.workers
+        assert report.compression_ratio >= 1.0
+        assert report.elapsed_seconds > 0
+
+    def test_single_worker_close_to_sequential(self):
+        x = _series(800, seed=5)
+        result, _report = CoarseGrainedCameo(24, 0.02, workers=1).compress(x)
+        deviation = mae(acf(x, 24), acf(result.decompress(), 24))
+        assert deviation <= 0.02 + 1e-9
+
+    def test_sequential_simulation_mode(self):
+        x = _series(900, seed=6)
+        result, report = CoarseGrainedCameo(12, 0.02, workers=3,
+                                            use_threads=False).compress(x)
+        assert report.workers >= 2
+        assert result.compression_ratio() > 1.0
+
+    def test_endpoints_always_present(self):
+        x = _series(1000, seed=7)
+        result, _report = CoarseGrainedCameo(24, 0.02, workers=4).compress(x)
+        assert result.indices[0] == 0
+        assert result.indices[-1] == x.size - 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            CoarseGrainedCameo(10, 0.01, workers=0)
+        with pytest.raises(InvalidParameterError):
+            CoarseGrainedCameo(10, None, workers=2)

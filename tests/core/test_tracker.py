@@ -1,0 +1,128 @@
+"""Tests for the StatisticTracker facade."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.tracker import StatisticTracker
+from repro.core.impact import initial_interpolation_deltas
+from repro.exceptions import InvalidParameterError
+from repro.metrics import mae
+from repro.stats import acf, pacf, tumbling_window_aggregate
+
+
+def _series(seed: int = 0, n: int = 400) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return 3 + np.sin(np.arange(n) / 8.0) + rng.normal(0, 0.3, n)
+
+
+class TestDirectAcfTracking:
+    def test_reference_matches_acf(self):
+        x = _series()
+        tracker = StatisticTracker(x, 15)
+        assert np.allclose(tracker.reference, acf(x, 15))
+
+    def test_apply_then_current_statistic(self):
+        x = _series(1)
+        tracker = StatisticTracker(x, 10)
+        deltas = np.array([0.5, -0.5, 0.2])
+        tracker.apply(100, deltas)
+        modified = x.copy()
+        modified[100:103] += deltas
+        assert np.allclose(tracker.current_statistic(), acf(modified, 10), atol=1e-9)
+
+    def test_preview_does_not_change_state(self):
+        x = _series(2)
+        tracker = StatisticTracker(x, 10)
+        before = tracker.current_statistic()
+        tracker.preview(50, np.array([1.0, 1.0]))
+        assert np.allclose(before, tracker.current_statistic())
+
+    def test_deviation_uses_metric(self):
+        x = _series(3)
+        tracker = StatisticTracker(x, 10)
+        stat = tracker.preview(40, np.array([2.0]))
+        assert tracker.deviation("mae", stat) == pytest.approx(mae(tracker.reference, stat))
+
+
+class TestPacfTracking:
+    def test_reference_matches_pacf(self):
+        x = _series(4)
+        tracker = StatisticTracker(x, 8, statistic="pacf")
+        assert np.allclose(tracker.reference, pacf(x, 8), atol=1e-9)
+
+    def test_unsupported_statistic_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            StatisticTracker(_series(), 5, statistic="variance")
+
+
+class TestAggregatedTracking:
+    def test_reference_matches_aggregated_acf(self):
+        x = _series(5, n=600)
+        tracker = StatisticTracker(x, 6, agg_window=20)
+        expected = acf(tumbling_window_aggregate(x, 20), 6)
+        assert np.allclose(tracker.reference, expected)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            StatisticTracker(_series(), 5, agg_window=0)
+
+
+class TestInitialImpacts:
+    def test_direct_impacts_match_manual_previews(self):
+        x = _series(6, n=200)
+        tracker = StatisticTracker(x, 12)
+        positions, impacts = tracker.initial_impacts("mae")
+        assert positions.size == x.size - 2
+        deltas = 0.5 * (x[2:] + x[:-2]) - x[1:-1]
+        for index in [0, 10, 100, positions.size - 1]:
+            stat = tracker.preview(int(positions[index]), np.asarray([deltas[index]]))
+            assert impacts[index] == pytest.approx(tracker.deviation("mae", stat), abs=1e-9)
+
+    def test_aggregated_mean_impacts_match_manual(self):
+        x = _series(7, n=400)
+        tracker = StatisticTracker(x, 5, agg_window=16)
+        positions, impacts = tracker.initial_impacts("mae")
+        deltas = 0.5 * (x[2:] + x[:-2]) - x[1:-1]
+        for index in [0, 33, 200, positions.size - 1]:
+            stat = tracker.preview(int(positions[index]), np.asarray([deltas[index]]))
+            assert impacts[index] == pytest.approx(tracker.deviation("mae", stat), abs=1e-9)
+
+    def test_pacf_impacts_finite(self):
+        x = _series(8, n=120)
+        tracker = StatisticTracker(x, 5, statistic="pacf")
+        _positions, impacts = tracker.initial_impacts("mae")
+        assert np.all(np.isfinite(impacts))
+
+
+class TestBatchImpacts:
+    def test_batch_matches_individual(self):
+        x = _series(9, n=300)
+        tracker = StatisticTracker(x, 10)
+        changes = [
+            (50, np.array([0.4])),
+            (80, np.array([0.1, -0.2, 0.3])),
+            (200, np.array([1.0])),
+            (10, np.empty(0)),
+        ]
+        impacts = tracker.batch_impacts(changes, "mae")
+        for index, (start, deltas) in enumerate(changes):
+            if deltas.size == 0:
+                expected = tracker.deviation("mae", tracker.current_statistic())
+            else:
+                expected = tracker.deviation("mae", tracker.preview(start, deltas))
+            assert impacts[index] == pytest.approx(expected, abs=1e-10)
+
+    def test_batch_empty(self):
+        tracker = StatisticTracker(_series(10), 5)
+        assert tracker.batch_impacts([], "mae").size == 0
+
+    def test_batch_aggregated_mean(self):
+        x = _series(11, n=400)
+        tracker = StatisticTracker(x, 5, agg_window=10)
+        changes = [(40, np.array([0.7])), (100, np.full(25, 0.2)), (395, np.array([5.0]))]
+        impacts = tracker.batch_impacts(changes, "mae")
+        for index, (start, deltas) in enumerate(changes):
+            expected = tracker.deviation("mae", tracker.preview(start, deltas))
+            assert impacts[index] == pytest.approx(expected, abs=1e-10)

@@ -1,0 +1,139 @@
+"""Tests for the synthetic dataset registry and generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASETS,
+    dataset_names,
+    generate_anomaly_case,
+    generate_anomaly_corpus,
+    generate_ar_process,
+    generate_intermittent_series,
+    generate_random_walk,
+    generate_seasonal_series,
+    generate_sine_mixture,
+    load_dataset,
+)
+from repro.data.generators import SeasonalSpec, SyntheticSeriesConfig
+from repro.exceptions import DatasetError, InvalidParameterError
+from repro.stats import acf, tumbling_window_aggregate
+
+
+class TestRegistry:
+    def test_eight_paper_datasets_present(self):
+        names = dataset_names()
+        assert len(names) == 8
+        for expected in ("ElecPower", "MinTemp", "Pedestrian", "UKElecDem",
+                         "AUSElecDem", "Humidity", "IRBioTemp", "SolarPower"):
+            assert expected in names
+
+    def test_load_is_deterministic(self):
+        a = load_dataset("Pedestrian", length=1000, seed=3)
+        b = load_dataset("Pedestrian", length=1000, seed=3)
+        assert np.array_equal(a.values, b.values)
+
+    def test_load_case_insensitive(self):
+        series = load_dataset("pedestrian", length=500)
+        assert series.name == "Pedestrian"
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(DatasetError):
+            load_dataset("NotADataset")
+
+    def test_metadata_carries_experiment_configuration(self):
+        series = load_dataset("Humidity", length=2000)
+        assert series.metadata["acf_lags"] == 24
+        assert series.metadata["agg_window"] == 60
+        assert series.metadata["group"] == 2
+
+    def test_group1_has_no_aggregation(self):
+        for name in ("ElecPower", "MinTemp", "Pedestrian", "UKElecDem"):
+            assert DATASETS[name].agg_window == 1
+
+    def test_lengths_default_to_paper_length_capped(self):
+        series = load_dataset("ElecPower")
+        assert len(series) == DATASETS["ElecPower"].paper_length
+
+    @pytest.mark.parametrize("name", dataset_names())
+    def test_every_dataset_has_positive_seasonal_acf(self, name):
+        """The generators must produce the seasonality the ACF configuration
+        expects — otherwise the compression experiments are meaningless."""
+        series = load_dataset(name, length=6000, seed=1)
+        window = series.metadata["agg_window"]
+        lags = series.metadata["acf_lags"]
+        values = series.values
+        if window > 1:
+            values = tumbling_window_aggregate(values, window)
+        lags = min(lags, values.size // 2 - 1)
+        acf_values = acf(values, lags)
+        assert acf_values[0] > 0.3, f"{name} lacks short-term autocorrelation"
+
+
+class TestGenerators:
+    def test_seasonal_series_has_expected_period(self):
+        config = SyntheticSeriesConfig(length=2400,
+                                       seasonalities=[SeasonalSpec(period=24, amplitude=2.0)],
+                                       noise_std=0.1)
+        x = generate_seasonal_series(config, seed=0)
+        acf_values = acf(x, 30)
+        assert acf_values[23] > 0.8
+
+    def test_random_walk_length_and_start(self):
+        x = generate_random_walk(500, level=10.0, seed=1)
+        assert x.size == 500
+        assert x[0] == pytest.approx(10.0)
+
+    def test_ar_process_autocorrelation_sign(self):
+        x = generate_ar_process(20_000, [0.9], seed=2)
+        assert acf(x, 1)[0] > 0.8
+
+    def test_ar_process_requires_coefficients(self):
+        with pytest.raises(InvalidParameterError):
+            generate_ar_process(100, [])
+
+    def test_intermittent_series_has_zeros(self):
+        x = generate_intermittent_series(5000, period=100, active_fraction=0.4, seed=3)
+        assert np.mean(x == 0.0) > 0.4
+        assert np.all(x >= 0.0)
+
+    def test_sine_mixture_validation(self):
+        with pytest.raises(InvalidParameterError):
+            generate_sine_mixture(100, [])
+        with pytest.raises(InvalidParameterError):
+            generate_sine_mixture(100, [10, 20], amplitudes=[1.0])
+
+    def test_invalid_ar_coefficient(self):
+        config = SyntheticSeriesConfig(length=100, noise_std=1.0, ar_coefficient=1.5)
+        with pytest.raises(InvalidParameterError):
+            generate_seasonal_series(config, seed=0)
+
+
+class TestAnomalyCorpus:
+    def test_corpus_size_and_kinds(self):
+        corpus = generate_anomaly_corpus(12, length=1000, period=50)
+        assert len(corpus) == 12
+        kinds = {case.kind for case in corpus}
+        assert len(kinds) >= 5
+
+    def test_case_hit_logic(self):
+        case = generate_anomaly_case("spike", length=1000, period=50, seed=5)
+        assert case.is_hit(case.anomaly_start)
+        assert case.is_hit(case.anomaly_start - 50)
+        assert not case.is_hit(case.anomaly_start - 500)
+
+    def test_anomaly_in_second_half(self):
+        for seed in range(5):
+            case = generate_anomaly_case("dip", length=2000, period=100, seed=seed)
+            assert case.anomaly_start >= 1000
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            generate_anomaly_case("alien")
+
+    def test_spike_changes_values(self):
+        case = generate_anomaly_case("spike", length=1000, period=50, seed=9)
+        region = case.values[case.anomaly_start:case.anomaly_end]
+        assert np.max(np.abs(region)) > 3.0

@@ -1,0 +1,107 @@
+"""Tests for the TimeSeries / IrregularSeries containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import BITS_PER_VALUE_RAW, IrregularSeries, MultivariateSeries, TimeSeries
+from repro.exceptions import InvalidParameterError, InvalidSeriesError
+
+
+class TestTimeSeries:
+    def test_basic_construction(self):
+        series = TimeSeries(values=[1.0, 2.0, 3.0], name="t", period=2)
+        assert len(series) == 3
+        assert series[1] == 2.0
+        assert list(series) == [1.0, 2.0, 3.0]
+
+    def test_summary_statistics(self):
+        series = TimeSeries(values=[1.0, 3.0, 2.0, 2.0], name="s")
+        summary = series.summary()
+        assert summary["length"] == 4
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["p_up"] == pytest.approx(1 / 3)
+        assert summary["p_eq"] == pytest.approx(1 / 3)
+        assert summary["p_down"] == pytest.approx(1 / 3)
+
+    def test_slice(self):
+        series = TimeSeries(values=np.arange(10.0), name="s")
+        part = series.slice(2, 6)
+        assert np.array_equal(part.values, [2.0, 3.0, 4.0, 5.0])
+
+    def test_bits(self):
+        series = TimeSeries(values=np.arange(10.0))
+        assert series.bits() == 10 * BITS_PER_VALUE_RAW
+
+    def test_invalid_inputs(self):
+        with pytest.raises(InvalidSeriesError):
+            TimeSeries(values=[])
+        with pytest.raises(InvalidSeriesError):
+            TimeSeries(values=[1.0, np.inf])
+        with pytest.raises(InvalidParameterError):
+            TimeSeries(values=[1.0, 2.0], period=-1)
+
+
+class TestIrregularSeries:
+    def _example(self) -> IrregularSeries:
+        return IrregularSeries(indices=[0, 2, 5, 9], values=[0.0, 2.0, 5.0, 9.0],
+                               original_length=10)
+
+    def test_decompress_linear_interpolation(self):
+        series = self._example()
+        assert np.allclose(series.decompress(), np.arange(10.0))
+
+    def test_value_at(self):
+        series = IrregularSeries(indices=[0, 4], values=[0.0, 8.0], original_length=5)
+        assert series.value_at(2) == pytest.approx(4.0)
+        with pytest.raises(IndexError):
+            series.value_at(10)
+
+    def test_compression_ratio(self):
+        assert self._example().compression_ratio() == pytest.approx(2.5)
+
+    def test_bits_accounting(self):
+        series = self._example()
+        assert series.bits(store_indices=False) == 4 * 64
+        assert series.bits(store_indices=True) == 4 * (64 + 32)
+        assert series.bits_per_value() == pytest.approx(4 * 64 / 10)
+
+    def test_segments_iteration(self):
+        segments = list(self._example().segments())
+        assert segments[0] == (0, 2, 0.0, 2.0)
+        assert len(segments) == 3
+
+    def test_validation_rules(self):
+        with pytest.raises(InvalidSeriesError):
+            IrregularSeries(indices=[0, 5], values=[1.0], original_length=10)
+        with pytest.raises(InvalidSeriesError):
+            IrregularSeries(indices=[0, 3, 2, 9], values=[1.0] * 4, original_length=10)
+        with pytest.raises(InvalidSeriesError):
+            IrregularSeries(indices=[1, 9], values=[1.0, 2.0], original_length=10)
+        with pytest.raises(InvalidSeriesError):
+            IrregularSeries(indices=[0, 5], values=[1.0, 2.0], original_length=10)
+        with pytest.raises(InvalidSeriesError):
+            IrregularSeries(indices=[0], values=[1.0], original_length=1)
+
+
+class TestMultivariate:
+    def test_column_access(self):
+        mv = MultivariateSeries(columns={"a": [1.0, 2.0], "b": [3.0, 4.0]})
+        assert len(mv) == 2
+        assert np.array_equal(mv.column("a"), [1.0, 2.0])
+        assert mv.as_matrix().shape == (2, 2)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(InvalidSeriesError):
+            MultivariateSeries(columns={"a": [1.0, 2.0], "b": [3.0]})
+
+    def test_unknown_column(self):
+        mv = MultivariateSeries(columns={"a": [1.0, 2.0]})
+        with pytest.raises(InvalidParameterError):
+            mv.column("zzz")
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidSeriesError):
+            MultivariateSeries(columns={})

@@ -1,0 +1,82 @@
+"""Tests for the tsfeatures-style feature extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.features import FEATURE_NAMES, extract_features, feature_deviations
+
+
+def _seasonal(n: int = 600, seed: int = 0, noise: float = 0.2) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return 5 + 2 * np.sin(2 * np.pi * t / 24) + rng.normal(0, noise, n)
+
+
+class TestExtractFeatures:
+    def test_all_features_present(self):
+        features = extract_features(_seasonal(), period=24)
+        for name in FEATURE_NAMES:
+            assert name in features
+            assert np.isfinite(features[name])
+
+    def test_seasonal_strength_high_for_seasonal_series(self):
+        features = extract_features(_seasonal(noise=0.05), period=24)
+        assert features["seasonal_strength"] > 0.8
+
+    def test_seasonal_strength_zero_without_period(self):
+        features = extract_features(_seasonal(), period=None)
+        assert features["seasonal_strength"] == 0.0
+
+    def test_acf1_near_one_for_smooth_series(self):
+        t = np.arange(500)
+        features = extract_features(np.sin(2 * np.pi * t / 100), period=100)
+        assert features["acf1"] > 0.95
+
+    def test_acf1_near_zero_for_white_noise(self, rng):
+        features = extract_features(rng.normal(0, 1, 5000), period=None)
+        assert abs(features["acf1"]) < 0.05
+
+    def test_linearity_detects_trend(self):
+        x = np.linspace(0, 10, 300) + np.random.default_rng(1).normal(0, 0.1, 300)
+        features = extract_features(x, period=None)
+        assert abs(features["linearity"]) > 1.0
+
+    def test_curvature_detects_quadratic(self):
+        t = np.linspace(-1, 1, 300)
+        features = extract_features(5 * t * t, period=None)
+        assert abs(features["curvature"]) > abs(features["linearity"])
+
+    def test_nonlinearity_higher_for_nonlinear_process(self, rng):
+        linear = rng.normal(0, 1, 2000)
+        x = np.zeros(2000)
+        for t in range(2, 2000):
+            x[t] = 0.5 * x[t - 1] - 0.4 * x[t - 1] ** 2 * np.sign(x[t - 2]) + linear[t] * 0.3
+        nonlinear_score = extract_features(x, period=None)["nonlinearity"]
+        linear_score = extract_features(linear, period=None)["nonlinearity"]
+        assert nonlinear_score > linear_score
+
+
+class TestFeatureDeviations:
+    def test_zero_for_identical_series(self):
+        x = _seasonal(seed=2)
+        deviations = feature_deviations(x, x, period=24)
+        for name in FEATURE_NAMES:
+            assert deviations[name] == pytest.approx(0.0, abs=1e-12)
+        assert deviations["nrmse"] == 0.0
+
+    def test_larger_distortion_larger_acf_deviation(self):
+        x = _seasonal(seed=3)
+        rng = np.random.default_rng(4)
+        mild = x + rng.normal(0, 0.1, x.size)
+        severe = x + rng.normal(0, 2.0, x.size)
+        mild_dev = feature_deviations(x, mild, period=24)
+        severe_dev = feature_deviations(x, severe, period=24)
+        assert severe_dev["acf1"] > mild_dev["acf1"]
+        assert severe_dev["nrmse"] > mild_dev["nrmse"]
+
+    def test_includes_reconstruction_metrics(self):
+        x = _seasonal(seed=5)
+        deviations = feature_deviations(x, x + 0.1, period=24)
+        assert "nrmse" in deviations and "psnr" in deviations

@@ -1,0 +1,230 @@
+"""Tests for the forecasting substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidParameterError, ModelError
+from repro.forecasting import (
+    AutoRegressive,
+    BoxCoxTransform,
+    DynamicHarmonicRegression,
+    HoltLinear,
+    HoltWinters,
+    MLPAutoregressor,
+    STLForecaster,
+    SeasonalNaive,
+    SimpleExponentialSmoothing,
+    decompose,
+    evaluate_forecast,
+    fourier_terms,
+    make_forecaster,
+    train_test_split,
+    yule_walker,
+)
+from repro.metrics import msmape
+
+
+def _seasonal(n: int = 480, period: int = 24, seed: int = 0, noise: float = 0.3) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return 10 + 3 * np.sin(2 * np.pi * t / period) + 0.002 * t + rng.normal(0, noise, n)
+
+
+class TestSplitAndEvaluate:
+    def test_split_shapes(self):
+        x = np.arange(100.0)
+        train, test = train_test_split(x, 10)
+        assert train.size == 90 and test.size == 10
+        assert np.array_equal(test, np.arange(90.0, 100.0))
+
+    def test_split_horizon_too_large(self):
+        with pytest.raises(ModelError):
+            train_test_split(np.arange(10.0), 10)
+
+    def test_evaluate_forecast_returns_error(self):
+        x = _seasonal()
+        train, test = train_test_split(x, 24)
+        evaluation = evaluate_forecast(SeasonalNaive(24), train, test)
+        assert evaluation.error >= 0.0
+        assert evaluation.forecast.shape == test.shape
+        assert evaluation.metric == "msmape"
+
+
+class TestExponentialSmoothing:
+    def test_ses_flat_forecast(self):
+        x = np.ones(50) * 5 + np.random.default_rng(0).normal(0, 0.01, 50)
+        forecast = SimpleExponentialSmoothing().fit_forecast(x, 5)
+        assert np.allclose(forecast, 5.0, atol=0.1)
+        assert np.unique(np.round(forecast, 9)).size == 1
+
+    def test_holt_extrapolates_trend(self):
+        x = np.linspace(0, 100, 200)
+        forecast = HoltLinear().fit_forecast(x, 10)
+        assert forecast[-1] > 100.0
+
+    def test_holt_winters_beats_naive_on_seasonal_data(self):
+        x = _seasonal(seed=1)
+        train, test = train_test_split(x, 24)
+        hw_error = evaluate_forecast(HoltWinters(24), train, test).error
+        flat_error = evaluate_forecast(SimpleExponentialSmoothing(), train, test).error
+        assert hw_error < flat_error
+
+    def test_holt_winters_requires_two_cycles(self):
+        with pytest.raises(ModelError):
+            HoltWinters(24).fit(np.arange(30.0))
+
+    def test_forecast_before_fit_raises(self):
+        with pytest.raises(ModelError):
+            HoltWinters(12).forecast(5)
+
+    def test_holt_winters_seasonal_pattern_in_forecast(self):
+        x = _seasonal(seed=2, noise=0.05)
+        forecast = HoltWinters(24).fit_forecast(x, 48)
+        # The forecast must itself oscillate with the period.
+        assert np.std(forecast[:24]) > 0.5
+
+
+class TestDecomposition:
+    def test_components_sum_to_series(self):
+        x = _seasonal(seed=3)
+        decomposition = decompose(x, 24)
+        assert np.allclose(decomposition.trend + decomposition.seasonal
+                           + decomposition.remainder, x, atol=1e-9)
+
+    def test_seasonal_strength_high_for_seasonal_series(self):
+        x = _seasonal(seed=4, noise=0.1)
+        assert decompose(x, 24).seasonal_strength() > 0.8
+
+    def test_seasonal_strength_low_for_noise(self, rng):
+        x = rng.normal(0, 1, 480)
+        assert decompose(x, 24).seasonal_strength() < 0.4
+
+    def test_needs_two_periods(self):
+        with pytest.raises(ModelError):
+            decompose(np.arange(30.0), 24)
+
+
+class TestAutoRegressive:
+    def test_yule_walker_recovers_ar1(self):
+        from repro.data import generate_ar_process
+
+        x = generate_ar_process(30_000, [0.6], seed=1)
+        assert yule_walker(x, 1)[0] == pytest.approx(0.6, abs=0.05)
+
+    def test_order_selection_bounded(self):
+        x = _seasonal(seed=5)
+        model = AutoRegressive(max_order=6).fit(x)
+        assert 1 <= model.order <= 6
+
+    def test_differencing_handles_trend(self):
+        x = np.linspace(0, 100, 300) + np.random.default_rng(2).normal(0, 0.5, 300)
+        forecast = AutoRegressive(order=2, difference=1).fit_forecast(x, 10)
+        assert forecast[-1] > 95.0
+
+    def test_too_short_series(self):
+        with pytest.raises(ModelError):
+            AutoRegressive(order=2).fit(np.arange(5.0))
+
+    def test_invalid_difference(self):
+        with pytest.raises(ModelError):
+            AutoRegressive(order=1, difference=2)
+
+
+class TestDhr:
+    def test_fourier_terms_shape_and_range(self):
+        terms = fourier_terms(100, 24, 3)
+        assert terms.shape == (100, 6)
+        assert np.max(np.abs(terms)) <= 1.0 + 1e-12
+
+    def test_dhr_captures_seasonality(self):
+        x = _seasonal(seed=6, noise=0.1)
+        train, test = train_test_split(x, 24)
+        dhr_error = evaluate_forecast(DynamicHarmonicRegression(24, 3), train, test).error
+        naive_error = evaluate_forecast(SimpleExponentialSmoothing(), train, test).error
+        assert dhr_error < naive_error
+
+    def test_too_many_harmonics_rejected(self):
+        with pytest.raises(ModelError):
+            DynamicHarmonicRegression(10, 6)
+
+
+class TestMlp:
+    def test_learns_seasonal_pattern_better_than_flat(self):
+        x = _seasonal(seed=7, noise=0.1)
+        train, test = train_test_split(x, 24)
+        mlp = MLPAutoregressor(window=24, hidden_units=16, epochs=40, seed=1)
+        mlp_error = evaluate_forecast(mlp, train, test).error
+        flat_error = evaluate_forecast(SimpleExponentialSmoothing(), train, test).error
+        assert mlp_error < flat_error
+
+    def test_deterministic_given_seed(self):
+        x = _seasonal(240, seed=8)
+        a = MLPAutoregressor(window=12, epochs=10, seed=3).fit_forecast(x, 6)
+        b = MLPAutoregressor(window=12, epochs=10, seed=3).fit_forecast(x, 6)
+        assert np.allclose(a, b)
+
+    def test_too_short_series(self):
+        with pytest.raises(ModelError):
+            MLPAutoregressor(window=24).fit(np.arange(10.0))
+
+
+class TestPipelines:
+    def test_stl_forecasters_reasonable(self):
+        x = _seasonal(seed=9)
+        train, test = train_test_split(x, 24)
+        for base in ("ets", "arima"):
+            error = evaluate_forecast(STLForecaster(24, base), train, test).error
+            assert error < 0.2
+
+    def test_seasonal_naive_repeats_cycle(self):
+        x = _seasonal(seed=10, noise=0.0)
+        forecast = SeasonalNaive(24).fit_forecast(x, 24)
+        assert np.allclose(forecast, x[-24:], atol=1e-9)
+
+    def test_make_forecaster_names(self):
+        for name in ("holt-winters", "ses", "holt", "stl-ets", "stl-arima", "arima",
+                     "dhr-arima", "mlp", "snaive"):
+            model = make_forecaster(name, period=24)
+            assert hasattr(model, "fit")
+        with pytest.raises(InvalidParameterError):
+            make_forecaster("prophet", period=24)
+
+    def test_lstm_alias_maps_to_mlp(self):
+        assert isinstance(make_forecaster("lstm", period=24), MLPAutoregressor)
+
+
+class TestBoxCox:
+    def test_roundtrip(self):
+        x = np.abs(np.random.default_rng(3).normal(10, 3, 200)) + 1.0
+        transform = BoxCoxTransform()
+        transformed = transform.fit_transform(x)
+        assert np.allclose(transform.inverse_transform(transformed), x, atol=1e-6)
+
+    def test_standardisation(self):
+        x = np.abs(np.random.default_rng(4).normal(50, 10, 500)) + 1.0
+        transformed = BoxCoxTransform().fit_transform(x)
+        assert abs(float(np.mean(transformed))) < 1e-8
+        assert float(np.std(transformed)) == pytest.approx(1.0, abs=1e-8)
+
+    def test_handles_non_positive_data_with_shift(self):
+        x = np.random.default_rng(5).normal(0, 1, 300)
+        transform = BoxCoxTransform()
+        transformed = transform.fit_transform(x)
+        assert np.allclose(transform.inverse_transform(transformed), x, atol=1e-6)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(InvalidParameterError):
+            BoxCoxTransform().transform(np.ones(10))
+
+    def test_forecast_degrades_with_heavy_compression(self):
+        """End-to-end sanity: destroying the signal hurts forecast accuracy."""
+        x = _seasonal(seed=11, noise=0.1)
+        train, test = train_test_split(x, 24)
+        good = evaluate_forecast(HoltWinters(24), train, test).error
+        destroyed = np.interp(np.arange(train.size),
+                              [0, train.size - 1], [train[0], train[-1]])
+        bad = evaluate_forecast(HoltWinters(24), destroyed, test).error
+        assert bad > good
+        assert msmape(test, SeasonalNaive(24).fit_forecast(destroyed, 24)) > good

@@ -1,0 +1,143 @@
+"""Tests for the naive / drift / Theta forecasting baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import InvalidParameterError, ModelError
+from repro.forecasting import (
+    DriftForecaster,
+    NaiveForecaster,
+    SeasonalNaive,
+    ThetaForecaster,
+    evaluate_forecast,
+    make_forecaster,
+    train_test_split,
+)
+
+RNG = np.random.default_rng(13)
+
+
+def _trend_seasonal(n: int = 480, period: int = 24) -> np.ndarray:
+    t = np.arange(n)
+    return 50 + 0.05 * t + 8 * np.sin(2 * np.pi * t / period) + 0.5 * RNG.standard_normal(n)
+
+
+class TestNaiveForecaster:
+    def test_repeats_last_value(self):
+        model = NaiveForecaster().fit([1.0, 2.0, 5.0])
+        np.testing.assert_array_equal(model.forecast(4), np.full(4, 5.0))
+
+    def test_requires_fit(self):
+        with pytest.raises(ModelError):
+            NaiveForecaster().forecast(3)
+
+    def test_invalid_horizon(self):
+        model = NaiveForecaster().fit([1.0, 2.0])
+        with pytest.raises(InvalidParameterError):
+            model.forecast(0)
+
+    @given(arrays(np.float64, st.integers(min_value=1, max_value=50),
+                  elements=st.floats(min_value=-1e6, max_value=1e6,
+                                     allow_nan=False, allow_infinity=False)))
+    @settings(max_examples=25, deadline=None)
+    def test_forecast_is_always_last_observation(self, values):
+        model = NaiveForecaster().fit(values)
+        assert np.all(model.forecast(3) == values[-1])
+
+
+class TestDriftForecaster:
+    def test_linear_series_extrapolated_exactly(self):
+        values = 2.0 + 0.5 * np.arange(100)
+        forecast = DriftForecaster().fit(values).forecast(10)
+        expected = values[-1] + 0.5 * np.arange(1, 11)
+        np.testing.assert_allclose(forecast, expected)
+
+    def test_flat_series_has_zero_drift(self):
+        forecast = DriftForecaster().fit(np.full(20, 3.0)).forecast(5)
+        np.testing.assert_array_equal(forecast, np.full(5, 3.0))
+
+    def test_needs_two_points(self):
+        with pytest.raises(ModelError):
+            DriftForecaster().fit([1.0])
+
+    def test_slope_uses_endpoints_only(self):
+        values = np.asarray([0.0, 100.0, -50.0, 10.0])
+        model = DriftForecaster().fit(values)
+        assert model.forecast(1)[0] == pytest.approx(10.0 + 10.0 / 3.0)
+
+
+class TestThetaForecaster:
+    def test_linear_trend_recovered(self):
+        values = 10 + 0.3 * np.arange(200)
+        forecast = ThetaForecaster().fit(values).forecast(12)
+        # Theta adds only half the trend slope on top of the flat SES level,
+        # so the forecast grows but undershoots the true line.
+        assert np.all(np.diff(forecast) > 0)
+        assert forecast[0] >= values[-1] - 1.0
+        assert forecast[-1] <= values[-1] + 0.3 * 12 + 1.0
+
+    def test_seasonal_adjustment_improves_on_naive(self):
+        values = _trend_seasonal()
+        train, actual = train_test_split(values, 24)
+        theta_error = evaluate_forecast(ThetaForecaster(period=24), train, actual).error
+        naive_error = evaluate_forecast(NaiveForecaster(), train, actual).error
+        assert theta_error < naive_error
+
+    def test_theta_competitive_with_seasonal_naive(self):
+        values = _trend_seasonal()
+        train, actual = train_test_split(values, 24)
+        theta_error = evaluate_forecast(ThetaForecaster(period=24), train, actual).error
+        snaive_error = evaluate_forecast(SeasonalNaive(24), train, actual).error
+        assert theta_error <= snaive_error * 1.5
+
+    def test_needs_two_full_cycles_for_seasonality(self):
+        with pytest.raises(ModelError):
+            ThetaForecaster(period=24).fit(np.arange(30, dtype=float))
+
+    def test_needs_three_points(self):
+        with pytest.raises(ModelError):
+            ThetaForecaster().fit([1.0, 2.0])
+
+    def test_negative_period_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ThetaForecaster(period=-1)
+
+    def test_centred_series_falls_back_to_flat_seasonality(self):
+        t = np.arange(96)
+        values = np.sin(2 * np.pi * t / 24)   # zero mean, some phases near zero
+        forecast = ThetaForecaster(period=24).fit(values).forecast(24)
+        assert forecast.shape == (24,)
+        assert np.all(np.isfinite(forecast))
+
+    def test_explicit_alpha(self):
+        values = _trend_seasonal(200)
+        forecast = ThetaForecaster(alpha=0.3).fit(values).forecast(5)
+        assert forecast.shape == (5,)
+
+    def test_name_reflects_period(self):
+        assert ThetaForecaster().name == "Theta"
+        assert ThetaForecaster(period=24).name == "Theta24"
+
+
+class TestFactoryIntegration:
+    @pytest.mark.parametrize("name,cls", [
+        ("naive", NaiveForecaster),
+        ("drift", DriftForecaster),
+        ("theta", ThetaForecaster),
+    ])
+    def test_make_forecaster_builds_baselines(self, name, cls):
+        model = make_forecaster(name, period=24)
+        assert isinstance(model, cls)
+
+    def test_baselines_run_through_evaluation_protocol(self):
+        values = _trend_seasonal(300)
+        train, actual = train_test_split(values, 24)
+        for name in ("naive", "drift", "theta"):
+            evaluation = evaluate_forecast(make_forecaster(name, period=24), train, actual)
+            assert np.isfinite(evaluation.error)
+            assert evaluation.forecast.shape == actual.shape

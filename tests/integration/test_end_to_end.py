@@ -1,0 +1,102 @@
+"""Integration tests across subsystems — the paper's pipelines in miniature."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchlib import (
+    bench_dataset,
+    format_table,
+    run_cameo,
+    run_line_simplifier,
+    run_lossy_baseline,
+)
+from repro.compressors import FFTCompressor, acf_deviation_of
+from repro.core import CameoCompressor, cameo_compress
+from repro.data import load_dataset
+from repro.features import feature_deviations
+from repro.forecasting import HoltWinters, evaluate_forecast, train_test_split
+from repro.lossless import ChimpCodec, GorillaCodec
+from repro.metrics import mae, pearson_correlation
+from repro.simplify import AcfConstrainedSimplifier, VisvalingamWhyatt
+from repro.stats import acf
+
+
+class TestCompressionPipelines:
+    def test_cameo_vs_vw_on_synthetic_pedestrian(self):
+        """Figure 6 in miniature: same bound, CAMEO's CR is competitive."""
+        series = load_dataset("Pedestrian", length=1500, seed=1)
+        epsilon = 0.02
+        cameo = CameoCompressor(24, epsilon).compress(series)
+        vw = AcfConstrainedSimplifier(VisvalingamWhyatt(), 24, epsilon).compress(series)
+        for result in (cameo, vw):
+            deviation = mae(acf(series.values, 24), acf(result.decompress(), 24))
+            assert deviation <= epsilon + 1e-9
+        assert cameo.compression_ratio() >= 0.8 * vw.compression_ratio()
+
+    def test_bits_per_value_comparison_runs(self):
+        """Table 2 in miniature: CAMEO bits/value below raw 64 and the
+        lossless codecs decode exactly."""
+        series = load_dataset("ElecPower", length=1200, seed=2)
+        compressed = cameo_compress(series.values, max_lag=48, epsilon=0.01)
+        assert compressed.bits_per_value() < 64.0
+        for codec in (GorillaCodec(), ChimpCodec()):
+            payload, bits, count = codec.encode(series.values)
+            assert np.array_equal(codec.decode(payload, bits, count), series.values)
+
+    def test_compression_preserves_forecasting_better_than_fft_extreme(self):
+        """EXP2 in miniature: at matched compression ratios CAMEO's ACF-aware
+        selection should not be dramatically worse for forecasting than an
+        aggressive FFT truncation."""
+        series = load_dataset("Pedestrian", length=1200, seed=3)
+        train, test = train_test_split(series.values, 24)
+
+        cameo = CameoCompressor(24, epsilon=None, target_ratio=6.0).compress(train)
+        cameo_error = evaluate_forecast(HoltWinters(24), cameo.decompress(), test).error
+
+        fft = FFTCompressor(keep_components=max(int(train.size / 6 / 3), 2)).compress(train)
+        fft_error = evaluate_forecast(HoltWinters(24), fft.decompress(), test).error
+
+        raw_error = evaluate_forecast(HoltWinters(24), train, test).error
+        assert cameo_error < 3 * max(raw_error, 0.05)
+        assert np.isfinite(fft_error)
+
+
+class TestFeatureCorrelationPipeline:
+    def test_acf_feature_tracks_compression_level(self):
+        """Figure 1 in miniature: ACF1 deviation grows monotonically-ish with
+        the FFT compression level and correlates with it."""
+        series = load_dataset("Pedestrian", length=1200, seed=4)
+        levels = [0.4, 0.2, 0.1, 0.05, 0.02]
+        acf1_dev = []
+        for level in levels:
+            reconstruction = FFTCompressor(level).compress(series.values).decompress()
+            deviations = feature_deviations(series.values, reconstruction, period=24)
+            acf1_dev.append(deviations["acf1"])
+        compression = [1.0 / level for level in levels]
+        assert pearson_correlation(np.asarray(compression), np.asarray(acf1_dev)) > 0.5
+
+
+class TestBenchHarness:
+    def test_run_helpers_produce_consistent_records(self):
+        series = bench_dataset("ElecPower", seed=5)
+        series = series.slice(0, 900)
+        series.metadata.update({"acf_lags": 24, "agg_window": 1})
+        cameo_run = run_cameo(series, 0.02)
+        vw_run = run_line_simplifier("VW", series, 0.02)
+        pmc_run = run_lossy_baseline("PMC", series, 0.02)
+        for record in (cameo_run, vw_run, pmc_run):
+            assert record.compression_ratio >= 1.0
+            assert record.acf_deviation <= 0.02 + 1e-6
+            assert record.elapsed_seconds > 0
+        table = format_table(["method", "cr"], [[cameo_run.method,
+                                                 f"{cameo_run.compression_ratio:.2f}"]])
+        assert "method" in table
+
+    def test_acf_deviation_of_agrees_with_direct_computation(self):
+        series = load_dataset("MinTemp", length=1000, seed=6)
+        reconstruction = FFTCompressor(0.1).compress(series.values).decompress()
+        helper = acf_deviation_of(series.values, reconstruction, 30)
+        direct = mae(acf(series.values, 30), acf(reconstruction, 30))
+        assert helper == pytest.approx(direct, abs=1e-12)

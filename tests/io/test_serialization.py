@@ -1,0 +1,69 @@
+"""Tests for compressed-representation serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import cameo_compress
+from repro.data import IrregularSeries
+from repro.exceptions import DecompressionError
+from repro.io import (
+    irregular_from_json,
+    irregular_to_json,
+    load_irregular_json,
+    load_irregular_npz,
+    save_irregular_json,
+    save_irregular_npz,
+)
+
+
+def _example(seed: int = 0) -> IrregularSeries:
+    rng = np.random.default_rng(seed)
+    x = np.sin(np.arange(400) / 10.0) + rng.normal(0, 0.2, 400)
+    return cameo_compress(x, max_lag=20, epsilon=0.05)
+
+
+class TestJsonRoundtrip:
+    def test_roundtrip_preserves_everything(self):
+        original = _example()
+        restored = irregular_from_json(irregular_to_json(original))
+        assert np.array_equal(original.indices, restored.indices)
+        assert np.array_equal(original.values, restored.values)
+        assert original.original_length == restored.original_length
+        assert restored.metadata["compressor"] == "CAMEO"
+
+    def test_decompression_identical_after_roundtrip(self):
+        original = _example(1)
+        restored = irregular_from_json(irregular_to_json(original))
+        assert np.allclose(original.decompress(), restored.decompress())
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(DecompressionError):
+            irregular_from_json("{not valid json")
+        with pytest.raises(DecompressionError):
+            irregular_from_json('{"format": "something-else"}')
+
+    def test_file_roundtrip(self, tmp_path):
+        original = _example(2)
+        path = save_irregular_json(original, tmp_path / "compressed.json")
+        restored = load_irregular_json(path)
+        assert np.array_equal(original.indices, restored.indices)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DecompressionError):
+            load_irregular_json(tmp_path / "absent.json")
+
+
+class TestNpzRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        original = _example(3)
+        save_irregular_npz(original, tmp_path / "compressed.npz")
+        restored = load_irregular_npz(tmp_path / "compressed.npz")
+        assert np.array_equal(original.indices, restored.indices)
+        assert np.array_equal(original.values, restored.values)
+        assert restored.metadata["epsilon"] == original.metadata["epsilon"]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DecompressionError):
+            load_irregular_npz(tmp_path / "absent.npz")

@@ -1,0 +1,129 @@
+"""Tests for the Gorilla / Chimp codecs and the bitstream layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import CodecError
+from repro.lossless import (
+    BitReader,
+    BitWriter,
+    ChimpCodec,
+    GorillaCodec,
+    bits_to_float,
+    float_to_bits,
+)
+
+
+class TestBitstream:
+    def test_single_bits_roundtrip(self):
+        writer = BitWriter()
+        pattern = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1]
+        for bit in pattern:
+            writer.write_bit(bit)
+        reader = BitReader(writer.to_bytes(), writer.bit_length)
+        assert [reader.read_bit() for _ in range(len(pattern))] == pattern
+
+    def test_multi_bit_roundtrip(self):
+        writer = BitWriter()
+        writer.write_bits(0b1011, 4)
+        writer.write_bits(0xDEADBEEF, 32)
+        writer.write_bits(0x1FFFFFFFFFFFFF, 53)
+        reader = BitReader(writer.to_bytes(), writer.bit_length)
+        assert reader.read_bits(4) == 0b1011
+        assert reader.read_bits(32) == 0xDEADBEEF
+        assert reader.read_bits(53) == 0x1FFFFFFFFFFFFF
+
+    def test_bit_length_accounting(self):
+        writer = BitWriter()
+        writer.write_bits(0, 13)
+        assert writer.bit_length == 13
+        writer.write_bit(1)
+        assert writer.bit_length == 14
+
+    def test_read_past_end_raises(self):
+        writer = BitWriter()
+        writer.write_bits(3, 2)
+        reader = BitReader(writer.to_bytes(), writer.bit_length)
+        reader.read_bits(2)
+        with pytest.raises(CodecError):
+            reader.read_bit()
+
+    def test_invalid_width(self):
+        with pytest.raises(CodecError):
+            BitWriter().write_bits(1, 65)
+        with pytest.raises(CodecError):
+            BitReader(b"\x00").read_bits(65)
+
+    def test_float_bit_reinterpretation(self):
+        for value in (0.0, 1.0, -1.5, 3.141592653589793, 1e300, -1e-300):
+            assert bits_to_float(float_to_bits(value)) == value
+
+
+class TestCodecsRoundtrip:
+    @pytest.mark.parametrize("codec_cls", [GorillaCodec, ChimpCodec])
+    def test_exact_roundtrip_on_typical_signals(self, codec_cls):
+        rng = np.random.default_rng(0)
+        signals = {
+            "noise": rng.normal(0, 1, 500),
+            "rounded-sensor": np.round(np.sin(np.arange(500) / 9) * 25 + 60, 2),
+            "integers": rng.integers(0, 500, 500).astype(float),
+            "many-repeats": np.repeat(rng.normal(0, 1, 50), 10),
+            "constant": np.full(200, 42.125),
+            "single": np.array([1.5]),
+        }
+        codec = codec_cls()
+        for name, signal in signals.items():
+            payload, bits, count = codec.encode(signal)
+            decoded = codec.decode(payload, bits, count)
+            assert np.array_equal(decoded, signal), f"{codec.name} failed on {name}"
+
+    @pytest.mark.parametrize("codec_cls", [GorillaCodec, ChimpCodec])
+    def test_repeated_values_compress_below_raw(self, codec_cls):
+        signal = np.repeat([1.25, 2.5, 2.5, 2.5], 100)
+        bits_per_value = codec_cls().bits_per_value(signal)
+        assert bits_per_value < 64
+
+    @pytest.mark.parametrize("codec_cls", [GorillaCodec, ChimpCodec])
+    def test_special_float_values(self, codec_cls):
+        signal = np.array([0.0, -0.0, 1e308, -1e308, 5e-324, 1.0])
+        codec = codec_cls()
+        payload, bits, count = codec.encode(signal)
+        assert np.array_equal(codec.decode(payload, bits, count), signal)
+
+    def test_decode_requires_positive_count(self):
+        codec = GorillaCodec()
+        payload, bits, _count = codec.encode(np.array([1.0, 2.0]))
+        with pytest.raises(CodecError):
+            codec.decode(payload, bits, 0)
+
+    def test_chimp_beats_gorilla_on_low_precision_data(self):
+        # Chimp's claim to fame: fewer bits on values with few trailing zeros.
+        rng = np.random.default_rng(5)
+        signal = np.round(rng.normal(100, 5, 2000), 1)
+        assert ChimpCodec().bits_per_value(signal) <= GorillaCodec().bits_per_value(signal) * 1.1
+
+
+class TestCodecsProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                              min_value=-1e12, max_value=1e12),
+                    min_size=1, max_size=80))
+    def test_gorilla_roundtrip_random_floats(self, values):
+        codec = GorillaCodec()
+        signal = np.asarray(values, dtype=np.float64)
+        payload, bits, count = codec.encode(signal)
+        assert np.array_equal(codec.decode(payload, bits, count), signal)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                              min_value=-1e12, max_value=1e12),
+                    min_size=1, max_size=80))
+    def test_chimp_roundtrip_random_floats(self, values):
+        codec = ChimpCodec()
+        signal = np.asarray(values, dtype=np.float64)
+        payload, bits, count = codec.encode(signal)
+        assert np.array_equal(codec.decode(payload, bits, count), signal)

@@ -1,0 +1,161 @@
+"""Unit tests for the quality measures (paper Section 2.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidSeriesError
+from repro.metrics import (
+    chebyshev,
+    get_metric,
+    mae,
+    mape,
+    mean_error,
+    msmape,
+    nrmse,
+    pearson_correlation,
+    psnr,
+    register_metric,
+    rmse,
+    smape,
+    available_metrics,
+)
+
+
+class TestBasicMetrics:
+    def test_mae_simple(self):
+        assert mae([1.0, 2.0, 3.0], [2.0, 2.0, 2.0]) == pytest.approx(2.0 / 3.0)
+
+    def test_mae_zero_for_identical(self):
+        x = np.linspace(0, 1, 50)
+        assert mae(x, x) == 0.0
+
+    def test_rmse_matches_manual(self):
+        x = np.array([0.0, 0.0, 0.0, 0.0])
+        y = np.array([1.0, -1.0, 1.0, -1.0])
+        assert rmse(x, y) == pytest.approx(1.0)
+
+    def test_rmse_at_least_mae(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=100)
+        y = rng.normal(size=100)
+        assert rmse(x, y) >= mae(x, y) - 1e-12
+
+    def test_nrmse_normalises_by_range(self):
+        x = np.array([0.0, 10.0, 5.0])
+        y = np.array([0.0, 10.0, 6.0])
+        expected = np.sqrt((1.0 ** 2) / 3.0) / 10.0
+        assert nrmse(x, y) == pytest.approx(expected)
+
+    def test_nrmse_constant_original_falls_back_to_rmse(self):
+        x = np.ones(10)
+        y = np.ones(10) * 2.0
+        assert nrmse(x, y) == pytest.approx(1.0)
+
+    def test_chebyshev_is_max_abs(self):
+        x = np.array([1.0, 2.0, 3.0])
+        y = np.array([1.5, 0.0, 3.0])
+        assert chebyshev(x, y) == pytest.approx(2.0)
+
+    def test_mean_error_signed(self):
+        assert mean_error([2.0, 2.0], [1.0, 1.0]) == pytest.approx(1.0)
+        assert mean_error([1.0, 1.0], [2.0, 2.0]) == pytest.approx(-1.0)
+
+    def test_mape_percentage(self):
+        assert mape([10.0, 20.0], [11.0, 18.0]) == pytest.approx((0.1 + 0.1) / 2 * 100)
+
+    def test_smape_symmetric(self):
+        x = np.array([1.0, 2.0, 4.0])
+        y = np.array([2.0, 1.0, 5.0])
+        assert smape(x, y) == pytest.approx(smape(y, x))
+
+    def test_psnr_infinite_for_exact(self):
+        x = np.arange(10, dtype=float)
+        assert psnr(x, x) == np.inf
+
+    def test_psnr_decreases_with_noise(self):
+        rng = np.random.default_rng(1)
+        x = np.sin(np.arange(500) / 10.0)
+        small = psnr(x, x + rng.normal(0, 0.01, 500))
+        large = psnr(x, x + rng.normal(0, 0.1, 500))
+        assert small > large
+
+
+class TestMsmape:
+    def test_zero_for_identical(self):
+        x = np.abs(np.random.default_rng(2).normal(5, 1, 30))
+        assert msmape(x, x) == 0.0
+
+    def test_positive_and_finite_with_zeros(self):
+        x = np.array([0.0, 0.0, 1.0, 2.0])
+        y = np.array([0.5, 0.0, 1.0, 2.5])
+        value = msmape(x, y)
+        assert np.isfinite(value)
+        assert value > 0.0
+
+    def test_stabiliser_reduces_blowup_vs_smape(self):
+        # Near-zero actuals blow up SMAPE; the history-based stabiliser keeps
+        # mSMAPE moderate (history must be non-constant for S_i > 0).
+        x = np.array([100.0, 90.0, 110.0, 0.001])
+        y = np.array([100.0, 90.0, 110.0, 1.0])
+        assert msmape(x, y) < smape(x, y)
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        x = np.arange(50, dtype=float)
+        assert pearson_correlation(x, 3 * x + 2) == pytest.approx(1.0)
+
+    def test_anti_correlation(self):
+        x = np.arange(50, dtype=float)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_input_returns_zero(self):
+        assert pearson_correlation(np.ones(10), np.arange(10.0)) == 0.0
+
+
+class TestValidation:
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(InvalidSeriesError):
+            mae([1.0, 2.0], [1.0])
+
+    def test_nan_rejected(self):
+        with pytest.raises(InvalidSeriesError):
+            rmse([1.0, np.nan], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidSeriesError):
+            mae([], [])
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        names = available_metrics()
+        for name in ("mae", "rmse", "nrmse", "msmape", "cheb", "psnr"):
+            assert name in names
+
+    def test_get_metric_by_name(self):
+        assert get_metric("mae") is mae
+
+    def test_get_metric_callable_passthrough(self):
+        fn = lambda x, y: 0.0  # noqa: E731
+        assert get_metric(fn) is fn
+
+    def test_unknown_metric_raises(self):
+        from repro.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            get_metric("definitely-not-a-metric")
+
+    def test_register_custom_metric(self):
+        register_metric("test-half-mae", lambda x, y: 0.5 * mae(x, y), overwrite=True)
+        fn = get_metric("test-half-mae")
+        assert fn([0.0, 0.0], [2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_register_duplicate_without_overwrite_raises(self):
+        from repro.exceptions import InvalidParameterError
+
+        register_metric("test-dup", lambda x, y: 0.0, overwrite=True)
+        with pytest.raises(InvalidParameterError):
+            register_metric("test-dup", lambda x, y: 1.0)

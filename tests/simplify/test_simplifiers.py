@@ -1,0 +1,162 @@
+"""Tests for the line-simplification baselines (VW, TP, PIP, RDP)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simplify import (
+    PerceptualImportantPoints,
+    RamerDouglasPeucker,
+    TurningPoints,
+    VisvalingamWhyatt,
+    make_simplifier,
+    rdp_mask,
+    triangle_areas,
+    turning_point_mask,
+)
+
+
+def _zigzag(n: int = 200, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.sin(np.arange(n) / 5.0) * 3 + rng.normal(0, 0.3, n)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("VW", VisvalingamWhyatt),
+        ("TPs", TurningPoints),
+        ("TPm", TurningPoints),
+        ("PIPv", PerceptualImportantPoints),
+        ("PIPe", PerceptualImportantPoints),
+        ("RDP", RamerDouglasPeucker),
+    ])
+    def test_make_simplifier(self, name, cls):
+        assert isinstance(make_simplifier(name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_simplifier("XYZ")
+
+
+class TestRemovalOrderContract:
+    @pytest.mark.parametrize("name", ["VW", "TPs", "TPm", "PIPv", "PIPe", "RDP"])
+    def test_order_is_permutation_of_interior(self, name):
+        values = _zigzag(150)
+        order = make_simplifier(name).removal_order(values)
+        assert set(order.tolist()) == set(range(1, 149))
+        assert order.size == 148
+
+    @pytest.mark.parametrize("name", ["VW", "TPs", "PIPv", "RDP"])
+    def test_short_series(self, name):
+        assert make_simplifier(name).removal_order(np.array([1.0, 2.0])).size == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_vw_order_valid_for_random_series(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 60))
+        values = rng.normal(0, 1, n)
+        order = VisvalingamWhyatt().removal_order(values)
+        assert sorted(order.tolist()) == list(range(1, n - 1))
+
+
+class TestVisvalingam:
+    def test_triangle_areas_formula(self):
+        values = np.array([0.0, 1.0, 0.0])
+        areas = triangle_areas(values)
+        assert areas[1] == pytest.approx(1.0)
+        assert np.isinf(areas[0]) and np.isinf(areas[2])
+
+    def test_collinear_point_removed_first(self):
+        values = np.array([0.0, 1.0, 2.0, 10.0, 2.0, 1.0, 0.0])
+        order = VisvalingamWhyatt().removal_order(values)
+        # Points 1, 2, 4, 5 are on straight lines; the peak (3) must be last.
+        assert order[-1] == 3
+
+    def test_importance_matches_initial_areas(self):
+        values = _zigzag(50)
+        importance = VisvalingamWhyatt().importance(values)
+        assert np.allclose(importance[1:-1], triangle_areas(values)[1:-1])
+
+
+class TestTurningPoints:
+    def test_mask_marks_extrema(self):
+        values = np.array([0.0, 2.0, 1.0, 3.0, 0.0])
+        mask = turning_point_mask(values)
+        assert mask[1] and mask[2] and mask[3]
+        assert mask[0] and mask[-1]
+
+    def test_monotone_series_has_no_interior_turning_points(self):
+        mask = turning_point_mask(np.arange(10.0))
+        assert not mask[1:-1].any()
+
+    def test_non_turning_points_removed_before_turning_points(self):
+        values = np.array([0.0, 1.0, 2.0, 1.0, 0.0, 1.0, 2.0, 3.0, 2.0, 0.0])
+        mask = turning_point_mask(values)
+        order = TurningPoints("sum").removal_order(values)
+        turning_interior = set(np.flatnonzero(mask[1:-1]) + 1)
+        seen_turning = False
+        for index in order:
+            if index in turning_interior:
+                seen_turning = True
+            else:
+                assert not seen_turning, "non-turning point removed after a turning point"
+
+    def test_invalid_evaluation(self):
+        from repro.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            TurningPoints("median")
+
+    def test_names(self):
+        assert TurningPoints("sum").name == "TPs"
+        assert TurningPoints("mae").name == "TPm"
+
+
+class TestPip:
+    def test_selection_starts_with_most_prominent_point(self):
+        values = np.zeros(50)
+        values[20] = 10.0
+        selection = PerceptualImportantPoints("vertical").selection_order(values)
+        assert selection[0] == 20
+
+    def test_euclidean_and_vertical_differ_on_steep_series(self):
+        values = np.cumsum(np.r_[np.ones(50) * 5, -np.ones(50) * 5])
+        vertical = PerceptualImportantPoints("vertical").removal_order(values)
+        euclidean = PerceptualImportantPoints("euclidean").removal_order(values)
+        assert vertical.size == euclidean.size
+
+    def test_invalid_distance(self):
+        from repro.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            PerceptualImportantPoints("manhattan")
+
+    def test_importance_monotone_with_selection(self):
+        values = _zigzag(80)
+        pip = PerceptualImportantPoints("vertical")
+        selection = pip.selection_order(values)
+        importance = pip.importance(values)
+        assert importance[selection[0]] >= importance[selection[-1]]
+
+
+class TestRdp:
+    def test_mask_keeps_prominent_peak(self):
+        values = np.zeros(100)
+        values[60] = 5.0
+        mask = rdp_mask(values, tolerance=1.0)
+        assert mask[60]
+        assert mask.sum() <= 5
+
+    def test_mask_tolerance_zero_keeps_everything_nonlinear(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(0, 1, 50)
+        mask = rdp_mask(values, tolerance=0.0)
+        assert mask.sum() >= 45
+
+    def test_straight_line_keeps_only_endpoints(self):
+        mask = rdp_mask(np.linspace(0, 1, 100), tolerance=0.01)
+        assert mask.sum() == 2

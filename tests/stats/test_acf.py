@@ -1,0 +1,88 @@
+"""Tests for the ACF implementations (Equations 1 and 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import generate_ar_process
+from repro.exceptions import InvalidParameterError, InvalidSeriesError
+from repro.stats import acf, lagged_pearson_acf, stationary_acf
+from repro.stats.acf import acf_from_sums
+
+
+class TestAcfBasics:
+    def test_white_noise_acf_near_zero(self, rng):
+        x = rng.normal(0, 1, 20_000)
+        values = acf(x, 10)
+        assert np.all(np.abs(values) < 0.05)
+
+    def test_perfect_sine_has_unit_acf_at_period(self):
+        t = np.arange(2400)
+        x = np.sin(2 * np.pi * t / 24)
+        values = acf(x, 30)
+        assert values[23] == pytest.approx(1.0, abs=0.01)
+        # Half a period away the correlation is close to -1.
+        assert values[11] == pytest.approx(-1.0, abs=0.02)
+
+    def test_ar1_process_matches_theory(self):
+        phi = 0.8
+        x = generate_ar_process(60_000, [phi], seed=5)
+        values = acf(x, 5)
+        expected = phi ** np.arange(1, 6)
+        assert np.allclose(values, expected, atol=0.03)
+
+    def test_result_length_equals_max_lag(self, seasonal_series):
+        assert acf(seasonal_series, 17).shape == (17,)
+
+    def test_values_bounded_by_one(self, seasonal_series):
+        values = acf(seasonal_series, 50)
+        assert np.all(np.abs(values) <= 1.0 + 1e-9)
+
+    def test_methods_agree_on_long_stationary_series(self, rng):
+        x = generate_ar_process(30_000, [0.5], seed=9)
+        pearson = lagged_pearson_acf(x, 5)
+        stationary = stationary_acf(x, 5)
+        assert np.allclose(pearson, stationary, atol=0.01)
+
+    def test_constant_series_gives_zero(self):
+        values = acf(np.ones(100), 5)
+        assert np.allclose(values, 0.0)
+
+    def test_unknown_method_raises(self, seasonal_series):
+        with pytest.raises(ValueError):
+            acf(seasonal_series, 5, method="bogus")
+
+
+class TestAcfValidation:
+    def test_lag_must_be_positive(self, seasonal_series):
+        with pytest.raises(InvalidParameterError):
+            acf(seasonal_series, 0)
+
+    def test_lag_must_be_below_length(self):
+        with pytest.raises(InvalidParameterError):
+            acf(np.arange(10.0), 10)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(InvalidSeriesError):
+            acf([], 1)
+
+    def test_nan_rejected(self):
+        with pytest.raises(InvalidSeriesError):
+            acf([1.0, np.nan, 2.0], 1)
+
+
+class TestAcfFromSums:
+    def test_matches_numpy_corrcoef(self, rng):
+        x = rng.normal(0, 1, 500)
+        lag = 3
+        head, tail = x[:-lag], x[lag:]
+        count = head.size
+        value = acf_from_sums(count, head.sum(), tail.sum(),
+                              float(np.dot(head, head)), float(np.dot(tail, tail)),
+                              float(np.dot(head, tail)))
+        expected = np.corrcoef(head, tail)[0, 1]
+        assert value == pytest.approx(expected, abs=1e-10)
+
+    def test_degenerate_variance_returns_zero(self):
+        assert acf_from_sums(10, 10.0, 10.0, 10.0, 10.0, 10.0) == 0.0

@@ -1,0 +1,185 @@
+"""Tests for the incremental ACF aggregate state (Equations 7-9)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import ACFAggregateState, acf
+
+
+def _random_series(seed: int, n: int = 300) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return np.sin(np.arange(n) / 7.0) * 3 + rng.normal(0, 0.5, n)
+
+
+class TestConstruction:
+    def test_initial_acf_matches_direct_computation(self, seasonal_series):
+        state = ACFAggregateState(seasonal_series, 30)
+        assert np.allclose(state.acf(), acf(seasonal_series, 30), atol=1e-10)
+
+    def test_current_is_a_copy(self, seasonal_series):
+        state = ACFAggregateState(seasonal_series, 5)
+        seasonal_series[0] += 100.0
+        assert state.current[0] != seasonal_series[0]
+
+    def test_properties(self, seasonal_series):
+        state = ACFAggregateState(seasonal_series, 12)
+        assert state.n == seasonal_series.size
+        assert state.max_lag == 12
+        assert np.array_equal(state.lags, np.arange(1, 13))
+
+
+class TestSingleUpdates:
+    def test_apply_single_change_matches_recompute(self):
+        x = _random_series(1)
+        state = ACFAggregateState(x, 20)
+        state.apply_changes([150], [0.75])
+        assert np.allclose(state.acf(), state.recompute_acf(), atol=1e-9)
+        # And against a from-scratch ACF of the modified series.
+        modified = x.copy()
+        modified[150] += 0.75
+        assert np.allclose(state.acf(), acf(modified, 20), atol=1e-9)
+
+    def test_boundary_positions(self):
+        x = _random_series(2)
+        state = ACFAggregateState(x, 10)
+        state.apply_changes([0, x.size - 1], [1.0, -2.0])
+        assert np.allclose(state.acf(), state.recompute_acf(), atol=1e-9)
+
+    def test_zero_delta_is_noop(self):
+        x = _random_series(3)
+        state = ACFAggregateState(x, 10)
+        before = state.acf()
+        state.apply_changes([10], [0.0])
+        assert np.array_equal(before, state.acf())
+
+    def test_out_of_range_position_raises(self):
+        state = ACFAggregateState(_random_series(4), 5)
+        with pytest.raises(IndexError):
+            state.apply_changes([1000], [1.0])
+
+    def test_shape_mismatch_raises(self):
+        state = ACFAggregateState(_random_series(5), 5)
+        with pytest.raises(ValueError):
+            state.apply_changes([1, 2], [1.0])
+
+
+class TestBatchUpdates:
+    def test_overlapping_lag_batch_exact(self):
+        # Positions closer than the lag exercise the cross-term of Eq. 9.
+        x = _random_series(6)
+        state = ACFAggregateState(x, 15)
+        positions = np.array([100, 101, 102, 103, 110])
+        deltas = np.array([0.5, -0.3, 0.8, -0.2, 0.4])
+        state.apply_changes(positions, deltas)
+        modified = x.copy()
+        modified[positions] += deltas
+        assert np.allclose(state.acf(), acf(modified, 15), atol=1e-9)
+
+    def test_preview_does_not_mutate(self):
+        x = _random_series(7)
+        state = ACFAggregateState(x, 10)
+        before_acf = state.acf()
+        before_current = state.current.copy()
+        state.preview_acf([50, 51], [0.4, -0.4])
+        assert np.array_equal(before_acf, state.acf())
+        assert np.array_equal(before_current, state.current)
+
+    def test_preview_equals_apply(self):
+        x = _random_series(8)
+        state = ACFAggregateState(x, 10)
+        positions = [20, 21, 22, 40]
+        deltas = [0.3, 0.1, -0.5, 0.9]
+        preview = state.preview_acf(positions, deltas)
+        state.apply_changes(positions, deltas)
+        assert np.allclose(preview, state.acf(), atol=1e-12)
+
+    def test_sequential_single_updates_equal_batch(self):
+        x = _random_series(9)
+        state_batch = ACFAggregateState(x, 12)
+        state_single = ACFAggregateState(x, 12)
+        positions = [5, 6, 7]
+        deltas = [1.0, -0.5, 0.25]
+        state_batch.apply_changes(positions, deltas)
+        for position, delta in zip(positions, deltas):
+            state_single.apply_changes([position], [delta])
+        assert np.allclose(state_batch.acf(), state_single.acf(), atol=1e-12)
+
+    def test_copy_is_independent(self):
+        x = _random_series(10)
+        state = ACFAggregateState(x, 8)
+        clone = state.copy()
+        state.apply_changes([30], [2.0])
+        assert not np.allclose(state.acf(), clone.acf())
+        assert np.allclose(clone.acf(), acf(x, 8), atol=1e-10)
+
+
+class TestContiguousFastPath:
+    @pytest.mark.parametrize("start,length", [(100, 7), (0, 3), (295, 5), (1, 1), (240, 60)])
+    def test_preview_contiguous_matches_generic(self, start, length):
+        x = _random_series(11)
+        state = ACFAggregateState(x, 25)
+        rng = np.random.default_rng(start + length)
+        deltas = rng.normal(0, 0.4, length)
+        positions = np.arange(start, start + length)
+        fast = state.preview_acf_contiguous(start, deltas)
+        slow = state.preview_acf(positions, deltas)
+        assert np.allclose(fast, slow, atol=1e-9)
+
+    def test_apply_contiguous_matches_recompute(self):
+        x = _random_series(12)
+        state = ACFAggregateState(x, 25)
+        deltas = np.linspace(-0.5, 0.5, 9)
+        state.apply_contiguous(140, deltas)
+        assert np.allclose(state.acf(), state.recompute_acf(), atol=1e-9)
+
+    def test_empty_deltas_is_noop(self):
+        x = _random_series(13)
+        state = ACFAggregateState(x, 10)
+        before = state.acf()
+        state.apply_contiguous(5, np.empty(0))
+        assert np.array_equal(before, state.acf())
+
+    def test_out_of_bounds_range_raises(self):
+        state = ACFAggregateState(_random_series(14), 5)
+        with pytest.raises(IndexError):
+            state.preview_acf_contiguous(298, np.ones(10))
+
+
+class TestPropertyBased:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_incremental_always_matches_recompute(self, seed):
+        """Property: after arbitrary random batches the incremental ACF equals
+        a from-scratch recomputation."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(30, 120))
+        max_lag = int(rng.integers(1, min(n - 1, 20)))
+        x = rng.normal(0, 1, n)
+        state = ACFAggregateState(x, max_lag)
+        for _round in range(3):
+            count = int(rng.integers(1, 6))
+            positions = rng.integers(0, n, count)
+            deltas = rng.normal(0, 1, count)
+            state.apply_changes(positions, deltas)
+        assert np.allclose(state.acf(), state.recompute_acf(), atol=1e-8)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_contiguous_fast_path_always_matches_generic(self, seed):
+        """Property: the closed-form contiguous update equals the sequential
+        per-position update for random ranges anywhere in the series."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(30, 150))
+        max_lag = int(rng.integers(1, min(n - 1, 25)))
+        x = rng.normal(0, 1, n)
+        state = ACFAggregateState(x, max_lag)
+        start = int(rng.integers(0, n - 1))
+        length = int(rng.integers(1, n - start))
+        deltas = rng.normal(0, 1, length)
+        fast = state.preview_acf_contiguous(start, deltas)
+        slow = state.preview_acf(np.arange(start, start + length), deltas)
+        assert np.allclose(fast, slow, atol=1e-8)

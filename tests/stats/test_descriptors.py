@@ -1,0 +1,269 @@
+"""Tests for the pluggable statistical descriptors (repro.stats.descriptors)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import InvalidParameterError
+from repro.stats import acf, pacf
+from repro.stats.descriptors import (
+    AcfStatistic,
+    CallableStatistic,
+    CompositeStatistic,
+    CrossCorrelationStatistic,
+    MomentStatistic,
+    PacfStatistic,
+    QuantileStatistic,
+    SpectralStatistic,
+    Statistic,
+    TumblingAggregateStatistic,
+    make_statistic,
+)
+from repro.stats.windowed import tumbling_window_aggregate
+
+RNG = np.random.default_rng(7)
+
+
+def _seasonal(n: int = 400, period: int = 20) -> np.ndarray:
+    t = np.arange(n)
+    return np.sin(2 * np.pi * t / period) + 0.1 * RNG.standard_normal(n)
+
+
+finite_series = arrays(
+    np.float64,
+    st.integers(min_value=32, max_value=200),
+    elements=st.floats(min_value=-1e3, max_value=1e3,
+                       allow_nan=False, allow_infinity=False),
+)
+
+
+class TestAcfPacfStatistics:
+    def test_acf_statistic_matches_acf_function(self):
+        x = _seasonal()
+        np.testing.assert_allclose(AcfStatistic(24).compute(x), acf(x, 24))
+
+    def test_pacf_statistic_matches_pacf_function(self):
+        x = _seasonal()
+        np.testing.assert_allclose(PacfStatistic(10).compute(x), pacf(x, 10))
+
+    def test_lag_clamped_to_series_length(self):
+        x = _seasonal(16)
+        result = AcfStatistic(64).compute(x)
+        assert result.size == 15
+
+    def test_invalid_lag_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            AcfStatistic(0)
+
+    def test_name_encodes_lag(self):
+        assert AcfStatistic(24).name == "acf24"
+        assert PacfStatistic(5).name == "pacf5"
+
+
+class TestMomentStatistic:
+    def test_values_match_numpy(self):
+        x = _seasonal()
+        mean, std, skew, kurt = MomentStatistic().compute(x)
+        assert mean == pytest.approx(np.mean(x))
+        assert std == pytest.approx(np.std(x))
+        centred = x - np.mean(x)
+        assert skew == pytest.approx(np.mean(centred ** 3) / np.std(x) ** 3)
+        assert kurt == pytest.approx(np.mean(centred ** 4) / np.std(x) ** 4)
+
+    def test_subset_of_moments(self):
+        x = _seasonal()
+        result = MomentStatistic(["mean", "std"]).compute(x)
+        assert result.size == 2
+
+    def test_constant_series_has_zero_std_and_finite_moments(self):
+        result = MomentStatistic().compute(np.full(50, 3.0))
+        assert result[0] == pytest.approx(3.0)
+        assert result[1] == pytest.approx(0.0)
+        assert np.all(np.isfinite(result))
+
+    def test_unknown_moment_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MomentStatistic(["median"])
+
+    def test_empty_moment_list_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MomentStatistic([])
+
+    @given(finite_series)
+    @settings(max_examples=25, deadline=None)
+    def test_moments_always_finite(self, x):
+        assert np.all(np.isfinite(MomentStatistic().compute(x)))
+
+
+class TestQuantileStatistic:
+    def test_default_quantiles(self):
+        x = _seasonal()
+        result = QuantileStatistic().compute(x)
+        np.testing.assert_allclose(result, np.quantile(x, (0.05, 0.25, 0.5, 0.75, 0.95)))
+
+    def test_quantiles_are_monotone(self):
+        x = RNG.standard_normal(500)
+        result = QuantileStatistic((0.1, 0.5, 0.9)).compute(x)
+        assert np.all(np.diff(result) >= 0)
+
+    def test_out_of_range_quantile_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            QuantileStatistic((0.5, 1.5))
+
+    def test_empty_quantiles_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            QuantileStatistic(())
+
+
+class TestSpectralStatistic:
+    def test_shares_sum_at_most_one(self):
+        x = _seasonal()
+        shares = SpectralStatistic(8).compute(x)
+        assert shares.size == 8
+        assert 0.0 <= float(np.sum(shares)) <= 1.0 + 1e-9
+
+    def test_pure_sine_concentrates_energy(self):
+        n, period = 512, 16
+        x = np.sin(2 * np.pi * np.arange(n) / period)
+        shares = SpectralStatistic(64).compute(x)
+        dominant_bin = n // period - 1   # DC excluded, so bin k-1 is frequency k
+        assert shares[dominant_bin] > 0.95
+
+    def test_constant_series_has_zero_energy(self):
+        shares = SpectralStatistic(4).compute(np.full(64, 2.5))
+        np.testing.assert_allclose(shares, 0.0)
+
+    def test_scale_invariance(self):
+        x = _seasonal()
+        a = SpectralStatistic(16).compute(x)
+        b = SpectralStatistic(16).compute(10.0 * x)
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+
+class TestCrossCorrelationStatistic:
+    def test_self_correlation_at_lag_zero_is_one(self):
+        x = _seasonal()
+        stat = CrossCorrelationStatistic(x, max_lag=0)
+        assert stat.compute(x)[0] == pytest.approx(1.0)
+
+    def test_lagged_copy_detected(self):
+        # reference[i] = x[i - 3]: the statistic correlates x[:n-l] with
+        # reference[l:], which realigns the two series exactly at lag 3.
+        x = _seasonal(600)
+        lagged = np.roll(x, 3)
+        stat = CrossCorrelationStatistic(lagged, max_lag=5)
+        result = stat.compute(x)
+        assert int(np.argmax(result)) == 3
+
+    def test_length_mismatch_rejected(self):
+        stat = CrossCorrelationStatistic(_seasonal(100), max_lag=2)
+        with pytest.raises(InvalidParameterError):
+            stat.compute(_seasonal(90))
+
+    def test_constant_reference_yields_zero(self):
+        stat = CrossCorrelationStatistic(np.full(100, 1.0), max_lag=2)
+        np.testing.assert_allclose(stat.compute(_seasonal(100)), 0.0)
+
+    def test_negative_lag_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            CrossCorrelationStatistic(_seasonal(100), max_lag=-1)
+
+
+class TestTumblingAggregateStatistic:
+    def test_matches_manual_aggregation(self):
+        x = _seasonal(480)
+        stat = TumblingAggregateStatistic(AcfStatistic(12), window=4, agg="mean")
+        expected = acf(tumbling_window_aggregate(x, 4, "mean"), 12)
+        np.testing.assert_allclose(stat.compute(x), expected)
+
+    def test_name_composition(self):
+        stat = TumblingAggregateStatistic(MomentStatistic(["mean"]), window=8, agg="max")
+        assert stat.name == "moments(mean)@max8"
+
+    def test_requires_statistic_instance(self):
+        with pytest.raises(InvalidParameterError):
+            TumblingAggregateStatistic(np.mean, window=4)  # type: ignore[arg-type]
+
+
+class TestCompositeStatistic:
+    def test_concatenates_parts(self):
+        x = _seasonal()
+        composite = CompositeStatistic([AcfStatistic(5), MomentStatistic(["mean", "std"])])
+        result = composite.compute(x)
+        assert result.size == 7
+        np.testing.assert_allclose(result[:5], acf(x, 5))
+
+    def test_weights_scale_parts(self):
+        x = _seasonal()
+        weighted = CompositeStatistic([MomentStatistic(["mean"])], weights=[0.5])
+        assert weighted.compute(x)[0] == pytest.approx(0.5 * np.mean(x))
+
+    def test_weight_length_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            CompositeStatistic([AcfStatistic(3)], weights=[1.0, 2.0])
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            CompositeStatistic([AcfStatistic(3)], weights=[-1.0])
+
+    def test_empty_parts_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            CompositeStatistic([])
+
+
+class TestCallableStatisticAndFactory:
+    def test_callable_adapter(self):
+        stat = CallableStatistic(lambda x: np.asarray([np.mean(x), np.max(x)]), name="range")
+        x = _seasonal()
+        result = stat.compute(x)
+        assert result.size == 2 and stat.name == "range"
+
+    def test_callable_scalar_is_promoted_to_vector(self):
+        stat = CallableStatistic(lambda x: np.mean(x))
+        assert stat.compute(_seasonal()).shape == (1,)
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            CallableStatistic(42)  # type: ignore[arg-type]
+
+    def test_factory_names(self):
+        assert isinstance(make_statistic("acf", max_lag=10), AcfStatistic)
+        assert isinstance(make_statistic("pacf", max_lag=5), PacfStatistic)
+        assert isinstance(make_statistic("moments"), MomentStatistic)
+        assert isinstance(make_statistic("quantiles"), QuantileStatistic)
+        assert isinstance(make_statistic("spectrum"), SpectralStatistic)
+        assert isinstance(
+            make_statistic("ccf", reference=_seasonal(), max_lag=3),
+            CrossCorrelationStatistic)
+
+    def test_factory_unknown_name(self):
+        with pytest.raises(InvalidParameterError):
+            make_statistic("entropy")
+
+    def test_statistic_call_validates_input(self):
+        from repro.exceptions import InvalidSeriesError
+
+        with pytest.raises(InvalidSeriesError):
+            MomentStatistic()([np.nan, 1.0, 2.0])
+
+    def test_all_builtins_are_statistics(self):
+        x = _seasonal()
+        for stat in (AcfStatistic(5), PacfStatistic(5), MomentStatistic(),
+                     QuantileStatistic(), SpectralStatistic(4),
+                     CrossCorrelationStatistic(x, 2)):
+            assert isinstance(stat, Statistic)
+            vector = stat.compute(x)
+            assert vector.ndim == 1 and np.all(np.isfinite(vector))
+
+
+class TestDeterminism:
+    @given(finite_series)
+    @settings(max_examples=20, deadline=None)
+    def test_statistics_are_deterministic(self, x):
+        for stat in (MomentStatistic(), QuantileStatistic((0.25, 0.75)),
+                     SpectralStatistic(4)):
+            np.testing.assert_array_equal(stat.compute(x), stat.compute(x))

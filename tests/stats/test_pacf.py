@@ -1,0 +1,49 @@
+"""Tests for the PACF / Durbin-Levinson recursion (Equation 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import generate_ar_process
+from repro.stats import acf, pacf, pacf_from_acf
+
+
+class TestPacf:
+    def test_ar1_pacf_cuts_off_after_lag_one(self):
+        phi = 0.7
+        x = generate_ar_process(50_000, [phi], seed=2)
+        values = pacf(x, 6)
+        assert values[0] == pytest.approx(phi, abs=0.03)
+        assert np.all(np.abs(values[1:]) < 0.05)
+
+    def test_ar2_pacf_cuts_off_after_lag_two(self):
+        x = generate_ar_process(50_000, [0.5, 0.3], seed=4)
+        values = pacf(x, 6)
+        assert abs(values[1]) > 0.15
+        assert np.all(np.abs(values[2:]) < 0.05)
+
+    def test_first_lag_equals_acf1(self, seasonal_series):
+        assert pacf(seasonal_series, 8)[0] == pytest.approx(
+            acf(seasonal_series, 8)[0], abs=1e-9)
+
+    def test_white_noise_pacf_near_zero(self, rng):
+        x = rng.normal(0, 1, 20_000)
+        assert np.all(np.abs(pacf(x, 8)) < 0.05)
+
+    def test_pacf_from_acf_direct_consistency(self, seasonal_series):
+        rho = acf(seasonal_series, 12)
+        assert np.allclose(pacf_from_acf(rho), pacf(seasonal_series, 12))
+
+    def test_length_matches_max_lag(self, seasonal_series):
+        assert pacf(seasonal_series, 15).shape == (15,)
+
+    def test_degenerate_acf_does_not_crash(self):
+        # An ACF of all ones makes the DL denominator vanish; the recursion
+        # must stay finite.
+        values = pacf_from_acf(np.ones(6))
+        assert np.all(np.isfinite(values))
+
+    def test_empty_acf_rejected(self):
+        with pytest.raises(ValueError):
+            pacf_from_acf(np.empty(0))

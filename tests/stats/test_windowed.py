@@ -1,0 +1,130 @@
+"""Tests for the ACF-on-aggregates state (Definition 2, Equations 10-11)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.stats import ACFAggregateState, AggregatedACFState, acf, tumbling_window_aggregate
+
+
+class TestTumblingWindowAggregate:
+    def test_mean_of_simple_windows(self):
+        x = np.arange(12, dtype=float)
+        assert np.allclose(tumbling_window_aggregate(x, 3, "mean"), [1.0, 4.0, 7.0, 10.0])
+
+    def test_sum_max_min(self):
+        x = np.array([1.0, 5.0, 2.0, 8.0, 0.0, 3.0])
+        assert np.allclose(tumbling_window_aggregate(x, 3, "sum"), [8.0, 11.0])
+        assert np.allclose(tumbling_window_aggregate(x, 3, "max"), [5.0, 8.0])
+        assert np.allclose(tumbling_window_aggregate(x, 3, "min"), [1.0, 0.0])
+
+    def test_incomplete_trailing_window_dropped(self):
+        x = np.arange(10, dtype=float)
+        assert tumbling_window_aggregate(x, 3).size == 3
+
+    def test_window_larger_than_series_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            tumbling_window_aggregate(np.arange(5.0), 10)
+
+    def test_unknown_agg_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            tumbling_window_aggregate(np.arange(10.0), 2, "median")
+
+
+class TestAggregatedState:
+    def _series(self, seed: int = 0, n: int = 600) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        return 10 + np.sin(np.arange(n) / 15.0) * 4 + rng.normal(0, 0.5, n)
+
+    def test_initial_acf_matches_aggregated_series(self):
+        x = self._series()
+        state = AggregatedACFState(x, 10, 20, "mean")
+        expected = acf(tumbling_window_aggregate(x, 20, "mean"), 10)
+        assert np.allclose(state.acf(), expected, atol=1e-10)
+
+    @pytest.mark.parametrize("agg", ["mean", "sum", "max", "min"])
+    def test_apply_matches_recompute(self, agg):
+        x = self._series(3)
+        state = AggregatedACFState(x, 8, 25, agg)
+        rng = np.random.default_rng(7)
+        positions = rng.integers(0, x.size, 12)
+        deltas = rng.normal(0, 1.0, 12)
+        state.apply_changes(positions, deltas)
+        assert np.allclose(state.acf(), state.recompute_acf(), atol=1e-9)
+
+    def test_preview_equals_apply_mean(self):
+        x = self._series(4)
+        state = AggregatedACFState(x, 6, 30, "mean")
+        positions = [10, 11, 12, 45, 200]
+        deltas = [0.5, -1.0, 0.2, 2.0, -0.7]
+        preview = state.preview_acf(positions, deltas)
+        state.apply_changes(positions, deltas)
+        assert np.allclose(preview, state.acf(), atol=1e-12)
+
+    def test_changes_in_partial_trailing_window_ignored(self):
+        x = self._series(5, n=610)  # 610 // 30 = 20 windows; 10 trailing points
+        state = AggregatedACFState(x, 5, 30, "mean")
+        before = state.acf()
+        state.apply_changes([605], [50.0])
+        assert np.allclose(before, state.acf())
+
+    def test_contiguous_fast_path_matches_generic(self):
+        x = self._series(6)
+        state = AggregatedACFState(x, 8, 20, "mean")
+        rng = np.random.default_rng(1)
+        deltas = rng.normal(0, 0.5, 47)
+        start = 113
+        fast = state.preview_acf_contiguous(start, deltas)
+        slow = state.preview_acf(np.arange(start, start + deltas.size), deltas)
+        assert np.allclose(fast, slow, atol=1e-9)
+
+    def test_apply_contiguous_matches_recompute(self):
+        x = self._series(7)
+        state = AggregatedACFState(x, 8, 20, "mean")
+        deltas = np.linspace(-1, 1, 33)
+        state.apply_contiguous(77, deltas)
+        assert np.allclose(state.acf(), state.recompute_acf(), atol=1e-9)
+
+    def test_window_of(self):
+        x = self._series(8, n=100)
+        state = AggregatedACFState(x, 3, 10, "mean")
+        assert state.window_of(0) == 0
+        assert state.window_of(9) == 0
+        assert state.window_of(10) == 1
+        assert state.window_of(99) == 9
+
+    def test_copy_independent(self):
+        x = self._series(9)
+        state = AggregatedACFState(x, 5, 20, "mean")
+        clone = state.copy()
+        state.apply_changes([3], [10.0])
+        assert not np.allclose(state.current_raw[3], clone.current_raw[3])
+
+    def test_inner_state_type(self):
+        x = self._series(10)
+        state = AggregatedACFState(x, 5, 20, "mean")
+        assert isinstance(state.inner, ACFAggregateState)
+        assert state.num_windows == x.size // 20
+
+
+class TestAggregatedProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_mean_aggregation_incremental_matches_recompute(self, seed):
+        """Property: random point changes keep the aggregated ACF consistent."""
+        rng = np.random.default_rng(seed)
+        window = int(rng.integers(2, 8))
+        num_windows = int(rng.integers(8, 20))
+        n = window * num_windows + int(rng.integers(0, window))
+        x = rng.normal(0, 1, n)
+        max_lag = int(rng.integers(1, min(num_windows - 1, 6)))
+        state = AggregatedACFState(x, max_lag, window, "mean")
+        count = int(rng.integers(1, 8))
+        positions = rng.integers(0, n, count)
+        deltas = rng.normal(0, 1, count)
+        state.apply_changes(positions, deltas)
+        assert np.allclose(state.acf(), state.recompute_acf(), atol=1e-8)

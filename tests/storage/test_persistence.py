@@ -1,0 +1,139 @@
+"""Tests for storing and reloading a TimeSeriesStore (repro.storage.persistence)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StorageError
+from repro.storage import QueryEngine, TimeSeriesStore, load_store, save_store
+from repro.storage.persistence import MANIFEST_NAME
+
+RNG = np.random.default_rng(29)
+
+
+def _seasonal(n: int, period: int = 24) -> np.ndarray:
+    t = np.arange(n)
+    return 30 + 6 * np.sin(2 * np.pi * t / period) + 0.3 * RNG.standard_normal(n)
+
+
+def _populated_store() -> tuple[TimeSeriesStore, dict[str, np.ndarray]]:
+    store = TimeSeriesStore(default_segment_size=256)
+    data = {
+        "raw-series": _seasonal(500),
+        "gorilla-series": _seasonal(700),
+        "cameo-series": _seasonal(900),
+    }
+    store.create_series("raw-series", codec="raw", metadata={"unit": "C"})
+    store.create_series("gorilla-series", codec="gorilla")
+    store.create_series("cameo-series", codec="cameo",
+                        codec_options={"max_lag": 24, "epsilon": 0.05})
+    for name, values in data.items():
+        store.append(name, values)
+    store.flush("cameo-series")   # leave raw/gorilla with a buffered tail
+    return store, data
+
+
+class TestSaveLoadRoundtrip:
+    def test_manifest_written(self, tmp_path):
+        store, _ = _populated_store()
+        path = save_store(store, tmp_path / "db")
+        assert path.name == MANIFEST_NAME
+        manifest = json.loads(path.read_text())
+        assert manifest["format"] == "repro.timeseries-store"
+        assert set(manifest["series"]) == set(store.list_series())
+
+    def test_roundtrip_preserves_reconstructions(self, tmp_path):
+        store, data = _populated_store()
+        save_store(store, tmp_path / "db")
+        reloaded = load_store(tmp_path / "db")
+        assert reloaded.list_series() == store.list_series()
+        for name in store.list_series():
+            np.testing.assert_allclose(reloaded.read(name), store.read(name))
+            assert reloaded.length(name) == store.length(name)
+
+    def test_roundtrip_preserves_footprint_and_metadata(self, tmp_path):
+        store, _ = _populated_store()
+        save_store(store, tmp_path / "db")
+        reloaded = load_store(tmp_path / "db")
+        for name in store.list_series():
+            before, after = store.info(name), reloaded.info(name)
+            assert after.encoded_bits == before.encoded_bits
+            assert after.segments == before.segments
+            assert after.buffered_points == before.buffered_points
+            assert after.codec == before.codec
+            assert after.metadata == before.metadata
+
+    def test_reloaded_store_accepts_new_appends(self, tmp_path):
+        store, data = _populated_store()
+        save_store(store, tmp_path / "db")
+        reloaded = load_store(tmp_path / "db")
+        extra = _seasonal(300)
+        reloaded.append("cameo-series", extra)
+        reloaded.flush("cameo-series")
+        assert reloaded.length("cameo-series") == data["cameo-series"].size + 300
+        # The bound still applies to newly sealed segments: the reconstruction
+        # of the appended range stays close to the appended values.
+        tail = reloaded.read("cameo-series", data["cameo-series"].size)
+        nrmse = np.sqrt(np.mean((tail - extra) ** 2)) / np.ptp(extra)
+        assert nrmse < 0.2
+
+    def test_queries_work_on_reloaded_store(self, tmp_path):
+        store, data = _populated_store()
+        save_store(store, tmp_path / "db")
+        engine = QueryEngine(load_store(tmp_path / "db"))
+        result = engine.aggregate("raw-series", "mean")
+        assert result.value == pytest.approx(np.mean(data["raw-series"]))
+        # Summaries were persisted, so fully covered segments need no decoding.
+        covered = engine.aggregate("raw-series", "sum", start=0, stop=256)
+        assert covered.segments_decoded == 0
+
+    def test_load_accepts_manifest_path_directly(self, tmp_path):
+        store, _ = _populated_store()
+        manifest_path = save_store(store, tmp_path / "db")
+        reloaded = load_store(manifest_path)
+        assert reloaded.list_series() == store.list_series()
+
+
+class TestPersistenceErrors:
+    def test_model_codec_store_cannot_be_saved(self, tmp_path):
+        store = TimeSeriesStore(default_segment_size=128)
+        store.create_series("s", codec="pmc", codec_options={"error_bound": 0.5})
+        store.append("s", _seasonal(200))
+        with pytest.raises(StorageError, match="compact"):
+            save_store(store, tmp_path / "db")
+
+    def test_model_codec_store_can_be_saved_after_compaction(self, tmp_path):
+        store = TimeSeriesStore(default_segment_size=128)
+        store.create_series("s", codec="pmc", codec_options={"error_bound": 0.5})
+        values = _seasonal(200)
+        store.append("s", values)
+        store.compact("s", codec="gorilla")
+        save_store(store, tmp_path / "db")
+        reloaded = load_store(tmp_path / "db")
+        np.testing.assert_allclose(reloaded.read("s"), store.read("s"))
+
+    def test_load_missing_manifest(self, tmp_path):
+        with pytest.raises(StorageError):
+            load_store(tmp_path / "nothing-here")
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / MANIFEST_NAME
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(StorageError):
+            load_store(tmp_path)
+
+    def test_load_rejects_newer_version(self, tmp_path):
+        store, _ = _populated_store()
+        manifest_path = save_store(store, tmp_path / "db")
+        manifest = json.loads(manifest_path.read_text())
+        manifest["version"] = 99
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(StorageError):
+            load_store(tmp_path / "db")
+
+    def test_save_requires_store(self, tmp_path):
+        with pytest.raises(StorageError):
+            save_store(object(), tmp_path)  # type: ignore[arg-type]

@@ -1,0 +1,269 @@
+"""Tests for the segment store (repro.storage.store / repro.storage.segment)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError, SeriesNotFoundError, StorageError
+from repro.storage import (
+    RawCodec,
+    Segment,
+    SegmentSummary,
+    SeriesInfo,
+    TimeSeriesStore,
+)
+
+RNG = np.random.default_rng(3)
+
+
+def _seasonal(n: int, period: int = 48) -> np.ndarray:
+    t = np.arange(n)
+    return 20 + 5 * np.sin(2 * np.pi * t / period) + 0.3 * RNG.standard_normal(n)
+
+
+class TestSegment:
+    def _segment(self, n=128, start=0):
+        codec = RawCodec()
+        values = _seasonal(n)
+        return Segment(start, codec.encode(values), codec), values
+
+    def test_geometry(self):
+        segment, _ = self._segment(100, start=50)
+        assert segment.length == 100
+        assert segment.end == 150
+        assert segment.contains(50) and segment.contains(149)
+        assert not segment.contains(150)
+        assert segment.overlaps(140, 200) and not segment.overlaps(150, 200)
+        assert segment.covered_by(0, 150) and not segment.covered_by(60, 150)
+
+    def test_decode_and_slice(self):
+        segment, values = self._segment(100, start=10)
+        np.testing.assert_array_equal(segment.decode(), values)
+        np.testing.assert_array_equal(segment.slice(20, 30), values[10:20])
+        assert segment.slice(200, 300).size == 0
+        assert segment.value_at(10) == pytest.approx(values[0])
+
+    def test_value_at_outside_raises(self):
+        segment, _ = self._segment(10, start=0)
+        with pytest.raises(StorageError):
+            segment.value_at(10)
+
+    def test_summary_matches_reconstruction(self):
+        segment, values = self._segment(64)
+        assert segment.summary.count == 64
+        assert segment.summary.minimum == pytest.approx(np.min(values))
+        assert segment.summary.maximum == pytest.approx(np.max(values))
+        assert segment.summary.total == pytest.approx(np.sum(values))
+        assert segment.summary.mean == pytest.approx(np.mean(values))
+
+    def test_invalid_segments_rejected(self):
+        codec = RawCodec()
+        chunk = codec.encode(_seasonal(8))
+        with pytest.raises(StorageError):
+            Segment(-1, chunk, codec)
+        with pytest.raises(StorageError):
+            SegmentSummary.from_values(np.empty(0))
+
+
+class TestStoreIngest:
+    def test_create_and_list(self):
+        store = TimeSeriesStore()
+        store.create_series("a", codec="raw")
+        store.create_series("b", codec="gorilla")
+        assert store.list_series() == ["a", "b"]
+        assert "a" in store and len(store) == 2
+
+    def test_duplicate_series_rejected(self):
+        store = TimeSeriesStore()
+        store.create_series("a", codec="raw")
+        with pytest.raises(StorageError):
+            store.create_series("a", codec="raw")
+
+    def test_unknown_series_raises(self):
+        store = TimeSeriesStore()
+        with pytest.raises(SeriesNotFoundError):
+            store.append("missing", [1.0])
+
+    def test_empty_name_rejected(self):
+        store = TimeSeriesStore()
+        with pytest.raises(InvalidParameterError):
+            store.create_series("   ", codec="raw")
+
+    def test_append_seals_full_segments(self):
+        store = TimeSeriesStore()
+        store.create_series("s", codec="raw", segment_size=100)
+        sealed = store.append("s", _seasonal(250))
+        assert sealed == 2
+        assert store.length("s") == 250
+        assert len(store.segments("s")) == 2
+        info = store.info("s")
+        assert info.buffered_points == 50 and info.sealed_points == 200
+
+    def test_scalar_append(self):
+        store = TimeSeriesStore()
+        store.create_series("s", codec="raw", segment_size=4)
+        for value in (1.0, 2.0, 3.0, 4.0, 5.0):
+            store.append("s", value)
+        assert store.length("s") == 5
+        assert len(store.segments("s")) == 1
+
+    def test_flush_seals_partial_buffer(self):
+        store = TimeSeriesStore()
+        store.create_series("s", codec="raw", segment_size=100)
+        store.append("s", _seasonal(130))
+        assert store.flush("s") == 1
+        assert store.info("s").buffered_points == 0
+        assert store.flush("s") == 0   # nothing left to flush
+
+    def test_flush_all_series(self):
+        store = TimeSeriesStore()
+        for name in ("a", "b"):
+            store.create_series(name, codec="raw", segment_size=64)
+            store.append(name, _seasonal(10))
+        assert store.flush() == 2
+
+    def test_codec_instance_accepted(self):
+        store = TimeSeriesStore()
+        store.create_series("s", codec=RawCodec(), segment_size=16)
+        store.append("s", _seasonal(16))
+        assert store.info("s").codec == "raw"
+
+    def test_codec_options_with_instance_rejected(self):
+        store = TimeSeriesStore()
+        with pytest.raises(InvalidParameterError):
+            store.create_series("s", codec=RawCodec(), codec_options={"x": 1})
+
+    def test_drop_series(self):
+        store = TimeSeriesStore()
+        store.create_series("s", codec="raw")
+        store.drop_series("s")
+        assert "s" not in store
+
+
+class TestStoreReads:
+    def _loaded_store(self, codec="raw", n=500, segment_size=128, **codec_options):
+        store = TimeSeriesStore()
+        store.create_series("s", codec=codec, segment_size=segment_size,
+                            codec_options=codec_options or None)
+        values = _seasonal(n)
+        store.append("s", values)
+        return store, values
+
+    def test_read_everything_lossless(self):
+        store, values = self._loaded_store()
+        np.testing.assert_array_equal(store.read("s"), values)
+
+    def test_read_subrange_spanning_segments_and_buffer(self):
+        store, values = self._loaded_store(n=500, segment_size=128)
+        np.testing.assert_array_equal(store.read("s", 100, 450), values[100:450])
+
+    def test_read_empty_range(self):
+        store, _ = self._loaded_store()
+        assert store.read("s", 300, 100).size == 0
+
+    def test_read_clamps_stop(self):
+        store, values = self._loaded_store(n=200)
+        np.testing.assert_array_equal(store.read("s", 150, 10_000), values[150:])
+
+    def test_negative_range_rejected(self):
+        store, _ = self._loaded_store()
+        with pytest.raises(StorageError):
+            store.read("s", -1, 10)
+
+    def test_value_at_matches_read(self):
+        store, values = self._loaded_store(n=300, segment_size=64)
+        for position in (0, 63, 64, 255, 299):
+            assert store.value_at("s", position) == pytest.approx(values[position])
+
+    def test_value_at_out_of_range(self):
+        store, _ = self._loaded_store(n=10)
+        with pytest.raises(StorageError):
+            store.value_at("s", 10)
+
+    def test_lossy_cameo_read_is_close_and_smaller(self):
+        store, values = self._loaded_store(codec="cameo", n=1024, segment_size=512,
+                                           max_lag=24, epsilon=0.05)
+        store.flush("s")
+        reconstruction = store.read("s")
+        assert reconstruction.shape == values.shape
+        nrmse = np.sqrt(np.mean((reconstruction - values) ** 2)) / np.ptp(values)
+        assert nrmse < 0.2
+        info = store.info("s")
+        assert info.compression_ratio > 1.0
+        assert info.bits_per_value < 64
+
+    @given(st.integers(min_value=1, max_value=400), st.integers(min_value=16, max_value=128))
+    @settings(max_examples=20, deadline=None)
+    def test_read_roundtrip_property(self, n, segment_size):
+        store = TimeSeriesStore()
+        store.create_series("s", codec="raw", segment_size=segment_size)
+        values = RNG.standard_normal(n)
+        store.append("s", values)
+        np.testing.assert_array_equal(store.read("s"), values)
+
+
+class TestInfoAndCompaction:
+    def test_info_accounting(self):
+        store = TimeSeriesStore()
+        store.create_series("s", codec="raw", segment_size=100, metadata={"unit": "kW"})
+        store.append("s", _seasonal(150))
+        info = store.info("s")
+        assert isinstance(info, SeriesInfo)
+        assert info.points == 150
+        assert info.raw_bits == 150 * 64
+        assert info.encoded_bits == 150 * 64   # raw codec + raw buffer
+        assert info.compression_ratio == pytest.approx(1.0)
+        assert info.metadata == {"unit": "kW"}
+
+    def test_compact_to_lossless_codec_preserves_values(self):
+        store = TimeSeriesStore()
+        store.create_series("s", codec="raw", segment_size=64)
+        values = _seasonal(300)
+        store.append("s", values)
+        info = store.compact("s", codec="gorilla", segment_size=128)
+        assert info.codec == "gorilla"
+        assert info.buffered_points == 0
+        np.testing.assert_array_equal(store.read("s"), values)
+
+    def test_compact_with_cameo_reduces_footprint(self):
+        store = TimeSeriesStore()
+        store.create_series("s", codec="raw", segment_size=256)
+        values = _seasonal(1024)
+        store.append("s", values)
+        before = store.info("s").encoded_bits
+        info = store.compact("s", codec="cameo",
+                             codec_options={"max_lag": 24, "epsilon": 0.05})
+        assert info.encoded_bits < before
+        assert store.length("s") == 1024
+
+    def test_compact_same_codec_merges_buffer(self):
+        store = TimeSeriesStore()
+        store.create_series("s", codec="raw", segment_size=64)
+        store.append("s", _seasonal(100))
+        info = store.compact("s")
+        assert info.buffered_points == 0
+        assert info.points == 100
+
+    def test_compact_options_without_codec_rejected(self):
+        store = TimeSeriesStore()
+        store.create_series("s", codec="raw")
+        store.append("s", _seasonal(10))
+        with pytest.raises(InvalidParameterError):
+            store.compact("s", codec_options={"epsilon": 0.1})
+
+    def test_total_bits_sums_series(self):
+        store = TimeSeriesStore()
+        for name in ("a", "b"):
+            store.create_series(name, codec="raw", segment_size=32)
+            store.append(name, _seasonal(32))
+        assert store.total_bits() == 2 * 32 * 64
+
+    def test_invalid_segment_size_rejected(self):
+        store = TimeSeriesStore()
+        with pytest.raises(InvalidParameterError):
+            store.create_series("s", codec="raw", segment_size=0)
+        with pytest.raises(InvalidParameterError):
+            TimeSeriesStore(default_segment_size=-5)

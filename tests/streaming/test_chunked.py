@@ -1,0 +1,140 @@
+"""Tests for the chunked streaming CAMEO compressor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.timeseries import IrregularSeries
+from repro.exceptions import InvalidParameterError, InvalidSeriesError
+from repro.stats import acf
+from repro.streaming import StreamingCameoCompressor, concat_irregular
+
+RNG = np.random.default_rng(9)
+
+
+def _seasonal(n: int, period: int = 24, noise: float = 0.05) -> np.ndarray:
+    t = np.arange(n)
+    return 5 + np.sin(2 * np.pi * t / period) + noise * RNG.standard_normal(n)
+
+
+class TestStreamingCompressor:
+    def test_chunks_cover_the_stream(self):
+        stream = StreamingCameoCompressor(chunk_size=200, max_lag=24, epsilon=0.05)
+        x = _seasonal(730)
+        chunks = stream.add(x) + stream.finalize()
+        assert [c.length for c in chunks] == [200, 200, 200, 130]
+        assert [c.start for c in chunks] == [0, 200, 400, 600]
+        assert sum(c.kept_points for c in chunks) == stream.report().kept_points
+
+    def test_every_chunk_honours_the_bound(self):
+        epsilon = 0.03
+        stream = StreamingCameoCompressor(chunk_size=240, max_lag=24, epsilon=epsilon)
+        x = _seasonal(960)
+        chunks = stream.add(x) + stream.finalize()
+        for chunk in chunks:
+            original = x[chunk.start: chunk.start + chunk.length]
+            reconstruction = chunk.compressed.decompress()
+            lag = min(24, chunk.length - 1)
+            deviation = float(np.mean(np.abs(acf(original, lag) - acf(reconstruction, lag))))
+            assert deviation <= epsilon + 1e-9
+            assert chunk.achieved_deviation <= epsilon + 1e-9
+
+    def test_incremental_feeding_matches_bulk_feeding(self):
+        x = _seasonal(600)
+        bulk = StreamingCameoCompressor(chunk_size=150, max_lag=12, epsilon=0.05)
+        bulk_chunks = bulk.add(x) + bulk.finalize()
+        drip = StreamingCameoCompressor(chunk_size=150, max_lag=12, epsilon=0.05)
+        drip_chunks = []
+        for value in x:
+            drip_chunks.extend(drip.add(value))
+        drip_chunks.extend(drip.finalize())
+        assert len(bulk_chunks) == len(drip_chunks)
+        for a, b in zip(bulk_chunks, drip_chunks):
+            np.testing.assert_array_equal(a.compressed.indices, b.compressed.indices)
+            np.testing.assert_array_equal(a.compressed.values, b.compressed.values)
+
+    def test_report_accounting(self):
+        stream = StreamingCameoCompressor(chunk_size=128, max_lag=16, epsilon=0.05)
+        x = _seasonal(300)
+        stream.add(x)
+        report = stream.report()
+        assert report.ingested_points == 300
+        assert report.sealed_points == 256
+        assert report.buffered_points == 44
+        assert report.chunks == 2
+        assert report.compression_ratio >= 1.0
+        assert len(report.chunk_deviations) == 2
+        assert report.worst_chunk_deviation == max(report.chunk_deviations)
+
+    def test_global_acf_tracks_raw_stream(self):
+        stream = StreamingCameoCompressor(chunk_size=128, max_lag=12, epsilon=0.05)
+        x = _seasonal(500)
+        stream.add(x)
+        np.testing.assert_allclose(stream.global_acf(), acf(x, 12), atol=1e-9)
+
+    def test_global_acf_disabled(self):
+        stream = StreamingCameoCompressor(chunk_size=128, max_lag=12, epsilon=0.05,
+                                          track_global_acf=False)
+        stream.add(_seasonal(200))
+        with pytest.raises(InvalidParameterError):
+            stream.global_acf()
+
+    def test_finalize_empty_buffer_returns_nothing(self):
+        stream = StreamingCameoCompressor(chunk_size=100, max_lag=10, epsilon=0.05)
+        stream.add(_seasonal(200))
+        assert stream.finalize() == []
+
+    def test_finalize_single_value_rejected(self):
+        stream = StreamingCameoCompressor(chunk_size=100, max_lag=10, epsilon=0.05)
+        stream.add(_seasonal(201))
+        with pytest.raises(InvalidSeriesError):
+            stream.finalize()
+
+    def test_chunk_size_must_exceed_lags(self):
+        with pytest.raises(InvalidParameterError):
+            StreamingCameoCompressor(chunk_size=30, max_lag=24, epsilon=0.05)
+
+    def test_compressor_options_forwarded(self):
+        stream = StreamingCameoCompressor(chunk_size=200, max_lag=12, epsilon=0.05,
+                                          statistic="pacf", blocking="1logn")
+        chunks = stream.add(_seasonal(200))
+        assert chunks[0].compressed.metadata["statistic"] == "pacf"
+
+
+class TestConcatIrregular:
+    def test_roundtrip_against_chunkwise_reconstruction(self):
+        stream = StreamingCameoCompressor(chunk_size=250, max_lag=24, epsilon=0.05)
+        x = _seasonal(1_000)
+        stream.add(x)
+        stream.finalize()
+        stitched = stream.to_irregular("session")
+        assert isinstance(stitched, IrregularSeries)
+        assert stitched.original_length == 1_000
+        chunkwise = np.concatenate([c.compressed.decompress() for c in stream.results])
+        np.testing.assert_allclose(stitched.decompress(), chunkwise)
+
+    def test_stitched_series_preserves_acf_globally(self):
+        stream = StreamingCameoCompressor(chunk_size=480, max_lag=24, epsilon=0.01)
+        x = _seasonal(1_920)
+        stream.add(x)
+        stream.finalize()
+        reconstruction = stream.to_irregular().decompress()
+        deviation = float(np.mean(np.abs(acf(x, 24) - acf(reconstruction, 24))))
+        # Per-chunk bound is 0.01; the global deviation stays the same order.
+        assert deviation <= 0.03
+
+    def test_empty_chunk_list_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            concat_irregular([])
+
+    def test_non_irregular_chunk_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            concat_irregular([np.arange(5)])
+
+    def test_metadata_counts_chunks(self):
+        stream = StreamingCameoCompressor(chunk_size=100, max_lag=10, epsilon=0.05)
+        stream.add(_seasonal(250))
+        stream.finalize()
+        stitched = stream.to_irregular()
+        assert stitched.metadata["chunks"] == 3

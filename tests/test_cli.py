@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture()
+def sample_csv(tmp_path):
+    rng = np.random.default_rng(0)
+    values = 10 + 3 * np.sin(2 * np.pi * np.arange(600) / 24) + rng.normal(0, 0.3, 600)
+    path = tmp_path / "readings.csv"
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["timestamp", "value"])
+        for index, value in enumerate(values):
+            writer.writerow([index, f"{value:.6f}"])
+    return path, values
+
+
+class TestParser:
+    def test_subcommands_exist(self):
+        parser = build_parser()
+        for command in ("compress", "decompress", "analyze"):
+            args = parser.parse_args([command, "file.csv"]
+                                     if command != "decompress" else [command, "file.json"])
+            assert args.command == command
+
+    def test_compress_defaults(self):
+        args = build_parser().parse_args(["compress", "x.csv"])
+        assert args.max_lag == 24
+        assert args.epsilon == 0.01
+        assert args.statistic == "acf"
+
+
+class TestCompressDecompress:
+    def test_roundtrip_json(self, sample_csv, tmp_path, capsys):
+        path, values = sample_csv
+        compressed_path = tmp_path / "out.cameo.json"
+        code = main(["compress", str(path), "--column", "value", "--max-lag", "24",
+                     "--epsilon", "0.02", "--output", str(compressed_path)])
+        assert code == 0
+        assert compressed_path.exists()
+        output = capsys.readouterr().out
+        assert "ratio" in output
+
+        restored_path = tmp_path / "restored.csv"
+        code = main(["decompress", str(compressed_path), "--output", str(restored_path)])
+        assert code == 0
+        with open(restored_path, newline="", encoding="utf-8") as handle:
+            rows = list(csv.reader(handle))
+        restored = np.asarray([float(row[1]) for row in rows[1:]])
+        assert restored.size == values.size
+        # Reconstruction error is bounded by the series scale.
+        assert float(np.max(np.abs(restored - values))) < float(np.ptp(values))
+
+    def test_roundtrip_npz(self, sample_csv, tmp_path):
+        path, _values = sample_csv
+        compressed_path = tmp_path / "out.npz"
+        assert main(["compress", str(path), "--column", "value",
+                     "--output", str(compressed_path)]) == 0
+        assert main(["decompress", str(compressed_path),
+                     "--output", str(tmp_path / "r.csv")]) == 0
+
+    def test_target_ratio_mode(self, sample_csv, tmp_path, capsys):
+        path, _values = sample_csv
+        out = tmp_path / "ratio.json"
+        code = main(["compress", str(path), "--column", "value", "--target-ratio", "5",
+                     "--epsilon", "1", "--output", str(out)])
+        assert code == 0
+        assert "5.0" in capsys.readouterr().out
+
+    def test_missing_column_errors(self, sample_csv, tmp_path):
+        path, _values = sample_csv
+        code = main(["compress", str(path), "--column", "nope",
+                     "--output", str(tmp_path / "x.json")])
+        assert code == 2
+
+
+class TestAnalyze:
+    def test_analyze_report(self, sample_csv, capsys):
+        path, _values = sample_csv
+        assert main(["analyze", str(path), "--column", "value", "--max-lag", "24"]) == 0
+        output = capsys.readouterr().out
+        assert "ACF1" in output
+        assert "Gorilla" in output
+        assert "CAMEO" in output
+
+    def test_analyze_with_aggregation(self, sample_csv, capsys):
+        path, _values = sample_csv
+        assert main(["analyze", str(path), "--column", "value", "--max-lag", "8",
+                     "--agg-window", "12"]) == 0
+        assert "windows" in capsys.readouterr().out

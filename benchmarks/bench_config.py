@@ -15,3 +15,42 @@ FORECAST_RATIOS = (2.0, 6.0)
 
 #: Target compression ratios for the highly seasonal EXP3 sweep.
 SEASONAL_RATIOS = (5.0, 15.0)
+
+# --------------------------------------------------------------------- #
+# kernel perf-regression harness (test_perf_kernels.py)
+# --------------------------------------------------------------------- #
+
+#: Marker name for the opt-in perf benchmarks.  Tests carrying this marker
+#: are auto-skipped unless the run selects them with ``-m perf`` (or sets
+#: ``REPRO_RUN_PERF=1``), so the tier-1 suite never pays for timing runs.
+PERF_MARKER = "perf"
+
+#: Environment variable that force-enables the perf benchmarks.
+PERF_ENV = "REPRO_RUN_PERF"
+
+#: Series length for the codec round-trip timings (smoke scale).
+PERF_CODEC_LENGTH = 10_000
+
+#: Series length / lag count for the end-to-end CAMEO timing — matches the
+#: configuration the kernel-PR acceptance numbers were measured at.
+PERF_CAMEO_LENGTH = 10_000
+PERF_CAMEO_MAX_LAG = 50
+PERF_CAMEO_EPSILON = 0.05
+
+#: Field count for the raw bitstream write/read timings.
+PERF_BITSTREAM_FIELDS = 20_000
+
+#: Required speedup of the block codecs over the preserved per-bit
+#: reference implementations, measured on the same machine in the same run
+#: (hardware-independent).
+PERF_MIN_CODEC_SPEEDUP = 5.0
+PERF_MIN_BITSTREAM_SPEEDUP = 5.0
+
+#: Seed-era end-to-end CAMEO throughput (points/sec) for the configuration
+#: above, measured on the original pure-Python implementation (59.1 s for
+#: n=10k, max_lag=50, epsilon=0.05, default blocking).  The harness asserts
+#: the current implementation is at least ``PERF_MIN_CAMEO_SPEEDUP`` times
+#: this on comparable hardware; set ``REPRO_PERF_NO_ABSOLUTE=1`` on slower
+#: machines where an absolute baseline is meaningless.
+SEED_CAMEO_POINTS_PER_SEC = 169.0
+PERF_MIN_CAMEO_SPEEDUP = 2.0

@@ -22,6 +22,38 @@ def pytest_report_header(config):  # noqa: D103 - pytest hook
     return f"repro benchmarks: REPRO_BENCH_SCALE={scale} (raise it for paper-scale runs)"
 
 
+def pytest_configure(config):  # noqa: D103 - pytest hook
+    from bench_config import PERF_MARKER
+
+    config.addinivalue_line(
+        "markers",
+        f"{PERF_MARKER}: kernel perf-regression benchmarks "
+        f"(opt-in: run with -m {PERF_MARKER})")
+
+
+def pytest_collection_modifyitems(config, items):
+    """Skip perf-marked benchmarks unless they were asked for.
+
+    The timing runs are meaningful only when executed deliberately (idle
+    machine, ``-m perf``); inside the functional tier-1 suite they would
+    just slow collection down, so they are skipped unless the marker
+    expression mentions the marker or ``REPRO_RUN_PERF`` is set.
+    """
+    from bench_config import PERF_ENV, PERF_MARKER
+
+    markexpr = getattr(config.option, "markexpr", "") or ""
+    if PERF_MARKER in markexpr:
+        return
+    if os.environ.get(PERF_ENV, "0") not in ("0", "", "false"):
+        return
+    skip_perf = pytest.mark.skip(
+        reason=f"perf benchmarks run only with -m {PERF_MARKER} "
+               f"(or {PERF_ENV}=1)")
+    for item in items:
+        if PERF_MARKER in item.keywords:
+            item.add_marker(skip_perf)
+
+
 @pytest.fixture(autouse=True)
 def _show_tables(capsys):
     """Disable output capture so every regenerated paper table is visible in

@@ -1,0 +1,225 @@
+"""Kernel perf-regression harness (opt-in: ``pytest benchmarks -m perf``).
+
+Times the vectorized hot-path kernels — block bitstream, Gorilla/Chimp
+codecs, and the end-to-end CAMEO compressor — and emits ``BENCH_kernels.json``
+(ops/sec + speedup ratios) so future PRs have a trajectory to beat.
+
+The codec/bitstream regression thresholds are *relative*: the block kernels
+are compared against the preserved per-bit reference implementations
+(:mod:`repro._kernels.reference`) measured in the same process, which makes
+the ≥5× assertions hardware-independent.  The end-to-end CAMEO check also
+asserts against the recorded seed-era absolute throughput; disable that one
+comparison with ``REPRO_PERF_NO_ABSOLUTE=1`` on incomparable hardware.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from bench_config import (
+    PERF_BITSTREAM_FIELDS,
+    PERF_CAMEO_EPSILON,
+    PERF_CAMEO_LENGTH,
+    PERF_CAMEO_MAX_LAG,
+    PERF_CODEC_LENGTH,
+    PERF_MARKER,
+    PERF_MIN_BITSTREAM_SPEEDUP,
+    PERF_MIN_CAMEO_SPEEDUP,
+    PERF_MIN_CODEC_SPEEDUP,
+    SEED_CAMEO_POINTS_PER_SEC,
+)
+from repro._kernels import BlockBitReader, BlockBitWriter
+from repro._kernels.reference import (
+    ReferenceBitReader,
+    ReferenceBitWriter,
+    reference_chimp_decode,
+    reference_chimp_encode,
+    reference_gorilla_decode,
+    reference_gorilla_encode,
+)
+from repro.benchlib import PerfReport, bench
+from repro.core import cameo_compress
+from repro.lossless import ChimpCodec, GorillaCodec
+
+pytestmark = pytest.mark.perf
+
+
+@pytest.fixture(scope="module")
+def report():
+    """Module-wide report; written to ``BENCH_kernels.json`` at teardown."""
+    perf_report = PerfReport()
+    yield perf_report
+    path = perf_report.write()
+    print(f"\n[perf] wrote {path}")
+    for name, ratio in perf_report.ratios.items():
+        print(f"[perf]   {name}: {ratio:.1f}x")
+
+
+@pytest.fixture(scope="module")
+def codec_signal():
+    """Rounded-sensor style data: the codecs' target workload."""
+    rng = np.random.default_rng(42)
+    return np.round(rng.normal(100, 5, PERF_CODEC_LENGTH), 2)
+
+
+@pytest.fixture(scope="module")
+def bit_fields():
+    """Random (value, width) pairs for the raw bitstream timings."""
+    rng = np.random.default_rng(7)
+    widths = rng.integers(1, 65, PERF_BITSTREAM_FIELDS)
+    values = rng.integers(0, 1 << 62, PERF_BITSTREAM_FIELDS, dtype=np.uint64)
+    return values, widths.astype(np.int64)
+
+
+class TestBitstreamKernels:
+    def test_block_write_read_vs_reference(self, report, bit_fields):
+        values, widths = bit_fields
+        value_list = values.tolist()
+        width_list = widths.tolist()
+        pairs = list(zip(value_list, width_list))
+
+        def block_write():
+            writer = BlockBitWriter()
+            write = writer.write_bits
+            for value, width in pairs:
+                write(value, width)
+            return writer
+
+        def block_write_array():
+            writer = BlockBitWriter()
+            writer.write_bits_array(values, widths)
+            return writer
+
+        def reference_write():
+            writer = ReferenceBitWriter()
+            write = writer.write_bits
+            for value, width in pairs:
+                write(value, width)
+            return writer
+
+        fields = len(pairs)
+        report.add(bench("bitstream.block_write_bits", block_write, ops=fields))
+        report.add(bench("bitstream.block_write_bits_array", block_write_array,
+                         ops=fields))
+        report.add(bench("bitstream.reference_write_bits", reference_write,
+                         ops=fields, repeats=2))
+
+        block_writer = block_write()
+        reference_writer = reference_write()
+        payload = block_writer.to_bytes()
+        assert payload == reference_writer.to_bytes()
+        bit_length = block_writer.bit_length
+
+        def block_read():
+            reader = BlockBitReader(payload, bit_length)
+            read = reader.read_bits
+            return [read(width) for width in width_list]
+
+        def block_read_array():
+            return BlockBitReader(payload, bit_length).read_bits_array(widths)
+
+        def reference_read():
+            reader = ReferenceBitReader(payload, bit_length)
+            read = reader.read_bits
+            return [read(width) for width in width_list]
+
+        report.add(bench("bitstream.block_read_bits", block_read, ops=fields))
+        report.add(bench("bitstream.block_read_bits_array", block_read_array,
+                         ops=fields))
+        report.add(bench("bitstream.reference_read_bits", reference_read,
+                         ops=fields, repeats=2))
+        expected = [value & ((1 << width) - 1) for value, width in pairs]
+        assert block_read() == expected
+        assert block_read_array().tolist() == expected
+        assert reference_read() == expected
+
+        write_speedup = report.speedup("bitstream_write", "bitstream.block_write_bits",
+                                       "bitstream.reference_write_bits")
+        read_speedup = report.speedup("bitstream_read", "bitstream.block_read_bits",
+                                      "bitstream.reference_read_bits")
+        report.speedup("bitstream_write_array", "bitstream.block_write_bits_array",
+                       "bitstream.reference_write_bits")
+        report.speedup("bitstream_read_array", "bitstream.block_read_bits_array",
+                       "bitstream.reference_read_bits")
+        assert write_speedup >= PERF_MIN_BITSTREAM_SPEEDUP
+        assert read_speedup >= PERF_MIN_BITSTREAM_SPEEDUP
+
+
+class TestCodecKernels:
+    @pytest.mark.parametrize("codec_cls,reference_encode,reference_decode", [
+        (GorillaCodec, reference_gorilla_encode, reference_gorilla_decode),
+        (ChimpCodec, reference_chimp_encode, reference_chimp_decode),
+    ], ids=["gorilla", "chimp"])
+    def test_roundtrip_speedup(self, report, codec_signal, codec_cls,
+                               reference_encode, reference_decode):
+        codec = codec_cls()
+        label = codec.name.lower()
+        n = codec_signal.size
+        payload, bit_length, count = codec.encode(codec_signal)
+
+        # Byte-identical payloads are a hard requirement of the kernel PR.
+        reference_payload, reference_bits, _ = reference_encode(codec_signal)
+        assert payload == reference_payload and bit_length == reference_bits
+        assert np.array_equal(codec.decode(payload, bit_length, count),
+                              codec_signal)
+
+        report.add(bench(f"{label}.encode", lambda: codec.encode(codec_signal),
+                         ops=n))
+        report.add(bench(f"{label}.decode",
+                         lambda: codec.decode(payload, bit_length, count), ops=n))
+        report.add(bench(
+            f"{label}.roundtrip",
+            lambda: codec.decode(*codec.encode(codec_signal)[0:2], count), ops=n))
+        report.add(bench(f"{label}.reference_encode",
+                         lambda: reference_encode(codec_signal), ops=n, repeats=2))
+        report.add(bench(
+            f"{label}.reference_decode",
+            lambda: reference_decode(payload, bit_length, count), ops=n, repeats=2))
+        report.add(bench(
+            f"{label}.reference_roundtrip",
+            lambda: reference_decode(*reference_encode(codec_signal)[0:2], count),
+            ops=n, repeats=2))
+
+        speedup = report.speedup(f"{label}_roundtrip", f"{label}.roundtrip",
+                                 f"{label}.reference_roundtrip")
+        report.speedup(f"{label}_encode", f"{label}.encode",
+                       f"{label}.reference_encode")
+        report.speedup(f"{label}_decode", f"{label}.decode",
+                       f"{label}.reference_decode")
+        assert speedup >= PERF_MIN_CODEC_SPEEDUP, (
+            f"{codec.name} round-trip speedup {speedup:.1f}x below the "
+            f"{PERF_MIN_CODEC_SPEEDUP}x regression floor")
+
+
+class TestCameoEndToEnd:
+    def test_cameo_points_per_sec(self, report):
+        rng = np.random.default_rng(123)
+        t = np.arange(PERF_CAMEO_LENGTH)
+        signal = (5.0 + 2.0 * np.sin(2 * np.pi * t / 24)
+                  + 0.5 * np.sin(2 * np.pi * t / 168)
+                  + rng.normal(0, 0.3, t.size))
+
+        def run():
+            return cameo_compress(signal, max_lag=PERF_CAMEO_MAX_LAG,
+                                  epsilon=PERF_CAMEO_EPSILON)
+
+        result = run()  # warmup + sanity
+        assert result.metadata["stopped_by"] == "error-bound"
+        timed = report.add(bench(
+            "cameo.compress_10k", run, ops=PERF_CAMEO_LENGTH, repeats=1,
+            warmup=False, max_lag=PERF_CAMEO_MAX_LAG, epsilon=PERF_CAMEO_EPSILON,
+            kept=len(result)))
+        points_per_sec = timed.ops_per_sec
+        report.ratios["cameo_vs_seed"] = points_per_sec / SEED_CAMEO_POINTS_PER_SEC
+        if os.environ.get("REPRO_PERF_NO_ABSOLUTE", "0") in ("0", "", "false"):
+            assert points_per_sec >= PERF_MIN_CAMEO_SPEEDUP * SEED_CAMEO_POINTS_PER_SEC, (
+                f"end-to-end CAMEO at {points_per_sec:.0f} points/s is below "
+                f"{PERF_MIN_CAMEO_SPEEDUP}x the recorded seed baseline "
+                f"({SEED_CAMEO_POINTS_PER_SEC} points/s)")
+
+
+# Keep a module-level reference so static analysers see the marker is used.
+_ = PERF_MARKER

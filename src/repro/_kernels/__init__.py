@@ -1,0 +1,30 @@
+"""Vectorized hot-path kernels.
+
+This package hosts the low-level, performance-critical primitives the rest
+of the library routes through:
+
+* :mod:`repro._kernels.bitpack` — block-wise (word-at-a-time) bitstream
+  writer/reader with batch pack/unpack APIs,
+* :mod:`repro._kernels.bitops` — vectorized ``uint64`` bit manipulation
+  (leading/trailing-zero counts, XOR streams) used by the Gorilla and Chimp
+  encoders,
+* :mod:`repro._kernels.reference` — the original per-bit implementations,
+  kept as the ground truth for bit-exact cross-checks and as the baseline
+  the perf harness measures speedups against.
+
+Everything in here is pure NumPy + Python integers; there are no native
+extensions, so the kernels work wherever the library imports.
+"""
+
+from .bitops import clz64, ctz64, xor_stream
+from .bitpack import BlockBitReader, BlockBitWriter, pack_bits, words_to_bytes
+
+__all__ = [
+    "BlockBitWriter",
+    "BlockBitReader",
+    "pack_bits",
+    "words_to_bytes",
+    "clz64",
+    "ctz64",
+    "xor_stream",
+]

@@ -1,0 +1,68 @@
+"""Vectorized ``uint64`` bit manipulation for the XOR codecs.
+
+Gorilla and Chimp both need, per value, the XOR with the previous value and
+that XOR's leading/trailing-zero counts.  Computing these one Python integer
+at a time costs a few µs per value; the helpers here produce the whole
+stream in a handful of NumPy passes so the encoder's Python loop is reduced
+to the control-code branch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_float_array
+
+__all__ = ["clz64", "ctz64", "popcount64", "xor_stream"]
+
+_U64 = np.uint64
+
+
+def _popcount64_swar(x: np.ndarray) -> np.ndarray:
+    """Portable SWAR popcount for ``uint64`` arrays (NumPy < 2 fallback)."""
+    x = x - ((x >> _U64(1)) & _U64(0x5555555555555555))
+    x = (x & _U64(0x3333333333333333)) + ((x >> _U64(2)) & _U64(0x3333333333333333))
+    x = (x + (x >> _U64(4))) & _U64(0x0F0F0F0F0F0F0F0F)
+    with np.errstate(over="ignore"):
+        return (x * _U64(0x0101010101010101)) >> _U64(56)
+
+
+#: Vectorized popcount: NumPy's native ufunc when available (>= 2.0),
+#: otherwise the SWAR fallback above.
+popcount64 = getattr(np, "bitwise_count", _popcount64_swar)
+
+
+def clz64(x) -> np.ndarray:
+    """Leading-zero count of each ``uint64`` (64 for zero), vectorized.
+
+    Smears the highest set bit downwards so the popcount equals
+    ``64 - clz``.
+    """
+    y = np.asarray(x, dtype=_U64).copy()
+    for shift in (1, 2, 4, 8, 16, 32):
+        y |= y >> _U64(shift)
+    return (64 - popcount64(y)).astype(np.int64)
+
+
+def ctz64(x) -> np.ndarray:
+    """Trailing-zero count of each ``uint64`` (64 for zero), vectorized.
+
+    ``(x & -x) - 1`` is a mask of the trailing zeros; for ``x == 0`` the
+    subtraction wraps to all-ones, giving 64 — exactly the convention the
+    codecs use.
+    """
+    x = np.asarray(x, dtype=_U64)
+    with np.errstate(over="ignore"):
+        mask = (x & (~x + _U64(1))) - _U64(1)
+    return popcount64(mask).astype(np.int64)
+
+
+def xor_stream(values) -> tuple[np.ndarray, np.ndarray]:
+    """Bit patterns and successive XORs of a float64 series.
+
+    Returns ``(bits, xors)`` where ``bits`` is the ``uint64`` view of the
+    validated series and ``xors[i] = bits[i+1] ^ bits[i]``.
+    """
+    floats = as_float_array(values)
+    bits = floats.view(_U64)
+    return bits, bits[1:] ^ bits[:-1]

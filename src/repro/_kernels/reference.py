@@ -1,0 +1,260 @@
+"""Reference per-bit bitstream and codec implementations.
+
+This module preserves the original (pre-kernel) per-bit implementations
+verbatim.  They are deliberately slow — one Python loop iteration per bit —
+and exist for two reasons:
+
+* the property tests cross-check the block kernels against them bit for bit
+  (the payloads must be byte-identical), and
+* the perf harness measures its speedup ratios against them on the same
+  machine, which keeps the regression thresholds hardware-independent.
+
+Do not "optimize" anything in here; that would defeat its purpose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._validation import as_float_array
+from ..exceptions import CodecError
+
+__all__ = [
+    "ReferenceBitWriter",
+    "ReferenceBitReader",
+    "reference_gorilla_encode",
+    "reference_gorilla_decode",
+    "reference_chimp_encode",
+    "reference_chimp_decode",
+]
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _float_to_bits(value: float) -> int:
+    return int(np.float64(value).view(np.uint64))
+
+
+def _bits_to_float(bits: int) -> float:
+    return float(np.uint64(bits & _MASK64).view(np.float64))
+
+
+def _leading_zeros(value: int) -> int:
+    if value == 0:
+        return 64
+    return 64 - value.bit_length()
+
+
+def _trailing_zeros(value: int) -> int:
+    if value == 0:
+        return 64
+    return (value & -value).bit_length() - 1
+
+
+class ReferenceBitWriter:
+    """The original byte-array bit writer (one loop iteration per bit)."""
+
+    def __init__(self):
+        self._bytes = bytearray()
+        self._free_bits = 0
+        self._total_bits = 0
+
+    def __len__(self) -> int:
+        return self._total_bits
+
+    @property
+    def bit_length(self) -> int:
+        return self._total_bits
+
+    def write_bit(self, bit: int) -> None:
+        if self._free_bits == 0:
+            self._bytes.append(0)
+            self._free_bits = 8
+        if bit:
+            self._bytes[-1] |= 1 << (self._free_bits - 1)
+        self._free_bits -= 1
+        self._total_bits += 1
+
+    def write_bits(self, value: int, width: int) -> None:
+        if width < 0 or width > 64:
+            raise CodecError(f"bit width must be in [0, 64], got {width}")
+        for shift in range(width - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def to_bytes(self) -> bytes:
+        return bytes(self._bytes)
+
+
+class ReferenceBitReader:
+    """The original per-bit reader."""
+
+    def __init__(self, data: bytes, bit_length: int | None = None):
+        self._data = bytes(data)
+        self._limit = bit_length if bit_length is not None else len(self._data) * 8
+        self._position = 0
+
+    @property
+    def remaining(self) -> int:
+        return self._limit - self._position
+
+    def read_bit(self) -> int:
+        if self._position >= self._limit:
+            raise CodecError("attempt to read past the end of the bit stream")
+        byte_index, bit_index = divmod(self._position, 8)
+        self._position += 1
+        return (self._data[byte_index] >> (7 - bit_index)) & 1
+
+    def read_bits(self, width: int) -> int:
+        if width < 0 or width > 64:
+            raise CodecError(f"bit width must be in [0, 64], got {width}")
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+
+# --------------------------------------------------------------------- #
+# reference Gorilla
+# --------------------------------------------------------------------- #
+def reference_gorilla_encode(values) -> tuple[bytes, int, int]:
+    """Per-bit Gorilla encoder (original implementation)."""
+    values = as_float_array(values)
+    writer = ReferenceBitWriter()
+    previous_bits = _float_to_bits(values[0])
+    writer.write_bits(previous_bits, 64)
+    previous_leading = 65
+    previous_trailing = 65
+
+    for value in values[1:]:
+        current_bits = _float_to_bits(value)
+        xor = (current_bits ^ previous_bits) & _MASK64
+        if xor == 0:
+            writer.write_bit(0)
+        else:
+            writer.write_bit(1)
+            leading = min(_leading_zeros(xor), 31)
+            trailing = _trailing_zeros(xor)
+            if leading >= previous_leading and trailing >= previous_trailing:
+                writer.write_bit(0)
+                window = 64 - previous_leading - previous_trailing
+                writer.write_bits(xor >> previous_trailing, window)
+            else:
+                meaningful = 64 - leading - trailing
+                writer.write_bit(1)
+                writer.write_bits(leading, 5)
+                writer.write_bits(meaningful - 1, 6)
+                writer.write_bits(xor >> trailing, meaningful)
+                previous_leading = leading
+                previous_trailing = trailing
+        previous_bits = current_bits
+    return writer.to_bytes(), writer.bit_length, values.size
+
+
+def reference_gorilla_decode(payload: bytes, bit_length: int, count: int) -> np.ndarray:
+    """Per-bit Gorilla decoder (original implementation)."""
+    if count <= 0:
+        raise CodecError("count must be positive")
+    reader = ReferenceBitReader(payload, bit_length)
+    values = np.empty(count, dtype=np.float64)
+    previous_bits = reader.read_bits(64)
+    values[0] = _bits_to_float(previous_bits)
+    leading = 0
+    trailing = 0
+    for index in range(1, count):
+        if reader.read_bit() == 0:
+            values[index] = _bits_to_float(previous_bits)
+            continue
+        if reader.read_bit() == 0:
+            window = 64 - leading - trailing
+            xor = reader.read_bits(window) << trailing
+        else:
+            leading = reader.read_bits(5)
+            meaningful = reader.read_bits(6) + 1
+            trailing = 64 - leading - meaningful
+            xor = reader.read_bits(meaningful) << trailing
+        previous_bits = (previous_bits ^ xor) & _MASK64
+        values[index] = _bits_to_float(previous_bits)
+    return values
+
+
+# --------------------------------------------------------------------- #
+# reference Chimp
+# --------------------------------------------------------------------- #
+_LEADING_ROUND = [0, 8, 12, 16, 18, 20, 22, 24]
+
+
+def _round_leading(leading: int) -> tuple[int, int]:
+    code = 0
+    for index, threshold in enumerate(_LEADING_ROUND):
+        if leading >= threshold:
+            code = index
+    return code, _LEADING_ROUND[code]
+
+
+def reference_chimp_encode(values) -> tuple[bytes, int, int]:
+    """Per-bit Chimp encoder (original implementation)."""
+    values = as_float_array(values)
+    writer = ReferenceBitWriter()
+    previous_bits = _float_to_bits(values[0])
+    writer.write_bits(previous_bits, 64)
+    previous_leading_code = -1
+
+    for value in values[1:]:
+        current_bits = _float_to_bits(value)
+        xor = (current_bits ^ previous_bits) & _MASK64
+        if xor == 0:
+            writer.write_bits(0b00, 2)
+            previous_leading_code = -1
+        else:
+            leading = _leading_zeros(xor)
+            trailing = _trailing_zeros(xor)
+            leading_code, leading_rounded = _round_leading(leading)
+            if trailing > 6:
+                centre = 64 - leading_rounded - trailing
+                writer.write_bits(0b11, 2)
+                writer.write_bits(leading_code, 3)
+                writer.write_bits(centre, 6)
+                writer.write_bits(xor >> trailing, centre)
+                previous_leading_code = -1
+            elif leading_code == previous_leading_code:
+                writer.write_bits(0b01, 2)
+                writer.write_bits(xor, 64 - leading_rounded)
+            else:
+                writer.write_bits(0b10, 2)
+                writer.write_bits(leading_code, 3)
+                writer.write_bits(xor, 64 - leading_rounded)
+                previous_leading_code = leading_code
+        previous_bits = current_bits
+    return writer.to_bytes(), writer.bit_length, values.size
+
+
+def reference_chimp_decode(payload: bytes, bit_length: int, count: int) -> np.ndarray:
+    """Per-bit Chimp decoder (original implementation)."""
+    if count <= 0:
+        raise CodecError("count must be positive")
+    reader = ReferenceBitReader(payload, bit_length)
+    values = np.empty(count, dtype=np.float64)
+    previous_bits = reader.read_bits(64)
+    values[0] = _bits_to_float(previous_bits)
+    previous_leading_rounded = 0
+
+    for index in range(1, count):
+        flag = reader.read_bits(2)
+        if flag == 0b00:
+            xor = 0
+        elif flag == 0b11:
+            leading_code = reader.read_bits(3)
+            leading_rounded = _LEADING_ROUND[leading_code]
+            centre = reader.read_bits(6)
+            trailing = 64 - leading_rounded - centre
+            xor = reader.read_bits(centre) << trailing
+        elif flag == 0b10:
+            leading_code = reader.read_bits(3)
+            leading_rounded = _LEADING_ROUND[leading_code]
+            xor = reader.read_bits(64 - leading_rounded)
+            previous_leading_rounded = leading_rounded
+        else:
+            xor = reader.read_bits(64 - previous_leading_rounded)
+        previous_bits = (previous_bits ^ xor) & _MASK64
+        values[index] = _bits_to_float(previous_bits)
+    return values

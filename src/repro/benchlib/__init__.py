@@ -1,5 +1,6 @@
 """Benchmark-harness utilities shared by the ``benchmarks/`` targets."""
 
+from .perf import BenchResult, PerfReport, bench, time_best_of
 from .harness import (
     LINE_SIMPLIFIERS,
     LOSSY_BASELINES,
@@ -14,6 +15,10 @@ from .harness import (
 )
 
 __all__ = [
+    "BenchResult",
+    "PerfReport",
+    "bench",
+    "time_best_of",
     "bench_scale",
     "scaled_length",
     "bench_dataset",

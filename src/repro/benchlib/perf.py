@@ -1,0 +1,127 @@
+"""Micro-benchmark timing utilities for the kernel perf-regression harness.
+
+``benchmarks/test_perf_kernels.py`` uses these helpers to time the hot-path
+kernels (bitstream, Gorilla/Chimp codecs, CAMEO inner loop), compare them
+against the preserved per-bit reference implementations on the *same*
+machine, and emit a ``BENCH_kernels.json`` trajectory file so future PRs
+have concrete numbers to beat.
+
+The helpers are deliberately simple: best-of-N wall-clock timing via
+``time.perf_counter``, no warmup magic beyond an untimed first call, and a
+plain-JSON report with enough environment metadata to interpret the numbers
+later.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["BenchResult", "PerfReport", "time_best_of", "bench"]
+
+#: Environment variable overriding where the JSON report is written.
+REPORT_PATH_ENV = "REPRO_BENCH_KERNELS_OUT"
+
+#: Default report filename (written into the current working directory).
+DEFAULT_REPORT_NAME = "BENCH_kernels.json"
+
+
+@dataclass
+class BenchResult:
+    """One timed operation: its best wall time and derived throughput."""
+
+    name: str
+    seconds: float          # best-of-N wall time for one invocation
+    ops: int                # logical operations per invocation (values, bits, ...)
+    repeats: int
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def ops_per_sec(self) -> float:
+        """Throughput implied by the best run."""
+        if self.seconds <= 0.0:
+            return float("inf")
+        return self.ops / self.seconds
+
+    def as_dict(self) -> dict:
+        return {
+            "seconds": self.seconds,
+            "ops": self.ops,
+            "ops_per_sec": self.ops_per_sec,
+            "repeats": self.repeats,
+            **({"meta": self.meta} if self.meta else {}),
+        }
+
+
+def time_best_of(fn: Callable[[], object], *, repeats: int = 5,
+                 warmup: bool = True) -> float:
+    """Best wall-clock time of ``fn()`` over ``repeats`` runs."""
+    if warmup:
+        fn()
+    best = float("inf")
+    for _ in range(max(repeats, 1)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench(name: str, fn: Callable[[], object], *, ops: int, repeats: int = 5,
+          warmup: bool = True, **meta) -> BenchResult:
+    """Time ``fn`` and wrap the result in a :class:`BenchResult`."""
+    seconds = time_best_of(fn, repeats=repeats, warmup=warmup)
+    return BenchResult(name=name, seconds=seconds, ops=ops, repeats=repeats,
+                       meta=dict(meta))
+
+
+class PerfReport:
+    """Collects :class:`BenchResult` entries and writes the JSON trajectory.
+
+    The report records, per benchmark, the best wall time and ops/sec, plus
+    any ``speedup_vs`` ratios registered against sibling entries — these are
+    the hardware-independent numbers the regression assertions use.
+    """
+
+    SCHEMA = 1
+
+    def __init__(self, path: str | None = None):
+        if path is None:
+            path = os.environ.get(REPORT_PATH_ENV, DEFAULT_REPORT_NAME)
+        self.path = path
+        self.results: dict[str, BenchResult] = {}
+        self.ratios: dict[str, float] = {}
+
+    def add(self, result: BenchResult) -> BenchResult:
+        """Register a result (later additions with the same name overwrite)."""
+        self.results[result.name] = result
+        return result
+
+    def speedup(self, name: str, fast: str, slow: str) -> float:
+        """Record and return ``results[slow].seconds / results[fast].seconds``."""
+        ratio = self.results[slow].seconds / max(self.results[fast].seconds, 1e-12)
+        self.ratios[name] = ratio
+        return ratio
+
+    def write(self) -> str:
+        """Write the JSON report; returns the path written."""
+        payload = {
+            "schema": self.SCHEMA,
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "bench_scale": os.environ.get("REPRO_BENCH_SCALE", "1.0"),
+            "results": {name: result.as_dict()
+                        for name, result in sorted(self.results.items())},
+            "speedups": dict(sorted(self.ratios.items())),
+        }
+        with open(self.path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        return self.path

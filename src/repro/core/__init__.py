@@ -5,10 +5,14 @@ from .compressor import CameoCompressor, CompressionStats, cameo_compress, compr
 from .custom import GenericStatisticTracker
 from .heap import IndexedMinHeap
 from .impact import (
+    ResolvedMetric,
+    batched_contiguous_acf,
     batched_single_change_impacts,
     initial_interpolation_deltas,
     metric_rowwise,
+    resolve_rowwise_metric,
     segment_interpolation_deltas,
+    segment_interpolation_deltas_batched,
 )
 from .neighbors import NeighborList
 from .parallel import CoarseGrainedCameo, FineGrainedCameo, ParallelReport
@@ -24,9 +28,13 @@ __all__ = [
     "StatisticTracker",
     "GenericStatisticTracker",
     "resolve_blocking_hops",
+    "ResolvedMetric",
+    "resolve_rowwise_metric",
+    "batched_contiguous_acf",
     "batched_single_change_impacts",
     "initial_interpolation_deltas",
     "segment_interpolation_deltas",
+    "segment_interpolation_deltas_batched",
     "metric_rowwise",
     "CoarseGrainedCameo",
     "FineGrainedCameo",

@@ -30,7 +30,11 @@ from ..stats.descriptors import Statistic
 from .blocking import resolve_blocking_hops
 from .custom import GenericStatisticTracker
 from .heap import IndexedMinHeap
-from .impact import segment_interpolation_deltas
+from .impact import (
+    resolve_rowwise_metric,
+    segment_interpolation_deltas,
+    segment_interpolation_deltas_batched,
+)
 from .neighbors import NeighborList
 from .tracker import StatisticTracker
 
@@ -198,7 +202,10 @@ class CameoCompressor:
         n = values.size
         neighbours = NeighborList(n)
         heap = IndexedMinHeap(n)
-        positions, impacts = tracker.initial_impacts(self.metric)
+        # Resolve the deviation metric once per run; every inner-loop call
+        # takes the pre-resolved object instead of re-dispatching on the name.
+        metric = resolve_rowwise_metric(self.metric)
+        positions, impacts = tracker.initial_impacts(metric)
         heap.heapify(positions, impacts)
 
         stats = CompressionStats(kept_points=n)
@@ -220,7 +227,7 @@ class CameoCompressor:
                 deviation = stats.achieved_deviation
             else:
                 new_statistic = tracker.preview(change_start, change_deltas)
-                deviation = tracker.deviation(self.metric, new_statistic)
+                deviation = tracker.deviation(metric, new_statistic)
 
             if self.epsilon is not None and deviation >= self.epsilon:
                 if self.on_violation == "stop":
@@ -245,27 +252,36 @@ class CameoCompressor:
                 break
 
             stats.reheap_updates += self._reheap_neighbours(
-                tracker, neighbours, heap, candidate, hops)
+                tracker, neighbours, heap, candidate, hops, metric)
 
         stats.kept_points = kept
         self._alive_mask = neighbours.alive_mask()
         return stats
 
     def _reheap_neighbours(self, tracker: StatisticTracker, neighbours: NeighborList,
-                           heap: IndexedMinHeap, removed: int, hops: int) -> int:
-        """Refresh the impacts of surviving points near ``removed``."""
-        candidates = [idx for idx in neighbours.hops(removed, hops) if idx in heap]
-        if not candidates:
+                           heap: IndexedMinHeap, removed: int, hops: int,
+                           metric=None) -> int:
+        """Refresh the impacts of surviving points near ``removed``.
+
+        Fused pipeline: the surviving neighbourhood is collected once, the
+        in-heap filter is a vectorized mask query, all neighbour segment
+        deltas are computed in a single batched pass, their impacts in one
+        vectorized kernel call, and the heap keys in one ``update_many``.
+        """
+        if metric is None:
+            metric = resolve_rowwise_metric(self.metric)
+        candidates = neighbours.hops_array(removed, hops)
+        if candidates.size:
+            candidates = candidates[heap.contains_mask(candidates)]
+        if candidates.size == 0:
             return 0
-        current = tracker.current_values
-        changes = []
-        for neighbour in candidates:
-            left, right = neighbours.left_of(neighbour), neighbours.right_of(neighbour)
-            changes.append(segment_interpolation_deltas(current, left, right))
-        impacts = tracker.batch_impacts(changes, self.metric)
-        for neighbour, impact in zip(candidates, impacts):
-            heap.update(neighbour, float(impact))
-        return len(candidates)
+        lefts, rights = neighbours.gaps_of(candidates)
+        starts, lengths, positions, deltas = segment_interpolation_deltas_batched(
+            tracker.current_values, lefts, rights)
+        impacts = tracker.batch_impacts_segments(starts, lengths, positions,
+                                                 deltas, metric)
+        heap.update_many(candidates, impacts)
+        return int(candidates.size)
 
     # ------------------------------------------------------------------ #
     # helpers

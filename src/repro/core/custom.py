@@ -140,6 +140,33 @@ class GenericStatisticTracker:
             impacts[index] = self.deviation(metric, self.preview(int(start), deltas))
         return impacts
 
+    def batch_impacts_segments(self, starts, lengths, positions, deltas, metric
+                               ) -> np.ndarray:
+        """Concatenated-segment variant of :meth:`batch_impacts`.
+
+        Generic statistics have no incremental form, so each segment is
+        previewed individually; the signature matches
+        :meth:`repro.core.tracker.StatisticTracker.batch_impacts_segments`.
+        """
+        starts = np.asarray(starts, dtype=np.int64)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        deltas = np.asarray(deltas, dtype=np.float64)
+        impacts = np.empty(lengths.size, dtype=np.float64)
+        current_deviation: float | None = None
+        offset = 0
+        for index in range(lengths.size):
+            length = int(lengths[index])
+            if length == 0:
+                if current_deviation is None:
+                    current_deviation = self.deviation(metric, self._cached)
+                impacts[index] = current_deviation
+                continue
+            segment = deltas[offset:offset + length]
+            offset += length
+            impacts[index] = self.deviation(
+                metric, self.preview(int(starts[index]), segment))
+        return impacts
+
     def initial_impacts(self, metric) -> tuple[np.ndarray, np.ndarray]:
         """Impact of removing each interior point in isolation (Algorithm 2)."""
         positions, deltas = initial_interpolation_deltas(self._current)

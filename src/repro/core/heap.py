@@ -49,6 +49,14 @@ class IndexedMinHeap:
     def __contains__(self, item: int) -> bool:
         return 0 <= item < self._capacity and self._slot_of[item] != _ABSENT
 
+    def contains_mask(self, items) -> np.ndarray:
+        """Vectorized membership: boolean mask of which ``items`` are present.
+
+        ``items`` must be in ``[0, capacity)``; one NumPy gather replaces a
+        Python-level ``item in heap`` per element.
+        """
+        return self._slot_of[np.asarray(items, dtype=np.int64)] != _ABSENT
+
     def __bool__(self) -> bool:
         return self._size > 0
 
@@ -143,6 +151,61 @@ class IndexedMinHeap:
             self._sift_up(slot)
         elif key > old:
             self._sift_down(slot)
+
+    def update_many(self, items, keys) -> None:
+        """Change the priorities of many items in one call (push if absent).
+
+        Equivalent to ``update(item, key)`` per pair, in order, but with the
+        per-call dispatch hoisted out: the NumPy-backed key/item/slot arrays
+        are bound once and the sift loops run inline.
+        """
+        items = np.asarray(items, dtype=np.int64)
+        key_values = np.asarray(keys, dtype=np.float64)
+        if items.shape != key_values.shape or items.ndim != 1:
+            raise ValueError("items and keys must be 1-D arrays of equal length")
+        heap_keys = self._keys
+        heap_items = self._items
+        slot_of = self._slot_of
+        for item, key in zip(items.tolist(), key_values.tolist()):
+            slot = slot_of[item]
+            if slot == _ABSENT:
+                self.push(item, key)
+                continue
+            slot = int(slot)
+            old = heap_keys[slot]
+            heap_keys[slot] = key
+            if key < old:
+                while slot > 0:
+                    parent = (slot - 1) // 2
+                    if heap_keys[slot] < heap_keys[parent]:
+                        heap_keys[slot], heap_keys[parent] = (heap_keys[parent],
+                                                              heap_keys[slot])
+                        heap_items[slot], heap_items[parent] = (heap_items[parent],
+                                                                heap_items[slot])
+                        slot_of[heap_items[slot]] = slot
+                        slot_of[heap_items[parent]] = parent
+                        slot = parent
+                    else:
+                        break
+            elif key > old:
+                size = self._size
+                while True:
+                    left = 2 * slot + 1
+                    right = left + 1
+                    smallest = slot
+                    if left < size and heap_keys[left] < heap_keys[smallest]:
+                        smallest = left
+                    if right < size and heap_keys[right] < heap_keys[smallest]:
+                        smallest = right
+                    if smallest == slot:
+                        break
+                    heap_keys[slot], heap_keys[smallest] = (heap_keys[smallest],
+                                                            heap_keys[slot])
+                    heap_items[slot], heap_items[smallest] = (heap_items[smallest],
+                                                              heap_items[slot])
+                    slot_of[heap_items[slot]] = slot
+                    slot_of[heap_items[smallest]] = smallest
+                    slot = smallest
 
     # ------------------------------------------------------------------ #
     # internals

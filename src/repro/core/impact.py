@@ -1,18 +1,27 @@
 """ACF-impact evaluation (Algorithm 2 and the ReHeap look-ahead).
 
-Two entry points:
+Entry points:
 
 * :func:`batched_single_change_impacts` — the vectorised ``GetAllImpact`` of
   Algorithm 2: for many candidate points at once, compute the deviation the
   ACF would suffer if that point alone changed by its interpolation delta.
   Works directly on the per-lag aggregate vectors, so each candidate costs
   O(L) and the whole batch is a handful of NumPy operations per chunk.
-* :func:`segment_interpolation_deltas` — the exact multi-point deltas used in
-  the inner loop: when point ``i`` is removed, every already-removed point in
-  the surviving gap ``(left, right)`` is re-interpolated on the new segment.
+* :func:`batched_contiguous_acf` — the fused ReHeap kernel: the ACF each of
+  many *contiguous-range* changes would produce, evaluated for all segments
+  in one vectorized pass (single-point segments reproduce
+  :func:`batched_single_change_impacts` bit for bit).
+* :func:`segment_interpolation_deltas` / ``..._batched`` — the exact
+  multi-point deltas used in the inner loop: when point ``i`` is removed,
+  every already-removed point in the surviving gap ``(left, right)`` is
+  re-interpolated on the new segment.  The batched variant computes the
+  deltas of many gaps in one pass over a concatenated position array.
 
 The deviation measure ``D`` is vectorised for the common metrics (MAE,
 Chebyshev, RMSE/MSE); any other callable falls back to a row-wise loop.
+:func:`resolve_rowwise_metric` hoists the name-string dispatch out of the
+hot loop: the compressor resolves the metric once per run and every
+downstream call takes the pre-resolved object.
 """
 
 from __future__ import annotations
@@ -25,36 +34,102 @@ from ..metrics import get_metric
 from ..stats.aggregates import ACFAggregateState
 
 __all__ = [
+    "ResolvedMetric",
+    "resolve_rowwise_metric",
     "metric_rowwise",
     "batched_single_change_impacts",
+    "batched_contiguous_acf",
     "segment_interpolation_deltas",
+    "segment_interpolation_deltas_batched",
     "initial_interpolation_deltas",
 ]
 
 _VECTORISED_METRICS = {"mae", "cheb", "chebyshev", "max", "rmse", "mse"}
 
+#: Upper bound on ``total_positions * max_lag`` per vectorized block in
+#: :func:`batched_contiguous_acf`; keeps peak temp memory at a few dozen MB.
+_MAX_BLOCK_CELLS = 1 << 21
+
+
+class ResolvedMetric:
+    """A deviation measure with its dispatch decided once, not per call.
+
+    ``kind`` is one of ``"mae"``, ``"cheb"``, ``"mse"``, ``"rmse"`` (closed
+    NumPy forms) or ``"callable"`` (row-wise application of ``fn``).
+    """
+
+    __slots__ = ("kind", "fn", "name")
+
+    def __init__(self, kind: str, fn: Callable[..., float] | None, name: str):
+        self.kind = kind
+        self.fn = fn
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResolvedMetric({self.name!r})"
+
+    # ------------------------------------------------------------------ #
+    def rowwise(self, reference: np.ndarray, candidates: np.ndarray) -> np.ndarray:
+        """``D(reference, row)`` for every row of a 2-D ``candidates``."""
+        kind = self.kind
+        if kind == "callable":
+            fn = self.fn
+            return np.array([fn(reference, row) for row in candidates],
+                            dtype=np.float64)
+        diff = candidates - reference[np.newaxis, :]
+        if kind == "mae":
+            return np.mean(np.abs(diff), axis=1)
+        if kind == "cheb":
+            return np.max(np.abs(diff), axis=1)
+        if kind == "mse":
+            return np.mean(diff * diff, axis=1)
+        return np.sqrt(np.mean(diff * diff, axis=1))
+
+    def single(self, reference: np.ndarray, candidate: np.ndarray) -> float:
+        """Scalar ``D(reference, candidate)`` without 2-D reshaping."""
+        kind = self.kind
+        if kind == "callable":
+            return float(self.fn(reference, candidate))
+        diff = candidate - reference
+        if kind == "mae":
+            return float(np.mean(np.abs(diff)))
+        if kind == "cheb":
+            return float(np.max(np.abs(diff)))
+        if kind == "mse":
+            return float(np.mean(diff * diff))
+        return float(np.sqrt(np.mean(diff * diff)))
+
+
+def resolve_rowwise_metric(metric) -> ResolvedMetric:
+    """Resolve a metric name/callable into a :class:`ResolvedMetric`.
+
+    Resolving once per compression run removes the per-call string
+    normalisation and registry lookup from the inner loop.
+    """
+    if isinstance(metric, ResolvedMetric):
+        return metric
+    if isinstance(metric, str):
+        name = metric.strip().lower()
+        if name in _VECTORISED_METRICS:
+            if name in ("cheb", "chebyshev", "max"):
+                kind = "cheb"
+            else:
+                kind = name
+            return ResolvedMetric(kind, None, name)
+        return ResolvedMetric("callable", get_metric(metric), name)
+    fn = get_metric(metric)
+    return ResolvedMetric("callable", fn, getattr(fn, "__name__", "custom"))
+
 
 def metric_rowwise(metric, reference: np.ndarray, candidates: np.ndarray) -> np.ndarray:
     """Evaluate ``D(reference, row)`` for every row of ``candidates``.
 
-    ``metric`` may be a registered metric name or a callable ``(x, y) ->
-    float``.  Common names use closed-form NumPy expressions; callables are
-    applied row by row.
+    ``metric`` may be a registered metric name, a callable ``(x, y) ->
+    float``, or a pre-resolved :class:`ResolvedMetric`.  Common names use
+    closed-form NumPy expressions; callables are applied row by row.
     """
-    candidates = np.atleast_2d(candidates)
-    if isinstance(metric, str):
-        name = metric.strip().lower()
-        if name in _VECTORISED_METRICS:
-            diff = candidates - reference[np.newaxis, :]
-            if name == "mae":
-                return np.mean(np.abs(diff), axis=1)
-            if name in ("cheb", "chebyshev", "max"):
-                return np.max(np.abs(diff), axis=1)
-            if name == "mse":
-                return np.mean(diff * diff, axis=1)
-            return np.sqrt(np.mean(diff * diff, axis=1))
-    fn: Callable[..., float] = get_metric(metric)
-    return np.array([fn(reference, row) for row in candidates], dtype=np.float64)
+    resolved = resolve_rowwise_metric(metric)
+    return resolved.rowwise(reference, np.atleast_2d(candidates))
 
 
 def batched_single_change_impacts(state: ACFAggregateState, positions, deltas,
@@ -74,7 +149,7 @@ def batched_single_change_impacts(state: ACFAggregateState, positions, deltas,
         The reference ACF vector the deviation is measured against (the ACF
         of the *original* series, ``P_L`` in Algorithm 1).
     metric:
-        Deviation measure ``D`` (name or callable).
+        Deviation measure ``D`` (name, callable, or resolved metric).
     chunk_size:
         Number of candidates evaluated per NumPy batch; bounds memory at
         ``chunk_size * L`` floats.
@@ -85,6 +160,7 @@ def batched_single_change_impacts(state: ACFAggregateState, positions, deltas,
         raise ValueError("positions and deltas must have the same shape")
     if positions.size == 0:
         return np.empty(0, dtype=np.float64)
+    metric = resolve_rowwise_metric(metric)
 
     sums = state.sums
     lags = state.lags
@@ -122,8 +198,134 @@ def batched_single_change_impacts(state: ACFAggregateState, positions, deltas,
         denom = np.sqrt(np.where(valid, var_head * var_tail, 1.0))
         np.divide(numerator, denom, out=acf_new, where=valid)
 
-        out[start:stop] = metric_rowwise(metric, reference, acf_new)
+        out[start:stop] = metric.rowwise(reference, acf_new)
     return out
+
+
+def batched_contiguous_acf(state: ACFAggregateState, lengths, positions, deltas
+                           ) -> np.ndarray:
+    """ACF each of many contiguous-range changes would produce, vectorized.
+
+    The ``k`` hypothetical changes are given in concatenated form:
+    ``lengths[s]`` positions belong to segment ``s`` and the segments'
+    positions/deltas are stored back to back in ``positions``/``deltas``
+    (each segment's positions must be consecutive integers).  Returns a
+    ``(k, L)`` matrix whose row ``s`` is the ACF after applying segment
+    ``s`` alone; zero-length segments get the current ACF.
+
+    Single-position segments reproduce the arithmetic of
+    :func:`batched_single_change_impacts` exactly.  The cross terms
+    ``delta_p * delta_{p+l}`` inside each segment are accumulated per lag
+    with a bincount over same-segment pairs.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    positions = np.asarray(positions, dtype=np.int64)
+    deltas = np.asarray(deltas, dtype=np.float64)
+    k = lengths.size
+    num_lags = state.lags.size
+    out = np.empty((k, num_lags), dtype=np.float64)
+    if k == 0:
+        return out
+
+    nonzero = lengths > 0
+    if not bool(nonzero.all()):
+        out[~nonzero] = state.acf()
+    lens = lengths[nonzero]
+    if lens.size == 0:
+        return out
+    row_index = np.flatnonzero(nonzero)
+
+    cum = np.concatenate(([0], np.cumsum(lens)))
+    # Split into blocks so temp arrays stay ~_MAX_BLOCK_CELLS elements.
+    budget = max(_MAX_BLOCK_CELLS // max(num_lags, 1), int(lens.max()))
+    start_seg = 0
+    while start_seg < lens.size:
+        stop_seg = int(np.searchsorted(cum, cum[start_seg] + budget, side="right")) - 1
+        stop_seg = max(stop_seg, start_seg + 1)
+        block_rows = row_index[start_seg:stop_seg]
+        lo, hi = int(cum[start_seg]), int(cum[stop_seg])
+        out[block_rows] = _contiguous_acf_block(
+            state, lens[start_seg:stop_seg], positions[lo:hi], deltas[lo:hi])
+        start_seg = stop_seg
+    return out
+
+
+def _contiguous_acf_block(state: ACFAggregateState, lens: np.ndarray,
+                          positions: np.ndarray, deltas: np.ndarray) -> np.ndarray:
+    """One vectorized block of :func:`batched_contiguous_acf`."""
+    sums = state.sums
+    lags = state.lags
+    counts = sums.counts
+    current = state.current
+    n = state.n
+    num_segments = lens.size
+    offsets = np.concatenate(([0], np.cumsum(lens[:-1])))
+
+    pos = positions[:, np.newaxis]                   # (T, 1)
+    delta = deltas[:, np.newaxis]                    # (T, 1)
+    head = pos + lags[np.newaxis, :] <= n - 1        # (T, L)
+    tail = pos - lags[np.newaxis, :] >= 0
+
+    own = current[pos]
+    square_term = delta * (2.0 * own + delta)
+
+    reduce = np.add.reduceat
+    d_sx = reduce(np.where(head, delta, 0.0), offsets, axis=0)
+    d_sxl = reduce(np.where(tail, delta, 0.0), offsets, axis=0)
+    d_sx2 = reduce(np.where(head, square_term, 0.0), offsets, axis=0)
+    d_sx2l = reduce(np.where(tail, square_term, 0.0), offsets, axis=0)
+
+    right_idx = np.minimum(pos + lags[np.newaxis, :], n - 1)
+    left_idx = np.maximum(pos - lags[np.newaxis, :], 0)
+    d_head = reduce(np.where(head, delta * current[right_idx], 0.0), offsets, axis=0)
+    d_tail = reduce(np.where(tail, delta * current[left_idx], 0.0), offsets, axis=0)
+
+    new_sx = sums.sx + d_sx
+    new_sxl = sums.sxl + d_sxl
+    new_sx2 = sums.sx2 + d_sx2
+    new_sx2l = sums.sx2l + d_sx2l
+    # Summed in the same association order as the single-change kernel so
+    # single-position segments stay bit-identical to it.
+    new_sxxl = (sums.sxxl + d_head) + d_tail
+
+    # Cross terms delta_p * delta_{p+l} for pairs inside the same segment.
+    # Positions within a segment are consecutive, so lag-l pairs are exactly
+    # the concatenated entries at distance l that share a segment; one
+    # (T, L) partner gather + segment-reduce covers every lag at once.
+    max_len = int(lens.max())
+    if max_len > 1:
+        total = deltas.size
+        segment_ids = np.repeat(np.arange(num_segments, dtype=np.int64), lens)
+        num_cross_lags = min(max_len - 1, lags.size)
+        if num_cross_lags <= 8:
+            # Few lags carry cross terms: a short per-lag bincount beats
+            # materialising the full (T, L) pair matrix.
+            cross = np.zeros((num_segments, lags.size), dtype=np.float64)
+            for lag_index in range(num_cross_lags):
+                shift = lag_index + 1
+                same = segment_ids[shift:] == segment_ids[:-shift]
+                products = deltas[shift:] * deltas[:-shift]
+                cross[:, lag_index] = np.bincount(
+                    segment_ids[shift:][same], weights=products[same],
+                    minlength=num_segments)
+            new_sxxl = new_sxxl + cross
+        else:
+            partner = (np.arange(total, dtype=np.int64)[:, np.newaxis]
+                       + lags[np.newaxis, :])
+            in_range = partner < total
+            np.minimum(partner, total - 1, out=partner)
+            pair = in_range & (segment_ids[partner] == segment_ids[:, np.newaxis])
+            products = np.where(pair, deltas[:, np.newaxis] * deltas[partner], 0.0)
+            new_sxxl = new_sxxl + reduce(products, offsets, axis=0)
+
+    numerator = counts * new_sxxl - new_sx * new_sxl
+    var_head = counts * new_sx2 - new_sx * new_sx
+    var_tail = counts * new_sx2l - new_sxl * new_sxl
+    acf_new = np.zeros_like(numerator)
+    valid = (var_head > 0.0) & (var_tail > 0.0)
+    denom = np.sqrt(np.where(valid, var_head * var_tail, 1.0))
+    np.divide(numerator, denom, out=acf_new, where=valid)
+    return acf_new
 
 
 def initial_interpolation_deltas(values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -157,3 +359,35 @@ def segment_interpolation_deltas(current: np.ndarray, left: int, right: int
     new_values = current[left] * (1.0 - weights) + current[right] * weights
     deltas = new_values - current[positions]
     return left + 1, deltas
+
+
+def segment_interpolation_deltas_batched(current: np.ndarray, lefts, rights
+                                         ) -> tuple[np.ndarray, np.ndarray,
+                                                    np.ndarray, np.ndarray]:
+    """Vectorized :func:`segment_interpolation_deltas` for many gaps at once.
+
+    Returns ``(starts, lengths, positions, deltas)`` in concatenated form:
+    segment ``s`` re-interpolates the ``lengths[s]`` consecutive positions
+    beginning at ``starts[s]``; ``positions``/``deltas`` hold all segments
+    back to back.  Element-for-element the deltas match the per-gap
+    function exactly.
+    """
+    lefts = np.asarray(lefts, dtype=np.int64)
+    rights = np.asarray(rights, dtype=np.int64)
+    starts = lefts + 1
+    lengths = np.maximum(rights - lefts - 1, 0)
+    total = int(lengths.sum())
+    if total == 0:
+        return (starts, lengths, np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64))
+    repeats = np.repeat(np.arange(lefts.size, dtype=np.int64), lengths)
+    offsets = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    intra = np.arange(total, dtype=np.int64) - offsets[repeats]
+    positions = starts[repeats] + intra
+    span = (rights - lefts).astype(np.float64)[repeats]
+    weights = (intra + 1) / span
+    left_values = current[lefts[repeats]]
+    right_values = current[rights[repeats]]
+    new_values = left_values * (1.0 - weights) + right_values * weights
+    deltas = new_values - current[positions]
+    return starts, lengths, positions, deltas

@@ -112,6 +112,46 @@ class NeighborList:
             steps += 1
         return result
 
+    def hops_array(self, index: int, h: int, *, include_endpoints: bool = False
+                   ) -> np.ndarray:
+        """Like :meth:`hops` but returned as an ``int64`` array.
+
+        The walk itself is inherently sequential (a pointer chase over the
+        linked list), but the array form lets callers apply vectorized
+        alive/in-heap mask queries instead of per-element membership tests.
+        """
+        left_pointers = self._left
+        right_pointers = self._right
+        n = self._n
+        last = n - 1
+        result: list[int] = []
+        append = result.append
+        left_anchor, right_anchor = self.gap(index)
+        cursor = left_anchor
+        steps = 0
+        while cursor >= 0 and steps < h:
+            if include_endpoints or 0 < cursor < last:
+                append(cursor)
+            cursor = int(left_pointers[cursor])
+            steps += 1
+        cursor = right_anchor
+        steps = 0
+        while cursor < n and steps < h:
+            if include_endpoints or 0 < cursor < last:
+                append(cursor)
+            cursor = int(right_pointers[cursor])
+            steps += 1
+        return np.asarray(result, dtype=np.int64)
+
+    def gaps_of(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized neighbour lookup for *surviving* positions.
+
+        Returns ``(lefts, rights)`` pointer arrays; valid only for alive
+        indices (removed positions have stale pointers — use :meth:`gap`).
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        return self._left[indices], self._right[indices]
+
     def gap(self, index: int) -> tuple[int, int]:
         """Surviving segment ``(left, right)`` that brackets position ``index``.
 

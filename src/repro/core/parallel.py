@@ -91,10 +91,18 @@ class FineGrainedCameo(CameoCompressor):
         result.metadata["fine_grained_threads"] = self.threads
         return result
 
-    def _reheap_neighbours(self, tracker, neighbours, heap, removed: int, hops: int) -> int:
+    def _reheap_neighbours(self, tracker, neighbours, heap, removed: int, hops: int,
+                           metric=None) -> int:
+        if metric is None:
+            metric = self.metric
         if self._pool is None:
-            return super()._reheap_neighbours(tracker, neighbours, heap, removed, hops)
-        candidates = [idx for idx in neighbours.hops(removed, hops) if idx in heap]
+            return super()._reheap_neighbours(tracker, neighbours, heap, removed,
+                                              hops, metric)
+        candidates = neighbours.hops_array(removed, hops)
+        if candidates.size:
+            candidates = candidates[heap.contains_mask(candidates)].tolist()
+        else:
+            candidates = []
         if not candidates:
             return 0
         chunk_size = max(1, len(candidates) // self.threads)
@@ -110,7 +118,7 @@ class FineGrainedCameo(CameoCompressor):
                     impact = 0.0
                 else:
                     statistic = tracker.preview(start, deltas)
-                    impact = tracker.deviation(self.metric, statistic)
+                    impact = tracker.deviation(metric, statistic)
                 results.append((neighbour, impact))
             return results
 

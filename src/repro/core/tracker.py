@@ -9,7 +9,9 @@ tiny interface:
 * ``current_statistic()`` — the statistic of the current reconstruction,
 * ``preview(positions, deltas)`` — statistic after hypothetical changes,
 * ``apply(positions, deltas)`` — commit changes,
-* ``initial_impacts(metric)`` — Algorithm 2's vectorised initial heap keys.
+* ``initial_impacts(metric)`` — Algorithm 2's vectorised initial heap keys,
+* ``batch_impacts_segments(...)`` — the fused ReHeap evaluation: impacts of
+  many contiguous-range changes in one vectorized pass.
 """
 
 from __future__ import annotations
@@ -20,7 +22,12 @@ from ..exceptions import InvalidParameterError
 from ..stats.aggregates import ACFAggregateState
 from ..stats.pacf import pacf_from_acf
 from ..stats.windowed import AggregatedACFState
-from .impact import batched_single_change_impacts, initial_interpolation_deltas, metric_rowwise
+from .impact import (
+    batched_contiguous_acf,
+    batched_single_change_impacts,
+    initial_interpolation_deltas,
+    resolve_rowwise_metric,
+)
 
 __all__ = ["StatisticTracker", "SUPPORTED_STATISTICS"]
 
@@ -85,13 +92,26 @@ class StatisticTracker:
             return pacf_from_acf(acf_vector)
         return acf_vector
 
+    def _to_statistic_rows(self, acf_matrix: np.ndarray) -> np.ndarray:
+        """Row-wise statistic transform of a ``(k, L)`` ACF matrix."""
+        if self._statistic != "pacf":
+            return acf_matrix
+        out = np.empty_like(acf_matrix)
+        for index in range(acf_matrix.shape[0]):
+            out[index] = pacf_from_acf(acf_matrix[index])
+        return out
+
     def current_statistic(self) -> np.ndarray:
         """Statistic of the current reconstructed series."""
         return self._to_statistic(self._state.acf())
 
     def preview(self, start: int, deltas) -> np.ndarray:
         """Statistic after hypothetically changing the contiguous raw range
-        ``[start, start + len(deltas))`` by ``deltas`` (no mutation)."""
+        ``[start, start + len(deltas))`` by ``deltas`` (no mutation).
+
+        The returned vector may share a reused scratch buffer; consume it
+        before the next ``preview`` call.
+        """
         return self._to_statistic(self._state.preview_acf_contiguous(start, deltas))
 
     def apply(self, start: int, deltas) -> None:
@@ -100,71 +120,116 @@ class StatisticTracker:
 
     def deviation(self, metric, statistic_vector: np.ndarray) -> float:
         """Deviation ``D(reference, statistic_vector)`` for a single vector."""
-        return float(metric_rowwise(metric, self._reference, statistic_vector)[0])
+        return resolve_rowwise_metric(metric).single(self._reference, statistic_vector)
 
     # ------------------------------------------------------------------ #
     # batched hypothetical impacts (used by the ReHeap step)
     # ------------------------------------------------------------------ #
-    def batch_impacts(self, changes: list[tuple[int, np.ndarray]], metric) -> np.ndarray:
-        """Impact of several independent hypothetical contiguous changes.
+    def batch_impacts_segments(self, starts, lengths, positions, deltas, metric
+                               ) -> np.ndarray:
+        """Impacts of many contiguous-range changes in one vectorized pass.
 
-        ``changes`` is a list of ``(start, deltas)`` pairs; each is evaluated
-        in isolation against the current state.  Single-position changes (the
-        overwhelming majority during compression) are evaluated in one
-        vectorised pass; longer changes fall back to individual previews.
+        The hypothetical changes are given in the concatenated form produced
+        by :func:`repro.core.impact.segment_interpolation_deltas_batched`:
+        change ``s`` alters the ``lengths[s]`` raw positions starting at
+        ``starts[s]``; ``positions``/``deltas`` hold every change back to
+        back.  Each change is evaluated in isolation against the current
+        state.  Zero-length changes get the current deviation.
         """
-        if not changes:
+        metric = resolve_rowwise_metric(metric)
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if lengths.size == 0:
             return np.empty(0, dtype=np.float64)
-        impacts = np.empty(len(changes), dtype=np.float64)
-        singles: list[int] = []
-        single_positions: list[int] = []
-        single_deltas: list[float] = []
+        positions = np.asarray(positions, dtype=np.int64)
+        deltas = np.asarray(deltas, dtype=np.float64)
+
+        if self._agg_window == 1:
+            acf_matrix = batched_contiguous_acf(self._state, lengths, positions, deltas)
+        elif (isinstance(self._state, AggregatedACFState)
+              and self._state.agg in ("mean", "sum")):
+            window_lengths, window_positions, window_deltas = \
+                self._segments_to_window_segments(lengths, positions, deltas)
+            acf_matrix = batched_contiguous_acf(
+                self._state.inner, window_lengths, window_positions, window_deltas)
+        else:
+            return self._batch_impacts_fallback(starts, lengths, deltas, metric)
+        return metric.rowwise(self._reference, self._to_statistic_rows(acf_matrix))
+
+    def _segments_to_window_segments(self, lengths: np.ndarray, positions: np.ndarray,
+                                     deltas: np.ndarray
+                                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Translate concatenated raw segments into window-level segments.
+
+        Exact for additive aggregations (mean/sum): each raw segment's
+        positions are grouped by tumbling window, the per-window delta is
+        the (scaled) sum of its raw deltas, and the resulting window
+        positions are again consecutive within each segment.
+        """
+        state = self._state
+        window = state.window
+        num_windows = state.num_windows
+        keep = positions < num_windows * window
+        segment_ids = np.repeat(np.arange(lengths.size, dtype=np.int64), lengths)
+        kept_positions = positions[keep]
+        if kept_positions.size == 0:
+            return (np.zeros(lengths.size, dtype=np.int64),
+                    np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64))
+        kept_deltas = deltas[keep]
+        kept_segments = segment_ids[keep]
+        window_of = kept_positions // window
+        boundary = np.empty(kept_positions.size, dtype=bool)
+        boundary[0] = True
+        boundary[1:] = ((kept_segments[1:] != kept_segments[:-1])
+                        | (window_of[1:] != window_of[:-1]))
+        bounds = np.flatnonzero(boundary)
+        group_sums = np.add.reduceat(kept_deltas, bounds)
+        if state.agg == "mean":
+            group_sums = group_sums / window
+        window_lengths = np.bincount(kept_segments[bounds], minlength=lengths.size)
+        return window_lengths.astype(np.int64), window_of[bounds], group_sums
+
+    def _batch_impacts_fallback(self, starts, lengths, deltas, metric) -> np.ndarray:
+        """Per-segment preview loop (max/min aggregations)."""
+        starts = np.asarray(starts, dtype=np.int64)
+        impacts = np.empty(lengths.size, dtype=np.float64)
         current_deviation: float | None = None
-
-        fast_acf_direct = self._statistic == "acf" and self._agg_window == 1
-        fast_acf_agg = (self._statistic == "acf"
-                        and isinstance(self._state, AggregatedACFState)
-                        and self._state.agg in ("mean", "sum"))
-
-        for index, (start, deltas) in enumerate(changes):
-            deltas = np.asarray(deltas, dtype=np.float64)
-            if deltas.size == 0:
+        offset = 0
+        for index in range(lengths.size):
+            length = int(lengths[index])
+            if length == 0:
                 if current_deviation is None:
                     current_deviation = self.deviation(metric, self.current_statistic())
                 impacts[index] = current_deviation
                 continue
-            if fast_acf_direct and deltas.size == 1:
-                singles.append(index)
-                single_positions.append(int(start))
-                single_deltas.append(float(deltas[0]))
-                continue
-            if fast_acf_agg:
-                window_start, window_deltas = self._state._contiguous_window_deltas(
-                    int(start), deltas)
-                if window_deltas.size == 0:
-                    if current_deviation is None:
-                        current_deviation = self.deviation(metric, self.current_statistic())
-                    impacts[index] = current_deviation
-                    continue
-                if window_deltas.size == 1:
-                    singles.append(index)
-                    single_positions.append(int(window_start))
-                    single_deltas.append(float(window_deltas[0]))
-                    continue
-                statistic = self._state.inner.preview_acf_contiguous(
-                    window_start, window_deltas)
-                impacts[index] = self.deviation(metric, statistic)
-                continue
-            impacts[index] = self.deviation(metric, self.preview(int(start), deltas))
-
-        if singles:
-            target_state = (self._state.inner if fast_acf_agg and not fast_acf_direct
-                            else self._state)
-            batched = batched_single_change_impacts(
-                target_state, np.asarray(single_positions, dtype=np.int64),
-                np.asarray(single_deltas, dtype=np.float64), self._reference, metric)
-            impacts[np.asarray(singles, dtype=np.int64)] = batched
+            segment = deltas[offset:offset + length]
+            offset += length
+            impacts[index] = self.deviation(
+                metric, self.preview(int(starts[index]), segment))
         return impacts
+
+    def batch_impacts(self, changes: list[tuple[int, np.ndarray]], metric) -> np.ndarray:
+        """Impact of several independent hypothetical contiguous changes.
+
+        ``changes`` is a list of ``(start, deltas)`` pairs; kept for API
+        compatibility — internally the pairs are concatenated and evaluated
+        through :meth:`batch_impacts_segments`.
+        """
+        if not changes:
+            return np.empty(0, dtype=np.float64)
+        starts = np.fromiter((int(start) for start, _deltas in changes),
+                             dtype=np.int64, count=len(changes))
+        parts = [np.asarray(deltas, dtype=np.float64) for _start, deltas in changes]
+        lengths = np.fromiter((part.size for part in parts),
+                              dtype=np.int64, count=len(parts))
+        deltas = np.concatenate(parts) if parts else np.empty(0, dtype=np.float64)
+        total = int(lengths.sum())
+        positions = np.empty(total, dtype=np.int64)
+        offset = 0
+        for start, part in zip(starts, parts):
+            positions[offset:offset + part.size] = np.arange(
+                start, start + part.size, dtype=np.int64)
+            offset += part.size
+        return self.batch_impacts_segments(starts, lengths, positions, deltas, metric)
 
     # ------------------------------------------------------------------ #
     # initial impacts (Algorithm 2)
@@ -177,6 +242,7 @@ class StatisticTracker:
         aggregation is linear (raw series, or mean/sum windows); otherwise a
         per-point preview loop is used.
         """
+        metric = resolve_rowwise_metric(metric)
         values = self.current_values
         positions, deltas = initial_interpolation_deltas(values)
         if positions.size == 0:

@@ -1,16 +1,25 @@
 """Bit-level input/output used by the Gorilla and Chimp codecs.
 
 Both codecs emit variable-length bit patterns, so the writer packs bits MSB
-first into a byte array and the reader consumes them the same way.  The
-implementations favour clarity over raw speed — the codecs are baselines,
-not the contribution — but still handle multi-bit writes in chunks.
+first and the reader consumes them the same way.  Since the block-kernel
+rewrite, multi-bit writes really are handled as up-to-64-bit word chunks:
+:class:`BitWriter` shifts whole fields into an integer accumulator and
+flushes full 64-bit words (O(1) per call, no per-bit loop), and
+:class:`BitReader` fetches at most two words per read.  Whole arrays of
+fields can be packed/unpacked in vectorized NumPy passes via
+``write_bits_array``/``read_bits_array``.
+
+The byte layout is unchanged from the original per-bit implementation
+(MSB-first, final byte zero-padded), so payloads remain byte-identical; the
+original code is preserved in :mod:`repro._kernels.reference` as the
+cross-check ground truth.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..exceptions import CodecError
+from .._kernels.bitpack import BlockBitReader, BlockBitWriter
 
 __all__ = ["BitWriter", "BitReader", "float_to_bits", "bits_to_float"]
 
@@ -25,71 +34,8 @@ def bits_to_float(bits: int) -> float:
     return float(np.uint64(bits & 0xFFFFFFFFFFFFFFFF).view(np.float64))
 
 
-class BitWriter:
-    """Append-only MSB-first bit buffer."""
+#: Block-wise MSB-first bit buffer (see :mod:`repro._kernels.bitpack`).
+BitWriter = BlockBitWriter
 
-    def __init__(self):
-        self._bytes = bytearray()
-        self._free_bits = 0     # unused bits remaining in the last byte
-        self._total_bits = 0    # bits written so far
-
-    def __len__(self) -> int:
-        """Number of bits written so far."""
-        return self._total_bits
-
-    @property
-    def bit_length(self) -> int:
-        """Number of bits written so far (alias of ``len``)."""
-        return self._total_bits
-
-    def write_bit(self, bit: int) -> None:
-        """Append a single bit (0 or 1)."""
-        if self._free_bits == 0:
-            self._bytes.append(0)
-            self._free_bits = 8
-        if bit:
-            self._bytes[-1] |= 1 << (self._free_bits - 1)
-        self._free_bits -= 1
-        self._total_bits += 1
-
-    def write_bits(self, value: int, width: int) -> None:
-        """Append the ``width`` least-significant bits of ``value`` MSB first."""
-        if width < 0 or width > 64:
-            raise CodecError(f"bit width must be in [0, 64], got {width}")
-        for shift in range(width - 1, -1, -1):
-            self.write_bit((value >> shift) & 1)
-
-    def to_bytes(self) -> bytes:
-        """Snapshot of the packed bytes (last byte zero-padded)."""
-        return bytes(self._bytes)
-
-
-class BitReader:
-    """MSB-first bit consumer over a byte buffer."""
-
-    def __init__(self, data: bytes, bit_length: int | None = None):
-        self._data = bytes(data)
-        self._limit = bit_length if bit_length is not None else len(self._data) * 8
-        self._position = 0
-
-    @property
-    def remaining(self) -> int:
-        """Bits left to read."""
-        return self._limit - self._position
-
-    def read_bit(self) -> int:
-        """Read a single bit."""
-        if self._position >= self._limit:
-            raise CodecError("attempt to read past the end of the bit stream")
-        byte_index, bit_index = divmod(self._position, 8)
-        self._position += 1
-        return (self._data[byte_index] >> (7 - bit_index)) & 1
-
-    def read_bits(self, width: int) -> int:
-        """Read ``width`` bits as an unsigned integer."""
-        if width < 0 or width > 64:
-            raise CodecError(f"bit width must be in [0, 64], got {width}")
-        value = 0
-        for _ in range(width):
-            value = (value << 1) | self.read_bit()
-        return value
+#: Block-wise MSB-first bit consumer (see :mod:`repro._kernels.bitpack`).
+BitReader = BlockBitReader

@@ -17,46 +17,38 @@ This implementation follows the published reference behaviour: flags ``01``
 and ``10`` store ``64 - leading`` bits (no trailing-zero suppression), flag
 ``11`` stores only the significant centre when the XOR has at least 6
 trailing zeros.  The codec is exactly invertible.
+
+Like the Gorilla module, encoding routes through :mod:`repro._kernels` —
+vectorized XOR/leading/trailing-zero preparation, a sequential Python loop
+only for the flag decisions, and one block pack at the end — and decoding
+reads word chunks in O(1) per field.  Payloads are byte-identical to the
+original per-bit implementation
+(:func:`repro._kernels.reference.reference_chimp_encode`).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .._validation import as_float_array
+from .._kernels.bitops import clz64, ctz64, xor_stream
+from .._kernels.bitpack import pack_bits, payload_words, words_to_bytes
 from ..exceptions import CodecError
-from .bitstream import BitReader, BitWriter, bits_to_float, float_to_bits
 
 __all__ = ["ChimpCodec"]
 
-_MASK64 = 0xFFFFFFFFFFFFFFFF
-
 #: Quantisation of leading-zero counts used by Chimp (3-bit codes).
 _LEADING_ROUND = [0, 8, 12, 16, 18, 20, 22, 24]
-_LEADING_REPRESENTATION = {}
-for _code, _value in enumerate(_LEADING_ROUND):
-    _LEADING_REPRESENTATION[_code] = _value
 
-
-def _round_leading(leading: int) -> tuple[int, int]:
-    """Quantise a leading-zero count; returns ``(code, rounded_value)``."""
-    code = 0
-    for index, threshold in enumerate(_LEADING_ROUND):
-        if leading >= threshold:
-            code = index
-    return code, _LEADING_ROUND[code]
-
-
-def _leading_zeros(value: int) -> int:
-    if value == 0:
-        return 64
-    return 64 - value.bit_length()
-
-
-def _trailing_zeros(value: int) -> int:
-    if value == 0:
-        return 64
-    return (value & -value).bit_length() - 1
+#: Vectorized leading-count quantisation: code and rounded value per count.
+_ROUND_CODE = np.zeros(65, dtype=np.int64)
+_ROUND_VALUE = np.zeros(65, dtype=np.int64)
+for _count in range(65):
+    _c = 0
+    for _index, _threshold in enumerate(_LEADING_ROUND):
+        if _count >= _threshold:
+            _c = _index
+    _ROUND_CODE[_count] = _c
+    _ROUND_VALUE[_count] = _LEADING_ROUND[_c]
 
 
 class ChimpCodec:
@@ -66,73 +58,139 @@ class ChimpCodec:
 
     def encode(self, values) -> tuple[bytes, int, int]:
         """Encode ``values``; returns ``(payload, bit_length, count)``."""
-        values = as_float_array(values)
-        writer = BitWriter()
-        previous_bits = float_to_bits(values[0])
-        writer.write_bits(previous_bits, 64)
+        bits, xor_array = xor_stream(values)
+        xors = xor_array.tolist()
+        leading_all = clz64(xor_array)
+        trailing_all = ctz64(xor_array).tolist()
+        codes_all = _ROUND_CODE[leading_all].tolist()
+        rounded_all = _ROUND_VALUE[leading_all].tolist()
+
+        fields = [int(bits[0])]
+        widths = [64]
+        append_field = fields.append
+        append_width = widths.append
         previous_leading_code = -1
 
-        for value in values[1:]:
-            current_bits = float_to_bits(value)
-            xor = (current_bits ^ previous_bits) & _MASK64
+        for index, xor in enumerate(xors):
             if xor == 0:
-                writer.write_bits(0b00, 2)
+                append_field(0b00)
+                append_width(2)
                 previous_leading_code = -1
+                continue
+            trailing = trailing_all[index]
+            leading_code = codes_all[index]
+            leading_rounded = rounded_all[index]
+            if trailing > 6:
+                # Flag 11: store centre bits only.
+                centre = 64 - leading_rounded - trailing
+                append_field(0b11)
+                append_width(2)
+                append_field(leading_code)
+                append_width(3)
+                append_field(centre)
+                append_width(6)
+                append_field(xor >> trailing)
+                append_width(centre)
+                previous_leading_code = -1
+            elif leading_code == previous_leading_code:
+                # Flag 01: reuse the previous leading-zero count.
+                append_field(0b01)
+                append_width(2)
+                append_field(xor)
+                append_width(64 - leading_rounded)
             else:
-                leading = _leading_zeros(xor)
-                trailing = _trailing_zeros(xor)
-                leading_code, leading_rounded = _round_leading(leading)
-                if trailing > 6:
-                    # Flag 11: store centre bits only.
-                    centre = 64 - leading_rounded - trailing
-                    writer.write_bits(0b11, 2)
-                    writer.write_bits(leading_code, 3)
-                    writer.write_bits(centre, 6)
-                    writer.write_bits(xor >> trailing, centre)
-                    previous_leading_code = -1
-                elif leading_code == previous_leading_code:
-                    # Flag 01: reuse the previous leading-zero count.
-                    writer.write_bits(0b01, 2)
-                    writer.write_bits(xor, 64 - leading_rounded)
-                else:
-                    # Flag 10: new leading-zero count, store to the end.
-                    writer.write_bits(0b10, 2)
-                    writer.write_bits(leading_code, 3)
-                    writer.write_bits(xor, 64 - leading_rounded)
-                    previous_leading_code = leading_code
-            previous_bits = current_bits
-        return writer.to_bytes(), writer.bit_length, values.size
+                # Flag 10: new leading-zero count, store to the end.
+                append_field(0b10)
+                append_width(2)
+                append_field(leading_code)
+                append_width(3)
+                append_field(xor)
+                append_width(64 - leading_rounded)
+                previous_leading_code = leading_code
+
+        words, bit_length = pack_bits(np.asarray(fields, dtype=np.uint64),
+                                      np.asarray(widths, dtype=np.int64))
+        return words_to_bytes(words, bit_length), bit_length, bits.size
 
     def decode(self, payload: bytes, bit_length: int, count: int) -> np.ndarray:
         """Decode ``count`` values from an encoded payload."""
         if count <= 0:
             raise CodecError("count must be positive")
-        reader = BitReader(payload, bit_length)
-        values = np.empty(count, dtype=np.float64)
-        previous_bits = reader.read_bits(64)
-        values[0] = bits_to_float(previous_bits)
+        words = payload_words(payload)
+        limit = min(bit_length, len(payload) * 8)
+        if 64 > limit:
+            raise CodecError("attempt to read past the end of the bit stream")
+        decoded = [0] * count
+        previous = words[0]
+        decoded[0] = previous
+        position = 64
         previous_leading_rounded = 0
+        leading_table = _LEADING_ROUND
 
         for index in range(1, count):
-            flag = reader.read_bits(2)
+            if position + 2 > limit:
+                raise CodecError("attempt to read past the end of the bit stream")
+            word_index = position >> 6
+            available = 64 - (position & 63)
+            if available >= 2:
+                flag = (words[word_index] >> (available - 2)) & 0b11
+            else:
+                flag = (((words[word_index] & 1) << 1)
+                        | (words[word_index + 1] >> 63))
+            position += 2
+
             if flag == 0b00:
-                xor = 0
-            elif flag == 0b11:
-                leading_code = reader.read_bits(3)
-                leading_rounded = _LEADING_REPRESENTATION[leading_code]
-                centre = reader.read_bits(6)
-                trailing = 64 - leading_rounded - centre
-                xor = reader.read_bits(centre) << trailing
+                decoded[index] = previous
+                continue
+            if flag == 0b11:
+                if position + 9 > limit:
+                    raise CodecError("attempt to read past the end of the bit stream")
+                word_index = position >> 6
+                available = 64 - (position & 63)
+                if available >= 9:
+                    header = (words[word_index] >> (available - 9)) & 0x1FF
+                else:
+                    low = 9 - available
+                    header = (((words[word_index] & ((1 << available) - 1)) << low)
+                              | (words[word_index + 1] >> (64 - low)))
+                position += 9
+                leading_rounded = leading_table[header >> 6]
+                width = header & 0x3F
+                shift = 64 - leading_rounded - width
             elif flag == 0b10:
-                leading_code = reader.read_bits(3)
-                leading_rounded = _LEADING_REPRESENTATION[leading_code]
-                xor = reader.read_bits(64 - leading_rounded)
-                previous_leading_rounded = leading_rounded
+                if position + 3 > limit:
+                    raise CodecError("attempt to read past the end of the bit stream")
+                word_index = position >> 6
+                available = 64 - (position & 63)
+                if available >= 3:
+                    code = (words[word_index] >> (available - 3)) & 0b111
+                else:
+                    low = 3 - available
+                    code = (((words[word_index] & ((1 << available) - 1)) << low)
+                            | (words[word_index + 1] >> (64 - low)))
+                position += 3
+                previous_leading_rounded = leading_table[code]
+                width = 64 - previous_leading_rounded
+                shift = 0
             else:  # 0b01 — reuse previous leading count
-                xor = reader.read_bits(64 - previous_leading_rounded)
-            previous_bits = (previous_bits ^ xor) & _MASK64
-            values[index] = bits_to_float(previous_bits)
-        return values
+                width = 64 - previous_leading_rounded
+                shift = 0
+
+            if position + width > limit:
+                raise CodecError("attempt to read past the end of the bit stream")
+            word_index = position >> 6
+            available = 64 - (position & 63)
+            if width <= available:
+                xor = (words[word_index] >> (available - width)) & ((1 << width) - 1)
+            else:
+                low = width - available
+                xor = (((words[word_index] & ((1 << available) - 1)) << low)
+                       | (words[word_index + 1] >> (64 - low)))
+            position += width
+            previous ^= xor << shift
+            decoded[index] = previous
+
+        return np.array(decoded, dtype=np.uint64).view(np.float64)
 
     # ------------------------------------------------------------------ #
     def bits_per_value(self, values) -> float:

@@ -11,31 +11,25 @@ a three-way control code:
 
 The first value is stored verbatim (64 bits).  The decoder reverses the
 process exactly, so the codec is lossless bit-for-bit.
+
+The implementation routes through :mod:`repro._kernels`: the XOR stream and
+its leading/trailing-zero counts are computed in vectorized NumPy passes, the
+per-value Python work is reduced to the (inherently sequential) control-code
+branch, and the resulting fields are packed in one block operation.  Decoding
+walks a word buffer with O(1) chunk reads per field instead of per-bit loops.
+Payloads are byte-identical to the original per-bit implementation
+(:func:`repro._kernels.reference.reference_gorilla_encode`).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .._validation import as_float_array
+from .._kernels.bitops import clz64, ctz64, xor_stream
+from .._kernels.bitpack import pack_bits, payload_words, words_to_bytes
 from ..exceptions import CodecError
-from .bitstream import BitReader, BitWriter, bits_to_float, float_to_bits
 
 __all__ = ["GorillaCodec"]
-
-_MASK64 = 0xFFFFFFFFFFFFFFFF
-
-
-def _leading_zeros(value: int) -> int:
-    if value == 0:
-        return 64
-    return 64 - value.bit_length()
-
-
-def _trailing_zeros(value: int) -> int:
-    if value == 0:
-        return 64
-    return (value & -value).bit_length() - 1
 
 
 class GorillaCodec:
@@ -45,63 +39,113 @@ class GorillaCodec:
 
     def encode(self, values) -> tuple[bytes, int, int]:
         """Encode ``values``; returns ``(payload, bit_length, count)``."""
-        values = as_float_array(values)
-        writer = BitWriter()
-        previous_bits = float_to_bits(values[0])
-        writer.write_bits(previous_bits, 64)
+        bits, xor_array = xor_stream(values)
+        xors = xor_array.tolist()
+        leading_all = np.minimum(clz64(xor_array), 31).tolist()
+        trailing_all = ctz64(xor_array).tolist()
+
+        fields = [int(bits[0])]
+        widths = [64]
+        append_field = fields.append
+        append_width = widths.append
         previous_leading = 65   # force a new window on the first XOR
         previous_trailing = 65
 
-        for value in values[1:]:
-            current_bits = float_to_bits(value)
-            xor = (current_bits ^ previous_bits) & _MASK64
+        for index, xor in enumerate(xors):
             if xor == 0:
-                writer.write_bit(0)
+                append_field(0)
+                append_width(1)
+                continue
+            leading = leading_all[index]
+            trailing = trailing_all[index]
+            if leading >= previous_leading and trailing >= previous_trailing:
+                # Fits into the previous window: control bits '10'.
+                append_field(0b10)
+                append_width(2)
+                append_field(xor >> previous_trailing)
+                append_width(64 - previous_leading - previous_trailing)
             else:
-                writer.write_bit(1)
-                leading = min(_leading_zeros(xor), 31)
-                trailing = _trailing_zeros(xor)
-                if leading >= previous_leading and trailing >= previous_trailing:
-                    # Fits into the previous window: control bit 0.
-                    writer.write_bit(0)
-                    window = 64 - previous_leading - previous_trailing
-                    writer.write_bits(xor >> previous_trailing, window)
-                else:
-                    meaningful = 64 - leading - trailing
-                    writer.write_bit(1)
-                    writer.write_bits(leading, 5)
-                    writer.write_bits(meaningful - 1, 6)
-                    writer.write_bits(xor >> trailing, meaningful)
-                    previous_leading = leading
-                    previous_trailing = trailing
-            previous_bits = current_bits
-        return writer.to_bytes(), writer.bit_length, values.size
+                meaningful = 64 - leading - trailing
+                append_field(0b11)
+                append_width(2)
+                append_field(leading)
+                append_width(5)
+                append_field(meaningful - 1)
+                append_width(6)
+                append_field(xor >> trailing)
+                append_width(meaningful)
+                previous_leading = leading
+                previous_trailing = trailing
+
+        words, bit_length = pack_bits(np.asarray(fields, dtype=np.uint64),
+                                      np.asarray(widths, dtype=np.int64))
+        return words_to_bytes(words, bit_length), bit_length, bits.size
 
     def decode(self, payload: bytes, bit_length: int, count: int) -> np.ndarray:
         """Decode ``count`` values from an encoded payload."""
         if count <= 0:
             raise CodecError("count must be positive")
-        reader = BitReader(payload, bit_length)
-        values = np.empty(count, dtype=np.float64)
-        previous_bits = reader.read_bits(64)
-        values[0] = bits_to_float(previous_bits)
+        words = payload_words(payload)
+        limit = min(bit_length, len(payload) * 8)
+        decoded = [0] * count
+        position = 0
+        # The decoder is inherently sequential (each field's width depends on
+        # the flags before it), so the chunk reads are inlined: every field
+        # costs a couple of shifts instead of a per-bit loop.
+        if 64 > limit:
+            raise CodecError("attempt to read past the end of the bit stream")
+        previous = words[0]
+        position = 64
+        decoded[0] = previous
         leading = 0
         trailing = 0
+
         for index in range(1, count):
-            if reader.read_bit() == 0:
-                values[index] = bits_to_float(previous_bits)
+            if position >= limit:
+                raise CodecError("attempt to read past the end of the bit stream")
+            bit = (words[position >> 6] >> (63 - (position & 63))) & 1
+            position += 1
+            if bit == 0:
+                decoded[index] = previous
                 continue
-            if reader.read_bit() == 0:
-                window = 64 - leading - trailing
-                xor = reader.read_bits(window) << trailing
+            if position >= limit:
+                raise CodecError("attempt to read past the end of the bit stream")
+            bit = (words[position >> 6] >> (63 - (position & 63))) & 1
+            position += 1
+            if bit == 0:
+                width = 64 - leading - trailing
             else:
-                leading = reader.read_bits(5)
-                meaningful = reader.read_bits(6) + 1
-                trailing = 64 - leading - meaningful
-                xor = reader.read_bits(meaningful) << trailing
-            previous_bits = (previous_bits ^ xor) & _MASK64
-            values[index] = bits_to_float(previous_bits)
-        return values
+                # 5 bits of leading-zero count + 6 bits of length, read as
+                # one 11-bit header.
+                if position + 11 > limit:
+                    raise CodecError("attempt to read past the end of the bit stream")
+                word_index = position >> 6
+                available = 64 - (position & 63)
+                if available >= 11:
+                    header = (words[word_index] >> (available - 11)) & 0x7FF
+                else:
+                    low = 11 - available
+                    header = (((words[word_index] & ((1 << available) - 1)) << low)
+                              | (words[word_index + 1] >> (64 - low)))
+                position += 11
+                leading = header >> 6
+                width = (header & 0x3F) + 1
+                trailing = 64 - leading - width
+            if position + width > limit:
+                raise CodecError("attempt to read past the end of the bit stream")
+            word_index = position >> 6
+            available = 64 - (position & 63)
+            if width <= available:
+                xor = (words[word_index] >> (available - width)) & ((1 << width) - 1)
+            else:
+                low = width - available
+                xor = (((words[word_index] & ((1 << available) - 1)) << low)
+                       | (words[word_index + 1] >> (64 - low)))
+            position += width
+            previous ^= xor << trailing
+            decoded[index] = previous
+
+        return np.array(decoded, dtype=np.uint64).view(np.float64)
 
     # ------------------------------------------------------------------ #
     def bits_per_value(self, values) -> float:

@@ -21,6 +21,7 @@ casing.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -82,6 +83,7 @@ class ACFAggregateState:
         self._current = current
         self._lags = np.arange(1, self._max_lag + 1, dtype=np.int64)
         self._sums = self._build_sums(current, self._lags)
+        self._preview_scratch = threading.local()
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -147,6 +149,7 @@ class ACFAggregateState:
         clone._current = self._current.copy()
         clone._lags = self._lags
         clone._sums = self._sums.copy()
+        clone._preview_scratch = threading.local()
         return clone
 
     # ------------------------------------------------------------------ #
@@ -304,8 +307,12 @@ class ACFAggregateState:
         current = self._current
         old = current[start:start + m]
         energy = deltas * (2.0 * old + deltas)
-        prefix_d = np.concatenate(([0.0], np.cumsum(deltas)))
-        prefix_e = np.concatenate(([0.0], np.cumsum(energy)))
+        prefix_d = np.empty(m + 1, dtype=np.float64)
+        prefix_d[0] = 0.0
+        np.cumsum(deltas, out=prefix_d[1:])
+        prefix_e = np.empty(m + 1, dtype=np.float64)
+        prefix_e[0] = 0.0
+        np.cumsum(energy, out=prefix_e[1:])
 
         # For lag l the head covers positions <= n-1-l, the tail positions >= l.
         head_counts = np.clip(np.minimum(start + m, n - lags) - start, 0, m)
@@ -382,14 +389,27 @@ class ACFAggregateState:
             return self.acf()
         d_sx, d_sxl, d_sx2, d_sx2l, d_sxxl = self._contiguous_delta_sums(int(start), deltas)
         sums = self._sums
-        preview = LagSums(
-            counts=sums.counts,
-            sx=sums.sx + d_sx,
-            sxl=sums.sxl + d_sxl,
-            sx2=sums.sx2 + d_sx2,
-            sx2l=sums.sx2l + d_sx2l,
-            sxxl=sums.sxxl + d_sxxl,
-        )
+        # Reused across calls (thread-locally: the fine-grained parallel
+        # strategy previews from several threads): previewing is the single
+        # hottest operation of the CAMEO inner loop, and reallocating five
+        # lag vectors per candidate dominates its cost at small L.
+        preview = getattr(self._preview_scratch, "sums", None)
+        if preview is None:
+            preview = LagSums(
+                counts=sums.counts,
+                sx=np.empty_like(sums.sx),
+                sxl=np.empty_like(sums.sxl),
+                sx2=np.empty_like(sums.sx2),
+                sx2l=np.empty_like(sums.sx2l),
+                sxxl=np.empty_like(sums.sxxl),
+            )
+            self._preview_scratch.sums = preview
+        preview.counts = sums.counts
+        np.add(sums.sx, d_sx, out=preview.sx)
+        np.add(sums.sxl, d_sxl, out=preview.sxl)
+        np.add(sums.sx2, d_sx2, out=preview.sx2)
+        np.add(sums.sx2l, d_sx2l, out=preview.sx2l)
+        np.add(sums.sxxl, d_sxxl, out=preview.sxxl)
         return self._acf_from(preview)
 
     def apply_contiguous(self, start: int, deltas) -> None:

@@ -6,6 +6,7 @@ the most frequently used entry points; the subpackages contain the full
 system:
 
 ``repro.core``          CAMEO compressor, blocking, parallel strategies
+``repro.codecs``        unified codec protocol + registry for every method
 ``repro.stats``         ACF/PACF and incremental aggregate maintenance
 ``repro.metrics``       quality measures (MAE, NRMSE, mSMAPE, ...)
 ``repro.simplify``      VW / TP / PIP / RDP baselines + ACF adapter
@@ -30,6 +31,7 @@ Quickstart
 True
 """
 
+from .codecs import Codec, CompressedBlock, available_codecs, get_codec, register_codec
 from .core import CameoCompressor, CoarseGrainedCameo, FineGrainedCameo, cameo_compress
 from .data import IrregularSeries, TimeSeries, dataset_names, load_dataset
 from .exceptions import (
@@ -53,6 +55,11 @@ __all__ = [
     "__version__",
     "CameoCompressor",
     "cameo_compress",
+    "Codec",
+    "CompressedBlock",
+    "get_codec",
+    "register_codec",
+    "available_codecs",
     "FineGrainedCameo",
     "CoarseGrainedCameo",
     "TimeSeries",

@@ -9,6 +9,7 @@ from .harness import (
     bench_scale,
     format_table,
     run_cameo,
+    run_codec,
     run_line_simplifier,
     run_lossy_baseline,
     scaled_length,
@@ -24,6 +25,7 @@ __all__ = [
     "bench_dataset",
     "CompressorRun",
     "run_cameo",
+    "run_codec",
     "run_line_simplifier",
     "run_lossy_baseline",
     "format_table",

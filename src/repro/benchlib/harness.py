@@ -19,18 +19,10 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-from ..compressors import (
-    FFTCompressor,
-    PoorMansCompressionMean,
-    SimPiece,
-    SwingFilter,
-    acf_deviation_of,
-    search_parameter_for_acf,
-)
-from ..core import CameoCompressor
+from ..codecs import codec_spec, codec_specs, get_codec
+from ..compressors import acf_deviation_of, search_parameter_for_acf
 from ..data import load_dataset
 from ..data.timeseries import TimeSeries
-from ..simplify import AcfConstrainedSimplifier, make_simplifier
 
 __all__ = [
     "bench_scale",
@@ -40,16 +32,28 @@ __all__ = [
     "run_cameo",
     "run_line_simplifier",
     "run_lossy_baseline",
+    "run_codec",
     "format_table",
     "LINE_SIMPLIFIERS",
     "LOSSY_BASELINES",
 ]
 
-#: Line-simplification baselines of Figure 6, in the paper's order.
-LINE_SIMPLIFIERS = ("VW", "TPs", "TPm", "PIPv", "PIPe")
+#: Line-simplification baselines of Figure 6, derived from the codec
+#: registry in registration (= paper) order.  RDP is registered but not part
+#: of the paper's five-baseline figure, so it is excluded here.
+LINE_SIMPLIFIERS = tuple(spec.label for spec in codec_specs("simplify")
+                         if spec.label != "RDP")
 
-#: Additional lossy baselines of Figure 7.
-LOSSY_BASELINES = ("PMC", "SWING", "SP", "FFT")
+#: Additional lossy baselines of Figure 7, derived from the codec registry.
+LOSSY_BASELINES = tuple(spec.label for spec in codec_specs("model"))
+
+#: Display label -> registry name for every registered codec.
+_LABEL_TO_NAME = {spec.label: spec.name for spec in codec_specs()}
+
+
+def _spec_for(name: str):
+    """Resolve a codec by registry name or benchmark display label."""
+    return codec_spec(_LABEL_TO_NAME.get(name, name))
 
 
 def bench_scale() -> float:
@@ -126,11 +130,11 @@ def run_cameo(series: TimeSeries, epsilon: float, *, metric="mae",
 
     max_lag = int(series.metadata.get("acf_lags", 24))
     agg_window = int(series.metadata.get("agg_window", 1))
-    compressor = CameoCompressor(max_lag, epsilon, metric=metric, statistic=statistic,
-                                 agg_window=agg_window, blocking=blocking,
-                                 target_ratio=target_ratio)
+    codec = get_codec("cameo", max_lag=max_lag, epsilon=epsilon, metric=metric,
+                      statistic=statistic, agg_window=agg_window, blocking=blocking,
+                      target_ratio=target_ratio)
     start = time.perf_counter()
-    result = compressor.compress(series)
+    result = codec.compress(series)
     elapsed = time.perf_counter() - start
     reconstruction = result.decompress()
     deviation = acf_deviation_of(series.values, reconstruction, max_lag,
@@ -146,21 +150,21 @@ def run_cameo(series: TimeSeries, epsilon: float, *, metric="mae",
 
 def run_line_simplifier(name: str, series: TimeSeries, epsilon: float, *,
                         metric="mae", target_ratio: float | None = None) -> CompressorRun:
-    """Run one ACF-constrained line-simplification baseline."""
+    """Run one ACF-constrained line-simplification baseline (by label or name)."""
     import time
 
     max_lag = int(series.metadata.get("acf_lags", 24))
     agg_window = int(series.metadata.get("agg_window", 1))
-    adapter = AcfConstrainedSimplifier(make_simplifier(name), max_lag, epsilon,
-                                       metric=metric, agg_window=agg_window,
-                                       target_ratio=target_ratio)
+    spec = _spec_for(name)
+    codec = get_codec(spec.name, max_lag=max_lag, epsilon=epsilon, metric=metric,
+                      agg_window=agg_window, target_ratio=target_ratio)
     start = time.perf_counter()
-    result = adapter.compress(series)
+    result = codec.compress(series)
     elapsed = time.perf_counter() - start
     reconstruction = result.decompress()
     deviation = acf_deviation_of(series.values, reconstruction, max_lag,
                                  metric=metric, agg_window=agg_window)
-    return CompressorRun(method=name, dataset=series.name, epsilon=epsilon,
+    return CompressorRun(method=spec.label, dataset=series.name, epsilon=epsilon,
                          compression_ratio=result.compression_ratio(),
                          acf_deviation=deviation,
                          nrmse=_nrmse(series.values, reconstruction),
@@ -169,17 +173,22 @@ def run_line_simplifier(name: str, series: TimeSeries, epsilon: float, *,
 
 
 def _baseline_factory(name: str, series: TimeSeries) -> Callable[[float], object]:
+    """Parameter -> CompressedModel factory for one model-family codec.
+
+    The tuned knob comes from the codec registry (``spec.tune``): absolute
+    error bounds are scaled by the series' value range, keep-fractions are
+    clamped to their valid domain.
+    """
+    spec = _spec_for(name)
+    if spec.family != "model" or spec.tune is None:
+        raise ValueError(f"{name!r} is not a tunable model-family codec "
+                         f"(available: {', '.join(LOSSY_BASELINES)})")
     value_range = float(np.max(series.values) - np.min(series.values)) or 1.0
-    if name == "PMC":
-        return lambda parameter: PoorMansCompressionMean(parameter * value_range).compress(series)
-    if name == "SWING":
-        return lambda parameter: SwingFilter(parameter * value_range).compress(series)
-    if name == "SP":
-        return lambda parameter: SimPiece(parameter * value_range).compress(series)
-    if name == "FFT":
-        return lambda parameter: FFTCompressor(
-            keep_fraction=min(max(parameter, 1e-4), 1.0)).compress(series)
-    raise ValueError(f"unknown lossy baseline {name!r}")
+    if spec.tune == "keep_fraction":
+        return lambda parameter: get_codec(
+            spec.name, keep_fraction=min(max(parameter, 1e-4), 1.0)).model(series)
+    return lambda parameter: get_codec(
+        spec.name, **{spec.tune: parameter * value_range}).model(series)
 
 
 def run_lossy_baseline(name: str, series: TimeSeries, epsilon: float, *,
@@ -189,10 +198,11 @@ def run_lossy_baseline(name: str, series: TimeSeries, epsilon: float, *,
 
     max_lag = int(series.metadata.get("acf_lags", 24))
     agg_window = int(series.metadata.get("agg_window", 1))
+    spec = _spec_for(name)
     factory = _baseline_factory(name, series)
     start = time.perf_counter()
-    if name == "FFT":
-        # Larger keep-fraction means *less* deviation, so invert the knob.
+    if spec.tune == "keep_fraction":
+        # A larger keep-fraction means *less* deviation, so invert the knob.
         model, _param, deviation = search_parameter_for_acf(
             lambda parameter: factory(1.0 - parameter), series.values, max_lag, epsilon,
             metric=metric, agg_window=agg_window, low=1e-3, high=1.0 - 1e-3)
@@ -202,12 +212,44 @@ def run_lossy_baseline(name: str, series: TimeSeries, epsilon: float, *,
             metric=metric, agg_window=agg_window, low=1e-4, high=0.5)
     elapsed = time.perf_counter() - start
     reconstruction = model.decompress()
-    return CompressorRun(method=name, dataset=series.name, epsilon=epsilon,
+    return CompressorRun(method=spec.label, dataset=series.name, epsilon=epsilon,
                          compression_ratio=model.compression_ratio(),
                          acf_deviation=deviation,
                          nrmse=_nrmse(series.values, reconstruction),
                          elapsed_seconds=elapsed,
                          extra={"stored_values": model.stored_values})
+
+
+def run_codec(name: str, series: TimeSeries, *, codec_options: dict | None = None,
+              metric="mae") -> CompressorRun:
+    """Run any registered codec through the uniform encode/decode interface.
+
+    Unlike the family-specific runners above, the compression ratio here is
+    the *bits*-based ratio of the encoded block (raw bits over encoded
+    bits), which is comparable across every family including the lossless
+    codecs.
+    """
+    import time
+
+    max_lag = int(series.metadata.get("acf_lags", 24))
+    agg_window = int(series.metadata.get("agg_window", 1))
+    spec = _spec_for(name)
+    options = dict(codec_options or {})
+    codec = get_codec(spec.name, **options)
+    start = time.perf_counter()
+    block = codec.encode(series.values)
+    elapsed = time.perf_counter() - start
+    reconstruction = codec.decode(block)
+    deviation = acf_deviation_of(series.values, reconstruction, max_lag,
+                                 metric=metric, agg_window=agg_window)
+    return CompressorRun(method=spec.label, dataset=series.name,
+                         epsilon=options.get("epsilon"),
+                         compression_ratio=block.compression_ratio(),
+                         acf_deviation=deviation,
+                         nrmse=_nrmse(series.values, reconstruction),
+                         elapsed_seconds=elapsed,
+                         extra={"bits_per_value": block.bits_per_value(),
+                                "lossless": block.lossless, **block.metadata})
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str = "") -> str:

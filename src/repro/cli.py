@@ -1,21 +1,26 @@
 """Command-line interface for the CAMEO reproduction library.
 
-Three subcommands cover the typical workflow on CSV data:
+Four subcommands cover the typical workflow on CSV data:
 
 ``compress``
-    Compress a single-column CSV (or one column of a wider CSV) with CAMEO
-    under an ACF/PACF bound and write the compressed representation as JSON
-    or ``.npz``.
+    Compress a single-column CSV (or one column of a wider CSV) with any
+    registered codec (``--codec``, default CAMEO).  CAMEO writes the
+    compressed representation as irregular-series JSON or ``.npz``; every
+    other codec writes a portable codec-block JSON document (``.json``
+    outputs only).
 
 ``decompress``
-    Reconstruct the regular series from a compressed representation and write
-    it back to CSV.
+    Reconstruct the regular series from a compressed representation
+    (either format) and write it back to CSV.
 
 ``analyze``
     Print the dataset summary, the ACF deviation and compression ratio a
     given bound would achieve, and the bits/value comparison against the
     Gorilla/Chimp lossless codecs — a quick "should I compress this lossily?"
-    report.
+    report.  ``--codec`` adds any registered codec to the comparison.
+
+``list-codecs``
+    Enumerate every registered codec with its family and description.
 
 Example
 -------
@@ -23,24 +28,36 @@ Example
 
     python -m repro.cli compress readings.csv --column value --max-lag 24 \
         --epsilon 0.01 --output readings.cameo.json
+    python -m repro.cli compress readings.csv --codec gorilla \
+        --output readings.gorilla.json
+    python -m repro.cli compress readings.csv --codec pmc \
+        --codec-arg error_bound=0.5 --output readings.pmc.json
     python -m repro.cli decompress readings.cameo.json --output restored.csv
     python -m repro.cli analyze readings.csv --column value --max-lag 24
+    python -m repro.cli list-codecs
 """
 
 from __future__ import annotations
 
 import argparse
 import csv
+import json
 import sys
 from pathlib import Path
 
 import numpy as np
 
+from .codecs import (
+    available_codecs,
+    codec_spec,
+    codec_specs,
+    get_codec,
+)
+from .codecs.serialize import BLOCK_FORMAT, block_from_document, save_block_json
 from .core import CameoCompressor
 from .data.timeseries import IrregularSeries
 from .exceptions import ReproError
 from .io import load_irregular_json, load_irregular_npz, save_irregular_json, save_irregular_npz
-from .lossless import ChimpCodec, GorillaCodec
 from .metrics import get_metric
 from .stats import acf, tumbling_window_aggregate
 
@@ -94,19 +111,80 @@ def _load_compressed(path: Path) -> IrregularSeries:
 
 
 # --------------------------------------------------------------------------- #
+# codec option plumbing
+# --------------------------------------------------------------------------- #
+def _parse_codec_args(pairs: list[str]) -> dict:
+    """Parse repeated ``--codec-arg key=value`` flags into typed kwargs."""
+    options: dict = {}
+    for pair in pairs or []:
+        key, separator, raw = pair.partition("=")
+        key = key.strip()
+        if not separator or not key:
+            raise ReproError(
+                f"--codec-arg expects key=value, got {pair!r}")
+        options[key] = _parse_codec_value(raw.strip())
+    return options
+
+
+def _parse_codec_value(raw: str):
+    lowered = raw.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def _codec_options_from_flags(args: argparse.Namespace, family: str) -> dict:
+    """Fold the common CLI flags into codec options where they apply."""
+    options: dict = {}
+    if family in ("cameo", "simplify"):
+        options.update(max_lag=args.max_lag, epsilon=args.epsilon,
+                       metric=args.metric, agg_window=args.agg_window)
+    if family == "cameo":
+        options.update(blocking=args.blocking,
+                       statistic=getattr(args, "statistic", "acf"),
+                       target_ratio=getattr(args, "target_ratio", None))
+    options.update(_parse_codec_args(getattr(args, "codec_arg", [])))
+    return options
+
+
+# --------------------------------------------------------------------------- #
 # subcommand implementations
 # --------------------------------------------------------------------------- #
 def _cmd_compress(args: argparse.Namespace) -> int:
     values = _read_csv_column(Path(args.input), args.column)
-    compressor = CameoCompressor(
-        args.max_lag,
-        epsilon=args.epsilon,
-        metric=args.metric,
-        statistic=args.statistic,
-        agg_window=args.agg_window,
-        blocking=args.blocking,
-        target_ratio=args.target_ratio,
-    )
+    spec = codec_spec(args.codec)
+    if spec.family == "cameo":
+        return _compress_cameo(args, values)
+
+    codec = get_codec(spec.name, **_codec_options_from_flags(args, spec.family))
+    block = codec.encode(values)
+    output = (Path(args.output) if args.output
+              else Path(args.input).with_suffix(f".{spec.name}.json"))
+    if output.suffix == ".npz":
+        raise ReproError(
+            f"codec {spec.name!r} writes codec-block JSON documents; "
+            "use a .json output path (.npz is reserved for the CAMEO "
+            "irregular-series format)")
+    save_block_json(block, output, materialize=lambda: codec.decode(block))
+    kind = "lossless" if block.lossless else "lossy"
+    print(f"encoded {values.size} values with {spec.name} ({kind}): "
+          f"{block.bits_per_value():.2f} bits/value, "
+          f"ratio {block.compression_ratio():.2f}x")
+    print(f"wrote {output}")
+    return 0
+
+
+def _compress_cameo(args: argparse.Namespace, values: np.ndarray) -> int:
+    options = _codec_options_from_flags(args, "cameo")
+    compressor = CameoCompressor(options.pop("max_lag"), options.pop("epsilon"),
+                                 **options)
     result = compressor.compress(values)
     output = Path(args.output) if args.output else Path(args.input).with_suffix(".cameo.json")
     if output.suffix == ".npz":
@@ -121,11 +199,26 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
-    compressed = _load_compressed(Path(args.input))
-    reconstruction = compressed.decompress()
+    path = Path(args.input)
+    block = None
+    if path.suffix != ".npz":
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            document = None
+        if isinstance(document, dict) and document.get("format") == BLOCK_FORMAT:
+            block = block_from_document(document)
+
+    if block is not None:
+        reconstruction = get_codec(block.codec).decode(block)
+        source = f"{block.codec} block ({block.bits_per_value():.2f} bits/value)"
+    else:
+        compressed = _load_compressed(path)
+        reconstruction = compressed.decompress()
+        source = f"{len(compressed)} retained"
     output = Path(args.output) if args.output else Path(args.input).with_suffix(".restored.csv")
     _write_csv(output, reconstruction)
-    print(f"reconstructed {reconstruction.size} points from {len(compressed)} retained")
+    print(f"reconstructed {reconstruction.size} points from {source}")
     print(f"wrote {output}")
     return 0
 
@@ -145,8 +238,18 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     print(f"ACF1            : {acf_values[0]:.3f}   "
           f"strongest lag: {int(np.argmax(np.abs(acf_values))) + 1}")
 
-    for codec in (GorillaCodec(), ChimpCodec()):
-        print(f"{codec.name:<16}: {codec.bits_per_value(values):.2f} bits/value (lossless)")
+    for name in ("gorilla", "chimp"):
+        spec = codec_spec(name)
+        codec = get_codec(name)
+        print(f"{spec.label:<16}: {codec.bits_per_value(values):.2f} bits/value (lossless)")
+
+    if args.codec and codec_spec(args.codec).family not in ("cameo", "lossless"):
+        spec = codec_spec(args.codec)
+        codec = get_codec(spec.name, **_codec_options_from_flags(args, spec.family))
+        block = codec.encode(values)
+        kind = "lossless" if block.lossless else "lossy"
+        print(f"{spec.name:<16}: {block.bits_per_value():.2f} bits/value ({kind}, "
+              f"ratio {block.compression_ratio():.2f}x)")
 
     compressor = CameoCompressor(max_lag, args.epsilon, metric=args.metric,
                                  agg_window=args.agg_window, blocking=args.blocking)
@@ -160,6 +263,18 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_list_codecs(_args: argparse.Namespace) -> int:
+    specs = codec_specs()
+    name_width = max(len(spec.name) for spec in specs)
+    family_width = max(len(spec.family) for spec in specs)
+    print(f"{len(specs)} registered codecs "
+          "(use with compress/analyze --codec NAME [--codec-arg k=v])")
+    for spec in specs:
+        print(f"  {spec.name:<{name_width}}  {spec.family:<{family_width}}  "
+              f"{spec.description}")
+    return 0
+
+
 # --------------------------------------------------------------------------- #
 # parser
 # --------------------------------------------------------------------------- #
@@ -169,10 +284,16 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro", description="CAMEO autocorrelation-preserving compression")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    def add_common(sub: argparse.ArgumentParser) -> None:
+    def add_common(sub: argparse.ArgumentParser, *, default_codec: str | None) -> None:
         sub.add_argument("input", help="input file")
         sub.add_argument("--column", default=None,
                          help="CSV column name or index (default: last column)")
+        sub.add_argument("--codec", default=default_codec,
+                         help="registered codec to use (see list-codecs; "
+                              f"default {default_codec})")
+        sub.add_argument("--codec-arg", action="append", default=[], metavar="K=V",
+                         help="extra codec option, repeatable "
+                              "(e.g. --codec-arg error_bound=0.5)")
         sub.add_argument("--max-lag", type=int, default=24,
                          help="number of ACF lags to preserve (default 24)")
         sub.add_argument("--epsilon", type=float, default=0.01,
@@ -184,13 +305,15 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--blocking", default="5logn",
                          help="blocking neighbourhood (default 5logn)")
 
-    compress = subparsers.add_parser("compress", help="compress a CSV column with CAMEO")
-    add_common(compress)
+    compress = subparsers.add_parser("compress",
+                                     help="compress a CSV column with a registered codec")
+    add_common(compress, default_codec="cameo")
     compress.add_argument("--statistic", choices=("acf", "pacf"), default="acf")
     compress.add_argument("--target-ratio", type=float, default=None,
                           help="compression-centric mode: stop at this ratio")
     compress.add_argument("--output", default=None,
-                          help="output path (.json or .npz; default <input>.cameo.json)")
+                          help="output path (default <input>.<codec>.json; "
+                               ".npz is supported for the cameo codec only)")
     compress.set_defaults(func=_cmd_compress)
 
     decompress = subparsers.add_parser("decompress",
@@ -201,8 +324,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze = subparsers.add_parser("analyze",
                                     help="report compressibility of a CSV column")
-    add_common(analyze)
+    add_common(analyze, default_codec=None)
     analyze.set_defaults(func=_cmd_analyze)
+
+    list_codecs = subparsers.add_parser("list-codecs",
+                                        help="list every registered codec")
+    list_codecs.set_defaults(func=_cmd_list_codecs)
     return parser
 
 

@@ -1,0 +1,117 @@
+"""The :class:`Codec` protocol and its :class:`CompressedBlock` result.
+
+The paper evaluates CAMEO against three other compressor families — line
+simplification, model-based (PMC/SWING/Sim-Piece/FFT), and lossless
+(Gorilla/Chimp) — under a single size/deviation accounting.  Historically
+each family exposed its own interface (:class:`~repro.data.timeseries.
+IrregularSeries`, :class:`~repro.compressors.base.CompressedModel`, raw
+``(bytes, bit_length, count)`` triples), and every consumer re-adapted them.
+This module defines the one interface they all share:
+
+* :meth:`Codec.encode` turns a value chunk into a :class:`CompressedBlock`
+  that knows its size in bits, whether it is exact, and how it was produced;
+* :meth:`Codec.decode` reconstructs the regular values from a block.
+
+Storage segments, streaming chunks, the CLI, and the benchmark harness all
+speak this interface; the concrete adapters live in
+:mod:`repro.codecs.adapters` and are discovered through
+:mod:`repro.codecs.registry`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.timeseries import BITS_PER_VALUE_RAW
+from ..exceptions import CodecMismatchError
+
+__all__ = ["CompressedBlock", "Codec"]
+
+
+@dataclass
+class CompressedBlock:
+    """One encoded value chunk plus the accounting every consumer needs.
+
+    Attributes
+    ----------
+    codec:
+        Name of the codec that produced the block.
+    payload:
+        Codec-specific representation (an :class:`IrregularSeries`, a
+        ``(bytes, bit_length, count)`` triple, a
+        :class:`~repro.compressors.base.CompressedModel`, a verbatim array).
+    length:
+        Number of original values the block represents.
+    bits:
+        Size of the encoded representation in bits.
+    lossless:
+        Whether decoding reproduces the original values exactly.
+    metadata:
+        Codec-specific details (error bounds, achieved deviations, ...).
+    """
+
+    codec: str
+    payload: object
+    length: int
+    bits: int
+    lossless: bool
+    metadata: dict = field(default_factory=dict)
+
+    def bits_per_value(self) -> float:
+        """Bits of encoded storage per original value."""
+        return self.bits / float(max(self.length, 1))
+
+    def compression_ratio(self) -> float:
+        """Raw bits over encoded bits."""
+        return (self.length * BITS_PER_VALUE_RAW) / float(max(self.bits, 1))
+
+
+class Codec(ABC):
+    """Encode/decode interface every compression method implements.
+
+    Subclasses set :attr:`name` (the registry identifier) and
+    :attr:`lossless`, and implement :meth:`encode` / :meth:`decode`.
+    """
+
+    #: Registry / metadata identifier.
+    name: str = "codec"
+    #: Whether decoding is bit-exact.
+    lossless: bool = False
+
+    @abstractmethod
+    def encode(self, values) -> CompressedBlock:
+        """Encode a chunk of values into a :class:`CompressedBlock`."""
+
+    @abstractmethod
+    def decode(self, block: CompressedBlock) -> np.ndarray:
+        """Reconstruct the values of an encoded block."""
+
+    # ------------------------------------------------------------------ #
+    # uniform accounting helpers
+    # ------------------------------------------------------------------ #
+    def bits(self, values) -> int:
+        """Encoded size of ``values`` in bits (one-shot convenience)."""
+        return int(self.encode(values).bits)
+
+    def bits_per_value(self, values) -> float:
+        """Bits of encoded storage per original value of ``values``."""
+        return self.encode(values).bits_per_value()
+
+    def compression_ratio(self, values) -> float:
+        """Raw bits over encoded bits for ``values``."""
+        return self.encode(values).compression_ratio()
+
+    # ------------------------------------------------------------------ #
+    def _check_block(self, block: CompressedBlock) -> None:
+        if block.codec != self.name:
+            raise CodecMismatchError(
+                f"block was encoded with {block.codec!r}, not {self.name!r}")
+
+    #: Backwards-compatible spelling used by the storage layer's subclasses.
+    _check_chunk = _check_block
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.__class__.__name__}(name={self.name!r})"

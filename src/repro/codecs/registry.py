@@ -1,0 +1,150 @@
+"""Name-based codec registry (modeled on :mod:`repro.metrics.registry`).
+
+Every compression method of the paper is registered here exactly once, with
+enough metadata for downstream consumers to stay generic:
+
+* the storage engine builds segment codecs through :func:`get_codec`;
+* the streaming layer accepts any registered codec per sealed chunk;
+* the CLI exposes ``--codec NAME`` and ``list-codecs``;
+* the benchmark harness derives its method lists from the registered
+  families instead of hand-wired tuples.
+
+Names are case-insensitive.  Registration order is preserved (it follows the
+paper's presentation order), so family listings are stable.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import Callable
+
+from ..exceptions import InvalidParameterError
+from .base import Codec
+
+__all__ = [
+    "CodecSpec",
+    "register_codec",
+    "get_codec",
+    "available_codecs",
+    "codec_spec",
+    "codec_specs",
+    "codec_families",
+]
+
+
+@dataclass(frozen=True)
+class CodecSpec:
+    """Registry entry for one codec.
+
+    Attributes
+    ----------
+    name:
+        Canonical (lowercase) lookup key.
+    factory:
+        Callable returning a ready :class:`~repro.codecs.base.Codec`;
+        keyword arguments of :func:`get_codec` are forwarded to it.
+    family:
+        Compressor family: ``"raw"``, ``"lossless"``, ``"cameo"``,
+        ``"simplify"``, ``"model"``, or ``"custom"``.
+    label:
+        Display name used in benchmark tables (``"VW"``, ``"SP"``, ...).
+    tune:
+        Name of the keyword argument the benchmark harness' trial-and-error
+        ACF search adjusts (``None`` for methods that bound the statistic
+        directly or are lossless).
+    description:
+        One-line summary shown by the CLI's ``list-codecs``.
+    """
+
+    name: str
+    factory: Callable[..., Codec]
+    family: str = "custom"
+    label: str = ""
+    tune: str | None = None
+    description: str = ""
+
+
+_REGISTRY: dict[str, CodecSpec] = {}
+
+
+def register_codec(name: str, factory: Callable[..., Codec], *,
+                   family: str = "custom", label: str | None = None,
+                   tune: str | None = None, description: str = "",
+                   overwrite: bool = False) -> None:
+    """Register a codec factory under ``name`` (case-insensitive).
+
+    Parameters
+    ----------
+    name:
+        Lookup key, e.g. ``"gorilla"``.
+    factory:
+        Callable ``(**kwargs) -> Codec``.
+    family, label, tune, description:
+        See :class:`CodecSpec`.  ``label`` defaults to ``name``.
+    overwrite:
+        Allow replacing an existing registration.  Defaults to ``False`` to
+        protect the built-in codecs from accidental shadowing.
+    """
+    key = str(name).strip().lower()
+    if not key:
+        raise InvalidParameterError("codec name must be a non-empty string")
+    if not callable(factory):
+        raise InvalidParameterError(f"codec {name!r} factory must be callable")
+    if key in _REGISTRY and not overwrite:
+        raise InvalidParameterError(f"codec {name!r} is already registered")
+    _REGISTRY[key] = CodecSpec(name=key, factory=factory, family=str(family),
+                               label=str(label) if label is not None else str(name),
+                               tune=tune, description=description)
+
+
+def available_codecs() -> list[str]:
+    """Names of all registered codecs, sorted alphabetically."""
+    return sorted(_REGISTRY)
+
+
+def codec_spec(name: str) -> CodecSpec:
+    """Return the :class:`CodecSpec` registered under ``name``."""
+    key = str(name).strip().lower()
+    try:
+        return _REGISTRY[key]
+    except KeyError as exc:
+        raise _unknown_codec_error(name) from exc
+
+
+def codec_specs(family: str | None = None) -> list[CodecSpec]:
+    """All registered specs in registration order, optionally one family."""
+    specs = list(_REGISTRY.values())
+    if family is None:
+        return specs
+    return [spec for spec in specs if spec.family == family]
+
+
+def codec_families() -> list[str]:
+    """Distinct codec families in first-registration order."""
+    seen: dict[str, None] = {}
+    for spec in _REGISTRY.values():
+        seen.setdefault(spec.family, None)
+    return list(seen)
+
+
+def get_codec(name: str, **kwargs) -> Codec:
+    """Construct a registered codec by name, forwarding ``kwargs``.
+
+    Built-in names: ``raw``, ``gorilla``, ``chimp``, ``cameo``, ``vw``,
+    ``tps``, ``tpm``, ``pipv``, ``pipe``, ``rdp``, ``pmc``, ``swing``,
+    ``simpiece``, ``fft``.  Unknown names raise
+    :class:`~repro.exceptions.InvalidParameterError` listing every
+    registered codec (and the closest matches, when any).
+    """
+    return codec_spec(name).factory(**kwargs)
+
+
+def _unknown_codec_error(name) -> InvalidParameterError:
+    key = str(name).strip().lower()
+    message = (f"unknown codec {name!r}; available: "
+               f"{', '.join(available_codecs())}")
+    close = difflib.get_close_matches(key, available_codecs(), n=3)
+    if close:
+        message += f" (did you mean: {', '.join(close)}?)"
+    return InvalidParameterError(message)

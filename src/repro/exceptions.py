@@ -48,5 +48,14 @@ class StorageError(ReproError):
     """A storage-engine operation (ingest, query, compaction) failed."""
 
 
+class CodecMismatchError(CodecError, StorageError):
+    """A compressed block was handed to a codec that did not produce it.
+
+    Subclasses both :class:`CodecError` (it is a codec-layer failure) and
+    :class:`StorageError` (the storage engine historically raised the latter
+    for foreign chunks), so both catch styles keep working.
+    """
+
+
 class SeriesNotFoundError(StorageError):
     """The requested series does not exist in the store."""

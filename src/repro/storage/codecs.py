@@ -1,36 +1,40 @@
-"""Unified segment codecs for the storage engine.
+"""Storage-facing view of the unified codec layer.
 
-The paper motivates CAMEO with the storage and I/O pressure that time series
-databases face.  :mod:`repro.storage` provides that substrate: an in-process
-storage engine whose segments can be encoded with any of the compression
-methods the paper studies.  This module defines the common codec interface
-and adapters for
+Historically this module owned the codec interface and one adapter per
+compression method; that layer now lives in :mod:`repro.codecs` where the
+streaming layer, the CLI, and the benchmark harness share it.  What remains
+here is the storage vocabulary — a sealed segment's codec is a
+``SegmentCodec`` and its encoded form an ``EncodedChunk`` — as thin aliases
+over the unified protocol, so existing storage code and user codecs keep
+working unchanged:
 
-* the raw representation (64 bits per value),
-* the lossless codecs (Gorilla, Chimp),
-* CAMEO and the ACF-constrained line-simplification baselines, and
-* the functional-approximation baselines (PMC, SWING, Sim-Piece, FFT).
-
-Every codec turns a value chunk into an :class:`EncodedChunk` that knows its
-size in bits and how to reconstruct the values, so the store can report the
-bits/value accounting of Table 2 per series regardless of the chosen method.
+* :class:`SegmentCodec` *is* :class:`repro.codecs.Codec`;
+* :class:`EncodedChunk` *is* :class:`repro.codecs.CompressedBlock`;
+* :func:`make_codec` resolves names through the central registry
+  (:func:`repro.codecs.get_codec`), so codecs registered anywhere are
+  immediately usable as storage codecs — there is no storage-private
+  registry anymore.
 """
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import Callable
-
-import numpy as np
-
-from .._validation import as_float_array, check_positive_int
-from ..compressors import FFTCompressor, PoorMansCompressionMean, SimPiece, SwingFilter
-from ..core import CameoCompressor
-from ..data.timeseries import BITS_PER_VALUE_RAW, IrregularSeries
-from ..exceptions import InvalidParameterError, StorageError
-from ..lossless import ChimpCodec, GorillaCodec
-from ..simplify import AcfConstrainedSimplifier, make_simplifier
+from ..codecs import (
+    CameoCodec,
+    ChimpXorCodec,
+    Codec,
+    CompressedBlock,
+    FftCodec,
+    GorillaXorCodec,
+    PmcCodec,
+    RawCodec,
+    SimPieceCodec,
+    SimplifierCodec,
+    SwingCodec,
+    available_codecs,
+    get_codec,
+    register_codec,
+)
+from ..codecs.registry import _REGISTRY as _CODEC_REGISTRY  # noqa: F401 - test hook
 
 __all__ = [
     "EncodedChunk",
@@ -45,318 +49,26 @@ __all__ = [
     "SimPieceSegmentCodec",
     "FftSegmentCodec",
     "make_codec",
+    "get_codec",
     "register_codec",
     "available_codecs",
 ]
 
-
-@dataclass
-class EncodedChunk:
-    """One encoded value chunk plus the accounting the store needs.
-
-    Attributes
-    ----------
-    codec:
-        Name of the codec that produced the chunk.
-    payload:
-        Codec-specific representation (an :class:`IrregularSeries`, a
-        ``(bytes, bit_length, count)`` triple, a coefficient table, ...).
-    length:
-        Number of original values the chunk represents.
-    bits:
-        Size of the encoded representation in bits.
-    lossless:
-        Whether decoding reproduces the original values exactly.
-    metadata:
-        Codec-specific details (error bounds, achieved deviations, ...).
-    """
-
-    codec: str
-    payload: object
-    length: int
-    bits: int
-    lossless: bool
-    metadata: dict = field(default_factory=dict)
-
-    def bits_per_value(self) -> float:
-        """Bits of encoded storage per original value."""
-        return self.bits / float(max(self.length, 1))
-
-    def compression_ratio(self) -> float:
-        """Raw bits over encoded bits."""
-        return (self.length * BITS_PER_VALUE_RAW) / float(max(self.bits, 1))
-
-
-class SegmentCodec(ABC):
-    """Encode/decode interface every storage codec implements."""
-
-    #: Registry / metadata identifier.
-    name: str = "codec"
-    #: Whether decoding is bit-exact.
-    lossless: bool = False
-
-    @abstractmethod
-    def encode(self, values) -> EncodedChunk:
-        """Encode a chunk of values."""
-
-    @abstractmethod
-    def decode(self, chunk: EncodedChunk) -> np.ndarray:
-        """Reconstruct the values of an encoded chunk."""
-
-    # ------------------------------------------------------------------ #
-    def _check_chunk(self, chunk: EncodedChunk) -> None:
-        if chunk.codec != self.name:
-            raise StorageError(
-                f"chunk was encoded with {chunk.codec!r}, not {self.name!r}")
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"{self.__class__.__name__}(name={self.name!r})"
-
-
-class RawCodec(SegmentCodec):
-    """Identity codec: stores the values verbatim at 64 bits each."""
-
-    name = "raw"
-    lossless = True
-
-    def encode(self, values) -> EncodedChunk:
-        values = as_float_array(values)
-        return EncodedChunk(codec=self.name, payload=values.copy(),
-                            length=values.size, bits=values.size * BITS_PER_VALUE_RAW,
-                            lossless=True)
-
-    def decode(self, chunk: EncodedChunk) -> np.ndarray:
-        self._check_chunk(chunk)
-        return np.asarray(chunk.payload, dtype=np.float64).copy()
-
-
-class _XorSegmentCodec(SegmentCodec):
-    """Shared adapter for the bit-level lossless codecs."""
-
-    lossless = True
-    _codec_factory: Callable
-
-    def __init__(self) -> None:
-        self._codec = self._codec_factory()
-
-    def encode(self, values) -> EncodedChunk:
-        values = as_float_array(values)
-        payload, bit_length, count = self._codec.encode(values)
-        return EncodedChunk(codec=self.name, payload=(payload, bit_length, count),
-                            length=count, bits=bit_length, lossless=True)
-
-    def decode(self, chunk: EncodedChunk) -> np.ndarray:
-        self._check_chunk(chunk)
-        payload, bit_length, count = chunk.payload
-        return self._codec.decode(payload, bit_length, count)
-
-
-class GorillaSegmentCodec(_XorSegmentCodec):
-    """Gorilla XOR compression as a storage codec."""
-
-    name = "gorilla"
-    _codec_factory = GorillaCodec
-
-
-class ChimpSegmentCodec(_XorSegmentCodec):
-    """Chimp XOR compression as a storage codec."""
-
-    name = "chimp"
-    _codec_factory = ChimpCodec
-
-
-class _IrregularSegmentCodec(SegmentCodec):
-    """Shared decode/accounting for codecs producing an IrregularSeries."""
-
-    #: Charge 64 bits per retained value plus 32 bits per retained index,
-    #: the honest on-disk accounting for an irregular representation.
-    store_indices: bool = True
-
-    def decode(self, chunk: EncodedChunk) -> np.ndarray:
-        self._check_chunk(chunk)
-        if isinstance(chunk.payload, np.ndarray):
-            # Segments too short for line simplification are kept verbatim.
-            return np.asarray(chunk.payload, dtype=np.float64).copy()
-        return chunk.payload.decompress()
-
-    def _short_chunk(self, values: np.ndarray) -> EncodedChunk:
-        """Verbatim chunk for segments too short to simplify (< 4 points)."""
-        return EncodedChunk(codec=self.name, payload=values.copy(), length=values.size,
-                            bits=values.size * BITS_PER_VALUE_RAW, lossless=True,
-                            metadata={"short_segment": True})
-
-    def _chunk_from_irregular(self, result: IrregularSeries) -> EncodedChunk:
-        return EncodedChunk(
-            codec=self.name, payload=result, length=result.original_length,
-            bits=result.bits(store_indices=self.store_indices), lossless=False,
-            metadata={"kept_points": len(result),
-                      "achieved_deviation": result.metadata.get("achieved_deviation")})
-
-
-class CameoSegmentCodec(_IrregularSegmentCodec):
-    """CAMEO as a storage codec: ACF/PACF-bounded per segment.
-
-    Parameters are forwarded to :class:`repro.core.CameoCompressor`; every
-    sealed segment is compressed under the same statistic bound, so the
-    deviation guarantee holds per segment.
-    """
-
-    name = "cameo"
-
-    def __init__(self, max_lag: int, epsilon: float | None = 0.01, **kwargs):
-        self.max_lag = check_positive_int(max_lag, "max_lag")
-        self.epsilon = epsilon
-        self.options = dict(kwargs)
-        self._agg_window = int(kwargs.get("agg_window", 1))
-        self._compressor = CameoCompressor(max_lag, epsilon, **kwargs)
-
-    def encode(self, values) -> EncodedChunk:
-        values = as_float_array(values)
-        # Segments shorter than a few aggregation windows cannot track the
-        # statistic meaningfully; keep them verbatim (typically only the
-        # final, partially filled segment of a series).
-        if values.size < max(4, 3 * self._agg_window):
-            return self._short_chunk(values)
-        return self._chunk_from_irregular(self._compressor.compress(values))
-
-
-class SimplifierSegmentCodec(_IrregularSegmentCodec):
-    """ACF-constrained line-simplification baselines (VW, TP, PIP, RDP)."""
-
-    def __init__(self, method: str, max_lag: int, epsilon: float = 0.01, **kwargs):
-        self.method = str(method)
-        self.name = self.method.lower()
-        self.max_lag = check_positive_int(max_lag, "max_lag")
-        self.epsilon = epsilon
-        self._agg_window = int(kwargs.get("agg_window", 1))
-        self._simplifier = AcfConstrainedSimplifier(
-            make_simplifier(self.method), max_lag, epsilon, **kwargs)
-
-    def encode(self, values) -> EncodedChunk:
-        values = as_float_array(values)
-        if values.size < max(4, 3 * self._agg_window):
-            return self._short_chunk(values)
-        return self._chunk_from_irregular(self._simplifier.compress(values))
-
-
-class _ModelSegmentCodec(SegmentCodec):
-    """Shared adapter for the functional-approximation baselines.
-
-    The payload keeps the :class:`repro.compressors.base.CompressedModel`
-    produced by the baseline, so decoding simply calls its reconstruction.
-    """
-
-    def encode(self, values) -> EncodedChunk:
-        values = as_float_array(values)
-        model = self._compressor().compress(values)
-        return EncodedChunk(codec=self.name, payload=model, length=values.size,
-                            bits=model.bits(), lossless=False,
-                            metadata={"stored_values": model.stored_values})
-
-    def decode(self, chunk: EncodedChunk) -> np.ndarray:
-        self._check_chunk(chunk)
-        return chunk.payload.decompress()
-
-    def _compressor(self):  # pragma: no cover - overridden
-        raise NotImplementedError
-
-
-class PmcSegmentCodec(_ModelSegmentCodec):
-    """Poor Man's Compression (constant segments) as a storage codec."""
-
-    name = "pmc"
-
-    def __init__(self, error_bound: float = 0.01, variant: str = "midrange"):
-        self.error_bound = float(error_bound)
-        self.variant = variant
-
-    def _compressor(self):
-        return PoorMansCompressionMean(self.error_bound, variant=self.variant)
-
-
-class SwingSegmentCodec(_ModelSegmentCodec):
-    """SWING filter (connected linear segments) as a storage codec."""
-
-    name = "swing"
-
-    def __init__(self, error_bound: float = 0.01):
-        self.error_bound = float(error_bound)
-
-    def _compressor(self):
-        return SwingFilter(self.error_bound)
-
-
-class SimPieceSegmentCodec(_ModelSegmentCodec):
-    """Sim-Piece (grouped linear segments) as a storage codec."""
-
-    name = "simpiece"
-
-    def __init__(self, error_bound: float = 0.01):
-        self.error_bound = float(error_bound)
-
-    def _compressor(self):
-        return SimPiece(self.error_bound)
-
-
-class FftSegmentCodec(_ModelSegmentCodec):
-    """FFT top-coefficient compression as a storage codec."""
-
-    name = "fft"
-
-    def __init__(self, keep_fraction: float = 0.1):
-        self.keep_fraction = float(keep_fraction)
-
-    def _compressor(self):
-        return FFTCompressor(self.keep_fraction)
-
-
-# ---------------------------------------------------------------------- #
-# registry
-# ---------------------------------------------------------------------- #
-_CODEC_REGISTRY: dict[str, Callable[..., SegmentCodec]] = {}
-
-
-def register_codec(name: str, factory: Callable[..., SegmentCodec]) -> None:
-    """Register a codec factory under ``name`` (case-insensitive)."""
-    if not callable(factory):
-        raise InvalidParameterError("factory must be callable")
-    _CODEC_REGISTRY[str(name).lower()] = factory
-
-
-def available_codecs() -> list[str]:
-    """Names of all registered codecs, sorted alphabetically."""
-    return sorted(_CODEC_REGISTRY)
-
-
-def make_codec(name: str, **kwargs) -> SegmentCodec:
-    """Construct a registered codec by name, forwarding ``kwargs``.
-
-    Built-in names: ``raw``, ``gorilla``, ``chimp``, ``cameo``, ``vw``,
-    ``tps``, ``tpm``, ``pipv``, ``pipe``, ``rdp``, ``pmc``, ``swing``,
-    ``simpiece``, ``fft``.
-    """
-    key = str(name).strip().lower()
-    try:
-        factory = _CODEC_REGISTRY[key]
-    except KeyError as exc:
-        raise InvalidParameterError(
-            f"unknown codec {name!r}; available: {', '.join(available_codecs())}") from exc
-    return factory(**kwargs)
-
-
-def _register_builtins() -> None:
-    register_codec("raw", RawCodec)
-    register_codec("gorilla", GorillaSegmentCodec)
-    register_codec("chimp", ChimpSegmentCodec)
-    register_codec("cameo", lambda max_lag=24, epsilon=0.01, **kw: CameoSegmentCodec(
-        max_lag, epsilon, **kw))
-    for method in ("VW", "TPs", "TPm", "PIPv", "PIPe", "RDP"):
-        register_codec(method, lambda max_lag=24, epsilon=0.01, _m=method, **kw:
-                       SimplifierSegmentCodec(_m, max_lag, epsilon, **kw))
-    register_codec("pmc", PmcSegmentCodec)
-    register_codec("swing", SwingSegmentCodec)
-    register_codec("simpiece", SimPieceSegmentCodec)
-    register_codec("fft", FftSegmentCodec)
-
-
-_register_builtins()
+#: The storage segment codec interface is the unified codec protocol.
+SegmentCodec = Codec
+
+#: A sealed segment's encoded form is a unified compressed block.
+EncodedChunk = CompressedBlock
+
+#: Historical storage names for the unified adapters.
+GorillaSegmentCodec = GorillaXorCodec
+ChimpSegmentCodec = ChimpXorCodec
+CameoSegmentCodec = CameoCodec
+SimplifierSegmentCodec = SimplifierCodec
+PmcSegmentCodec = PmcCodec
+SwingSegmentCodec = SwingCodec
+SimPieceSegmentCodec = SimPieceCodec
+FftSegmentCodec = FftCodec
+
+#: Construct a registered codec by name (central registry lookup).
+make_codec = get_codec

@@ -23,9 +23,7 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-import numpy as np
-
-from ..data.timeseries import IrregularSeries
+from ..codecs.serialize import payload_from_document, payload_to_document
 from ..exceptions import StorageError
 from .codecs import EncodedChunk, make_codec
 from .segment import Segment, SegmentSummary
@@ -35,49 +33,6 @@ __all__ = ["save_store", "load_store", "MANIFEST_NAME", "FORMAT_VERSION"]
 
 MANIFEST_NAME = "manifest.json"
 FORMAT_VERSION = 1
-
-
-# ---------------------------------------------------------------------- #
-# payload (de)serialization
-# ---------------------------------------------------------------------- #
-def _payload_to_document(payload) -> dict:
-    if isinstance(payload, IrregularSeries):
-        return {
-            "type": "irregular",
-            "indices": payload.indices.tolist(),
-            "values": payload.values.tolist(),
-            "original_length": payload.original_length,
-            "name": payload.name,
-            "metadata": payload.metadata,
-        }
-    if isinstance(payload, np.ndarray):
-        return {"type": "values", "values": payload.tolist()}
-    if (isinstance(payload, tuple) and len(payload) == 3
-            and isinstance(payload[0], (bytes, bytearray))):
-        data, bit_length, count = payload
-        return {"type": "bits", "data": bytes(data).hex(),
-                "bit_length": int(bit_length), "count": int(count)}
-    raise StorageError(
-        f"payload of type {type(payload).__name__} cannot be persisted; "
-        "compact the series with a persistable codec (cameo, a line "
-        "simplifier, gorilla, chimp or raw) first")
-
-
-def _payload_from_document(document: dict):
-    kind = document.get("type")
-    if kind == "irregular":
-        return IrregularSeries(
-            indices=np.asarray(document["indices"], dtype=np.int64),
-            values=np.asarray(document["values"], dtype=np.float64),
-            original_length=int(document["original_length"]),
-            name=str(document.get("name", "compressed")),
-            metadata=dict(document.get("metadata", {})))
-    if kind == "values":
-        return np.asarray(document["values"], dtype=np.float64)
-    if kind == "bits":
-        return (bytes.fromhex(document["data"]), int(document["bit_length"]),
-                int(document["count"]))
-    raise StorageError(f"unknown payload type {kind!r} in manifest")
 
 
 def _codec_spec(codec) -> dict:
@@ -101,7 +56,7 @@ def _segment_to_document(segment: Segment) -> dict:
         "bits": chunk.bits,
         "lossless": chunk.lossless,
         "metadata": chunk.metadata,
-        "payload": _payload_to_document(chunk.payload),
+        "payload": payload_to_document(chunk.payload),
         "summary": {
             "count": segment.summary.count,
             "minimum": segment.summary.minimum,
@@ -114,7 +69,7 @@ def _segment_to_document(segment: Segment) -> dict:
 def _segment_from_document(document: dict, codec) -> Segment:
     chunk = EncodedChunk(
         codec=str(document["codec"]),
-        payload=_payload_from_document(document["payload"]),
+        payload=payload_from_document(document["payload"]),
         length=int(document["length"]),
         bits=int(document["bits"]),
         lossless=bool(document["lossless"]),

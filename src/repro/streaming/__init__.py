@@ -1,9 +1,16 @@
-"""Streaming extensions: chunked CAMEO compression and online ACF tooling."""
+"""Streaming extensions: codec-generic chunked compression, online ACF tooling."""
 
-from .chunked import ChunkResult, StreamingCameoCompressor, StreamReport, concat_irregular
+from .chunked import (
+    ChunkResult,
+    StreamingCameoCompressor,
+    StreamingCompressor,
+    StreamReport,
+    concat_irregular,
+)
 from .online_acf import AcfDriftMonitor, DriftEvent, OnlineAcfEstimator
 
 __all__ = [
+    "StreamingCompressor",
     "StreamingCameoCompressor",
     "ChunkResult",
     "StreamReport",

@@ -1,32 +1,44 @@
-"""Chunked (streaming) CAMEO compression for unbounded streams.
+"""Chunked (streaming) compression for unbounded streams.
 
-The offline algorithm needs the full series to rank every point's impact.
-For streams, :class:`StreamingCameoCompressor` buffers values into fixed-size
-chunks and compresses each sealed chunk independently with the configured
-bound — the same local-budget idea as the paper's coarse-grained
-parallelization (Section 4.4), applied over time instead of over threads.
-Each chunk's ACF deviation is bounded by ``epsilon``, so the autocorrelation
-structure within every chunk is preserved; chunk boundaries are always
-retained points, so reconstructions of adjacent chunks join exactly.
+The offline algorithms need a full series; for streams,
+:class:`StreamingCompressor` buffers values into fixed-size chunks and
+encodes each sealed chunk independently with **any registered codec**
+(:mod:`repro.codecs`) — the same local-budget idea as the paper's
+coarse-grained parallelization (Section 4.4), applied over time instead of
+over threads.
 
-:func:`concat_irregular` stitches per-chunk results back into one
-:class:`repro.data.timeseries.IrregularSeries` over the whole stream, which
-is convenient for persisting a long session as a single object.
+:class:`StreamingCameoCompressor` is the CAMEO specialization (and the
+historical entry point): each chunk's ACF deviation is bounded by
+``epsilon``, so the autocorrelation structure within every chunk is
+preserved; chunk boundaries are always retained points, so reconstructions
+of adjacent chunks join exactly.
+
+:func:`concat_irregular` stitches per-chunk point-retaining results back
+into one :class:`repro.data.timeseries.IrregularSeries` over the whole
+stream, which is convenient for persisting a long session as a single
+object.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from .._validation import as_float_array, check_positive_int
-from ..core import CameoCompressor
-from ..data.timeseries import IrregularSeries
+from ..codecs import CameoCodec, Codec, CompressedBlock, get_codec
+from ..data.timeseries import BITS_PER_VALUE_RAW, IrregularSeries
 from ..exceptions import InvalidParameterError, InvalidSeriesError
 from .online_acf import OnlineAcfEstimator
 
-__all__ = ["ChunkResult", "StreamReport", "StreamingCameoCompressor", "concat_irregular"]
+__all__ = [
+    "ChunkResult",
+    "StreamReport",
+    "StreamingCompressor",
+    "StreamingCameoCompressor",
+    "concat_irregular",
+]
 
 
 @dataclass(frozen=True)
@@ -35,22 +47,56 @@ class ChunkResult:
 
     index: int
     start: int
-    compressed: IrregularSeries
+    block: CompressedBlock
 
     @property
     def length(self) -> int:
         """Number of raw values in the chunk."""
-        return self.compressed.original_length
+        return int(self.block.length)
 
     @property
     def kept_points(self) -> int:
-        """Number of retained points."""
-        return len(self.compressed)
+        """Stored cost in 64-bit-value equivalents.
+
+        Point-retaining codecs report their retained points, model codecs
+        their stored scalars; for bit-level codecs the encoded bits are
+        expressed in 64-bit values so the report's point accounting stays
+        comparable across codecs.
+        """
+        metadata = self.block.metadata
+        if "kept_points" in metadata:
+            return int(metadata["kept_points"])
+        if "stored_values" in metadata:
+            return int(metadata["stored_values"])
+        return int(math.ceil(self.block.bits / BITS_PER_VALUE_RAW))
 
     @property
     def achieved_deviation(self) -> float:
-        """Statistic deviation reached inside the chunk."""
-        return float(self.compressed.metadata.get("achieved_deviation", 0.0))
+        """Statistic deviation reached inside the chunk (0 when exact)."""
+        return float(self.block.metadata.get("achieved_deviation") or 0.0)
+
+    @property
+    def compressed(self) -> IrregularSeries:
+        """The chunk's point-retaining representation.
+
+        Available for codecs whose payload is an
+        :class:`IrregularSeries` (CAMEO, the line simplifiers) and for
+        verbatim blocks (which become identity representations); other
+        codecs raise :class:`~repro.exceptions.InvalidParameterError`.
+        """
+        payload = self.block.payload
+        if isinstance(payload, IrregularSeries):
+            return payload
+        if isinstance(payload, np.ndarray) and payload.size >= 2:
+            return IrregularSeries(
+                indices=np.arange(payload.size, dtype=np.int64),
+                values=np.asarray(payload, dtype=np.float64).copy(),
+                original_length=int(payload.size),
+                name=f"{self.block.codec}-chunk-{self.index}",
+                metadata=dict(self.block.metadata))
+        raise InvalidParameterError(
+            f"codec {self.block.codec!r} does not produce a point-retaining "
+            "representation; decode the chunk through the stream's codec instead")
 
 
 @dataclass
@@ -61,6 +107,7 @@ class StreamReport:
     ingested_points: int = 0
     sealed_points: int = 0
     kept_points: int = 0
+    encoded_bits: int = 0
     worst_chunk_deviation: float = 0.0
     chunk_deviations: list[float] = field(default_factory=list)
 
@@ -71,52 +118,68 @@ class StreamReport:
 
     @property
     def compression_ratio(self) -> float:
-        """Sealed raw points over retained points."""
+        """Sealed raw points over retained 64-bit-value equivalents."""
         if self.kept_points == 0:
             return 1.0
         return self.sealed_points / float(self.kept_points)
 
+    @property
+    def bits_per_value(self) -> float:
+        """Encoded bits per sealed raw value."""
+        return self.encoded_bits / float(max(self.sealed_points, 1))
 
-class StreamingCameoCompressor:
-    """Compress an unbounded stream chunk-by-chunk under a per-chunk bound.
+
+class StreamingCompressor:
+    """Compress an unbounded stream chunk-by-chunk with any registered codec.
 
     Parameters
     ----------
     chunk_size:
-        Values per sealed chunk.  Must comfortably exceed ``max_lag`` (at
-        least twice), otherwise the per-chunk ACF is meaningless.
-    max_lag, epsilon, **cameo_options:
-        Forwarded to :class:`repro.core.CameoCompressor` for every chunk.
-    track_global_acf:
-        When ``True`` (default) an :class:`OnlineAcfEstimator` follows the raw
-        stream so :meth:`global_acf` can report the reference ACF of all data
-        seen so far without retaining it.
+        Values per sealed chunk.
+    codec:
+        A registered codec name (``codec_options`` are forwarded to
+        :func:`repro.codecs.get_codec`) or a ready
+        :class:`repro.codecs.Codec` instance.  Defaults to ``"cameo"``;
+        for CAMEO-specific ergonomics (``max_lag``/``epsilon`` up front,
+        global ACF tracking) prefer :class:`StreamingCameoCompressor`.
+    codec_options:
+        Keyword arguments for the registry factory when ``codec`` is a name.
+    track_acf_lags:
+        When set, an :class:`OnlineAcfEstimator` with that many lags follows
+        the raw stream so :meth:`global_acf` can report the reference ACF of
+        all data seen so far without retaining it.
 
     Examples
     --------
     >>> import numpy as np
-    >>> from repro.streaming import StreamingCameoCompressor
-    >>> stream = StreamingCameoCompressor(chunk_size=256, max_lag=24, epsilon=0.05)
+    >>> from repro.streaming import StreamingCompressor
+    >>> stream = StreamingCompressor(chunk_size=256, codec="gorilla")
     >>> x = np.sin(np.arange(1000) * 2 * np.pi / 24)
-    >>> chunks = stream.add(x) + stream.finalize()
+    >>> chunks = stream.add(x) + stream.flush()
     >>> sum(c.length for c in chunks)
     1000
+    >>> np.array_equal(stream.reconstruct(), x)
+    True
     """
 
-    def __init__(self, chunk_size: int, max_lag: int, epsilon: float | None = 0.01, *,
-                 track_global_acf: bool = True, **cameo_options):
+    def __init__(self, chunk_size: int, codec="cameo", *,
+                 codec_options: dict | None = None,
+                 track_acf_lags: int | None = None):
         self.chunk_size = check_positive_int(chunk_size, "chunk_size")
-        self.max_lag = check_positive_int(max_lag, "max_lag")
-        if self.chunk_size < 2 * self.max_lag:
-            raise InvalidParameterError(
-                "chunk_size should be at least twice max_lag "
-                f"(got chunk_size={self.chunk_size}, max_lag={self.max_lag})")
-        self.epsilon = epsilon
-        self._compressor = CameoCompressor(self.max_lag, epsilon, **cameo_options)
+        if isinstance(codec, Codec):
+            if codec_options:
+                raise InvalidParameterError(
+                    "codec_options only apply when codec is given by name")
+            self.codec = codec
+        else:
+            self.codec = get_codec(str(codec), **(codec_options or {}))
         self._buffer: list[float] = []
         self._results: list[ChunkResult] = []
         self._report = StreamReport()
-        self._estimator = OnlineAcfEstimator(self.max_lag) if track_global_acf else None
+        self._estimator = None
+        if track_acf_lags is not None:
+            self._estimator = OnlineAcfEstimator(
+                check_positive_int(track_acf_lags, "track_acf_lags"))
 
     # ------------------------------------------------------------------ #
     # ingest
@@ -138,34 +201,38 @@ class StreamingCameoCompressor:
             sealed.append(self._seal(chunk_values))
         return sealed
 
-    def finalize(self) -> list[ChunkResult]:
-        """Seal whatever remains in the buffer (possibly a short chunk)."""
+    def flush(self) -> list[ChunkResult]:
+        """Seal whatever remains in the buffer (possibly a short chunk).
+
+        Returns an empty list when nothing is buffered.
+        """
         if not self._buffer:
             return []
         chunk_values = np.asarray(self._buffer, dtype=np.float64)
         self._buffer.clear()
-        if chunk_values.size < 2:
-            raise InvalidSeriesError(
-                "cannot seal a final chunk with fewer than two values; "
-                "feed at least two values before finalizing")
         return [self._seal(chunk_values)]
+
+    def finalize(self) -> list[ChunkResult]:
+        """Alias of :meth:`flush` (the historical streaming name)."""
+        return self.flush()
 
     def _seal(self, values: np.ndarray) -> ChunkResult:
         start = self._report.sealed_points
-        compressed = self._compressor.compress(values)
-        result = ChunkResult(index=len(self._results), start=start, compressed=compressed)
+        block = self.codec.encode(values)
+        result = ChunkResult(index=len(self._results), start=start, block=block)
         self._results.append(result)
         report = self._report
         report.chunks += 1
         report.sealed_points += values.size
-        report.kept_points += len(compressed)
+        report.kept_points += result.kept_points
+        report.encoded_bits += block.bits
         deviation = result.achieved_deviation
         report.chunk_deviations.append(deviation)
         report.worst_chunk_deviation = max(report.worst_chunk_deviation, deviation)
         return result
 
     # ------------------------------------------------------------------ #
-    # inspection
+    # inspection and reconstruction
     # ------------------------------------------------------------------ #
     @property
     def results(self) -> list[ChunkResult]:
@@ -180,21 +247,87 @@ class StreamingCameoCompressor:
         """Exact ACF of the raw stream observed so far (needs tracking enabled)."""
         if self._estimator is None:
             raise InvalidParameterError(
-                "global ACF tracking was disabled (track_global_acf=False)")
+                "global ACF tracking was not enabled (set track_acf_lags)")
         return self._estimator.acf()
 
+    def decode_chunk(self, result: ChunkResult) -> np.ndarray:
+        """Reconstruct one sealed chunk through the stream's codec."""
+        return self.codec.decode(result.block)
+
+    def reconstruct(self) -> np.ndarray:
+        """Reconstruction of every *sealed* value, in stream order.
+
+        Buffered (not yet sealed) values are not included; call
+        :meth:`flush` first to cover the whole stream.
+        """
+        if not self._results:
+            return np.empty(0, dtype=np.float64)
+        return np.concatenate([self.decode_chunk(result) for result in self._results])
+
     def to_irregular(self, name: str = "stream") -> IrregularSeries:
-        """Stitch every sealed chunk into one irregular series."""
-        return concat_irregular([result.compressed for result in self._results], name=name)
+        """Stitch every sealed chunk into one irregular series.
+
+        Only meaningful for point-retaining codecs (see
+        :attr:`ChunkResult.compressed`).
+        """
+        return concat_irregular([result.compressed for result in self._results],
+                                name=name)
+
+
+class StreamingCameoCompressor(StreamingCompressor):
+    """CAMEO streaming: per-chunk ACF/PACF bound over an unbounded stream.
+
+    Parameters
+    ----------
+    chunk_size:
+        Values per sealed chunk.  Must comfortably exceed ``max_lag`` (at
+        least twice), otherwise the per-chunk ACF is meaningless.
+    max_lag, epsilon, **cameo_options:
+        Forwarded to :class:`repro.core.CameoCompressor` for every chunk.
+    track_global_acf:
+        When ``True`` (default) the raw stream's ACF over ``max_lag`` lags
+        is tracked online (see :meth:`StreamingCompressor.global_acf`).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.streaming import StreamingCameoCompressor
+    >>> stream = StreamingCameoCompressor(chunk_size=256, max_lag=24, epsilon=0.05)
+    >>> x = np.sin(np.arange(1000) * 2 * np.pi / 24)
+    >>> chunks = stream.add(x) + stream.finalize()
+    >>> sum(c.length for c in chunks)
+    1000
+    """
+
+    def __init__(self, chunk_size: int, max_lag: int, epsilon: float | None = 0.01, *,
+                 track_global_acf: bool = True, **cameo_options):
+        chunk_size = check_positive_int(chunk_size, "chunk_size")
+        self.max_lag = check_positive_int(max_lag, "max_lag")
+        if chunk_size < 2 * self.max_lag:
+            raise InvalidParameterError(
+                "chunk_size should be at least twice max_lag "
+                f"(got chunk_size={chunk_size}, max_lag={self.max_lag})")
+        self.epsilon = epsilon
+        super().__init__(
+            chunk_size,
+            codec=CameoCodec(self.max_lag, epsilon, **cameo_options),
+            track_acf_lags=self.max_lag if track_global_acf else None)
+
+    def flush(self) -> list[ChunkResult]:
+        if len(self._buffer) == 1:
+            raise InvalidSeriesError(
+                "cannot seal a final chunk with fewer than two values; "
+                "feed at least two values before finalizing")
+        return super().flush()
 
 
 def concat_irregular(chunks, name: str = "stream") -> IrregularSeries:
     """Concatenate per-chunk irregular series into one global representation.
 
     The chunks must describe consecutive, non-overlapping ranges in stream
-    order (exactly what :class:`StreamingCameoCompressor` produces).  Chunk
-    boundary points are always retained by the compressor, so the
-    concatenation reconstructs each chunk independently of its neighbours.
+    order (exactly what the streaming compressors produce for point-retaining
+    codecs).  Chunk boundary points are always retained, so the concatenation
+    reconstructs each chunk independently of its neighbours.
     """
     chunks = list(chunks)
     if not chunks:

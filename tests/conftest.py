@@ -35,3 +35,19 @@ def noisy_walk() -> np.ndarray:
     """A random-walk series without seasonality."""
     rng = np.random.default_rng(3)
     return np.cumsum(rng.normal(0.0, 1.0, 800))
+
+
+@pytest.fixture(scope="session")
+def fast_codec_options():
+    """Fast, valid constructor options per registered codec (by name)."""
+    def options_for(name: str) -> dict:
+        from repro.codecs import codec_spec
+
+        family = codec_spec(name).family
+        if family in ("cameo", "simplify"):
+            return {"max_lag": 8, "epsilon": 0.05}
+        if family == "model":
+            return {"error_bound": 0.5} if name != "fft" else {"keep_fraction": 0.2}
+        return {}
+
+    return options_for

@@ -5,10 +5,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.codecs import available_codecs, codec_spec, get_codec
 from repro.data.timeseries import IrregularSeries
 from repro.exceptions import InvalidParameterError, InvalidSeriesError
 from repro.stats import acf
-from repro.streaming import StreamingCameoCompressor, concat_irregular
+from repro.streaming import StreamingCameoCompressor, StreamingCompressor, concat_irregular
 
 RNG = np.random.default_rng(9)
 
@@ -100,6 +101,80 @@ class TestStreamingCompressor:
                                           statistic="pacf", blocking="1logn")
         chunks = stream.add(_seasonal(200))
         assert chunks[0].compressed.metadata["statistic"] == "pacf"
+
+
+class TestStreamingGenericCodec:
+    """Edge cases of the codec-generic stream compressor."""
+
+    def test_empty_stream_flush_returns_nothing(self):
+        stream = StreamingCompressor(chunk_size=64, codec="raw")
+        assert stream.flush() == []
+        assert stream.finalize() == []
+        assert stream.reconstruct().size == 0
+        report = stream.report()
+        assert report.chunks == 0 and report.ingested_points == 0
+        assert report.compression_ratio == 1.0
+
+    def test_final_partial_chunk_via_flush(self):
+        stream = StreamingCompressor(chunk_size=100, codec="gorilla")
+        x = _seasonal(250)
+        sealed = stream.add(x)
+        assert [c.length for c in sealed] == [100, 100]
+        tail = stream.flush()
+        assert [c.length for c in tail] == [50]
+        assert stream.report().buffered_points == 0
+        np.testing.assert_array_equal(stream.reconstruct(), x)
+
+    def test_chunk_size_one(self):
+        stream = StreamingCompressor(chunk_size=1, codec="raw")
+        x = _seasonal(10)
+        sealed = stream.add(x)
+        assert len(sealed) == 10
+        assert all(c.length == 1 for c in sealed)
+        assert stream.flush() == []
+        np.testing.assert_array_equal(stream.reconstruct(), x)
+
+    def test_codec_instance_and_options_are_exclusive(self):
+        with pytest.raises(InvalidParameterError):
+            StreamingCompressor(chunk_size=8, codec=get_codec("raw"),
+                                codec_options={"x": 1})
+
+    def test_global_acf_disabled_by_default(self):
+        stream = StreamingCompressor(chunk_size=8, codec="raw")
+        stream.add(_seasonal(16))
+        with pytest.raises(InvalidParameterError):
+            stream.global_acf()
+
+    def test_report_tracks_encoded_bits(self):
+        stream = StreamingCompressor(chunk_size=128, codec="gorilla")
+        x = _seasonal(256)
+        stream.add(x)
+        report = stream.report()
+        assert report.encoded_bits == sum(c.block.bits for c in stream.results)
+        assert report.bits_per_value == pytest.approx(report.encoded_bits / 256.0)
+
+    def test_non_point_codec_has_no_irregular_view(self):
+        stream = StreamingCompressor(chunk_size=64, codec="gorilla")
+        stream.add(_seasonal(64))
+        with pytest.raises(InvalidParameterError):
+            stream.to_irregular()
+
+    @pytest.mark.parametrize("name", sorted(available_codecs()))
+    def test_roundtrip_smoke_over_every_registered_codec(self, name, fast_codec_options):
+        """Chunks + final flush cover the stream for every codec."""
+        stream = StreamingCompressor(chunk_size=100, codec=name,
+                                     codec_options=fast_codec_options(name))
+        x = _seasonal(230)
+        sealed = stream.add(x) + stream.flush()
+        assert [c.length for c in sealed] == [100, 100, 30]
+        reconstruction = stream.reconstruct()
+        assert reconstruction.shape == x.shape
+        assert np.all(np.isfinite(reconstruction))
+        if codec_spec(name).family in ("raw", "lossless"):
+            np.testing.assert_array_equal(reconstruction, x)
+        report = stream.report()
+        assert report.sealed_points == 230
+        assert report.encoded_bits > 0
 
 
 class TestConcatIrregular:

@@ -82,6 +82,68 @@ class TestCompressDecompress:
         assert code == 2
 
 
+class TestCodecSelection:
+    def test_list_codecs(self, capsys):
+        from repro.codecs import available_codecs
+
+        assert main(["list-codecs"]) == 0
+        output = capsys.readouterr().out
+        for name in available_codecs():
+            assert name in output
+
+    @pytest.mark.parametrize("codec,extra", [
+        ("gorilla", []),
+        ("pmc", ["--codec-arg", "error_bound=0.5"]),
+        ("vw", ["--epsilon", "0.05"]),
+    ])
+    def test_codec_roundtrip(self, codec, extra, sample_csv, tmp_path, capsys):
+        path, values = sample_csv
+        compressed = tmp_path / f"out.{codec}.json"
+        code = main(["compress", str(path), "--column", "value", "--codec", codec,
+                     *extra, "--output", str(compressed)])
+        assert code == 0
+        assert compressed.exists()
+        assert "bits/value" in capsys.readouterr().out
+
+        restored = tmp_path / "restored.csv"
+        assert main(["decompress", str(compressed), "--output", str(restored)]) == 0
+        with open(restored, newline="", encoding="utf-8") as handle:
+            rows = list(csv.reader(handle))
+        restored_values = np.asarray([float(row[1]) for row in rows[1:]])
+        assert restored_values.size == values.size
+        if codec == "gorilla":
+            np.testing.assert_allclose(restored_values, values, atol=1e-6)
+
+    def test_unknown_codec_lists_available(self, sample_csv, tmp_path, capsys):
+        path, _values = sample_csv
+        code = main(["compress", str(path), "--codec", "zstd",
+                     "--output", str(tmp_path / "x.json")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown codec" in err and "gorilla" in err
+
+    def test_non_cameo_codec_rejects_npz_output(self, sample_csv, tmp_path, capsys):
+        path, _values = sample_csv
+        code = main(["compress", str(path), "--codec", "gorilla",
+                     "--output", str(tmp_path / "out.npz")])
+        assert code == 2
+        assert ".json" in capsys.readouterr().err
+
+    def test_bad_codec_arg_rejected(self, sample_csv, tmp_path):
+        path, _values = sample_csv
+        code = main(["compress", str(path), "--codec", "pmc",
+                     "--codec-arg", "error_bound", "--output", str(tmp_path / "x.json")])
+        assert code == 2
+
+    def test_codec_arg_reaches_cameo(self, sample_csv, tmp_path, capsys):
+        path, _values = sample_csv
+        out = tmp_path / "out.json"
+        code = main(["compress", str(path), "--column", "value", "--epsilon", "1",
+                     "--codec-arg", "target_ratio=5", "--output", str(out)])
+        assert code == 0
+        assert "5.0" in capsys.readouterr().out
+
+
 class TestAnalyze:
     def test_analyze_report(self, sample_csv, capsys):
         path, _values = sample_csv
@@ -96,3 +158,10 @@ class TestAnalyze:
         assert main(["analyze", str(path), "--column", "value", "--max-lag", "8",
                      "--agg-window", "12"]) == 0
         assert "windows" in capsys.readouterr().out
+
+    def test_analyze_with_extra_codec(self, sample_csv, capsys):
+        path, _values = sample_csv
+        assert main(["analyze", str(path), "--column", "value", "--codec", "pmc",
+                     "--codec-arg", "error_bound=0.5"]) == 0
+        output = capsys.readouterr().out
+        assert "pmc" in output and "Gorilla" in output and "CAMEO" in output

@@ -40,6 +40,21 @@ PERF_CAMEO_EPSILON = 0.05
 #: Field count for the raw bitstream write/read timings.
 PERF_BITSTREAM_FIELDS = 20_000
 
+#: Row / lag counts for the batched Durbin-Levinson (PACF tracking) timing —
+#: sized like one fused ReHeap batch of candidate ACF rows.
+PERF_PACF_ROWS = 400
+PERF_PACF_MAX_LAG = 50
+
+#: Required speedup of the batched Durbin-Levinson kernel over the preserved
+#: per-row reference recursion, measured in the same process
+#: (hardware-independent, like the codec thresholds).
+PERF_MIN_PACF_SPEEDUP = 3.0
+
+#: Series length / lag count for the end-to-end CAMEO ``statistic="pacf"``
+#: timing (smaller than the ACF run: the recursion adds an O(L^2) factor).
+PERF_CAMEO_PACF_LENGTH = 4_000
+PERF_CAMEO_PACF_MAX_LAG = 24
+
 #: Required speedup of the block codecs over the preserved per-bit
 #: reference implementations, measured on the same machine in the same run
 #: (hardware-independent).

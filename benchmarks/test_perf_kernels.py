@@ -24,14 +24,19 @@ from bench_config import (
     PERF_CAMEO_EPSILON,
     PERF_CAMEO_LENGTH,
     PERF_CAMEO_MAX_LAG,
+    PERF_CAMEO_PACF_LENGTH,
+    PERF_CAMEO_PACF_MAX_LAG,
     PERF_CODEC_LENGTH,
     PERF_MARKER,
     PERF_MIN_BITSTREAM_SPEEDUP,
     PERF_MIN_CAMEO_SPEEDUP,
     PERF_MIN_CODEC_SPEEDUP,
+    PERF_MIN_PACF_SPEEDUP,
+    PERF_PACF_MAX_LAG,
+    PERF_PACF_ROWS,
     SEED_CAMEO_POINTS_PER_SEC,
 )
-from repro._kernels import BlockBitReader, BlockBitWriter
+from repro._kernels import BlockBitReader, BlockBitWriter, pacf_from_acf_batched
 from repro._kernels.reference import (
     ReferenceBitReader,
     ReferenceBitWriter,
@@ -39,6 +44,7 @@ from repro._kernels.reference import (
     reference_chimp_encode,
     reference_gorilla_decode,
     reference_gorilla_encode,
+    reference_pacf_from_acf,
 )
 from repro.benchlib import PerfReport, bench
 from repro.core import cameo_compress
@@ -194,6 +200,39 @@ class TestCodecKernels:
             f"{PERF_MIN_CODEC_SPEEDUP}x regression floor")
 
 
+class TestPacfKernels:
+    def test_batched_durbin_levinson_speedup(self, report):
+        """Batched PACF tracking vs the preserved per-row recursion."""
+        rng = np.random.default_rng(31)
+        lags = np.arange(1, PERF_PACF_MAX_LAG + 1)
+        # Perturbed geometric-decay rows: the shape of the candidate ACF
+        # vectors the fused ReHeap hands to the statistic transform.
+        rows = np.clip(0.9 ** lags + rng.normal(0.0, 0.05,
+                                                (PERF_PACF_ROWS, lags.size)),
+                       -0.99, 0.99)
+
+        def batched():
+            return pacf_from_acf_batched(rows)
+
+        def per_row():
+            out = np.empty_like(rows)
+            for index in range(rows.shape[0]):
+                out[index] = reference_pacf_from_acf(rows[index])
+            return out
+
+        # The batched kernel must reproduce the reference bit for bit.
+        assert np.array_equal(batched(), per_row())
+
+        ops = rows.size
+        report.add(bench("pacf.batched_tracking", batched, ops=ops))
+        report.add(bench("pacf.reference_tracking", per_row, ops=ops, repeats=2))
+        speedup = report.speedup("pacf_tracking", "pacf.batched_tracking",
+                                 "pacf.reference_tracking")
+        assert speedup >= PERF_MIN_PACF_SPEEDUP, (
+            f"batched Durbin-Levinson at {speedup:.1f}x is below the "
+            f"{PERF_MIN_PACF_SPEEDUP}x regression floor")
+
+
 class TestCameoEndToEnd:
     def test_cameo_points_per_sec(self, report):
         rng = np.random.default_rng(123)
@@ -219,6 +258,25 @@ class TestCameoEndToEnd:
                 f"end-to-end CAMEO at {points_per_sec:.0f} points/s is below "
                 f"{PERF_MIN_CAMEO_SPEEDUP}x the recorded seed baseline "
                 f"({SEED_CAMEO_POINTS_PER_SEC} points/s)")
+
+    def test_cameo_pacf_points_per_sec(self, report):
+        """End-to-end ``statistic="pacf"`` run through the batched DL path."""
+        rng = np.random.default_rng(456)
+        t = np.arange(PERF_CAMEO_PACF_LENGTH)
+        signal = (5.0 + 2.0 * np.sin(2 * np.pi * t / 24)
+                  + 0.5 * np.sin(2 * np.pi * t / 168)
+                  + rng.normal(0, 0.3, t.size))
+
+        def run():
+            return cameo_compress(signal, max_lag=PERF_CAMEO_PACF_MAX_LAG,
+                                  epsilon=PERF_CAMEO_EPSILON, statistic="pacf")
+
+        result = run()  # warmup + sanity
+        assert result.metadata["stopped_by"] == "error-bound"
+        report.add(bench(
+            "cameo.compress_pacf_4k", run, ops=PERF_CAMEO_PACF_LENGTH, repeats=1,
+            warmup=False, max_lag=PERF_CAMEO_PACF_MAX_LAG,
+            epsilon=PERF_CAMEO_EPSILON, statistic="pacf", kept=len(result)))
 
 
 # Keep a module-level reference so static analysers see the marker is used.

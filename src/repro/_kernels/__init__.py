@@ -8,9 +8,12 @@ of the library routes through:
 * :mod:`repro._kernels.bitops` — vectorized ``uint64`` bit manipulation
   (leading/trailing-zero counts, XOR streams) used by the Gorilla and Chimp
   encoders,
-* :mod:`repro._kernels.reference` — the original per-bit implementations,
-  kept as the ground truth for bit-exact cross-checks and as the baseline
-  the perf harness measures speedups against.
+* :mod:`repro._kernels.pacf` — the batched Durbin-Levinson recursion that
+  turns many candidate ACF rows into PACF rows at once (the
+  ``statistic="pacf"`` hot path),
+* :mod:`repro._kernels.reference` — the original per-bit / per-row
+  implementations, kept as the ground truth for bit-exact cross-checks and
+  as the baseline the perf harness measures speedups against.
 
 Everything in here is pure NumPy + Python integers; there are no native
 extensions, so the kernels work wherever the library imports.
@@ -18,6 +21,7 @@ extensions, so the kernels work wherever the library imports.
 
 from .bitops import clz64, ctz64, xor_stream
 from .bitpack import BlockBitReader, BlockBitWriter, pack_bits, words_to_bytes
+from .pacf import pacf_from_acf_batched
 
 __all__ = [
     "BlockBitWriter",
@@ -27,4 +31,5 @@ __all__ = [
     "clz64",
     "ctz64",
     "xor_stream",
+    "pacf_from_acf_batched",
 ]

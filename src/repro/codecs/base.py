@@ -61,11 +61,24 @@ class CompressedBlock:
     metadata: dict = field(default_factory=dict)
 
     def bits_per_value(self) -> float:
-        """Bits of encoded storage per original value."""
+        """Bits of encoded storage per original value.
+
+        Returns
+        -------
+        float
+            ``bits / length`` (a raw float64 value costs 64).
+        """
         return self.bits / float(max(self.length, 1))
 
     def compression_ratio(self) -> float:
-        """Raw bits over encoded bits."""
+        """Raw bits over encoded bits.
+
+        Returns
+        -------
+        float
+            ``(length * 64) / bits`` — how many times smaller the encoded
+            form is than storing every value as a raw float64.
+        """
         return (self.length * BITS_PER_VALUE_RAW) / float(max(self.bits, 1))
 
 
@@ -74,6 +87,19 @@ class Codec(ABC):
 
     Subclasses set :attr:`name` (the registry identifier) and
     :attr:`lossless`, and implement :meth:`encode` / :meth:`decode`.
+    Instances are stateless with respect to the data: the same codec object
+    may encode any number of independent blocks.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.codecs import get_codec
+    >>> codec = get_codec("gorilla")
+    >>> block = codec.encode(np.round(np.sin(np.arange(512) / 10.0), 3))
+    >>> block.lossless, block.length
+    (True, 512)
+    >>> np.array_equal(codec.decode(block), np.round(np.sin(np.arange(512) / 10.0), 3))
+    True
     """
 
     #: Registry / metadata identifier.
@@ -83,11 +109,40 @@ class Codec(ABC):
 
     @abstractmethod
     def encode(self, values) -> CompressedBlock:
-        """Encode a chunk of values into a :class:`CompressedBlock`."""
+        """Encode a chunk of values.
+
+        Parameters
+        ----------
+        values:
+            1-D array-like of float values (one regularly sampled chunk).
+
+        Returns
+        -------
+        CompressedBlock
+            The encoded block, carrying its size-in-bits accounting and
+            codec-specific metadata.
+        """
 
     @abstractmethod
     def decode(self, block: CompressedBlock) -> np.ndarray:
-        """Reconstruct the values of an encoded block."""
+        """Reconstruct the values of an encoded block.
+
+        Parameters
+        ----------
+        block:
+            A block previously produced by this codec's :meth:`encode`.
+
+        Returns
+        -------
+        numpy.ndarray
+            The reconstructed values (``block.length`` floats); bit-exact
+            when :attr:`lossless` is true.
+
+        Raises
+        ------
+        repro.exceptions.CodecMismatchError
+            If ``block`` was encoded by a different codec.
+        """
 
     # ------------------------------------------------------------------ #
     # uniform accounting helpers

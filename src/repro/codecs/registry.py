@@ -99,12 +99,35 @@ def register_codec(name: str, factory: Callable[..., Codec], *,
 
 
 def available_codecs() -> list[str]:
-    """Names of all registered codecs, sorted alphabetically."""
+    """Names of all registered codecs.
+
+    Returns
+    -------
+    list of str
+        Canonical (lowercase) codec names, sorted alphabetically.
+    """
     return sorted(_REGISTRY)
 
 
 def codec_spec(name: str) -> CodecSpec:
-    """Return the :class:`CodecSpec` registered under ``name``."""
+    """Look up the registry entry for one codec.
+
+    Parameters
+    ----------
+    name:
+        Registered codec name (case-insensitive).
+
+    Returns
+    -------
+    CodecSpec
+        The immutable registry entry (factory, family, label, tune knob).
+
+    Raises
+    ------
+    repro.exceptions.InvalidParameterError
+        If no codec is registered under ``name``; the message lists every
+        registered codec and close-match suggestions.
+    """
     key = str(name).strip().lower()
     try:
         return _REGISTRY[key]
@@ -113,7 +136,19 @@ def codec_spec(name: str) -> CodecSpec:
 
 
 def codec_specs(family: str | None = None) -> list[CodecSpec]:
-    """All registered specs in registration order, optionally one family."""
+    """All registered specs, optionally restricted to one family.
+
+    Parameters
+    ----------
+    family:
+        When given, only specs whose ``family`` matches exactly.
+
+    Returns
+    -------
+    list of CodecSpec
+        In registration order (the paper's presentation order for the
+        built-ins), so derived listings are stable.
+    """
     specs = list(_REGISTRY.values())
     if family is None:
         return specs
@@ -121,7 +156,14 @@ def codec_specs(family: str | None = None) -> list[CodecSpec]:
 
 
 def codec_families() -> list[str]:
-    """Distinct codec families in first-registration order."""
+    """Distinct codec families.
+
+    Returns
+    -------
+    list of str
+        Family names in first-registration order (``raw``, ``lossless``,
+        ``cameo``, ``simplify``, ``model`` for the built-ins).
+    """
     seen: dict[str, None] = {}
     for spec in _REGISTRY.values():
         seen.setdefault(spec.family, None)
@@ -129,13 +171,35 @@ def codec_families() -> list[str]:
 
 
 def get_codec(name: str, **kwargs) -> Codec:
-    """Construct a registered codec by name, forwarding ``kwargs``.
+    """Construct a registered codec by name.
 
-    Built-in names: ``raw``, ``gorilla``, ``chimp``, ``cameo``, ``vw``,
-    ``tps``, ``tpm``, ``pipv``, ``pipe``, ``rdp``, ``pmc``, ``swing``,
-    ``simpiece``, ``fft``.  Unknown names raise
-    :class:`~repro.exceptions.InvalidParameterError` listing every
-    registered codec (and the closest matches, when any).
+    Parameters
+    ----------
+    name:
+        Registered codec name (case-insensitive).  Built-ins: ``raw``,
+        ``gorilla``, ``chimp``, ``cameo``, ``vw``, ``tps``, ``tpm``,
+        ``pipv``, ``pipe``, ``rdp``, ``pmc``, ``swing``, ``simpiece``,
+        ``fft``.
+    **kwargs:
+        Forwarded to the codec's factory (e.g. ``max_lag``/``epsilon`` for
+        ``cameo``, ``error_bound`` for the model codecs).
+
+    Returns
+    -------
+    Codec
+        A ready-to-use codec instance.
+
+    Raises
+    ------
+    repro.exceptions.InvalidParameterError
+        For unknown names; the error lists every registered codec (and the
+        closest matches, when any).
+
+    Examples
+    --------
+    >>> from repro.codecs import get_codec
+    >>> get_codec("cameo", max_lag=24, epsilon=0.02).name
+    'cameo'
     """
     return codec_spec(name).factory(**kwargs)
 

@@ -322,7 +322,38 @@ class CameoCompressor:
 
 def cameo_compress(series, max_lag: int, epsilon: float | None = 0.01, **kwargs
                    ) -> IrregularSeries:
-    """Functional convenience wrapper around :class:`CameoCompressor`.
+    """Compress a series with CAMEO (functional convenience wrapper).
+
+    Greedily removes the points whose linear re-interpolation perturbs the
+    tracked statistic (ACF by default, PACF with ``statistic="pacf"``) the
+    least, until removing any further point would violate ``epsilon``.
+
+    Parameters
+    ----------
+    series:
+        1-D array-like or :class:`repro.data.timeseries.TimeSeries`.
+    max_lag:
+        Number of lags ``L`` of the preserved statistic.
+    epsilon:
+        Maximum allowed statistic deviation (``None`` with a
+        ``target_ratio`` for compression-centric mode).
+    **kwargs:
+        Every :class:`CameoCompressor` option: ``metric``, ``statistic``,
+        ``agg_window``, ``agg``, ``blocking``, ``target_ratio``,
+        ``on_violation``, ``min_keep``.
+
+    Returns
+    -------
+    repro.data.timeseries.IrregularSeries
+        The retained points.  ``metadata`` carries the run statistics
+        (``achieved_deviation``, ``stopped_by``, ``kept_points``, ...) and
+        the reference statistic; ``decompress()`` rebuilds the full-length
+        reconstruction; ``compression_ratio()`` reports ``n / n'``.
+
+    See Also
+    --------
+    CameoCompressor : the configurable class behind this wrapper.
+    repro.codecs.get_codec : the same method behind the unified codec layer.
 
     Examples
     --------

@@ -26,6 +26,7 @@ downstream call takes the pre-resolved object.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable
 
 import numpy as np
@@ -47,7 +48,10 @@ __all__ = [
 _VECTORISED_METRICS = {"mae", "cheb", "chebyshev", "max", "rmse", "mse"}
 
 #: Upper bound on ``total_positions * max_lag`` per vectorized block in
-#: :func:`batched_contiguous_acf`; keeps peak temp memory at a few dozen MB.
+#: :func:`batched_contiguous_acf`.  Bounds both the per-call working set and
+#: the thread-local scratch pool retained across ReHeap calls (a few dozen
+#: MB; blocks forced larger by a single long segment use a one-off scratch
+#: that is not retained).
 _MAX_BLOCK_CELLS = 1 << 21
 
 
@@ -250,9 +254,72 @@ def batched_contiguous_acf(state: ACFAggregateState, lengths, positions, deltas
     return out
 
 
+class _BlockScratch:
+    """Reusable ``(T, L)`` scratch buffers for :func:`_contiguous_acf_block`.
+
+    One ReHeap call allocated ~8 ``(T, L)`` temporaries; the pool keeps a
+    float64, two int64, and two bool buffers per ``(thread, L)`` and grows
+    their row capacity geometrically, so steady-state ReHeap calls allocate
+    no ``(T, L)`` arrays at all.
+    """
+
+    __slots__ = ("rows", "f1", "f2", "i1", "i2", "b1", "b2")
+
+    def __init__(self, rows: int, num_lags: int):
+        self.rows = rows
+        self.f1 = np.empty((rows, num_lags), dtype=np.float64)
+        self.f2 = np.empty((rows, num_lags), dtype=np.float64)
+        self.i1 = np.empty((rows, num_lags), dtype=np.int64)
+        self.i2 = np.empty((rows, num_lags), dtype=np.int64)
+        self.b1 = np.empty((rows, num_lags), dtype=bool)
+        self.b2 = np.empty((rows, num_lags), dtype=bool)
+
+
+_block_scratch_tls = threading.local()
+
+
+def _block_scratch(rows: int, num_lags: int) -> _BlockScratch:
+    """Fetch (or grow) this thread's scratch pool for ``num_lags`` lags.
+
+    The retained pool is bounded by roughly ``2 * _MAX_BLOCK_CELLS`` cells
+    per ``(thread, num_lags)`` pair: blocks forced larger than that by a
+    single long segment get a one-off scratch that is not kept, so a
+    long-lived process cannot accumulate unbounded buffers.
+    """
+    pools = getattr(_block_scratch_tls, "pools", None)
+    if pools is None:
+        pools = {}
+        _block_scratch_tls.pools = pools
+    scratch = pools.get(num_lags)
+    if scratch is None or scratch.rows < rows:
+        capacity = max(rows, 2 * scratch.rows) if scratch is not None else rows
+        scratch = _BlockScratch(capacity, num_lags)
+        if capacity * num_lags <= 2 * _MAX_BLOCK_CELLS:
+            pools[num_lags] = scratch
+    return scratch
+
+
+def _masked_segment_sums(values, mask: np.ndarray, scratch_rows: np.ndarray,
+                         offsets: np.ndarray) -> np.ndarray:
+    """``np.add.reduceat(np.where(mask, values, 0.0), offsets, axis=0)``
+    without allocating the masked ``(T, L)`` temporary.
+
+    Multiplying by the boolean mask zeroes the masked slots in one pass;
+    the products differ from ``np.where`` only in the sign of masked zeros,
+    which cannot change the segment sums' final values.
+    """
+    np.multiply(values, mask, out=scratch_rows)
+    return np.add.reduceat(scratch_rows, offsets, axis=0)
+
+
 def _contiguous_acf_block(state: ACFAggregateState, lens: np.ndarray,
                           positions: np.ndarray, deltas: np.ndarray) -> np.ndarray:
-    """One vectorized block of :func:`batched_contiguous_acf`."""
+    """One vectorized block of :func:`batched_contiguous_acf`.
+
+    All ``(T, L)`` intermediates live in the thread-local scratch pool
+    (:func:`_block_scratch`); the arithmetic — and therefore the result, bit
+    for bit — matches the original allocation-per-call formulation.
+    """
     sums = state.sums
     lags = state.lags
     counts = sums.counts
@@ -261,24 +328,40 @@ def _contiguous_acf_block(state: ACFAggregateState, lens: np.ndarray,
     num_segments = lens.size
     offsets = np.concatenate(([0], np.cumsum(lens[:-1])))
 
+    total = positions.size
+    scratch = _block_scratch(total, lags.size)
+    f1 = scratch.f1[:total]
+    f2 = scratch.f2[:total]
+    i1 = scratch.i1[:total]
+    i2 = scratch.i2[:total]
+    b1 = scratch.b1[:total]
+    b2 = scratch.b2[:total]
+
     pos = positions[:, np.newaxis]                   # (T, 1)
     delta = deltas[:, np.newaxis]                    # (T, 1)
-    head = pos + lags[np.newaxis, :] <= n - 1        # (T, L)
-    tail = pos - lags[np.newaxis, :] >= 0
+    np.add(pos, lags[np.newaxis, :], out=i1)         # pos + lag
+    np.subtract(pos, lags[np.newaxis, :], out=i2)    # pos - lag
+    head = np.less_equal(i1, n - 1, out=b1)          # (T, L)
+    tail = np.greater_equal(i2, 0, out=b2)
 
     own = current[pos]
     square_term = delta * (2.0 * own + delta)
 
-    reduce = np.add.reduceat
-    d_sx = reduce(np.where(head, delta, 0.0), offsets, axis=0)
-    d_sxl = reduce(np.where(tail, delta, 0.0), offsets, axis=0)
-    d_sx2 = reduce(np.where(head, square_term, 0.0), offsets, axis=0)
-    d_sx2l = reduce(np.where(tail, square_term, 0.0), offsets, axis=0)
+    d_sx = _masked_segment_sums(delta, head, f1, offsets)
+    d_sxl = _masked_segment_sums(delta, tail, f1, offsets)
+    d_sx2 = _masked_segment_sums(square_term, head, f1, offsets)
+    d_sx2l = _masked_segment_sums(square_term, tail, f1, offsets)
 
-    right_idx = np.minimum(pos + lags[np.newaxis, :], n - 1)
-    left_idx = np.maximum(pos - lags[np.newaxis, :], 0)
-    d_head = reduce(np.where(head, delta * current[right_idx], 0.0), offsets, axis=0)
-    d_tail = reduce(np.where(tail, delta * current[left_idx], 0.0), offsets, axis=0)
+    # Indices are pre-clipped into range, so mode="clip" is semantically a
+    # no-op; it lets np.take skip the slow bounds-checked buffered path.
+    right_idx = np.minimum(i1, n - 1, out=i1)
+    left_idx = np.maximum(i2, 0, out=i2)
+    np.take(current, right_idx, out=f2, mode="clip")
+    np.multiply(delta, f2, out=f2)                   # delta * current[right]
+    d_head = _masked_segment_sums(f2, head, f1, offsets)
+    np.take(current, left_idx, out=f2, mode="clip")
+    np.multiply(delta, f2, out=f2)                   # delta * current[left]
+    d_tail = _masked_segment_sums(f2, tail, f1, offsets)
 
     new_sx = sums.sx + d_sx
     new_sxl = sums.sxl + d_sxl
@@ -294,7 +377,6 @@ def _contiguous_acf_block(state: ACFAggregateState, lens: np.ndarray,
     # (T, L) partner gather + segment-reduce covers every lag at once.
     max_len = int(lens.max())
     if max_len > 1:
-        total = deltas.size
         segment_ids = np.repeat(np.arange(num_segments, dtype=np.int64), lens)
         num_cross_lags = min(max_len - 1, lags.size)
         if num_cross_lags <= 8:
@@ -310,13 +392,16 @@ def _contiguous_acf_block(state: ACFAggregateState, lens: np.ndarray,
                     minlength=num_segments)
             new_sxxl = new_sxxl + cross
         else:
-            partner = (np.arange(total, dtype=np.int64)[:, np.newaxis]
-                       + lags[np.newaxis, :])
-            in_range = partner < total
+            partner = np.add(np.arange(total, dtype=np.int64)[:, np.newaxis],
+                             lags[np.newaxis, :], out=i1)
+            in_range = np.less(partner, total, out=b1)
             np.minimum(partner, total - 1, out=partner)
-            pair = in_range & (segment_ids[partner] == segment_ids[:, np.newaxis])
-            products = np.where(pair, deltas[:, np.newaxis] * deltas[partner], 0.0)
-            new_sxxl = new_sxxl + reduce(products, offsets, axis=0)
+            np.take(segment_ids, partner, out=i2, mode="clip")
+            pair = np.equal(i2, segment_ids[:, np.newaxis], out=b2)
+            np.logical_and(pair, in_range, out=pair)
+            np.take(deltas, partner, out=f2, mode="clip")
+            np.multiply(deltas[:, np.newaxis], f2, out=f2)
+            new_sxxl = new_sxxl + _masked_segment_sums(f2, pair, f1, offsets)
 
     numerator = counts * new_sxxl - new_sx * new_sxl
     var_head = counts * new_sx2 - new_sx * new_sx

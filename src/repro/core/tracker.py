@@ -20,7 +20,7 @@ import numpy as np
 
 from ..exceptions import InvalidParameterError
 from ..stats.aggregates import ACFAggregateState
-from ..stats.pacf import pacf_from_acf
+from ..stats.pacf import pacf_from_acf, pacf_from_acf_batched
 from ..stats.windowed import AggregatedACFState
 from .impact import (
     batched_contiguous_acf,
@@ -93,13 +93,15 @@ class StatisticTracker:
         return acf_vector
 
     def _to_statistic_rows(self, acf_matrix: np.ndarray) -> np.ndarray:
-        """Row-wise statistic transform of a ``(k, L)`` ACF matrix."""
+        """Row-wise statistic transform of a ``(k, L)`` ACF matrix.
+
+        For ``statistic="pacf"`` this is the batched Durbin-Levinson kernel
+        — one vectorized recursion over all rows, bit-identical to applying
+        :func:`repro.stats.pacf.pacf_from_acf` row by row.
+        """
         if self._statistic != "pacf":
             return acf_matrix
-        out = np.empty_like(acf_matrix)
-        for index in range(acf_matrix.shape[0]):
-            out[index] = pacf_from_acf(acf_matrix[index])
-        return out
+        return pacf_from_acf_batched(acf_matrix)
 
     def current_statistic(self) -> np.ndarray:
         """Statistic of the current reconstructed series."""
@@ -238,9 +240,9 @@ class StatisticTracker:
         """Impact of removing each interior point in isolation.
 
         Returns ``(positions, impacts)`` for positions ``1..n-2``.  The fast
-        vectorised path applies when the statistic is the ACF and the
-        aggregation is linear (raw series, or mean/sum windows); otherwise a
-        per-point preview loop is used.
+        vectorised path applies when the aggregation is linear (raw series,
+        or mean/sum windows) — for both the ACF and the PACF statistic;
+        otherwise a per-point preview loop is used (max/min windows).
         """
         metric = resolve_rowwise_metric(metric)
         values = self.current_values
@@ -248,30 +250,54 @@ class StatisticTracker:
         if positions.size == 0:
             return positions, np.empty(0, dtype=np.float64)
 
-        if self._statistic == "acf" and self._agg_window == 1:
-            impacts = batched_single_change_impacts(
-                self._state, positions, deltas, self._reference, metric)
+        if self._agg_window == 1:
+            impacts = self._single_change_impacts(self._state, positions, deltas,
+                                                  metric)
             return positions, impacts
 
-        if (self._statistic == "acf" and isinstance(self._state, AggregatedACFState)
+        if (isinstance(self._state, AggregatedACFState)
                 and self._state.agg in ("mean", "sum")):
             scale = 1.0 / self._state.window if self._state.agg == "mean" else 1.0
             window_positions = positions // self._state.window
             in_range = window_positions < self._state.num_windows
             impacts = np.zeros(positions.size, dtype=np.float64)
             if in_range.any():
-                impacts[in_range] = batched_single_change_impacts(
+                impacts[in_range] = self._single_change_impacts(
                     self._state.inner, window_positions[in_range],
-                    deltas[in_range] * scale, self._reference, metric)
+                    deltas[in_range] * scale, metric)
             # Points in the trailing partial window do not move the
             # aggregated ACF at all; their impact is the current deviation.
             if (~in_range).any():
                 impacts[~in_range] = self.deviation(metric, self.current_statistic())
             return positions, impacts
 
-        # Generic fallback: per-point preview (PACF and max/min aggregations).
+        # Generic fallback: per-point preview (max/min aggregations).
         impacts = np.empty(positions.size, dtype=np.float64)
         for index, (position, delta) in enumerate(zip(positions, deltas)):
             stat = self.preview(int(position), np.asarray([delta]))
             impacts[index] = self.deviation(metric, stat)
         return positions, impacts
+
+    def _single_change_impacts(self, state: ACFAggregateState, positions: np.ndarray,
+                               deltas: np.ndarray, metric) -> np.ndarray:
+        """Impacts of many independent single-point changes on ``state``.
+
+        The ACF statistic uses the closed-form single-change kernel of
+        Algorithm 2 directly.  The PACF statistic needs the candidate ACF
+        *rows* (to run the batched Durbin-Levinson transform on them), so it
+        evaluates the same arithmetic through the contiguous kernel with
+        length-1 segments — bit-identical ACF rows — in bounded chunks.
+        """
+        if self._statistic == "acf":
+            return batched_single_change_impacts(state, positions, deltas,
+                                                 self._reference, metric)
+        chunk_size = 16384
+        impacts = np.empty(positions.size, dtype=np.float64)
+        for start in range(0, positions.size, chunk_size):
+            stop = min(start + chunk_size, positions.size)
+            acf_rows = batched_contiguous_acf(
+                state, np.ones(stop - start, dtype=np.int64),
+                positions[start:stop], deltas[start:stop])
+            impacts[start:stop] = metric.rowwise(
+                self._reference, self._to_statistic_rows(acf_rows))
+        return impacts

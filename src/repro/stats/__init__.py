@@ -7,7 +7,7 @@ used by CAMEO to re-evaluate the ACF in O(L) after every point removal
 """
 
 from .acf import acf, acf_from_sums, lagged_pearson_acf, stationary_acf
-from .pacf import pacf, pacf_from_acf
+from .pacf import pacf, pacf_from_acf, pacf_from_acf_batched
 from .aggregates import ACFAggregateState, LagSums
 from .descriptors import (
     AcfStatistic,
@@ -31,6 +31,7 @@ __all__ = [
     "acf_from_sums",
     "pacf",
     "pacf_from_acf",
+    "pacf_from_acf_batched",
     "ACFAggregateState",
     "LagSums",
     "AggregatedACFState",

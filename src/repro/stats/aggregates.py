@@ -160,7 +160,13 @@ class ACFAggregateState:
         return self._acf_from(self._sums)
 
     def pacf(self) -> np.ndarray:
-        """PACF of the current reconstructed series (Durbin-Levinson)."""
+        """PACF of the current reconstructed series.
+
+        Runs the Durbin-Levinson recursion on :meth:`acf` through the
+        batched kernel (:func:`repro._kernels.pacf.pacf_from_acf_batched`),
+        so scalar evaluations and the compressor's batched ReHeap rows are
+        bit-identical.
+        """
         return pacf_from_acf(self.acf())
 
     @staticmethod

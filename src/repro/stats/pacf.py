@@ -4,16 +4,23 @@ The PACF at lag ``l`` is the last coefficient ``phi_{l,l}`` of the best linear
 predictor of order ``l``.  The recursion runs in ``O(L^2)`` given the ACF for
 lags ``1..L``, which is why the paper reports a roughly 6x slowdown when CAMEO
 preserves the PACF instead of the ACF.
+
+Both entry points route through the *batched* Durbin-Levinson kernel
+(:func:`repro._kernels.pacf.pacf_from_acf_batched`), which vectorizes the
+recursion over rows; the pre-vectorization per-row recursion is preserved as
+:func:`repro._kernels.reference.reference_pacf_from_acf` and the batched
+kernel is cross-checked against it bit for bit.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from .._kernels.pacf import pacf_from_acf_batched
 from .._validation import as_float_array
 from .acf import acf as _acf
 
-__all__ = ["pacf_from_acf", "pacf"]
+__all__ = ["pacf_from_acf", "pacf_from_acf_batched", "pacf"]
 
 
 def pacf_from_acf(acf_values) -> np.ndarray:
@@ -26,39 +33,48 @@ def pacf_from_acf(acf_values) -> np.ndarray:
                   (1 - sum_k phi_{l-1,k} ACF_k)``
     ``phi_{l,k} = phi_{l-1,k} - phi_{l,l} phi_{l-1,l-k}``
 
+    Parameters
+    ----------
+    acf_values:
+        ACF vector for lags ``1..L`` (1-D, non-empty).
+
+    Returns
+    -------
+    numpy.ndarray
+        PACF vector for lags ``1..L``.
+
+    Notes
+    -----
     Degenerate denominators (close to zero) yield a PACF of 0 at that lag and
     the recursion continues, which keeps the function total on every input —
     important because CAMEO evaluates it on perturbed ACF vectors.
+
+    This is the single-row entry of the batched kernel, so scalar previews
+    and batched ReHeap evaluations are bit-identical by construction.
     """
     rho = np.asarray(acf_values, dtype=np.float64)
     if rho.ndim != 1 or rho.size == 0:
         raise ValueError("acf_values must be a non-empty 1-D array")
-    max_lag = rho.size
-    pacf_values = np.zeros(max_lag, dtype=np.float64)
-    # phi[k] holds phi_{l-1, k+1} for k = 0..l-2 at the start of iteration l.
-    phi_prev = np.zeros(max_lag, dtype=np.float64)
-    phi_curr = np.zeros(max_lag, dtype=np.float64)
-
-    pacf_values[0] = rho[0]
-    phi_prev[0] = rho[0]
-
-    for lag in range(2, max_lag + 1):
-        k = np.arange(1, lag)
-        numerator = rho[lag - 1] - float(np.dot(phi_prev[: lag - 1], rho[lag - 1 - k]))
-        denominator = 1.0 - float(np.dot(phi_prev[: lag - 1], rho[k - 1]))
-        if abs(denominator) < 1e-12:
-            phi_ll = 0.0
-        else:
-            phi_ll = numerator / denominator
-        pacf_values[lag - 1] = phi_ll
-        phi_curr[: lag - 1] = phi_prev[: lag - 1] - phi_ll * phi_prev[: lag - 1][::-1]
-        phi_curr[lag - 1] = phi_ll
-        phi_prev, phi_curr = phi_curr.copy(), phi_prev
-    return pacf_values
+    return pacf_from_acf_batched(rho[np.newaxis, :])[0]
 
 
 def pacf(values, max_lag: int, *, method: str = "pearson") -> np.ndarray:
-    """PACF for lags ``1..max_lag`` computed from the series directly."""
+    """PACF for lags ``1..max_lag`` computed from the series directly.
+
+    Parameters
+    ----------
+    values:
+        Input series (1-D array-like).
+    max_lag:
+        Number of lags ``L``.
+    method:
+        ACF estimator passed through to :func:`repro.stats.acf.acf`.
+
+    Returns
+    -------
+    numpy.ndarray
+        PACF vector for lags ``1..max_lag``.
+    """
     x = as_float_array(values)
     rho = _acf(x, max_lag, method=method)
     return pacf_from_acf(rho)

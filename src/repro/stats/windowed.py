@@ -149,7 +149,7 @@ class AggregatedACFState:
         return self._inner.acf()
 
     def pacf(self) -> np.ndarray:
-        """PACF of the aggregated series."""
+        """PACF of the aggregated series (batched Durbin-Levinson kernel)."""
         return self._inner.pacf()
 
     # ------------------------------------------------------------------ #

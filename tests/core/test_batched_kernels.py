@@ -276,6 +276,8 @@ class TestCompressorEquivalence:
         dict(max_lag=12, epsilon=0.05),
         dict(max_lag=8, epsilon=0.08, statistic="pacf"),
         dict(max_lag=6, epsilon=0.05, agg_window=4),
+        dict(max_lag=6, epsilon=0.06, statistic="pacf", agg_window=4),
+        dict(max_lag=10, epsilon=0.1, statistic="pacf", metric="cheb"),
         dict(max_lag=12, epsilon=0.1, metric="cheb"),
         dict(max_lag=12, epsilon=None, target_ratio=3.0),
     ])

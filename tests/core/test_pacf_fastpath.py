@@ -1,0 +1,154 @@
+"""Equivalence and regression tests for the vectorized PACF tracking path.
+
+Three layers of protection for ``statistic="pacf"``:
+
+* the tracker's batched statistic transform must equal applying
+  :func:`repro.stats.pacf.pacf_from_acf` row by row, bit for bit;
+* the vectorized initial-impacts path must match the per-point preview loop
+  it replaced;
+* fixed-seed CAMEO runs must keep exactly the point sets recorded from the
+  pre-vectorization implementation (the seed behaviour) — for the ACF too,
+  since both statistics share the fused ReHeap kernels.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.core import CameoCompressor
+from repro.core.impact import resolve_rowwise_metric
+from repro.core.tracker import StatisticTracker
+from repro.stats import pacf_from_acf
+
+
+def _series(seed: int, n: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return (3.0 + np.sin(2 * np.pi * t / 24) + 0.4 * np.sin(2 * np.pi * t / 160)
+            + rng.normal(0.0, 0.3, n))
+
+
+class TestTrackerStatisticRows:
+    @pytest.mark.parametrize("agg_window", [1, 6])
+    def test_batched_rows_match_per_row_transform(self, agg_window):
+        x = _series(2, 480)
+        tracker = StatisticTracker(x, 10, statistic="pacf", agg_window=agg_window)
+        rng = np.random.default_rng(5)
+        acf_rows = np.clip(rng.normal(0.0, 0.4, (37, tracker.max_lag)), -1.0, 1.0)
+        batched = tracker._to_statistic_rows(acf_rows)
+        for index in range(acf_rows.shape[0]):
+            assert np.array_equal(batched[index], pacf_from_acf(acf_rows[index]))
+
+    def test_acf_rows_pass_through_untouched(self):
+        x = _series(2, 300)
+        tracker = StatisticTracker(x, 8, statistic="acf")
+        rows = np.zeros((4, 8))
+        assert tracker._to_statistic_rows(rows) is rows
+
+
+class TestPacfInitialImpacts:
+    @pytest.mark.parametrize("kwargs", [
+        {"statistic": "pacf"},
+        {"statistic": "pacf", "agg_window": 5},
+        {"statistic": "pacf", "agg_window": 5, "agg": "sum"},
+    ])
+    def test_vectorized_path_matches_per_point_previews(self, kwargs):
+        x = _series(9, 360)
+        tracker = StatisticTracker(x, 7, **kwargs)
+        metric = resolve_rowwise_metric("mae")
+        positions, impacts = tracker.initial_impacts(metric)
+        assert positions.size == x.size - 2
+        from repro.core.impact import initial_interpolation_deltas
+
+        _, deltas = initial_interpolation_deltas(tracker.current_values)
+        for index in (0, 1, 57, 178, 200, positions.size - 1):
+            expected = tracker.deviation(
+                metric, tracker.preview(int(positions[index]),
+                                        np.asarray([deltas[index]])))
+            assert impacts[index] == pytest.approx(expected, abs=1e-10)
+
+    def test_trailing_partial_window_gets_current_deviation(self):
+        # n not divisible by agg_window: the interior points that fall into
+        # the incomplete trailing window cannot move the aggregated
+        # statistic, so their impact must be the current deviation — for
+        # the vectorized path exactly as for the per-point preview loop it
+        # replaced.
+        x = _series(4, 362)
+        tracker = StatisticTracker(x, 6, statistic="pacf", agg_window=5)
+        assert tracker.current_values.size % 5 != 0
+        metric = resolve_rowwise_metric("mae")
+        positions, impacts = tracker.initial_impacts(metric)
+        from repro.core.impact import initial_interpolation_deltas
+
+        _, deltas = initial_interpolation_deltas(tracker.current_values)
+        num_windows = 362 // 5
+        trailing = np.flatnonzero(positions // 5 >= num_windows)
+        assert trailing.size > 0, "fixture must cover the partial window"
+        current_deviation = tracker.deviation(metric, tracker.current_statistic())
+        for index in trailing:
+            assert impacts[index] == current_deviation
+            expected = tracker.deviation(
+                metric, tracker.preview(int(positions[index]),
+                                        np.asarray([deltas[index]])))
+            assert impacts[index] == pytest.approx(expected, abs=1e-12)
+
+    def test_max_aggregation_still_uses_preview_loop(self):
+        # max/min windows have no linear change translation; the fallback
+        # must keep producing exact per-point previews.
+        x = _series(9, 300)
+        tracker = StatisticTracker(x, 5, statistic="pacf", agg_window=5, agg="max")
+        metric = resolve_rowwise_metric("mae")
+        positions, impacts = tracker.initial_impacts(metric)
+        from repro.core.impact import initial_interpolation_deltas
+
+        _, deltas = initial_interpolation_deltas(tracker.current_values)
+        for index in (0, 100, positions.size - 1):
+            expected = tracker.deviation(
+                metric, tracker.preview(int(positions[index]),
+                                        np.asarray([deltas[index]])))
+            assert impacts[index] == pytest.approx(expected, abs=1e-12)
+
+
+class TestFixedSeedKeptSetRegression:
+    """Kept-point sets recorded from the pre-vectorization implementation.
+
+    The full index lists (small configs) and SHA-256 digests (larger ones)
+    below were captured by running the per-row/per-point implementation this
+    PR replaced, on the exact series built by ``_series``.  Any change to
+    these sets means the fast path no longer reproduces seed behaviour.
+    """
+
+    EXPECTED_ACF_BASIC = [0, 18, 27, 44, 58, 66, 78, 96, 103, 105, 145, 150,
+                          161, 175, 185, 201, 210, 220, 234, 248, 255, 269,
+                          282, 290, 297, 305, 317, 327, 359, 375, 391, 399]
+    EXPECTED_PACF_BASIC = [0, 1, 2, 3, 19, 93, 99, 100, 103, 105, 256, 269,
+                           282, 284, 285, 287, 290, 291, 292, 308, 399]
+
+    def test_acf_basic_kept_set(self):
+        result = CameoCompressor(max_lag=12, epsilon=0.05).compress(_series(21, 400))
+        assert result.indices.tolist() == self.EXPECTED_ACF_BASIC
+        assert result.metadata["stopped_by"] == "error-bound"
+
+    def test_pacf_basic_kept_set(self):
+        result = CameoCompressor(max_lag=8, epsilon=0.08,
+                                 statistic="pacf").compress(_series(21, 400))
+        assert result.indices.tolist() == self.EXPECTED_PACF_BASIC
+        assert result.metadata["stopped_by"] == "error-bound"
+
+    @pytest.mark.parametrize("kwargs,seed,n,kept,digest,stopped_by", [
+        (dict(max_lag=12, epsilon=0.02, statistic="pacf"),
+         5, 800, 268, "07726af6dd331173", "error-bound"),
+        (dict(max_lag=6, epsilon=0.05, statistic="pacf", agg_window=4),
+         11, 640, 64, "c68148c3f0f3911e", "error-bound"),
+        (dict(max_lag=8, epsilon=0.04, statistic="pacf", on_violation="skip"),
+         19, 500, 69, "f4ad29f8e67cabf4", "heap-exhausted"),
+    ], ids=["pacf-tight", "pacf-agg", "pacf-skip"])
+    def test_pacf_kept_set_digests(self, kwargs, seed, n, kept, digest, stopped_by):
+        result = CameoCompressor(**kwargs).compress(_series(seed, n))
+        indices = np.asarray(result.indices, dtype=np.int64)
+        assert indices.size == kept
+        assert hashlib.sha256(indices.tobytes()).hexdigest()[:16] == digest
+        assert result.metadata["stopped_by"] == stopped_by

@@ -1,0 +1,106 @@
+"""Property tests: batched Durbin-Levinson vs the per-row reference.
+
+The batched kernel (:func:`repro._kernels.pacf.pacf_from_acf_batched`) must
+reproduce the preserved per-row recursion
+(:func:`repro._kernels.reference.reference_pacf_from_acf`) **bit for bit** on
+every input — the greedy compressor amplifies last-bit differences into
+different kept-point sets, so approximate agreement is not enough.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._kernels.pacf import pacf_from_acf_batched
+from repro._kernels.reference import reference_pacf_from_acf
+from repro.stats import acf, pacf_from_acf
+
+
+def _assert_rows_bit_identical(rows: np.ndarray) -> None:
+    batched = pacf_from_acf_batched(rows)
+    for index in range(rows.shape[0]):
+        expected = reference_pacf_from_acf(rows[index])
+        assert np.array_equal(batched[index], expected, equal_nan=True), (
+            f"row {index} differs from the per-row reference")
+
+
+class TestBatchedMatchesReferenceBitForBit:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rows=st.integers(min_value=1, max_value=24),
+        max_lag=st.integers(min_value=1, max_value=64),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        scale=st.floats(min_value=0.01, max_value=2.0),
+    )
+    def test_random_rows(self, rows, max_lag, seed, scale):
+        rng = np.random.default_rng(seed)
+        matrix = rng.normal(0.0, scale, (rows, max_lag))
+        _assert_rows_bit_identical(matrix)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        phi=st.floats(min_value=0.99, max_value=1.0 - 1e-12),
+        max_lag=st.integers(min_value=2, max_value=48),
+    )
+    def test_near_unit_root_rows(self, phi, max_lag):
+        # AR(1) with phi -> 1: the ACF decays so slowly the DL denominator
+        # approaches its degenerate guard.  The kernels must still agree.
+        lags = np.arange(1, max_lag + 1, dtype=np.float64)
+        rows = np.vstack([phi ** lags,
+                          np.clip(phi ** lags + 1e-9, None, 1.0),
+                          np.full(max_lag, phi)])
+        _assert_rows_bit_identical(rows)
+
+    def test_constant_series_acf_rows(self):
+        # A constant series has zero variance, so its lagged-Pearson ACF is
+        # the all-zeros vector; the PACF must be all zeros too (not NaN).
+        rho = acf(np.full(256, 3.25), 12)
+        assert np.array_equal(rho, np.zeros(12))
+        rows = np.vstack([rho, rho])
+        _assert_rows_bit_identical(rows)
+        assert np.array_equal(pacf_from_acf_batched(rows), np.zeros((2, 12)))
+
+    def test_degenerate_all_ones_rows(self):
+        # ACF identically 1 collapses the DL denominator; the guard yields 0
+        # at the affected lags and the recursion stays finite.
+        rows = np.ones((3, 8))
+        _assert_rows_bit_identical(rows)
+        assert np.all(np.isfinite(pacf_from_acf_batched(rows)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(max_lag=st.integers(min_value=1, max_value=64),
+           seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_scalar_entry_is_single_row_of_batched(self, max_lag, seed):
+        rng = np.random.default_rng(seed)
+        rho = rng.normal(0.0, 0.5, max_lag)
+        scalar = pacf_from_acf(rho)
+        batched = pacf_from_acf_batched(rho[np.newaxis, :])[0]
+        reference = reference_pacf_from_acf(rho)
+        assert np.array_equal(scalar, batched, equal_nan=True)
+        assert np.array_equal(scalar, reference, equal_nan=True)
+
+
+class TestBatchedKernelApi:
+    def test_rejects_non_matrix_input(self):
+        with pytest.raises(ValueError):
+            pacf_from_acf_batched(np.ones(5))
+        with pytest.raises(ValueError):
+            pacf_from_acf_batched(np.empty((3, 0)))
+
+    def test_zero_rows_allowed(self):
+        out = pacf_from_acf_batched(np.empty((0, 7)))
+        assert out.shape == (0, 7)
+
+    def test_input_rows_are_not_mutated(self):
+        rng = np.random.default_rng(0)
+        rows = rng.normal(0.0, 0.4, (5, 10))
+        snapshot = rows.copy()
+        pacf_from_acf_batched(rows)
+        assert np.array_equal(rows, snapshot)
+
+    def test_lag_one_matrix_is_identity(self):
+        rows = np.array([[0.3], [-0.8], [1.5]])
+        assert np.array_equal(pacf_from_acf_batched(rows), rows)

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Intra-repo link checker for the markdown docs (no Sphinx required).
+
+Scans ``README.md`` and ``docs/*.md`` (plus any extra files given on the
+command line) for inline markdown links/images and verifies that every
+*relative* target resolves to an existing file or directory in the
+repository.  External links (``http(s)://``, ``mailto:``) and pure anchors
+(``#section``) are ignored; a ``path#fragment`` target is checked for the
+path part only.
+
+Usage::
+
+    python tools/check_links.py            # check README.md + docs/*.md
+    python tools/check_links.py FILE...    # check the given files instead
+
+Exit status 0 when every link resolves, 1 otherwise (broken links are
+listed on stderr).  CI runs this as the docs job; the tier-1 suite runs it
+in-process via ``tests/docs/test_docs.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline links and images: ``[text](target)`` / ``![alt](target)``.
+#: Targets never contain unescaped parentheses in this repo's docs.
+_LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: Schemes that are not filesystem targets.
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def default_files() -> list[Path]:
+    """README.md plus every markdown page under docs/."""
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def iter_links(markdown: str):
+    """Yield every inline link target, with fenced code blocks removed."""
+    # Strip fenced code blocks so example snippets cannot register links.
+    stripped = re.sub(r"```.*?```", "", markdown, flags=re.DOTALL)
+    # Strip inline code spans for the same reason.  Spans must stay within
+    # one line: letting them match across newlines would make a single
+    # unpaired backtick silently swallow — and un-check — everything up to
+    # the next backtick in the file.
+    stripped = re.sub(r"`[^`\n]*`", "", stripped)
+    for match in _LINK_PATTERN.finditer(stripped):
+        yield match.group(1)
+
+
+def check_file(path: Path) -> list[str]:
+    """Return human-readable problems for one markdown file."""
+    try:
+        label = str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        label = str(path)
+    problems: list[str] = []
+    for target in iter_links(path.read_text(encoding="utf-8")):
+        if target.startswith(_EXTERNAL_PREFIXES) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        if relative.startswith("/"):
+            # Root-relative links resolve against the repo root (GitHub's
+            # rendering), not the filesystem root.
+            resolved = (REPO_ROOT / relative.lstrip("/")).resolve()
+        else:
+            resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            problems.append(f"{label}: broken link -> {target}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    files = [Path(arg).resolve() for arg in argv] if argv else default_files()
+    problems: list[str] = []
+    for path in files:
+        if not path.exists():
+            problems.append(f"{path}: file does not exist")
+            continue
+        problems.extend(check_file(path))
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        print(f"{len(problems)} broken link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} file(s): all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

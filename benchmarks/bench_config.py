@@ -69,3 +69,27 @@ PERF_MIN_BITSTREAM_SPEEDUP = 5.0
 #: machines where an absolute baseline is meaningless.
 SEED_CAMEO_POINTS_PER_SEC = 169.0
 PERF_MIN_CAMEO_SPEEDUP = 2.0
+
+# --------------------------------------------------------------------- #
+# speculative-batch loop (PR 4)
+# --------------------------------------------------------------------- #
+
+#: Required in-process speedup of the speculative multi-pop loop (default
+#: ``batch_size``) over the reconstructed PR 3 loop — ``batch_size=1`` on
+#: the preserved reference heap and reference ReHeap kernel, measured in
+#: the same run (hardware-independent).
+PERF_MIN_CAMEO_SPECULATIVE_SPEEDUP = 1.5
+
+#: Heap size for the bulk-update benchmark (one full re-key of the heap,
+#: the workload the argsort rebuild targets) and its regression floor
+#: against the preserved list-based reference heap.
+PERF_HEAP_CAPACITY = 10_000
+PERF_HEAP_REKEY_ROUNDS = 10
+PERF_MIN_HEAP_BULK_SPEEDUP = 3.0
+
+#: Neighbour-hops benchmark: resolve the blocking neighbourhoods of a batch
+#: of indices on a heavily compacted list (90% removed), batched gather vs
+#: the scalar pointer chase per index.
+PERF_HOPS_BATCH_INDICES = 16
+PERF_HOPS_H = 67
+PERF_MIN_HOPS_BATCH_SPEEDUP = 1.5

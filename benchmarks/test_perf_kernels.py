@@ -27,10 +27,17 @@ from bench_config import (
     PERF_CAMEO_PACF_LENGTH,
     PERF_CAMEO_PACF_MAX_LAG,
     PERF_CODEC_LENGTH,
+    PERF_HEAP_CAPACITY,
+    PERF_HEAP_REKEY_ROUNDS,
+    PERF_HOPS_BATCH_INDICES,
+    PERF_HOPS_H,
     PERF_MARKER,
     PERF_MIN_BITSTREAM_SPEEDUP,
     PERF_MIN_CAMEO_SPEEDUP,
+    PERF_MIN_CAMEO_SPECULATIVE_SPEEDUP,
     PERF_MIN_CODEC_SPEEDUP,
+    PERF_MIN_HEAP_BULK_SPEEDUP,
+    PERF_MIN_HOPS_BATCH_SPEEDUP,
     PERF_MIN_PACF_SPEEDUP,
     PERF_PACF_MAX_LAG,
     PERF_PACF_ROWS,
@@ -40,6 +47,8 @@ from repro._kernels import BlockBitReader, BlockBitWriter, pacf_from_acf_batched
 from repro._kernels.reference import (
     ReferenceBitReader,
     ReferenceBitWriter,
+    ReferenceIndexedMinHeap,
+    reference_batched_contiguous_acf,
     reference_chimp_decode,
     reference_chimp_encode,
     reference_gorilla_decode,
@@ -48,6 +57,8 @@ from repro._kernels.reference import (
 )
 from repro.benchlib import PerfReport, bench
 from repro.core import cameo_compress
+from repro.core.heap import IndexedMinHeap
+from repro.core.neighbors import NeighborList
 from repro.lossless import ChimpCodec, GorillaCodec
 
 pytestmark = pytest.mark.perf
@@ -233,8 +244,92 @@ class TestPacfKernels:
             f"{PERF_MIN_PACF_SPEEDUP}x regression floor")
 
 
+class TestHeapBulkKernels:
+    def test_update_many_bulk_speedup(self, report):
+        """Full heap re-key: argsort rebuild vs per-item reference sifts."""
+        rng = np.random.default_rng(77)
+        items = np.arange(PERF_HEAP_CAPACITY)
+        initial = rng.normal(0.0, 1.0, PERF_HEAP_CAPACITY)
+        rekeys = [rng.normal(0.0, 1.0, PERF_HEAP_CAPACITY)
+                  for _ in range(PERF_HEAP_REKEY_ROUNDS)]
+        fast = IndexedMinHeap(PERF_HEAP_CAPACITY)
+        slow = ReferenceIndexedMinHeap(PERF_HEAP_CAPACITY)
+        fast.heapify(items, initial)
+        slow.heapify(items, initial)
+
+        def bulk():
+            for keys in rekeys:
+                fast.update_many(items, keys)
+
+        def reference():
+            for keys in rekeys:
+                slow.update_many(items, keys)
+
+        ops = PERF_HEAP_CAPACITY * PERF_HEAP_REKEY_ROUNDS
+        report.add(bench("heap.update_many_bulk", bulk, ops=ops,
+                         capacity=PERF_HEAP_CAPACITY))
+        report.add(bench("heap.reference_update_many", reference, ops=ops,
+                         repeats=2))
+        assert fast.check_invariants()
+        # Same final contents either way.
+        final = rekeys[-1]
+        assert all(fast.key_of(item) == final[item] == slow.key_of(item)
+                   for item in range(0, PERF_HEAP_CAPACITY, 997))
+        speedup = report.speedup("heap_update_many_bulk",
+                                 "heap.update_many_bulk",
+                                 "heap.reference_update_many")
+        assert speedup >= PERF_MIN_HEAP_BULK_SPEEDUP, (
+            f"bulk update_many at {speedup:.1f}x is below the "
+            f"{PERF_MIN_HEAP_BULK_SPEEDUP}x regression floor")
+
+
+class TestNeighborHops:
+    def test_hops_batch_speedup(self, report):
+        """Batch blocking-neighbourhood resolution vs the pointer chase."""
+        rng = np.random.default_rng(88)
+        n = PERF_CAMEO_LENGTH
+        neighbours = NeighborList(n)
+        removals = rng.permutation(np.arange(1, n - 1))[:int(0.9 * n)]
+        for index in removals.tolist():
+            neighbours.remove(index)
+        survivors = np.flatnonzero(neighbours.alive_mask())[1:-1]
+        indices = rng.choice(survivors, PERF_HOPS_BATCH_INDICES, replace=False)
+
+        def batch():
+            return neighbours.hops_batch(indices, PERF_HOPS_H)
+
+        def scalar():
+            return [neighbours.hops(int(index), PERF_HOPS_H)
+                    for index in indices.tolist()]
+
+        offsets, flat = batch()
+        for position, index in enumerate(indices.tolist()):
+            expected = np.asarray(neighbours.hops(index, PERF_HOPS_H),
+                                  dtype=np.int64)
+            assert np.array_equal(flat[offsets[position]:offsets[position + 1]],
+                                  expected)
+        ops = int(flat.size)
+        report.add(bench("neighbors.hops_batch", batch, ops=ops,
+                         indices=PERF_HOPS_BATCH_INDICES, h=PERF_HOPS_H))
+        report.add(bench("neighbors.hops_scalar", scalar, ops=ops, repeats=2))
+        speedup = report.speedup("neighbors_hops_batch", "neighbors.hops_batch",
+                                 "neighbors.hops_scalar")
+        assert speedup >= PERF_MIN_HOPS_BATCH_SPEEDUP, (
+            f"batched hops at {speedup:.1f}x is below the "
+            f"{PERF_MIN_HOPS_BATCH_SPEEDUP}x regression floor")
+
+
 class TestCameoEndToEnd:
     def test_cameo_points_per_sec(self, report):
+        """Speculative loop vs seed baseline and vs the rebuilt PR 3 loop.
+
+        The PR 3 loop is reconstructed in-process: ``batch_size=1`` (the
+        exact sequential code path) on the preserved reference heap and the
+        preserved pre-partitioning ReHeap kernel.  Both runs execute in the
+        same process, so the ≥1.5x floor is hardware-independent; the
+        reconstruction still benefits from this PR's windowed neighbour
+        gathers, which only makes the floor conservative.
+        """
         rng = np.random.default_rng(123)
         t = np.arange(PERF_CAMEO_LENGTH)
         signal = (5.0 + 2.0 * np.sin(2 * np.pi * t / 24)
@@ -245,14 +340,45 @@ class TestCameoEndToEnd:
             return cameo_compress(signal, max_lag=PERF_CAMEO_MAX_LAG,
                                   epsilon=PERF_CAMEO_EPSILON)
 
+        def run_pr3_loop():
+            import repro.core.compressor as compressor_module
+            import repro.core.tracker as tracker_module
+            saved_heap = compressor_module.IndexedMinHeap
+            saved_kernel = tracker_module.batched_contiguous_acf
+            compressor_module.IndexedMinHeap = ReferenceIndexedMinHeap
+            tracker_module.batched_contiguous_acf = (
+                reference_batched_contiguous_acf)
+            try:
+                return cameo_compress(signal, max_lag=PERF_CAMEO_MAX_LAG,
+                                      epsilon=PERF_CAMEO_EPSILON, batch_size=1)
+            finally:
+                compressor_module.IndexedMinHeap = saved_heap
+                tracker_module.batched_contiguous_acf = saved_kernel
+
         result = run()  # warmup + sanity
         assert result.metadata["stopped_by"] == "error-bound"
         timed = report.add(bench(
-            "cameo.compress_10k", run, ops=PERF_CAMEO_LENGTH, repeats=1,
-            warmup=False, max_lag=PERF_CAMEO_MAX_LAG, epsilon=PERF_CAMEO_EPSILON,
-            kept=len(result)))
+            "cameo.compress_10k_speculative", run, ops=PERF_CAMEO_LENGTH,
+            repeats=2, warmup=False, max_lag=PERF_CAMEO_MAX_LAG,
+            epsilon=PERF_CAMEO_EPSILON, kept=len(result),
+            batch_size=result.metadata["batch_size"]))
+        pr3_result = run_pr3_loop()
+        # The whole stack — speculation, hybrid heap, partitioned kernel —
+        # must keep the PR 3 loop's point set exactly.
+        assert pr3_result.indices.tolist() == result.indices.tolist()
+        timed_pr3 = report.add(bench(
+            "cameo.compress_10k_pr3loop", run_pr3_loop, ops=PERF_CAMEO_LENGTH,
+            repeats=1, warmup=False, kept=len(pr3_result)))
+
         points_per_sec = timed.ops_per_sec
         report.ratios["cameo_vs_seed"] = points_per_sec / SEED_CAMEO_POINTS_PER_SEC
+        speculative_speedup = report.speedup(
+            "cameo_speculative_vs_pr3", "cameo.compress_10k_speculative",
+            "cameo.compress_10k_pr3loop")
+        assert speculative_speedup >= PERF_MIN_CAMEO_SPECULATIVE_SPEEDUP, (
+            f"speculative loop at {speculative_speedup:.2f}x the PR 3 loop is "
+            f"below the {PERF_MIN_CAMEO_SPECULATIVE_SPEEDUP}x floor")
+        assert timed_pr3.seconds > 0
         if os.environ.get("REPRO_PERF_NO_ABSOLUTE", "0") in ("0", "", "false"):
             assert points_per_sec >= PERF_MIN_CAMEO_SPEEDUP * SEED_CAMEO_POINTS_PER_SEC, (
                 f"end-to-end CAMEO at {points_per_sec:.0f} points/s is below "

@@ -123,11 +123,17 @@ class _IrregularCodec(Codec):
                                metadata={"short_segment": True})
 
     def _block_from_irregular(self, result: IrregularSeries) -> CompressedBlock:
+        # Carry the compression run's configuration and statistics into the
+        # block so per-chunk settings (blocking, batch_size, stopped_by, ...)
+        # survive the chunk boundary and are inspectable downstream; only
+        # the bulky reference-statistic vector is dropped.
+        metadata = {key: value for key, value in result.metadata.items()
+                    if key != "reference_statistic"}
+        metadata["kept_points"] = len(result)
         return CompressedBlock(
             codec=self.name, payload=result, length=result.original_length,
             bits=result.bits(store_indices=self.store_indices), lossless=False,
-            metadata={"kept_points": len(result),
-                      "achieved_deviation": result.metadata.get("achieved_deviation")})
+            metadata=metadata)
 
 
 class CameoCodec(_IrregularCodec):

@@ -13,6 +13,29 @@ The implementation follows the paper's structure:
 * the min-heap of impacts             →  :class:`repro.core.heap.IndexedMinHeap`
 * ``ReHeap`` over the blocking
   neighbourhood (Section 4.3)         →  :meth:`CameoCompressor._reheap_neighbours`
+
+Speculative multi-pop previews (``batch_size`` > 1, the default)
+----------------------------------------------------------------
+The paper's loop evaluates exactly one candidate preview per iteration.
+This implementation previews the upcoming pops *speculatively* inside the
+ReHeap's batched statistic pass, so the scalar per-pop preview disappears
+from the steady state:
+
+* every ReHeap key is the candidate's exact deviation against the state it
+  was computed on; a per-item version stamp marks it *fresh* until the next
+  removal mutates the tracked state, and a popped candidate with a fresh
+  key reuses it as its preview deviation outright;
+* alongside the blocking neighbourhood, the ``batch_size - 1`` cheapest
+  in-heap candidates (one non-destructive ``peek_many``) ride the same
+  batched kernel call; their deviations are cached and used when they are
+  popped before the next acceptance invalidates them;
+* a speculative value is discarded the moment an acceptance bumps the
+  state version — the decision then falls back to the scalar preview, so
+  the kept-point set matches the sequential loop (``batch_size=1``, the
+  exact pre-speculation code path) on every tested configuration.
+
+With ``on_violation="skip"`` the loop additionally drains rejections in
+``pop_many`` batches, re-pushing the unconsumed remainder on acceptance.
 """
 
 from __future__ import annotations
@@ -42,6 +65,10 @@ __all__ = ["CameoCompressor", "CompressionStats", "cameo_compress"]
 
 #: Heap key assigned to the (non-removable) boundary points.
 _INFINITE_IMPACT = float("inf")
+
+#: Speculative batch size used for ``batch_size="auto"``: the accepted
+#: candidate plus 7 peeked pops per batched statistic pass.
+DEFAULT_SPECULATIVE_BATCH = 8
 
 
 @dataclass
@@ -120,13 +147,21 @@ class CameoCompressor:
         place, keep trying others until the heap runs dry).
     min_keep:
         Never remove points below this count (defaults to 2: the endpoints).
+    batch_size:
+        Speculative multi-pop preview width.  ``"auto"`` (default) uses
+        :data:`DEFAULT_SPECULATIVE_BATCH`; an explicit integer sets how many
+        upcoming pops are previewed per batched statistic pass (the popped
+        candidate plus ``batch_size - 1`` peeked ones).  ``1`` disables
+        speculation entirely and runs the exact pre-speculation sequential
+        loop — the escape hatch the regression tests compare against.
     """
 
     def __init__(self, max_lag: int, epsilon: float | None = 0.01, *,
                  metric="mae", statistic: str = "acf", agg_window: int = 1,
                  agg: str = "mean", blocking="5logn", blocking_window_scale: int | None = None,
                  target_ratio: float | None = None,
-                 on_violation: str = "stop", min_keep: int = 2):
+                 on_violation: str = "stop", min_keep: int = 2,
+                 batch_size: int | str = "auto"):
         if epsilon is None and target_ratio is None:
             raise InvalidParameterError(
                 "provide an epsilon (error-bounded mode) and/or a target_ratio "
@@ -152,6 +187,18 @@ class CameoCompressor:
         self.target_ratio = target_ratio
         self.on_violation = on_violation
         self.min_keep = int(min_keep)
+        if batch_size != "auto":
+            batch_size = int(batch_size)
+            if batch_size < 1:
+                raise InvalidParameterError("batch_size must be >= 1 or 'auto'")
+        self.batch_size = batch_size
+        # Speculation state; populated per run by _run().
+        self._spec_enabled = False
+        self._spec_peek = 0
+        self._state_version = 0
+        self._key_version: np.ndarray | None = None
+        self._spec_version: np.ndarray | None = None
+        self._spec_deviation: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
     # public API
@@ -197,6 +244,11 @@ class CameoCompressor:
     # ------------------------------------------------------------------ #
     # main loop
     # ------------------------------------------------------------------ #
+    def _resolve_batch_size(self) -> int:
+        if self.batch_size == "auto":
+            return DEFAULT_SPECULATIVE_BATCH
+        return int(self.batch_size)
+
     def _run(self, values: np.ndarray, tracker: StatisticTracker, hops: int
              ) -> CompressionStats:
         n = values.size
@@ -208,53 +260,118 @@ class CameoCompressor:
         positions, impacts = tracker.initial_impacts(metric)
         heap.heapify(positions, impacts)
 
+        batch_size = self._resolve_batch_size()
+        speculate = self._spec_enabled = batch_size > 1
+        if speculate:
+            # Initial impacts are exact deviations against the initial state:
+            # every heapified key starts out fresh at version 0.
+            self._state_version = 0
+            self._key_version = np.zeros(n, dtype=np.int64)
+            self._spec_version = np.full(n, -1, dtype=np.int64)
+            self._spec_deviation = np.empty(n, dtype=np.float64)
+            self._member_scratch = np.zeros(n, dtype=bool)
+            # Peeked speculative previews ride the vectorized ReHeap kernel;
+            # the generic tracker previews segments one by one, so peeking
+            # would cost more scalar previews than it saves.
+            self._spec_peek = (batch_size - 1
+                               if isinstance(tracker, StatisticTracker) else 0)
+        else:
+            self._spec_peek = 0
+
         stats = CompressionStats(kept_points=n)
         kept = n
         max_removable = n - max(self.min_keep, 2)
         target_kept = None
         if self.target_ratio is not None:
             target_kept = max(int(np.ceil(n / self.target_ratio)), self.min_keep, 2)
+        fresh_hits = spec_hits = preview_evals = 0
+        # With on_violation="skip" and an error bound, long rejection runs
+        # drain the heap; pop_many consumes them in batches and the
+        # unconsumed remainder is re-pushed on the first acceptance.
+        drain = (speculate and self.on_violation == "skip"
+                 and self.epsilon is not None)
 
-        while heap:
-            candidate, _stale_key = heap.pop()
-            stats.iterations += 1
-            left, right = neighbours.left_of(candidate), neighbours.right_of(candidate)
-            change_start, change_deltas = segment_interpolation_deltas(
-                tracker.current_values, left, right)
-            if change_deltas.size == 0:
-                # Removing the point does not change the reconstruction at
-                # all (e.g. it already lies on the interpolation line).
-                deviation = stats.achieved_deviation
+        done = False
+        while heap and not done:
+            if drain:
+                batch_items, batch_keys = heap.pop_many(batch_size)
+                queue = list(zip(batch_items.tolist(), batch_keys.tolist()))
             else:
-                new_statistic = tracker.preview(change_start, change_deltas)
-                deviation = tracker.deviation(metric, new_statistic)
+                queue = [heap.pop()]
+            for consumed, (candidate, key) in enumerate(queue):
+                stats.iterations += 1
+                left, right = (neighbours.left_of(candidate),
+                               neighbours.right_of(candidate))
+                change_start, change_deltas = segment_interpolation_deltas(
+                    tracker.current_values, left, right)
+                if change_deltas.size == 0:
+                    # Removing the point does not change the reconstruction at
+                    # all (e.g. it already lies on the interpolation line).
+                    deviation = stats.achieved_deviation
+                elif speculate and self._key_version[candidate] == self._state_version:
+                    # The heap key was computed against the current state and
+                    # neighbourhood — it *is* the preview deviation.
+                    deviation = key
+                    fresh_hits += 1
+                elif speculate and self._spec_version[candidate] == self._state_version:
+                    deviation = float(self._spec_deviation[candidate])
+                    spec_hits += 1
+                else:
+                    new_statistic = tracker.preview(change_start, change_deltas)
+                    deviation = tracker.deviation(metric, new_statistic)
+                    preview_evals += 1
 
-            if self.epsilon is not None and deviation >= self.epsilon:
-                if self.on_violation == "stop":
-                    stats.stopped_by = "error-bound"
+                if self.epsilon is not None and deviation >= self.epsilon:
+                    if self.on_violation == "stop":
+                        stats.stopped_by = "error-bound"
+                        done = True
+                        break
+                    # ``skip``: permanently leave this point in place.  The
+                    # state is untouched, so the remaining speculative batch
+                    # stays valid.
+                    continue
+
+                # Commit the removal.
+                if change_deltas.size:
+                    tracker.apply(change_start, change_deltas)
+                neighbours.remove(candidate)
+                kept -= 1
+                stats.removed_points += 1
+                stats.achieved_deviation = deviation
+                if speculate:
+                    # Any removal invalidates every outstanding speculative
+                    # preview (the tracked state and/or a neighbourhood
+                    # changed); bumping the version discards them all.
+                    self._state_version += 1
+
+                if stats.removed_points >= max_removable:
+                    stats.stopped_by = "min-keep"
+                    done = True
                     break
-                # ``skip``: permanently leave this point in place.
-                continue
+                if target_kept is not None and kept <= target_kept:
+                    stats.stopped_by = "target-ratio"
+                    done = True
+                    break
 
-            # Commit the removal.
-            if change_deltas.size:
-                tracker.apply(change_start, change_deltas)
-            neighbours.remove(candidate)
-            kept -= 1
-            stats.removed_points += 1
-            stats.achieved_deviation = deviation
-
-            if stats.removed_points >= max_removable:
-                stats.stopped_by = "min-keep"
+                remainder = queue[consumed + 1:]
+                if remainder:
+                    heap.push_many(
+                        np.fromiter((item for item, _key in remainder),
+                                    dtype=np.int64, count=len(remainder)),
+                        np.fromiter((key for _item, key in remainder),
+                                    dtype=np.float64, count=len(remainder)))
+                stats.reheap_updates += self._reheap_neighbours(
+                    tracker, neighbours, heap, candidate, hops, metric)
                 break
-            if target_kept is not None and kept <= target_kept:
-                stats.stopped_by = "target-ratio"
-                break
-
-            stats.reheap_updates += self._reheap_neighbours(
-                tracker, neighbours, heap, candidate, hops, metric)
 
         stats.kept_points = kept
+        if speculate:
+            stats.extra["preview_reuse"] = {
+                "fresh_key_hits": fresh_hits,
+                "speculative_hits": spec_hits,
+                "scalar_previews": preview_evals,
+            }
+        stats.extra["batch_size"] = batch_size
         self._alive_mask = neighbours.alive_mask()
         return stats
 
@@ -263,25 +380,57 @@ class CameoCompressor:
                            metric=None) -> int:
         """Refresh the impacts of surviving points near ``removed``.
 
-        Fused pipeline: the surviving neighbourhood is collected once, the
-        in-heap filter is a vectorized mask query, all neighbour segment
-        deltas are computed in a single batched pass, their impacts in one
-        vectorized kernel call, and the heap keys in one ``update_many``.
+        Fused pipeline: the surviving neighbourhood is collected once (one
+        windowed gather over the alive mask), the in-heap filter is a
+        vectorized mask query, all neighbour segment deltas are computed in
+        a single batched pass, their impacts in one vectorized kernel call,
+        and the heap keys in one ``update_many``.
+
+        When speculation is on, the ``batch_size - 1`` cheapest in-heap
+        candidates (peeked non-destructively) join the same kernel call:
+        their deviations are cached — *not* written to the heap, which would
+        perturb the pop order — and reused if they are popped before the
+        next acceptance.
         """
         if metric is None:
             metric = resolve_rowwise_metric(self.metric)
         candidates = neighbours.hops_array(removed, hops)
         if candidates.size:
             candidates = candidates[heap.contains_mask(candidates)]
-        if candidates.size == 0:
+        spec_items = None
+        if self._spec_peek and len(heap):
+            peeked, _peek_keys = heap.peek_many(self._spec_peek)
+            if candidates.size:
+                # Membership test via a reusable boolean scratch (np.isin
+                # costs ~25x as much at these sizes).
+                member = self._member_scratch
+                member[candidates] = True
+                peeked = peeked[~member[peeked]]
+                member[candidates] = False
+            if peeked.size:
+                spec_items = peeked
+        if candidates.size == 0 and spec_items is None:
             return 0
-        lefts, rights = neighbours.gaps_of(candidates)
+        if spec_items is None:
+            combined = candidates
+        elif candidates.size == 0:
+            combined = spec_items
+        else:
+            combined = np.concatenate((candidates, spec_items))
+        lefts, rights = neighbours.gaps_of(combined)
         starts, lengths, positions, deltas = segment_interpolation_deltas_batched(
             tracker.current_values, lefts, rights)
         impacts = tracker.batch_impacts_segments(starts, lengths, positions,
                                                  deltas, metric)
-        heap.update_many(candidates, impacts)
-        return int(candidates.size)
+        refreshed = int(candidates.size)
+        if refreshed:
+            heap.update_many(candidates, impacts[:refreshed])
+            if self._spec_enabled:
+                self._key_version[candidates] = self._state_version
+        if spec_items is not None:
+            self._spec_deviation[spec_items] = impacts[refreshed:]
+            self._spec_version[spec_items] = self._state_version
+        return refreshed
 
     # ------------------------------------------------------------------ #
     # helpers
@@ -340,7 +489,7 @@ def cameo_compress(series, max_lag: int, epsilon: float | None = 0.01, **kwargs
     **kwargs:
         Every :class:`CameoCompressor` option: ``metric``, ``statistic``,
         ``agg_window``, ``agg``, ``blocking``, ``target_ratio``,
-        ``on_violation``, ``min_keep``.
+        ``on_violation``, ``min_keep``, ``batch_size``.
 
     Returns
     -------

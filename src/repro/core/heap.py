@@ -1,32 +1,63 @@
-"""Indexed binary min-heap with decrease/increase-key support.
+"""Indexed binary min-heap with bulk-update and multi-pop support.
 
 CAMEO keeps every removable point in a priority queue ordered by its impact
-on the ACF and needs to *update* a point's priority whenever a neighbour is
-removed (the ``ReHeap`` operation of Algorithm 1).  A plain ``heapq`` cannot
-update entries in place, so this module provides an array-based indexed heap
-where items are integers ``0..capacity-1`` and every operation that moves an
-entry keeps an item→slot map in sync.
+on the tracked statistic and needs to *update* a point's priority whenever a
+neighbour is removed (the ``ReHeap`` operation of Algorithm 1).  A plain
+``heapq`` cannot update entries in place, so this module provides an indexed
+heap where items are integers ``0..capacity-1`` and every operation that
+moves an entry keeps an item→slot map in sync.
 
-All operations are ``O(log n)`` except :meth:`IndexedMinHeap.heapify`, which
-uses Floyd's bottom-up construction in ``O(n)`` — the same construction the
-paper credits for the initial heap build.
+Storage is deliberately hybrid:
 
-Implementation note: keys, items, and the item→slot map are plain Python
-lists.  The sift loops execute a handful of scalar reads/writes per level;
-on NumPy arrays every one of those materialises a NumPy scalar, which made
-the sifts a measurable share of CAMEO's end-to-end runtime (~1.5 s of a
-16.5 s n=10k run).  Python lists make those scalar accesses native.  NumPy
-stays at the API boundary: bulk loads accept arrays, and
-:meth:`contains_mask` returns a boolean array for the vectorized ReHeap.
+* keys and items live in Python lists — the sift loops execute a handful of
+  scalar reads/compares per level, and on ndarrays every one of those
+  boxes a NumPy scalar (measured at 2-3x the whole list-based sift cost);
+* the item→slot map is **also** maintained as an ``int64`` ndarray, which
+  makes the bulk queries one gather each: :meth:`IndexedMinHeap.
+  contains_mask` (the ReHeap's in-heap filter) and the present/absent
+  split inside :meth:`~IndexedMinHeap.update_many`.
+
+``update_many`` batches its housekeeping (validation, the present/absent
+partition) vectorized, then picks the cheapest sound repair: when the batch
+covers a large fraction of the heap it commits every key and rebuilds by
+argsort — a key-sorted slot array is a valid heap, since every parent index
+precedes its children — instead of sifting per item; small batches run the
+per-item sequential updates whose correctness is unconditional.  (A
+concurrent "grouped sift rounds" repair of arbitrary slot sets was
+prototyped for this PR and brute-forced to destruction: simultaneous
+sift-downs consult stale co-dirty keys and mis-route, so only provably
+disjoint or sequential repairs survive here.)
+
+``pop_many``/``peek_many`` serve the compressor's speculative multi-pop:
+``peek_many`` walks the top of the heap non-destructively (one small
+``heapq`` frontier over slots) to find the ``k`` cheapest entries in pop
+order without touching the layout, and ``pop_many`` extracts them.
+
+The pre-bulk list-based heap is preserved verbatim as
+:class:`repro._kernels.reference.ReferenceIndexedMinHeap`; property tests
+cross-check every operation against it, and the perf harness measures the
+bulk speedups against it in the same process.
+
+Error contract shared by scalar and bulk mutations: duplicate items in one
+``update_many``/``push_many`` call raise ``ValueError`` (a duplicate would
+make the outcome order-dependent); ``update``/``update_many`` on an absent
+item pushes it (push-or-update); ``push``/``push_many`` on a present item
+raises ``ValueError``.
 """
 
 from __future__ import annotations
+
+import heapq
 
 import numpy as np
 
 __all__ = ["IndexedMinHeap"]
 
 _ABSENT = -1
+
+#: ``update_many`` switches from per-item sifts to the argsort rebuild when
+#: the present batch covers at least ``1/_REBUILD_FRACTION`` of the heap.
+_REBUILD_FRACTION = 8
 
 
 class IndexedMinHeap:
@@ -37,6 +68,14 @@ class IndexedMinHeap:
     capacity:
         Items are integers in ``[0, capacity)``.  Each item can be present at
         most once.
+
+    Notes
+    -----
+    The bulk rebuild inside :meth:`update_many` guarantees the same final
+    *contents* — the same (item, key) multiset and a valid heap — as the
+    per-item sequence, but may lay the slots out differently.  Pop order is
+    identical whenever keys are distinct; exact ties may then resolve in a
+    different (still valid) order.
     """
 
     def __init__(self, capacity: int):
@@ -45,7 +84,7 @@ class IndexedMinHeap:
         self._capacity = int(capacity)
         self._keys: list[float] = []
         self._items: list[int] = []
-        self._slot_of: list[int] = [_ABSENT] * self._capacity
+        self._slot_of = np.full(self._capacity, _ABSENT, dtype=np.int64)
 
     # ------------------------------------------------------------------ #
     # basic queries
@@ -59,12 +98,11 @@ class IndexedMinHeap:
     def contains_mask(self, items) -> np.ndarray:
         """Vectorized membership: boolean mask of which ``items`` are present.
 
-        ``items`` must be in ``[0, capacity)``.
+        ``items`` must be in ``[0, capacity)``; the query is one gather on
+        the item→slot array.
         """
         items = np.asarray(items, dtype=np.int64)
-        slot_of = self._slot_of
-        return np.fromiter((slot_of[item] != _ABSENT for item in items.tolist()),
-                           dtype=bool, count=items.size)
+        return self._slot_of[items] != _ABSENT
 
     def __bool__(self) -> bool:
         return bool(self._items)
@@ -76,7 +114,7 @@ class IndexedMinHeap:
 
     def key_of(self, item: int) -> float:
         """Current priority of ``item`` (raises ``KeyError`` if absent)."""
-        slot = self._slot_of[item]
+        slot = int(self._slot_of[item])
         if slot == _ABSENT:
             raise KeyError(f"item {item} is not in the heap")
         return self._keys[slot]
@@ -86,6 +124,36 @@ class IndexedMinHeap:
         if not self._items:
             raise IndexError("peek on an empty heap")
         return self._items[0], self._keys[0]
+
+    def peek_many(self, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """The ``k`` cheapest ``(items, keys)`` in pop order, without removal.
+
+        A non-destructive frontier walk: starting from the root, each step
+        yields the cheapest frontier slot and adds its children.  With
+        distinct keys the returned order is exactly what ``k`` successive
+        :meth:`pop` calls would produce; ties resolve by heap traversal
+        order.  Feeds the compressor's speculative multi-pop previews.
+        """
+        k = min(int(k), len(self._items))
+        out_items = np.empty(k, dtype=np.int64)
+        out_keys = np.empty(k, dtype=np.float64)
+        if k == 0:
+            return out_items, out_keys
+        keys = self._keys
+        items = self._items
+        size = len(items)
+        frontier: list[tuple[float, int]] = [(keys[0], 0)]
+        for index in range(k):
+            key, slot = heapq.heappop(frontier)
+            out_items[index] = items[slot]
+            out_keys[index] = key
+            left = 2 * slot + 1
+            if left < size:
+                heapq.heappush(frontier, (keys[left], left))
+                right = left + 1
+                if right < size:
+                    heapq.heappush(frontier, (keys[right], right))
+        return out_items, out_keys
 
     # ------------------------------------------------------------------ #
     # construction
@@ -103,18 +171,18 @@ class IndexedMinHeap:
             raise ValueError("more items than heap capacity")
         if items.size and (items.min() < 0 or items.max() >= self._capacity):
             raise ValueError("items out of range")
-        if np.unique(items).size != items.size:
+        ordered = np.sort(items)
+        if items.size > 1 and bool((ordered[1:] == ordered[:-1]).any()):
             raise ValueError("items must be unique")
         self._items = items.tolist()
         self._keys = keys.tolist()
-        slot_of = self._slot_of = [_ABSENT] * self._capacity
-        for slot, item in enumerate(self._items):
-            slot_of[item] = slot
+        self._slot_of.fill(_ABSENT)
+        self._slot_of[items] = np.arange(items.size, dtype=np.int64)
         for slot in range(len(self._items) // 2 - 1, -1, -1):
             self._sift_down(slot)
 
     # ------------------------------------------------------------------ #
-    # mutation
+    # scalar mutation
     # ------------------------------------------------------------------ #
     def push(self, item: int, key: float) -> None:
         """Insert ``item`` with priority ``key`` (item must be absent)."""
@@ -138,16 +206,34 @@ class IndexedMinHeap:
         self._remove_slot(0)
         return item, key
 
+    def pop_many(self, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Remove and return the ``k`` cheapest ``(items, keys)`` in pop order.
+
+        Exactly equivalent to ``k`` successive :meth:`pop` calls — ties
+        included.  Feeds the compressor's skip-mode batch drain; for a
+        non-destructive look at the upcoming pops use :meth:`peek_many`.
+        """
+        k = min(int(k), len(self._items))
+        out_items = np.empty(k, dtype=np.int64)
+        out_keys = np.empty(k, dtype=np.float64)
+        items = self._items
+        keys = self._keys
+        for index in range(k):
+            out_items[index] = items[0]
+            out_keys[index] = keys[0]
+            self._remove_slot(0)
+        return out_items, out_keys
+
     def remove(self, item: int) -> None:
         """Remove ``item`` from the heap (no-op if absent)."""
-        slot = self._slot_of[item]
+        slot = int(self._slot_of[item])
         if slot == _ABSENT:
             return
         self._remove_slot(slot)
 
     def update(self, item: int, key: float) -> None:
         """Change the priority of ``item`` (inserting it if absent)."""
-        slot = self._slot_of[item]
+        slot = int(self._slot_of[item])
         if slot == _ABSENT:
             self.push(item, key)
             return
@@ -159,59 +245,91 @@ class IndexedMinHeap:
         elif key > old:
             self._sift_down(slot)
 
+    # ------------------------------------------------------------------ #
+    # bulk mutation
+    # ------------------------------------------------------------------ #
     def update_many(self, items, keys) -> None:
         """Change the priorities of many items in one call (push if absent).
 
-        Equivalent to ``update(item, key)`` per pair, in order, but with the
-        per-call dispatch hoisted out: the key/item/slot lists are bound once
-        and the sift loops run inline on native scalars.
+        Produces the same heap contents as ``update(item, key)`` per pair:
+        present items take the new key, absent items are pushed.  Duplicate
+        items in one call raise ``ValueError``.  Validation and the
+        present/absent split are vectorized; the repair is the argsort
+        rebuild for heap-scale batches and per-item sequential sifts (with
+        the per-call dispatch hoisted out) otherwise.
         """
         items = np.asarray(items, dtype=np.int64)
         key_values = np.asarray(keys, dtype=np.float64)
         if items.shape != key_values.shape or items.ndim != 1:
             raise ValueError("items and keys must be 1-D arrays of equal length")
-        heap_keys = self._keys
-        heap_items = self._items
-        slot_of = self._slot_of
-        for item, key in zip(items.tolist(), key_values.tolist()):
-            slot = slot_of[item]
-            if slot == _ABSENT:
+        if items.size == 0:
+            return
+        if items.min() < 0 or items.max() >= self._capacity:
+            raise ValueError("items out of range")
+        ordered = np.sort(items)
+        if items.size > 1 and bool((ordered[1:] == ordered[:-1]).any()):
+            raise ValueError("duplicate items in update_many")
+        slots = self._slot_of[items]
+        present = slots != _ABSENT
+        present_count = int(present.sum())
+        size = len(self._items)
+        if present_count and present_count * _REBUILD_FRACTION >= size:
+            # Heap-scale batch: write every key and rebuild by sorting — a
+            # key-sorted slot array is a valid heap (parent indices precede
+            # child indices), and one argsort beats per-item sifts here.
+            all_keys = np.asarray(self._keys, dtype=np.float64)
+            all_keys[slots[present]] = key_values[present]
+            order = np.argsort(all_keys, kind="stable")
+            sorted_items = np.asarray(self._items, dtype=np.int64)[order]
+            self._keys = all_keys[order].tolist()
+            self._items = sorted_items.tolist()
+            self._slot_of[sorted_items] = np.arange(size, dtype=np.int64)
+        elif present_count:
+            heap_keys = self._keys
+            slot_of = self._slot_of
+            # Re-resolve each slot inside the loop: an earlier sift in this
+            # same batch may have moved a later item.
+            for item, key in zip(items[present].tolist(),
+                                 key_values[present].tolist()):
+                slot = int(slot_of[item])
+                old = heap_keys[slot]
+                heap_keys[slot] = key
+                if key < old:
+                    self._sift_up(slot)
+                elif key > old:
+                    self._sift_down(slot)
+        if present_count < items.size:
+            absent = ~present
+            for item, key in zip(items[absent].tolist(),
+                                 key_values[absent].tolist()):
                 self.push(item, key)
-                continue
-            old = heap_keys[slot]
-            heap_keys[slot] = key
-            if key < old:
-                while slot > 0:
-                    parent = (slot - 1) // 2
-                    if heap_keys[slot] < heap_keys[parent]:
-                        heap_keys[slot], heap_keys[parent] = (heap_keys[parent],
-                                                              heap_keys[slot])
-                        heap_items[slot], heap_items[parent] = (heap_items[parent],
-                                                                heap_items[slot])
-                        slot_of[heap_items[slot]] = slot
-                        slot_of[heap_items[parent]] = parent
-                        slot = parent
-                    else:
-                        break
-            elif key > old:
-                size = len(heap_items)
-                while True:
-                    left = 2 * slot + 1
-                    right = left + 1
-                    smallest = slot
-                    if left < size and heap_keys[left] < heap_keys[smallest]:
-                        smallest = left
-                    if right < size and heap_keys[right] < heap_keys[smallest]:
-                        smallest = right
-                    if smallest == slot:
-                        break
-                    heap_keys[slot], heap_keys[smallest] = (heap_keys[smallest],
-                                                            heap_keys[slot])
-                    heap_items[slot], heap_items[smallest] = (heap_items[smallest],
-                                                              heap_items[slot])
-                    slot_of[heap_items[slot]] = slot
-                    slot_of[heap_items[smallest]] = smallest
-                    slot = smallest
+
+    def push_many(self, items, keys) -> None:
+        """Insert many absent items in one call.
+
+        Same contract as :meth:`push` per pair; every item must be absent
+        and unique within the call.  Used by the compressor to re-queue the
+        unconsumed remainder of a speculative batch in one go.
+        """
+        items = np.asarray(items, dtype=np.int64)
+        key_values = np.asarray(keys, dtype=np.float64)
+        if items.shape != key_values.shape or items.ndim != 1:
+            raise ValueError("items and keys must be 1-D arrays of equal length")
+        if items.size == 0:
+            return
+        if items.min() < 0 or items.max() >= self._capacity:
+            raise ValueError("items out of range")
+        ordered = np.sort(items)
+        if items.size > 1 and bool((ordered[1:] == ordered[:-1]).any()):
+            raise ValueError("duplicate items in push_many")
+        if bool((self._slot_of[items] != _ABSENT).any()):
+            raise ValueError("push_many items must be absent; use update_many()")
+        for item, key in zip(items.tolist(), key_values.tolist()):
+            slot = len(self._items)
+            self._items.append(item)
+            self._keys.append(key)
+            self._slot_of[item] = slot
+            self._sift_up(slot)
 
     # ------------------------------------------------------------------ #
     # internals
@@ -273,13 +391,18 @@ class IndexedMinHeap:
         """Items currently in the heap (arbitrary order, copy)."""
         return np.asarray(self._items, dtype=np.int64)
 
+    def keys(self) -> np.ndarray:
+        """Keys aligned with :meth:`items` (arbitrary order, copy)."""
+        return np.asarray(self._keys, dtype=np.float64)
+
     def check_invariants(self) -> bool:
         """Verify the heap property and the item→slot map (tests only)."""
-        for slot in range(1, len(self._items)):
+        size = len(self._items)
+        for slot in range(1, size):
             parent = (slot - 1) // 2
             if self._keys[parent] > self._keys[slot]:
                 return False
-        for slot in range(len(self._items)):
+        for slot in range(size):
             if self._slot_of[self._items[slot]] != slot:
                 return False
-        return True
+        return int((self._slot_of != _ABSENT).sum()) == size

@@ -73,21 +73,31 @@ class ResolvedMetric:
         return f"ResolvedMetric({self.name!r})"
 
     # ------------------------------------------------------------------ #
-    def rowwise(self, reference: np.ndarray, candidates: np.ndarray) -> np.ndarray:
-        """``D(reference, row)`` for every row of a 2-D ``candidates``."""
+    def rowwise(self, reference: np.ndarray, candidates: np.ndarray, *,
+                overwrite: bool = False) -> np.ndarray:
+        """``D(reference, row)`` for every row of a 2-D ``candidates``.
+
+        ``overwrite=True`` lets the closed-form metrics reuse ``candidates``
+        as workspace (identical results; pass it only for arrays that are
+        dead after the call, like a freshly computed statistic matrix).
+        """
         kind = self.kind
         if kind == "callable":
             fn = self.fn
             return np.array([fn(reference, row) for row in candidates],
                             dtype=np.float64)
-        diff = candidates - reference[np.newaxis, :]
+        if overwrite and candidates.dtype == np.float64:
+            diff = np.subtract(candidates, reference[np.newaxis, :],
+                               out=candidates)
+        else:
+            diff = candidates - reference[np.newaxis, :]
         if kind == "mae":
-            return np.mean(np.abs(diff), axis=1)
+            return np.mean(np.abs(diff, out=diff), axis=1)
         if kind == "cheb":
-            return np.max(np.abs(diff), axis=1)
+            return np.max(np.abs(diff, out=diff), axis=1)
         if kind == "mse":
-            return np.mean(diff * diff, axis=1)
-        return np.sqrt(np.mean(diff * diff, axis=1))
+            return np.mean(np.multiply(diff, diff, out=diff), axis=1)
+        return np.sqrt(np.mean(np.multiply(diff, diff, out=diff), axis=1))
 
     def single(self, reference: np.ndarray, candidate: np.ndarray) -> float:
         """Scalar ``D(reference, candidate)`` without 2-D reshaping."""
@@ -202,7 +212,7 @@ def batched_single_change_impacts(state: ACFAggregateState, positions, deltas,
         denom = np.sqrt(np.where(valid, var_head * var_tail, 1.0))
         np.divide(numerator, denom, out=acf_new, where=valid)
 
-        out[start:stop] = metric.rowwise(reference, acf_new)
+        out[start:stop] = metric.rowwise(reference, acf_new, overwrite=True)
     return out
 
 
@@ -258,12 +268,13 @@ class _BlockScratch:
     """Reusable ``(T, L)`` scratch buffers for :func:`_contiguous_acf_block`.
 
     One ReHeap call allocated ~8 ``(T, L)`` temporaries; the pool keeps a
-    float64, two int64, and two bool buffers per ``(thread, L)`` and grows
-    their row capacity geometrically, so steady-state ReHeap calls allocate
-    no ``(T, L)`` arrays at all.
+    float64, two int64, and two bool buffers per ``(thread, L)`` — plus one
+    ``(T, 2L)`` float/int pair for the interior path's fused head+tail
+    gather — and grows their row capacity geometrically, so steady-state
+    ReHeap calls allocate no ``(T, L)`` arrays at all.
     """
 
-    __slots__ = ("rows", "f1", "f2", "i1", "i2", "b1", "b2")
+    __slots__ = ("rows", "f1", "f2", "i1", "i2", "b1", "b2", "fw", "iw")
 
     def __init__(self, rows: int, num_lags: int):
         self.rows = rows
@@ -273,6 +284,8 @@ class _BlockScratch:
         self.i2 = np.empty((rows, num_lags), dtype=np.int64)
         self.b1 = np.empty((rows, num_lags), dtype=bool)
         self.b2 = np.empty((rows, num_lags), dtype=bool)
+        self.fw = np.empty((rows, 2 * num_lags), dtype=np.float64)
+        self.iw = np.empty((rows, 2 * num_lags), dtype=np.int64)
 
 
 _block_scratch_tls = threading.local()
@@ -316,6 +329,158 @@ def _contiguous_acf_block(state: ACFAggregateState, lens: np.ndarray,
                           positions: np.ndarray, deltas: np.ndarray) -> np.ndarray:
     """One vectorized block of :func:`batched_contiguous_acf`.
 
+    Segments whose positions sit at least ``max_lag`` away from both series
+    ends (the overwhelming majority) take the *interior* fast path: their
+    head/tail lag masks are all-true, so the four masked ``(T, L)`` segment
+    sums collapse to two 1-D ``reduceat`` calls over the concatenated
+    deltas/energies — multiplying by an all-true mask is exact (``x * 1.0 ==
+    x``) and the accumulation order is unchanged, so the fast path is
+    bit-identical to the masked formulation.  Segments touching a boundary
+    keep the full masked path (:func:`_edge_acf_block`).
+    """
+    lags = state.lags
+    num_segments = lens.size
+    offsets = np.concatenate(([0], np.cumsum(lens[:-1])))
+    seg_start = positions[offsets]
+    seg_end = positions[offsets + lens - 1]
+    max_lag = lags.size  # lags are 1..L
+    interior = (seg_start >= max_lag) & (seg_end + max_lag <= state.n - 1)
+    # The cross-term path choice (bincount vs partner matrix) depends on the
+    # longest segment; decide it once for the whole block so partitioning a
+    # block into interior/edge subsets cannot flip a subset onto the other
+    # path (the two accumulate in different orders).
+    max_len = int(lens.max())
+    if bool(interior.all()):
+        return _interior_acf_block(state, lens, offsets, positions, deltas,
+                                   max_len)
+    if not bool(interior.any()):
+        return _edge_acf_block(state, lens, positions, deltas, max_len)
+    member = np.repeat(interior, lens)
+    out = np.empty((num_segments, lags.size), dtype=np.float64)
+    interior_lens = lens[interior]
+    interior_offsets = np.concatenate(([0], np.cumsum(interior_lens[:-1])))
+    out[interior] = _interior_acf_block(state, interior_lens, interior_offsets,
+                                        positions[member], deltas[member],
+                                        max_len)
+    out[~interior] = _edge_acf_block(state, lens[~interior],
+                                     positions[~member], deltas[~member],
+                                     max_len)
+    return out
+
+
+def _segment_cross_terms(deltas: np.ndarray, lens: np.ndarray, lags: np.ndarray,
+                         total: int, max_len: int) -> np.ndarray | None:
+    """Per-lag ``delta_p * delta_{p+l}`` sums of same-segment pairs.
+
+    Positions within a segment are consecutive, so lag-l pairs are exactly
+    the concatenated entries at distance l that share a segment; one (T, L)
+    partner gather + segment-reduce covers every lag at once.  Returns
+    ``None`` when no segment is long enough to have cross terms.
+
+    ``max_len`` is the longest segment of the *whole* block (not just this
+    subset): it selects between the bincount and partner-matrix paths, which
+    accumulate in different orders, so the choice must not depend on how the
+    block was partitioned.
+    """
+    if max_len <= 1:
+        return None
+    num_segments = lens.size
+    offsets = np.concatenate(([0], np.cumsum(lens[:-1])))
+    segment_ids = np.repeat(np.arange(num_segments, dtype=np.int64), lens)
+    num_cross_lags = min(max_len - 1, lags.size)
+    if num_cross_lags <= 8:
+        # Few lags carry cross terms: a short per-lag bincount beats
+        # materialising the full (T, L) pair matrix.
+        cross = np.zeros((num_segments, lags.size), dtype=np.float64)
+        for lag_index in range(num_cross_lags):
+            shift = lag_index + 1
+            same = segment_ids[shift:] == segment_ids[:-shift]
+            products = deltas[shift:] * deltas[:-shift]
+            cross[:, lag_index] = np.bincount(
+                segment_ids[shift:][same], weights=products[same],
+                minlength=num_segments)
+        return cross
+    # Lags beyond the longest segment cannot pair, so the partner matrix
+    # only needs the first ``num_cross_lags`` columns; the remaining lag
+    # columns of the returned cross matrix stay exactly zero.  The narrow
+    # temporaries are freshly allocated *contiguous* arrays — column-sliced
+    # scratch views make ``take``/``reduceat`` fall off their fast paths
+    # (measured ~14x slower) and the arrays are small.
+    width = num_cross_lags
+    partner = np.add(np.arange(total, dtype=np.int64)[:, np.newaxis],
+                     lags[np.newaxis, :width])
+    in_range = partner < total
+    np.minimum(partner, total - 1, out=partner)
+    pair_ids = np.take(segment_ids, partner, mode="clip")
+    pair = pair_ids == segment_ids[:, np.newaxis]
+    np.logical_and(pair, in_range, out=pair)
+    products = np.take(deltas, partner, mode="clip")
+    np.multiply(deltas[:, np.newaxis], products, out=products)
+    np.multiply(products, pair, out=products)
+    cross = np.zeros((num_segments, lags.size), dtype=np.float64)
+    cross[:, :width] = np.add.reduceat(products, offsets, axis=0)
+    return cross
+
+
+def _interior_acf_block(state: ACFAggregateState, lens: np.ndarray,
+                        offsets: np.ndarray, positions: np.ndarray,
+                        deltas: np.ndarray, max_len: int) -> np.ndarray:
+    """Fast path for segments whose lag windows never leave the series."""
+    sums = state.sums
+    lags = state.lags
+    counts = sums.counts
+    current = state.current
+    total = positions.size
+    num_lags = lags.size
+    scratch = _block_scratch(total, num_lags)
+
+    # All-true head/tail masks: the four masked head/tail sums equal the
+    # plain per-segment sums of the deltas / energy terms.
+    old = current[positions]
+    energy = deltas * (2.0 * old + deltas)
+    d_seg = np.add.reduceat(deltas, offsets)[:, np.newaxis]       # (S, 1)
+    e_seg = np.add.reduceat(energy, offsets)[:, np.newaxis]       # (S, 1)
+
+    # Fused head+tail gather: one (T, 2L) take / multiply / reduceat pass
+    # covers d_head (columns :L) and d_tail (columns L:) — per column the
+    # arithmetic is identical to two separate (T, L) passes.
+    pos = positions[:, np.newaxis]
+    fw = scratch.fw[:total]
+    iw = scratch.iw[:total]
+    np.add(pos, lags[np.newaxis, :], out=iw[:, :num_lags])        # pos + lag
+    np.subtract(pos, lags[np.newaxis, :], out=iw[:, num_lags:])   # pos - lag
+    np.take(current, iw, out=fw, mode="clip")
+    np.multiply(deltas[:, np.newaxis], fw, out=fw)
+    d_both = np.add.reduceat(fw, offsets, axis=0)
+    d_head = d_both[:, :num_lags]
+    d_tail = d_both[:, num_lags:]
+
+    new_sx = sums.sx + d_seg
+    new_sxl = sums.sxl + d_seg
+    new_sx2 = sums.sx2 + e_seg
+    new_sx2l = sums.sx2l + e_seg
+    # Summed in the same association order as the single-change kernel so
+    # single-position segments stay bit-identical to it.
+    new_sxxl = (sums.sxxl + d_head) + d_tail
+    cross = _segment_cross_terms(deltas, lens, lags, total, max_len)
+    if cross is not None:
+        new_sxxl = new_sxxl + cross
+
+    numerator = counts * new_sxxl - new_sx * new_sxl
+    var_head = counts * new_sx2 - new_sx * new_sx
+    var_tail = counts * new_sx2l - new_sxl * new_sxl
+    acf_new = np.zeros_like(numerator)
+    valid = (var_head > 0.0) & (var_tail > 0.0)
+    denom = np.sqrt(np.where(valid, var_head * var_tail, 1.0))
+    np.divide(numerator, denom, out=acf_new, where=valid)
+    return acf_new
+
+
+def _edge_acf_block(state: ACFAggregateState, lens: np.ndarray,
+                    positions: np.ndarray, deltas: np.ndarray,
+                    max_len: int) -> np.ndarray:
+    """Masked path for segments whose lag windows are clipped by a boundary.
+
     All ``(T, L)`` intermediates live in the thread-local scratch pool
     (:func:`_block_scratch`); the arithmetic — and therefore the result, bit
     for bit — matches the original allocation-per-call formulation.
@@ -325,7 +490,6 @@ def _contiguous_acf_block(state: ACFAggregateState, lens: np.ndarray,
     counts = sums.counts
     current = state.current
     n = state.n
-    num_segments = lens.size
     offsets = np.concatenate(([0], np.cumsum(lens[:-1])))
 
     total = positions.size
@@ -371,37 +535,9 @@ def _contiguous_acf_block(state: ACFAggregateState, lens: np.ndarray,
     # single-position segments stay bit-identical to it.
     new_sxxl = (sums.sxxl + d_head) + d_tail
 
-    # Cross terms delta_p * delta_{p+l} for pairs inside the same segment.
-    # Positions within a segment are consecutive, so lag-l pairs are exactly
-    # the concatenated entries at distance l that share a segment; one
-    # (T, L) partner gather + segment-reduce covers every lag at once.
-    max_len = int(lens.max())
-    if max_len > 1:
-        segment_ids = np.repeat(np.arange(num_segments, dtype=np.int64), lens)
-        num_cross_lags = min(max_len - 1, lags.size)
-        if num_cross_lags <= 8:
-            # Few lags carry cross terms: a short per-lag bincount beats
-            # materialising the full (T, L) pair matrix.
-            cross = np.zeros((num_segments, lags.size), dtype=np.float64)
-            for lag_index in range(num_cross_lags):
-                shift = lag_index + 1
-                same = segment_ids[shift:] == segment_ids[:-shift]
-                products = deltas[shift:] * deltas[:-shift]
-                cross[:, lag_index] = np.bincount(
-                    segment_ids[shift:][same], weights=products[same],
-                    minlength=num_segments)
-            new_sxxl = new_sxxl + cross
-        else:
-            partner = np.add(np.arange(total, dtype=np.int64)[:, np.newaxis],
-                             lags[np.newaxis, :], out=i1)
-            in_range = np.less(partner, total, out=b1)
-            np.minimum(partner, total - 1, out=partner)
-            np.take(segment_ids, partner, out=i2, mode="clip")
-            pair = np.equal(i2, segment_ids[:, np.newaxis], out=b2)
-            np.logical_and(pair, in_range, out=pair)
-            np.take(deltas, partner, out=f2, mode="clip")
-            np.multiply(deltas[:, np.newaxis], f2, out=f2)
-            new_sxxl = new_sxxl + _masked_segment_sums(f2, pair, f1, offsets)
+    cross = _segment_cross_terms(deltas, lens, lags, total, max_len)
+    if cross is not None:
+        new_sxxl = new_sxxl + cross
 
     numerator = counts * new_sxxl - new_sx * new_sxl
     var_head = counts * new_sx2 - new_sx * new_sx

@@ -6,6 +6,15 @@ of surviving points within ``h`` hops (the blocking neighbourhood whose
 impacts are refreshed after a removal).  Storing ``left``/``right`` pointer
 arrays gives O(1) removal and O(h) neighbourhood collection, exactly as
 described in Section 4.3 of the paper.
+
+The pointer chase itself left the hot path in the speculative-batch PR:
+:meth:`NeighborList.hops_array` resolves the ``h`` nearest survivors per
+side with one ``flatnonzero`` gather over a window of the alive mask
+(grown geometrically until it covers ``h`` survivors) instead of ``2h``
+sequential Python pointer dereferences, and :meth:`NeighborList.hops_batch`
+amortizes one survivor scan across a whole batch of indices.  The scalar
+:meth:`NeighborList.hops` walk is retained as the reference the property
+tests cross-check both against.
 """
 
 from __future__ import annotations
@@ -26,6 +35,7 @@ class NeighborList:
         self._right = np.arange(1, n + 1, dtype=np.int64)
         self._right[-1] = n  # sentinel one past the end
         self._alive = np.ones(n, dtype=bool)
+        self._alive_count = n
 
     # ------------------------------------------------------------------ #
     # queries
@@ -37,7 +47,7 @@ class NeighborList:
 
     def alive_count(self) -> int:
         """Number of surviving points."""
-        return int(self._alive.sum())
+        return self._alive_count
 
     def is_alive(self, index: int) -> bool:
         """Whether position ``index`` still survives."""
@@ -79,6 +89,7 @@ class NeighborList:
         if right < self._n:
             self._left[right] = left
         self._alive[index] = False
+        self._alive_count -= 1
         return left, right
 
     # ------------------------------------------------------------------ #
@@ -112,36 +123,98 @@ class NeighborList:
             steps += 1
         return result
 
+    def _window_hint(self, h: int) -> int:
+        """Initial alive-mask window expected to cover ``h`` survivors."""
+        density_window = (h * self._n) // max(self._alive_count, 1)
+        return max(2 * h, density_window + (density_window >> 2)) + 2
+
+    def _survivors_left(self, anchor: int, h: int) -> np.ndarray:
+        """Up to ``h`` alive positions ``<= anchor``, nearest (largest) first."""
+        if anchor < 0 or h <= 0:
+            return np.empty(0, dtype=np.int64)
+        alive = self._alive
+        window = self._window_hint(h)
+        while True:
+            lo = max(0, anchor + 1 - window)
+            found = np.flatnonzero(alive[lo:anchor + 1])
+            if found.size >= h or lo == 0:
+                break
+            window *= 2
+        if lo:
+            found += lo
+        return found[:-h - 1:-1] if found.size > h else found[::-1]
+
+    def _survivors_right(self, anchor: int, h: int) -> np.ndarray:
+        """Up to ``h`` alive positions ``>= anchor``, nearest (smallest) first."""
+        n = self._n
+        if anchor >= n or h <= 0:
+            return np.empty(0, dtype=np.int64)
+        alive = self._alive
+        window = self._window_hint(h)
+        while True:
+            hi = min(n, anchor + window)
+            found = np.flatnonzero(alive[anchor:hi])
+            if found.size >= h or hi == n:
+                break
+            window *= 2
+        if anchor:
+            found += anchor
+        return found[:h]
+
     def hops_array(self, index: int, h: int, *, include_endpoints: bool = False
                    ) -> np.ndarray:
-        """Like :meth:`hops` but returned as an ``int64`` array.
+        """Like :meth:`hops` but resolved with array gathers.
 
-        The walk itself is inherently sequential (a pointer chase over the
-        linked list), but the array form lets callers apply vectorized
-        alive/in-heap mask queries instead of per-element membership tests.
+        Instead of chasing ``2h`` pointers one Python dereference at a time,
+        each side's survivors are read off the alive mask with a single
+        ``flatnonzero`` over a window sized from the current survivor
+        density (grown geometrically on a miss).  Output order and content
+        match :meth:`hops` exactly: the ``h`` nearest survivors left of the
+        gap (nearest first), then the ``h`` nearest to the right.
         """
-        left_pointers = self._left
-        right_pointers = self._right
-        n = self._n
-        last = n - 1
-        result: list[int] = []
-        append = result.append
         left_anchor, right_anchor = self.gap(index)
-        cursor = left_anchor
-        steps = 0
-        while cursor >= 0 and steps < h:
-            if include_endpoints or 0 < cursor < last:
-                append(cursor)
-            cursor = int(left_pointers[cursor])
-            steps += 1
-        cursor = right_anchor
-        steps = 0
-        while cursor < n and steps < h:
-            if include_endpoints or 0 < cursor < last:
-                append(cursor)
-            cursor = int(right_pointers[cursor])
-            steps += 1
-        return np.asarray(result, dtype=np.int64)
+        lefts = self._survivors_left(left_anchor, h)
+        rights = self._survivors_right(right_anchor, h)
+        result = np.concatenate((lefts, rights))
+        if not include_endpoints:
+            last = self._n - 1
+            result = result[(result > 0) & (result < last)]
+        return result
+
+    def hops_batch(self, indices, h: int, *, include_endpoints: bool = False
+                   ) -> tuple[np.ndarray, np.ndarray]:
+        """Blocking neighbourhoods of a whole batch in one gather pass.
+
+        Returns ``(offsets, flat)`` where ``flat[offsets[i]:offsets[i+1]]``
+        is :meth:`hops_array` of ``indices[i]``.  One ``flatnonzero`` scan
+        of the alive mask is shared by the entire batch — each index's
+        neighbourhood is then two ``searchsorted`` slices of the survivor
+        array — so the per-index Python cost is O(1) array slicing instead
+        of a pointer chase.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        offsets = np.zeros(indices.size + 1, dtype=np.int64)
+        if indices.size == 0:
+            return offsets, np.empty(0, dtype=np.int64)
+        survivors = np.flatnonzero(self._alive)
+        last = self._n - 1
+        pieces: list[np.ndarray] = []
+        for position, index in enumerate(indices.tolist()):
+            left_anchor, right_anchor = self.gap(index)
+            # Survivors <= left_anchor, nearest first.
+            stop = int(np.searchsorted(survivors, left_anchor, side="right"))
+            lefts = survivors[max(0, stop - h):stop][::-1]
+            # Survivors >= right_anchor, nearest first.
+            start = int(np.searchsorted(survivors, right_anchor, side="left"))
+            rights = survivors[start:start + h]
+            piece = np.concatenate((lefts, rights))
+            if not include_endpoints:
+                piece = piece[(piece > 0) & (piece < last)]
+            pieces.append(piece)
+            offsets[position + 1] = offsets[position] + piece.size
+        flat = (np.concatenate(pieces) if pieces
+                else np.empty(0, dtype=np.int64))
+        return offsets, flat
 
     def gaps_of(self, indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Vectorized neighbour lookup for *surviving* positions.

@@ -33,7 +33,11 @@ from ..data.timeseries import IrregularSeries, TimeSeries
 from ..exceptions import InvalidParameterError
 from ..stats.windowed import tumbling_window_aggregate
 from .compressor import CameoCompressor
-from .impact import metric_rowwise, segment_interpolation_deltas
+from .impact import (
+    metric_rowwise,
+    resolve_rowwise_metric,
+    segment_interpolation_deltas_batched,
+)
 from .tracker import StatisticTracker
 
 __all__ = ["ParallelReport", "FineGrainedCameo", "CoarseGrainedCameo"]
@@ -94,41 +98,35 @@ class FineGrainedCameo(CameoCompressor):
     def _reheap_neighbours(self, tracker, neighbours, heap, removed: int, hops: int,
                            metric=None) -> int:
         if metric is None:
-            metric = self.metric
+            metric = resolve_rowwise_metric(self.metric)
         if self._pool is None:
             return super()._reheap_neighbours(tracker, neighbours, heap, removed,
                                               hops, metric)
         candidates = neighbours.hops_array(removed, hops)
         if candidates.size:
-            candidates = candidates[heap.contains_mask(candidates)].tolist()
-        else:
-            candidates = []
-        if not candidates:
+            candidates = candidates[heap.contains_mask(candidates)]
+        if candidates.size == 0:
             return 0
-        chunk_size = max(1, len(candidates) // self.threads)
-        chunks = [candidates[i:i + chunk_size] for i in range(0, len(candidates), chunk_size)]
+        # Chunk the *batched* preview across the pool: each worker resolves
+        # its chunk's gaps and runs the same fused segment kernel the
+        # sequential ReHeap uses (per-segment results are independent, so
+        # the chunked impacts are identical to one unchunked call).  The
+        # kernel's scratch pool is thread-local by design.
+        chunks = [chunk for chunk in np.array_split(candidates, self.threads)
+                  if chunk.size]
 
-        def evaluate(chunk: list[int]) -> list[tuple[int, float]]:
-            results = []
-            for neighbour in chunk:
-                left, right = neighbours.left_of(neighbour), neighbours.right_of(neighbour)
-                start, deltas = segment_interpolation_deltas(
-                    tracker.current_values, left, right)
-                if deltas.size == 0:
-                    impact = 0.0
-                else:
-                    statistic = tracker.preview(start, deltas)
-                    impact = tracker.deviation(metric, statistic)
-                results.append((neighbour, impact))
-            return results
+        def evaluate(chunk: np.ndarray) -> np.ndarray:
+            lefts, rights = neighbours.gaps_of(chunk)
+            starts, lengths, positions, deltas = segment_interpolation_deltas_batched(
+                tracker.current_values, lefts, rights)
+            return tracker.batch_impacts_segments(starts, lengths, positions,
+                                                  deltas, metric)
 
-        updates = 0
-        for chunk_result in self._pool.map(evaluate, chunks):
-            for neighbour, impact in chunk_result:
-                if neighbour in heap:
-                    heap.update(neighbour, impact)
-                    updates += 1
-        return updates
+        impacts = np.concatenate(list(self._pool.map(evaluate, chunks)))
+        heap.update_many(candidates, impacts)
+        if self._spec_enabled:
+            self._key_version[candidates] = self._state_version
+        return int(candidates.size)
 
 
 class CoarseGrainedCameo:

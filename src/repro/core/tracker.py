@@ -155,7 +155,9 @@ class StatisticTracker:
                 self._state.inner, window_lengths, window_positions, window_deltas)
         else:
             return self._batch_impacts_fallback(starts, lengths, deltas, metric)
-        return metric.rowwise(self._reference, self._to_statistic_rows(acf_matrix))
+        return metric.rowwise(self._reference,
+                              self._to_statistic_rows(acf_matrix),
+                              overwrite=True)
 
     def _segments_to_window_segments(self, lengths: np.ndarray, positions: np.ndarray,
                                      deltas: np.ndarray
@@ -299,5 +301,6 @@ class StatisticTracker:
                 state, np.ones(stop - start, dtype=np.int64),
                 positions[start:stop], deltas[start:stop])
             impacts[start:stop] = metric.rowwise(
-                self._reference, self._to_statistic_rows(acf_rows))
+                self._reference, self._to_statistic_rows(acf_rows),
+                overwrite=True)
         return impacts

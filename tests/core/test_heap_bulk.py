@@ -1,0 +1,256 @@
+"""Property tests: bulk heap operations vs the preserved reference heap.
+
+:class:`repro._kernels.reference.ReferenceIndexedMinHeap` is the
+pre-bulk-operations list heap, kept verbatim as the behavioural baseline.
+Hypothesis drives random operation sequences against both heaps:
+
+* with *distinct* keys every observable — pop order (items included),
+  membership, per-item keys, invariants — must match exactly;
+* with tie-heavy integer keys, bulk repairs may lay slots out differently,
+  so the checked contract weakens to: invariants always hold, the (item,
+  key) mapping matches a dict mirror, and pops always return a minimal key.
+
+The bulk-update error contract is pinned explicitly: duplicates raise,
+absent items are pushed (scalar ``update`` and ``update_many`` agree), and
+``push_many`` refuses present items.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._kernels.reference import ReferenceIndexedMinHeap
+from repro.core.heap import IndexedMinHeap
+
+CAPACITY = 24
+
+
+class _KeyGen:
+    """Deterministic distinct-key source (no two keys ever equal)."""
+
+    def __init__(self):
+        self._next = 0.0
+
+    def __call__(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        keys = self._next + np.cumsum(rng.uniform(0.25, 1.75, count))
+        self._next = float(keys[-1]) + 1.0
+        return rng.permutation(keys - rng.uniform(0, 2 * count))
+
+
+_OPS = st.lists(
+    st.tuples(st.sampled_from(["push", "pop", "pop_many", "remove", "update",
+                               "update_many", "push_many", "peek_many"]),
+              st.integers(0, 10 ** 6)),
+    min_size=1, max_size=40)
+
+
+def _mirror_check(fast: IndexedMinHeap, slow: ReferenceIndexedMinHeap):
+    assert fast.check_invariants()
+    assert slow.check_invariants()
+    assert len(fast) == len(slow)
+    fast_items = np.sort(fast.items())
+    assert np.array_equal(fast_items, np.sort(slow.items()))
+    for item in fast_items.tolist():
+        assert fast.key_of(item) == slow.key_of(item)
+        assert item in fast and item in slow
+    mask = fast.contains_mask(np.arange(CAPACITY))
+    for item in range(CAPACITY):
+        assert bool(mask[item]) == (item in slow)
+
+
+class TestDistinctKeysMirror:
+    """With distinct keys the two heaps are observationally identical."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(ops=_OPS, seed=st.integers(0, 2 ** 31))
+    def test_operation_sequences(self, ops, seed):
+        rng = np.random.default_rng(seed)
+        keygen = _KeyGen()
+        fast = IndexedMinHeap(CAPACITY)
+        slow = ReferenceIndexedMinHeap(CAPACITY)
+        count = int(rng.integers(0, CAPACITY + 1))
+        items = rng.permutation(CAPACITY)[:count]
+        keys = keygen(count, rng) if count else np.empty(0)
+        fast.heapify(items, keys)
+        slow.heapify(items, keys)
+        _mirror_check(fast, slow)
+
+        for op, raw in ops:
+            if op == "push" and len(fast) < CAPACITY:
+                absent = np.setdiff1d(np.arange(CAPACITY), fast.items())
+                item = int(absent[raw % absent.size])
+                key = float(keygen(1, rng)[0])
+                fast.push(item, key)
+                slow.push(item, key)
+            elif op == "pop" and len(fast):
+                assert fast.pop() == slow.pop()
+            elif op == "pop_many" and len(fast):
+                k = 1 + raw % len(fast)
+                popped_items, popped_keys = fast.pop_many(k)
+                expected = [slow.pop() for _ in range(k)]
+                assert list(zip(popped_items.tolist(),
+                                popped_keys.tolist())) == expected
+            elif op == "remove" and len(fast):
+                item = int(fast.items()[raw % len(fast)])
+                fast.remove(item)
+                slow.remove(item)
+            elif op == "update" and len(fast):
+                item = int(fast.items()[raw % len(fast)])
+                key = float(keygen(1, rng)[0])
+                fast.update(item, key)
+                slow.update(item, key)
+            elif op == "update_many":
+                count = raw % (CAPACITY + 1)
+                items = rng.permutation(CAPACITY)[:count]
+                keys = keygen(count, rng) if count else np.empty(0)
+                fast.update_many(items, keys)
+                slow.update_many(items, keys)
+            elif op == "push_many" and len(fast) < CAPACITY:
+                absent = np.setdiff1d(np.arange(CAPACITY), fast.items())
+                count = 1 + raw % absent.size
+                items = rng.permutation(absent)[:count]
+                keys = keygen(count, rng)
+                fast.push_many(items, keys)
+                for item, key in zip(items.tolist(), keys.tolist()):
+                    slow.push(item, key)
+            elif op == "peek_many" and len(fast):
+                k = 1 + raw % len(fast)
+                peek_items, peek_keys = fast.peek_many(k)
+                # Non-destructive, and identical to the next k pops.
+                probe = IndexedMinHeap(CAPACITY)
+                probe.heapify(fast.items(), fast.keys())
+                popped_items, popped_keys = probe.pop_many(k)
+                assert np.array_equal(np.sort(peek_keys), peek_keys)
+                assert np.array_equal(peek_keys, popped_keys)
+                assert np.array_equal(peek_items, popped_items)
+            _mirror_check(fast, slow)
+
+
+class TestTieHeavyInvariants:
+    """Integer keys force ties; contents and invariants must still hold."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(ops=_OPS, seed=st.integers(0, 2 ** 31))
+    def test_operation_sequences(self, ops, seed):
+        rng = np.random.default_rng(seed)
+        heap = IndexedMinHeap(CAPACITY)
+        count = int(rng.integers(0, CAPACITY + 1))
+        items = rng.permutation(CAPACITY)[:count]
+        keys = rng.integers(-3, 4, count).astype(float)
+        heap.heapify(items, keys)
+        mirror = {int(i): float(k) for i, k in zip(items, keys)}
+
+        for op, raw in ops:
+            if op in ("push", "push_many") and len(heap) < CAPACITY:
+                absent = np.setdiff1d(np.arange(CAPACITY), heap.items())
+                count = 1 + raw % absent.size
+                items = rng.permutation(absent)[:count]
+                keys = rng.integers(-3, 4, count).astype(float)
+                heap.push_many(items, keys)
+                mirror.update(zip(items.tolist(), keys.tolist()))
+            elif op in ("pop", "pop_many") and len(heap):
+                k = 1 + raw % len(heap)
+                popped_items, popped_keys = heap.pop_many(k)
+                assert np.array_equal(popped_keys, np.sort(popped_keys))
+                assert popped_keys[0] == min(mirror.values())
+                for item, key in zip(popped_items.tolist(),
+                                     popped_keys.tolist()):
+                    assert mirror.pop(item) == key
+            elif op == "remove" and len(heap):
+                item = int(heap.items()[raw % len(heap)])
+                heap.remove(item)
+                mirror.pop(item)
+            elif op in ("update", "update_many"):
+                count = raw % (CAPACITY + 1)
+                items = rng.permutation(CAPACITY)[:count]
+                keys = rng.integers(-3, 4, count).astype(float)
+                heap.update_many(items, keys)
+                mirror.update(zip(items.tolist(), keys.tolist()))
+            elif op == "peek_many" and len(heap):
+                before = len(heap)
+                _items, peek_keys = heap.peek_many(1 + raw % len(heap))
+                assert len(heap) == before
+                assert peek_keys[0] == min(mirror.values())
+            assert heap.check_invariants()
+            assert len(heap) == len(mirror)
+            for item in heap.items().tolist():
+                assert heap.key_of(item) == mirror[item]
+
+
+class TestBulkRebuildPath:
+    """Heap-scale update batches exercise the argsort rebuild."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 2 ** 31))
+    def test_full_rekey_matches_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        size = int(rng.integers(2, 200))
+        items = rng.permutation(max(size, 2) * 2)[:size]
+        keys = rng.normal(0, 1, size)
+        fast = IndexedMinHeap(int(items.max()) + 1)
+        slow = ReferenceIndexedMinHeap(int(items.max()) + 1)
+        fast.heapify(items, keys)
+        slow.heapify(items, keys)
+        new_keys = rng.normal(0, 1, size)
+        fast.update_many(items, new_keys)
+        slow.update_many(items, new_keys)
+        assert fast.check_invariants()
+        drained = [fast.pop() for _ in range(len(fast))]
+        expected = [slow.pop() for _ in range(len(slow))]
+        assert drained == expected
+
+
+class TestErrorContract:
+    """The bulk-update error paths, pinned for scalar and bulk alike."""
+
+    def _loaded(self):
+        heap = IndexedMinHeap(10)
+        heap.heapify([1, 2, 3], [1.0, 2.0, 3.0])
+        return heap
+
+    def test_update_many_duplicate_items_raise(self):
+        heap = self._loaded()
+        with pytest.raises(ValueError, match="duplicate"):
+            heap.update_many([1, 1], [0.0, 0.5])
+        # The heap is untouched by the failed call.
+        assert heap.check_invariants() and len(heap) == 3
+
+    def test_update_many_pushes_absent_items(self):
+        heap = self._loaded()
+        heap.update_many([5, 1, 7], [9.0, 0.25, -1.0])
+        assert heap.key_of(5) == 9.0
+        assert heap.key_of(7) == -1.0
+        assert heap.key_of(1) == 0.25
+        assert heap.pop() == (7, -1.0)
+
+    def test_scalar_update_agrees_with_bulk_on_absent(self):
+        bulk = self._loaded()
+        scalar = self._loaded()
+        bulk.update_many([6], [0.5])
+        scalar.update(6, 0.5)
+        assert bulk.key_of(6) == scalar.key_of(6) == 0.5
+
+    def test_push_many_duplicate_items_raise(self):
+        heap = self._loaded()
+        with pytest.raises(ValueError, match="duplicate"):
+            heap.push_many([4, 4], [0.0, 0.5])
+
+    def test_push_many_present_items_raise(self):
+        heap = self._loaded()
+        with pytest.raises(ValueError, match="absent"):
+            heap.push_many([1, 4], [0.0, 0.5])
+
+    def test_out_of_range_items_raise(self):
+        heap = self._loaded()
+        with pytest.raises(ValueError, match="range"):
+            heap.update_many([11], [0.0])
+        with pytest.raises(ValueError, match="range"):
+            heap.push_many([-1], [0.0])
+
+    def test_update_many_empty_is_noop(self):
+        heap = self._loaded()
+        heap.update_many(np.empty(0, dtype=np.int64), np.empty(0))
+        assert len(heap) == 3

@@ -1,0 +1,82 @@
+"""The partitioned ReHeap kernel must reproduce the preserved one bit for bit.
+
+``repro.core.impact.batched_contiguous_acf`` now routes interior segments
+(whose lag windows never cross a series boundary) through a fast path that
+collapses the four masked head/tail segment sums to plain per-segment sums
+and fuses the lagged gathers, while boundary segments keep the fully masked
+formulation.  The pre-partitioning kernel is preserved verbatim as
+:func:`repro._kernels.reference.reference_batched_contiguous_acf`; every
+row the new kernel produces must equal it **bit for bit** — this is what
+keeps the heap keys, and with them the CAMEO pop order, identical across
+the refactor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._kernels.reference import reference_batched_contiguous_acf
+from repro.core.impact import batched_contiguous_acf
+from repro.stats.aggregates import ACFAggregateState
+
+
+def _random_case(rng: np.random.Generator):
+    n = int(rng.integers(12, 400))
+    max_lag = int(rng.integers(1, min(n - 2, 60)))
+    values = rng.normal(0.0, 1.0, n)
+    state = ACFAggregateState(values, max_lag)
+    segments = int(rng.integers(1, 40))
+    lengths = rng.integers(0, min(14, n - 1), segments)
+    positions: list[int] = []
+    for length in lengths:
+        if length == 0:
+            continue
+        start = int(rng.integers(0, n - length + 1))
+        positions.extend(range(start, start + int(length)))
+    positions_arr = np.asarray(positions, dtype=np.int64)
+    deltas = rng.normal(0.0, 0.5, positions_arr.size)
+    return state, lengths, positions_arr, deltas
+
+
+@settings(max_examples=150, deadline=None)
+@given(seed=st.integers(0, 2 ** 31))
+def test_bitwise_identical_to_reference(seed):
+    rng = np.random.default_rng(seed)
+    state, lengths, positions, deltas = _random_case(rng)
+    fast = batched_contiguous_acf(state, lengths, positions, deltas)
+    slow = reference_batched_contiguous_acf(state, lengths, positions, deltas)
+    assert np.array_equal(fast, slow)
+
+
+def test_boundary_segments_take_the_masked_path():
+    # Segments hugging both series ends force the edge path and the
+    # interior/edge split within one call.
+    rng = np.random.default_rng(9)
+    n, max_lag = 120, 30
+    state = ACFAggregateState(rng.normal(0, 1, n), max_lag)
+    lengths = np.array([4, 3, 5], dtype=np.int64)
+    positions = np.concatenate([
+        np.arange(0, 4),            # clipped on the left
+        np.arange(60, 63),          # interior
+        np.arange(n - 5, n),        # clipped on the right
+    ]).astype(np.int64)
+    deltas = rng.normal(0, 0.5, positions.size)
+    fast = batched_contiguous_acf(state, lengths, positions, deltas)
+    slow = reference_batched_contiguous_acf(state, lengths, positions, deltas)
+    assert np.array_equal(fast, slow)
+
+
+def test_zero_length_segments_get_current_acf():
+    rng = np.random.default_rng(11)
+    state = ACFAggregateState(rng.normal(0, 1, 80), 10)
+    lengths = np.array([0, 2, 0], dtype=np.int64)
+    positions = np.array([40, 41], dtype=np.int64)
+    deltas = np.array([0.5, -0.25])
+    fast = batched_contiguous_acf(state, lengths, positions, deltas)
+    assert np.array_equal(fast[0], state.acf())
+    assert np.array_equal(fast[2], state.acf())
+    assert np.array_equal(
+        fast, reference_batched_contiguous_acf(state, lengths, positions,
+                                               deltas))

@@ -1,0 +1,80 @@
+"""Property tests: array-backed neighbour hops vs the scalar pointer chase.
+
+:meth:`repro.core.neighbors.NeighborList.hops` walks the linked list one
+Python dereference at a time and is kept as the behavioural reference;
+:meth:`~repro.core.neighbors.NeighborList.hops_array` (windowed alive-mask
+gather) and :meth:`~repro.core.neighbors.NeighborList.hops_batch` (one
+survivor scan shared by a whole batch) must reproduce it element for
+element — content *and* order — under random removal orders.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.neighbors import NeighborList
+
+
+def _build(seed: int, n: int, removal_fraction: float) -> NeighborList:
+    rng = np.random.default_rng(seed)
+    neighbours = NeighborList(n)
+    interior = rng.permutation(np.arange(1, n - 1))
+    for index in interior[:int(removal_fraction * interior.size)].tolist():
+        neighbours.remove(index)
+    return neighbours
+
+
+@settings(max_examples=150, deadline=None)
+@given(seed=st.integers(0, 2 ** 31), n=st.integers(2, 200),
+       removal_fraction=st.floats(0.0, 1.0), h=st.integers(1, 40),
+       include_endpoints=st.booleans())
+def test_hops_array_matches_pointer_chase(seed, n, removal_fraction, h,
+                                          include_endpoints):
+    neighbours = _build(seed, n, removal_fraction)
+    rng = np.random.default_rng(seed + 1)
+    for index in rng.integers(0, n, 6).tolist():
+        expected = np.asarray(
+            neighbours.hops(index, h, include_endpoints=include_endpoints),
+            dtype=np.int64)
+        got = neighbours.hops_array(index, h,
+                                    include_endpoints=include_endpoints)
+        assert got.dtype == np.int64
+        assert np.array_equal(got, expected)
+
+
+@settings(max_examples=100, deadline=None)
+@given(seed=st.integers(0, 2 ** 31), n=st.integers(2, 200),
+       removal_fraction=st.floats(0.0, 1.0), h=st.integers(1, 25),
+       include_endpoints=st.booleans())
+def test_hops_batch_matches_hops_array(seed, n, removal_fraction, h,
+                                       include_endpoints):
+    neighbours = _build(seed, n, removal_fraction)
+    rng = np.random.default_rng(seed + 2)
+    indices = rng.integers(0, n, int(rng.integers(1, 9)))
+    offsets, flat = neighbours.hops_batch(
+        indices, h, include_endpoints=include_endpoints)
+    assert offsets.size == indices.size + 1
+    assert offsets[-1] == flat.size
+    for position, index in enumerate(indices.tolist()):
+        expected = neighbours.hops_array(
+            int(index), h, include_endpoints=include_endpoints)
+        piece = flat[offsets[position]:offsets[position + 1]]
+        assert np.array_equal(piece, expected)
+
+
+def test_hops_batch_empty_indices():
+    neighbours = NeighborList(10)
+    offsets, flat = neighbours.hops_batch(np.empty(0, dtype=np.int64), 3)
+    assert offsets.tolist() == [0]
+    assert flat.size == 0
+
+
+def test_alive_count_tracks_removals():
+    neighbours = NeighborList(12)
+    assert neighbours.alive_count() == 12
+    for index in (3, 7, 5):
+        neighbours.remove(index)
+    assert neighbours.alive_count() == 9
+    assert neighbours.alive_count() == int(neighbours.alive_mask().sum())

@@ -1,0 +1,142 @@
+"""Kept-set equivalence of the speculative multi-pop loop.
+
+``batch_size=1`` runs the exact pre-speculation sequential loop (scalar
+pop-time previews, no fresh-key reuse).  Every speculative configuration
+must keep **bit-identical point sets** to it: the speculative paths resolve
+a candidate's deviation from values computed against the same tracker
+state, so no accept/reject decision may flip.
+
+The config matrix intentionally mirrors (and extends) the fixed-seed
+regression style of ``test_pacf_fastpath.py``: both statistics, the default
+``"5logn"`` blocking, aggregated series, skip mode, target-ratio mode,
+non-default metrics, and the generic-statistic tracker.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CameoCompressor
+from repro.core.compressor import DEFAULT_SPECULATIVE_BATCH
+from repro.core.parallel import FineGrainedCameo
+from repro.stats.descriptors import Statistic
+
+
+def _series(seed: int, n: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    t = np.arange(n)
+    return (3.0 + np.sin(2 * np.pi * t / 24) + 0.4 * np.sin(2 * np.pi * t / 160)
+            + rng.normal(0.0, 0.3, n))
+
+
+#: The fixed-seed regression matrix: (kwargs, seed, n).  Every entry is run
+#: with the sequential loop and the speculative loop and must produce the
+#: same kept indices, stop reason, and iteration count.
+CONFIGS = [
+    (dict(max_lag=12, epsilon=0.05), 21, 400),
+    (dict(max_lag=12, epsilon=0.05, blocking="5logn"), 3, 700),
+    (dict(max_lag=24, epsilon=0.03, blocking="5logn"), 7, 1200),
+    (dict(max_lag=8, epsilon=0.02, blocking="logn"), 13, 500),
+    (dict(max_lag=10, epsilon=0.05, blocking=9), 17, 600),
+    (dict(max_lag=12, epsilon=0.04, metric="cheb"), 23, 500),
+    (dict(max_lag=10, epsilon=0.10, metric="rmse"), 29, 450),
+    (dict(max_lag=8, epsilon=0.05, agg_window=4), 31, 640),
+    (dict(max_lag=6, epsilon=0.05, agg_window=5, agg="sum"), 37, 600),
+    (dict(max_lag=6, epsilon=0.08, agg_window=5, agg="max"), 41, 400),
+    (dict(max_lag=12, epsilon=0.04, on_violation="skip"), 43, 500),
+    (dict(max_lag=12, epsilon=None, target_ratio=4.0), 47, 600),
+    (dict(max_lag=12, epsilon=0.05, target_ratio=2.0), 53, 500),
+    (dict(max_lag=12, epsilon=0.02, statistic="pacf"), 5, 800),
+    (dict(max_lag=8, epsilon=0.08, statistic="pacf", blocking="5logn"), 21, 400),
+    (dict(max_lag=6, epsilon=0.05, statistic="pacf", agg_window=4), 11, 640),
+    (dict(max_lag=8, epsilon=0.04, statistic="pacf", on_violation="skip"), 19, 500),
+]
+
+_IDS = [f"cfg{i}-" + "-".join(
+    f"{k}={v}" for k, v in sorted(cfg.items()) if k in
+    ("statistic", "agg_window", "on_violation", "blocking", "metric",
+     "target_ratio"))
+    for i, (cfg, _s, _n) in enumerate(CONFIGS)]
+
+
+@pytest.mark.parametrize("kwargs,seed,n", CONFIGS, ids=_IDS)
+def test_speculative_matches_sequential(kwargs, seed, n):
+    x = _series(seed, n)
+    sequential = CameoCompressor(batch_size=1, **kwargs).compress(x)
+    speculative = CameoCompressor(batch_size=DEFAULT_SPECULATIVE_BATCH,
+                                  **kwargs).compress(x)
+    assert speculative.indices.tolist() == sequential.indices.tolist()
+    assert np.array_equal(speculative.values, sequential.values)
+    assert (speculative.metadata["stopped_by"]
+            == sequential.metadata["stopped_by"])
+    assert (speculative.metadata["iterations"]
+            == sequential.metadata["iterations"])
+    # Something must be removed for the comparison to be meaningful.
+    assert speculative.metadata["removed_points"] > 0
+
+
+@pytest.mark.parametrize("batch_size", [2, 3, 5])
+def test_intermediate_batch_sizes(batch_size):
+    x = _series(61, 600)
+    sequential = CameoCompressor(max_lag=12, epsilon=0.05,
+                                 batch_size=1).compress(x)
+    batched = CameoCompressor(max_lag=12, epsilon=0.05,
+                              batch_size=batch_size).compress(x)
+    assert batched.indices.tolist() == sequential.indices.tolist()
+
+
+def test_auto_is_the_default_and_reports_reuse():
+    x = _series(67, 500)
+    result = CameoCompressor(max_lag=10, epsilon=0.05).compress(x)
+    assert result.metadata["batch_size"] == DEFAULT_SPECULATIVE_BATCH
+    reuse = result.metadata["preview_reuse"]
+    assert set(reuse) == {"fresh_key_hits", "speculative_hits",
+                          "scalar_previews"}
+    decisions = (reuse["fresh_key_hits"] + reuse["speculative_hits"]
+                 + reuse["scalar_previews"])
+    assert decisions == result.metadata["iterations"]
+    # The whole point: the vast majority of previews are reused.
+    assert reuse["fresh_key_hits"] + reuse["speculative_hits"] > decisions // 2
+
+
+def test_sequential_run_reports_no_reuse_counters():
+    x = _series(67, 400)
+    result = CameoCompressor(max_lag=10, epsilon=0.05, batch_size=1).compress(x)
+    assert result.metadata["batch_size"] == 1
+    assert "preview_reuse" not in result.metadata
+
+
+def test_batch_size_validation():
+    from repro.exceptions import InvalidParameterError
+    with pytest.raises(InvalidParameterError):
+        CameoCompressor(max_lag=8, epsilon=0.05, batch_size=0)
+    CameoCompressor(max_lag=8, epsilon=0.05, batch_size="auto")
+
+
+def test_generic_statistic_tracker_speculation_is_exact():
+    # Custom Statistic objects preview one segment at a time, so their
+    # fresh-key reuse is exact (keys *are* scalar preview values); the
+    # speculative loop must reproduce the sequential kept set.
+    class Mean5(Statistic):
+        name = "mean5"
+
+        def compute(self, values: np.ndarray) -> np.ndarray:
+            kernel = np.ones(5) / 5.0
+            return np.convolve(values, kernel, mode="valid")[:40]
+
+    x = _series(71, 300)
+    sequential = CameoCompressor(max_lag=8, epsilon=0.05, statistic=Mean5(),
+                                 batch_size=1).compress(x)
+    speculative = CameoCompressor(max_lag=8, epsilon=0.05, statistic=Mean5(),
+                                  batch_size=8).compress(x)
+    assert speculative.indices.tolist() == sequential.indices.tolist()
+
+
+def test_fine_grained_pool_matches_sequential():
+    # The chunked evaluator reuses the batched preview kernel, so the
+    # threaded strategy stays identical to the plain compressor.
+    x = _series(73, 600)
+    plain = CameoCompressor(max_lag=12, epsilon=0.05).compress(x)
+    threaded = FineGrainedCameo(max_lag=12, epsilon=0.05, threads=3).compress(x)
+    assert threaded.indices.tolist() == plain.indices.tolist()

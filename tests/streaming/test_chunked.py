@@ -102,6 +102,41 @@ class TestStreamingCompressor:
         chunks = stream.add(_seasonal(200))
         assert chunks[0].compressed.metadata["statistic"] == "pacf"
 
+    def test_non_default_knobs_survive_the_chunk_boundary(self):
+        # Every configured knob must reach the per-chunk compressor AND be
+        # visible in each sealed block's metadata (not just in the codec).
+        stream = StreamingCameoCompressor(
+            chunk_size=200, max_lag=12, epsilon=0.05,
+            blocking=3, batch_size=1, on_violation="skip", metric="cheb")
+        compressor = stream.codec._compressor
+        assert compressor.blocking == 3
+        assert compressor.batch_size == 1
+        assert compressor.on_violation == "skip"
+        chunks = stream.add(_seasonal(450)) + stream.flush()
+        assert len(chunks) >= 2
+        for chunk in chunks:
+            metadata = chunk.block.metadata
+            if metadata.get("short_segment"):
+                continue
+            assert metadata["blocking"] == 3
+            assert metadata["batch_size"] == 1
+            assert metadata["metric"] == "cheb"
+            assert metadata["stopped_by"] is not None
+            # The bulky reference vector must not ride along.
+            assert "reference_statistic" not in metadata
+
+    def test_speculative_batch_survives_name_based_codec_route(self):
+        stream = StreamingCompressor(
+            chunk_size=128, codec="cameo",
+            codec_options=dict(max_lag=10, epsilon=0.05, batch_size=4,
+                               blocking=5))
+        chunks = stream.add(_seasonal(256)) + stream.flush()
+        for chunk in chunks:
+            if chunk.block.metadata.get("short_segment"):
+                continue
+            assert chunk.block.metadata["batch_size"] == 4
+            assert chunk.block.metadata["blocking"] == 5
+
 
 class TestStreamingGenericCodec:
     """Edge cases of the codec-generic stream compressor."""

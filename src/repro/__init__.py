@@ -19,6 +19,7 @@ system:
 ``repro.io``            serialization of compressed representations
 ``repro.storage``       compression-aware segment store + query engine
 ``repro.streaming``     chunked streaming CAMEO, online ACF, drift monitor
+``repro.engine``        multi-series batch engine (serial/thread/process)
 
 Quickstart
 ----------
@@ -33,6 +34,7 @@ True
 
 from .codecs import Codec, CompressedBlock, available_codecs, get_codec, register_codec
 from .core import CameoCompressor, CoarseGrainedCameo, FineGrainedCameo, cameo_compress
+from .engine import BatchEngine, BatchReport, BatchResult, compress_batch
 from .data import IrregularSeries, TimeSeries, dataset_names, load_dataset
 from .exceptions import (
     CodecError,
@@ -62,6 +64,10 @@ __all__ = [
     "available_codecs",
     "FineGrainedCameo",
     "CoarseGrainedCameo",
+    "BatchEngine",
+    "compress_batch",
+    "BatchReport",
+    "BatchResult",
     "TimeSeries",
     "IrregularSeries",
     "load_dataset",

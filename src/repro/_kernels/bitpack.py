@@ -24,7 +24,8 @@ import numpy as np
 
 from ..exceptions import CodecError
 
-__all__ = ["BlockBitWriter", "BlockBitReader", "pack_bits", "words_to_bytes"]
+__all__ = ["BlockBitWriter", "BlockBitReader", "pack_bits", "words_to_bytes",
+           "pack_field_streams"]
 
 _MASK64 = 0xFFFFFFFFFFFFFFFF
 _U64 = np.uint64
@@ -100,6 +101,50 @@ def words_to_bytes(words: np.ndarray, nbits: int) -> bytes:
         return b""
     nbytes = (nbits + 7) >> 3
     return words.astype(">u8").tobytes()[:nbytes]
+
+
+def pack_field_streams(field_stream_fn, bits: np.ndarray, *row_args
+                       ) -> list[tuple[bytes, int, int]]:
+    """Pack many per-series field streams through **one** :func:`pack_bits`.
+
+    The cross-series batch path of the XOR codecs: ``field_stream_fn`` is
+    the codec's sequential control-code pass, called once per row of
+    ``bits`` (a ``(num_series, length)`` uint64 matrix) with the matching
+    row of every ``row_args`` sequence.  All resulting variable-width
+    fields are concatenated — each series zero-padded to a 64-bit word
+    boundary — and packed in a single call; the word stream then splits
+    cleanly at the per-series boundaries.
+
+    Returns one ``(payload, bit_length, count)`` triple per row,
+    byte-identical to packing each series on its own: :func:`pack_bits`
+    starts from zeroed words and the padding fields are zero, so a series'
+    trailing word bits match the zero-padding of an individual pack.
+    """
+    count = int(bits.shape[1])
+    all_fields: list[int] = []
+    all_widths: list[int] = []
+    spans: list[tuple[int, int]] = []
+    bit_cursor = 0
+    for row in range(bits.shape[0]):
+        fields, widths = field_stream_fn(int(bits[row, 0]),
+                                         *(arg[row] for arg in row_args))
+        bit_len = sum(widths)
+        spans.append((bit_cursor, bit_len))
+        all_fields += fields
+        all_widths += widths
+        pad = (-bit_len) % 64
+        if pad:
+            all_fields.append(0)
+            all_widths.append(pad)
+        bit_cursor += bit_len + pad
+    words, _total_bits = pack_bits(np.asarray(all_fields, dtype=_U64),
+                                   np.asarray(all_widths, dtype=np.int64))
+    results = []
+    for start, bit_len in spans:
+        lo = start >> 6
+        hi = (start + bit_len + 63) >> 6
+        results.append((words_to_bytes(words[lo:hi], bit_len), bit_len, count))
+    return results
 
 
 def payload_words(payload: bytes) -> list[int]:

@@ -1,6 +1,6 @@
 """Command-line interface for the CAMEO reproduction library.
 
-Four subcommands cover the typical workflow on CSV data:
+Five subcommands cover the typical workflow on CSV data:
 
 ``compress``
     Compress a single-column CSV (or one column of a wider CSV) with any
@@ -8,6 +8,14 @@ Four subcommands cover the typical workflow on CSV data:
     compressed representation as irregular-series JSON or ``.npz``; every
     other codec writes a portable codec-block JSON document (``.json``
     outputs only).
+
+``compress-batch``
+    Compress a whole fleet of CSVs (glob patterns and/or directories)
+    through the batch engine: ``--backend serial|thread|process``,
+    ``--workers N``, any registered ``--codec``.  Writes one codec-block
+    JSON document per input into ``--output-dir`` and prints the aggregate
+    throughput report; a failing series is reported and skipped, the rest
+    of the batch completes.
 
 ``decompress``
     Reconstruct the regular series from a compressed representation
@@ -30,6 +38,8 @@ Example
         --epsilon 0.01 --output readings.cameo.json
     python -m repro.cli compress readings.csv --codec gorilla \
         --output readings.gorilla.json
+    python -m repro.cli compress-batch "sensors/*.csv" --codec gorilla \
+        --backend process --workers 4 --output-dir compressed/
     python -m repro.cli compress readings.csv --codec pmc \
         --codec-arg error_bound=0.5 --output readings.pmc.json
     python -m repro.cli decompress readings.cameo.json --output restored.csv
@@ -198,6 +208,109 @@ def _compress_cameo(args: argparse.Namespace, values: np.ndarray) -> int:
     return 0
 
 
+def _expand_batch_inputs(patterns: list[str]) -> list[Path]:
+    """Resolve glob patterns / directories / files into a CSV file list."""
+    import glob as globlib
+
+    paths: list[Path] = []
+    seen: set[Path] = set()
+    for pattern in patterns:
+        candidate = Path(pattern)
+        if candidate.is_dir():
+            matches = sorted(candidate.glob("*.csv"))
+        elif candidate.is_file():
+            matches = [candidate]
+        else:
+            matches = sorted(Path(match) for match in globlib.glob(pattern))
+        for match in matches:
+            if match.is_file() and match not in seen:
+                seen.add(match)
+                paths.append(match)
+    return paths
+
+
+def _unique_series_names(paths: list[Path]) -> list[str]:
+    """Collision-free series names (they become output filenames).
+
+    Two inputs with the same stem from different directories must not
+    overwrite each other's document: colliding stems are disambiguated with
+    their parent directory name, and numbered as a last resort.
+    """
+    stems = [path.stem for path in paths]
+    counts: dict[str, int] = {}
+    for stem in stems:
+        counts[stem] = counts.get(stem, 0) + 1
+    names: list[str] = []
+    used: set[str] = set()
+    for path, stem in zip(paths, stems):
+        name = stem if counts[stem] == 1 else f"{path.parent.name}-{stem}"
+        if not name or name in used:
+            base = name or stem or "series"
+            suffix = 2
+            while f"{base}-{suffix}" in used:
+                suffix += 1
+            name = f"{base}-{suffix}"
+        used.add(name)
+        names.append(name)
+    return names
+
+
+def _cmd_compress_batch(args: argparse.Namespace) -> int:
+    from .engine import compress_batch
+
+    paths = _expand_batch_inputs(args.inputs)
+    if not paths:
+        raise ReproError(f"no input files matched {args.inputs!r}")
+    spec = codec_spec(args.codec)
+    options = _codec_options_from_flags(args, spec.family)
+
+    series: list[np.ndarray] = []
+    names: list[str] = []
+    read_failures: list[tuple[str, str]] = []
+    unique_names = _unique_series_names(paths)
+    for path, name in zip(paths, unique_names):
+        try:
+            values = _read_csv_column(path, args.column)
+        except ReproError as exc:
+            read_failures.append((name, str(exc)))
+            continue
+        series.append(values)
+        names.append(name)
+
+    result = compress_batch(series, codec=spec.name, names=names,
+                            codec_options=options, backend=args.backend,
+                            workers=args.workers,
+                            fastpath=not args.no_fastpath)
+
+    output_dir = Path(args.output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    codec = get_codec(spec.name, **options)
+    failed = len(read_failures)
+    for name, message in read_failures:
+        print(f"  FAILED {name}: {message}")
+    for outcome in result:
+        if not outcome.ok:
+            failed += 1
+            print(f"  FAILED {outcome.name}: {outcome.error_type}: {outcome.error}")
+            continue
+        block = outcome.block
+        destination = output_dir / f"{outcome.name}.{spec.name}.json"
+        save_block_json(block, destination,
+                        materialize=lambda block=block: codec.decode(block))
+
+    report = result.report
+    print(f"compressed {report.series - report.failed}/{report.series + len(read_failures)} "
+          f"series with {spec.name} on the {report.backend} backend "
+          f"({report.workers} worker{'s' if report.workers != 1 else ''})")
+    print(f"  {report.total_points} points -> {report.bits_per_value:.2f} bits/value "
+          f"(ratio {report.compression_ratio:.2f}x)")
+    print(f"  wall {report.wall_seconds:.2f} s, cpu {report.cpu_seconds:.2f} s, "
+          f"{report.points_per_sec:.0f} points/s, "
+          f"{report.fastpath_series} series via cross-series fast paths")
+    print(f"wrote {report.series - report.failed} codec-block documents to {output_dir}")
+    return 0 if failed == 0 else 3
+
+
 def _cmd_decompress(args: argparse.Namespace) -> int:
     path = Path(args.input)
     block = None
@@ -315,6 +428,36 @@ def build_parser() -> argparse.ArgumentParser:
                           help="output path (default <input>.<codec>.json; "
                                ".npz is supported for the cameo codec only)")
     compress.set_defaults(func=_cmd_compress)
+
+    batch = subparsers.add_parser(
+        "compress-batch",
+        help="compress many CSVs through the batch engine")
+    batch.add_argument("inputs", nargs="+",
+                       help="CSV files, glob patterns, or directories")
+    batch.add_argument("--column", default=None,
+                       help="CSV column name or index (default: last column)")
+    batch.add_argument("--codec", default="cameo",
+                       help="registered codec to use (see list-codecs)")
+    batch.add_argument("--codec-arg", action="append", default=[], metavar="K=V",
+                       help="extra codec option, repeatable")
+    batch.add_argument("--backend", default="serial",
+                       choices=("serial", "thread", "process"),
+                       help="execution backend (default serial)")
+    batch.add_argument("--workers", type=int, default=None,
+                       help="parallel workers (default: CPU count)")
+    batch.add_argument("--no-fastpath", action="store_true",
+                       help="disable the cross-series batched fast paths")
+    batch.add_argument("--output-dir", default="compressed",
+                       help="directory for the codec-block documents "
+                            "(default ./compressed)")
+    batch.add_argument("--max-lag", type=int, default=24)
+    batch.add_argument("--epsilon", type=float, default=0.01)
+    batch.add_argument("--metric", default="mae")
+    batch.add_argument("--agg-window", type=int, default=1)
+    batch.add_argument("--blocking", default="5logn")
+    batch.add_argument("--statistic", choices=("acf", "pacf"), default="acf")
+    batch.add_argument("--target-ratio", type=float, default=None)
+    batch.set_defaults(func=_cmd_compress_batch)
 
     decompress = subparsers.add_parser("decompress",
                                        help="reconstruct a compressed representation")

@@ -24,14 +24,14 @@ from typing import Callable
 
 import numpy as np
 
-from .._validation import as_float_array, check_positive_int
+from .._validation import check_positive_int
 from ..compressors import FFTCompressor, PoorMansCompressionMean, SimPiece, SwingFilter
 from ..compressors.base import CompressedModel, LossyCompressor
 from ..core import CameoCompressor
 from ..data.timeseries import BITS_PER_VALUE_RAW, IrregularSeries
 from ..lossless import ChimpCodec, GorillaCodec
 from ..simplify import AcfConstrainedSimplifier, make_simplifier
-from .base import Codec, CompressedBlock
+from .base import SOURCE_DTYPE_KEY, Codec, CompressedBlock, ingest_values, restore_dtype
 from .registry import register_codec
 
 __all__ = [
@@ -47,6 +47,13 @@ __all__ = [
 ]
 
 
+def _tag_dtype(block: CompressedBlock, source_dtype: str | None) -> CompressedBlock:
+    """Record a narrower input dtype on the block so decode can restore it."""
+    if source_dtype:
+        block.metadata[SOURCE_DTYPE_KEY] = source_dtype
+    return block
+
+
 class RawCodec(Codec):
     """Identity codec: stores the values verbatim at 64 bits each."""
 
@@ -54,15 +61,15 @@ class RawCodec(Codec):
     lossless = True
 
     def encode(self, values) -> CompressedBlock:
-        values = as_float_array(values)
-        return CompressedBlock(codec=self.name, payload=values.copy(),
-                               length=values.size,
-                               bits=values.size * BITS_PER_VALUE_RAW,
-                               lossless=True)
+        values, source_dtype = ingest_values(values)
+        return _tag_dtype(CompressedBlock(codec=self.name, payload=values.copy(),
+                                          length=values.size,
+                                          bits=values.size * BITS_PER_VALUE_RAW,
+                                          lossless=True), source_dtype)
 
     def decode(self, block: CompressedBlock) -> np.ndarray:
         self._check_block(block)
-        return np.asarray(block.payload, dtype=np.float64).copy()
+        return restore_dtype(block, np.asarray(block.payload, dtype=np.float64).copy())
 
 
 class _XorCodec(Codec):
@@ -75,16 +82,31 @@ class _XorCodec(Codec):
         self._codec = self._codec_factory()
 
     def encode(self, values) -> CompressedBlock:
-        values = as_float_array(values)
+        values, source_dtype = ingest_values(values)
         payload, bit_length, count = self._codec.encode(values)
-        return CompressedBlock(codec=self.name,
-                               payload=(payload, bit_length, count),
-                               length=count, bits=bit_length, lossless=True)
+        return _tag_dtype(CompressedBlock(codec=self.name,
+                                          payload=(payload, bit_length, count),
+                                          length=count, bits=bit_length,
+                                          lossless=True), source_dtype)
 
     def decode(self, block: CompressedBlock) -> np.ndarray:
         self._check_block(block)
         payload, bit_length, count = block.payload
-        return self._codec.decode(payload, bit_length, count)
+        return restore_dtype(block, self._codec.decode(payload, bit_length, count))
+
+    def encode_many(self, matrix) -> list[CompressedBlock]:
+        """Encode many same-length float64 series in one stacked kernel pass.
+
+        Used by the batch engine's cross-series fast path; every block is
+        byte-identical to :meth:`encode` on the matching row (the rows must
+        already be validated float64 series — dtype bookkeeping is the
+        caller's job).
+        """
+        return [
+            CompressedBlock(codec=self.name, payload=(payload, bit_length, count),
+                            length=count, bits=bit_length, lossless=True)
+            for payload, bit_length, count in self._codec.encode_batch(matrix)
+        ]
 
 
 class GorillaXorCodec(_XorCodec):
@@ -112,8 +134,8 @@ class _IrregularCodec(Codec):
         self._check_block(block)
         if isinstance(block.payload, np.ndarray):
             # Blocks too short for line simplification are kept verbatim.
-            return np.asarray(block.payload, dtype=np.float64).copy()
-        return block.payload.decompress()
+            return restore_dtype(block, np.asarray(block.payload, dtype=np.float64).copy())
+        return restore_dtype(block, block.payload.decompress())
 
     def _short_block(self, values: np.ndarray) -> CompressedBlock:
         """Verbatim block for chunks too short to simplify (< 4 points)."""
@@ -154,17 +176,23 @@ class CameoCodec(_IrregularCodec):
         self._compressor = CameoCompressor(max_lag, epsilon, **kwargs)
 
     def encode(self, values) -> CompressedBlock:
-        values = as_float_array(values)
+        values, source_dtype = ingest_values(values)
         # Blocks shorter than a few aggregation windows cannot track the
         # statistic meaningfully; keep them verbatim (typically only the
         # final, partially filled chunk of a series).
         if values.size < max(4, 3 * self._agg_window):
-            return self._short_block(values)
-        return self._block_from_irregular(self.compress(values))
+            return _tag_dtype(self._short_block(values), source_dtype)
+        return _tag_dtype(self._block_from_irregular(self.compress(values)),
+                          source_dtype)
 
     def compress(self, values) -> IrregularSeries:
         """The underlying point-retaining compression (no block wrapping)."""
         return self._compressor.compress(values)
+
+    @property
+    def compressor(self) -> CameoCompressor:
+        """The configured :class:`~repro.core.CameoCompressor` behind this codec."""
+        return self._compressor
 
 
 class SimplifierCodec(_IrregularCodec):
@@ -180,10 +208,11 @@ class SimplifierCodec(_IrregularCodec):
             make_simplifier(self.method), max_lag, epsilon, **kwargs)
 
     def encode(self, values) -> CompressedBlock:
-        values = as_float_array(values)
+        values, source_dtype = ingest_values(values)
         if values.size < max(4, 3 * self._agg_window):
-            return self._short_block(values)
-        return self._block_from_irregular(self.compress(values))
+            return _tag_dtype(self._short_block(values), source_dtype)
+        return _tag_dtype(self._block_from_irregular(self.compress(values)),
+                          source_dtype)
 
     def compress(self, values) -> IrregularSeries:
         """The underlying point-retaining compression (no block wrapping)."""
@@ -198,15 +227,17 @@ class _ModelCodec(Codec):
     """
 
     def encode(self, values) -> CompressedBlock:
-        values = as_float_array(values)
+        values, source_dtype = ingest_values(values)
         model = self.compressor().compress(values)
-        return CompressedBlock(codec=self.name, payload=model, length=values.size,
-                               bits=model.bits(), lossless=False,
-                               metadata={"stored_values": model.stored_values})
+        return _tag_dtype(
+            CompressedBlock(codec=self.name, payload=model, length=values.size,
+                            bits=model.bits(), lossless=False,
+                            metadata={"stored_values": model.stored_values}),
+            source_dtype)
 
     def decode(self, block: CompressedBlock) -> np.ndarray:
         self._check_block(block)
-        return block.payload.decompress()
+        return restore_dtype(block, block.payload.decompress())
 
     def model(self, values) -> CompressedModel:
         """The underlying model-based compression (no block wrapping)."""

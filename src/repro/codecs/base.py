@@ -25,10 +25,55 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .._validation import as_float_array
 from ..data.timeseries import BITS_PER_VALUE_RAW
 from ..exceptions import CodecMismatchError
 
-__all__ = ["CompressedBlock", "Codec"]
+__all__ = ["CompressedBlock", "Codec", "ingest_values", "restore_dtype"]
+
+#: Metadata key recording a narrower-than-float64 input dtype.
+SOURCE_DTYPE_KEY = "source_dtype"
+
+
+def ingest_values(values, name: str = "values") -> tuple[np.ndarray, str | None]:
+    """Normalise codec input to ``float64``, remembering a narrower dtype.
+
+    Every codec computes on (and stores payloads as) ``float64`` — the XOR
+    codecs operate on the 64-bit IEEE bit pattern and the raw codec's
+    accounting is 64 bits per value, so the *encoded payloads* are
+    inherently float64.  To keep ``encode``/``decode`` round trips
+    dtype-preserving, narrower float inputs (``float16``/``float32``, which
+    convert to ``float64`` exactly) are remembered here and restored by
+    :func:`restore_dtype` on decode.  Wider-than-64-bit floats are *not*
+    recorded: casting them to ``float64`` already lost precision, so
+    claiming their dtype back would be dishonest.
+
+    Returns
+    -------
+    (values, source_dtype):
+        The validated ``float64`` array and the dtype name to restore on
+        decode (``None`` when the input was already ``float64``-like).
+    """
+    dtype = getattr(values, "dtype", None)
+    source_dtype = None
+    if (dtype is not None and np.issubdtype(dtype, np.floating)
+            and np.dtype(dtype).itemsize < 8):
+        source_dtype = np.dtype(dtype).name
+    return as_float_array(values, name=name), source_dtype
+
+
+def restore_dtype(block: "CompressedBlock", values: np.ndarray) -> np.ndarray:
+    """Cast a decoded ``float64`` array back to the block's recorded dtype.
+
+    The inverse of :func:`ingest_values`: when the block's metadata carries
+    a ``source_dtype``, the reconstruction is cast to it (exact for
+    lossless codecs, since narrow-float inputs embed into ``float64``
+    without rounding); otherwise the array is returned unchanged.
+    """
+    source_dtype = block.metadata.get(SOURCE_DTYPE_KEY)
+    if source_dtype:
+        return values.astype(source_dtype)
+    return values
 
 
 @dataclass

@@ -84,6 +84,11 @@ class StatisticTracker:
             return self._state.current_raw
         return self._state.current
 
+    @property
+    def state(self) -> ACFAggregateState | AggregatedACFState:
+        """The underlying aggregate state (used by the multi-series kernel)."""
+        return self._state
+
     # ------------------------------------------------------------------ #
     # statistic evaluation
     # ------------------------------------------------------------------ #

@@ -1,0 +1,35 @@
+"""Multi-series batch-compression engine (fleet-scale throughput).
+
+The paper's evaluation — and every production deployment of Gorilla-style
+per-series codecs — compresses *many* independent series; the scaling unit
+is series per second across a fleet, not one series' latency.  This package
+provides that layer:
+
+* :class:`~repro.engine.engine.BatchEngine` /
+  :func:`~repro.engine.engine.compress_batch` — N series × any registered
+  codec on a ``serial`` / ``thread`` / ``process`` backend, with size-aware
+  chunking, shared-memory input transport, per-series error isolation, and
+  an aggregate :class:`~repro.engine.report.BatchReport`;
+* cross-series batched fast paths — stacked XOR encode
+  (:meth:`GorillaCodec.encode_batch`) and lock-step CAMEO
+  (:mod:`repro.engine.cameo_batch`) — whose results are byte-/kept-set-
+  identical to per-series runs.
+
+See ``docs/architecture.md`` ("The batch engine") for the data flow.
+"""
+
+from .cameo_batch import lockstep_compress, lockstep_eligible
+from .chunking import plan_chunks
+from .engine import BatchEngine, compress_batch
+from .report import BatchReport, BatchResult, SeriesOutcome
+
+__all__ = [
+    "BatchEngine",
+    "compress_batch",
+    "BatchReport",
+    "BatchResult",
+    "SeriesOutcome",
+    "plan_chunks",
+    "lockstep_compress",
+    "lockstep_eligible",
+]

@@ -1,0 +1,178 @@
+"""Execution backends for the batch engine: serial, thread, process.
+
+All three run the same :func:`repro.engine.worker.encode_chunk` over the
+planned chunks; they differ only in *where*:
+
+``serial``
+    One in-process pass (the reference the determinism tests compare
+    against, and the baseline of the perf harness' throughput ratio).
+``thread``
+    A ``ThreadPoolExecutor`` — NumPy releases the GIL inside the heavy
+    kernels, so moderate speed-ups are possible without any serialization.
+``process``
+    A ``ProcessPoolExecutor`` over true processes.  Input series travel
+    through one ``multiprocessing.shared_memory`` segment (workers build
+    zero-copy array views), results come back as portable codec-block
+    documents — no float payload is ever pickled.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from ..codecs.serialize import block_from_document
+from ..exceptions import InvalidParameterError
+from .report import SeriesOutcome
+from .worker import encode_chunk, process_chunk_task
+
+__all__ = ["BACKENDS", "resolve_workers", "run_serial", "run_thread",
+           "run_process"]
+
+#: Recognised backend names.
+BACKENDS = ("serial", "thread", "process")
+
+
+def resolve_workers(backend: str, workers: int | None) -> int:
+    """Worker count for a backend (defaults to the machine's CPU count)."""
+    if backend not in BACKENDS:
+        raise InvalidParameterError(
+            f"unknown backend {backend!r}; choose from {', '.join(BACKENDS)}")
+    if backend == "serial":
+        return 1
+    if workers is None:
+        return max(os.cpu_count() or 1, 1)
+    if workers < 1:
+        raise InvalidParameterError("workers must be >= 1")
+    return int(workers)
+
+
+def run_serial(chunks, series, names, codec_name, codec_options,
+               use_fastpath: bool) -> list[SeriesOutcome]:
+    """Encode every chunk in-process, one after the other."""
+    outcomes: list[SeriesOutcome] = []
+    for chunk in chunks:
+        outcomes.extend(encode_chunk(
+            [series[index] for index in chunk],
+            [names[index] for index in chunk], chunk, codec_name,
+            codec_options, use_fastpath=use_fastpath))
+    return outcomes
+
+
+def run_thread(chunks, series, names, codec_name, codec_options,
+               use_fastpath: bool, workers: int) -> list[SeriesOutcome]:
+    """Encode chunks on a thread pool (shared address space, no copies)."""
+
+    def task(chunk):
+        return encode_chunk(
+            [series[index] for index in chunk],
+            [names[index] for index in chunk], chunk, codec_name,
+            codec_options, use_fastpath=use_fastpath)
+
+    outcomes: list[SeriesOutcome] = []
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        for chunk_outcomes in pool.map(task, chunks):
+            outcomes.extend(chunk_outcomes)
+    return outcomes
+
+
+# --------------------------------------------------------------------- #
+# process backend
+# --------------------------------------------------------------------- #
+def _preferred_context():
+    """``fork`` where available (cheap startup, Linux), else the default."""
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _build_shared_input(series, chunks):
+    """Copy every chunked series into one shared-memory segment.
+
+    Returns ``(shm, manifest)`` where ``manifest[index] = (offset, length,
+    dtype_str)``.  Offsets are 8-byte aligned so any float dtype views
+    cleanly.
+    """
+    from multiprocessing import shared_memory
+
+    needed = [index for chunk in chunks for index in chunk]
+    manifest: dict[int, tuple[int, int, str]] = {}
+    offset = 0
+    arrays: dict[int, np.ndarray] = {}
+    for index in needed:
+        array = np.ascontiguousarray(series[index])
+        arrays[index] = array
+        manifest[index] = (offset, int(array.size), array.dtype.str)
+        offset += (array.nbytes + 7) & ~7
+    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    for index in needed:
+        start, length, dtype = manifest[index]
+        view = np.ndarray((length,), dtype=np.dtype(dtype), buffer=shm.buf,
+                          offset=start)
+        view[:] = arrays[index]
+        del view
+    return shm, manifest
+
+
+def run_process(chunks, series, names, codec_name, codec_options,
+                use_fastpath: bool, workers: int) -> list[SeriesOutcome]:
+    """Encode chunks on a process pool via shared memory.
+
+    Series that cannot be shared (non-numeric dtypes) are encoded in the
+    parent instead — they would fail validation anyway, and the error
+    outcome must still be recorded per series.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    shareable_chunks: list[list[int]] = []
+    parent_side: list[int] = []
+    for chunk in chunks:
+        kept = []
+        for index in chunk:
+            array = np.asarray(series[index])
+            if array.dtype.kind in ("f", "i", "u") and array.ndim == 1 and array.size:
+                kept.append(index)
+            else:
+                parent_side.append(index)
+        if kept:
+            shareable_chunks.append(kept)
+
+    outcomes: list[SeriesOutcome] = []
+    if parent_side:
+        outcomes.extend(run_serial([parent_side], series, names, codec_name,
+                                   codec_options, use_fastpath))
+    if not shareable_chunks:
+        return outcomes
+
+    shm, manifest = _build_shared_input(series, shareable_chunks)
+    try:
+        tasks = []
+        for chunk in shareable_chunks:
+            entries = [(index, names[index], *manifest[index])
+                       for index in chunk]
+            tasks.append((shm.name, entries, codec_name, codec_options,
+                          use_fastpath))
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=_preferred_context()) as pool:
+            for chunk, payload in zip(shareable_chunks,
+                                      pool.map(process_chunk_task, tasks)):
+                for index, name, length, document, error, error_type, fastpath \
+                        in payload:
+                    if document is None:
+                        outcomes.append(SeriesOutcome(
+                            index=index, name=name, length=length,
+                            error=error, error_type=error_type))
+                    else:
+                        outcomes.append(SeriesOutcome(
+                            index=index, name=name, length=length,
+                            block=block_from_document(document),
+                            fastpath=fastpath))
+    finally:
+        shm.close()
+        shm.unlink()
+    return outcomes

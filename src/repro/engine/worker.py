@@ -1,0 +1,226 @@
+"""Chunk encoding shared by every engine backend.
+
+:func:`encode_chunk` compresses one work chunk of series with per-series
+error isolation and routes eligible subsets through the cross-series fast
+paths (stacked XOR encode, lock-step CAMEO).  :func:`process_chunk_task` is
+the module-level process-pool entry: it attaches the parent's shared-memory
+block, builds zero-copy array views, encodes, and returns *serialized*
+codec-block documents — so float payloads never travel through pickle in
+either direction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..codecs import codec_spec, get_codec
+from ..codecs.base import SOURCE_DTYPE_KEY, Codec, ingest_values
+from ..codecs.serialize import block_to_document
+from .cameo_batch import LOCKSTEP_GROUP_SIZE, lockstep_compress, lockstep_eligible
+from .report import SeriesOutcome
+
+__all__ = ["encode_chunk", "process_chunk_task", "XOR_STACK_MAX_LENGTH"]
+
+#: Series-length ceiling for the stacked XOR fast path.  Stacking amortizes
+#: per-call NumPy dispatch, which dominates only for short series; beyond
+#: this length the sequential control-code loop dominates and the batched
+#: 2-D preparation costs more than it saves (measured: ~1.9x at length 64,
+#: parity at 256, a slowdown at 1024).
+XOR_STACK_MAX_LENGTH = 256
+
+
+def _error_outcome(index: int, name: str, length: int, exc: BaseException
+                   ) -> SeriesOutcome:
+    return SeriesOutcome(index=index, name=name, length=length,
+                         error=str(exc), error_type=type(exc).__name__)
+
+
+def _series_length(series) -> int:
+    try:
+        return int(np.asarray(series).size)
+    except Exception:  # pragma: no cover - exotic inputs
+        return 0
+
+
+def encode_chunk(series_list, names, indices, codec_name: str,
+                 codec_options: dict | None, *, use_fastpath: bool = True,
+                 codec: Codec | None = None) -> list[SeriesOutcome]:
+    """Compress one chunk of series; one outcome per input, in chunk order.
+
+    A failing series (NaN values, empty array, codec error, ...) yields an
+    error outcome; the rest of the chunk still completes.
+    """
+    spec = codec_spec(codec_name)
+    if codec is None:
+        codec = get_codec(spec.name, **(codec_options or {}))
+    count = len(series_list)
+    outcomes: dict[int, SeriesOutcome] = {}
+    pending = list(range(count))
+
+    if use_fastpath and count > 1:
+        if spec.family == "lossless":
+            pending = _xor_fastpath(series_list, names, indices, codec,
+                                    outcomes, pending)
+        elif spec.name == "cameo":
+            pending = _cameo_fastpath(series_list, names, indices, codec,
+                                      outcomes, pending)
+
+    for position in pending:
+        index, name = indices[position], names[position]
+        series = series_list[position]
+        try:
+            block = codec.encode(series)
+        except Exception as exc:
+            outcomes[position] = _error_outcome(index, name,
+                                                _series_length(series), exc)
+        else:
+            outcomes[position] = SeriesOutcome(index=index, name=name,
+                                               length=int(block.length),
+                                               block=block)
+    return [outcomes[position] for position in range(count)]
+
+
+def _validated(series_list, names, indices, outcomes, pending):
+    """Validate pending series; failures become error outcomes in place."""
+    good: list[tuple[int, np.ndarray, str | None]] = []
+    for position in pending:
+        try:
+            values, source_dtype = ingest_values(series_list[position],
+                                                 name="series")
+        except Exception as exc:
+            outcomes[position] = _error_outcome(
+                indices[position], names[position],
+                _series_length(series_list[position]), exc)
+        else:
+            good.append((position, values, source_dtype))
+    return good
+
+
+def _xor_fastpath(series_list, names, indices, codec, outcomes, pending):
+    """Stack same-length series through the XOR codecs' batched encode."""
+    good = _validated(series_list, names, indices, outcomes, pending)
+    by_length: dict[int, list[tuple[int, np.ndarray, str | None]]] = {}
+    for entry in good:
+        by_length.setdefault(entry[1].size, []).append(entry)
+    remaining: list[int] = []
+    for length, group in sorted(by_length.items()):
+        if len(group) < 2 or length > XOR_STACK_MAX_LENGTH:
+            remaining.extend(position for position, _v, _d in group)
+            continue
+        matrix = np.vstack([values for _p, values, _d in group])
+        try:
+            blocks = codec.encode_many(matrix)
+        except Exception:
+            # Unexpected batch failure: per-series path preserves isolation.
+            remaining.extend(position for position, _v, _d in group)
+            continue
+        for (position, _values, source_dtype), block in zip(group, blocks):
+            if source_dtype:
+                block.metadata[SOURCE_DTYPE_KEY] = source_dtype
+            outcomes[position] = SeriesOutcome(
+                index=indices[position], name=names[position],
+                length=int(block.length), block=block, fastpath="xor-stacked")
+    remaining.sort()
+    return remaining
+
+
+def _cameo_fastpath(series_list, names, indices, codec, outcomes, pending):
+    """Run short eligible series through the lock-step CAMEO driver.
+
+    Series are grouped by their *effective* lag (``min(max_lag, n - 1)``):
+    all states of a lock-step group must track the same lag count, so one
+    undersized series must never drag a whole group back to the per-series
+    path.
+    """
+    compressor = codec.compressor
+    good = _validated(series_list, names, indices, outcomes, pending)
+    by_lag: dict[int, list[tuple[int, np.ndarray, str | None]]] = {}
+    remaining: list[int] = []
+    for position, values, source_dtype in good:
+        if lockstep_eligible(compressor, values.size):
+            effective_lag = min(compressor.max_lag, values.size - 1)
+            by_lag.setdefault(effective_lag, []).append(
+                (position, values, source_dtype))
+        else:
+            remaining.append(position)
+    for _lag, eligible in sorted(by_lag.items()):
+        for lo in range(0, len(eligible), LOCKSTEP_GROUP_SIZE):
+            group = eligible[lo:lo + LOCKSTEP_GROUP_SIZE]
+            if len(group) < 2:
+                remaining.extend(position for position, _v, _d in group)
+                continue
+            try:
+                results = lockstep_compress(
+                    compressor, [values for _p, values, _d in group],
+                    validated=True)
+            except Exception:
+                # Unexpected lock-step failure: fall back to per-series runs.
+                remaining.extend(position for position, _v, _d in group)
+                continue
+            for (position, _values, source_dtype), result in zip(group, results):
+                block = codec._block_from_irregular(result)
+                if source_dtype:
+                    block.metadata[SOURCE_DTYPE_KEY] = source_dtype
+                outcomes[position] = SeriesOutcome(
+                    index=indices[position], name=names[position],
+                    length=int(block.length), block=block,
+                    fastpath="cameo-lockstep")
+    remaining.sort()
+    return remaining
+
+
+# --------------------------------------------------------------------- #
+# process-pool entry
+# --------------------------------------------------------------------- #
+def process_chunk_task(task: tuple) -> list[tuple]:
+    """Encode one chunk from shared memory (runs in a worker process).
+
+    ``task`` is ``(shm_name, entries, codec_name, codec_options,
+    use_fastpath)`` with one ``(index, name, offset, length, dtype)`` entry
+    per series.  Returns one ``(index, name, length, document, error,
+    error_type, fastpath)`` tuple per series, where ``document`` is the
+    portable codec-block form (model codecs are materialized) — compact and
+    picklable, so the raw float arrays never cross the process boundary.
+    """
+    from multiprocessing import shared_memory
+
+    shm_name, entries, codec_name, codec_options, use_fastpath = task
+    # Attaching registers the segment with the (shared) resource tracker; the
+    # registration set is idempotent and the parent's ``unlink`` unregisters
+    # it once, so no extra bookkeeping is needed here.
+    shm = shared_memory.SharedMemory(name=shm_name)
+    series_list: list = []
+    outcomes: list = []
+    try:
+        names = []
+        indices = []
+        for index, name, offset, length, dtype in entries:
+            series_list.append(np.ndarray((length,), dtype=np.dtype(dtype),
+                                          buffer=shm.buf, offset=offset))
+            names.append(name)
+            indices.append(index)
+        codec = get_codec(codec_name, **(codec_options or {}))
+        outcomes = encode_chunk(series_list, names, indices, codec_name,
+                                codec_options, use_fastpath=use_fastpath,
+                                codec=codec)
+        payload = []
+        for outcome in outcomes:
+            if outcome.block is None:
+                payload.append((outcome.index, outcome.name, outcome.length,
+                                None, outcome.error, outcome.error_type,
+                                outcome.fastpath))
+            else:
+                block = outcome.block
+                document = block_to_document(
+                    block, materialize=lambda block=block: codec.decode(block))
+                payload.append((outcome.index, outcome.name, outcome.length,
+                                document, None, None, outcome.fastpath))
+        return payload
+    finally:
+        # Drop every view into the segment before closing it.
+        series_list.clear()
+        outcomes = None  # noqa: F841 - release block references
+        try:
+            shm.close()
+        except BufferError:  # pragma: no cover - a payload kept a view alive
+            pass

@@ -31,7 +31,7 @@ from __future__ import annotations
 import numpy as np
 
 from .._kernels.bitops import clz64, ctz64, xor_stream
-from .._kernels.bitpack import pack_bits, payload_words, words_to_bytes
+from .._kernels.bitpack import pack_bits, pack_field_streams, payload_words, words_to_bytes
 from ..exceptions import CodecError
 
 __all__ = ["ChimpCodec"]
@@ -51,6 +51,59 @@ for _count in range(65):
     _ROUND_VALUE[_count] = _LEADING_ROUND[_c]
 
 
+def _chimp_field_stream(first_word: int, xors: list, trailing_all: list,
+                        codes_all: list, rounded_all: list) -> tuple[list, list]:
+    """The sequential flag-decision pass: ``(fields, widths)`` of one series.
+
+    Shared verbatim by :meth:`ChimpCodec.encode` and
+    :meth:`ChimpCodec.encode_batch`, so the stacked batch path produces
+    byte-identical payloads by construction.
+    """
+    fields = [first_word]
+    widths = [64]
+    append_field = fields.append
+    append_width = widths.append
+    previous_leading_code = -1
+
+    for index, xor in enumerate(xors):
+        if xor == 0:
+            append_field(0b00)
+            append_width(2)
+            previous_leading_code = -1
+            continue
+        trailing = trailing_all[index]
+        leading_code = codes_all[index]
+        leading_rounded = rounded_all[index]
+        if trailing > 6:
+            # Flag 11: store centre bits only.
+            centre = 64 - leading_rounded - trailing
+            append_field(0b11)
+            append_width(2)
+            append_field(leading_code)
+            append_width(3)
+            append_field(centre)
+            append_width(6)
+            append_field(xor >> trailing)
+            append_width(centre)
+            previous_leading_code = -1
+        elif leading_code == previous_leading_code:
+            # Flag 01: reuse the previous leading-zero count.
+            append_field(0b01)
+            append_width(2)
+            append_field(xor)
+            append_width(64 - leading_rounded)
+        else:
+            # Flag 10: new leading-zero count, store to the end.
+            append_field(0b10)
+            append_width(2)
+            append_field(leading_code)
+            append_width(3)
+            append_field(xor)
+            append_width(64 - leading_rounded)
+            previous_leading_code = leading_code
+    return fields, widths
+
+
 class ChimpCodec:
     """Chimp128-style XOR codec (single previous value variant)."""
 
@@ -59,58 +112,32 @@ class ChimpCodec:
     def encode(self, values) -> tuple[bytes, int, int]:
         """Encode ``values``; returns ``(payload, bit_length, count)``."""
         bits, xor_array = xor_stream(values)
-        xors = xor_array.tolist()
         leading_all = clz64(xor_array)
-        trailing_all = ctz64(xor_array).tolist()
-        codes_all = _ROUND_CODE[leading_all].tolist()
-        rounded_all = _ROUND_VALUE[leading_all].tolist()
-
-        fields = [int(bits[0])]
-        widths = [64]
-        append_field = fields.append
-        append_width = widths.append
-        previous_leading_code = -1
-
-        for index, xor in enumerate(xors):
-            if xor == 0:
-                append_field(0b00)
-                append_width(2)
-                previous_leading_code = -1
-                continue
-            trailing = trailing_all[index]
-            leading_code = codes_all[index]
-            leading_rounded = rounded_all[index]
-            if trailing > 6:
-                # Flag 11: store centre bits only.
-                centre = 64 - leading_rounded - trailing
-                append_field(0b11)
-                append_width(2)
-                append_field(leading_code)
-                append_width(3)
-                append_field(centre)
-                append_width(6)
-                append_field(xor >> trailing)
-                append_width(centre)
-                previous_leading_code = -1
-            elif leading_code == previous_leading_code:
-                # Flag 01: reuse the previous leading-zero count.
-                append_field(0b01)
-                append_width(2)
-                append_field(xor)
-                append_width(64 - leading_rounded)
-            else:
-                # Flag 10: new leading-zero count, store to the end.
-                append_field(0b10)
-                append_width(2)
-                append_field(leading_code)
-                append_width(3)
-                append_field(xor)
-                append_width(64 - leading_rounded)
-                previous_leading_code = leading_code
-
+        fields, widths = _chimp_field_stream(
+            int(bits[0]), xor_array.tolist(), ctz64(xor_array).tolist(),
+            _ROUND_CODE[leading_all].tolist(), _ROUND_VALUE[leading_all].tolist())
         words, bit_length = pack_bits(np.asarray(fields, dtype=np.uint64),
                                       np.asarray(widths, dtype=np.int64))
         return words_to_bytes(words, bit_length), bit_length, bits.size
+
+    def encode_batch(self, matrix) -> list[tuple[bytes, int, int]]:
+        """Encode many same-length series through one stacked kernel pass.
+
+        See :meth:`repro.lossless.gorilla.GorillaCodec.encode_batch`: the
+        XOR/zero-count/table-lookup preparation runs as 2-D NumPy passes
+        and a single :func:`repro._kernels.bitpack.pack_bits` call packs
+        every series' fields; each returned triple is byte-identical to
+        :meth:`encode` on that row.
+        """
+        matrix = np.ascontiguousarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] == 0:
+            raise CodecError("encode_batch expects a (num_series, length) matrix")
+        bits = matrix.view(np.uint64)
+        xors = bits[:, 1:] ^ bits[:, :-1]
+        leading = clz64(xors)
+        return pack_field_streams(
+            _chimp_field_stream, bits, xors.tolist(), ctz64(xors).tolist(),
+            _ROUND_CODE[leading].tolist(), _ROUND_VALUE[leading].tolist())
 
     def decode(self, payload: bytes, bit_length: int, count: int) -> np.ndarray:
         """Decode ``count`` values from an encoded payload."""

@@ -2,6 +2,7 @@
 
 from .chunked import (
     ChunkResult,
+    MultiStreamCompressor,
     StreamingCameoCompressor,
     StreamingCompressor,
     StreamReport,
@@ -12,6 +13,7 @@ from .online_acf import AcfDriftMonitor, DriftEvent, OnlineAcfEstimator
 __all__ = [
     "StreamingCompressor",
     "StreamingCameoCompressor",
+    "MultiStreamCompressor",
     "ChunkResult",
     "StreamReport",
     "concat_irregular",

@@ -37,6 +37,7 @@ __all__ = [
     "StreamReport",
     "StreamingCompressor",
     "StreamingCameoCompressor",
+    "MultiStreamCompressor",
     "concat_irregular",
 ]
 
@@ -319,6 +320,167 @@ class StreamingCameoCompressor(StreamingCompressor):
                 "cannot seal a final chunk with fewer than two values; "
                 "feed at least two values before finalizing")
         return super().flush()
+
+
+class MultiStreamCompressor:
+    """Many concurrent streams, compressed through the batch engine.
+
+    An ingest tier rarely serves one stream: a gateway handles hundreds of
+    sensors at once, and sealing each stream's chunks independently wastes
+    both parallel hardware and the engine's cross-series fast paths.  This
+    class keeps one buffer per stream and encodes *all* sealed chunks —
+    across every stream — in batched :class:`repro.engine.BatchEngine`
+    passes: same-length chunks stack through the XOR batch encoder, short
+    CAMEO chunks run in lock step, and the thread/process backends spread
+    the work over cores.
+
+    Chunks are sealed exactly like :class:`StreamingCompressor` seals them
+    (same values, same codec), so every chunk's block is identical to the
+    single-stream result; only the execution is batched.
+
+    Parameters
+    ----------
+    chunk_size:
+        Values per sealed chunk (shared by every stream).
+    codec, codec_options:
+        Registered codec for every sealed chunk.
+    backend, workers, fastpath:
+        Engine execution knobs (see :class:`repro.engine.BatchEngine`).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.streaming import MultiStreamCompressor
+    >>> multi = MultiStreamCompressor(chunk_size=128, codec="gorilla")
+    >>> x = np.round(np.sin(np.arange(300) / 7.0), 3)
+    >>> for sensor in ("a", "b"):
+    ...     _ = multi.add(sensor, x)
+    >>> sealed = multi.flush()
+    >>> sorted(multi.streams), multi.report("a").chunks
+    (['a', 'b'], 3)
+    >>> np.array_equal(multi.reconstruct("b"), x)
+    True
+    """
+
+    def __init__(self, chunk_size: int, codec: str = "cameo", *,
+                 codec_options: dict | None = None, backend: str = "serial",
+                 workers: int | None = None, fastpath: bool = True):
+        from ..engine import BatchEngine
+
+        self.chunk_size = check_positive_int(chunk_size, "chunk_size")
+        self.engine = BatchEngine(codec, codec_options=codec_options,
+                                  backend=backend, workers=workers,
+                                  fastpath=fastpath)
+        self.codec = get_codec(self.engine.codec, **(codec_options or {}))
+        self._buffers: dict[str, list[float]] = {}
+        self._pending: list[tuple[str, np.ndarray]] = []
+        self._results: dict[str, list[ChunkResult]] = {}
+        self._reports: dict[str, StreamReport] = {}
+        self.errors: list = []
+
+    # ------------------------------------------------------------------ #
+    @property
+    def streams(self) -> list[str]:
+        """Every stream seen so far (ingest order)."""
+        return list(self._buffers)
+
+    def _stream_state(self, stream: str) -> tuple[list, list, StreamReport]:
+        stream = str(stream)
+        if stream not in self._buffers:
+            self._buffers[stream] = []
+            self._results[stream] = []
+            self._reports[stream] = StreamReport()
+        return self._buffers[stream], self._results[stream], self._reports[stream]
+
+    def add(self, stream: str, values) -> int:
+        """Feed values into one stream; returns chunks sealed by this call.
+
+        Sealed chunks are queued; call :meth:`drain` (or :meth:`flush`) to
+        encode everything queued across all streams in one engine batch.
+        """
+        buffer, _results, report = self._stream_state(str(stream))
+        if np.isscalar(values):
+            values = [float(values)]
+        values = as_float_array(values, name="values")
+        buffer.extend(values.tolist())
+        report.ingested_points += values.size
+        sealed = 0
+        while len(buffer) >= self.chunk_size:
+            chunk_values = np.asarray(buffer[: self.chunk_size], dtype=np.float64)
+            del buffer[: self.chunk_size]
+            self._pending.append((str(stream), chunk_values))
+            sealed += 1
+        return sealed
+
+    def drain(self) -> list[tuple[str, ChunkResult]]:
+        """Encode every queued sealed chunk in one batched engine pass.
+
+        Returns ``(stream, chunk_result)`` pairs in seal order.  A chunk
+        that fails to encode is recorded in :attr:`errors` (with its stream
+        in the outcome name) and skipped; the rest of the batch completes.
+        """
+        if not self._pending:
+            return []
+        pending, self._pending = self._pending, []
+        names = [stream for stream, _values in pending]
+        outcome_batch = self.engine.compress(
+            [values for _stream, values in pending], names=names)
+        sealed: list[tuple[str, ChunkResult]] = []
+        for (stream, values), outcome in zip(pending, outcome_batch):
+            _buffer, results, report = self._stream_state(stream)
+            if not outcome.ok:
+                # The chunk's values were consumed from the buffer either
+                # way: advance the sealed count so later chunks' stream
+                # offsets (and buffered_points) stay truthful.
+                report.sealed_points += values.size
+                self.errors.append(outcome)
+                continue
+            result = ChunkResult(index=len(results),
+                                 start=report.sealed_points,
+                                 block=outcome.block)
+            results.append(result)
+            report.chunks += 1
+            report.sealed_points += values.size
+            report.kept_points += result.kept_points
+            report.encoded_bits += outcome.block.bits
+            deviation = result.achieved_deviation
+            report.chunk_deviations.append(deviation)
+            report.worst_chunk_deviation = max(report.worst_chunk_deviation,
+                                               deviation)
+            sealed.append((stream, result))
+        return sealed
+
+    def flush(self) -> list[tuple[str, ChunkResult]]:
+        """Seal every stream's remaining buffer and drain the whole queue."""
+        for stream, buffer in self._buffers.items():
+            if buffer:
+                chunk_values = np.asarray(buffer, dtype=np.float64)
+                buffer.clear()
+                self._pending.append((stream, chunk_values))
+        return self.drain()
+
+    # ------------------------------------------------------------------ #
+    def results(self, stream: str) -> list[ChunkResult]:
+        """Sealed chunks of one stream, in stream order."""
+        return list(self._results.get(str(stream), []))
+
+    def report(self, stream: str) -> StreamReport:
+        """Per-stream ingest/compression statistics."""
+        if str(stream) not in self._reports:
+            raise InvalidParameterError(f"unknown stream {stream!r}")
+        return self._reports[str(stream)]
+
+    def reconstruct(self, stream: str) -> np.ndarray:
+        """Reconstruction of one stream's successfully encoded chunks.
+
+        Chunks recorded in :attr:`errors` are omitted; check each
+        :class:`ChunkResult`'s ``start`` to detect the gap they leave.
+        """
+        results = self._results.get(str(stream), [])
+        if not results:
+            return np.empty(0, dtype=np.float64)
+        return np.concatenate([self.codec.decode(result.block)
+                               for result in results])
 
 
 def concat_irregular(chunks, name: str = "stream") -> IrregularSeries:

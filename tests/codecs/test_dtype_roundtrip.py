@@ -1,0 +1,95 @@
+"""Dtype-preserving ``Codec.encode``/``decode`` round trips (every family).
+
+The codec layer computes on float64 (the XOR codecs operate on the 64-bit
+IEEE bit pattern, so the *payloads* are inherently float64), but a
+``float32``/``float16`` input must come back with its own dtype: narrow
+floats embed into float64 exactly, so the restoration is lossless for the
+lossless codecs and a plain cast for the lossy ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codecs import available_codecs, codec_spec, get_codec
+from repro.codecs.base import SOURCE_DTYPE_KEY
+from repro.codecs.serialize import block_from_document, block_to_document
+
+
+def _signal(n: int = 256) -> np.ndarray:
+    rng = np.random.default_rng(9)
+    t = np.arange(n)
+    return np.round(4.0 * np.sin(2 * np.pi * t / 24) + rng.normal(0.0, 0.2, n), 2)
+
+
+def _codec_for(name: str):
+    spec = codec_spec(name)
+    if spec.family in ("cameo", "simplify"):
+        return get_codec(name, max_lag=12, epsilon=0.05)
+    return get_codec(name)
+
+
+@pytest.mark.parametrize("name", available_codecs())
+@pytest.mark.parametrize("dtype", [np.float32, np.float16], ids=["f32", "f16"])
+def test_narrow_float_roundtrip_preserves_dtype(name, dtype):
+    values = _signal().astype(dtype)
+    codec = _codec_for(name)
+    block = codec.encode(values)
+    decoded = codec.decode(block)
+    assert decoded.dtype == np.dtype(dtype)
+    assert decoded.size == values.size
+    if block.lossless:
+        # Narrow floats embed into float64 exactly, so lossless codecs
+        # round-trip the narrow input bit for bit.
+        assert np.array_equal(decoded, values)
+    else:
+        # Lossy codecs must reconstruct the same values they would for the
+        # equivalent float64 input, cast back to the input dtype.
+        reference = codec.decode(_codec_for(name).encode(values.astype(np.float64)))
+        assert np.array_equal(decoded, reference.astype(dtype))
+
+
+@pytest.mark.parametrize("name", available_codecs())
+def test_float64_roundtrip_stays_float64(name):
+    values = _signal()
+    codec = _codec_for(name)
+    block = codec.encode(values)
+    assert SOURCE_DTYPE_KEY not in block.metadata
+    assert codec.decode(block).dtype == np.float64
+
+
+@pytest.mark.parametrize("name", ["raw", "gorilla", "chimp", "cameo", "vw", "pmc"])
+def test_source_dtype_survives_serialization(name):
+    values = _signal().astype(np.float32)
+    codec = _codec_for(name)
+    block = codec.encode(values)
+    document = block_to_document(block, materialize=lambda: codec.decode(block))
+    restored = block_from_document(document)
+    decoded = _codec_for(name).decode(restored)
+    assert decoded.dtype == np.float32
+    if block.lossless:
+        assert np.array_equal(decoded, values)
+
+
+def test_short_blocks_preserve_dtype():
+    # Chunks too short to simplify are kept verbatim; the dtype still sticks.
+    values = np.asarray([1.0, 2.0, 3.0], dtype=np.float32)
+    codec = _codec_for("cameo")
+    block = codec.encode(values)
+    assert block.metadata.get("short_segment") is True
+    decoded = codec.decode(block)
+    assert decoded.dtype == np.float32
+    assert np.array_equal(decoded, values)
+
+
+def test_wider_floats_are_not_claimed_back():
+    # Casting a >64-bit float to float64 already lost precision; the round
+    # trip stays float64 rather than pretending to restore the wide dtype.
+    if np.dtype(np.longdouble).itemsize <= 8:
+        pytest.skip("platform long double is not wider than float64")
+    values = _signal().astype(np.longdouble)
+    codec = _codec_for("gorilla")
+    block = codec.encode(values)
+    assert SOURCE_DTYPE_KEY not in block.metadata
+    assert codec.decode(block).dtype == np.float64

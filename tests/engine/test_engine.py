@@ -1,0 +1,175 @@
+"""Batch-engine determinism and fault isolation (ISSUE 5 satellite).
+
+The engine's contract: every backend produces results bit-identical to the
+per-series sequential run (kept-point sets for CAMEO, byte-identical
+payloads for the XOR codecs), and one poisoned series yields an error
+record, never a dead batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codecs import get_codec
+from repro.engine import BatchEngine, compress_batch
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def _fleet(count: int, length: int, seed: int) -> list[np.ndarray]:
+    rng = np.random.default_rng(seed)
+    t = np.arange(length)
+    base = 5.0 + 2.0 * np.sin(2 * np.pi * t / 24)
+    return [base + rng.normal(0.0, 0.3, length) for _ in range(count)]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("statistic", ["acf", "pacf"])
+    def test_cameo_identical_to_sequential(self, backend, statistic):
+        """Fixed-seed batch == per-series sequential run, both statistics."""
+        fleet = _fleet(9, 150, seed=17)
+        options = dict(max_lag=12, epsilon=0.04, statistic=statistic)
+        result = compress_batch(fleet, codec="cameo", codec_options=options,
+                                backend=backend, workers=2)
+        codec = get_codec("cameo", **options)
+        assert result.report.failed == 0
+        for outcome, series in zip(result, fleet):
+            reference = codec.encode(series)
+            assert (outcome.unwrap().payload.indices.tolist()
+                    == reference.payload.indices.tolist())
+            assert np.array_equal(outcome.unwrap().payload.values,
+                                  reference.payload.values)
+            assert (outcome.unwrap().metadata["kept_points"]
+                    == reference.metadata["kept_points"])
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("codec_name", ["gorilla", "chimp"])
+    def test_xor_payloads_byte_identical(self, backend, codec_name):
+        fleet = [np.round(series, 2) for series in _fleet(7, 220, seed=23)]
+        fleet.append(np.round(_fleet(1, 97, seed=5)[0], 2))  # odd length out
+        result = compress_batch(fleet, codec=codec_name, backend=backend,
+                                workers=2)
+        codec = get_codec(codec_name)
+        assert result.report.failed == 0
+        for outcome, series in zip(result, fleet):
+            assert outcome.unwrap().payload == codec.encode(series).payload
+
+    def test_fastpath_off_matches_fastpath_on(self):
+        fleet = _fleet(6, 120, seed=9)
+        options = dict(max_lag=10, epsilon=0.05)
+        on = compress_batch(fleet, codec="cameo", codec_options=options,
+                            fastpath=True)
+        off = compress_batch(fleet, codec="cameo", codec_options=options,
+                             fastpath=False)
+        assert on.report.fastpath_series > 0
+        assert off.report.fastpath_series == 0
+        for left, right in zip(on, off):
+            assert (left.unwrap().payload.indices.tolist()
+                    == right.unwrap().payload.indices.tolist())
+
+    def test_outcomes_in_input_order(self):
+        fleet = _fleet(12, 64, seed=4)
+        result = compress_batch(fleet, codec="raw", backend="thread",
+                                workers=3)
+        assert [outcome.index for outcome in result] == list(range(12))
+
+
+class TestFaultIsolation:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_poisoned_series_do_not_kill_the_batch(self, backend):
+        fleet = _fleet(6, 150, seed=41)
+        fleet[2] = np.full(80, np.nan)          # NaN-only
+        fleet[4] = np.empty(0, dtype=np.float64)  # length 0
+        result = compress_batch(fleet, codec="cameo",
+                                codec_options=dict(max_lag=12, epsilon=0.05),
+                                backend=backend, workers=2)
+        assert result.report.series == 6
+        assert result.report.failed == 2
+        errors = result.errors()
+        assert sorted(outcome.index for outcome in errors) == [2, 4]
+        for outcome in errors:
+            assert outcome.error_type == "InvalidSeriesError"
+            assert outcome.error
+            with pytest.raises(Exception):
+                outcome.unwrap()
+        healthy = [outcome for outcome in result if outcome.ok]
+        assert len(healthy) == 4
+        codec = get_codec("cameo", max_lag=12, epsilon=0.05)
+        for outcome in healthy:
+            reference = codec.encode(fleet[outcome.index])
+            assert (outcome.unwrap().payload.indices.tolist()
+                    == reference.payload.indices.tolist())
+
+    def test_error_recorded_per_series_with_lossless_codec(self):
+        fleet = _fleet(4, 100, seed=2)
+        fleet[1] = np.array([1.0, np.inf, 3.0])
+        result = compress_batch(fleet, codec="gorilla")
+        assert result.report.failed == 1
+        assert result[1].error_type == "InvalidSeriesError"
+        assert all(result[index].ok for index in (0, 2, 3))
+
+
+class TestSources:
+    def test_named_pairs_and_names_override(self):
+        fleet = _fleet(3, 64, seed=8)
+        result = compress_batch([("a", fleet[0]), ("b", fleet[1]),
+                                 ("c", fleet[2])], codec="raw")
+        assert [outcome.name for outcome in result] == ["a", "b", "c"]
+
+    def test_mapping_source(self):
+        fleet = _fleet(2, 64, seed=8)
+        result = compress_batch({"x": fleet[0], "y": fleet[1]}, codec="raw")
+        assert [outcome.name for outcome in result] == ["x", "y"]
+
+    def test_store_source(self):
+        from repro.storage import TimeSeriesStore
+
+        store = TimeSeriesStore()
+        fleet = [np.round(series, 2) for series in _fleet(3, 128, seed=3)]
+        for index, series in enumerate(fleet):
+            store.create_series(f"sensor-{index}", codec="raw")
+            store.append(f"sensor-{index}", series)
+            store.flush(f"sensor-{index}")
+        result = compress_batch(store, codec="gorilla")
+        assert result.report.failed == 0
+        codec = get_codec("gorilla")
+        for outcome, series in zip(result, fleet):
+            assert outcome.unwrap().payload == codec.encode(series).payload
+
+    def test_dtype_preserved_through_backends(self):
+        fleet = [series.astype(np.float32) for series in _fleet(3, 90, seed=6)]
+        for backend in BACKENDS:
+            result = compress_batch(fleet, codec="gorilla", backend=backend,
+                                    workers=2)
+            codec = get_codec("gorilla")
+            for outcome, series in zip(result, fleet):
+                decoded = codec.decode(outcome.unwrap())
+                assert decoded.dtype == np.float32
+                assert np.array_equal(decoded, series)
+
+
+class TestReport:
+    def test_report_accounting(self):
+        fleet = _fleet(5, 128, seed=14)
+        engine = BatchEngine("gorilla", backend="serial")
+        result = engine.compress(fleet)
+        report = result.report
+        assert report.series == 5 and report.failed == 0
+        assert report.total_points == 5 * 128
+        assert report.encoded_bits == sum(
+            outcome.unwrap().bits for outcome in result)
+        assert report.points_per_sec > 0
+        assert report.wall_seconds > 0
+        as_dict = report.as_dict()
+        assert as_dict["codec"] == "gorilla"
+        assert as_dict["series"] == 5
+
+    def test_unknown_codec_and_backend_rejected(self):
+        from repro.exceptions import InvalidParameterError
+
+        with pytest.raises(InvalidParameterError):
+            BatchEngine("definitely-not-a-codec")
+        with pytest.raises(InvalidParameterError):
+            BatchEngine("raw", backend="gpu")

@@ -248,3 +248,96 @@ class TestConcatIrregular:
         stream.finalize()
         stitched = stream.to_irregular()
         assert stitched.metadata["chunks"] == 3
+
+
+class TestMultiStreamCompressor:
+    def test_chunks_match_single_stream_compressor(self):
+        """Every multi-stream chunk equals the single-stream chunk bit for bit."""
+        from repro.streaming import MultiStreamCompressor
+
+        x_a = np.round(_seasonal(500), 3)
+        x_b = np.round(_seasonal(300, period=12), 3)
+        multi = MultiStreamCompressor(chunk_size=128, codec="gorilla")
+        multi.add("a", x_a)
+        multi.add("b", x_b)
+        multi.flush()
+
+        for stream, x in (("a", x_a), ("b", x_b)):
+            single = StreamingCompressor(chunk_size=128, codec="gorilla")
+            single.add(x)
+            single.flush()
+            multi_results = multi.results(stream)
+            assert len(multi_results) == len(single.results)
+            for mine, theirs in zip(multi_results, single.results):
+                assert mine.block.payload == theirs.block.payload
+            assert np.array_equal(multi.reconstruct(stream), x)
+            assert multi.report(stream).chunks == single.report().chunks
+            assert multi.report(stream).encoded_bits == single.report().encoded_bits
+
+    def test_cameo_chunks_match_single_stream(self):
+        from repro.streaming import MultiStreamCompressor
+
+        x = _seasonal(420)
+        multi = MultiStreamCompressor(chunk_size=140, codec="cameo",
+                                      codec_options=dict(max_lag=12, epsilon=0.05))
+        multi.add("s", x)
+        multi.flush()
+        single = StreamingCompressor(chunk_size=140, codec="cameo",
+                                     codec_options=dict(max_lag=12, epsilon=0.05))
+        single.add(x)
+        single.flush()
+        for mine, theirs in zip(multi.results("s"), single.results):
+            assert (mine.block.payload.indices.tolist()
+                    == theirs.block.payload.indices.tolist())
+
+    def test_drain_batches_across_streams(self):
+        from repro.streaming import MultiStreamCompressor
+
+        multi = MultiStreamCompressor(chunk_size=64, codec="gorilla")
+        for stream in ("a", "b", "c"):
+            sealed = multi.add(stream, np.round(_seasonal(64), 3))
+            assert sealed == 1
+        assert multi.results("a") == []  # nothing encoded until drain
+        sealed_pairs = multi.drain()
+        assert len(sealed_pairs) == 3
+        assert sorted(stream for stream, _chunk in sealed_pairs) == ["a", "b", "c"]
+
+    def test_failed_chunk_is_isolated(self):
+        from repro.streaming import MultiStreamCompressor
+
+        multi = MultiStreamCompressor(chunk_size=32, codec="gorilla")
+        multi.add("good", np.round(_seasonal(32), 3))
+        multi._pending.append(("bad", np.full(32, np.nan)))
+        sealed = multi.flush()
+        assert [stream for stream, _chunk in sealed] == ["good"]
+        assert len(multi.errors) == 1
+        assert multi.errors[0].name == "bad"
+        assert multi.results("bad") == []
+
+    def test_unknown_stream_report_raises(self):
+        from repro.streaming import MultiStreamCompressor
+
+        multi = MultiStreamCompressor(chunk_size=32, codec="raw")
+        with pytest.raises(InvalidParameterError):
+            multi.report("nope")
+        assert multi.reconstruct("nope").size == 0
+
+    def test_failed_chunk_keeps_stream_offsets_truthful(self):
+        from repro.streaming import MultiStreamCompressor
+
+        multi = MultiStreamCompressor(chunk_size=32, codec="gorilla")
+        good = np.round(_seasonal(32), 3)
+        # NaN input is rejected at add(); an encode-time failure can still
+        # happen (codec-specific errors), simulated by injecting a sealed
+        # chunk that will fail, *before* a healthy one of the same stream.
+        multi._pending.append(("s", np.full(32, np.nan)))
+        multi.add("s", good)
+        multi.drain()
+        assert len(multi.errors) == 1
+        results = multi.results("s")
+        assert len(results) == 1
+        # Chunk 1 starts at stream position 32 even though chunk 0 failed.
+        assert results[0].start == 32
+        report = multi.report("s")
+        assert report.sealed_points == 64
+        assert report.chunks == 1

@@ -165,3 +165,114 @@ class TestAnalyze:
                      "--codec-arg", "error_bound=0.5"]) == 0
         output = capsys.readouterr().out
         assert "pmc" in output and "Gorilla" in output and "CAMEO" in output
+
+
+class TestCompressBatch:
+    @pytest.fixture()
+    def csv_dir(self, tmp_path):
+        rng = np.random.default_rng(5)
+        directory = tmp_path / "sensors"
+        directory.mkdir()
+        fleet = {}
+        for index in range(4):
+            values = np.round(
+                10 + 3 * np.sin(2 * np.pi * np.arange(200) / 24)
+                + rng.normal(0, 0.3, 200), 3)
+            path = directory / f"sensor{index}.csv"
+            with open(path, "w", newline="", encoding="utf-8") as handle:
+                writer = csv.writer(handle)
+                writer.writerow(["t", "value"])
+                for t, value in enumerate(values):
+                    writer.writerow([t, repr(float(value))])
+            fleet[f"sensor{index}"] = values
+        return directory, fleet
+
+    def test_batch_roundtrip_gorilla(self, csv_dir, tmp_path, capsys):
+        directory, fleet = csv_dir
+        out_dir = tmp_path / "out"
+        code = main(["compress-batch", str(directory), "--codec", "gorilla",
+                     "--output-dir", str(out_dir)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "compressed 4/4 series with gorilla" in output
+        assert "points/s" in output
+        import json
+
+        from repro.codecs import get_codec
+        from repro.codecs.serialize import block_from_document
+
+        codec = get_codec("gorilla")
+        for name, values in fleet.items():
+            document = json.loads((out_dir / f"{name}.gorilla.json").read_text())
+            block = block_from_document(document)
+            assert np.array_equal(codec.decode(block), values)
+
+    def test_batch_cameo_matches_single_compress(self, csv_dir, tmp_path):
+        directory, fleet = csv_dir
+        out_dir = tmp_path / "out-cameo"
+        code = main(["compress-batch", str(directory / "*.csv"),
+                     "--codec", "cameo", "--max-lag", "12",
+                     "--epsilon", "0.05", "--output-dir", str(out_dir)])
+        assert code == 0
+        import json
+
+        from repro.codecs import get_codec
+        from repro.codecs.serialize import block_from_document
+
+        codec = get_codec("cameo", max_lag=12, epsilon=0.05)
+        for name, values in fleet.items():
+            document = json.loads((out_dir / f"{name}.cameo.json").read_text())
+            block = block_from_document(document)
+            reference = codec.encode(values)
+            assert (block.payload.indices.tolist()
+                    == reference.payload.indices.tolist())
+
+    def test_unreadable_file_is_isolated(self, csv_dir, tmp_path, capsys):
+        directory, _fleet = csv_dir
+        (directory / "broken.csv").write_text("a,b\n1,not-a-number\n")
+        out_dir = tmp_path / "out-mixed"
+        code = main(["compress-batch", str(directory), "--codec", "gorilla",
+                     "--output-dir", str(out_dir)])
+        assert code == 3
+        output = capsys.readouterr().out
+        assert "FAILED broken" in output
+        assert "compressed 4/5 series" in output
+        assert len(list(out_dir.glob("*.json"))) == 4
+
+    def test_no_matches_errors(self, tmp_path, capsys):
+        code = main(["compress-batch", str(tmp_path / "nothing-*.csv")])
+        assert code == 2
+        assert "no input files matched" in capsys.readouterr().err
+
+    def test_same_stem_inputs_do_not_collide(self, tmp_path, capsys):
+        rng = np.random.default_rng(1)
+        fleets = {}
+        for sub in ("east", "west"):
+            directory = tmp_path / sub
+            directory.mkdir()
+            values = np.round(rng.normal(10, 1, 120), 3)
+            with open(directory / "sensor.csv", "w", newline="",
+                      encoding="utf-8") as handle:
+                writer = csv.writer(handle)
+                writer.writerow(["t", "value"])
+                for t, value in enumerate(values):
+                    writer.writerow([t, repr(float(value))])
+            fleets[sub] = values
+        out_dir = tmp_path / "out"
+        code = main(["compress-batch", str(tmp_path / "east"),
+                     str(tmp_path / "west"), "--codec", "gorilla",
+                     "--output-dir", str(out_dir)])
+        assert code == 0
+        written = sorted(path.name for path in out_dir.glob("*.json"))
+        assert written == ["east-sensor.gorilla.json", "west-sensor.gorilla.json"]
+        import json
+
+        from repro.codecs import get_codec
+        from repro.codecs.serialize import block_from_document
+
+        codec = get_codec("gorilla")
+        for sub in ("east", "west"):
+            document = json.loads(
+                (out_dir / f"{sub}-sensor.gorilla.json").read_text())
+            assert np.array_equal(codec.decode(block_from_document(document)),
+                                  fleets[sub])

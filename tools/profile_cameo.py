@@ -8,6 +8,8 @@ hotspots").  Typical invocations::
     PYTHONPATH=src python tools/profile_cameo.py --n 4000 --statistic pacf \
         --max-lag 24 --sort tottime --top 25
     PYTHONPATH=src python tools/profile_cameo.py --n 10000 --batch-size 1
+    PYTHONPATH=src python tools/profile_cameo.py --n 256 --max-lag 16 \
+        --batch 64 --backend serial
 
 The synthetic signal matches the perf harness
 (``benchmarks/test_perf_kernels.py``): two sine components plus Gaussian
@@ -46,6 +48,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--batch-size", default=None,
                         help="speculative batch size (int) or 'auto'; "
                              "1 = sequential escape hatch")
+    parser.add_argument("--batch", type=int, default=None, metavar="N",
+                        help="profile a batch-engine run over N copies of the "
+                             "signal (distinct noise seeds) instead of one "
+                             "series")
+    parser.add_argument("--backend", default="serial",
+                        choices=("serial", "thread", "process"),
+                        help="engine backend for --batch (cProfile only sees "
+                             "parent-process work; use serial for kernel "
+                             "attribution)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="engine workers for --batch")
+    parser.add_argument("--no-fastpath", action="store_true",
+                        help="disable the engine's cross-series fast paths "
+                             "for --batch")
     parser.add_argument("--seed", type=int, default=123)
     parser.add_argument("--sort", default="cumulative",
                         choices=("cumulative", "tottime", "ncalls"))
@@ -57,7 +73,6 @@ def main(argv: list[str] | None = None) -> int:
 
     from repro.core import cameo_compress
 
-    signal = build_signal(args.n, args.seed)
     kwargs: dict = {
         "max_lag": args.max_lag,
         "epsilon": args.epsilon,
@@ -71,8 +86,22 @@ def main(argv: list[str] | None = None) -> int:
         kwargs["batch_size"] = (args.batch_size if args.batch_size == "auto"
                                 else int(args.batch_size))
 
-    def run():
-        return cameo_compress(signal, **kwargs)
+    if args.batch is not None:
+        from repro.engine import BatchEngine
+
+        signals = [build_signal(args.n, args.seed + index)
+                   for index in range(args.batch)]
+        engine = BatchEngine("cameo", codec_options=kwargs,
+                             backend=args.backend, workers=args.workers,
+                             fastpath=not args.no_fastpath)
+
+        def run():
+            return engine.compress(signals)
+    else:
+        signal = build_signal(args.n, args.seed)
+
+        def run():
+            return cameo_compress(signal, **kwargs)
 
     start = time.perf_counter()
     if args.no_profile:
@@ -83,14 +112,28 @@ def main(argv: list[str] | None = None) -> int:
         result = profiler.runcall(run)
         elapsed = time.perf_counter() - start
 
-    meta = result.metadata
-    print(f"n={args.n} statistic={args.statistic} max_lag={args.max_lag} "
-          f"epsilon={args.epsilon} blocking={args.blocking}")
-    print(f"kept={meta['kept_points']} iterations={meta['iterations']} "
-          f"stopped_by={meta['stopped_by']} "
-          f"achieved_deviation={meta['achieved_deviation']:.6f}")
-    print(f"wall time: {elapsed:.2f} s "
-          f"({args.n / max(elapsed, 1e-9):.0f} points/s)\n")
+    if args.batch is not None:
+        report = result.report
+        total = args.batch * args.n
+        print(f"batch={args.batch} x n={args.n} statistic={args.statistic} "
+              f"max_lag={args.max_lag} epsilon={args.epsilon} "
+              f"backend={report.backend} workers={report.workers} "
+              f"fastpath={'off' if args.no_fastpath else 'on'}")
+        print(f"series={report.series} failed={report.failed} "
+              f"fastpath_series={report.fastpath_series} "
+              f"bits/value={report.bits_per_value:.2f}")
+        print(f"wall time: {elapsed:.2f} s "
+              f"({total / max(elapsed, 1e-9):.0f} points/s, "
+              f"cpu {report.cpu_seconds:.2f} s)\n")
+    else:
+        meta = result.metadata
+        print(f"n={args.n} statistic={args.statistic} max_lag={args.max_lag} "
+              f"epsilon={args.epsilon} blocking={args.blocking}")
+        print(f"kept={meta['kept_points']} iterations={meta['iterations']} "
+              f"stopped_by={meta['stopped_by']} "
+              f"achieved_deviation={meta['achieved_deviation']:.6f}")
+        print(f"wall time: {elapsed:.2f} s "
+              f"({args.n / max(elapsed, 1e-9):.0f} points/s)\n")
     if not args.no_profile:
         stats = pstats.Stats(profiler)
         stats.sort_stats(args.sort).print_stats(args.top)

@@ -15,7 +15,10 @@ Five subcommands cover the typical workflow on CSV data:
     ``--workers N``, any registered ``--codec``.  Writes one codec-block
     JSON document per input into ``--output-dir`` and prints the aggregate
     throughput report; a failing series is reported and skipped, the rest
-    of the batch completes.
+    of the batch completes.  Fault-handling knobs: ``--timeout`` (per-chunk
+    seconds), ``--retries``, ``--on-degrade degrade|serial|error``; input
+    policies ``--on-nan`` / ``--on-inf`` admit hostile CSVs.  Exit code 0
+    when everything compressed, 3 on partial failure, 4 when nothing did.
 
 ``decompress``
     Reconstruct the regular series from a compressed representation
@@ -257,7 +260,11 @@ def _unique_series_names(paths: list[Path]) -> list[str]:
 
 def _cmd_compress_batch(args: argparse.Namespace) -> int:
     from .engine import compress_batch
+    from .engine.backends import install_signal_cleanup
+    from .sanitize import InputPolicy
 
+    # A SIGTERM/SIGHUP mid-batch must not leak the shared-memory segment.
+    install_signal_cleanup()
     paths = _expand_batch_inputs(args.inputs)
     if not paths:
         raise ReproError(f"no input files matched {args.inputs!r}")
@@ -277,10 +284,15 @@ def _cmd_compress_batch(args: argparse.Namespace) -> int:
         series.append(values)
         names.append(name)
 
+    policy = None
+    if args.on_nan != "raise" or args.on_inf != "raise":
+        policy = InputPolicy(on_nan=args.on_nan, on_inf=args.on_inf)
     result = compress_batch(series, codec=spec.name, names=names,
                             codec_options=options, backend=args.backend,
                             workers=args.workers,
-                            fastpath=not args.no_fastpath)
+                            fastpath=not args.no_fastpath,
+                            timeout=args.timeout, retries=args.retries,
+                            on_degrade=args.on_degrade, policy=policy)
 
     output_dir = Path(args.output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
@@ -307,8 +319,20 @@ def _cmd_compress_batch(args: argparse.Namespace) -> int:
     print(f"  wall {report.wall_seconds:.2f} s, cpu {report.cpu_seconds:.2f} s, "
           f"{report.points_per_sec:.0f} points/s, "
           f"{report.fastpath_series} series via cross-series fast paths")
-    print(f"wrote {report.series - report.failed} codec-block documents to {output_dir}")
-    return 0 if failed == 0 else 3
+    recovery = (report.retries or report.timeouts or report.pool_rebuilds
+                or report.quarantined_chunks or report.degraded_chunks
+                or report.sanitized_series)
+    if recovery:
+        print(f"  recovery: {report.retries} retries, {report.timeouts} timeouts, "
+              f"{report.pool_rebuilds} pool rebuilds, "
+              f"{report.quarantined_chunks} quarantined chunks, "
+              f"{report.degraded_series} series degraded, "
+              f"{report.sanitized_series} series sanitized")
+    succeeded = report.series - report.failed
+    print(f"wrote {succeeded} codec-block documents to {output_dir}")
+    if failed == 0:
+        return 0
+    return 4 if succeeded == 0 else 3
 
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
@@ -447,6 +471,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="parallel workers (default: CPU count)")
     batch.add_argument("--no-fastpath", action="store_true",
                        help="disable the cross-series batched fast paths")
+    batch.add_argument("--timeout", type=float, default=None,
+                       help="per-chunk timeout in seconds (default: none)")
+    batch.add_argument("--retries", type=int, default=1,
+                       help="chunk retry budget before quarantine (default 1)")
+    batch.add_argument("--on-degrade", default="degrade",
+                       choices=("degrade", "serial", "error"),
+                       help="what happens to a quarantined chunk: walk the "
+                            "process->thread->serial ladder, go straight to "
+                            "serial, or record errors (default degrade)")
+    batch.add_argument("--on-nan", default="raise",
+                       choices=("raise", "skip", "split"),
+                       help="input policy for NaN values (default raise)")
+    batch.add_argument("--on-inf", default="raise",
+                       choices=("raise", "skip"),
+                       help="input policy for non-finite values (default raise)")
     batch.add_argument("--output-dir", default="compressed",
                        help="directory for the codec-block documents "
                             "(default ./compressed)")

@@ -13,15 +13,22 @@ provides that layer:
 * cross-series batched fast paths — stacked XOR encode
   (:meth:`GorillaCodec.encode_batch`) and lock-step CAMEO
   (:mod:`repro.engine.cameo_batch`) — whose results are byte-/kept-set-
-  identical to per-series runs.
+  identical to per-series runs;
+* fault-tolerant supervision (:mod:`repro.engine.supervisor`) — per-chunk
+  timeouts, bounded retry, ``BrokenProcessPool`` recovery, and a
+  ``process → thread → serial`` degradation ladder, so a batch always
+  terminates with per-series outcomes and never leaks a shared-memory
+  segment.
 
-See ``docs/architecture.md`` ("The batch engine") for the data flow.
+See ``docs/architecture.md`` ("The batch engine") for the data flow and
+``docs/robustness.md`` for the failure semantics.
 """
 
 from .cameo_batch import lockstep_compress, lockstep_eligible
 from .chunking import plan_chunks
 from .engine import BatchEngine, compress_batch
 from .report import BatchReport, BatchResult, SeriesOutcome
+from .supervisor import SupervisorPolicy, SupervisorStats
 
 __all__ = [
     "BatchEngine",
@@ -29,6 +36,8 @@ __all__ = [
     "BatchReport",
     "BatchResult",
     "SeriesOutcome",
+    "SupervisorPolicy",
+    "SupervisorStats",
     "plan_chunks",
     "lockstep_compress",
     "lockstep_eligible",

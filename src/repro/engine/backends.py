@@ -1,38 +1,49 @@
-"""Execution backends for the batch engine: serial, thread, process.
+"""Backend plumbing for the batch engine: names, workers, shared memory.
 
-All three run the same :func:`repro.engine.worker.encode_chunk` over the
-planned chunks; they differ only in *where*:
+The execution strategies themselves (serial / thread / process, plus the
+supervision layer that keeps a batch alive through worker crashes, hangs,
+and poisoned chunks) live in :mod:`repro.engine.supervisor`.  This module
+owns what they share:
 
-``serial``
-    One in-process pass (the reference the determinism tests compare
-    against, and the baseline of the perf harness' throughput ratio).
-``thread``
-    A ``ThreadPoolExecutor`` — NumPy releases the GIL inside the heavy
-    kernels, so moderate speed-ups are possible without any serialization.
-``process``
-    A ``ProcessPoolExecutor`` over true processes.  Input series travel
-    through one ``multiprocessing.shared_memory`` segment (workers build
-    zero-copy array views), results come back as portable codec-block
-    documents — no float payload is ever pickled.
+* backend-name validation and worker-count resolution;
+* the shared-memory input transport of the process backend — every batch
+  ships its inputs through **one** named ``multiprocessing.shared_memory``
+  segment (workers build zero-copy views; float payloads never pickle);
+* shared-memory *hygiene*: segments carry a recognizable
+  ``repro_batch_<pid>_<seq>`` name, every live segment is tracked in a
+  process-local registry, release is idempotent on both the parent and
+  worker side, an ``atexit`` hook unlinks anything a crashed run left
+  behind, and :func:`segment_residue` lets callers (and the fault-injection
+  tests) assert that ``/dev/shm`` holds no engine residue.
 """
 
 from __future__ import annotations
 
+import atexit
+import itertools
 import os
-from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
-from ..codecs.serialize import block_from_document
 from ..exceptions import InvalidParameterError
-from .report import SeriesOutcome
-from .worker import encode_chunk, process_chunk_task
 
-__all__ = ["BACKENDS", "resolve_workers", "run_serial", "run_thread",
-           "run_process"]
+__all__ = [
+    "BACKENDS",
+    "SEGMENT_PREFIX",
+    "build_shared_input",
+    "install_signal_cleanup",
+    "preferred_context",
+    "release_all_segments",
+    "release_segment",
+    "resolve_workers",
+    "segment_residue",
+]
 
 #: Recognised backend names.
 BACKENDS = ("serial", "thread", "process")
+
+#: Name prefix of every engine-owned shared-memory segment.
+SEGMENT_PREFIX = "repro_batch_"
 
 
 def resolve_workers(backend: str, workers: int | None) -> int:
@@ -49,39 +60,7 @@ def resolve_workers(backend: str, workers: int | None) -> int:
     return int(workers)
 
 
-def run_serial(chunks, series, names, codec_name, codec_options,
-               use_fastpath: bool) -> list[SeriesOutcome]:
-    """Encode every chunk in-process, one after the other."""
-    outcomes: list[SeriesOutcome] = []
-    for chunk in chunks:
-        outcomes.extend(encode_chunk(
-            [series[index] for index in chunk],
-            [names[index] for index in chunk], chunk, codec_name,
-            codec_options, use_fastpath=use_fastpath))
-    return outcomes
-
-
-def run_thread(chunks, series, names, codec_name, codec_options,
-               use_fastpath: bool, workers: int) -> list[SeriesOutcome]:
-    """Encode chunks on a thread pool (shared address space, no copies)."""
-
-    def task(chunk):
-        return encode_chunk(
-            [series[index] for index in chunk],
-            [names[index] for index in chunk], chunk, codec_name,
-            codec_options, use_fastpath=use_fastpath)
-
-    outcomes: list[SeriesOutcome] = []
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        for chunk_outcomes in pool.map(task, chunks):
-            outcomes.extend(chunk_outcomes)
-    return outcomes
-
-
-# --------------------------------------------------------------------- #
-# process backend
-# --------------------------------------------------------------------- #
-def _preferred_context():
+def preferred_context():
     """``fork`` where available (cheap startup, Linux), else the default."""
     import multiprocessing
 
@@ -91,15 +70,124 @@ def _preferred_context():
     return multiprocessing.get_context()
 
 
-def _build_shared_input(series, chunks):
+# --------------------------------------------------------------------- #
+# shared-memory segment hygiene
+# --------------------------------------------------------------------- #
+#: Every live engine-created segment, by name.  The registry exists so the
+#: ``atexit`` hook (and an optional signal handler) can unlink whatever a
+#: crashed or interrupted run failed to release — a leaked segment outlives
+#: the process and eats ``/dev/shm`` until reboot.
+_LIVE_SEGMENTS: dict[str, object] = {}
+_SEGMENT_SEQ = itertools.count()
+_CLEANUP_REGISTERED = False
+
+
+def _register_segment(shm) -> None:
+    global _CLEANUP_REGISTERED
+    if not _CLEANUP_REGISTERED:
+        atexit.register(release_all_segments)
+        _CLEANUP_REGISTERED = True
+    _LIVE_SEGMENTS[shm.name] = shm
+
+
+def release_segment(shm) -> None:
+    """Close and unlink one segment; safe to call any number of times.
+
+    Idempotence is the load-bearing property: the supervisor's ``finally``,
+    the ``atexit`` hook, and an optional signal handler may all race to
+    release the same segment after a fault, and none of them may raise.
+    """
+    _LIVE_SEGMENTS.pop(getattr(shm, "name", None), None)
+    try:
+        shm.close()
+    except (OSError, BufferError):  # pragma: no cover - already closed
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+    except OSError:  # pragma: no cover - platform-specific unlink refusal
+        pass
+
+
+def release_all_segments() -> None:
+    """Release every tracked segment (atexit / signal-handler entry)."""
+    for name in list(_LIVE_SEGMENTS):
+        shm = _LIVE_SEGMENTS.get(name)
+        if shm is not None:
+            release_segment(shm)
+
+
+def install_signal_cleanup(signums=None) -> None:
+    """Chain shared-memory cleanup into termination signal handlers.
+
+    Libraries must not hijack signal handling, so this is opt-in for
+    application entry points (the CLI calls it for ``compress-batch``).
+    The previous handler — or the default action — still runs afterwards,
+    so semantics beyond the cleanup are unchanged.  Calls from non-main
+    threads are ignored (``signal.signal`` would raise there).
+    """
+    import signal
+
+    if signums is None:
+        signums = (signal.SIGTERM, signal.SIGHUP) if hasattr(signal, "SIGHUP") \
+            else (signal.SIGTERM,)
+    for signum in signums:
+        try:
+            previous = signal.getsignal(signum)
+
+            def _handler(signo, frame, _previous=previous):
+                release_all_segments()
+                if callable(_previous):
+                    _previous(signo, frame)
+                else:
+                    signal.signal(signo, signal.SIG_DFL)
+                    os.kill(os.getpid(), signo)
+
+            signal.signal(signum, _handler)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            continue
+
+
+def segment_residue(name_or_prefix: str = SEGMENT_PREFIX) -> list[str]:
+    """Engine segments still present in ``/dev/shm`` (the leak check).
+
+    Returns an empty list on platforms without a ``/dev/shm`` tmpfs — the
+    assertion is then vacuous rather than wrong.
+    """
+    root = "/dev/shm"
+    if not os.path.isdir(root):
+        return []
+    try:
+        entries = os.listdir(root)
+    except OSError:  # pragma: no cover - tmpfs unreadable
+        return []
+    return sorted(entry for entry in entries
+                  if entry.startswith(name_or_prefix))
+
+
+def _new_segment(size: int):
+    from multiprocessing import shared_memory
+
+    while True:
+        name = f"{SEGMENT_PREFIX}{os.getpid()}_{next(_SEGMENT_SEQ)}"
+        try:
+            shm = shared_memory.SharedMemory(create=True, name=name,
+                                             size=max(int(size), 1))
+        except FileExistsError:  # pragma: no cover - stale residue collision
+            continue
+        _register_segment(shm)
+        return shm
+
+
+def build_shared_input(series, chunks):
     """Copy every chunked series into one shared-memory segment.
 
     Returns ``(shm, manifest)`` where ``manifest[index] = (offset, length,
     dtype_str)``.  Offsets are 8-byte aligned so any float dtype views
-    cleanly.
+    cleanly.  The segment is registered for atexit cleanup; callers must
+    still :func:`release_segment` it in a ``finally``.
     """
-    from multiprocessing import shared_memory
-
     needed = [index for chunk in chunks for index in chunk]
     manifest: dict[int, tuple[int, int, str]] = {}
     offset = 0
@@ -109,7 +197,7 @@ def _build_shared_input(series, chunks):
         arrays[index] = array
         manifest[index] = (offset, int(array.size), array.dtype.str)
         offset += (array.nbytes + 7) & ~7
-    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    shm = _new_segment(offset)
     for index in needed:
         start, length, dtype = manifest[index]
         view = np.ndarray((length,), dtype=np.dtype(dtype), buffer=shm.buf,
@@ -117,62 +205,3 @@ def _build_shared_input(series, chunks):
         view[:] = arrays[index]
         del view
     return shm, manifest
-
-
-def run_process(chunks, series, names, codec_name, codec_options,
-                use_fastpath: bool, workers: int) -> list[SeriesOutcome]:
-    """Encode chunks on a process pool via shared memory.
-
-    Series that cannot be shared (non-numeric dtypes) are encoded in the
-    parent instead — they would fail validation anyway, and the error
-    outcome must still be recorded per series.
-    """
-    from concurrent.futures import ProcessPoolExecutor
-
-    shareable_chunks: list[list[int]] = []
-    parent_side: list[int] = []
-    for chunk in chunks:
-        kept = []
-        for index in chunk:
-            array = np.asarray(series[index])
-            if array.dtype.kind in ("f", "i", "u") and array.ndim == 1 and array.size:
-                kept.append(index)
-            else:
-                parent_side.append(index)
-        if kept:
-            shareable_chunks.append(kept)
-
-    outcomes: list[SeriesOutcome] = []
-    if parent_side:
-        outcomes.extend(run_serial([parent_side], series, names, codec_name,
-                                   codec_options, use_fastpath))
-    if not shareable_chunks:
-        return outcomes
-
-    shm, manifest = _build_shared_input(series, shareable_chunks)
-    try:
-        tasks = []
-        for chunk in shareable_chunks:
-            entries = [(index, names[index], *manifest[index])
-                       for index in chunk]
-            tasks.append((shm.name, entries, codec_name, codec_options,
-                          use_fastpath))
-        with ProcessPoolExecutor(max_workers=workers,
-                                 mp_context=_preferred_context()) as pool:
-            for chunk, payload in zip(shareable_chunks,
-                                      pool.map(process_chunk_task, tasks)):
-                for index, name, length, document, error, error_type, fastpath \
-                        in payload:
-                    if document is None:
-                        outcomes.append(SeriesOutcome(
-                            index=index, name=name, length=length,
-                            error=error, error_type=error_type))
-                    else:
-                        outcomes.append(SeriesOutcome(
-                            index=index, name=name, length=length,
-                            block=block_from_document(document),
-                            fastpath=fastpath))
-    finally:
-        shm.close()
-        shm.unlink()
-    return outcomes

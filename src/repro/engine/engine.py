@@ -37,15 +37,11 @@ import numpy as np
 from ..codecs import codec_spec
 from ..data.timeseries import TimeSeries
 from ..exceptions import InvalidParameterError
-from .backends import (
-    BACKENDS,
-    resolve_workers,
-    run_process,
-    run_serial,
-    run_thread,
-)
+from ..sanitize import SANITIZE_METADATA_KEY, InputPolicy, sanitize
+from .backends import BACKENDS, resolve_workers
 from .chunking import DEFAULT_OVERSUBSCRIBE, plan_chunks
 from .report import BatchReport, BatchResult, SeriesOutcome
+from .supervisor import SupervisorPolicy, run_supervised
 
 __all__ = ["BatchEngine", "compress_batch"]
 
@@ -105,12 +101,34 @@ class BatchEngine:
         exists for benchmarking and bisection.
     oversubscribe:
         Chunks planned per worker (see :func:`repro.engine.chunking.plan_chunks`).
+    timeout:
+        Per-chunk wall-clock budget in seconds (``None`` = unbounded).  A
+        chunk that exceeds it is retried, then quarantined; on the process
+        backend the hung pool is killed and rebuilt.
+    retries:
+        Chunk-level retry budget before a chunk is quarantined.
+    backoff:
+        Base sleep between chunk retries (exponential).
+    on_degrade:
+        What happens to a quarantined chunk: ``"degrade"`` (default — walk
+        the ``process → thread → serial`` ladder), ``"serial"`` (straight
+        to the serial guard), or ``"error"`` (record error outcomes).
+    policy:
+        Optional :class:`~repro.sanitize.InputPolicy` applied to every
+        series before chunk planning.  Policy rejections become per-series
+        error outcomes; modified inputs record their
+        :class:`~repro.sanitize.SanitizeReport` in block metadata so decode
+        stays self-describing.  ``None`` (default) skips sanitization
+        entirely — clean-input runs are bit-identical with or without it.
     """
 
     def __init__(self, codec: str = "cameo", *, codec_options: dict | None = None,
                  backend: str = "serial", workers: int | None = None,
                  fastpath: bool = True,
-                 oversubscribe: int = DEFAULT_OVERSUBSCRIBE):
+                 oversubscribe: int = DEFAULT_OVERSUBSCRIBE,
+                 timeout: float | None = None, retries: int = 1,
+                 backoff: float = 0.05, on_degrade: str = "degrade",
+                 policy: InputPolicy | None = None):
         spec = codec_spec(codec)  # validates the name early
         self.codec = spec.name
         self.codec_options = dict(codec_options or {})
@@ -121,41 +139,81 @@ class BatchEngine:
         self.workers = resolve_workers(backend, workers)
         self.fastpath = bool(fastpath)
         self.oversubscribe = int(oversubscribe)
+        self.supervisor_policy = SupervisorPolicy(
+            timeout=timeout, retries=int(retries), backoff=float(backoff),
+            on_degrade=on_degrade)
+        if policy is not None and not isinstance(policy, InputPolicy):
+            raise InvalidParameterError(
+                f"policy must be an InputPolicy or None, got {type(policy).__name__}")
+        self.policy = policy
 
     # ------------------------------------------------------------------ #
+    def _sanitize_inputs(self, series_list, series_names
+                         ) -> tuple[dict[int, SeriesOutcome], dict[int, dict]]:
+        """Apply the input policy in place; returns (pre-errors, metadata)."""
+        pre_errors: dict[int, SeriesOutcome] = {}
+        sanitize_meta: dict[int, dict] = {}
+        for index, item in enumerate(series_list):
+            try:
+                result = sanitize(item, self.policy, name=series_names[index])
+            except Exception as exc:
+                try:
+                    length = int(np.asarray(item).size)
+                except Exception:
+                    length = 0
+                pre_errors[index] = SeriesOutcome(
+                    index=index, name=series_names[index], length=length,
+                    error=str(exc), error_type=type(exc).__name__)
+            else:
+                series_list[index] = result.values
+                if not result.report.clean:
+                    sanitize_meta[index] = result.report.as_metadata()
+        return pre_errors, sanitize_meta
+
     def compress(self, source, *, names=None) -> BatchResult:
         """Compress every series of ``source``; outcomes in input order."""
         series_list, series_names = _normalize_source(source, names)
+        pre_errors: dict[int, SeriesOutcome] = {}
+        sanitize_meta: dict[int, dict] = {}
+        if self.policy is not None:
+            pre_errors, sanitize_meta = self._sanitize_inputs(series_list,
+                                                              series_names)
+        good = [index for index in range(len(series_list))
+                if index not in pre_errors]
         sizes = []
-        for item in series_list:
+        for index in good:
             try:
-                sizes.append(int(np.asarray(item).size))
+                sizes.append(int(np.asarray(series_list[index]).size))
             except Exception:
                 sizes.append(1)
-        chunks = plan_chunks(sizes, self.workers,
-                             oversubscribe=self.oversubscribe)
+        chunks = [[good[position] for position in chunk]
+                  for chunk in plan_chunks(sizes, self.workers,
+                                           oversubscribe=self.oversubscribe)]
 
         wall_start = time.perf_counter()
         cpu_start = self._cpu_seconds()
-        if self.backend == "serial":
-            outcomes = run_serial(chunks, series_list, series_names,
-                                  self.codec, self.codec_options,
-                                  self.fastpath)
-        elif self.backend == "thread":
-            outcomes = run_thread(chunks, series_list, series_names,
-                                  self.codec, self.codec_options,
-                                  self.fastpath, self.workers)
-        else:
-            outcomes = run_process(chunks, series_list, series_names,
-                                   self.codec, self.codec_options,
-                                   self.fastpath, self.workers)
+        outcomes, stats = run_supervised(
+            self.backend, chunks, series_list, series_names, self.codec,
+            self.codec_options, self.fastpath, self.workers,
+            policy=self.supervisor_policy)
         wall = time.perf_counter() - wall_start
         cpu = self._cpu_seconds() - cpu_start
 
+        outcomes.extend(pre_errors.values())
         outcomes.sort(key=lambda outcome: outcome.index)
+        for index, record in sanitize_meta.items():
+            block = outcomes[index].block
+            if block is not None:
+                block.metadata[SANITIZE_METADATA_KEY] = record
         report = BatchReport(codec=self.codec, backend=self.backend,
                              workers=self.workers, chunks=len(chunks),
-                             wall_seconds=wall, cpu_seconds=cpu)
+                             wall_seconds=wall, cpu_seconds=cpu,
+                             retries=stats.retries, timeouts=stats.timeouts,
+                             pool_rebuilds=stats.pool_rebuilds,
+                             quarantined_chunks=stats.quarantined_chunks,
+                             degraded_chunks=stats.degraded_chunks,
+                             degraded_series=stats.degraded_series,
+                             sanitized_series=len(sanitize_meta))
         for outcome in outcomes:
             report.series += 1
             if outcome.ok:
@@ -180,8 +238,10 @@ class BatchEngine:
 
 def compress_batch(source, codec: str = "cameo", *, names=None,
                    codec_options: dict | None = None, backend: str = "serial",
-                   workers: int | None = None, fastpath: bool = True
-                   ) -> BatchResult:
+                   workers: int | None = None, fastpath: bool = True,
+                   timeout: float | None = None, retries: int = 1,
+                   on_degrade: str = "degrade",
+                   policy: InputPolicy | None = None) -> BatchResult:
     """One-shot convenience wrapper around :class:`BatchEngine`.
 
     Parameters
@@ -195,7 +255,7 @@ def compress_batch(source, codec: str = "cameo", *, names=None,
     names:
         Optional per-series names (sequence sources), or the subset of
         store series to read.
-    backend, workers, fastpath:
+    backend, workers, fastpath, timeout, retries, on_degrade, policy:
         See :class:`BatchEngine`.
 
     Returns
@@ -205,5 +265,6 @@ def compress_batch(source, codec: str = "cameo", *, names=None,
         :class:`~repro.engine.report.BatchReport`.
     """
     engine = BatchEngine(codec, codec_options=codec_options, backend=backend,
-                         workers=workers, fastpath=fastpath)
+                         workers=workers, fastpath=fastpath, timeout=timeout,
+                         retries=retries, on_degrade=on_degrade, policy=policy)
     return engine.compress(source, names=names)

@@ -34,6 +34,9 @@ class SeriesOutcome:
     error: str | None = None
     error_type: str | None = None
     fastpath: str | None = None
+    #: Set when the supervisor produced this outcome on a lower backend rung
+    #: than the engine was asked for (``"thread"`` or ``"serial"``).
+    degraded_to: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -64,6 +67,16 @@ class BatchReport:
     fastpath_series: int = 0
     wall_seconds: float = 0.0
     cpu_seconds: float = 0.0
+    # Supervisor accounting (see repro.engine.supervisor.SupervisorStats).
+    retries: int = 0
+    timeouts: int = 0
+    pool_rebuilds: int = 0
+    quarantined_chunks: int = 0
+    degraded_chunks: int = 0
+    degraded_series: int = 0
+    #: Series whose input was modified by the input policy (dropped values,
+    #: reordering, casts) before compression.
+    sanitized_series: int = 0
 
     @property
     def points_per_sec(self) -> float:
@@ -95,6 +108,13 @@ class BatchReport:
             "fastpath_series": self.fastpath_series,
             "wall_seconds": self.wall_seconds,
             "cpu_seconds": self.cpu_seconds,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_rebuilds": self.pool_rebuilds,
+            "quarantined_chunks": self.quarantined_chunks,
+            "degraded_chunks": self.degraded_chunks,
+            "degraded_series": self.degraded_series,
+            "sanitized_series": self.sanitized_series,
             "points_per_sec": self.points_per_sec,
             "bits_per_value": self.bits_per_value,
             "compression_ratio": self.compression_ratio,

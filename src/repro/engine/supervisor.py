@@ -1,0 +1,487 @@
+"""Fault-tolerant chunk supervision for the batch engine.
+
+PR 5's backends assumed a polite world: one hung worker stalled the batch
+forever, one crashed worker killed every chunk via ``BrokenProcessPool``,
+and a single chunk-level exception on the thread backend abandoned the rest
+of the run.  This module replaces the bare ``pool.map`` with *supervised
+per-chunk futures* so a batch **always terminates with per-series
+outcomes**:
+
+* **per-chunk timeouts** — a chunk that exceeds ``timeout`` seconds is
+  abandoned (thread backend) or its pool is killed and rebuilt (process
+  backend) and the chunk is retried or written off as
+  :class:`~repro.exceptions.ChunkTimeoutError` outcomes;
+* **bounded retry with exponential backoff** — chunk-level failures are
+  retried up to ``retries`` times (``backoff * 2**attempt`` sleep between
+  attempts) before the chunk is given up;
+* **``BrokenProcessPool`` recovery** — a worker crash breaks every pending
+  future; the supervisor rebuilds the pool, re-submits the surviving
+  chunks (harvesting any results that completed before the crash), and
+  charges the failed attempt only to the suspect chunk it was waiting on;
+* **graceful degradation** — a chunk that exhausts its in-tier attempts is
+  quarantined and walked down the backend ladder (``process → thread →
+  serial``) according to ``on_degrade``; per-series error isolation inside
+  :func:`repro.engine.worker.encode_chunk` then guarantees the chunk's
+  series yield outcomes even when the fault is a poisoned series itself.
+
+One deliberate asymmetry: a chunk whose *last* failure is a timeout never
+falls through to the untimed serial rung — a genuinely hung computation
+would hang the whole engine there.  Hangs stop at the thread rung (which
+still enforces the timeout) and become timeout outcomes.
+
+Every decision is counted in :class:`SupervisorStats`, which
+:class:`~repro.engine.engine.BatchEngine` folds into the
+:class:`~repro.engine.report.BatchReport`.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import faultinject
+from ..codecs.serialize import block_from_document
+from ..exceptions import ChunkTimeoutError, InvalidParameterError, ReproError
+from .backends import (
+    BACKENDS,
+    build_shared_input,
+    preferred_context,
+    release_segment,
+    segment_residue,
+)
+from .report import SeriesOutcome
+from .worker import encode_chunk, process_chunk_task
+
+__all__ = ["SupervisorPolicy", "SupervisorStats", "run_supervised"]
+
+#: Recognised degradation modes.
+ON_DEGRADE = ("degrade", "serial", "error")
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Fault-handling knobs for one engine run.
+
+    Parameters
+    ----------
+    timeout:
+        Per-chunk wall-clock budget in seconds (``None`` = unbounded, the
+        historical behaviour).  Enforced on the thread and process tiers;
+        the serial tier runs untimed by construction.
+    retries:
+        Chunk-level retry budget *within* a tier before the chunk is
+        quarantined.
+    backoff:
+        Base sleep between retries; attempt *k* sleeps ``backoff * 2**k``.
+    on_degrade:
+        What to do with a quarantined chunk: ``degrade`` (default — walk
+        the ladder ``process → thread → serial``), ``serial`` (skip the
+        thread rung, go straight to the serial guard), or ``error``
+        (record error outcomes immediately).
+    """
+
+    timeout: float | None = None
+    retries: int = 1
+    backoff: float = 0.05
+    on_degrade: str = "degrade"
+
+    def __post_init__(self):
+        if self.timeout is not None and not float(self.timeout) > 0:
+            raise InvalidParameterError(
+                f"timeout must be positive or None, got {self.timeout!r}")
+        if int(self.retries) < 0:
+            raise InvalidParameterError(
+                f"retries must be >= 0, got {self.retries!r}")
+        if float(self.backoff) < 0:
+            raise InvalidParameterError(
+                f"backoff must be >= 0, got {self.backoff!r}")
+        if self.on_degrade not in ON_DEGRADE:
+            raise InvalidParameterError(
+                f"on_degrade must be one of {', '.join(ON_DEGRADE)}; "
+                f"got {self.on_degrade!r}")
+
+
+@dataclass
+class SupervisorStats:
+    """Accounting of every recovery decision taken during one run."""
+
+    retries: int = 0
+    timeouts: int = 0
+    pool_rebuilds: int = 0
+    quarantined_chunks: int = 0
+    degraded_chunks: int = 0
+    degraded_series: int = 0
+
+
+@dataclass
+class _Job:
+    """Everything needed to (re-)encode any chunk of the batch."""
+
+    series: list
+    names: list[str]
+    codec_name: str
+    codec_options: dict | None
+    use_fastpath: bool
+
+
+def _encode(job: _Job, chunk: list[int]) -> list[SeriesOutcome]:
+    return encode_chunk(
+        [job.series[index] for index in chunk],
+        [job.names[index] for index in chunk], chunk, job.codec_name,
+        job.codec_options, use_fastpath=job.use_fastpath)
+
+
+def _series_length(series) -> int:
+    try:
+        return int(np.asarray(series).size)
+    except Exception:  # pragma: no cover - exotic inputs
+        return 0
+
+
+def _error_outcomes(job: _Job, chunk: list[int], exc: BaseException,
+                    degraded_to: str | None = None) -> list[SeriesOutcome]:
+    return [SeriesOutcome(index=index, name=job.names[index],
+                          length=_series_length(job.series[index]),
+                          error=str(exc), error_type=type(exc).__name__,
+                          degraded_to=degraded_to)
+            for index in chunk]
+
+
+def _payload_to_outcomes(payload) -> list[SeriesOutcome]:
+    outcomes: list[SeriesOutcome] = []
+    for index, name, length, document, error, error_type, fastpath in payload:
+        if document is None:
+            outcomes.append(SeriesOutcome(index=index, name=name,
+                                          length=length, error=error,
+                                          error_type=error_type))
+        else:
+            outcomes.append(SeriesOutcome(index=index, name=name,
+                                          length=length,
+                                          block=block_from_document(document),
+                                          fastpath=fastpath))
+    return outcomes
+
+
+def _sleep_backoff(policy: SupervisorPolicy, attempt: int) -> None:
+    if policy.backoff > 0:
+        time.sleep(policy.backoff * (2 ** max(attempt - 1, 0)))
+
+
+# --------------------------------------------------------------------- #
+# serial tier
+# --------------------------------------------------------------------- #
+def _serial_chunk(job: _Job, chunk: list[int], policy: SupervisorPolicy,
+                  stats: SupervisorStats, *,
+                  degraded_to: str | None = None) -> list[SeriesOutcome]:
+    """One chunk in-process, with chunk-level retry then error outcomes."""
+    failure: BaseException | None = None
+    for attempt in range(policy.retries + 1):
+        if attempt:
+            stats.retries += 1
+            _sleep_backoff(policy, attempt)
+        try:
+            outcomes = _encode(job, chunk)
+        except Exception as exc:
+            failure = exc
+            continue
+        for outcome in outcomes:
+            outcome.degraded_to = degraded_to
+        return outcomes
+    # Serial is the bottom of the ladder: exhaustion means quarantine
+    # straight to error outcomes.
+    stats.quarantined_chunks += 1
+    return _error_outcomes(job, chunk, failure, degraded_to=degraded_to)
+
+
+def _run_serial(job: _Job, chunks, policy, stats) -> list[SeriesOutcome]:
+    outcomes: list[SeriesOutcome] = []
+    for chunk in chunks:
+        outcomes.extend(_serial_chunk(job, chunk, policy, stats))
+    return outcomes
+
+
+# --------------------------------------------------------------------- #
+# degradation ladder
+# --------------------------------------------------------------------- #
+def _degrade_chunk(job: _Job, chunk: list[int], policy: SupervisorPolicy,
+                   stats: SupervisorStats, failure: BaseException,
+                   ladder: tuple[str, ...]) -> list[SeriesOutcome]:
+    """Walk one quarantined chunk down the backend ladder."""
+    stats.quarantined_chunks += 1
+    if policy.on_degrade == "error" or not ladder:
+        return _error_outcomes(job, chunk, failure)
+    stats.degraded_chunks += 1
+    stats.degraded_series += len(chunk)
+
+    if policy.on_degrade == "degrade" and "thread" in ladder:
+        pool = ThreadPoolExecutor(max_workers=1)
+        try:
+            outcomes = pool.submit(_encode, job, chunk).result(
+                timeout=policy.timeout)
+        except FutureTimeoutError:
+            stats.timeouts += 1
+            failure = ChunkTimeoutError(
+                f"chunk of {len(chunk)} series exceeded the "
+                f"{policy.timeout:g}s timeout on the degraded thread rung")
+        except Exception as exc:
+            failure = exc
+        else:
+            for outcome in outcomes:
+                outcome.degraded_to = "thread"
+            return outcomes
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    # The untimed serial rung would hang forever on a genuinely stuck
+    # chunk, so timeouts stop here and become timeout outcomes.
+    if isinstance(failure, ChunkTimeoutError):
+        return _error_outcomes(job, chunk, failure)
+    try:
+        outcomes = _encode(job, chunk)
+    except Exception as exc:
+        return _error_outcomes(job, chunk, exc, degraded_to="serial")
+    for outcome in outcomes:
+        outcome.degraded_to = "serial"
+    return outcomes
+
+
+# --------------------------------------------------------------------- #
+# thread tier
+# --------------------------------------------------------------------- #
+def _run_thread(job: _Job, chunks, workers: int, policy: SupervisorPolicy,
+                stats: SupervisorStats) -> list[SeriesOutcome]:
+    count = len(chunks)
+    results: dict[int, list[SeriesOutcome]] = {}
+    attempts = [0] * count
+    pool = ThreadPoolExecutor(max_workers=workers)
+    try:
+        inflight = {cid: pool.submit(_encode, job, chunks[cid])
+                    for cid in range(count)}
+        queue = deque(range(count))
+        while queue:
+            cid = queue.popleft()
+            try:
+                results[cid] = inflight[cid].result(timeout=policy.timeout)
+                continue
+            except FutureTimeoutError:
+                stats.timeouts += 1
+                failure: BaseException = ChunkTimeoutError(
+                    f"chunk of {len(chunks[cid])} series exceeded the "
+                    f"{policy.timeout:g}s timeout on the thread backend")
+            except Exception as exc:
+                failure = exc
+            attempts[cid] += 1
+            if attempts[cid] <= policy.retries:
+                stats.retries += 1
+                _sleep_backoff(policy, attempts[cid])
+                inflight[cid] = pool.submit(_encode, job, chunks[cid])
+                queue.append(cid)
+            else:
+                results[cid] = _degrade_chunk(job, chunks[cid], policy,
+                                              stats, failure,
+                                              ladder=("serial",))
+    finally:
+        # wait=False: an abandoned (timed-out) task must not block return.
+        pool.shutdown(wait=False, cancel_futures=True)
+    return [outcome for cid in range(count) for outcome in results[cid]]
+
+
+# --------------------------------------------------------------------- #
+# process tier
+# --------------------------------------------------------------------- #
+class _ProcessPoolBox:
+    """A rebuildable process pool (crash and hang recovery)."""
+
+    def __init__(self, workers: int):
+        self.workers = workers
+        self.pool = self._make()
+
+    def _make(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.workers,
+                                   mp_context=preferred_context())
+
+    def submit(self, fn, *args):
+        try:
+            return self.pool.submit(fn, *args)
+        except BrokenExecutor:  # pragma: no cover - broke between waits
+            self.rebuild(kill=False)
+            return self.pool.submit(fn, *args)
+
+    def rebuild(self, *, kill: bool) -> None:
+        """Replace the pool; ``kill`` terminates hung workers first.
+
+        ``ProcessPoolExecutor`` has no public "kill one worker", so a hang
+        costs the whole pool: terminate every worker (SIGTERM reaps a
+        sleeping or wedged child) and start fresh.  A crash-broken pool has
+        already reaped its workers, so a plain shutdown suffices.
+        """
+        old = self.pool
+        processes = list(getattr(old, "_processes", {}).values()) if kill else []
+        try:
+            old.shutdown(wait=not kill, cancel_futures=True)
+        except Exception:  # pragma: no cover - shutdown of a broken pool
+            pass
+        for process in processes:
+            if process.is_alive():
+                try:
+                    process.terminate()
+                except OSError:  # pragma: no cover - already reaped
+                    pass
+        self.pool = self._make()
+
+    def shutdown(self) -> None:
+        self.pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _run_process(job: _Job, chunks, workers: int, policy: SupervisorPolicy,
+                 stats: SupervisorStats) -> list[SeriesOutcome]:
+    # Series that cannot travel through shared memory (non-numeric dtypes,
+    # empty arrays) are encoded in the parent — they would fail validation
+    # anyway, and the error outcome must still be recorded per series.
+    shareable: list[list[int]] = []
+    parent_side: list[int] = []
+    for chunk in chunks:
+        kept = []
+        for index in chunk:
+            array = np.asarray(job.series[index])
+            if array.dtype.kind in ("f", "i", "u") and array.ndim == 1 \
+                    and array.size:
+                kept.append(index)
+            else:
+                parent_side.append(index)
+        if kept:
+            shareable.append(kept)
+
+    outcomes: list[SeriesOutcome] = []
+    if parent_side:
+        outcomes.extend(_serial_chunk(job, parent_side, policy, stats))
+    if not shareable:
+        return outcomes
+
+    shm, manifest = build_shared_input(job.series, shareable)
+    try:
+        faultinject.fire("manifest", manifest=manifest)
+        tasks = [(shm.name,
+                  [(index, job.names[index], *manifest[index])
+                   for index in chunk],
+                  job.codec_name, job.codec_options, job.use_fastpath)
+                 for chunk in shareable]
+        outcomes.extend(
+            _supervise_process_chunks(job, shareable, tasks, workers,
+                                      policy, stats))
+    finally:
+        release_segment(shm)
+    leaked = segment_residue(shm.name)
+    if leaked:  # pragma: no cover - the release above is idempotent
+        raise ReproError(f"shared-memory segment leaked: {leaked}")
+    return outcomes
+
+
+def _supervise_process_chunks(job, chunks, tasks, workers, policy, stats
+                              ) -> list[SeriesOutcome]:
+    count = len(chunks)
+    results: dict[int, list[SeriesOutcome]] = {}
+    attempts = [0] * count
+    box = _ProcessPoolBox(workers)
+    try:
+        inflight = {cid: box.submit(process_chunk_task, tasks[cid])
+                    for cid in range(count)}
+        queue = deque(range(count))
+        while queue:
+            cid = queue.popleft()
+            if cid in results:
+                continue
+            try:
+                payload = inflight[cid].result(timeout=policy.timeout)
+                results[cid] = _payload_to_outcomes(payload)
+                continue
+            except FutureTimeoutError:
+                stats.timeouts += 1
+                failure: BaseException = ChunkTimeoutError(
+                    f"chunk of {len(chunks[cid])} series exceeded the "
+                    f"{policy.timeout:g}s timeout on the process backend")
+                stats.pool_rebuilds += 1
+                box.rebuild(kill=True)
+                _resubmit_pending(box, tasks, inflight, results, skip=cid)
+            except BrokenProcessPool as exc:
+                # The suspect is the chunk we were waiting on: charge the
+                # failed attempt to it alone, resubmit everyone else free.
+                failure = exc
+                stats.pool_rebuilds += 1
+                box.rebuild(kill=False)
+                _resubmit_pending(box, tasks, inflight, results, skip=cid)
+            except Exception as exc:
+                failure = exc
+            attempts[cid] += 1
+            if attempts[cid] <= policy.retries:
+                stats.retries += 1
+                _sleep_backoff(policy, attempts[cid])
+                inflight[cid] = box.submit(process_chunk_task, tasks[cid])
+                queue.append(cid)
+            else:
+                results[cid] = _degrade_chunk(job, chunks[cid], policy,
+                                              stats, failure,
+                                              ladder=("thread", "serial"))
+    finally:
+        box.shutdown()
+    return [outcome for cid in range(count) for outcome in results[cid]]
+
+
+def _resubmit_pending(box: _ProcessPoolBox, tasks, inflight, results,
+                      skip: int) -> None:
+    """After a rebuild: harvest finished chunks, resubmit the rest.
+
+    Results that completed before the pool broke are kept (no recompute);
+    chunks whose futures died with the pool are resubmitted without
+    touching their attempt counters — only the suspect (``skip``) pays.
+    """
+    for cid, future in list(inflight.items()):
+        if cid in results or cid == skip:
+            continue
+        if future.done():
+            try:
+                results[cid] = _payload_to_outcomes(future.result(timeout=0))
+                continue
+            except Exception:
+                pass  # died with the pool: resubmit fresh below
+        inflight[cid] = box.submit(process_chunk_task, tasks[cid])
+
+
+# --------------------------------------------------------------------- #
+# entry point
+# --------------------------------------------------------------------- #
+def run_supervised(backend: str, chunks, series, names, codec_name: str,
+                   codec_options: dict | None, use_fastpath: bool,
+                   workers: int, policy: SupervisorPolicy | None = None
+                   ) -> tuple[list[SeriesOutcome], SupervisorStats]:
+    """Run every chunk to a per-series outcome on the chosen backend.
+
+    Returns ``(outcomes, stats)``; outcomes arrive in chunk order (the
+    engine re-sorts by batch index).  This function never raises for
+    chunk- or worker-level failures — that is its contract.
+    """
+    if backend not in BACKENDS:
+        raise InvalidParameterError(
+            f"unknown backend {backend!r}; choose from {', '.join(BACKENDS)}")
+    if policy is None:
+        policy = SupervisorPolicy()
+    stats = SupervisorStats()
+    job = _Job(series=series, names=names, codec_name=codec_name,
+               codec_options=codec_options, use_fastpath=use_fastpath)
+    if backend == "serial":
+        outcomes = _run_serial(job, chunks, policy, stats)
+    elif backend == "thread":
+        outcomes = _run_thread(job, chunks, workers, policy, stats)
+    else:
+        outcomes = _run_process(job, chunks, workers, policy, stats)
+    return outcomes, stats

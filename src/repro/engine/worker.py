@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import faultinject
 from ..codecs import codec_spec, get_codec
 from ..codecs.base import SOURCE_DTYPE_KEY, Codec, ingest_values
 from ..codecs.serialize import block_to_document
@@ -50,6 +51,9 @@ def encode_chunk(series_list, names, indices, codec_name: str,
     A failing series (NaN values, empty array, codec error, ...) yields an
     error outcome; the rest of the chunk still completes.
     """
+    # Chunk-level injection site: fires *before* per-series isolation, so
+    # whatever happens here (crash, hang, raise) is the supervisor's problem.
+    faultinject.fire("chunk", indices=list(indices))
     spec = codec_spec(codec_name)
     if codec is None:
         codec = get_codec(spec.name, **(codec_options or {}))
@@ -69,6 +73,9 @@ def encode_chunk(series_list, names, indices, codec_name: str,
         index, name = indices[position], names[position]
         series = series_list[position]
         try:
+            # Per-series injection site: an InjectedFault here must become
+            # one error outcome while the rest of the chunk completes.
+            faultinject.fire("encode", index=index)
             block = codec.encode(series)
         except Exception as exc:
             outcomes[position] = _error_outcome(index, name,
@@ -222,5 +229,5 @@ def process_chunk_task(task: tuple) -> list[tuple]:
         outcomes = None  # noqa: F841 - release block references
         try:
             shm.close()
-        except BufferError:  # pragma: no cover - a payload kept a view alive
+        except (BufferError, OSError):  # pragma: no cover - view alive/closed
             pass

@@ -16,6 +16,20 @@ class InvalidSeriesError(ReproError):
     """A time series input is malformed (empty, non-finite, wrong shape)."""
 
 
+class PolicyViolationError(InvalidSeriesError):
+    """Input violated an explicit :class:`repro.sanitize.InputPolicy` rule.
+
+    Subclasses :class:`InvalidSeriesError` so callers that already treat
+    malformed series as recoverable per-series failures keep working; the
+    distinct type records that the rejection came from a configured policy,
+    not from built-in validation.
+    """
+
+
+class ChunkTimeoutError(ReproError):
+    """A batch-engine chunk exceeded its per-chunk execution timeout."""
+
+
 class InvalidParameterError(ReproError):
     """A user-provided parameter is outside its valid domain."""
 

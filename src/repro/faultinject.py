@@ -1,0 +1,329 @@
+"""Deterministic fault injection for the batch engine.
+
+The supervisor layer (:mod:`repro.engine.supervisor`) promises that a batch
+*always* terminates with per-series outcomes — through worker crashes, hangs,
+mid-encode exceptions, and corrupted shared-memory manifests.  Promises like
+that rot unless every recovery path is exercised on every backend, so this
+module provides *planned* faults instead of hope:
+
+* a :class:`FaultPlan` is a list of :class:`FaultAction` entries, each naming
+  a *kind* (``crash`` / ``hang`` / ``raise`` / ``corrupt``), an injection
+  *site* (``chunk`` / ``encode`` / ``manifest``), and the batch index of the
+  series that selects where it fires;
+* plans travel to worker processes through the ``REPRO_FAULT_PLAN``
+  environment variable (JSON), so ``fork`` and ``spawn`` children both see
+  them without any pickling support from the executor;
+* each action fires a bounded number of times (``max_hits``, default once).
+  Hits are claimed through ``O_CREAT | O_EXCL`` marker files in the plan's
+  ``state_dir``, which makes the accounting atomic *across processes*: a
+  worker that crashes after claiming its hit does not crash again on retry,
+  which is exactly the recover-on-retry scenario the supervisor tests need;
+* ``crash`` only hard-kills (``os._exit``) when it fires in a process other
+  than the one that activated the plan; in the activating process (serial
+  and thread backends) it degrades to raising :class:`InjectedCrash`, so a
+  hostile plan can never take down the test runner itself.
+
+The test suite activates plans with :func:`active_plan`; the stress harness
+derives reproducible plans from integer seeds with :func:`random_plan` (the
+seed is recorded, so any soak failure replays deterministically).
+
+This module is import-cheap and :func:`fire` is a no-op dictionary lookup
+when no plan is active, so production code pays nothing for the hooks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, field
+
+__all__ = [
+    "ENV_PLAN",
+    "FaultAction",
+    "FaultPlan",
+    "InjectedFault",
+    "InjectedCrash",
+    "active_plan",
+    "fire",
+    "load_plan",
+    "random_plan",
+]
+
+#: Environment variable carrying the active plan as JSON.
+ENV_PLAN = "REPRO_FAULT_PLAN"
+
+#: Exit status used by injected worker crashes (recognizable in waitpid logs).
+CRASH_EXIT_CODE = 86
+
+#: Recognised fault kinds.
+KINDS = ("crash", "hang", "raise", "corrupt")
+
+#: Recognised injection sites.
+#:
+#: ``chunk``
+#:     Fires at the start of a chunk task, before per-series error isolation
+#:     — the supervisor's retry/rebuild machinery is what must absorb it.
+#: ``encode``
+#:     Fires inside the per-series encode loop — per-series isolation must
+#:     turn it into one error outcome while the rest of the chunk completes.
+#: ``manifest``
+#:     Fires in the parent while building the shared-memory manifest —
+#:     corrupts one entry so the worker cannot view that chunk's input.
+SITES = ("chunk", "encode", "manifest")
+
+
+class InjectedFault(RuntimeError):
+    """An exception raised deliberately by an active fault plan."""
+
+
+class InjectedCrash(InjectedFault):
+    """A ``crash`` action firing in the plan-activating process.
+
+    Real ``os._exit`` crashes only happen in worker processes; in the
+    activating process the crash is represented as this exception so the
+    serial and thread backends exercise the same plan without killing the
+    interpreter that is running the tests.
+    """
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One planned fault.
+
+    Parameters
+    ----------
+    kind:
+        ``crash`` | ``hang`` | ``raise`` | ``corrupt``.
+    series:
+        Batch index selecting where the action fires: the chunk containing
+        this series (sites ``chunk`` / ``manifest``) or this series' own
+        encode call (site ``encode``).  Selecting by series index — not by
+        chunk position or worker id — keeps plans deterministic under any
+        chunk planning or pool scheduling.
+    site:
+        Injection site (defaults to the kind's natural site: ``manifest``
+        for ``corrupt``, ``chunk`` otherwise).
+    seconds:
+        Sleep duration for ``hang`` actions.
+    max_hits:
+        How many times the action fires before becoming inert; ``None``
+        means it fires on every match (a *persistent* fault, used to drive
+        the degradation ladder to its end).
+    """
+
+    kind: str
+    series: int
+    site: str = ""
+    seconds: float = 1.0
+    max_hits: int | None = 1
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; "
+                             f"choose from {', '.join(KINDS)}")
+        site = self.site or ("manifest" if self.kind == "corrupt" else "chunk")
+        object.__setattr__(self, "site", site)
+        if self.site not in SITES:
+            raise ValueError(f"unknown fault site {self.site!r}; "
+                             f"choose from {', '.join(SITES)}")
+
+    @property
+    def marker(self) -> str:
+        """Stable identity used for cross-process hit accounting."""
+        return f"{self.kind}-{self.site}-{self.series}"
+
+
+@dataclass
+class FaultPlan:
+    """A set of actions plus the bookkeeping needed to apply them safely."""
+
+    actions: list[FaultAction] = field(default_factory=list)
+    #: Directory for hit-claim marker files (shared across processes).
+    state_dir: str | None = None
+    #: PID of the activating process; ``crash`` never hard-kills this one.
+    pid: int = 0
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "actions": [asdict(action) for action in self.actions],
+            "state_dir": self.state_dir,
+            "pid": self.pid,
+        })
+
+    @classmethod
+    def from_json(cls, payload: str) -> "FaultPlan":
+        document = json.loads(payload)
+        return cls(
+            actions=[FaultAction(**entry) for entry in document["actions"]],
+            state_dir=document.get("state_dir"),
+            pid=int(document.get("pid") or 0))
+
+
+# --------------------------------------------------------------------- #
+# plan loading and hit accounting
+# --------------------------------------------------------------------- #
+_plan_cache: tuple[str, FaultPlan] | None = None
+#: In-process fallback hit counters (used when a plan has no state_dir).
+_local_hits: dict[str, int] = {}
+
+
+def load_plan() -> FaultPlan | None:
+    """The active plan from the environment, or ``None``."""
+    global _plan_cache
+    payload = os.environ.get(ENV_PLAN)
+    if not payload:
+        return None
+    if _plan_cache is not None and _plan_cache[0] == payload:
+        return _plan_cache[1]
+    plan = FaultPlan.from_json(payload)
+    _plan_cache = (payload, plan)
+    return plan
+
+
+def _claim_hit(plan: FaultPlan, action: FaultAction) -> bool:
+    """Atomically claim one firing of ``action``; False once exhausted.
+
+    With a ``state_dir`` the claim is an ``O_CREAT | O_EXCL`` marker file, so
+    it is atomic across processes and *survives the claimer crashing* — the
+    whole point: a worker that claims, then ``os._exit``\\ s, leaves the claim
+    behind and the retried chunk sails through.  Without a ``state_dir``
+    (plans built by hand in-process) a per-process counter is used instead.
+    """
+    if action.max_hits is None:
+        return True
+    if plan.state_dir and os.path.isdir(plan.state_dir):
+        for hit in range(action.max_hits):
+            path = os.path.join(plan.state_dir, f"{action.marker}.{hit}")
+            try:
+                os.close(os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+                return True
+            except FileExistsError:
+                continue
+        return False
+    taken = _local_hits.get(action.marker, 0)
+    if taken >= action.max_hits:
+        return False
+    _local_hits[action.marker] = taken + 1
+    return True
+
+
+# --------------------------------------------------------------------- #
+# the hook
+# --------------------------------------------------------------------- #
+def fire(site: str, *, indices=None, index: int | None = None,
+         manifest: dict | None = None) -> None:
+    """Fire every matching action of the active plan (no-op without one).
+
+    Parameters
+    ----------
+    site:
+        The injection site this call guards.
+    indices:
+        Batch indices of the chunk being processed (sites ``chunk``).
+    index:
+        Batch index of the series being encoded (site ``encode``).
+    manifest:
+        The shared-memory manifest under construction (site ``manifest``);
+        ``corrupt`` actions mutate their target entry in place.
+    """
+    plan = load_plan()
+    if plan is None:
+        return
+    for action in plan.actions:
+        if action.site != site:
+            continue
+        if site == "encode":
+            if index is None or action.series != index:
+                continue
+        elif site == "chunk":
+            if indices is None or action.series not in indices:
+                continue
+        elif site == "manifest":
+            if manifest is None or action.series not in manifest:
+                continue
+        if not _claim_hit(plan, action):
+            continue
+        _perform(plan, action, manifest)
+
+
+def _perform(plan: FaultPlan, action: FaultAction, manifest: dict | None) -> None:
+    if action.kind == "hang":
+        time.sleep(max(float(action.seconds), 0.0))
+        return
+    if action.kind == "raise":
+        raise InjectedFault(
+            f"injected fault at site {action.site!r} (series {action.series})")
+    if action.kind == "crash":
+        if plan.pid and os.getpid() != plan.pid:
+            os._exit(CRASH_EXIT_CODE)
+        raise InjectedCrash(
+            f"injected worker crash (series {action.series}; in-process, "
+            "represented as an exception)")
+    if action.kind == "corrupt" and manifest is not None:
+        offset, length, dtype = manifest[action.series]
+        # An offset far beyond the segment makes the worker's zero-copy view
+        # construction fail deterministically.
+        manifest[action.series] = (offset + (1 << 40), length, dtype)
+
+
+# --------------------------------------------------------------------- #
+# activation helpers
+# --------------------------------------------------------------------- #
+@contextmanager
+def active_plan(actions, state_dir: str | None = None):
+    """Activate a fault plan for the duration of a ``with`` block.
+
+    Sets :data:`ENV_PLAN` (so pools created inside the block inherit the
+    plan), creates a temporary ``state_dir`` for cross-process hit claims
+    when none is supplied, and restores the previous environment on exit.
+    Yields the activated :class:`FaultPlan`.
+    """
+    import shutil
+    import tempfile
+
+    owned_dir = None
+    if state_dir is None:
+        owned_dir = state_dir = tempfile.mkdtemp(prefix="repro-faults-")
+    plan = FaultPlan(actions=list(actions), state_dir=str(state_dir),
+                     pid=os.getpid())
+    previous = os.environ.get(ENV_PLAN)
+    os.environ[ENV_PLAN] = plan.to_json()
+    # Forget any counters claimed by a previous in-process plan.
+    _local_hits.clear()
+    try:
+        yield plan
+    finally:
+        if previous is None:
+            os.environ.pop(ENV_PLAN, None)
+        else:
+            os.environ[ENV_PLAN] = previous
+        _local_hits.clear()
+        if owned_dir is not None:
+            shutil.rmtree(owned_dir, ignore_errors=True)
+
+
+def random_plan(seed: int, series_count: int, *,
+                max_actions: int = 2, hang_seconds: float = 0.6
+                ) -> list[FaultAction]:
+    """A reproducible fault plan derived from ``seed``.
+
+    Used by the ``-m stress`` soak: every plan is a pure function of its
+    seed, so a failing soak run is replayed exactly by re-running with the
+    recorded seed.
+    """
+    rng = random.Random(int(seed))
+    count = rng.randint(1, max(int(max_actions), 1))
+    actions: list[FaultAction] = []
+    for _ in range(count):
+        kind = rng.choice(("crash", "hang", "raise", "raise", "corrupt"))
+        series = rng.randrange(max(int(series_count), 1))
+        site = "encode" if kind == "raise" and rng.random() < 0.5 else ""
+        persistent = kind in ("raise", "corrupt") and rng.random() < 0.25
+        actions.append(FaultAction(
+            kind=kind, series=series, site=site,
+            seconds=round(rng.uniform(0.2, hang_seconds), 3),
+            max_hits=None if persistent else 1))
+    return actions

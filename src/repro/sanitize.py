@@ -1,0 +1,369 @@
+"""Hostile-input policies for the streaming and batch ingestion edge.
+
+Real ingest tiers do not see the clean float64 arrays the codecs were built
+on: sensors drop out (NaN runs), gateways deliver out of order, clocks gap,
+and mixed payloads arrive as object arrays.  The library's historical answer
+— :func:`repro._validation.as_float_array` raising on any non-finite entry —
+is the *correct default* (an error-bounded codec must never silently invent
+data), but an ingest edge needs explicit, recorded alternatives.
+
+:class:`InputPolicy` names those alternatives per hazard, :func:`sanitize`
+applies them, and :class:`SanitizeReport` records exactly what happened so
+the decision travels with the data (block metadata, stream reports) and
+decode stays self-describing:
+
+=================  =========================  ==================================
+hazard             policy knob                actions
+=================  =========================  ==================================
+NaN runs           ``on_nan``                 ``raise`` | ``skip`` | ``split``
+non-finite (inf)   ``on_inf``                 ``raise`` | ``skip``
+out-of-order       ``on_out_of_order``        ``raise`` | ``sort``
+timestamp gaps     ``on_gap``                 ``raise`` | ``ignore`` | ``split``
+dtype mixtures     ``on_dtype``               ``cast`` | ``raise``
+=================  =========================  ==================================
+
+``skip`` drops the offending values and records only counts; ``split``
+additionally records run positions — :func:`restore_shape` can then rebuild
+the original-length series with NaN gaps — and marks segment boundaries so
+the streaming layer can seal chunks that never bridge a gap.
+
+Two invariants the tests hold:
+
+* **clean input is untouched** — on finite float64 input with monotonic
+  timestamps, :func:`sanitize` returns the *same array object* and a clean
+  report, so sanitized runs are bit-identical to unsanitized runs;
+* **defaults never mutate** — the default policy raises on every hazard,
+  matching the library's historical validation behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .exceptions import InvalidParameterError, PolicyViolationError
+
+__all__ = [
+    "InputPolicy",
+    "SanitizeReport",
+    "SanitizeResult",
+    "sanitize",
+    "restore_shape",
+    "SANITIZE_METADATA_KEY",
+]
+
+#: Block-metadata key under which a non-clean sanitize report is recorded.
+SANITIZE_METADATA_KEY = "sanitize"
+
+_CHOICES = {
+    "on_nan": ("raise", "skip", "split"),
+    "on_inf": ("raise", "skip"),
+    "on_out_of_order": ("raise", "sort"),
+    "on_gap": ("raise", "ignore", "split"),
+    "on_dtype": ("cast", "raise"),
+}
+
+
+@dataclass(frozen=True)
+class InputPolicy:
+    """Explicit per-hazard handling decisions for hostile input.
+
+    Parameters
+    ----------
+    on_nan:
+        ``raise`` (default), ``skip`` (drop NaNs, record the count), or
+        ``split`` (drop NaNs, record run positions, mark segment
+        boundaries so streaming seals around the gap and
+        :func:`restore_shape` can reconstruct the original shape).
+    on_inf:
+        ``raise`` (default) or ``skip`` for ``±inf`` values.
+    on_out_of_order:
+        ``raise`` (default) or ``sort`` when timestamps are provided and
+        not non-decreasing (stable sort, so equal timestamps keep arrival
+        order).
+    on_gap:
+        ``raise`` (default), ``ignore`` (record gap count), or ``split``
+        (record + mark segment boundaries) for timestamp deltas exceeding
+        :attr:`gap_limit`.
+    on_dtype:
+        ``cast`` (default: element-wise float conversion of object/string
+        arrays, raising :class:`~repro.exceptions.PolicyViolationError`
+        only for non-convertible elements) or ``raise`` (reject any
+        non-numeric dtype outright).
+    gap_limit:
+        Absolute timestamp-delta threshold defining a gap.  ``None``
+        (default) derives it as 5x the median positive delta — robust for
+        near-regular sampling; pass an explicit limit for irregular feeds.
+    """
+
+    on_nan: str = "raise"
+    on_inf: str = "raise"
+    on_out_of_order: str = "raise"
+    on_gap: str = "raise"
+    on_dtype: str = "cast"
+    gap_limit: float | None = None
+
+    def __post_init__(self):
+        for knob, choices in _CHOICES.items():
+            value = getattr(self, knob)
+            if value not in choices:
+                raise InvalidParameterError(
+                    f"{knob} must be one of {', '.join(choices)}; got {value!r}")
+        if self.gap_limit is not None and not float(self.gap_limit) > 0:
+            raise InvalidParameterError(
+                f"gap_limit must be positive, got {self.gap_limit!r}")
+
+    def as_dict(self) -> dict:
+        """JSON-safe record of the non-default knobs (for metadata)."""
+        record = {}
+        for knob in _CHOICES:
+            value = getattr(self, knob)
+            if value != InputPolicy.__dataclass_fields__[knob].default:
+                record[knob] = value
+        if self.gap_limit is not None:
+            record["gap_limit"] = float(self.gap_limit)
+        return record
+
+
+@dataclass
+class SanitizeReport:
+    """What :func:`sanitize` actually did to one input array."""
+
+    original_length: int = 0
+    final_length: int = 0
+    #: ``(start, length)`` of each dropped NaN run, in post-sort input
+    #: coordinates; populated by ``on_nan="split"`` only.
+    nan_runs: list[tuple[int, int]] = field(default_factory=list)
+    dropped_nan: int = 0
+    dropped_inf: int = 0
+    sorted: bool = False
+    gaps: int = 0
+    cast_from: str | None = None
+    policy: dict = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        """True when the input needed no intervention at all."""
+        return (self.dropped_nan == 0 and self.dropped_inf == 0
+                and not self.sorted and self.gaps == 0
+                and self.cast_from is None)
+
+    def as_metadata(self) -> dict:
+        """Compact JSON-safe form recorded in block metadata (non-clean only)."""
+        record: dict = {"original_length": int(self.original_length)}
+        if self.policy:
+            record["policy"] = dict(self.policy)
+        if self.dropped_nan:
+            record["dropped_nan"] = int(self.dropped_nan)
+        if self.nan_runs:
+            record["nan_runs"] = [[int(start), int(length)]
+                                  for start, length in self.nan_runs]
+        if self.dropped_inf:
+            record["dropped_inf"] = int(self.dropped_inf)
+        if self.sorted:
+            record["sorted"] = True
+        if self.gaps:
+            record["gaps"] = int(self.gaps)
+        if self.cast_from:
+            record["cast_from"] = self.cast_from
+        return record
+
+
+@dataclass
+class SanitizeResult:
+    """Sanitized values plus the report and streaming split points."""
+
+    values: np.ndarray
+    report: SanitizeReport
+    #: Indices *into* :attr:`values` where a new segment begins (never 0).
+    #: The streaming layer seals its buffer at each boundary so no sealed
+    #: chunk bridges a NaN run or timestamp gap.
+    segment_starts: list[int] = field(default_factory=list)
+
+
+def _coerce_dtype(values, policy: InputPolicy, name: str,
+                  report: SanitizeReport) -> np.ndarray:
+    array = values if isinstance(values, np.ndarray) else np.asarray(values)
+    if array.dtype.kind in ("f", "i", "u", "b"):
+        if array.dtype == np.float64:
+            result = array
+        else:
+            report.cast_from = array.dtype.name
+            result = array.astype(np.float64)
+    else:
+        if policy.on_dtype == "raise":
+            raise PolicyViolationError(
+                f"{name} has non-numeric dtype {array.dtype!s} and the "
+                "input policy forbids casting (on_dtype='raise')")
+        try:
+            result = np.asarray([float(item) for item in array.ravel()],
+                                dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise PolicyViolationError(
+                f"{name} mixes non-numeric values that cannot be cast to "
+                f"float: {exc}") from exc
+        report.cast_from = array.dtype.name
+    if result.ndim != 1:
+        raise PolicyViolationError(
+            f"{name} must be one-dimensional, got shape {result.shape}")
+    return result
+
+
+def _order_and_gaps(values: np.ndarray, timestamps, policy: InputPolicy,
+                    name: str, report: SanitizeReport
+                    ) -> tuple[np.ndarray, list[int]]:
+    """Apply timestamp policies; returns (values, gap segment starts)."""
+    stamps = np.asarray(timestamps, dtype=np.float64)
+    if stamps.shape != values.shape:
+        raise InvalidParameterError(
+            f"timestamps must match {name} in shape "
+            f"(got {stamps.shape} vs {values.shape})")
+    if stamps.size > 1 and np.any(np.diff(stamps) < 0):
+        if policy.on_out_of_order == "raise":
+            raise PolicyViolationError(
+                f"{name} timestamps arrive out of order and the input "
+                "policy forbids reordering (on_out_of_order='raise')")
+        order = np.argsort(stamps, kind="stable")
+        stamps = stamps[order]
+        values = values[order]
+        report.sorted = True
+    gap_starts: list[int] = []
+    if stamps.size > 1:
+        deltas = np.diff(stamps)
+        limit = policy.gap_limit
+        if limit is None:
+            positive = deltas[deltas > 0]
+            limit = 5.0 * float(np.median(positive)) if positive.size else None
+        if limit is not None:
+            gap_positions = np.flatnonzero(deltas > limit)
+            if gap_positions.size:
+                if policy.on_gap == "raise":
+                    raise PolicyViolationError(
+                        f"{name} timestamps contain {gap_positions.size} "
+                        f"gap(s) larger than {limit:g} and the input policy "
+                        "forbids them (on_gap='raise')")
+                report.gaps = int(gap_positions.size)
+                if policy.on_gap == "split":
+                    gap_starts = [int(position) + 1
+                                  for position in gap_positions]
+    return values, gap_starts
+
+
+def _finite_filter(values: np.ndarray, policy: InputPolicy, name: str,
+                   report: SanitizeReport
+                   ) -> tuple[np.ndarray, list[int], np.ndarray | None]:
+    """Apply NaN/inf policies; returns (values, nan starts, drop mask)."""
+    nan_mask = np.isnan(values)
+    inf_mask = np.isinf(values)
+    if not nan_mask.any() and not inf_mask.any():
+        return values, [], None
+    if nan_mask.any() and policy.on_nan == "raise":
+        raise PolicyViolationError(
+            f"{name} contains {int(nan_mask.sum())} NaN value(s) and the "
+            "input policy forbids them (on_nan='raise')")
+    if inf_mask.any() and policy.on_inf == "raise":
+        raise PolicyViolationError(
+            f"{name} contains {int(inf_mask.sum())} non-finite value(s) and "
+            "the input policy forbids them (on_inf='raise')")
+    report.dropped_nan = int(nan_mask.sum())
+    report.dropped_inf = int(inf_mask.sum())
+
+    drop_mask = nan_mask | inf_mask
+    segment_starts: list[int] = []
+    if policy.on_nan == "split" and nan_mask.any():
+        # Record NaN runs in input coordinates, and where each run ends in
+        # the *kept* array so streaming can seal a segment boundary there.
+        padded = np.concatenate(([False], nan_mask, [False]))
+        edges = np.flatnonzero(np.diff(padded.astype(np.int8)))
+        starts, stops = edges[::2], edges[1::2]
+        report.nan_runs = [(int(start), int(stop - start))
+                           for start, stop in zip(starts, stops)]
+        kept_before = np.cumsum(~drop_mask)
+        for stop in stops:
+            kept = int(kept_before[stop - 1])
+            if kept > 0:
+                segment_starts.append(kept)
+    kept_values = values[~drop_mask]
+    return kept_values, segment_starts, drop_mask
+
+
+def sanitize(values, policy: InputPolicy | None = None, *,
+             timestamps=None, name: str = "values") -> SanitizeResult:
+    """Apply an input policy to raw values (and optional timestamps).
+
+    Parameters
+    ----------
+    values:
+        Raw input — any array-like, including object arrays when the policy
+        allows casting.
+    policy:
+        The :class:`InputPolicy` to apply; ``None`` uses the all-``raise``
+        default (pure validation, no mutation).
+    timestamps:
+        Optional per-value timestamps enabling the ordering/gap policies.
+        Without them, only the value-level policies apply.
+    name:
+        Name used in error messages.
+
+    Returns
+    -------
+    SanitizeResult
+        Sanitized float64 values, the :class:`SanitizeReport`, and segment
+        boundaries for the streaming layer.  Clean input is returned as the
+        same array object with a clean report (bit-identity guaranteed).
+
+    Raises
+    ------
+    PolicyViolationError
+        When a hazard occurs and its policy knob says ``raise``.
+    """
+    if policy is None:
+        policy = InputPolicy()
+    report = SanitizeReport(policy=policy.as_dict())
+    array = _coerce_dtype(values, policy, name, report)
+    report.original_length = int(array.size)
+
+    gap_starts: list[int] = []
+    if timestamps is not None:
+        array, gap_starts = _order_and_gaps(array, timestamps, policy, name,
+                                            report)
+
+    array, nan_starts, drop_mask = _finite_filter(array, policy, name, report)
+    if drop_mask is not None and gap_starts:
+        # Gap boundaries were found pre-drop: remap them onto the kept array.
+        kept_before = np.cumsum(~drop_mask)
+        gap_starts = [int(kept_before[start - 1]) for start in gap_starts]
+    segment_starts = sorted({start for start in gap_starts + nan_starts
+                             if 0 < start < array.size})
+
+    report.final_length = int(array.size)
+    return SanitizeResult(values=array, report=report,
+                          segment_starts=segment_starts)
+
+
+def restore_shape(values: np.ndarray, metadata: dict) -> np.ndarray:
+    """Rebuild the original-length series from split-mode sanitize metadata.
+
+    The inverse of ``on_nan="split"``: dropped NaN runs recorded in
+    ``metadata["nan_runs"]`` are reinserted as NaN, restoring the original
+    length and positions.  Metadata without recorded runs (``skip`` mode
+    records only counts) returns the values unchanged.
+    """
+    record = metadata.get(SANITIZE_METADATA_KEY, metadata)
+    runs = record.get("nan_runs")
+    if not runs:
+        return np.asarray(values, dtype=np.float64)
+    original_length = int(record["original_length"])
+    restored = np.empty(original_length, dtype=np.float64)
+    mask = np.zeros(original_length, dtype=bool)
+    for start, length in runs:
+        mask[int(start):int(start) + int(length)] = True
+    values = np.asarray(values, dtype=np.float64)
+    if int((~mask).sum()) != values.size:
+        raise InvalidParameterError(
+            f"cannot restore shape: {values.size} values for "
+            f"{int((~mask).sum())} non-NaN positions")
+    restored[mask] = np.nan
+    restored[~mask] = values
+    return restored

@@ -30,6 +30,7 @@ from .._validation import as_float_array, check_positive_int
 from ..codecs import CameoCodec, Codec, CompressedBlock, get_codec
 from ..data.timeseries import BITS_PER_VALUE_RAW, IrregularSeries
 from ..exceptions import InvalidParameterError, InvalidSeriesError
+from ..sanitize import InputPolicy, sanitize
 from .online_acf import OnlineAcfEstimator
 
 __all__ = [
@@ -111,11 +112,20 @@ class StreamReport:
     encoded_bits: int = 0
     worst_chunk_deviation: float = 0.0
     chunk_deviations: list[float] = field(default_factory=list)
+    # Input-policy accounting (all zero when no policy is configured).
+    #: Values dropped at ingest by the NaN/inf policy.
+    dropped_points: int = 0
+    #: NaN runs whose positions were recorded (``on_nan="split"``).
+    nan_runs: int = 0
+    #: ``add()`` calls whose timestamps required reordering.
+    reordered_adds: int = 0
+    #: Timestamp gaps observed (``on_gap="ignore"``/``"split"``).
+    gaps: int = 0
 
     @property
     def buffered_points(self) -> int:
         """Values received but not yet sealed into a chunk."""
-        return self.ingested_points - self.sealed_points
+        return self.ingested_points - self.sealed_points - self.dropped_points
 
     @property
     def compression_ratio(self) -> float:
@@ -128,6 +138,28 @@ class StreamReport:
     def bits_per_value(self) -> float:
         """Encoded bits per sealed raw value."""
         return self.encoded_bits / float(max(self.sealed_points, 1))
+
+
+def _policy_segments(values, timestamps, policy: InputPolicy,
+                     report: StreamReport) -> list[np.ndarray]:
+    """Sanitize one ``add()`` batch; returns its segments in stream order.
+
+    Updates the stream report's policy counters.  A batch with recorded
+    segment boundaries (NaN runs under ``split``, timestamp gaps under
+    ``split``) comes back as multiple segments — the caller seals its buffer
+    between them so no sealed chunk ever bridges a gap.
+    """
+    result = sanitize(values, policy, timestamps=timestamps, name="values")
+    record = result.report
+    report.ingested_points += record.original_length
+    report.dropped_points += record.dropped_nan + record.dropped_inf
+    report.nan_runs += len(record.nan_runs)
+    if record.sorted:
+        report.reordered_adds += 1
+    report.gaps += record.gaps
+    if result.segment_starts:
+        return np.split(result.values, result.segment_starts)
+    return [result.values]
 
 
 class StreamingCompressor:
@@ -149,6 +181,12 @@ class StreamingCompressor:
         When set, an :class:`OnlineAcfEstimator` with that many lags follows
         the raw stream so :meth:`global_acf` can report the reference ACF of
         all data seen so far without retaining it.
+    policy:
+        Optional :class:`~repro.sanitize.InputPolicy` applied to every
+        :meth:`add` batch.  Required for timestamp-aware ingestion; split
+        boundaries (NaN runs, timestamp gaps) seal the buffer so no chunk
+        bridges a gap.  ``None`` (default) keeps the historical
+        raise-on-hostile behaviour and a bit-identical clean-input path.
 
     Examples
     --------
@@ -165,8 +203,13 @@ class StreamingCompressor:
 
     def __init__(self, chunk_size: int, codec="cameo", *,
                  codec_options: dict | None = None,
-                 track_acf_lags: int | None = None):
+                 track_acf_lags: int | None = None,
+                 policy: InputPolicy | None = None):
         self.chunk_size = check_positive_int(chunk_size, "chunk_size")
+        if policy is not None and not isinstance(policy, InputPolicy):
+            raise InvalidParameterError(
+                f"policy must be an InputPolicy or None, got {type(policy).__name__}")
+        self.policy = policy
         if isinstance(codec, Codec):
             if codec_options:
                 raise InvalidParameterError(
@@ -185,21 +228,43 @@ class StreamingCompressor:
     # ------------------------------------------------------------------ #
     # ingest
     # ------------------------------------------------------------------ #
-    def add(self, values) -> list[ChunkResult]:
-        """Feed values into the stream; returns chunks sealed by this call."""
+    def add(self, values, timestamps=None) -> list[ChunkResult]:
+        """Feed values into the stream; returns chunks sealed by this call.
+
+        With an :class:`~repro.sanitize.InputPolicy` configured, hostile
+        input is handled per the policy (and ``timestamps`` enable the
+        ordering/gap policies); recorded split boundaries seal the buffer
+        early so no sealed chunk bridges a NaN run or timestamp gap.
+        """
         if np.isscalar(values):
             values = [float(values)]
-        values = as_float_array(values, name="values")
-        if self._estimator is not None:
-            self._estimator.update(values)
-        self._buffer.extend(values.tolist())
-        self._report.ingested_points += values.size
+        if self.policy is None:
+            if timestamps is not None:
+                raise InvalidParameterError(
+                    "timestamps require an input policy (pass policy=... "
+                    "to enable timestamp-aware ingestion)")
+            segments = [as_float_array(values, name="values")]
+            self._report.ingested_points += segments[0].size
+        else:
+            segments = _policy_segments(values, timestamps, self.policy,
+                                        self._report)
 
         sealed: list[ChunkResult] = []
-        while len(self._buffer) >= self.chunk_size:
-            chunk_values = np.asarray(self._buffer[: self.chunk_size], dtype=np.float64)
-            del self._buffer[: self.chunk_size]
-            sealed.append(self._seal(chunk_values))
+        for position, segment in enumerate(segments):
+            if position:
+                # Segment boundary (NaN run / timestamp gap): seal whatever
+                # is buffered so no chunk bridges the gap.
+                sealed.extend(self.flush())
+            if segment.size == 0:
+                continue
+            if self._estimator is not None:
+                self._estimator.update(segment)
+            self._buffer.extend(segment.tolist())
+            while len(self._buffer) >= self.chunk_size:
+                chunk_values = np.asarray(self._buffer[: self.chunk_size],
+                                          dtype=np.float64)
+                del self._buffer[: self.chunk_size]
+                sealed.append(self._seal(chunk_values))
         return sealed
 
     def flush(self) -> list[ChunkResult]:
@@ -301,7 +366,8 @@ class StreamingCameoCompressor(StreamingCompressor):
     """
 
     def __init__(self, chunk_size: int, max_lag: int, epsilon: float | None = 0.01, *,
-                 track_global_acf: bool = True, **cameo_options):
+                 track_global_acf: bool = True,
+                 policy: InputPolicy | None = None, **cameo_options):
         chunk_size = check_positive_int(chunk_size, "chunk_size")
         self.max_lag = check_positive_int(max_lag, "max_lag")
         if chunk_size < 2 * self.max_lag:
@@ -312,7 +378,8 @@ class StreamingCameoCompressor(StreamingCompressor):
         super().__init__(
             chunk_size,
             codec=CameoCodec(self.max_lag, epsilon, **cameo_options),
-            track_acf_lags=self.max_lag if track_global_acf else None)
+            track_acf_lags=self.max_lag if track_global_acf else None,
+            policy=policy)
 
     def flush(self) -> list[ChunkResult]:
         if len(self._buffer) == 1:
@@ -344,8 +411,12 @@ class MultiStreamCompressor:
         Values per sealed chunk (shared by every stream).
     codec, codec_options:
         Registered codec for every sealed chunk.
-    backend, workers, fastpath:
-        Engine execution knobs (see :class:`repro.engine.BatchEngine`).
+    backend, workers, fastpath, timeout, retries, on_degrade:
+        Engine execution and fault-handling knobs (see
+        :class:`repro.engine.BatchEngine`).
+    policy:
+        Optional :class:`~repro.sanitize.InputPolicy` applied per
+        :meth:`add` batch, exactly as in :class:`StreamingCompressor`.
 
     Examples
     --------
@@ -364,13 +435,21 @@ class MultiStreamCompressor:
 
     def __init__(self, chunk_size: int, codec: str = "cameo", *,
                  codec_options: dict | None = None, backend: str = "serial",
-                 workers: int | None = None, fastpath: bool = True):
+                 workers: int | None = None, fastpath: bool = True,
+                 timeout: float | None = None, retries: int = 1,
+                 on_degrade: str = "degrade",
+                 policy: InputPolicy | None = None):
         from ..engine import BatchEngine
 
         self.chunk_size = check_positive_int(chunk_size, "chunk_size")
+        if policy is not None and not isinstance(policy, InputPolicy):
+            raise InvalidParameterError(
+                f"policy must be an InputPolicy or None, got {type(policy).__name__}")
+        self.policy = policy
         self.engine = BatchEngine(codec, codec_options=codec_options,
                                   backend=backend, workers=workers,
-                                  fastpath=fastpath)
+                                  fastpath=fastpath, timeout=timeout,
+                                  retries=retries, on_degrade=on_degrade)
         self.codec = get_codec(self.engine.codec, **(codec_options or {}))
         self._buffers: dict[str, list[float]] = {}
         self._pending: list[tuple[str, np.ndarray]] = []
@@ -392,24 +471,42 @@ class MultiStreamCompressor:
             self._reports[stream] = StreamReport()
         return self._buffers[stream], self._results[stream], self._reports[stream]
 
-    def add(self, stream: str, values) -> int:
+    def add(self, stream: str, values, timestamps=None) -> int:
         """Feed values into one stream; returns chunks sealed by this call.
 
         Sealed chunks are queued; call :meth:`drain` (or :meth:`flush`) to
         encode everything queued across all streams in one engine batch.
+        With an input policy, split boundaries seal the stream's buffer
+        early (possibly as a short chunk) so no chunk bridges a gap.
         """
         buffer, _results, report = self._stream_state(str(stream))
         if np.isscalar(values):
             values = [float(values)]
-        values = as_float_array(values, name="values")
-        buffer.extend(values.tolist())
-        report.ingested_points += values.size
+        if self.policy is None:
+            if timestamps is not None:
+                raise InvalidParameterError(
+                    "timestamps require an input policy (pass policy=... "
+                    "to enable timestamp-aware ingestion)")
+            segments = [as_float_array(values, name="values")]
+            report.ingested_points += segments[0].size
+        else:
+            segments = _policy_segments(values, timestamps, self.policy,
+                                        report)
         sealed = 0
-        while len(buffer) >= self.chunk_size:
-            chunk_values = np.asarray(buffer[: self.chunk_size], dtype=np.float64)
-            del buffer[: self.chunk_size]
-            self._pending.append((str(stream), chunk_values))
-            sealed += 1
+        for position, segment in enumerate(segments):
+            if position and buffer:
+                # Segment boundary: seal the partial buffer as a short chunk.
+                chunk_values = np.asarray(buffer, dtype=np.float64)
+                buffer.clear()
+                self._pending.append((str(stream), chunk_values))
+                sealed += 1
+            buffer.extend(segment.tolist())
+            while len(buffer) >= self.chunk_size:
+                chunk_values = np.asarray(buffer[: self.chunk_size],
+                                          dtype=np.float64)
+                del buffer[: self.chunk_size]
+                self._pending.append((str(stream), chunk_values))
+                sealed += 1
         return sealed
 
     def drain(self) -> list[tuple[str, ChunkResult]]:

@@ -1,9 +1,44 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and configuration for the test suite."""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+#: Marker for the fault-injection soak tests (opt-in, non-gating in CI).
+STRESS_MARKER = "stress"
+#: Environment override that enables the stress tests without ``-m``.
+STRESS_ENV = "REPRO_RUN_STRESS"
+
+
+def pytest_configure(config):  # noqa: D103 - pytest hook
+    config.addinivalue_line(
+        "markers",
+        f"{STRESS_MARKER}: fault-injection soak tests "
+        f"(opt-in: run with -m {STRESS_MARKER})")
+
+
+def pytest_collection_modifyitems(config, items):
+    """Skip stress-marked soaks unless they were asked for.
+
+    The soak spawns many process pools and sleeps through injected hangs —
+    minutes of wall clock that belong in the scheduled CI stress job, not
+    the gating tier-1 run.  A small deterministic smoke subset of the same
+    harness stays unmarked and gates every run.
+    """
+    markexpr = getattr(config.option, "markexpr", "") or ""
+    if STRESS_MARKER in markexpr:
+        return
+    if os.environ.get(STRESS_ENV, "0") not in ("0", "", "false"):
+        return
+    skip_stress = pytest.mark.skip(
+        reason=f"stress soaks run only with -m {STRESS_MARKER} "
+               f"(or {STRESS_ENV}=1)")
+    for item in items:
+        if STRESS_MARKER in item.keywords:
+            item.add_marker(skip_stress)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,234 @@
+"""Fault-injection matrix for the supervised batch engine.
+
+Every recovery path the supervisor promises is exercised with a
+deterministic :mod:`repro.faultinject` plan, on every backend where the
+fault is meaningful: per-series isolation of injected encode failures,
+chunk-level retry, worker-crash recovery (pool rebuild), hang/timeout
+recovery, the ``process → thread → serial`` degradation ladder, and the
+zero-shared-memory-residue guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import BatchEngine, SupervisorPolicy, compress_batch
+from repro.engine.backends import segment_residue
+from repro.exceptions import InvalidParameterError
+from repro.faultinject import FaultAction, active_plan, random_plan
+
+BACKENDS = ("serial", "thread", "process")
+
+#: Generous per-chunk budget for tests that must not time out.
+SAFE_TIMEOUT = 20.0
+
+
+def make_batch(count: int = 6, base: int = 120) -> list[np.ndarray]:
+    return [np.round(np.sin(np.arange(base + 13 * index) / 7.0), 3)
+            for index in range(count)]
+
+
+def run(batch, backend, **kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("timeout", SAFE_TIMEOUT)
+    return compress_batch(batch, codec="gorilla", backend=backend, **kwargs)
+
+
+class TestEncodeSiteIsolation:
+    """An injected per-series failure costs exactly that series."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_raise_mid_encode_is_one_error_outcome(self, backend):
+        batch = make_batch()
+        with active_plan([FaultAction(kind="raise", series=2, site="encode",
+                                      max_hits=None)]):
+            result = run(batch, backend, retries=0, fastpath=False)
+        assert len(result) == len(batch)
+        assert result.report.failed == 1
+        assert not result[2].ok
+        assert result[2].error_type == "InjectedFault"
+        for index in (0, 1, 3, 4, 5):
+            assert result[index].ok, result[index].error
+
+
+class TestChunkRetry:
+    """A once-only chunk fault is absorbed by the in-tier retry."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_transient_raise_recovers(self, backend):
+        batch = make_batch()
+        with active_plan([FaultAction(kind="raise", series=1, site="chunk")]):
+            result = run(batch, backend, retries=1)
+        assert result.report.failed == 0
+        assert result.report.retries >= 1
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_exhausted_retries_still_terminate(self, backend):
+        batch = make_batch()
+        with active_plan([FaultAction(kind="raise", series=1, site="chunk",
+                                      max_hits=None)]):
+            result = run(batch, backend, retries=1, on_degrade="error")
+        assert len(result) == len(batch)
+        assert result.report.failed >= 1
+        assert result.report.quarantined_chunks >= 1
+
+
+class TestCrashRecovery:
+    """A crashing worker breaks the pool; the supervisor rebuilds it."""
+
+    def test_process_worker_crash_recovers_on_retry(self):
+        batch = make_batch()
+        with active_plan([FaultAction(kind="crash", series=1)]):
+            result = run(batch, "process", retries=1)
+        assert result.report.failed == 0
+        assert result.report.pool_rebuilds >= 1
+        assert result.report.retries >= 1
+
+    @pytest.mark.parametrize("backend", ("serial", "thread"))
+    def test_in_process_crash_becomes_exception(self, backend):
+        # In the plan-activating process a crash degrades to InjectedCrash,
+        # so the same plan exercises serial/thread without killing pytest.
+        batch = make_batch()
+        with active_plan([FaultAction(kind="crash", series=1)]):
+            result = run(batch, backend, retries=1)
+        assert result.report.failed == 0
+        assert result.report.retries >= 1
+
+    def test_no_shared_memory_residue_after_crash(self):
+        batch = make_batch()
+        with active_plan([FaultAction(kind="crash", series=0)]):
+            run(batch, "process", retries=1)
+        assert segment_residue() == []
+
+    def test_crash_without_retries_yields_error_outcomes(self):
+        batch = make_batch()
+        with active_plan([FaultAction(kind="crash", series=0,
+                                      max_hits=None)]):
+            result = run(batch, "process", retries=0, on_degrade="error")
+        assert len(result) == len(batch)
+        assert result.report.failed >= 1
+        assert segment_residue() == []
+
+
+class TestHangTimeout:
+    """A hung chunk is killed at the timeout and retried or written off."""
+
+    def test_process_hang_recovers_on_retry(self):
+        batch = make_batch()
+        with active_plan([FaultAction(kind="hang", series=0, seconds=8.0)]):
+            result = run(batch, "process", timeout=1.0, retries=1)
+        assert result.report.failed == 0
+        assert result.report.timeouts >= 1
+        assert result.report.pool_rebuilds >= 1
+        assert segment_residue() == []
+
+    @pytest.mark.parametrize("backend", ("thread", "process"))
+    def test_persistent_hang_terminates_with_timeout_outcomes(self, backend):
+        # Short sleeps: abandoned thread-rung tasks outlive the call and are
+        # joined at interpreter exit, so they must run out quickly.
+        batch = make_batch(count=4)
+        with active_plan([FaultAction(kind="hang", series=0, seconds=1.2,
+                                      max_hits=None)]):
+            result = run(batch, backend, timeout=0.3, retries=0)
+        assert len(result) == len(batch)
+        bad = result.errors()
+        assert bad and all(outcome.error_type == "ChunkTimeoutError"
+                           for outcome in bad)
+        # A hang must never reach the untimed serial rung.
+        assert all(outcome.degraded_to != "serial" for outcome in bad)
+
+    def test_no_timeout_means_unbounded(self):
+        batch = make_batch(count=3)
+        with active_plan([FaultAction(kind="hang", series=0, seconds=0.4)]):
+            result = run(batch, "thread", timeout=None, retries=0)
+        assert result.report.failed == 0
+        assert result.report.timeouts == 0
+
+
+class TestDegradationLadder:
+    """A quarantined chunk walks process → thread → serial per on_degrade."""
+
+    def test_corrupt_manifest_degrades_to_thread(self):
+        # The corrupted manifest poisons every in-tier retry (the task
+        # tuples are built once), so the chunk must leave the process tier;
+        # the thread rung re-encodes from the parent's arrays and succeeds.
+        batch = make_batch()
+        with active_plan([FaultAction(kind="corrupt", series=1)]):
+            result = run(batch, "process", retries=1)
+        assert result.report.failed == 0
+        assert result.report.quarantined_chunks >= 1
+        assert result.report.degraded_chunks >= 1
+        degraded = [outcome for outcome in result if outcome.degraded_to]
+        assert degraded
+        assert all(outcome.degraded_to == "thread" for outcome in degraded)
+        assert result.report.degraded_series == len(degraded)
+        assert segment_residue() == []
+
+    def test_on_degrade_serial_skips_thread_rung(self):
+        batch = make_batch()
+        with active_plan([FaultAction(kind="corrupt", series=1)]):
+            result = run(batch, "process", retries=0, on_degrade="serial")
+        assert result.report.failed == 0
+        degraded = [outcome for outcome in result if outcome.degraded_to]
+        assert degraded
+        assert all(outcome.degraded_to == "serial" for outcome in degraded)
+
+    def test_on_degrade_error_records_failures(self):
+        batch = make_batch()
+        with active_plan([FaultAction(kind="corrupt", series=1)]):
+            result = run(batch, "process", retries=0, on_degrade="error")
+        assert len(result) == len(batch)
+        assert result.report.failed >= 1
+        assert result.report.degraded_chunks == 0
+        assert segment_residue() == []
+
+
+class TestRandomPlanSmoke:
+    """Gating smoke subset of the stress soak: a few fixed seeds."""
+
+    @pytest.mark.parametrize("seed", (3, 7))
+    @pytest.mark.parametrize("backend", ("serial", "process"))
+    def test_random_plan_always_terminates(self, seed, backend):
+        batch = make_batch()
+        actions = random_plan(seed, len(batch))
+        with active_plan(actions):
+            result = run(batch, backend, timeout=1.5, retries=1)
+        assert len(result) == len(batch), f"seed {seed} lost outcomes"
+        assert sorted(outcome.index for outcome in result) == list(range(len(batch)))
+        assert segment_residue() == [], f"seed {seed} leaked shared memory"
+
+
+class TestPolicyValidation:
+    def test_supervisor_policy_rejects_bad_values(self):
+        with pytest.raises(InvalidParameterError):
+            SupervisorPolicy(timeout=0.0)
+        with pytest.raises(InvalidParameterError):
+            SupervisorPolicy(retries=-1)
+        with pytest.raises(InvalidParameterError):
+            SupervisorPolicy(backoff=-0.1)
+        with pytest.raises(InvalidParameterError):
+            SupervisorPolicy(on_degrade="explode")
+
+    def test_engine_rejects_bad_knobs(self):
+        with pytest.raises(InvalidParameterError):
+            BatchEngine("gorilla", timeout=-1.0)
+        with pytest.raises(InvalidParameterError):
+            BatchEngine("gorilla", on_degrade="explode")
+        with pytest.raises(InvalidParameterError):
+            BatchEngine("gorilla", policy="skip")
+
+
+class TestCleanPathIdentity:
+    """Supervision must not change results when nothing goes wrong."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_knobs_do_not_change_clean_results(self, backend):
+        batch = make_batch()
+        baseline = compress_batch(batch, codec="gorilla")
+        supervised = run(batch, backend, retries=2)
+        assert [outcome.block.payload for outcome in baseline] \
+            == [outcome.block.payload for outcome in supervised]
+        report = supervised.report
+        assert report.retries == 0 and report.timeouts == 0
+        assert report.pool_rebuilds == 0 and report.degraded_chunks == 0

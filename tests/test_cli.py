@@ -276,3 +276,107 @@ class TestCompressBatch:
                 (out_dir / f"{sub}-sensor.gorilla.json").read_text())
             assert np.array_equal(codec.decode(block_from_document(document)),
                                   fleets[sub])
+
+
+class TestBatchExitCodes:
+    """compress-batch exit-code matrix: 0 all-ok, 3 partial, 4 total failure,
+    including the new timeout/degradation and input-policy outcomes."""
+
+    @staticmethod
+    def _write_csv(path, values):
+        with open(path, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["value"])
+            for value in values:
+                writer.writerow([value])
+
+    @pytest.fixture()
+    def mixed_dir(self, tmp_path):
+        directory = tmp_path / "mixed"
+        directory.mkdir()
+        clean = np.round(np.sin(np.arange(150) / 7.0), 3)
+        self._write_csv(directory / "good.csv", clean)
+        hostile = [v if not 40 <= i < 50 else "nan"
+                   for i, v in enumerate(clean)]
+        self._write_csv(directory / "gappy.csv", hostile)
+        return directory
+
+    def test_all_ok_exits_zero(self, mixed_dir, tmp_path):
+        code = main(["compress-batch", str(mixed_dir / "good.csv"),
+                     "--codec", "gorilla",
+                     "--output-dir", str(tmp_path / "ok")])
+        assert code == 0
+
+    def test_partial_failure_exits_three(self, mixed_dir, tmp_path, capsys):
+        code = main(["compress-batch", str(mixed_dir), "--codec", "gorilla",
+                     "--output-dir", str(tmp_path / "partial")])
+        assert code == 3
+        assert "FAILED gappy" in capsys.readouterr().out
+
+    def test_total_failure_exits_four(self, mixed_dir, tmp_path, capsys):
+        code = main(["compress-batch", str(mixed_dir / "gappy.csv"),
+                     "--codec", "gorilla",
+                     "--output-dir", str(tmp_path / "total")])
+        assert code == 4
+        assert "compressed 0/1" in capsys.readouterr().out
+
+    def test_nan_policy_turns_failure_into_success(self, mixed_dir, tmp_path,
+                                                   capsys):
+        out_dir = tmp_path / "policy"
+        code = main(["compress-batch", str(mixed_dir), "--codec", "gorilla",
+                     "--on-nan", "skip", "--output-dir", str(out_dir)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "1 series sanitized" in output
+        assert len(list(out_dir.glob("*.json"))) == 2
+
+    def test_split_policy_records_metadata(self, mixed_dir, tmp_path):
+        import json
+
+        out_dir = tmp_path / "split"
+        code = main(["compress-batch", str(mixed_dir / "gappy.csv"),
+                     "--codec", "gorilla", "--on-nan", "split",
+                     "--output-dir", str(out_dir)])
+        assert code == 0
+        document = json.loads((out_dir / "gappy.gorilla.json").read_text())
+        record = document["metadata"]["sanitize"]
+        assert record["dropped_nan"] == 10
+        assert record["nan_runs"] == [[40, 10]]
+
+    def test_injected_fault_with_on_degrade_error_exits_three(
+            self, mixed_dir, tmp_path, capsys):
+        from repro.faultinject import FaultAction, active_plan
+
+        with active_plan([FaultAction(kind="raise", series=0, site="chunk",
+                                      max_hits=None)]):
+            code = main(["compress-batch", str(mixed_dir / "good.csv"),
+                         "--codec", "gorilla", "--backend", "process",
+                         "--workers", "2", "--timeout", "10",
+                         "--retries", "0", "--on-degrade", "error",
+                         "--output-dir", str(tmp_path / "fault")])
+        assert code == 4
+        output = capsys.readouterr().out
+        assert "recovery:" in output
+        assert "quarantined" in output
+
+    def test_injected_fault_with_degradation_exits_zero(
+            self, mixed_dir, tmp_path, capsys):
+        from repro.faultinject import FaultAction, active_plan
+
+        with active_plan([FaultAction(kind="corrupt", series=0)]):
+            code = main(["compress-batch", str(mixed_dir / "good.csv"),
+                         "--codec", "gorilla", "--backend", "process",
+                         "--workers", "2", "--timeout", "10",
+                         "--output-dir", str(tmp_path / "degraded")])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "series degraded" in output
+
+    def test_fault_knob_defaults(self):
+        args = build_parser().parse_args(
+            ["compress-batch", "x.csv"])
+        assert args.timeout is None
+        assert args.retries == 1
+        assert args.on_degrade == "degrade"
+        assert args.on_nan == "raise"
+        assert args.on_inf == "raise"

@@ -126,3 +126,25 @@ PERF_ENGINE_XOR_LENGTH = 64
 PERF_ENGINE_LOCKSTEP_SERIES = 64
 PERF_ENGINE_LOCKSTEP_LENGTH = 192
 PERF_ENGINE_LOCKSTEP_MAX_LAG = 16
+
+# --------------------------------------------------------------------- #
+# native kernel tier (PR 7)
+# --------------------------------------------------------------------- #
+
+#: Interior ReHeap ACF kernel workload: a batch of interior-only segments
+#: (well away from the series edges) large enough that kernel time, not
+#: dispatch, dominates.  The fused C loop must beat the NumPy kernel by
+#: >= 2x measured in the same process (ISSUE floor).
+PERF_NATIVE_ACF_SEGMENTS = 400
+PERF_NATIVE_ACF_SEGMENT_LEN = 8
+PERF_MIN_NATIVE_INTERIOR_SPEEDUP = 2.0
+
+#: End-to-end CAMEO with the native tier vs the same run on the NumPy
+#: tier (kept-point sets asserted identical).  Measured ~3x on the dev
+#: container; the floor is deliberately conservative for slow CI runners.
+PERF_MIN_NATIVE_E2E_SPEEDUP = 1.15
+
+#: The native pop-loop (heapify + full drain) ratio vs the hybrid heap is
+#: recorded without a hard floor: single pops are already cheap in the
+#: hybrid heap and the win is capacity-dependent.
+PERF_NATIVE_HEAP_DRAINS = 5

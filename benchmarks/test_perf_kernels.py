@@ -49,11 +49,17 @@ from bench_config import (
     PERF_MIN_ENGINE_PROCESS_SPEEDUP,
     PERF_MIN_HEAP_BULK_SPEEDUP,
     PERF_MIN_HOPS_BATCH_SPEEDUP,
+    PERF_MIN_NATIVE_E2E_SPEEDUP,
+    PERF_MIN_NATIVE_INTERIOR_SPEEDUP,
     PERF_MIN_PACF_SPEEDUP,
+    PERF_NATIVE_ACF_SEGMENT_LEN,
+    PERF_NATIVE_ACF_SEGMENTS,
+    PERF_NATIVE_HEAP_DRAINS,
     PERF_PACF_MAX_LAG,
     PERF_PACF_ROWS,
     SEED_CAMEO_POINTS_PER_SEC,
 )
+from repro import _kernels
 from repro._kernels import BlockBitReader, BlockBitWriter, pacf_from_acf_batched
 from repro._kernels.reference import (
     ReferenceBitReader,
@@ -68,11 +74,29 @@ from repro._kernels.reference import (
 )
 from repro.benchlib import PerfReport, bench
 from repro.core import cameo_compress
-from repro.core.heap import IndexedMinHeap
+from repro.core.heap import IndexedMinHeap, NativeIndexedMinHeap
+from repro.core.impact import batched_contiguous_acf
 from repro.core.neighbors import NeighborList
 from repro.lossless import ChimpCodec, GorillaCodec
+from repro.stats.aggregates import ACFAggregateState
 
 pytestmark = pytest.mark.perf
+
+
+@pytest.fixture()
+def numpy_tier():
+    """Force the pure-NumPy kernels for trajectory-comparable entries.
+
+    The PR 1-5 trajectory in ``BENCH_kernels.json`` was recorded on the
+    NumPy tier; the existing CAMEO/engine entries keep measuring that tier
+    so the numbers stay comparable release over release.  The native tier
+    gets its own ``native.*`` / ``cameo.compress_10k_native`` entries.
+    """
+    _kernels.set_native_enabled(False)
+    try:
+        yield
+    finally:
+        _kernels.set_native_enabled(None)
 
 
 @pytest.fixture(scope="module")
@@ -330,6 +354,7 @@ class TestNeighborHops:
             f"{PERF_MIN_HOPS_BATCH_SPEEDUP}x regression floor")
 
 
+@pytest.mark.usefixtures("numpy_tier")
 class TestCameoEndToEnd:
     def test_cameo_points_per_sec(self, report):
         """Speculative loop vs seed baseline and vs the rebuilt PR 3 loop.
@@ -354,16 +379,16 @@ class TestCameoEndToEnd:
         def run_pr3_loop():
             import repro.core.compressor as compressor_module
             import repro.core.tracker as tracker_module
-            saved_heap = compressor_module.IndexedMinHeap
+            saved_heap = compressor_module.make_heap
             saved_kernel = tracker_module.batched_contiguous_acf
-            compressor_module.IndexedMinHeap = ReferenceIndexedMinHeap
+            compressor_module.make_heap = ReferenceIndexedMinHeap
             tracker_module.batched_contiguous_acf = (
                 reference_batched_contiguous_acf)
             try:
                 return cameo_compress(signal, max_lag=PERF_CAMEO_MAX_LAG,
                                       epsilon=PERF_CAMEO_EPSILON, batch_size=1)
             finally:
-                compressor_module.IndexedMinHeap = saved_heap
+                compressor_module.make_heap = saved_heap
                 tracker_module.batched_contiguous_acf = saved_kernel
 
         result = run()  # warmup + sanity
@@ -416,6 +441,132 @@ class TestCameoEndToEnd:
             epsilon=PERF_CAMEO_EPSILON, statistic="pacf", kept=len(result)))
 
 
+@pytest.mark.skipif(not _kernels.native_available(),
+                    reason="native extension not built")
+class TestNativeTier:
+    """The compiled tier vs the NumPy tier, measured in the same process."""
+
+    @pytest.fixture(autouse=True)
+    def _restore_tier(self):
+        yield
+        _kernels.set_native_enabled(None)
+
+    def test_interior_acf_block_speedup(self, report):
+        """``native.interior_acf_block``: fused C loop vs the NumPy kernel.
+
+        Interior-only segments (every position at least ``max_lag`` away
+        from both edges) so both tiers run their fast path end to end; the
+        outputs must agree bit for bit before anything is timed.
+        """
+        rng = np.random.default_rng(2026)
+        t = np.arange(PERF_CAMEO_LENGTH)
+        signal = (5.0 + 2.0 * np.sin(2 * np.pi * t / 24)
+                  + rng.normal(0, 0.3, t.size))
+        state = ACFAggregateState(signal, PERF_CAMEO_MAX_LAG)
+        margin = PERF_CAMEO_MAX_LAG + PERF_NATIVE_ACF_SEGMENT_LEN + 1
+        starts = rng.choice(
+            np.arange(margin, PERF_CAMEO_LENGTH - margin),
+            PERF_NATIVE_ACF_SEGMENTS, replace=False)
+        lengths = np.full(PERF_NATIVE_ACF_SEGMENTS,
+                          PERF_NATIVE_ACF_SEGMENT_LEN, dtype=np.int64)
+        positions = (starts[:, None]
+                     + np.arange(PERF_NATIVE_ACF_SEGMENT_LEN)).ravel()
+        deltas = rng.normal(0.0, 0.3, positions.size)
+
+        def run():
+            return batched_contiguous_acf(state, lengths, positions, deltas)
+
+        _kernels.set_native_enabled(True)
+        native_rows = run()
+        _kernels.set_native_enabled(False)
+        assert np.array_equal(native_rows, run())
+
+        ops = PERF_NATIVE_ACF_SEGMENTS * state.lags.size
+        timed_numpy = report.add(bench("numpy.interior_acf_block", run,
+                                       ops=ops, repeats=7,
+                                       segments=PERF_NATIVE_ACF_SEGMENTS,
+                                       segment_len=PERF_NATIVE_ACF_SEGMENT_LEN))
+        _kernels.set_native_enabled(True)
+        report.add(bench("native.interior_acf_block", run, ops=ops, repeats=7,
+                         segments=PERF_NATIVE_ACF_SEGMENTS,
+                         segment_len=PERF_NATIVE_ACF_SEGMENT_LEN))
+        speedup = report.speedup("native_interior_acf_block",
+                                 "native.interior_acf_block",
+                                 "numpy.interior_acf_block")
+        assert timed_numpy.seconds > 0
+        assert speedup >= PERF_MIN_NATIVE_INTERIOR_SPEEDUP, (
+            f"native interior kernel at {speedup:.2f}x the NumPy kernel is "
+            f"below the {PERF_MIN_NATIVE_INTERIOR_SPEEDUP}x floor")
+
+    def test_pop_loop_throughput(self, report):
+        """``native.pop_loop``: heapify + full drain, C sifts vs hybrid.
+
+        Recorded without a hard floor — single pops are already cheap in
+        the hybrid heap; the entry documents the greedy-loop win.
+        """
+        rng = np.random.default_rng(99)
+        items = np.arange(PERF_HEAP_CAPACITY)
+        key_rounds = [rng.normal(0.0, 1.0, PERF_HEAP_CAPACITY)
+                      for _ in range(PERF_NATIVE_HEAP_DRAINS)]
+
+        def drain(factory):
+            out = 0
+            for keys in key_rounds:
+                heap = factory(PERF_HEAP_CAPACITY)
+                heap.heapify(items, keys)
+                pop = heap.pop
+                while heap:
+                    out ^= pop()[0]
+            return out
+
+        _kernels.set_native_enabled(True)
+        assert drain(NativeIndexedMinHeap) == drain(IndexedMinHeap)
+        ops = PERF_HEAP_CAPACITY * PERF_NATIVE_HEAP_DRAINS
+        report.add(bench("native.pop_loop",
+                         lambda: drain(NativeIndexedMinHeap), ops=ops,
+                         capacity=PERF_HEAP_CAPACITY))
+        report.add(bench("heap.pop_loop_hybrid",
+                         lambda: drain(IndexedMinHeap), ops=ops, repeats=2))
+        report.speedup("native_pop_loop", "native.pop_loop",
+                       "heap.pop_loop_hybrid")
+
+    def test_cameo_native_end_to_end(self, report):
+        """``cameo.compress_10k_native``: the full greedy loop on the
+        native tier, kept set identical to the NumPy-tier run."""
+        rng = np.random.default_rng(123)
+        t = np.arange(PERF_CAMEO_LENGTH)
+        signal = (5.0 + 2.0 * np.sin(2 * np.pi * t / 24)
+                  + 0.5 * np.sin(2 * np.pi * t / 168)
+                  + rng.normal(0, 0.3, t.size))
+
+        def run():
+            return cameo_compress(signal, max_lag=PERF_CAMEO_MAX_LAG,
+                                  epsilon=PERF_CAMEO_EPSILON)
+
+        _kernels.set_native_enabled(False)
+        numpy_result = run()
+        _kernels.set_native_enabled(True)
+        native_result = run()
+        # Hard requirement of the native tier: not one kept point differs.
+        assert native_result.indices.tolist() == numpy_result.indices.tolist()
+        assert np.array_equal(native_result.values, numpy_result.values)
+
+        timed = report.add(bench(
+            "cameo.compress_10k_native", run, ops=PERF_CAMEO_LENGTH,
+            repeats=2, warmup=False, max_lag=PERF_CAMEO_MAX_LAG,
+            epsilon=PERF_CAMEO_EPSILON, kept=len(native_result)))
+        report.ratios["cameo_native_vs_seed"] = (
+            timed.ops_per_sec / SEED_CAMEO_POINTS_PER_SEC)
+        if "cameo.compress_10k_speculative" in report.results:
+            speedup = report.speedup("cameo_native_vs_numpy",
+                                     "cameo.compress_10k_native",
+                                     "cameo.compress_10k_speculative")
+            assert speedup >= PERF_MIN_NATIVE_E2E_SPEEDUP, (
+                f"native end-to-end at {speedup:.2f}x the NumPy tier is "
+                f"below the {PERF_MIN_NATIVE_E2E_SPEEDUP}x floor")
+
+
+@pytest.mark.usefixtures("numpy_tier")
 class TestBatchEngine:
     """Fleet throughput: the batch engine's backends and fast paths."""
 

@@ -1,0 +1,103 @@
+"""Build script: pure-Python package plus the optional native kernel tier.
+
+The C extension (``repro._kernels._native._nativecore``) is strictly
+optional: if no compiler is available, or the compile fails for any
+reason, the build degrades to a source-only install and the library falls
+back to its pure-NumPy kernels at import time.  Build it in place for a
+``PYTHONPATH=src`` checkout with::
+
+    python setup.py build_ext --inplace
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from setuptools import Extension, find_packages, setup
+from setuptools.command.build_ext import build_ext
+
+#: Set ``REPRO_BUILD_NATIVE=0`` to skip the extension entirely (the CI
+#: no-compiler matrix leg uses this to exercise the source-only path).
+BUILD_NATIVE_ENV = "REPRO_BUILD_NATIVE"
+
+
+def _numpy_include() -> str | None:
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return numpy.get_include()
+
+
+class OptionalBuildExt(build_ext):
+    """``build_ext`` that degrades to a source-only build on any failure.
+
+    Also probes for OpenMP: the extension is first compiled with the
+    OpenMP flags, and on failure retried without them (single-threaded
+    native kernels are still the point of the tier — bit-identical fused
+    loops — so a missing OpenMP runtime must not lose the build).
+    """
+
+    OPENMP_COMPILE = {"unix": ["-fopenmp"], "msvc": ["/openmp"]}
+    OPENMP_LINK = {"unix": ["-fopenmp"], "msvc": []}
+
+    def run(self):  # noqa: D102
+        try:
+            super().run()
+        except Exception as exc:  # pragma: no cover - depends on toolchain
+            self._warn(f"build_ext failed ({exc!r})")
+
+    def build_extension(self, ext):  # noqa: D102
+        compiler_type = self.compiler.compiler_type
+        base_compile = list(ext.extra_compile_args or [])
+        base_link = list(ext.extra_link_args or [])
+        omp_compile = self.OPENMP_COMPILE.get(compiler_type, [])
+        omp_link = self.OPENMP_LINK.get(compiler_type, [])
+        try:
+            ext.extra_compile_args = base_compile + omp_compile
+            ext.extra_link_args = base_link + omp_link
+            super().build_extension(ext)
+            return
+        except Exception:
+            pass
+        try:
+            ext.extra_compile_args = base_compile
+            ext.extra_link_args = base_link
+            super().build_extension(ext)
+        except Exception as exc:  # pragma: no cover - depends on toolchain
+            self._warn(f"compiling {ext.name} failed ({exc!r})")
+
+    @staticmethod
+    def _warn(reason: str) -> None:
+        print(f"WARNING: {reason}; continuing with the pure-NumPy "
+              "kernel tier (source-only install)", file=sys.stderr)
+
+
+def _extensions() -> list[Extension]:
+    if os.environ.get(BUILD_NATIVE_ENV, "1") in ("0", "false", "off"):
+        return []
+    include = _numpy_include()
+    if include is None:
+        return []
+    if os.name == "nt":  # pragma: no cover - windows toolchain
+        flags = ["/O2", "/fp:precise"]
+    else:
+        # -ffp-contract=off is load-bearing: a fused multiply-add would
+        # round differently from NumPy's separate multiply and add, and
+        # the loader's import-time probe would reject the build.
+        flags = ["-O3", "-std=c99", "-ffp-contract=off"]
+    return [Extension(
+        "repro._kernels._native._nativecore",
+        sources=["src/repro/_kernels/_native/_nativecore.c"],
+        include_dirs=[include],
+        extra_compile_args=flags,
+    )]
+
+
+setup(
+    packages=find_packages(where="src"),
+    package_dir={"": "src"},
+    ext_modules=_extensions(),
+    cmdclass={"build_ext": OptionalBuildExt},
+)

@@ -1,0 +1,103 @@
+"""Loader for the optional compiled kernel tier.
+
+Importing this package never fails: when the ``_nativecore`` extension is
+absent (source-only install) or unusable, :data:`MODULE` is ``None`` and
+the callers fall back to the pure-NumPy kernels.
+
+Beyond the plain import, the loader runs a bit-identity self-check before
+admitting the extension:
+
+* ``reduceat_check`` — the extension's transcription of NumPy's pairwise
+  segment summation must reproduce ``np.add.reduceat`` *bit for bit* on a
+  battery of segment lengths crossing every accumulation-regime boundary
+  (sequential < 8, unrolled <= 128, recursive splits above).  A NumPy
+  build whose reduction order differs (e.g. a SIMD pairwise path the C
+  model does not cover) disqualifies the native tier on that machine
+  rather than silently changing kept-point sets.
+* ``fma_probe`` — ``a*b - a*b`` must be exactly ``0.0``; a non-zero
+  result means the compiler contracted a product into a fused
+  multiply-add, which rounds differently from NumPy's separate ops.
+
+The outcome (and the reason for a refusal) is recorded in
+:data:`BUILD_INFO` so ``repro._kernels.active_tier()`` stays diagnosable.
+
+Set ``REPRO_NATIVE_THREADS=<n>`` to pin the OpenMP thread count before
+first use (no-op for builds without OpenMP).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = ["MODULE", "BUILD_INFO"]
+
+#: OpenMP thread-count override, applied at import.
+THREADS_ENV = "REPRO_NATIVE_THREADS"
+
+#: The admitted extension module, or ``None`` (absent or failed check).
+MODULE = None
+
+#: Build/diagnostic metadata: ``status`` is one of ``"active"``,
+#: ``"unavailable"`` (not compiled) or ``"rejected: <reason>"``.
+BUILD_INFO: dict = {"status": "unavailable", "compiler": None,
+                    "openmp": False, "max_threads": 1}
+
+
+def _check_reduceat_model(mod) -> bool:
+    """Does the extension's summation model match this NumPy, bit for bit?"""
+    rng = np.random.default_rng(0xCA3E0)
+    for total in (1, 2, 7, 8, 9, 31, 127, 128, 129, 257, 1000, 4099):
+        # wide magnitude spread so any reassociation shows up in the bits
+        values = rng.normal(0.0, 1.0, total) * 10.0 ** rng.integers(
+            -6, 7, total)
+        for num_segments in {1, 2, 3, min(17, total)}:
+            if total > 1 and num_segments > 1:
+                # strictly increasing cuts: the kernels only ever reduce
+                # non-empty segments
+                cuts = np.unique(rng.integers(1, total, num_segments - 1))
+            else:
+                cuts = np.empty(0, dtype=np.int64)
+            offsets = np.concatenate(([0], cuts)).astype(np.int64)
+            expected = np.add.reduceat(values, offsets)
+            got = mod.reduceat_check(values, offsets)
+            if not np.array_equal(expected, got):
+                return False
+    return True
+
+
+def _self_check(mod) -> str | None:
+    """Return a rejection reason, or ``None`` when the module is usable."""
+    try:
+        if mod.fma_probe(1.0000000001e8, 3.0000000003) != 0.0:
+            return "build contracted multiplies into FMA"
+        if not _check_reduceat_model(mod):
+            return "np.add.reduceat accumulation order not reproduced"
+    except Exception as exc:  # pragma: no cover - defensive
+        return f"self-check crashed: {exc!r}"
+    return None
+
+
+def _load():
+    global MODULE, BUILD_INFO
+    try:
+        from . import _nativecore
+    except ImportError:
+        return
+    info = _nativecore.build_info()
+    BUILD_INFO.update(compiler=info["compiler"], openmp=bool(info["openmp"]),
+                      max_threads=info["max_threads"])
+    threads = os.environ.get(THREADS_ENV)
+    if threads and threads.isdigit() and int(threads) > 0:
+        _nativecore.set_num_threads(int(threads))
+        BUILD_INFO["max_threads"] = _nativecore.get_max_threads()
+    reason = _self_check(_nativecore)
+    if reason is not None:
+        BUILD_INFO["status"] = f"rejected: {reason}"
+        return
+    BUILD_INFO["status"] = "active"
+    MODULE = _nativecore
+
+
+_load()

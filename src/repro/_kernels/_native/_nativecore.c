@@ -1,0 +1,1076 @@
+/* Compiled kernel tier for the CAMEO hot path.
+ *
+ * Implements, in portable C99:
+ *
+ *   - ``interior_acf_block``: the interior-segment ReHeap ACF kernel as one
+ *     fused loop per segment — per-segment delta/energy sums, the head/tail
+ *     lag gathers, and the pairable-lag cross terms — parallelised over the
+ *     segment axis with OpenMP when available, with no ``(T, L)``
+ *     temporaries;
+ *   - the indexed-min-heap primitives (sift, push, pop, remove, update,
+ *     bulk push/update, destructive multi-pop, non-destructive frontier
+ *     peek) operating on flat float64/int64 arrays owned by the caller;
+ *   - ``gap_deltas``: the per-gap linear re-interpolation deltas of the
+ *     greedy pop step.
+ *
+ * Bit-identity contract: every function reproduces the NumPy formulation
+ * of the same computation *bit for bit*.  Two ingredients make that
+ * possible:
+ *
+ *   1. Segment reductions replicate ``np.add.reduceat``'s accumulation
+ *      order exactly: the segment's first element plus NumPy's scalar
+ *      pairwise summation of the rest (sequential below 8 elements, an
+ *      8-accumulator unrolled block up to 128, and a recursive split at a
+ *      multiple-of-8 midpoint above that).  The loader cross-checks this
+ *      model against the running NumPy at import time and refuses the
+ *      native tier on mismatch (e.g. a NumPy built with a SIMD pairwise
+ *      path for strides this file does not model).
+ *   2. The build disables floating-point contraction (``-ffp-contract=off``
+ *      and the ``FP_CONTRACT OFF`` pragma): a fused multiply-add would
+ *      round differently from NumPy's separate multiply and add.  The
+ *      loader probes for contraction at import time as well.
+ *
+ * Everything else (multiply, divide, sqrt, compares) is IEEE-754-exact and
+ * therefore matches NumPy's elementwise ufuncs operand for operand.
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+#define NPY_NO_DEPRECATED_API NPY_1_7_API_VERSION
+#include <numpy/arrayobject.h>
+
+#include <math.h>
+#include <stdlib.h>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#ifdef __STDC_VERSION__
+#if __STDC_VERSION__ >= 199901L
+#pragma STDC FP_CONTRACT OFF
+#endif
+#endif
+
+/* ------------------------------------------------------------------ */
+/* argument validation helpers                                         */
+/* ------------------------------------------------------------------ */
+
+static int
+check_1d(PyArrayObject *arr, int typenum, const char *name, const char *tyname)
+{
+    if (PyArray_TYPE(arr) != typenum || PyArray_NDIM(arr) != 1
+            || !PyArray_IS_C_CONTIGUOUS(arr)) {
+        PyErr_Format(PyExc_ValueError,
+                     "%s must be a C-contiguous 1-D %s array", name, tyname);
+        return 0;
+    }
+    return 1;
+}
+
+#define CHECK_F64(arr, name) check_1d((arr), NPY_FLOAT64, (name), "float64")
+#define CHECK_I64(arr, name) check_1d((arr), NPY_INT64, (name), "int64")
+
+/* ------------------------------------------------------------------ */
+/* np.add.reduceat accumulation model                                  */
+/* ------------------------------------------------------------------ */
+
+/* NumPy's scalar pairwise summation (numpy/_core/src/umath/loops.c.src,
+ * ``pairwise_sum_DOUBLE``), transcribed for unit stride.  The 8
+ * partial-sum chains are kept in distinct variables and combined in the
+ * exact association order NumPy uses; without -ffast-math the compiler
+ * may not reassociate them. */
+static double
+pairwise_sum(const double *a, npy_intp n)
+{
+    npy_intp i;
+
+    if (n < 8) {
+        double res = 0.0;
+        for (i = 0; i < n; i++) {
+            res += a[i];
+        }
+        return res;
+    }
+    if (n <= 128) {
+        double res;
+        double r0 = a[0], r1 = a[1], r2 = a[2], r3 = a[3];
+        double r4 = a[4], r5 = a[5], r6 = a[6], r7 = a[7];
+        for (i = 8; i < n - (n % 8); i += 8) {
+            r0 += a[i + 0];
+            r1 += a[i + 1];
+            r2 += a[i + 2];
+            r3 += a[i + 3];
+            r4 += a[i + 4];
+            r5 += a[i + 5];
+            r6 += a[i + 6];
+            r7 += a[i + 7];
+        }
+        res = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7));
+        for (; i < n; i++) {
+            res += a[i];
+        }
+        return res;
+    }
+    {
+        /* divide by two but avoid non-multiples of unroll factor */
+        npy_intp n2 = n / 2;
+        n2 -= n2 % 8;
+        return pairwise_sum(a, n2) + pairwise_sum(a + n2, n - n2);
+    }
+}
+
+/* One ``np.add.reduceat`` segment: the reduction is seeded with the
+ * segment's first element, then the pairwise sum of the remainder is
+ * added. */
+static double
+reduceat_sum(const double *a, npy_intp n)
+{
+    if (n <= 0) {
+        return 0.0;
+    }
+    return a[0] + pairwise_sum(a + 1, n - 1);
+}
+
+/* ------------------------------------------------------------------ */
+/* interior-segment ReHeap ACF kernel                                  */
+/* ------------------------------------------------------------------ */
+
+static void
+interior_segment_row(const double *current, npy_intp n,
+                     const double *counts, const double *sx,
+                     const double *sxl, const double *sx2,
+                     const double *sx2l, const double *sxxl,
+                     npy_intp num_lags,
+                     const double *deltas_all, npy_intp total,
+                     const npy_int64 *pos, const double *d,
+                     npy_intp off, npy_intp len,
+                     int has_cross, npy_intp num_cross_lags, int use_bincount,
+                     double *buf, double *row)
+{
+    npy_intp t, j;
+    double d_seg, e_seg;
+
+    d_seg = reduceat_sum(d, len);
+    for (t = 0; t < len; t++) {
+        /* energy = delta * (2*old + delta) */
+        buf[t] = d[t] * (2.0 * current[pos[t]] + d[t]);
+    }
+    e_seg = reduceat_sum(buf, len);
+
+    for (j = 0; j < num_lags; j++) {
+        const npy_intp lag = j + 1;
+        double d_head, d_tail;
+        double new_sx, new_sxl, new_sx2, new_sx2l, new_sxxl;
+        double numerator, var_head, var_tail;
+
+        for (t = 0; t < len; t++) {
+            /* interior segments guarantee pos±lag stays in range; the
+             * clip mirrors np.take(..., mode="clip") defensively. */
+            npy_intp idx = pos[t] + lag;
+            if (idx > n - 1) {
+                idx = n - 1;
+            }
+            buf[t] = d[t] * current[idx];
+        }
+        d_head = reduceat_sum(buf, len);
+        for (t = 0; t < len; t++) {
+            npy_intp idx = pos[t] - lag;
+            if (idx < 0) {
+                idx = 0;
+            }
+            buf[t] = d[t] * current[idx];
+        }
+        d_tail = reduceat_sum(buf, len);
+
+        new_sx = sx[j] + d_seg;
+        new_sxl = sxl[j] + d_seg;
+        new_sx2 = sx2[j] + e_seg;
+        new_sx2l = sx2l[j] + e_seg;
+        /* same association order as the NumPy kernel */
+        new_sxxl = (sxxl[j] + d_head) + d_tail;
+
+        if (has_cross) {
+            double cross = 0.0;
+            if (j < num_cross_lags) {
+                if (use_bincount) {
+                    /* np.bincount accumulates sequentially in increasing
+                     * index order, starting from zero. */
+                    for (t = lag; t < len; t++) {
+                        cross += d[t] * d[t - lag];
+                    }
+                }
+                else {
+                    /* Partner-matrix path: masked products (preserving
+                     * the sign of masked zeros) reduced per segment with
+                     * the reduceat model. */
+                    const npy_intp seg_end = off + len;
+                    for (t = 0; t < len; t++) {
+                        const npy_intp g = off + t;
+                        npy_intp partner = g + lag;
+                        npy_intp clipped =
+                            partner < total ? partner : total - 1;
+                        double prod = deltas_all[g] * deltas_all[clipped];
+                        double keep =
+                            (partner < total && partner < seg_end)
+                            ? 1.0 : 0.0;
+                        buf[t] = prod * keep;
+                    }
+                    cross = reduceat_sum(buf, len);
+                }
+            }
+            new_sxxl = new_sxxl + cross;
+        }
+
+        numerator = counts[j] * new_sxxl - new_sx * new_sxl;
+        var_head = counts[j] * new_sx2 - new_sx * new_sx;
+        var_tail = counts[j] * new_sx2l - new_sxl * new_sxl;
+        if (var_head > 0.0 && var_tail > 0.0) {
+            row[j] = numerator / sqrt(var_head * var_tail);
+        }
+        else {
+            row[j] = 0.0;
+        }
+    }
+}
+
+static PyObject *
+py_interior_acf_block(PyObject *self, PyObject *args)
+{
+    PyArrayObject *current, *counts, *sx, *sxl, *sx2, *sx2l, *sxxl;
+    PyArrayObject *lens, *offsets, *positions, *deltas, *out;
+    long max_len_arg;
+    npy_intp num_segments, num_lags, total, n, max_len;
+    int has_cross, use_bincount;
+    npy_intp num_cross_lags;
+    const double *current_p, *counts_p, *sx_p, *sxl_p, *sx2_p, *sx2l_p, *sxxl_p;
+    const double *deltas_p;
+    const npy_int64 *lens_p, *offsets_p, *positions_p;
+    double *out_p;
+    double *scratch;
+    int nthreads = 1;
+    npy_intp s;
+
+    if (!PyArg_ParseTuple(args, "O!O!O!O!O!O!O!O!O!O!O!lO!",
+                          &PyArray_Type, &current, &PyArray_Type, &counts,
+                          &PyArray_Type, &sx, &PyArray_Type, &sxl,
+                          &PyArray_Type, &sx2, &PyArray_Type, &sx2l,
+                          &PyArray_Type, &sxxl, &PyArray_Type, &lens,
+                          &PyArray_Type, &offsets, &PyArray_Type, &positions,
+                          &PyArray_Type, &deltas, &max_len_arg,
+                          &PyArray_Type, &out)) {
+        return NULL;
+    }
+    if (!CHECK_F64(current, "current") || !CHECK_F64(counts, "counts")
+            || !CHECK_F64(sx, "sx") || !CHECK_F64(sxl, "sxl")
+            || !CHECK_F64(sx2, "sx2") || !CHECK_F64(sx2l, "sx2l")
+            || !CHECK_F64(sxxl, "sxxl") || !CHECK_I64(lens, "lens")
+            || !CHECK_I64(offsets, "offsets")
+            || !CHECK_I64(positions, "positions")
+            || !CHECK_F64(deltas, "deltas")) {
+        return NULL;
+    }
+    if (PyArray_TYPE(out) != NPY_FLOAT64 || PyArray_NDIM(out) != 2
+            || !PyArray_IS_C_CONTIGUOUS(out)) {
+        PyErr_SetString(PyExc_ValueError,
+                        "out must be a C-contiguous 2-D float64 array");
+        return NULL;
+    }
+    num_segments = PyArray_DIM(lens, 0);
+    num_lags = PyArray_DIM(counts, 0);
+    total = PyArray_DIM(deltas, 0);
+    n = PyArray_DIM(current, 0);
+    max_len = (npy_intp)max_len_arg;
+    if (PyArray_DIM(out, 0) != num_segments
+            || PyArray_DIM(out, 1) != num_lags
+            || PyArray_DIM(offsets, 0) != num_segments
+            || PyArray_DIM(positions, 0) != total
+            || PyArray_DIM(sx, 0) != num_lags || max_len <= 0) {
+        PyErr_SetString(PyExc_ValueError,
+                        "inconsistent interior_acf_block array shapes");
+        return NULL;
+    }
+
+    current_p = (const double *)PyArray_DATA(current);
+    counts_p = (const double *)PyArray_DATA(counts);
+    sx_p = (const double *)PyArray_DATA(sx);
+    sxl_p = (const double *)PyArray_DATA(sxl);
+    sx2_p = (const double *)PyArray_DATA(sx2);
+    sx2l_p = (const double *)PyArray_DATA(sx2l);
+    sxxl_p = (const double *)PyArray_DATA(sxxl);
+    lens_p = (const npy_int64 *)PyArray_DATA(lens);
+    offsets_p = (const npy_int64 *)PyArray_DATA(offsets);
+    positions_p = (const npy_int64 *)PyArray_DATA(positions);
+    deltas_p = (const double *)PyArray_DATA(deltas);
+    out_p = (double *)PyArray_DATA(out);
+
+    /* cross-term path selection, decided for the whole block exactly as
+     * _segment_cross_terms does */
+    has_cross = max_len > 1;
+    num_cross_lags = max_len - 1 < num_lags ? max_len - 1 : num_lags;
+    use_bincount = num_cross_lags <= 8;
+
+#ifdef _OPENMP
+    nthreads = omp_get_max_threads();
+#endif
+    scratch = (double *)malloc((size_t)nthreads * (size_t)max_len
+                               * sizeof(double));
+    if (scratch == NULL) {
+        return PyErr_NoMemory();
+    }
+
+    Py_BEGIN_ALLOW_THREADS
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) \
+    if (num_segments > 1 && total * num_lags > 16384)
+#endif
+    for (s = 0; s < num_segments; s++) {
+        int tid = 0;
+#ifdef _OPENMP
+        tid = omp_get_thread_num();
+#endif
+        interior_segment_row(current_p, n, counts_p, sx_p, sxl_p, sx2_p,
+                             sx2l_p, sxxl_p, num_lags, deltas_p, total,
+                             positions_p + offsets_p[s],
+                             deltas_p + offsets_p[s],
+                             offsets_p[s], (npy_intp)lens_p[s],
+                             has_cross, num_cross_lags, use_bincount,
+                             scratch + (npy_intp)tid * max_len,
+                             out_p + s * num_lags);
+    }
+    Py_END_ALLOW_THREADS
+
+    free(scratch);
+    Py_RETURN_NONE;
+}
+
+/* ------------------------------------------------------------------ */
+/* gap re-interpolation deltas                                         */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+py_gap_deltas(PyObject *self, PyObject *args)
+{
+    PyArrayObject *current;
+    long left_arg, right_arg;
+    npy_intp left, right, n, m, i;
+    const double *cur;
+    double *out_p;
+    double span, cl, cr;
+    npy_intp dims[1];
+    PyObject *out;
+
+    if (!PyArg_ParseTuple(args, "O!ll", &PyArray_Type, &current,
+                          &left_arg, &right_arg)) {
+        return NULL;
+    }
+    if (!CHECK_F64(current, "current")) {
+        return NULL;
+    }
+    left = (npy_intp)left_arg;
+    right = (npy_intp)right_arg;
+    n = PyArray_DIM(current, 0);
+    if (left < 0 || right >= n || right - left < 2) {
+        PyErr_SetString(PyExc_ValueError, "invalid gap bounds");
+        return NULL;
+    }
+    m = right - left - 1;
+    dims[0] = m;
+    out = PyArray_SimpleNew(1, dims, NPY_FLOAT64);
+    if (out == NULL) {
+        return NULL;
+    }
+    cur = (const double *)PyArray_DATA(current);
+    out_p = (double *)PyArray_DATA((PyArrayObject *)out);
+    span = (double)(right - left);
+    cl = cur[left];
+    cr = cur[right];
+    for (i = 0; i < m; i++) {
+        const double w = (double)(i + 1) / span;
+        const double new_value = cl * (1.0 - w) + cr * w;
+        out_p[i] = new_value - cur[left + 1 + i];
+    }
+    return out;
+}
+
+/* ------------------------------------------------------------------ */
+/* indexed min-heap on flat arrays                                     */
+/* ------------------------------------------------------------------ */
+
+#define HEAP_ABSENT (-1)
+
+typedef struct {
+    double *keys;
+    npy_int64 *items;
+    npy_int64 *slot_of;
+    npy_intp capacity;
+} heap_t;
+
+/* Parse and validate the three storage arrays shared by every heap
+ * function.  Returns 0 and sets an exception on failure. */
+static int
+heap_from_objects(PyArrayObject *keys, PyArrayObject *items,
+                  PyArrayObject *slot_of, heap_t *heap)
+{
+    if (!CHECK_F64(keys, "keys") || !CHECK_I64(items, "items")
+            || !CHECK_I64(slot_of, "slot_of")) {
+        return 0;
+    }
+    if (PyArray_DIM(keys, 0) != PyArray_DIM(items, 0)
+            || PyArray_DIM(keys, 0) != PyArray_DIM(slot_of, 0)) {
+        PyErr_SetString(PyExc_ValueError,
+                        "heap storage arrays must share one capacity");
+        return 0;
+    }
+    heap->keys = (double *)PyArray_DATA(keys);
+    heap->items = (npy_int64 *)PyArray_DATA(items);
+    heap->slot_of = (npy_int64 *)PyArray_DATA(slot_of);
+    heap->capacity = PyArray_DIM(keys, 0);
+    return 1;
+}
+
+static void
+heap_swap(heap_t *h, npy_intp a, npy_intp b)
+{
+    const double key = h->keys[a];
+    const npy_int64 item = h->items[a];
+    h->keys[a] = h->keys[b];
+    h->items[a] = h->items[b];
+    h->keys[b] = key;
+    h->items[b] = item;
+    h->slot_of[h->items[a]] = a;
+    h->slot_of[h->items[b]] = b;
+}
+
+static void
+heap_sift_up(heap_t *h, npy_intp slot)
+{
+    while (slot > 0) {
+        const npy_intp parent = (slot - 1) / 2;
+        if (h->keys[slot] < h->keys[parent]) {
+            heap_swap(h, slot, parent);
+            slot = parent;
+        }
+        else {
+            break;
+        }
+    }
+}
+
+static void
+heap_sift_down(heap_t *h, npy_intp size, npy_intp slot)
+{
+    for (;;) {
+        const npy_intp left = 2 * slot + 1;
+        const npy_intp right = left + 1;
+        npy_intp smallest = slot;
+        if (left < size && h->keys[left] < h->keys[smallest]) {
+            smallest = left;
+        }
+        if (right < size && h->keys[right] < h->keys[smallest]) {
+            smallest = right;
+        }
+        if (smallest == slot) {
+            return;
+        }
+        heap_swap(h, slot, smallest);
+        slot = smallest;
+    }
+}
+
+/* Mirror of IndexedMinHeap._remove_slot; returns the new size. */
+static npy_intp
+heap_remove_slot(heap_t *h, npy_intp size, npy_intp slot)
+{
+    const npy_intp last = size - 1;
+    h->slot_of[h->items[slot]] = HEAP_ABSENT;
+    if (slot != last) {
+        h->items[slot] = h->items[last];
+        h->keys[slot] = h->keys[last];
+        h->slot_of[h->items[slot]] = slot;
+    }
+    if (slot < last) {
+        /* the moved entry may need to travel either direction */
+        heap_sift_down(h, last, slot);
+        heap_sift_up(h, slot);
+    }
+    return last;
+}
+
+static npy_intp
+heap_do_push(heap_t *h, npy_intp size, npy_int64 item, double key)
+{
+    h->items[size] = item;
+    h->keys[size] = key;
+    h->slot_of[item] = size;
+    heap_sift_up(h, size);
+    return size + 1;
+}
+
+static PyObject *
+py_heap_heapify(PyObject *self, PyObject *args)
+{
+    PyArrayObject *keys, *items, *slot_of;
+    Py_ssize_t size;
+    heap_t h;
+    npy_intp slot;
+
+    if (!PyArg_ParseTuple(args, "O!O!O!n", &PyArray_Type, &keys,
+                          &PyArray_Type, &items, &PyArray_Type, &slot_of,
+                          &size)) {
+        return NULL;
+    }
+    if (!heap_from_objects(keys, items, slot_of, &h)) {
+        return NULL;
+    }
+    for (slot = (npy_intp)size / 2 - 1; slot >= 0; slot--) {
+        heap_sift_down(&h, (npy_intp)size, slot);
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+py_heap_push(PyObject *self, PyObject *args)
+{
+    PyArrayObject *keys, *items, *slot_of;
+    Py_ssize_t size;
+    long long item;
+    double key;
+    heap_t h;
+
+    if (!PyArg_ParseTuple(args, "O!O!O!nLd", &PyArray_Type, &keys,
+                          &PyArray_Type, &items, &PyArray_Type, &slot_of,
+                          &size, &item, &key)) {
+        return NULL;
+    }
+    if (!heap_from_objects(keys, items, slot_of, &h)) {
+        return NULL;
+    }
+    if (item < 0 || item >= h.capacity) {
+        PyErr_Format(PyExc_ValueError, "item %lld out of range [0, %ld)",
+                     item, (long)h.capacity);
+        return NULL;
+    }
+    if (h.slot_of[item] != HEAP_ABSENT) {
+        PyErr_Format(PyExc_ValueError,
+                     "item %lld is already in the heap; use update()", item);
+        return NULL;
+    }
+    return PyLong_FromSsize_t(
+        (Py_ssize_t)heap_do_push(&h, (npy_intp)size, (npy_int64)item, key));
+}
+
+static PyObject *
+py_heap_pop(PyObject *self, PyObject *args)
+{
+    PyArrayObject *keys, *items, *slot_of;
+    Py_ssize_t size;
+    heap_t h;
+    npy_int64 item;
+    double key;
+    npy_intp new_size;
+
+    if (!PyArg_ParseTuple(args, "O!O!O!n", &PyArray_Type, &keys,
+                          &PyArray_Type, &items, &PyArray_Type, &slot_of,
+                          &size)) {
+        return NULL;
+    }
+    if (!heap_from_objects(keys, items, slot_of, &h)) {
+        return NULL;
+    }
+    if (size <= 0) {
+        PyErr_SetString(PyExc_IndexError, "pop from an empty heap");
+        return NULL;
+    }
+    item = h.items[0];
+    key = h.keys[0];
+    new_size = heap_remove_slot(&h, (npy_intp)size, 0);
+    return Py_BuildValue("Ldn", (long long)item, key, (Py_ssize_t)new_size);
+}
+
+static PyObject *
+py_heap_pop_many(PyObject *self, PyObject *args)
+{
+    PyArrayObject *keys, *items, *slot_of, *out_items, *out_keys;
+    Py_ssize_t size, k;
+    heap_t h;
+    npy_intp cur, i, take;
+    npy_int64 *oi;
+    double *ok;
+
+    if (!PyArg_ParseTuple(args, "O!O!O!nnO!O!", &PyArray_Type, &keys,
+                          &PyArray_Type, &items, &PyArray_Type, &slot_of,
+                          &size, &k, &PyArray_Type, &out_items,
+                          &PyArray_Type, &out_keys)) {
+        return NULL;
+    }
+    if (!heap_from_objects(keys, items, slot_of, &h)
+            || !CHECK_I64(out_items, "out_items")
+            || !CHECK_F64(out_keys, "out_keys")) {
+        return NULL;
+    }
+    take = (npy_intp)(k < size ? k : size);
+    if (PyArray_DIM(out_items, 0) < take || PyArray_DIM(out_keys, 0) < take) {
+        PyErr_SetString(PyExc_ValueError, "pop_many output arrays too small");
+        return NULL;
+    }
+    oi = (npy_int64 *)PyArray_DATA(out_items);
+    ok = (double *)PyArray_DATA(out_keys);
+    cur = (npy_intp)size;
+    for (i = 0; i < take; i++) {
+        oi[i] = h.items[0];
+        ok[i] = h.keys[0];
+        cur = heap_remove_slot(&h, cur, 0);
+    }
+    return PyLong_FromSsize_t((Py_ssize_t)cur);
+}
+
+/* Non-destructive frontier walk.  The frontier is a little (key, slot)
+ * min-heap ordered lexicographically — the same order heapq gives the
+ * (key, slot) tuples in the Python implementation.  Each extraction
+ * removes the unique minimum, so the produced sequence is identical. */
+typedef struct {
+    double key;
+    npy_intp slot;
+} frontier_entry;
+
+static int
+frontier_less(const frontier_entry *a, const frontier_entry *b)
+{
+    if (a->key != b->key) {
+        return a->key < b->key;
+    }
+    return a->slot < b->slot;
+}
+
+static void
+frontier_push(frontier_entry *f, npy_intp *count, double key, npy_intp slot)
+{
+    npy_intp i = (*count)++;
+    f[i].key = key;
+    f[i].slot = slot;
+    while (i > 0) {
+        const npy_intp parent = (i - 1) / 2;
+        if (frontier_less(&f[i], &f[parent])) {
+            const frontier_entry tmp = f[i];
+            f[i] = f[parent];
+            f[parent] = tmp;
+            i = parent;
+        }
+        else {
+            break;
+        }
+    }
+}
+
+static frontier_entry
+frontier_pop(frontier_entry *f, npy_intp *count)
+{
+    const frontier_entry result = f[0];
+    npy_intp size = --(*count);
+    npy_intp i = 0;
+    f[0] = f[size];
+    for (;;) {
+        const npy_intp left = 2 * i + 1;
+        const npy_intp right = left + 1;
+        npy_intp smallest = i;
+        if (left < size && frontier_less(&f[left], &f[smallest])) {
+            smallest = left;
+        }
+        if (right < size && frontier_less(&f[right], &f[smallest])) {
+            smallest = right;
+        }
+        if (smallest == i) {
+            break;
+        }
+        {
+            const frontier_entry tmp = f[i];
+            f[i] = f[smallest];
+            f[smallest] = tmp;
+            i = smallest;
+        }
+    }
+    return result;
+}
+
+static PyObject *
+py_heap_peek_many(PyObject *self, PyObject *args)
+{
+    PyArrayObject *keys, *items, *out_items, *out_keys;
+    Py_ssize_t size, k;
+    npy_intp take, count, index;
+    const double *keys_p;
+    const npy_int64 *items_p;
+    npy_int64 *oi;
+    double *ok;
+    frontier_entry *frontier;
+
+    if (!PyArg_ParseTuple(args, "O!O!nnO!O!", &PyArray_Type, &keys,
+                          &PyArray_Type, &items, &size, &k,
+                          &PyArray_Type, &out_items,
+                          &PyArray_Type, &out_keys)) {
+        return NULL;
+    }
+    if (!CHECK_F64(keys, "keys") || !CHECK_I64(items, "items")
+            || !CHECK_I64(out_items, "out_items")
+            || !CHECK_F64(out_keys, "out_keys")) {
+        return NULL;
+    }
+    take = (npy_intp)(k < size ? k : size);
+    if (take <= 0) {
+        return PyLong_FromSsize_t(0);
+    }
+    if (PyArray_DIM(out_items, 0) < take || PyArray_DIM(out_keys, 0) < take) {
+        PyErr_SetString(PyExc_ValueError, "peek_many output arrays too small");
+        return NULL;
+    }
+    keys_p = (const double *)PyArray_DATA(keys);
+    items_p = (const npy_int64 *)PyArray_DATA(items);
+    oi = (npy_int64 *)PyArray_DATA(out_items);
+    ok = (double *)PyArray_DATA(out_keys);
+    frontier = (frontier_entry *)malloc((size_t)(2 * take + 2)
+                                        * sizeof(frontier_entry));
+    if (frontier == NULL) {
+        return PyErr_NoMemory();
+    }
+    count = 0;
+    frontier_push(frontier, &count, keys_p[0], 0);
+    for (index = 0; index < take; index++) {
+        const frontier_entry top = frontier_pop(frontier, &count);
+        const npy_intp left = 2 * top.slot + 1;
+        oi[index] = items_p[top.slot];
+        ok[index] = top.key;
+        if (left < (npy_intp)size) {
+            frontier_push(frontier, &count, keys_p[left], left);
+            if (left + 1 < (npy_intp)size) {
+                frontier_push(frontier, &count, keys_p[left + 1], left + 1);
+            }
+        }
+    }
+    free(frontier);
+    return PyLong_FromSsize_t((Py_ssize_t)take);
+}
+
+static PyObject *
+py_heap_remove(PyObject *self, PyObject *args)
+{
+    PyArrayObject *keys, *items, *slot_of;
+    Py_ssize_t size;
+    long long item;
+    heap_t h;
+    npy_int64 slot;
+
+    if (!PyArg_ParseTuple(args, "O!O!O!nL", &PyArray_Type, &keys,
+                          &PyArray_Type, &items, &PyArray_Type, &slot_of,
+                          &size, &item)) {
+        return NULL;
+    }
+    if (!heap_from_objects(keys, items, slot_of, &h)) {
+        return NULL;
+    }
+    if (item < 0 || item >= h.capacity) {
+        PyErr_Format(PyExc_IndexError, "item %lld out of range", item);
+        return NULL;
+    }
+    slot = h.slot_of[item];
+    if (slot == HEAP_ABSENT) {
+        return PyLong_FromSsize_t(size);
+    }
+    return PyLong_FromSsize_t(
+        (Py_ssize_t)heap_remove_slot(&h, (npy_intp)size, (npy_intp)slot));
+}
+
+static PyObject *
+py_heap_update(PyObject *self, PyObject *args)
+{
+    PyArrayObject *keys, *items, *slot_of;
+    Py_ssize_t size;
+    long long item;
+    double key;
+    heap_t h;
+    npy_int64 slot;
+
+    if (!PyArg_ParseTuple(args, "O!O!O!nLd", &PyArray_Type, &keys,
+                          &PyArray_Type, &items, &PyArray_Type, &slot_of,
+                          &size, &item, &key)) {
+        return NULL;
+    }
+    if (!heap_from_objects(keys, items, slot_of, &h)) {
+        return NULL;
+    }
+    if (item < 0 || item >= h.capacity) {
+        PyErr_Format(PyExc_ValueError, "item %lld out of range [0, %ld)",
+                     item, (long)h.capacity);
+        return NULL;
+    }
+    slot = h.slot_of[item];
+    if (slot == HEAP_ABSENT) {
+        return PyLong_FromSsize_t(
+            (Py_ssize_t)heap_do_push(&h, (npy_intp)size, (npy_int64)item,
+                                     key));
+    }
+    {
+        const double old = h.keys[slot];
+        h.keys[slot] = key;
+        if (key < old) {
+            heap_sift_up(&h, (npy_intp)slot);
+        }
+        else if (key > old) {
+            heap_sift_down(&h, (npy_intp)size, (npy_intp)slot);
+        }
+    }
+    return PyLong_FromSsize_t(size);
+}
+
+/* Sequential per-item updates for update_many's small-batch path.  Every
+ * item is known present; slots are re-resolved per item because an
+ * earlier sift in the same batch may have moved a later item. */
+static PyObject *
+py_heap_update_present(PyObject *self, PyObject *args)
+{
+    PyArrayObject *keys, *items, *slot_of, *upd_items, *upd_keys;
+    Py_ssize_t size;
+    heap_t h;
+    const npy_int64 *ui;
+    const double *uk;
+    npy_intp count, i;
+
+    if (!PyArg_ParseTuple(args, "O!O!O!nO!O!", &PyArray_Type, &keys,
+                          &PyArray_Type, &items, &PyArray_Type, &slot_of,
+                          &size, &PyArray_Type, &upd_items,
+                          &PyArray_Type, &upd_keys)) {
+        return NULL;
+    }
+    if (!heap_from_objects(keys, items, slot_of, &h)
+            || !CHECK_I64(upd_items, "items") || !CHECK_F64(upd_keys, "keys")) {
+        return NULL;
+    }
+    ui = (const npy_int64 *)PyArray_DATA(upd_items);
+    uk = (const double *)PyArray_DATA(upd_keys);
+    count = PyArray_DIM(upd_items, 0);
+    for (i = 0; i < count; i++) {
+        const npy_int64 slot = h.slot_of[ui[i]];
+        const double old = h.keys[slot];
+        const double key = uk[i];
+        h.keys[slot] = key;
+        if (key < old) {
+            heap_sift_up(&h, (npy_intp)slot);
+        }
+        else if (key > old) {
+            heap_sift_down(&h, (npy_intp)size, (npy_intp)slot);
+        }
+    }
+    Py_RETURN_NONE;
+}
+
+/* Bulk push of pre-validated absent items (push_many / the absent half of
+ * update_many).  Returns the new size. */
+static PyObject *
+py_heap_push_many(PyObject *self, PyObject *args)
+{
+    PyArrayObject *keys, *items, *slot_of, *new_items, *new_keys;
+    Py_ssize_t size;
+    heap_t h;
+    const npy_int64 *ni;
+    const double *nk;
+    npy_intp count, i, cur;
+
+    if (!PyArg_ParseTuple(args, "O!O!O!nO!O!", &PyArray_Type, &keys,
+                          &PyArray_Type, &items, &PyArray_Type, &slot_of,
+                          &size, &PyArray_Type, &new_items,
+                          &PyArray_Type, &new_keys)) {
+        return NULL;
+    }
+    if (!heap_from_objects(keys, items, slot_of, &h)
+            || !CHECK_I64(new_items, "items") || !CHECK_F64(new_keys, "keys")) {
+        return NULL;
+    }
+    ni = (const npy_int64 *)PyArray_DATA(new_items);
+    nk = (const double *)PyArray_DATA(new_keys);
+    count = PyArray_DIM(new_items, 0);
+    if ((npy_intp)size + count > h.capacity) {
+        PyErr_SetString(PyExc_ValueError, "push_many exceeds heap capacity");
+        return NULL;
+    }
+    cur = (npy_intp)size;
+    for (i = 0; i < count; i++) {
+        cur = heap_do_push(&h, cur, ni[i], nk[i]);
+    }
+    return PyLong_FromSsize_t((Py_ssize_t)cur);
+}
+
+/* ------------------------------------------------------------------ */
+/* import-time self-check hooks                                        */
+/* ------------------------------------------------------------------ */
+
+/* Per-segment sums under this module's reduceat model, for the loader's
+ * bit-identity cross-check against the running NumPy. */
+static PyObject *
+py_reduceat_check(PyObject *self, PyObject *args)
+{
+    PyArrayObject *values, *offsets;
+    const double *v;
+    const npy_int64 *off;
+    npy_intp n, s, num_segments;
+    npy_intp dims[1];
+    PyObject *out;
+    double *out_p;
+
+    if (!PyArg_ParseTuple(args, "O!O!", &PyArray_Type, &values,
+                          &PyArray_Type, &offsets)) {
+        return NULL;
+    }
+    if (!CHECK_F64(values, "values") || !CHECK_I64(offsets, "offsets")) {
+        return NULL;
+    }
+    v = (const double *)PyArray_DATA(values);
+    off = (const npy_int64 *)PyArray_DATA(offsets);
+    n = PyArray_DIM(values, 0);
+    num_segments = PyArray_DIM(offsets, 0);
+    dims[0] = num_segments;
+    out = PyArray_SimpleNew(1, dims, NPY_FLOAT64);
+    if (out == NULL) {
+        return NULL;
+    }
+    out_p = (double *)PyArray_DATA((PyArrayObject *)out);
+    for (s = 0; s < num_segments; s++) {
+        const npy_intp start = (npy_intp)off[s];
+        const npy_intp stop = s + 1 < num_segments ? (npy_intp)off[s + 1] : n;
+        out_p[s] = reduceat_sum(v + start, stop - start);
+    }
+    return out;
+}
+
+/* ``a*b - a*b`` in the shape the ACF numerator uses.  Exactly 0.0 unless
+ * the compiler contracted one of the products into an FMA. */
+static PyObject *
+py_fma_probe(PyObject *self, PyObject *args)
+{
+    double a, b;
+
+    if (!PyArg_ParseTuple(args, "dd", &a, &b)) {
+        return NULL;
+    }
+    {
+        /* volatile blocks common-subexpression elimination, so the second
+         * product stays eligible for contraction into the subtraction */
+        volatile double va = a, vb = b;
+        const double first = va * vb;
+        const double result = va * vb - first;
+        return PyFloat_FromDouble(result);
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* build / threading introspection                                     */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+py_build_info(PyObject *self, PyObject *args)
+{
+#if defined(__clang__)
+    const char *compiler = "clang " __clang_version__;
+#elif defined(__GNUC__)
+#define REPRO_STR2(x) #x
+#define REPRO_STR(x) REPRO_STR2(x)
+    const char *compiler = "gcc " REPRO_STR(__GNUC__) "."
+        REPRO_STR(__GNUC_MINOR__) "." REPRO_STR(__GNUC_PATCHLEVEL__);
+#elif defined(_MSC_VER)
+    const char *compiler = "msvc";
+#else
+    const char *compiler = "unknown";
+#endif
+#ifdef _OPENMP
+    const int openmp = 1;
+    const int threads = omp_get_max_threads();
+#else
+    const int openmp = 0;
+    const int threads = 1;
+#endif
+    return Py_BuildValue("{s:s, s:i, s:i}", "compiler", compiler,
+                         "openmp", openmp, "max_threads", threads);
+}
+
+static PyObject *
+py_set_num_threads(PyObject *self, PyObject *args)
+{
+    int n;
+
+    if (!PyArg_ParseTuple(args, "i", &n)) {
+        return NULL;
+    }
+    if (n <= 0) {
+        PyErr_SetString(PyExc_ValueError, "thread count must be positive");
+        return NULL;
+    }
+#ifdef _OPENMP
+    omp_set_num_threads(n);
+#endif
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+py_get_max_threads(PyObject *self, PyObject *args)
+{
+#ifdef _OPENMP
+    return PyLong_FromLong(omp_get_max_threads());
+#else
+    return PyLong_FromLong(1);
+#endif
+}
+
+/* ------------------------------------------------------------------ */
+/* module                                                              */
+/* ------------------------------------------------------------------ */
+
+static PyMethodDef nativecore_methods[] = {
+    {"interior_acf_block", py_interior_acf_block, METH_VARARGS,
+     "Fused interior-segment ReHeap ACF kernel (fills `out` in place)."},
+    {"gap_deltas", py_gap_deltas, METH_VARARGS,
+     "Linear re-interpolation deltas for positions inside (left, right)."},
+    {"heap_heapify", py_heap_heapify, METH_VARARGS,
+     "Floyd heapify of the first `size` slots."},
+    {"heap_push", py_heap_push, METH_VARARGS,
+     "Push one (item, key); returns the new size."},
+    {"heap_pop", py_heap_pop, METH_VARARGS,
+     "Pop the minimum; returns (item, key, new_size)."},
+    {"heap_pop_many", py_heap_pop_many, METH_VARARGS,
+     "Pop up to k entries into the out arrays; returns the new size."},
+    {"heap_peek_many", py_heap_peek_many, METH_VARARGS,
+     "Non-destructive k-smallest walk into the out arrays; returns count."},
+    {"heap_remove", py_heap_remove, METH_VARARGS,
+     "Remove an item if present; returns the new size."},
+    {"heap_update", py_heap_update, METH_VARARGS,
+     "Update an item's key (push if absent); returns the new size."},
+    {"heap_update_present", py_heap_update_present, METH_VARARGS,
+     "Sequential per-item updates of known-present items."},
+    {"heap_push_many", py_heap_push_many, METH_VARARGS,
+     "Push pre-validated absent items; returns the new size."},
+    {"reduceat_check", py_reduceat_check, METH_VARARGS,
+     "Per-segment sums under the module's np.add.reduceat model."},
+    {"fma_probe", py_fma_probe, METH_VARARGS,
+     "a*b - a*b; non-zero iff the build contracted to FMA."},
+    {"build_info", py_build_info, METH_NOARGS,
+     "Compiler / OpenMP metadata of this build."},
+    {"set_num_threads", py_set_num_threads, METH_VARARGS,
+     "Set the OpenMP thread count (no-op without OpenMP)."},
+    {"get_max_threads", py_get_max_threads, METH_NOARGS,
+     "Current OpenMP max thread count (1 without OpenMP)."},
+    {NULL, NULL, 0, NULL}
+};
+
+static struct PyModuleDef nativecore_module = {
+    PyModuleDef_HEAD_INIT,
+    "_nativecore",
+    "Compiled CAMEO hot-path kernels (bit-identical to the NumPy tier).",
+    -1,
+    nativecore_methods
+};
+
+PyMODINIT_FUNC
+PyInit__nativecore(void)
+{
+    import_array();
+    return PyModule_Create(&nativecore_module);
+}

@@ -111,12 +111,22 @@ class PerfReport:
 
     def write(self) -> str:
         """Write the JSON report; returns the path written."""
+        from repro import _kernels
+
+        build = _kernels.native_build_info()
         payload = {
             "schema": self.SCHEMA,
             "python": sys.version.split()[0],
             "numpy": np.__version__,
             "platform": platform.platform(),
             "bench_scale": os.environ.get("REPRO_BENCH_SCALE", "1.0"),
+            "native_available": _kernels.native_available(),
+            "native_build": {
+                "status": build["status"],
+                "compiler": build["compiler"],
+                "openmp": build["openmp"],
+                "omp_threads": build["max_threads"],
+            },
             "results": {name: result.as_dict()
                         for name, result in sorted(self.results.items())},
             "speedups": dict(sorted(self.ratios.items())),

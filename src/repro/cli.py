@@ -204,9 +204,11 @@ def _compress_cameo(args: argparse.Namespace, values: np.ndarray) -> int:
         save_irregular_npz(result, output)
     else:
         save_irregular_json(result, output)
+    from repro._kernels import describe_tiers
     print(f"compressed {values.size} -> {len(result)} points "
           f"(ratio {result.compression_ratio():.2f}x, "
           f"deviation {result.metadata.get('achieved_deviation', 0.0):.6f})")
+    print(f"kernel tier: {describe_tiers()}")
     print(f"wrote {output}")
     return 0
 
@@ -409,6 +411,8 @@ def _cmd_list_codecs(_args: argparse.Namespace) -> int:
     for spec in specs:
         print(f"  {spec.name:<{name_width}}  {spec.family:<{family_width}}  "
               f"{spec.description}")
+    from repro._kernels import describe_tiers
+    print(f"kernel tier: {describe_tiers()}")
     return 0
 
 

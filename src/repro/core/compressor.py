@@ -52,7 +52,7 @@ from ..exceptions import InvalidParameterError
 from ..stats.descriptors import Statistic
 from .blocking import resolve_blocking_hops
 from .custom import GenericStatisticTracker
-from .heap import IndexedMinHeap
+from .heap import IndexedMinHeap, make_heap
 from .impact import (
     resolve_rowwise_metric,
     segment_interpolation_deltas,
@@ -253,7 +253,10 @@ class CameoCompressor:
              ) -> CompressionStats:
         n = values.size
         neighbours = NeighborList(n)
-        heap = IndexedMinHeap(n)
+        # make_heap resolves the kernel tier: the native heap when the
+        # compiled tier is active, the hybrid list heap otherwise.  Both
+        # evolve identical slot layouts, so pop order cannot change.
+        heap = make_heap(n)
         # Resolve the deviation metric once per run; every inner-loop call
         # takes the pre-resolved object instead of re-dispatching on the name.
         metric = resolve_rowwise_metric(self.metric)

@@ -51,7 +51,9 @@ import heapq
 
 import numpy as np
 
-__all__ = ["IndexedMinHeap"]
+from .._kernels import get_native as _get_native
+
+__all__ = ["IndexedMinHeap", "NativeIndexedMinHeap", "make_heap"]
 
 _ABSENT = -1
 
@@ -406,3 +408,236 @@ class IndexedMinHeap:
             if self._slot_of[self._items[slot]] != slot:
                 return False
         return int((self._slot_of != _ABSENT).sum()) == size
+
+
+class NativeIndexedMinHeap:
+    """:class:`IndexedMinHeap` on flat arrays with the sifts compiled.
+
+    Same API, same error contract, and — by construction — the same slot
+    layout after every operation: the C sift/remove/heapify loops are
+    direct transcriptions of the list-based algorithms above, so pop order
+    (ties included) is identical.  Storage is three preallocated arrays
+    (``keys`` float64, ``items`` int64, ``slot_of`` int64) handed to the
+    compiled primitives together with the logical size; the one repair that
+    stays in NumPy is ``update_many``'s argsort rebuild, which was already
+    vectorized and operates directly on the array views here.
+
+    Instantiate via :func:`make_heap`, which falls back to
+    :class:`IndexedMinHeap` when the native tier is unavailable/disabled.
+    """
+
+    def __init__(self, capacity: int, _native=None):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._native = _native if _native is not None else _get_native()
+        if self._native is None:
+            raise RuntimeError("native kernel tier is not active")
+        self._capacity = int(capacity)
+        self._hkeys = np.empty(self._capacity, dtype=np.float64)
+        self._hitems = np.empty(self._capacity, dtype=np.int64)
+        self._slot_of = np.full(self._capacity, _ABSENT, dtype=np.int64)
+        self._size = 0
+
+    # ------------------------------------------------------------------ #
+    # basic queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, item: int) -> bool:
+        return 0 <= item < self._capacity and self._slot_of[item] != _ABSENT
+
+    def contains_mask(self, items) -> np.ndarray:
+        """Vectorized membership: boolean mask of which ``items`` are present."""
+        items = np.asarray(items, dtype=np.int64)
+        return self._slot_of[items] != _ABSENT
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of distinct items."""
+        return self._capacity
+
+    def key_of(self, item: int) -> float:
+        """Current priority of ``item`` (raises ``KeyError`` if absent)."""
+        slot = int(self._slot_of[item])
+        if slot == _ABSENT:
+            raise KeyError(f"item {item} is not in the heap")
+        return float(self._hkeys[slot])
+
+    def peek(self) -> tuple[int, float]:
+        """Return ``(item, key)`` of the minimum without removing it."""
+        if self._size == 0:
+            raise IndexError("peek on an empty heap")
+        return int(self._hitems[0]), float(self._hkeys[0])
+
+    def peek_many(self, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """The ``k`` cheapest ``(items, keys)`` in pop order, without removal."""
+        k = min(int(k), self._size)
+        out_items = np.empty(k, dtype=np.int64)
+        out_keys = np.empty(k, dtype=np.float64)
+        if k:
+            self._native.heap_peek_many(self._hkeys, self._hitems,
+                                        self._size, k, out_items, out_keys)
+        return out_items, out_keys
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def heapify(self, items, keys) -> None:
+        """Bulk-load ``items`` with ``keys`` using Floyd's method (O(n))."""
+        items = np.asarray(items, dtype=np.int64)
+        keys = np.asarray(keys, dtype=np.float64)
+        if items.shape != keys.shape or items.ndim != 1:
+            raise ValueError("items and keys must be 1-D arrays of equal length")
+        if items.size > self._capacity:
+            raise ValueError("more items than heap capacity")
+        if items.size and (items.min() < 0 or items.max() >= self._capacity):
+            raise ValueError("items out of range")
+        ordered = np.sort(items)
+        if items.size > 1 and bool((ordered[1:] == ordered[:-1]).any()):
+            raise ValueError("items must be unique")
+        self._hitems[:items.size] = items
+        self._hkeys[:keys.size] = keys
+        self._slot_of.fill(_ABSENT)
+        self._slot_of[items] = np.arange(items.size, dtype=np.int64)
+        self._size = items.size
+        self._native.heap_heapify(self._hkeys, self._hitems, self._slot_of,
+                                  self._size)
+
+    # ------------------------------------------------------------------ #
+    # scalar mutation
+    # ------------------------------------------------------------------ #
+    def push(self, item: int, key: float) -> None:
+        """Insert ``item`` with priority ``key`` (item must be absent)."""
+        self._size = self._native.heap_push(
+            self._hkeys, self._hitems, self._slot_of, self._size,
+            int(item), float(key))
+
+    def pop(self) -> tuple[int, float]:
+        """Remove and return ``(item, key)`` with the smallest key."""
+        item, key, self._size = self._native.heap_pop(
+            self._hkeys, self._hitems, self._slot_of, self._size)
+        return item, key
+
+    def pop_many(self, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Remove and return the ``k`` cheapest ``(items, keys)`` in pop order."""
+        k = min(int(k), self._size)
+        out_items = np.empty(k, dtype=np.int64)
+        out_keys = np.empty(k, dtype=np.float64)
+        if k:
+            self._size = self._native.heap_pop_many(
+                self._hkeys, self._hitems, self._slot_of, self._size, k,
+                out_items, out_keys)
+        return out_items, out_keys
+
+    def remove(self, item: int) -> None:
+        """Remove ``item`` from the heap (no-op if absent)."""
+        self._size = self._native.heap_remove(
+            self._hkeys, self._hitems, self._slot_of, self._size, int(item))
+
+    def update(self, item: int, key: float) -> None:
+        """Change the priority of ``item`` (inserting it if absent)."""
+        self._size = self._native.heap_update(
+            self._hkeys, self._hitems, self._slot_of, self._size,
+            int(item), float(key))
+
+    # ------------------------------------------------------------------ #
+    # bulk mutation
+    # ------------------------------------------------------------------ #
+    def update_many(self, items, keys) -> None:
+        """Change the priorities of many items in one call (push if absent)."""
+        items = np.asarray(items, dtype=np.int64)
+        key_values = np.asarray(keys, dtype=np.float64)
+        if items.shape != key_values.shape or items.ndim != 1:
+            raise ValueError("items and keys must be 1-D arrays of equal length")
+        if items.size == 0:
+            return
+        if items.min() < 0 or items.max() >= self._capacity:
+            raise ValueError("items out of range")
+        ordered = np.sort(items)
+        if items.size > 1 and bool((ordered[1:] == ordered[:-1]).any()):
+            raise ValueError("duplicate items in update_many")
+        slots = self._slot_of[items]
+        present = slots != _ABSENT
+        present_count = int(present.sum())
+        size = self._size
+        if present_count and present_count * _REBUILD_FRACTION >= size:
+            # Same argsort rebuild as the hybrid heap, minus the
+            # list<->array conversions: write the new keys in place and
+            # re-lay the live prefix in stable key order.
+            all_keys = self._hkeys[:size]
+            all_keys[slots[present]] = key_values[present]
+            order = np.argsort(all_keys, kind="stable")
+            sorted_items = self._hitems[:size][order]
+            self._hkeys[:size] = all_keys[order]
+            self._hitems[:size] = sorted_items
+            self._slot_of[sorted_items] = np.arange(size, dtype=np.int64)
+        elif present_count:
+            self._native.heap_update_present(
+                self._hkeys, self._hitems, self._slot_of, size,
+                np.ascontiguousarray(items[present]),
+                np.ascontiguousarray(key_values[present]))
+        if present_count < items.size:
+            absent = ~present
+            self._size = self._native.heap_push_many(
+                self._hkeys, self._hitems, self._slot_of, self._size,
+                np.ascontiguousarray(items[absent]),
+                np.ascontiguousarray(key_values[absent]))
+
+    def push_many(self, items, keys) -> None:
+        """Insert many absent items in one call (same contract as push)."""
+        items = np.asarray(items, dtype=np.int64)
+        key_values = np.asarray(keys, dtype=np.float64)
+        if items.shape != key_values.shape or items.ndim != 1:
+            raise ValueError("items and keys must be 1-D arrays of equal length")
+        if items.size == 0:
+            return
+        if items.min() < 0 or items.max() >= self._capacity:
+            raise ValueError("items out of range")
+        ordered = np.sort(items)
+        if items.size > 1 and bool((ordered[1:] == ordered[:-1]).any()):
+            raise ValueError("duplicate items in push_many")
+        if bool((self._slot_of[items] != _ABSENT).any()):
+            raise ValueError("push_many items must be absent; use update_many()")
+        self._size = self._native.heap_push_many(
+            self._hkeys, self._hitems, self._slot_of, self._size,
+            np.ascontiguousarray(items), np.ascontiguousarray(key_values))
+
+    # ------------------------------------------------------------------ #
+    # debugging / testing aids
+    # ------------------------------------------------------------------ #
+    def items(self) -> np.ndarray:
+        """Items currently in the heap (arbitrary order, copy)."""
+        return self._hitems[:self._size].copy()
+
+    def keys(self) -> np.ndarray:
+        """Keys aligned with :meth:`items` (arbitrary order, copy)."""
+        return self._hkeys[:self._size].copy()
+
+    def check_invariants(self) -> bool:
+        """Verify the heap property and the item→slot map (tests only)."""
+        size = self._size
+        for slot in range(1, size):
+            parent = (slot - 1) // 2
+            if self._hkeys[parent] > self._hkeys[slot]:
+                return False
+        for slot in range(size):
+            if self._slot_of[self._hitems[slot]] != slot:
+                return False
+        return int((self._slot_of != _ABSENT).sum()) == size
+
+
+def make_heap(capacity: int) -> "IndexedMinHeap | NativeIndexedMinHeap":
+    """The fastest available heap: native tier when active, hybrid otherwise.
+
+    Both classes produce identical slot layouts and pop orders (ties
+    included), so callers may switch tiers between runs without changing
+    results.
+    """
+    native = _get_native()
+    if native is not None:
+        return NativeIndexedMinHeap(capacity, native)
+    return IndexedMinHeap(capacity)

@@ -31,6 +31,7 @@ from typing import Callable
 
 import numpy as np
 
+from .._kernels import get_native as _get_native
 from ..metrics import get_metric
 from ..stats.aggregates import ACFAggregateState
 
@@ -426,7 +427,31 @@ def _segment_cross_terms(deltas: np.ndarray, lens: np.ndarray, lags: np.ndarray,
 def _interior_acf_block(state: ACFAggregateState, lens: np.ndarray,
                         offsets: np.ndarray, positions: np.ndarray,
                         deltas: np.ndarray, max_len: int) -> np.ndarray:
-    """Fast path for segments whose lag windows never leave the series."""
+    """Fast path for segments whose lag windows never leave the series.
+
+    Dispatches to the compiled tier when it is active (one fused C loop
+    per segment, no ``(T, 2L)`` temporaries, bit-identical by the
+    import-time contract of :mod:`repro._kernels._native`); otherwise runs
+    the NumPy formulation below.
+    """
+    native = _get_native()
+    if (native is not None and lens.size
+            and state.current.flags.c_contiguous):
+        sums = state.sums
+        out = np.empty((lens.size, state.lags.size), dtype=np.float64)
+        native.interior_acf_block(state.current, sums.counts, sums.sx,
+                                  sums.sxl, sums.sx2, sums.sx2l, sums.sxxl,
+                                  lens, offsets, positions, deltas,
+                                  max_len, out)
+        return out
+    return _interior_acf_block_numpy(state, lens, offsets, positions,
+                                     deltas, max_len)
+
+
+def _interior_acf_block_numpy(state: ACFAggregateState, lens: np.ndarray,
+                              offsets: np.ndarray, positions: np.ndarray,
+                              deltas: np.ndarray, max_len: int) -> np.ndarray:
+    """The NumPy formulation (and bit-identity reference) of the fast path."""
     sums = state.sums
     lags = state.lags
     counts = sums.counts
@@ -857,6 +882,9 @@ def segment_interpolation_deltas(current: np.ndarray, left: int, right: int
     """
     if right - left < 2:
         return left + 1, np.empty(0, dtype=np.float64)
+    native = _get_native()
+    if native is not None and current.flags.c_contiguous:
+        return left + 1, native.gap_deltas(current, left, right)
     positions = np.arange(left + 1, right, dtype=np.int64)
     span = float(right - left)
     weights = (positions - left) / span

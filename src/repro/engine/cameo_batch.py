@@ -29,7 +29,7 @@ import numpy as np
 from .._validation import as_float_array
 from ..core.blocking import resolve_blocking_hops
 from ..core.compressor import CameoCompressor, CompressionStats
-from ..core.heap import IndexedMinHeap
+from ..core.heap import make_heap
 from ..core.impact import (
     StackedStateLayout,
     multi_state_contiguous_acf,
@@ -110,7 +110,7 @@ class _LockstepSeries:
         self.hops = resolve_blocking_hops(compressor.blocking, n)
         self.metric = metric
         self.neighbours = NeighborList(n)
-        self.heap = IndexedMinHeap(n)
+        self.heap = make_heap(n)
         positions, impacts = self.tracker.initial_impacts(metric)
         self.heap.heapify(positions, impacts)
 

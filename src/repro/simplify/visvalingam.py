@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from .._validation import as_float_array
-from ..core.heap import IndexedMinHeap
+from ..core.heap import make_heap
 from ..core.neighbors import NeighborList
 from .base import LineSimplifier
 
@@ -54,7 +54,7 @@ class VisvalingamWhyatt(LineSimplifier):
             return np.empty(0, dtype=np.int64)
         areas = triangle_areas(values)
         neighbours = NeighborList(n)
-        heap = IndexedMinHeap(n)
+        heap = make_heap(n)
         interior = np.arange(1, n - 1, dtype=np.int64)
         heap.heapify(interior, areas[1:-1])
 

@@ -1,0 +1,29 @@
+"""Core-suite fixtures: run tier-sensitive suites under both kernel tiers.
+
+The ``kernel_tier`` fixture parametrizes a test over the pure-NumPy tier
+and the native tier.  Kept-set regression suites opt in with
+``pytestmark = pytest.mark.usefixtures("kernel_tier")`` so their golden
+digests are asserted against *both* implementations — the native tier is
+only correct if it cannot be told apart from the NumPy one.
+
+The native parameter skips (never fails) when the extension is not built,
+keeping source-only installs green.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import _kernels
+
+
+@pytest.fixture(params=["numpy", "native"])
+def kernel_tier(request):
+    tier = request.param
+    if tier == "native" and not _kernels.native_available():
+        pytest.skip("native extension not built")
+    _kernels.set_native_enabled(tier == "native")
+    try:
+        yield tier
+    finally:
+        _kernels.set_native_enabled(None)

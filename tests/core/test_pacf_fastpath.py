@@ -23,6 +23,10 @@ from repro.core.impact import resolve_rowwise_metric
 from repro.core.tracker import StatisticTracker
 from repro.stats import pacf_from_acf
 
+# Every golden digest below must hold under both kernel tiers: the native
+# extension is only admissible if it reproduces these kept sets exactly.
+pytestmark = pytest.mark.usefixtures("kernel_tier")
+
 
 def _series(seed: int, n: int) -> np.ndarray:
     rng = np.random.default_rng(seed)

@@ -22,6 +22,10 @@ from repro.core.compressor import DEFAULT_SPECULATIVE_BATCH
 from repro.core.parallel import FineGrainedCameo
 from repro.stats.descriptors import Statistic
 
+# The sequential-vs-speculative equivalences must hold under both kernel
+# tiers; the native extension may not flip a single accept/reject decision.
+pytestmark = pytest.mark.usefixtures("kernel_tier")
+
 
 def _series(seed: int, n: int) -> np.ndarray:
     rng = np.random.default_rng(seed)

@@ -69,9 +69,17 @@ def main(argv: list[str] | None = None) -> int:
                         help="number of rows to print")
     parser.add_argument("--no-profile", action="store_true",
                         help="only time the run (no cProfile overhead)")
+    parser.add_argument("--no-native", action="store_true",
+                        help="force the pure-NumPy kernel tier (equivalent "
+                             "to REPRO_NATIVE=0) for tier A/B profiling")
     args = parser.parse_args(argv)
 
+    from repro import _kernels
     from repro.core import cameo_compress
+
+    if args.no_native:
+        _kernels.set_native_enabled(False)
+    tier = _kernels.active_tier()["interior_acf_block"]
 
     kwargs: dict = {
         "max_lag": args.max_lag,
@@ -118,7 +126,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"batch={args.batch} x n={args.n} statistic={args.statistic} "
               f"max_lag={args.max_lag} epsilon={args.epsilon} "
               f"backend={report.backend} workers={report.workers} "
-              f"fastpath={'off' if args.no_fastpath else 'on'}")
+              f"fastpath={'off' if args.no_fastpath else 'on'} tier={tier}")
         print(f"series={report.series} failed={report.failed} "
               f"fastpath_series={report.fastpath_series} "
               f"bits/value={report.bits_per_value:.2f}")
@@ -128,7 +136,7 @@ def main(argv: list[str] | None = None) -> int:
     else:
         meta = result.metadata
         print(f"n={args.n} statistic={args.statistic} max_lag={args.max_lag} "
-              f"epsilon={args.epsilon} blocking={args.blocking}")
+              f"epsilon={args.epsilon} blocking={args.blocking} tier={tier}")
         print(f"kept={meta['kept_points']} iterations={meta['iterations']} "
               f"stopped_by={meta['stopped_by']} "
               f"achieved_deviation={meta['achieved_deviation']:.6f}")

@@ -14,8 +14,28 @@ from .harness import (
     run_lossy_baseline,
     scaled_length,
 )
+from .scorecard import (
+    SCORECARD_FORMAT,
+    SCORECARD_SCHEMA,
+    SCORECARD_VERSION,
+    build_scorecard,
+    derive_codec_options,
+    render_markdown,
+    scorecard_json,
+    validate_scorecard,
+    write_scorecard,
+)
 
 __all__ = [
+    "SCORECARD_FORMAT",
+    "SCORECARD_SCHEMA",
+    "SCORECARD_VERSION",
+    "build_scorecard",
+    "derive_codec_options",
+    "render_markdown",
+    "scorecard_json",
+    "validate_scorecard",
+    "write_scorecard",
     "BenchResult",
     "PerfReport",
     "bench",

@@ -1,0 +1,379 @@
+"""The statistical-fidelity scorecard: every codec × every corpus series.
+
+The scorecard is the repository's standing answer to "does each codec keep
+what the paper promises?".  :func:`build_scorecard` encodes every registered
+codec over every bundled corpus series (:mod:`repro.ingest`), decodes the
+blocks, and scores each reconstruction with every registered fidelity metric
+(:mod:`repro.fidelity`).  The result is a versioned JSON document that is
+
+* **offline** — the corpus ships as checksum-pinned snapshots;
+* **deterministic** — no timestamps, canonical key order, values rounded to
+  12 significant digits, non-finite scores stored as ``null`` (JSON has no
+  ``inf``), so two back-to-back builds are byte-identical;
+* **schema-validated** — :func:`validate_scorecard` checks the committed
+  ``SCORECARD.json`` against :data:`SCORECARD_SCHEMA` in CI, including full
+  codec × series × metric coverage.
+
+``python -m repro.cli scorecard`` regenerates the document and
+``tools/render_scorecard.py`` splices :func:`render_markdown` into
+``docs/evaluation.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+
+from ..codecs import codec_spec, codec_specs, get_codec
+from ..codecs.registry import CodecSpec
+from ..data.timeseries import TimeSeries
+from ..exceptions import ScorecardError
+from ..fidelity import FidelityContext, context_for_series, fidelity_spec, fidelity_specs
+from ..ingest import corpus_source, load_corpus
+
+__all__ = [
+    "SCORECARD_FORMAT",
+    "SCORECARD_VERSION",
+    "SCORECARD_SCHEMA",
+    "derive_codec_options",
+    "build_scorecard",
+    "scorecard_json",
+    "write_scorecard",
+    "validate_scorecard",
+    "render_markdown",
+]
+
+#: Document-format marker, checked by :func:`validate_scorecard`.
+SCORECARD_FORMAT = "repro-scorecard"
+
+#: Bumped whenever the document layout changes incompatibly.
+SCORECARD_VERSION = 1
+
+
+# --------------------------------------------------------------------------- #
+# deterministic number handling
+# --------------------------------------------------------------------------- #
+def _round(value: float) -> float:
+    """Round to 12 significant digits: plenty for a scorecard, and it keeps
+    the committed document stable against last-bit floating-point drift."""
+    value = float(value)
+    if not math.isfinite(value):
+        return value
+    return float(f"{value:.12g}")
+
+
+def _score_value(value: float) -> float | None:
+    """JSON disallows ``inf``/``nan``; non-finite scores are stored as null."""
+    value = _round(value)
+    return value if math.isfinite(value) else None
+
+
+# --------------------------------------------------------------------------- #
+# building
+# --------------------------------------------------------------------------- #
+def derive_codec_options(spec: CodecSpec, series: TimeSeries) -> dict:
+    """Concrete codec options for one (codec, series) scorecard cell.
+
+    Expands the declarative ``spec.fidelity`` knobs against the series:
+
+    * ``"epsilon"`` keeps its value and adds the series' own ``max_lag``
+      (and ``agg_window`` when the series tracks aggregates);
+    * ``"error_bound_fraction"`` becomes an absolute ``error_bound`` scaled
+      by the series' value range;
+    * anything else is forwarded verbatim (e.g. ``keep_fraction``).
+    """
+    options = dict(spec.fidelity)
+    context = context_for_series(series)
+    if "epsilon" in options:
+        options["max_lag"] = context.max_lag
+        if context.agg_window > 1:
+            options["agg_window"] = context.agg_window
+    if "error_bound_fraction" in options:
+        fraction = float(options.pop("error_bound_fraction"))
+        values = np.asarray(series.values, dtype=np.float64)
+        value_range = float(np.max(values) - np.min(values))
+        options["error_bound"] = _round(fraction * value_range)
+    return options
+
+
+def _score_cell(spec: CodecSpec, series: TimeSeries, metric_specs,
+                context: FidelityContext) -> dict:
+    """Encode/decode one series with one codec and score the reconstruction."""
+    options = derive_codec_options(spec, series)
+    codec = get_codec(spec.name, **options)
+    values = np.asarray(series.values, dtype=np.float64)
+    block = codec.encode(values)
+    reconstruction = np.asarray(codec.decode(block), dtype=np.float64)
+    scores = {metric.name: _score_value(metric.fn(values, reconstruction, context))
+              for metric in metric_specs}
+    return {
+        "codec": spec.name,
+        "series": series.name,
+        "options": options,
+        "lossless": bool(block.lossless),
+        "bits_per_value": _round(block.bits_per_value()),
+        "compression_ratio": _round(block.compression_ratio()),
+        "scores": scores,
+    }
+
+
+def build_scorecard(*, codecs: list[str] | None = None,
+                    series: dict[str, TimeSeries] | None = None,
+                    metrics: list[str] | None = None) -> dict:
+    """Build the scorecard document: codecs × corpus series × metrics.
+
+    Parameters
+    ----------
+    codecs:
+        Codec names to score (default: every registered codec, in
+        registration order).
+    series:
+        Name → :class:`TimeSeries` map (default: the bundled corpus via
+        :func:`repro.ingest.load_corpus`).  Series must carry corpus-style
+        metadata (``sha256``, ``license``, ``origin``) for provenance.
+    metrics:
+        Fidelity-metric names (default: every registered metric, in
+        registration order).
+    """
+    codec_entries = ([codec_spec(name) for name in codecs] if codecs
+                     else codec_specs())
+    metric_entries = ([fidelity_spec(name) for name in metrics] if metrics
+                      else fidelity_specs())
+    corpus = load_corpus() if series is None else series
+
+    corpus_block: dict[str, dict] = {}
+    for name, entry in corpus.items():
+        metadata = entry.metadata or {}
+        corpus_block[name] = {
+            "points": int(np.asarray(entry.values).size),
+            "sha256": str(metadata.get("sha256", "")),
+            "license": str(metadata.get("license", "")),
+            "origin": str(metadata.get("origin", "")),
+            "period": int(entry.period or 0),
+            "acf_lags": int(metadata.get("acf_lags", 0)),
+        }
+
+    results = []
+    for spec in codec_entries:
+        for entry in corpus.values():
+            context = context_for_series(entry)
+            results.append(_score_cell(spec, entry, metric_entries, context))
+
+    return {
+        "format": SCORECARD_FORMAT,
+        "version": SCORECARD_VERSION,
+        "corpus": corpus_block,
+        "metrics": [{
+            "name": metric.name, "label": metric.label, "kind": metric.kind,
+            "symmetric": metric.symmetric, "description": metric.description,
+        } for metric in metric_entries],
+        "codecs": [{
+            "name": spec.name, "family": spec.family, "label": spec.label,
+        } for spec in codec_entries],
+        "results": results,
+    }
+
+
+def scorecard_json(document: dict) -> str:
+    """Canonical byte-stable serialization (sorted keys, no NaN, newline-terminated)."""
+    return json.dumps(document, indent=2, sort_keys=True, allow_nan=False) + "\n"
+
+
+def write_scorecard(document: dict, path) -> Path:
+    """Validate and write ``document`` to ``path`` in canonical form."""
+    validate_scorecard(document)
+    path = Path(path)
+    path.write_text(scorecard_json(document), encoding="utf-8")
+    return path
+
+
+# --------------------------------------------------------------------------- #
+# schema validation (stdlib-only, intentionally small JSON-Schema subset)
+# --------------------------------------------------------------------------- #
+_SCORE_SCHEMA = {"type": ["number", "null"]}
+
+#: JSON-Schema-style description of the document.  The validator implements
+#: the subset used here: ``type``, ``enum``, ``required``, ``properties``,
+#: ``additionalProperties`` (as a schema for map-like objects), ``items``.
+SCORECARD_SCHEMA = {
+    "type": "object",
+    "required": ["format", "version", "corpus", "metrics", "codecs", "results"],
+    "properties": {
+        "format": {"enum": [SCORECARD_FORMAT]},
+        "version": {"type": "integer"},
+        "corpus": {
+            "type": "object",
+            "additionalProperties": {
+                "type": "object",
+                "required": ["points", "sha256", "license", "origin",
+                             "period", "acf_lags"],
+                "properties": {
+                    "points": {"type": "integer"},
+                    "sha256": {"type": "string"},
+                    "license": {"type": "string"},
+                    "origin": {"type": "string"},
+                    "period": {"type": "integer"},
+                    "acf_lags": {"type": "integer"},
+                },
+            },
+        },
+        "metrics": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "label", "kind", "symmetric", "description"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "label": {"type": "string"},
+                    "kind": {"enum": ["statistical", "pointwise", "downstream"]},
+                    "symmetric": {"type": "boolean"},
+                    "description": {"type": "string"},
+                },
+            },
+        },
+        "codecs": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "family", "label"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "family": {"type": "string"},
+                    "label": {"type": "string"},
+                },
+            },
+        },
+        "results": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["codec", "series", "options", "lossless",
+                             "bits_per_value", "compression_ratio", "scores"],
+                "properties": {
+                    "codec": {"type": "string"},
+                    "series": {"type": "string"},
+                    "options": {"type": "object"},
+                    "lossless": {"type": "boolean"},
+                    "bits_per_value": {"type": "number"},
+                    "compression_ratio": {"type": "number"},
+                    "scores": {"type": "object",
+                               "additionalProperties": _SCORE_SCHEMA},
+                },
+            },
+        },
+    },
+}
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def _check_schema(value, schema: dict, path: str) -> None:
+    expected = schema.get("type")
+    if expected is not None:
+        types = expected if isinstance(expected, list) else [expected]
+        if not any(_TYPE_CHECKS[t](value) for t in types):
+            raise ScorecardError(
+                f"{path}: expected {' or '.join(types)}, got {type(value).__name__}")
+    if "enum" in schema and value not in schema["enum"]:
+        raise ScorecardError(f"{path}: {value!r} not in {schema['enum']!r}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                raise ScorecardError(f"{path}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        extra = schema.get("additionalProperties")
+        for key, item in value.items():
+            if key in properties:
+                _check_schema(item, properties[key], f"{path}.{key}")
+            elif isinstance(extra, dict):
+                _check_schema(item, extra, f"{path}.{key}")
+    if isinstance(value, list) and "items" in schema:
+        for index, item in enumerate(value):
+            _check_schema(item, schema["items"], f"{path}[{index}]")
+
+
+def validate_scorecard(document: dict) -> None:
+    """Validate a scorecard document; raises :class:`ScorecardError`.
+
+    Beyond the structural :data:`SCORECARD_SCHEMA` check, the full
+    codec × series × metric cross product must be covered: every declared
+    codec scored on every declared series under every declared metric,
+    exactly once, with no stray result rows.
+    """
+    if not isinstance(document, dict):
+        raise ScorecardError(
+            f"scorecard must be a JSON object, got {type(document).__name__}")
+    _check_schema(document, SCORECARD_SCHEMA, "scorecard")
+    if document["version"] != SCORECARD_VERSION:
+        raise ScorecardError(
+            f"scorecard version {document['version']} != {SCORECARD_VERSION}")
+
+    codec_names = [entry["name"] for entry in document["codecs"]]
+    series_names = list(document["corpus"])
+    metric_names = {entry["name"] for entry in document["metrics"]}
+    expected = {(codec, series)
+                for codec in codec_names for series in series_names}
+    seen: set[tuple[str, str]] = set()
+    for index, row in enumerate(document["results"]):
+        cell = (row["codec"], row["series"])
+        if cell not in expected:
+            raise ScorecardError(
+                f"results[{index}]: unknown codec/series pair {cell!r}")
+        if cell in seen:
+            raise ScorecardError(f"results[{index}]: duplicate cell {cell!r}")
+        seen.add(cell)
+        if set(row["scores"]) != metric_names:
+            missing = sorted(metric_names.symmetric_difference(row["scores"]))
+            raise ScorecardError(
+                f"results[{index}]: metric coverage mismatch: {missing}")
+    if seen != expected:
+        missing = sorted(expected - seen)
+        raise ScorecardError(f"scorecard is missing cells: {missing[:5]}"
+                             f"{'...' if len(missing) > 5 else ''}")
+
+
+# --------------------------------------------------------------------------- #
+# rendering
+# --------------------------------------------------------------------------- #
+def _format_score(value) -> str:
+    if value is None:
+        return "inf"
+    return f"{value:.4g}"
+
+
+def render_markdown(document: dict) -> str:
+    """Render the scorecard as GitHub-flavoured markdown (one table per series)."""
+    validate_scorecard(document)
+    metric_labels = [(entry["name"], entry["label"]) for entry in document["metrics"]]
+    by_cell = {(row["codec"], row["series"]): row for row in document["results"]}
+    lines: list[str] = []
+    for series_name, info in document["corpus"].items():
+        lines.append(f"#### `{series_name}` — {info['points']} points"
+                     + (f", period {info['period']}" if info["period"] else "")
+                     + f", {info['acf_lags']} ACF lags")
+        lines.append("")
+        header = ["codec", "family", "ratio", "bits/val"]
+        header += [label for _, label in metric_labels]
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "|".join("---" for _ in header) + "|")
+        for codec in document["codecs"]:
+            row = by_cell[(codec["name"], series_name)]
+            cells = [f"`{codec['name']}`", codec["family"],
+                     f"{row['compression_ratio']:.2f}x",
+                     f"{row['bits_per_value']:.2f}"]
+            cells += [_format_score(row["scores"][name])
+                      for name, _ in metric_labels]
+            lines.append("| " + " | ".join(cells) + " |")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

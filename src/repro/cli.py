@@ -1,6 +1,6 @@
 """Command-line interface for the CAMEO reproduction library.
 
-Five subcommands cover the typical workflow on CSV data:
+Six subcommands cover the typical workflow on CSV data:
 
 ``compress``
     Compress a single-column CSV (or one column of a wider CSV) with any
@@ -32,6 +32,12 @@ Five subcommands cover the typical workflow on CSV data:
 
 ``list-codecs``
     Enumerate every registered codec with its family and description.
+
+``scorecard``
+    Regenerate the statistical-fidelity scorecard: every registered codec
+    over every bundled corpus series, scored by every registered fidelity
+    metric.  Fully offline and deterministic; writes ``SCORECARD.json``
+    (``--output``) and optionally the rendered markdown (``--markdown``).
 
 Example
 -------
@@ -402,6 +408,31 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scorecard(args: argparse.Namespace) -> int:
+    from .benchlib.scorecard import (
+        build_scorecard,
+        render_markdown,
+        write_scorecard,
+    )
+    from .fidelity import available_fidelity_metrics
+
+    document = build_scorecard(codecs=args.codec or None,
+                               metrics=args.fidelity_metric or None)
+    output = Path(args.output)
+    write_scorecard(document, output)
+    cells = len(document["results"])
+    print(f"scored {len(document['codecs'])} codecs x "
+          f"{len(document['corpus'])} series x "
+          f"{len(document['metrics'])} fidelity metrics ({cells} cells)")
+    print(f"fidelity metrics: {', '.join(available_fidelity_metrics())}")
+    print(f"wrote {output}")
+    if args.markdown:
+        markdown = Path(args.markdown)
+        markdown.write_text(render_markdown(document), encoding="utf-8")
+        print(f"wrote {markdown}")
+    return 0
+
+
 def _cmd_list_codecs(_args: argparse.Namespace) -> int:
     specs = codec_specs()
     name_width = max(len(spec.name) for spec in specs)
@@ -516,6 +547,21 @@ def build_parser() -> argparse.ArgumentParser:
     list_codecs = subparsers.add_parser("list-codecs",
                                         help="list every registered codec")
     list_codecs.set_defaults(func=_cmd_list_codecs)
+
+    scorecard = subparsers.add_parser(
+        "scorecard",
+        help="regenerate the statistical-fidelity scorecard (offline)")
+    scorecard.add_argument("--output", default="SCORECARD.json",
+                           help="scorecard JSON path (default SCORECARD.json)")
+    scorecard.add_argument("--codec", action="append", default=[],
+                           help="restrict to this codec, repeatable "
+                                "(default: every registered codec)")
+    scorecard.add_argument("--fidelity-metric", action="append", default=[],
+                           help="restrict to this fidelity metric, repeatable "
+                                "(default: every registered metric)")
+    scorecard.add_argument("--markdown", default=None, metavar="PATH",
+                           help="also write the rendered markdown tables")
+    scorecard.set_defaults(func=_cmd_scorecard)
     return parser
 
 

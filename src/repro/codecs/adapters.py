@@ -316,23 +316,25 @@ def _register_builtins() -> None:
     register_codec("chimp", ChimpXorCodec, family="lossless", label="Chimp",
                    description="lossless XOR compression (Chimp)")
     register_codec("cameo", CameoCodec, family="cameo", label="CAMEO",
+                   fidelity={"epsilon": 0.05},
                    description="ACF/PACF-bounded line simplification (the paper)")
     for method in _SIMPLIFIER_LABELS:
         register_codec(method, lambda max_lag=24, epsilon=0.01, _m=method, **kw:
                        SimplifierCodec(_m, max_lag, epsilon, **kw),
                        family="simplify", label=method,
+                       fidelity={"epsilon": 0.05},
                        description=f"ACF-constrained {method} line simplification")
     register_codec("pmc", PmcCodec, family="model", label="PMC",
-                   tune="error_bound",
+                   tune="error_bound", fidelity={"error_bound_fraction": 0.05},
                    description="constant-segment functional approximation")
     register_codec("swing", SwingCodec, family="model", label="SWING",
-                   tune="error_bound",
+                   tune="error_bound", fidelity={"error_bound_fraction": 0.05},
                    description="connected linear-segment approximation")
     register_codec("simpiece", SimPieceCodec, family="model", label="SP",
-                   tune="error_bound",
+                   tune="error_bound", fidelity={"error_bound_fraction": 0.05},
                    description="grouped linear-segment approximation")
     register_codec("fft", FftCodec, family="model", label="FFT",
-                   tune="keep_fraction",
+                   tune="keep_fraction", fidelity={"keep_fraction": 0.25},
                    description="top-coefficient frequency-domain approximation")
 
 

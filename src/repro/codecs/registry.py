@@ -16,7 +16,7 @@ paper's presentation order), so family listings are stable.
 from __future__ import annotations
 
 import difflib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 from ..exceptions import InvalidParameterError
@@ -55,6 +55,18 @@ class CodecSpec:
         directly or are lossless).
     description:
         One-line summary shown by the CLI's ``list-codecs``.
+    fidelity:
+        Default knob settings the fidelity scorecard encodes with
+        (:mod:`repro.benchlib.scorecard`).  Recognised keys:
+
+        * ``"epsilon"`` — statistic bound for cameo/simplify codecs
+          (``max_lag``/``agg_window`` come from the series itself);
+        * ``"error_bound_fraction"`` — absolute error bound as a fraction
+          of the series' value range, for model codecs tuned by
+          ``error_bound``;
+        * any other key — forwarded verbatim to the codec factory.
+
+        Empty for codecs that need no knobs (raw, lossless).
     """
 
     name: str
@@ -63,6 +75,7 @@ class CodecSpec:
     label: str = ""
     tune: str | None = None
     description: str = ""
+    fidelity: dict = field(default_factory=dict)
 
 
 _REGISTRY: dict[str, CodecSpec] = {}
@@ -71,6 +84,7 @@ _REGISTRY: dict[str, CodecSpec] = {}
 def register_codec(name: str, factory: Callable[..., Codec], *,
                    family: str = "custom", label: str | None = None,
                    tune: str | None = None, description: str = "",
+                   fidelity: dict | None = None,
                    overwrite: bool = False) -> None:
     """Register a codec factory under ``name`` (case-insensitive).
 
@@ -80,8 +94,9 @@ def register_codec(name: str, factory: Callable[..., Codec], *,
         Lookup key, e.g. ``"gorilla"``.
     factory:
         Callable ``(**kwargs) -> Codec``.
-    family, label, tune, description:
-        See :class:`CodecSpec`.  ``label`` defaults to ``name``.
+    family, label, tune, description, fidelity:
+        See :class:`CodecSpec`.  ``label`` defaults to ``name``; ``fidelity``
+        defaults to no knobs.
     overwrite:
         Allow replacing an existing registration.  Defaults to ``False`` to
         protect the built-in codecs from accidental shadowing.
@@ -95,7 +110,8 @@ def register_codec(name: str, factory: Callable[..., Codec], *,
         raise InvalidParameterError(f"codec {name!r} is already registered")
     _REGISTRY[key] = CodecSpec(name=key, factory=factory, family=str(family),
                                label=str(label) if label is not None else str(name),
-                               tune=tune, description=description)
+                               tune=tune, description=description,
+                               fidelity=dict(fidelity) if fidelity else {})
 
 
 def available_codecs() -> list[str]:

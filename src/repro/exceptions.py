@@ -58,6 +58,23 @@ class DatasetError(ReproError):
     """A dataset could not be generated or loaded."""
 
 
+class IngestError(DatasetError):
+    """A dataset-ingest pipeline failed (fetch, cache, parse, or verify).
+
+    Subclasses :class:`DatasetError` so callers that already treat dataset
+    problems uniformly keep working; the distinct type marks failures of the
+    real-data ingest layer (:mod:`repro.ingest`).
+    """
+
+
+class ChecksumMismatchError(IngestError):
+    """Fetched or cached dataset bytes do not match the pinned SHA-256."""
+
+
+class ScorecardError(ReproError):
+    """A fidelity-scorecard document is malformed or incomplete."""
+
+
 class StorageError(ReproError):
     """A storage-engine operation (ingest, query, compaction) failed."""
 

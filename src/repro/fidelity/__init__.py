@@ -1,0 +1,47 @@
+"""Statistical-fidelity metrics: scoring codecs on what the paper promises."""
+
+from .base import (
+    DEFAULT_HORIZON,
+    DEFAULT_MAX_LAG,
+    FidelityContext,
+    FidelityMetric,
+    context_for_series,
+)
+from .metrics import (
+    acf_distance,
+    forecast_delta,
+    max_error,
+    normalized_periodogram,
+    nrmse,
+    pacf_distance,
+    spectral_distance,
+)
+from .registry import (
+    FidelitySpec,
+    available_fidelity_metrics,
+    fidelity_spec,
+    fidelity_specs,
+    get_fidelity_metric,
+    register_fidelity_metric,
+)
+
+__all__ = [
+    "DEFAULT_HORIZON",
+    "DEFAULT_MAX_LAG",
+    "FidelityContext",
+    "FidelityMetric",
+    "context_for_series",
+    "acf_distance",
+    "pacf_distance",
+    "spectral_distance",
+    "max_error",
+    "nrmse",
+    "forecast_delta",
+    "normalized_periodogram",
+    "FidelitySpec",
+    "register_fidelity_metric",
+    "get_fidelity_metric",
+    "fidelity_spec",
+    "fidelity_specs",
+    "available_fidelity_metrics",
+]

@@ -1,0 +1,97 @@
+"""The fidelity-metric protocol: what "a good reconstruction" means here.
+
+The paper's core promise is *statistical* fidelity — a reconstruction that
+keeps the ACF/PACF structure of the original — not merely small pointwise
+error.  A :class:`FidelityMetric` scores an ``(original, reconstruction)``
+pair under a :class:`FidelityContext` that carries the per-series evaluation
+configuration (how many lags to compare, the aggregation window, the
+seasonal period for the downstream forecast probe).
+
+Conventions every metric follows:
+
+* the score is a single ``float`` where **0 means perfect fidelity** and
+  larger means worse (distances, not rewards);
+* an identical reconstruction scores exactly ``0.0``;
+* outputs are never NaN — degenerate inputs map to a documented sentinel
+  (``0.0`` or ``inf``), mirroring :func:`repro.metrics.pointwise.nrmse`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Protocol
+
+import numpy as np
+
+__all__ = ["FidelityContext", "FidelityMetric", "context_for_series",
+           "DEFAULT_MAX_LAG", "DEFAULT_HORIZON"]
+
+#: Lags compared by the statistical metrics when a series specifies none.
+DEFAULT_MAX_LAG = 24
+
+#: Fallback forecast horizon for the downstream probe.
+DEFAULT_HORIZON = 12
+
+
+@dataclass(frozen=True)
+class FidelityContext:
+    """Per-series evaluation configuration shared by every fidelity metric.
+
+    Attributes
+    ----------
+    max_lag:
+        Number of lags the ACF/PACF distances compare (clamped to the
+        series length by :func:`context_for_series`).
+    agg_window:
+        Tumbling-window size for the on-aggregates statistic variant
+        (1 = score the raw series).
+    period:
+        Dominant seasonal period (0 = none); selects the forecaster of the
+        downstream probe.
+    horizon:
+        Forecast horizon of the downstream probe.
+    """
+
+    max_lag: int = DEFAULT_MAX_LAG
+    agg_window: int = 1
+    period: int = 0
+    horizon: int = DEFAULT_HORIZON
+
+    def clamped(self, n: int) -> "FidelityContext":
+        """A copy whose lag/horizon fit a series of ``n`` points."""
+        tracked = n // max(self.agg_window, 1)
+        max_lag = max(1, min(self.max_lag, tracked - 2))
+        horizon = max(1, min(self.horizon, n // 4))
+        return replace(self, max_lag=max_lag, horizon=horizon)
+
+
+class FidelityMetric(Protocol):
+    """Callable scoring a reconstruction against its original."""
+
+    def __call__(self, original: np.ndarray, reconstruction: np.ndarray,
+                 context: FidelityContext) -> float:  # pragma: no cover
+        ...
+
+
+#: Concrete type used by the registry.
+MetricFn = Callable[[np.ndarray, np.ndarray, FidelityContext], float]
+
+
+def context_for_series(series) -> FidelityContext:
+    """Derive the evaluation context from a series' own metadata.
+
+    Works with :class:`~repro.data.timeseries.TimeSeries` (uses
+    ``metadata["acf_lags"]`` / ``metadata["agg_window"]`` / ``period``) and
+    plain arrays (falls back to the defaults), always clamping to the
+    series length.
+    """
+    metadata = getattr(series, "metadata", None) or {}
+    values = getattr(series, "values", series)
+    n = int(np.asarray(values).size)
+    period = int(getattr(series, "period", 0) or 0)
+    context = FidelityContext(
+        max_lag=int(metadata.get("acf_lags", DEFAULT_MAX_LAG)),
+        agg_window=int(metadata.get("agg_window", 1)),
+        period=period,
+        horizon=max(period, DEFAULT_HORIZON) if period else DEFAULT_HORIZON)
+    return context.clamped(n)

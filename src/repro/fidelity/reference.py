@@ -1,0 +1,162 @@
+"""Brute-force reference implementations of the fidelity metrics.
+
+Kept in the style of :mod:`repro._kernels.reference`: straightforward
+scalar loops with no vectorization tricks, serving as the oracle the
+hypothesis property suite checks the production metrics against.  Slow by
+design — never import these from a hot path.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .base import FidelityContext
+
+__all__ = [
+    "reference_acf",
+    "reference_pacf",
+    "reference_periodogram",
+    "reference_acf_distance",
+    "reference_pacf_distance",
+    "reference_spectral_distance",
+    "reference_max_error",
+    "reference_nrmse",
+]
+
+
+def reference_acf(values, max_lag: int) -> np.ndarray:
+    """Lagged-Pearson ACF (Equation 2) as an explicit per-lag scalar loop."""
+    x = [float(v) for v in np.asarray(values, dtype=np.float64)]
+    n = len(x)
+    out = np.zeros(max_lag, dtype=np.float64)
+    for lag in range(1, max_lag + 1):
+        count = n - lag
+        sx = sxl = sx2 = sx2l = sxxl = 0.0
+        for i in range(count):
+            head = x[i]
+            tail = x[i + lag]
+            sx += head
+            sxl += tail
+            sx2 += head * head
+            sx2l += tail * tail
+            sxxl += head * tail
+        numerator = count * sxxl - sx * sxl
+        var_head = count * sx2 - sx * sx
+        var_tail = count * sx2l - sxl * sxl
+        if var_head <= 0.0 or var_tail <= 0.0:
+            out[lag - 1] = 0.0
+        else:
+            denominator = math.sqrt(var_head * var_tail)
+            out[lag - 1] = numerator / denominator if denominator else 0.0
+    return out
+
+
+def reference_pacf(values, max_lag: int) -> np.ndarray:
+    """PACF via the scalar Durbin-Levinson recursion on :func:`reference_acf`."""
+    rho = reference_acf(values, max_lag)
+    size = rho.size
+    pacf = np.zeros(size, dtype=np.float64)
+    previous = [0.0] * size
+    current = [0.0] * size
+    pacf[0] = rho[0]
+    previous[0] = rho[0]
+    for order in range(2, size + 1):
+        numerator = rho[order - 1]
+        denominator = 1.0
+        for k in range(1, order):
+            numerator -= previous[k - 1] * rho[order - k - 1]
+            denominator -= previous[k - 1] * rho[k - 1]
+        phi = 0.0 if abs(denominator) < 1e-12 else numerator / denominator
+        pacf[order - 1] = phi
+        for k in range(1, order):
+            current[k - 1] = previous[k - 1] - phi * previous[order - k - 1]
+        current[order - 1] = phi
+        previous, current = current, previous
+    return pacf
+
+
+def reference_periodogram(values) -> np.ndarray:
+    """Normalized power spectrum via an O(n^2) direct DFT loop (no FFT)."""
+    x = [float(v) for v in np.asarray(values, dtype=np.float64)]
+    n = len(x)
+    mean = sum(x) / n
+    centred = [v - mean for v in x]
+    bins = n // 2
+    power = np.zeros(bins, dtype=np.float64)
+    for k in range(1, bins + 1):
+        real = imag = 0.0
+        for t in range(n):
+            angle = -2.0 * math.pi * k * t / n
+            real += centred[t] * math.cos(angle)
+            imag += centred[t] * math.sin(angle)
+        power[k - 1] = real * real + imag * imag
+    total = float(power.sum())
+    if total <= 0.0:
+        return np.zeros(bins, dtype=np.float64)
+    return power / total
+
+
+def _l2(delta: np.ndarray) -> float:
+    total = 0.0
+    for value in delta:
+        total += float(value) * float(value)
+    return math.sqrt(total)
+
+
+def _lag_for(x: np.ndarray, context: FidelityContext) -> int:
+    return max(1, min(int(context.max_lag), x.size - 2))
+
+
+def reference_acf_distance(original, reconstruction,
+                           context: FidelityContext) -> float:
+    """Loop-reference twin of :func:`repro.fidelity.metrics.acf_distance`."""
+    x = np.asarray(original, dtype=np.float64)
+    y = np.asarray(reconstruction, dtype=np.float64)
+    if x.size < 3:
+        return 0.0 if np.array_equal(x, y) else float("inf")
+    lag = _lag_for(x, context)
+    return _l2(reference_acf(x, lag) - reference_acf(y, lag))
+
+
+def reference_pacf_distance(original, reconstruction,
+                            context: FidelityContext) -> float:
+    """Loop-reference twin of :func:`repro.fidelity.metrics.pacf_distance`."""
+    x = np.asarray(original, dtype=np.float64)
+    y = np.asarray(reconstruction, dtype=np.float64)
+    if x.size < 3:
+        return 0.0 if np.array_equal(x, y) else float("inf")
+    lag = _lag_for(x, context)
+    return _l2(reference_pacf(x, lag) - reference_pacf(y, lag))
+
+
+def reference_spectral_distance(original, reconstruction,
+                                context: FidelityContext) -> float:
+    """Loop-reference twin of :func:`repro.fidelity.metrics.spectral_distance`."""
+    return _l2(reference_periodogram(original) - reference_periodogram(reconstruction))
+
+
+def reference_max_error(original, reconstruction,
+                        context: FidelityContext) -> float:
+    """Loop-reference twin of :func:`repro.fidelity.metrics.max_error`."""
+    worst = 0.0
+    for a, b in zip(np.asarray(original, dtype=np.float64),
+                    np.asarray(reconstruction, dtype=np.float64)):
+        worst = max(worst, abs(float(a) - float(b)))
+    return worst
+
+
+def reference_nrmse(original, reconstruction,
+                    context: FidelityContext) -> float:
+    """Loop-reference twin of :func:`repro.fidelity.metrics.nrmse`."""
+    x = [float(v) for v in np.asarray(original, dtype=np.float64)]
+    y = [float(v) for v in np.asarray(reconstruction, dtype=np.float64)]
+    total = 0.0
+    for a, b in zip(x, y):
+        total += (a - b) * (a - b)
+    rmse = math.sqrt(total / len(x))
+    value_range = max(x) - min(x)
+    if value_range == 0.0:
+        return 0.0 if rmse == 0.0 else float("inf")
+    return rmse / value_range

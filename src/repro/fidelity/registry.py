@@ -1,0 +1,138 @@
+"""Name-based fidelity-metric registry (modeled on :mod:`repro.codecs.registry`).
+
+The scorecard driver, the CLI, and downstream codec-selection logic iterate
+fidelity metrics generically; this registry is their single source of truth.
+Registration order is preserved so scorecard columns are stable.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+
+from ..exceptions import InvalidParameterError
+from .base import MetricFn
+from . import metrics as _metrics
+
+__all__ = [
+    "FidelitySpec",
+    "register_fidelity_metric",
+    "get_fidelity_metric",
+    "fidelity_spec",
+    "fidelity_specs",
+    "available_fidelity_metrics",
+]
+
+
+@dataclass(frozen=True)
+class FidelitySpec:
+    """Registry entry for one fidelity metric.
+
+    Attributes
+    ----------
+    name:
+        Canonical (lowercase) lookup key.
+    fn:
+        Callable ``(original, reconstruction, context) -> float``.
+    label:
+        Display name used in scorecard tables.
+    description:
+        One-line summary (shown by ``repro scorecard --list``).
+    symmetric:
+        Whether swapping original and reconstruction provably yields the
+        same score (asserted by the property suite).
+    kind:
+        ``"statistical"``, ``"pointwise"``, or ``"downstream"`` — what the
+        metric measures; lets consumers weight families differently.
+    """
+
+    name: str
+    fn: MetricFn
+    label: str = ""
+    description: str = ""
+    symmetric: bool = False
+    kind: str = "statistical"
+
+
+_REGISTRY: dict[str, FidelitySpec] = {}
+
+
+def register_fidelity_metric(name: str, fn: MetricFn, *, label: str | None = None,
+                             description: str = "", symmetric: bool = False,
+                             kind: str = "statistical",
+                             overwrite: bool = False) -> None:
+    """Register a fidelity metric under ``name`` (case-insensitive)."""
+    key = str(name).strip().lower()
+    if not key:
+        raise InvalidParameterError("fidelity metric name must be a non-empty string")
+    if not callable(fn):
+        raise InvalidParameterError(f"fidelity metric {name!r} must be callable")
+    if key in _REGISTRY and not overwrite:
+        raise InvalidParameterError(f"fidelity metric {name!r} is already registered")
+    _REGISTRY[key] = FidelitySpec(
+        name=key, fn=fn, label=str(label) if label is not None else str(name),
+        description=description, symmetric=bool(symmetric), kind=str(kind))
+
+
+def fidelity_spec(name: str) -> FidelitySpec:
+    """Look up the registry entry for one fidelity metric."""
+    key = str(name).strip().lower()
+    try:
+        return _REGISTRY[key]
+    except KeyError as exc:
+        message = (f"unknown fidelity metric {name!r}; available: "
+                   f"{', '.join(available_fidelity_metrics())}")
+        close = difflib.get_close_matches(key, list(_REGISTRY), n=3)
+        if close:
+            message += f" (did you mean: {', '.join(close)}?)"
+        raise InvalidParameterError(message) from exc
+
+
+def fidelity_specs(kind: str | None = None) -> list[FidelitySpec]:
+    """All registered specs in registration order, optionally one ``kind``."""
+    specs = list(_REGISTRY.values())
+    if kind is None:
+        return specs
+    return [spec for spec in specs if spec.kind == kind]
+
+
+def available_fidelity_metrics() -> list[str]:
+    """Registered fidelity metric names, in registration order."""
+    return list(_REGISTRY)
+
+
+def get_fidelity_metric(name: str) -> MetricFn:
+    """Resolve a fidelity metric by name (callables pass through)."""
+    if callable(name):
+        return name
+    return fidelity_spec(name).fn
+
+
+def _register_builtins() -> None:
+    register_fidelity_metric(
+        "acf_dist", _metrics.acf_distance, label="ACF-L2",
+        description="L2 over lag-wise ACF deltas (the statistic CAMEO bounds)",
+        symmetric=True, kind="statistical", overwrite=True)
+    register_fidelity_metric(
+        "pacf_dist", _metrics.pacf_distance, label="PACF-L2",
+        description="L2 over lag-wise PACF deltas (Durbin-Levinson)",
+        symmetric=True, kind="statistical", overwrite=True)
+    register_fidelity_metric(
+        "spectral_dist", _metrics.spectral_distance, label="Spec-L2",
+        description="L2 between unit-power normalized periodograms",
+        symmetric=True, kind="statistical", overwrite=True)
+    register_fidelity_metric(
+        "max_error", _metrics.max_error, label="MaxErr",
+        description="maximum absolute pointwise deviation (L-infinity)",
+        symmetric=True, kind="pointwise", overwrite=True)
+    register_fidelity_metric(
+        "nrmse", _metrics.nrmse, label="NRMSE",
+        description="RMSE normalized by the original's value range",
+        symmetric=False, kind="pointwise", overwrite=True)
+    register_fidelity_metric(
+        "forecast_delta", _metrics.forecast_delta, label="FcastDelta",
+        description="forecast-MAE degradation when training on the reconstruction",
+        symmetric=False, kind="downstream", overwrite=True)
+
+
+_register_builtins()

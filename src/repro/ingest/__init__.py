@@ -1,0 +1,43 @@
+"""Real-data ingest layer: checksum-pinned pipelines and the bundled corpus."""
+
+from .corpus import (
+    CORPUS,
+    corpus_names,
+    corpus_source,
+    corpus_to_store,
+    load_corpus,
+    load_corpus_series,
+    verify_corpus,
+)
+from .pipeline import (
+    BUNDLED_DIR,
+    BundledFetcher,
+    CachedFetcher,
+    DatasetSource,
+    Fetcher,
+    default_cache_dir,
+    fetch_bytes,
+    parse_csv_column,
+    sha256_hex,
+    source_to_series,
+)
+
+__all__ = [
+    "BUNDLED_DIR",
+    "CORPUS",
+    "corpus_names",
+    "corpus_source",
+    "corpus_to_store",
+    "load_corpus",
+    "load_corpus_series",
+    "verify_corpus",
+    "BundledFetcher",
+    "CachedFetcher",
+    "DatasetSource",
+    "Fetcher",
+    "default_cache_dir",
+    "fetch_bytes",
+    "parse_csv_column",
+    "sha256_hex",
+    "source_to_series",
+]

@@ -1,0 +1,230 @@
+"""Checksum-pinned, fetch-once-with-cache dataset pipelines.
+
+The ingest layer turns *real* public datasets into
+:class:`~repro.data.timeseries.TimeSeries` objects under three hard rules:
+
+1. **Offline by default.**  Every dataset ships as a bundled snapshot under
+   ``repro/data/corpus/``; loading never touches the network unless the
+   caller explicitly passes a network-capable fetcher.
+2. **Checksum-pinned.**  Each source pins the SHA-256 of its raw bytes.
+   Bytes that do not match — whether from the bundle, the cache, or a
+   fetcher — raise :class:`~repro.exceptions.ChecksumMismatchError` instead
+   of silently feeding drifted data into benchmarks.
+3. **Fetch once.**  :class:`CachedFetcher` writes verified bytes to a cache
+   directory (``REPRO_INGEST_CACHE`` or ``~/.cache/repro/ingest``) and
+   serves every later request from there.
+
+A :class:`DatasetSource` bundles the provenance (origin URL, license), the
+pinned checksum, and the parse step; :func:`fetch_bytes` resolves the byte
+source, and :func:`source_to_series` builds the final ``TimeSeries``.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import io
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Protocol
+
+import numpy as np
+
+from ..data.timeseries import TimeSeries
+from ..exceptions import ChecksumMismatchError, IngestError
+
+__all__ = [
+    "DatasetSource",
+    "Fetcher",
+    "BundledFetcher",
+    "CachedFetcher",
+    "sha256_hex",
+    "default_cache_dir",
+    "fetch_bytes",
+    "parse_csv_column",
+    "source_to_series",
+]
+
+#: Directory holding the bundled corpus snapshots.
+BUNDLED_DIR = Path(__file__).resolve().parent.parent / "data" / "corpus"
+
+#: Environment variable overriding the ingest cache directory.
+CACHE_ENV = "REPRO_INGEST_CACHE"
+
+
+def sha256_hex(payload: bytes) -> str:
+    """Hex SHA-256 digest of ``payload``."""
+    return hashlib.sha256(payload).hexdigest()
+
+
+def default_cache_dir() -> Path:
+    """The fetch-once cache directory (override with ``REPRO_INGEST_CACHE``)."""
+    override = os.environ.get(CACHE_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "ingest"
+
+
+@dataclass(frozen=True)
+class DatasetSource:
+    """Provenance, checksum, and parse recipe for one real dataset.
+
+    Attributes
+    ----------
+    name:
+        Corpus identifier (``"airline"``, ``"nile"``, ...).
+    filename:
+        Snapshot filename under ``repro/data/corpus/`` (and the cache key).
+    sha256:
+        Pinned hex SHA-256 of the raw snapshot bytes.
+    description:
+        One-line human summary of what the series measures.
+    license:
+        License / public-domain status of the data.
+    origin:
+        Canonical upstream reference (URL or citation).  Informational:
+        loading never dereferences it unless a network fetcher is passed.
+    column:
+        CSV value column parsed into the series.
+    period:
+        Dominant seasonal period in samples (0 when none).
+    acf_lags:
+        Number of ACF lags the evaluation tracks for this series.
+    agg_window:
+        Tumbling-window size for the on-aggregates ACF variant (1 = direct).
+    metadata:
+        Extra attributes copied onto the loaded series.
+    """
+
+    name: str
+    filename: str
+    sha256: str
+    description: str = ""
+    license: str = ""
+    origin: str = ""
+    column: str = "value"
+    period: int = 0
+    acf_lags: int = 24
+    agg_window: int = 1
+    metadata: dict = field(default_factory=dict)
+
+
+class Fetcher(Protocol):
+    """Anything that can produce the raw bytes of a :class:`DatasetSource`."""
+
+    def fetch(self, source: DatasetSource) -> bytes:  # pragma: no cover
+        """Return the raw dataset bytes (checksum is verified by the caller)."""
+        ...
+
+
+class BundledFetcher:
+    """Serve the snapshot bundled with the package — the offline default."""
+
+    def __init__(self, directory: Path | None = None):
+        self.directory = Path(directory) if directory is not None else BUNDLED_DIR
+
+    def fetch(self, source: DatasetSource) -> bytes:
+        path = self.directory / source.filename
+        if not path.is_file():
+            raise IngestError(
+                f"bundled snapshot {source.filename!r} for dataset "
+                f"{source.name!r} is missing from {self.directory}")
+        return path.read_bytes()
+
+
+class CachedFetcher:
+    """Fetch-once wrapper: verified bytes are cached and reused forever.
+
+    The cache key includes the pinned checksum, so bumping a source's
+    ``sha256`` naturally invalidates stale cache entries.  Only bytes that
+    pass verification are ever written, and a corrupted cache file is
+    re-fetched rather than trusted.
+    """
+
+    def __init__(self, inner: Fetcher, cache_dir: Path | None = None):
+        self.inner = inner
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+        self.hits = 0
+        self.misses = 0
+
+    def cache_path(self, source: DatasetSource) -> Path:
+        return self.cache_dir / f"{source.sha256[:16]}-{source.filename}"
+
+    def fetch(self, source: DatasetSource) -> bytes:
+        path = self.cache_path(source)
+        if path.is_file():
+            payload = path.read_bytes()
+            if sha256_hex(payload) == source.sha256:
+                self.hits += 1
+                return payload
+            path.unlink()  # corrupted cache entry: fall through to re-fetch
+        payload = self.inner.fetch(source)
+        verify_checksum(source, payload)
+        self.misses += 1
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_bytes(payload)
+        tmp.replace(path)
+        return payload
+
+
+def verify_checksum(source: DatasetSource, payload: bytes) -> bytes:
+    """Raise :class:`ChecksumMismatchError` unless ``payload`` matches the pin."""
+    digest = sha256_hex(payload)
+    if digest != source.sha256:
+        raise ChecksumMismatchError(
+            f"dataset {source.name!r} ({source.filename}): SHA-256 mismatch — "
+            f"expected {source.sha256}, got {digest}")
+    return payload
+
+
+def fetch_bytes(source: DatasetSource, *, fetcher: Fetcher | None = None) -> bytes:
+    """Resolve and verify the raw bytes of ``source``.
+
+    Without a ``fetcher`` the bundled snapshot is used (fully offline).  A
+    custom fetcher — e.g. a network fetcher wrapped in
+    :class:`CachedFetcher` — replaces the byte source but never the
+    verification: whatever produced the bytes, they must match the pin.
+    """
+    if fetcher is None:
+        fetcher = BundledFetcher()
+    return verify_checksum(source, fetcher.fetch(source))
+
+
+def parse_csv_column(payload: bytes, column: str) -> np.ndarray:
+    """Parse one numeric column out of a headered CSV byte snapshot."""
+    text = payload.decode("utf-8")
+    reader = csv.reader(io.StringIO(text))
+    rows = [row for row in reader if row]
+    if len(rows) < 2:
+        raise IngestError("CSV snapshot has no data rows")
+    header = rows[0]
+    try:
+        index = header.index(column)
+    except ValueError as exc:
+        raise IngestError(
+            f"column {column!r} not in CSV header {header}") from exc
+    try:
+        return np.asarray([float(row[index]) for row in rows[1:]],
+                          dtype=np.float64)
+    except (ValueError, IndexError) as exc:
+        raise IngestError(f"cannot parse column {column!r}: {exc}") from exc
+
+
+def source_to_series(source: DatasetSource, payload: bytes,
+                     parse: Callable[[bytes], np.ndarray] | None = None) -> TimeSeries:
+    """Build the normalized :class:`TimeSeries` from verified raw bytes."""
+    values = (parse(payload) if parse is not None
+              else parse_csv_column(payload, source.column))
+    metadata = {
+        "acf_lags": source.acf_lags,
+        "agg_window": source.agg_window,
+        "sha256": source.sha256,
+        "license": source.license,
+        "origin": source.origin,
+        "corpus": True,
+    }
+    metadata.update(source.metadata)
+    return TimeSeries(values=values, name=source.name, period=source.period,
+                      description=source.description, metadata=metadata)

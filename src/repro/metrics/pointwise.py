@@ -60,15 +60,19 @@ def rmse(x, y) -> float:
 def nrmse(x, y) -> float:
     """RMSE normalised by the value range of the original series ``x``.
 
-    Matches the paper's definition ``NRMSE = RMSE / (max(X) - min(X))``.  If
-    the original series is constant the value range is zero; in that case the
-    RMSE itself is returned (it is zero whenever the approximation is exact).
+    Matches the paper's definition ``NRMSE = RMSE / (max(X) - min(X))``.
+    A constant original series (including every length-1 series) has zero
+    value range, making the quotient undefined; instead of dividing by zero
+    the degenerate case returns a documented sentinel: ``0.0`` when the
+    approximation is exact and ``inf`` otherwise.  Empty and non-finite
+    (NaN/inf) inputs raise
+    :class:`~repro.exceptions.InvalidSeriesError`, like every metric here.
     """
     x, y = _pair(x, y)
     value_range = float(np.max(x) - np.min(x))
     error = float(np.sqrt(np.mean((x - y) ** 2)))
     if value_range == 0.0:
-        return error
+        return 0.0 if error == 0.0 else float("inf")
     return error / value_range
 
 

@@ -88,6 +88,29 @@ class TestRegistry:
         with pytest.raises(InvalidParameterError):
             register_codec("broken", 42)  # type: ignore[arg-type]
 
+    def test_fidelity_metadata_on_builtins(self):
+        # The scorecard derives its codec knobs from this metadata: every
+        # lossy built-in declares how it should be driven, lossless ones
+        # declare nothing.
+        for name in ("raw", "gorilla", "chimp"):
+            assert codec_spec(name).fidelity == {}
+        assert codec_spec("cameo").fidelity == {"epsilon": 0.05}
+        for name in ("vw", "tps", "tpm", "pipv", "pipe", "rdp"):
+            assert codec_spec(name).fidelity == {"epsilon": 0.05}
+        for name in ("pmc", "swing", "simpiece"):
+            assert codec_spec(name).fidelity == {"error_bound_fraction": 0.05}
+        assert codec_spec("fft").fidelity == {"keep_fraction": 0.25}
+
+    def test_fidelity_metadata_is_copied_not_shared(self):
+        knobs = {"epsilon": 0.5}
+        register_codec("test-fidelity-copy", CameoCodec, fidelity=knobs,
+                       overwrite=True)
+        try:
+            knobs["epsilon"] = 99.0
+            assert codec_spec("test-fidelity-copy").fidelity == {"epsilon": 0.5}
+        finally:
+            _REGISTRY.pop("test-fidelity-copy", None)
+
 
 class TestAdapterIdentity:
     """The adapters must be byte-identical to the implementations they wrap."""

@@ -29,8 +29,8 @@ def _load_check_links():
 
 class TestDocsPages:
     def test_required_pages_exist(self):
-        for page in ("architecture.md", "codecs.md", "native.md",
-                     "performance.md", "robustness.md"):
+        for page in ("architecture.md", "codecs.md", "evaluation.md",
+                     "native.md", "performance.md", "robustness.md"):
             assert (DOCS / page).is_file(), f"docs/{page} is missing"
 
     def test_every_registered_codec_documented(self):
@@ -41,8 +41,9 @@ class TestDocsPages:
     def test_readme_links_docs_and_reference_baseline(self):
         readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
         for needle in ("docs/architecture.md", "docs/codecs.md",
-                       "docs/native.md", "docs/performance.md",
-                       "docs/robustness.md", "_kernels/reference.py"):
+                       "docs/evaluation.md", "docs/native.md",
+                       "docs/performance.md", "docs/robustness.md",
+                       "_kernels/reference.py"):
             assert needle in readme, f"README.md should mention {needle}"
 
     def test_roadmap_points_to_performance_page(self):

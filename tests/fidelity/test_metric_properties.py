@@ -1,0 +1,250 @@
+"""Property suite locking the fidelity metrics to their contracts.
+
+Every registered metric promises (see :mod:`repro.fidelity.base`):
+
+* identity — an identical reconstruction scores exactly ``0.0``;
+* symmetry — where the spec claims it, swapping the arguments cannot
+  change the score;
+* NaN-freedom — degenerate (constant / near-constant) input maps to a
+  documented sentinel, never NaN;
+
+and each production metric must agree with its brute-force scalar-loop
+twin in :mod:`repro.fidelity.reference` (the ``_kernels/reference.py``
+pattern).  The reference twins do not aggregate, so every comparison here
+runs under ``agg_window=1`` contexts.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError, InvalidSeriesError
+from repro.fidelity import (
+    FidelityContext,
+    acf_distance,
+    context_for_series,
+    fidelity_spec,
+    fidelity_specs,
+    get_fidelity_metric,
+    normalized_periodogram,
+    register_fidelity_metric,
+)
+from repro.fidelity import metrics as fidelity_metrics
+from repro.fidelity import reference
+from repro.data.timeseries import TimeSeries
+
+CONTEXT = FidelityContext(max_lag=8, agg_window=1, period=4, horizon=4)
+
+ALL_SPECS = fidelity_specs()
+SPEC_IDS = [spec.name for spec in ALL_SPECS]
+
+
+def series_strategy(min_size=8, max_size=48, magnitude=1e4):
+    return st.lists(
+        st.floats(-magnitude, magnitude, allow_nan=False, allow_infinity=False,
+                  width=64),
+        min_size=min_size, max_size=max_size,
+    ).map(lambda values: np.asarray(values, dtype=np.float64))
+
+
+def pair_strategy(**kwargs):
+    return series_strategy(**kwargs).flatmap(
+        lambda x: st.tuples(
+            st.just(x),
+            st.lists(st.floats(-1e4, 1e4, allow_nan=False, allow_infinity=False,
+                               width=64),
+                     min_size=x.size, max_size=x.size)
+            .map(lambda values: np.asarray(values, dtype=np.float64))))
+
+
+class TestIdentity:
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=SPEC_IDS)
+    @settings(max_examples=30, deadline=None)
+    @given(x=series_strategy())
+    def test_identical_reconstruction_scores_exactly_zero(self, spec, x):
+        assert spec.fn(x, x.copy(), CONTEXT) == 0.0
+
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=SPEC_IDS)
+    def test_identity_on_constant_series(self, spec):
+        x = np.full(32, 7.25)
+        assert spec.fn(x, x.copy(), CONTEXT) == 0.0
+
+
+class TestSymmetry:
+    @pytest.mark.parametrize(
+        "spec", [spec for spec in ALL_SPECS if spec.symmetric],
+        ids=[spec.name for spec in ALL_SPECS if spec.symmetric])
+    @settings(max_examples=30, deadline=None)
+    @given(pair=pair_strategy())
+    def test_claimed_symmetry_holds_exactly(self, spec, pair):
+        x, y = pair
+        assert spec.fn(x, y, CONTEXT) == spec.fn(y, x, CONTEXT)
+
+    def test_nrmse_is_rightly_not_claimed_symmetric(self):
+        # The normalizing range comes from the original, so swapping the
+        # arguments genuinely changes the score.
+        assert not fidelity_spec("nrmse").symmetric
+        x = np.array([0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0])
+        y = x / 4.0
+        nrmse = fidelity_spec("nrmse").fn
+        assert nrmse(x, y, CONTEXT) != nrmse(y, x, CONTEXT)
+
+
+def quantized_pair_strategy(min_size=8, max_size=48):
+    """Pairs on a 0.01 grid in [-100, 100]: element-wise differences stay
+    representable after a bounded affine transform, so the invariance
+    property is not confounded by floating-point absorption (a 1e-16
+    element shifted by 1.0 would vanish and turn distinct series equal)."""
+    grid = st.integers(-10_000, 10_000)
+    return st.lists(grid, min_size=min_size, max_size=max_size).flatmap(
+        lambda xs: st.tuples(
+            st.just(np.asarray(xs, dtype=np.float64) / 100.0),
+            st.lists(grid, min_size=len(xs), max_size=len(xs))
+            .map(lambda ys: np.asarray(ys, dtype=np.float64) / 100.0)))
+
+
+class TestAcfAffineInvariance:
+    @settings(max_examples=30, deadline=None)
+    @given(pair=quantized_pair_strategy(),
+           scale=st.floats(0.25, 4.0),
+           shift=st.floats(-50.0, 50.0))
+    def test_affine_transform_preserves_acf_distance(self, pair, scale, shift):
+        x, y = pair
+        assume(float(np.std(x)) > 1e-2 and float(np.std(y)) > 1e-2)
+        base = acf_distance(x, y, CONTEXT)
+        transformed = acf_distance(scale * x + shift, scale * y + shift, CONTEXT)
+        assert math.isfinite(base) and math.isfinite(transformed)
+        assert transformed == pytest.approx(base, rel=1e-5, abs=1e-5)
+
+
+class TestNaNFreedom:
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=SPEC_IDS)
+    @settings(max_examples=20, deadline=None)
+    @given(level=st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+           noise=st.floats(0.0, 1e-9))
+    def test_constant_and_near_constant_never_nan(self, spec, level, noise):
+        x = np.full(24, level)
+        y = x + noise
+        score = spec.fn(x, y, CONTEXT)
+        assert not math.isnan(score)
+
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=SPEC_IDS)
+    def test_constant_vs_different_constant_never_nan(self, spec):
+        x = np.zeros(24)
+        y = np.full(24, 3.0)
+        score = spec.fn(x, y, CONTEXT)
+        assert not math.isnan(score)
+
+    def test_constant_spectrum_is_all_zero_not_nan(self):
+        spectrum = normalized_periodogram(np.full(16, 5.0))
+        np.testing.assert_array_equal(spectrum, np.zeros(8))
+
+
+class TestReferenceAgreement:
+    """The production metrics must match the scalar-loop oracle."""
+
+    PAIRS = [
+        (fidelity_metrics.acf_distance, reference.reference_acf_distance, 1e-8),
+        (fidelity_metrics.pacf_distance, reference.reference_pacf_distance, 1e-6),
+        (fidelity_metrics.spectral_distance,
+         reference.reference_spectral_distance, 1e-6),
+        (fidelity_metrics.max_error, reference.reference_max_error, 0.0),
+        (fidelity_metrics.nrmse, reference.reference_nrmse, 1e-12),
+    ]
+
+    @pytest.mark.parametrize("fast,slow,tolerance", PAIRS,
+                             ids=["acf", "pacf", "spectral", "max_error", "nrmse"])
+    @settings(max_examples=25, deadline=None)
+    @given(pair=pair_strategy(max_size=40, magnitude=1e3))
+    def test_production_matches_reference(self, fast, slow, tolerance, pair):
+        x, y = pair
+        expected = slow(x, y, CONTEXT)
+        actual = fast(x, y, CONTEXT)
+        if math.isinf(expected):
+            assert math.isinf(actual)
+        else:
+            assert actual == pytest.approx(expected, rel=max(tolerance, 1e-12),
+                                           abs=max(tolerance, 1e-12))
+
+    @settings(max_examples=15, deadline=None)
+    @given(x=series_strategy(min_size=10, max_size=40, magnitude=1e3))
+    def test_acf_and_pacf_vectors_match_reference(self, x):
+        from repro.stats import acf, pacf_from_acf
+        assume(float(np.std(x)) > 1e-6)
+        lag = min(8, x.size - 2)
+        np.testing.assert_allclose(acf(x, lag), reference.reference_acf(x, lag),
+                                   rtol=1e-8, atol=1e-10)
+        np.testing.assert_allclose(pacf_from_acf(acf(x, lag)),
+                                   reference.reference_pacf(x, lag),
+                                   rtol=1e-6, atol=1e-8)
+
+    @settings(max_examples=15, deadline=None)
+    @given(x=series_strategy(min_size=8, max_size=32, magnitude=1e3))
+    def test_periodogram_matches_direct_dft(self, x):
+        np.testing.assert_allclose(normalized_periodogram(x),
+                                   reference.reference_periodogram(x),
+                                   rtol=1e-6, atol=1e-9)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=SPEC_IDS)
+    def test_malformed_input_raises_invalid_series(self, spec):
+        good = np.arange(16.0)
+        with pytest.raises(InvalidSeriesError):
+            spec.fn(np.array([]), np.array([]), CONTEXT)
+        with pytest.raises(InvalidSeriesError):
+            spec.fn(good, good[:-1], CONTEXT)
+        with pytest.raises(InvalidSeriesError):
+            spec.fn(np.full(16, np.nan), good, CONTEXT)
+
+
+class TestRegistry:
+    def test_builtin_order_is_stable(self):
+        assert [spec.name for spec in fidelity_specs()] == [
+            "acf_dist", "pacf_dist", "spectral_dist",
+            "max_error", "nrmse", "forecast_delta"]
+
+    def test_kind_filter(self):
+        assert [spec.name for spec in fidelity_specs(kind="downstream")] == [
+            "forecast_delta"]
+        assert all(spec.kind == "statistical"
+                   for spec in fidelity_specs(kind="statistical"))
+
+    def test_unknown_metric_suggests_close_match(self):
+        with pytest.raises(InvalidParameterError, match="acf_dist"):
+            fidelity_spec("acf_dis")
+
+    def test_duplicate_registration_is_rejected(self):
+        with pytest.raises(InvalidParameterError, match="already registered"):
+            register_fidelity_metric("nrmse", lambda x, y, ctx: 0.0)
+
+    def test_get_metric_passes_callables_through(self):
+        probe = lambda x, y, ctx: 1.0  # noqa: E731
+        assert get_fidelity_metric(probe) is probe
+        assert get_fidelity_metric("max_error") is fidelity_metrics.max_error
+
+
+class TestContext:
+    def test_clamping_fits_short_series(self):
+        context = FidelityContext(max_lag=24, agg_window=4, horizon=12)
+        clamped = context.clamped(20)
+        assert clamped.max_lag == 3  # 20 // 4 tracked points - 2
+        assert clamped.horizon == 5  # 20 // 4
+        assert clamped.agg_window == 4
+
+    def test_context_for_series_reads_metadata(self):
+        series = TimeSeries(values=np.arange(144.0), name="probe", period=12,
+                            metadata={"acf_lags": 24, "agg_window": 1})
+        context = context_for_series(series)
+        assert (context.max_lag, context.agg_window) == (24, 1)
+        assert (context.period, context.horizon) == (12, 12)
+
+    def test_context_for_plain_arrays_uses_defaults(self):
+        context = context_for_series(np.arange(400.0))
+        assert (context.max_lag, context.agg_window, context.period,
+                context.horizon) == (24, 1, 0, 12)

@@ -1,0 +1,206 @@
+"""Gating guarantees for the fidelity scorecard.
+
+The CI scorecard job is non-gating (values may drift across numpy
+versions); what *gates* lives here: the committed ``SCORECARD.json`` is
+schema-valid and complete, two back-to-back builds are byte-identical, and
+the rendered tables in ``docs/evaluation.md`` match the committed JSON.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.benchlib.scorecard import (
+    SCORECARD_FORMAT,
+    SCORECARD_VERSION,
+    build_scorecard,
+    derive_codec_options,
+    render_markdown,
+    scorecard_json,
+    validate_scorecard,
+    write_scorecard,
+)
+from repro.codecs import available_codecs, codec_spec
+from repro.exceptions import ScorecardError
+from repro.fidelity import available_fidelity_metrics
+from repro.ingest import corpus_names, load_corpus_series
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+SCORECARD_PATH = REPO_ROOT / "SCORECARD.json"
+EVALUATION_PAGE = REPO_ROOT / "docs" / "evaluation.md"
+
+
+@pytest.fixture(scope="module")
+def committed() -> dict:
+    return json.loads(SCORECARD_PATH.read_text(encoding="utf-8"))
+
+
+@pytest.fixture(scope="module")
+def built() -> dict:
+    return build_scorecard()
+
+
+class TestCommittedScorecard:
+    def test_is_schema_valid(self, committed):
+        validate_scorecard(committed)
+
+    def test_covers_every_codec_series_and_metric(self, committed):
+        assert sorted(entry["name"] for entry in committed["codecs"]) == \
+            available_codecs()
+        assert list(committed["corpus"]) == corpus_names()
+        assert [entry["name"] for entry in committed["metrics"]] == \
+            available_fidelity_metrics()
+        assert len(committed["results"]) == \
+            len(committed["codecs"]) * len(committed["corpus"])
+
+    def test_meets_the_acceptance_floor(self, committed):
+        assert len(committed["corpus"]) >= 3
+        assert len(committed["metrics"]) >= 5
+
+    def test_is_canonically_serialized(self, committed):
+        assert SCORECARD_PATH.read_text(encoding="utf-8") == \
+            scorecard_json(committed)
+
+    def test_lossless_codecs_score_zero_everywhere(self, committed):
+        for row in committed["results"]:
+            if row["lossless"] and row["codec"] in ("raw", "gorilla", "chimp"):
+                assert all(score == 0 for score in row["scores"].values()), row
+
+    def test_provenance_is_recorded(self, committed):
+        for name, info in committed["corpus"].items():
+            assert len(info["sha256"]) == 64, name
+            assert "public domain" in info["license"], name
+            assert info["points"] > 0
+
+    def test_rendered_docs_page_matches(self, committed):
+        # The same guarantee tools/render_scorecard.py --check enforces in
+        # the CI docs job, kept gating inside tier-1.
+        page = EVALUATION_PAGE.read_text(encoding="utf-8")
+        begin = page.index("<!-- scorecard:begin -->") + len("<!-- scorecard:begin -->")
+        end = page.index("<!-- scorecard:end -->")
+        assert page[begin:end] == "\n" + render_markdown(committed)
+
+
+class TestDeterminism:
+    def test_back_to_back_builds_are_byte_identical(self, built):
+        assert scorecard_json(built) == scorecard_json(build_scorecard())
+
+    def test_no_nonfinite_floats_leak_into_json(self, built):
+        # allow_nan=False would raise on any NaN/inf; round-trip proves it.
+        assert json.loads(scorecard_json(built)) == json.loads(scorecard_json(built))
+
+    def test_build_matches_committed_structure(self, built, committed):
+        assert built["format"] == committed["format"] == SCORECARD_FORMAT
+        assert built["version"] == committed["version"] == SCORECARD_VERSION
+        assert built["codecs"] == committed["codecs"]
+        assert built["metrics"] == committed["metrics"]
+        assert list(built["corpus"]) == list(committed["corpus"])
+
+
+class TestValidation:
+    def _valid(self, built) -> dict:
+        return copy.deepcopy(built)
+
+    def test_rejects_non_object(self):
+        with pytest.raises(ScorecardError, match="JSON object"):
+            validate_scorecard([])
+
+    def test_rejects_wrong_format(self, built):
+        document = self._valid(built)
+        document["format"] = "something-else"
+        with pytest.raises(ScorecardError, match="format"):
+            validate_scorecard(document)
+
+    def test_rejects_version_drift(self, built):
+        document = self._valid(built)
+        document["version"] = SCORECARD_VERSION + 1
+        with pytest.raises(ScorecardError, match="version"):
+            validate_scorecard(document)
+
+    def test_rejects_missing_cell(self, built):
+        document = self._valid(built)
+        document["results"].pop()
+        with pytest.raises(ScorecardError, match="missing cells"):
+            validate_scorecard(document)
+
+    def test_rejects_duplicate_cell(self, built):
+        document = self._valid(built)
+        document["results"].append(copy.deepcopy(document["results"][0]))
+        with pytest.raises(ScorecardError, match="duplicate"):
+            validate_scorecard(document)
+
+    def test_rejects_metric_coverage_gap(self, built):
+        document = self._valid(built)
+        document["results"][0]["scores"].pop("acf_dist")
+        with pytest.raises(ScorecardError, match="coverage"):
+            validate_scorecard(document)
+
+    def test_rejects_non_numeric_score(self, built):
+        document = self._valid(built)
+        document["results"][0]["scores"]["acf_dist"] = "fast"
+        with pytest.raises(ScorecardError, match="number"):
+            validate_scorecard(document)
+
+    def test_rejects_missing_required_key(self, built):
+        document = self._valid(built)
+        del document["results"][0]["bits_per_value"]
+        with pytest.raises(ScorecardError, match="bits_per_value"):
+            validate_scorecard(document)
+
+    def test_null_scores_are_allowed(self, built):
+        document = self._valid(built)
+        document["results"][0]["scores"]["acf_dist"] = None
+        validate_scorecard(document)
+
+    def test_write_refuses_invalid_documents(self, tmp_path, built):
+        document = self._valid(built)
+        document["results"] = []
+        target = tmp_path / "SCORECARD.json"
+        with pytest.raises(ScorecardError):
+            write_scorecard(document, target)
+        assert not target.exists()
+
+
+class TestCodecOptions:
+    def test_statistic_bounded_codecs_get_the_series_lag(self):
+        series = load_corpus_series("airline")
+        options = derive_codec_options(codec_spec("cameo"), series)
+        assert options == {"epsilon": 0.05, "max_lag": 24}
+
+    def test_model_codecs_get_range_scaled_error_bound(self):
+        series = load_corpus_series("nile")
+        options = derive_codec_options(codec_spec("pmc"), series)
+        value_range = float(np.max(series.values) - np.min(series.values))
+        assert options["error_bound"] == pytest.approx(0.05 * value_range)
+        assert "error_bound_fraction" not in options
+
+    def test_fft_keeps_its_fraction_verbatim(self):
+        series = load_corpus_series("lynx")
+        assert derive_codec_options(codec_spec("fft"), series) == \
+            {"keep_fraction": 0.25}
+
+    def test_lossless_codecs_need_no_knobs(self):
+        series = load_corpus_series("sunspots")
+        assert derive_codec_options(codec_spec("gorilla"), series) == {}
+        assert codec_spec("raw").fidelity == {}
+
+
+class TestCli:
+    def test_scorecard_subcommand_writes_valid_artifacts(self, tmp_path):
+        from repro.cli import main
+        output = tmp_path / "card.json"
+        markdown = tmp_path / "card.md"
+        # One codec keeps the CLI test fast; coverage of the full cross
+        # product is the committed scorecard's job.
+        assert main(["scorecard", "--output", str(output),
+                     "--markdown", str(markdown),
+                     "--codec", "cameo", "--codec", "raw"]) == 0
+        document = json.loads(output.read_text(encoding="utf-8"))
+        validate_scorecard(document)
+        assert [entry["name"] for entry in document["codecs"]] == ["cameo", "raw"]
+        assert "| `cameo` |" in markdown.read_text(encoding="utf-8")

@@ -1,0 +1,208 @@
+"""The bundled corpus and the ingest pipeline — fully offline, always.
+
+No test here (or anywhere in the suite) touches the network: the bundled
+snapshots are the default byte source, and the fetch/cache logic is
+exercised with fake in-memory fetchers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data.timeseries import TimeSeries
+from repro.exceptions import ChecksumMismatchError, IngestError
+from repro.ingest import (
+    BUNDLED_DIR,
+    CORPUS,
+    BundledFetcher,
+    CachedFetcher,
+    DatasetSource,
+    corpus_names,
+    corpus_source,
+    corpus_to_store,
+    fetch_bytes,
+    load_corpus,
+    load_corpus_series,
+    parse_csv_column,
+    sha256_hex,
+    source_to_series,
+    verify_corpus,
+)
+
+#: Expected lengths of the bundled series (their published sizes).
+EXPECTED_POINTS = {"airline": 144, "lynx": 114, "nile": 100, "sunspots": 100}
+
+
+class FakeFetcher:
+    """In-memory fetcher standing in for a network source."""
+
+    def __init__(self, payload: bytes):
+        self.payload = payload
+        self.calls = 0
+
+    def fetch(self, source: DatasetSource) -> bytes:
+        self.calls += 1
+        return self.payload
+
+
+class TestBundledSnapshots:
+    def test_every_snapshot_matches_its_pin(self):
+        for source in CORPUS.values():
+            payload = (BUNDLED_DIR / source.filename).read_bytes()
+            assert sha256_hex(payload) == source.sha256, source.name
+
+    def test_manifest_agrees_with_the_pins(self):
+        manifest = json.loads(
+            (BUNDLED_DIR / "MANIFEST.json").read_text(encoding="utf-8"))
+        for source in CORPUS.values():
+            entry = manifest[source.filename]
+            assert entry["sha256"] == source.sha256
+            assert entry["bytes"] == (BUNDLED_DIR / source.filename).stat().st_size
+
+    def test_verify_corpus_returns_every_pin(self):
+        assert verify_corpus() == {
+            name: source.sha256 for name, source in CORPUS.items()}
+
+
+class TestCorpusLoading:
+    def test_names_and_sources(self):
+        assert corpus_names() == ["airline", "lynx", "nile", "sunspots"]
+        assert corpus_source("AIRLINE").name == "airline"
+        with pytest.raises(IngestError, match="unknown corpus series"):
+            corpus_source("no-such-series")
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_POINTS))
+    def test_series_loads_offline_with_provenance(self, name):
+        series = load_corpus_series(name)
+        assert isinstance(series, TimeSeries)
+        assert series.values.size == EXPECTED_POINTS[name]
+        assert series.values.dtype == np.float64
+        assert np.all(np.isfinite(series.values))
+        assert series.metadata["sha256"] == CORPUS[name].sha256
+        assert series.metadata["corpus"] is True
+        assert series.metadata["license"]
+        assert series.metadata["origin"]
+
+    def test_known_values_are_exact(self):
+        # First/last values of the published series: a parsing or snapshot
+        # regression cannot shift the data without tripping these.
+        airline = load_corpus_series("airline").values
+        assert (airline[0], airline[-1]) == (112.0, 432.0)
+        nile = load_corpus_series("nile").values
+        assert (nile[0], nile[-1]) == (1120.0, 740.0)
+
+    def test_load_corpus_loads_everything_in_order(self):
+        corpus = load_corpus()
+        assert list(corpus) == corpus_names()
+        assert all(isinstance(series, TimeSeries) for series in corpus.values())
+
+    def test_corpus_round_trips_through_the_store(self):
+        store = corpus_to_store()
+        for name, series in load_corpus().items():
+            np.testing.assert_array_equal(store.read(name), series.values)
+            assert store.info(name).metadata["sha256"] == CORPUS[name].sha256
+
+
+class TestChecksumEnforcement:
+    def test_tampered_bytes_raise(self):
+        source = corpus_source("airline")
+        fetcher = FakeFetcher(b"month,passengers\n1949-01,999\n")
+        with pytest.raises(ChecksumMismatchError, match="SHA-256 mismatch"):
+            fetch_bytes(source, fetcher=fetcher)
+
+    def test_tampered_bundle_raises(self, tmp_path):
+        source = corpus_source("airline")
+        (tmp_path / source.filename).write_bytes(b"not the snapshot")
+        with pytest.raises(ChecksumMismatchError):
+            fetch_bytes(source, fetcher=BundledFetcher(tmp_path))
+
+    def test_missing_bundle_raises_ingest_error(self, tmp_path):
+        with pytest.raises(IngestError, match="missing"):
+            fetch_bytes(corpus_source("airline"), fetcher=BundledFetcher(tmp_path))
+
+    def test_custom_fetcher_still_verified(self):
+        source = corpus_source("lynx")
+        payload = (BUNDLED_DIR / source.filename).read_bytes()
+        assert fetch_bytes(source, fetcher=FakeFetcher(payload)) == payload
+
+
+class TestCachedFetcher:
+    def _source(self, payload: bytes) -> DatasetSource:
+        return DatasetSource(name="fake", filename="fake.csv",
+                             sha256=sha256_hex(payload), column="value")
+
+    def test_fetches_once_then_serves_from_cache(self, tmp_path):
+        payload = b"value\n1.0\n2.0\n"
+        inner = FakeFetcher(payload)
+        cached = CachedFetcher(inner, cache_dir=tmp_path)
+        source = self._source(payload)
+        for _ in range(3):
+            assert cached.fetch(source) == payload
+        assert inner.calls == 1
+        assert (cached.hits, cached.misses) == (2, 1)
+        assert cached.cache_path(source).is_file()
+
+    def test_corrupted_cache_entry_is_refetched(self, tmp_path):
+        payload = b"value\n1.0\n2.0\n"
+        inner = FakeFetcher(payload)
+        cached = CachedFetcher(inner, cache_dir=tmp_path)
+        source = self._source(payload)
+        cached.fetch(source)
+        cached.cache_path(source).write_bytes(b"bit rot")
+        assert cached.fetch(source) == payload
+        assert inner.calls == 2
+        assert cached.cache_path(source).read_bytes() == payload
+
+    def test_bad_bytes_are_never_cached(self, tmp_path):
+        payload = b"value\n1.0\n"
+        cached = CachedFetcher(FakeFetcher(b"tampered"), cache_dir=tmp_path)
+        with pytest.raises(ChecksumMismatchError):
+            cached.fetch(self._source(payload))
+        assert list(tmp_path.iterdir()) == []
+
+    def test_checksum_bump_invalidates_the_old_entry(self, tmp_path):
+        old = b"value\n1.0\n"
+        new = b"value\n2.0\n"
+        cached = CachedFetcher(FakeFetcher(old), cache_dir=tmp_path)
+        cached.fetch(self._source(old))
+        # The pin changed (new upstream snapshot): the old entry's key no
+        # longer matches, so the new bytes are fetched and cached separately.
+        cached.inner = FakeFetcher(new)
+        assert cached.fetch(self._source(new)) == new
+        assert cached.misses == 2
+
+    def test_cache_dir_honours_environment_override(self, tmp_path, monkeypatch):
+        from repro.ingest.pipeline import CACHE_ENV, default_cache_dir
+        monkeypatch.setenv(CACHE_ENV, str(tmp_path / "elsewhere"))
+        assert default_cache_dir() == tmp_path / "elsewhere"
+
+
+class TestParsing:
+    def test_parse_csv_column_picks_the_named_column(self):
+        payload = b"year,flow\n1871,1120\n1872,1160\n"
+        np.testing.assert_array_equal(parse_csv_column(payload, "flow"),
+                                      [1120.0, 1160.0])
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(IngestError, match="not in CSV header"):
+            parse_csv_column(b"year,flow\n1871,1120\n", "level")
+
+    def test_headerless_or_empty_payload_raises(self):
+        with pytest.raises(IngestError, match="no data rows"):
+            parse_csv_column(b"year,flow\n", "flow")
+
+    def test_non_numeric_cell_raises(self):
+        with pytest.raises(IngestError, match="cannot parse"):
+            parse_csv_column(b"year,flow\n1871,n/a\n", "flow")
+
+    def test_source_to_series_supports_custom_parse(self):
+        source = DatasetSource(name="blob", filename="blob.bin",
+                               sha256=sha256_hex(b"\x01\x02"))
+        series = source_to_series(source, b"\x01\x02",
+                                  parse=lambda raw: np.frombuffer(raw, dtype=np.uint8)
+                                  .astype(np.float64))
+        np.testing.assert_array_equal(series.values, [1.0, 2.0])

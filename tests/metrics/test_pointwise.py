@@ -48,10 +48,15 @@ class TestBasicMetrics:
         expected = np.sqrt((1.0 ** 2) / 3.0) / 10.0
         assert nrmse(x, y) == pytest.approx(expected)
 
-    def test_nrmse_constant_original_falls_back_to_rmse(self):
+    def test_nrmse_constant_original_sentinel(self):
+        # A constant original has zero value range: the quotient is
+        # undefined, so the documented sentinel applies — 0.0 when the
+        # reconstruction is exact, inf otherwise (never a silent fallback
+        # to unnormalized RMSE, which made incomparable scales comparable).
         x = np.ones(10)
-        y = np.ones(10) * 2.0
-        assert nrmse(x, y) == pytest.approx(1.0)
+        assert nrmse(x, x.copy()) == 0.0
+        assert nrmse(x, np.ones(10) * 2.0) == np.inf
+        assert nrmse(x, np.ones(10) + 1e-9) == np.inf
 
     def test_chebyshev_is_max_abs(self):
         x = np.array([1.0, 2.0, 3.0])
@@ -127,6 +132,36 @@ class TestValidation:
     def test_empty_rejected(self):
         with pytest.raises(InvalidSeriesError):
             mae([], [])
+
+
+class TestDegenerateInputsAcrossRegistry:
+    """Every registered metric agrees on what degenerate input means."""
+
+    @pytest.mark.parametrize("name", sorted(set(available_metrics())))
+    def test_empty_input_raises(self, name):
+        with pytest.raises(InvalidSeriesError):
+            get_metric(name)(np.array([]), np.array([]))
+
+    @pytest.mark.parametrize("name", sorted(set(available_metrics())))
+    def test_all_nan_input_raises(self, name):
+        nans = np.full(8, np.nan)
+        with pytest.raises(InvalidSeriesError):
+            get_metric(name)(nans, np.zeros(8))
+        with pytest.raises(InvalidSeriesError):
+            get_metric(name)(np.zeros(8), nans)
+
+    @pytest.mark.parametrize("name", sorted(set(available_metrics())))
+    def test_length_one_identical_never_nan(self, name):
+        # Length-1 series are valid but degenerate (zero value range, no
+        # variance): identical inputs must map to each metric's documented
+        # perfect score or sentinel, never NaN.
+        value = get_metric(name)(np.array([3.0]), np.array([3.0]))
+        assert not np.isnan(value)
+
+    def test_length_one_sentinels(self):
+        assert nrmse(np.array([3.0]), np.array([3.0])) == 0.0
+        assert nrmse(np.array([3.0]), np.array([4.0])) == np.inf
+        assert psnr(np.array([3.0]), np.array([3.0])) == np.inf
 
 
 class TestRegistry:

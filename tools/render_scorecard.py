@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Splice the rendered scorecard tables into ``docs/evaluation.md``.
+
+Reads the committed ``SCORECARD.json``, renders it with
+:func:`repro.benchlib.scorecard.render_markdown`, and replaces the block
+between the ``<!-- scorecard:begin -->`` / ``<!-- scorecard:end -->``
+markers in ``docs/evaluation.md``.
+
+Usage::
+
+    python tools/render_scorecard.py --write   # update docs/evaluation.md
+    python tools/render_scorecard.py --check   # exit 1 if out of date
+
+CI's docs job runs ``--check`` so the committed page can never drift from
+the committed scorecard.  Regenerate both with::
+
+    python -m repro.cli scorecard && python tools/render_scorecard.py --write
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+SCORECARD_PATH = REPO_ROOT / "SCORECARD.json"
+PAGE_PATH = REPO_ROOT / "docs" / "evaluation.md"
+BEGIN_MARKER = "<!-- scorecard:begin -->"
+END_MARKER = "<!-- scorecard:end -->"
+
+
+def spliced_page(page: str, tables: str) -> str:
+    """The page text with the marker block replaced by ``tables``."""
+    begin = page.index(BEGIN_MARKER) + len(BEGIN_MARKER)
+    end = page.index(END_MARKER)
+    if end < begin:
+        raise ValueError("scorecard markers are out of order")
+    return page[:begin] + "\n" + tables + page[end:]
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--write", action="store_true",
+                       help="update docs/evaluation.md in place")
+    group.add_argument("--check", action="store_true",
+                       help="exit 1 if docs/evaluation.md is out of date")
+    args = parser.parse_args(argv)
+
+    from repro.benchlib.scorecard import render_markdown
+
+    document = json.loads(SCORECARD_PATH.read_text(encoding="utf-8"))
+    tables = render_markdown(document)
+    page = PAGE_PATH.read_text(encoding="utf-8")
+    if BEGIN_MARKER not in page or END_MARKER not in page:
+        print(f"{PAGE_PATH}: missing scorecard markers", file=sys.stderr)
+        return 1
+    updated = spliced_page(page, tables)
+
+    if args.check:
+        if updated != page:
+            print(f"{PAGE_PATH} is out of date with SCORECARD.json; "
+                  "run: python tools/render_scorecard.py --write",
+                  file=sys.stderr)
+            return 1
+        print(f"{PAGE_PATH} matches SCORECARD.json")
+        return 0
+
+    PAGE_PATH.write_text(updated, encoding="utf-8")
+    print(f"wrote {PAGE_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -30,6 +30,13 @@ Six subcommands cover the typical workflow on CSV data:
     Gorilla/Chimp lossless codecs — a quick "should I compress this lossily?"
     report.  ``--codec`` adds any registered codec to the comparison.
 
+``store``
+    Crash-consistent durable time series store (``save`` / ``append`` /
+    ``load`` / ``fsck``): ingest CSV columns into WAL-backed, checksummed,
+    codec-compressed segment files and read them back.  ``store fsck``
+    runs the recovery scan and exits 0 on a clean store, 4 when corruption
+    was found (quarantined segments / truncated WAL tails).
+
 ``list-codecs``
     Enumerate every registered codec with its family and description.
 
@@ -433,6 +440,81 @@ def _cmd_scorecard(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store_save(args: argparse.Namespace) -> int:
+    from .storage import DurableStore
+
+    values = _read_csv_column(Path(args.input), args.column)
+    store = DurableStore.open(Path(args.directory), create=True,
+                              fsync_policy=args.fsync)
+    try:
+        if args.series not in store:
+            options = _parse_codec_args(args.codec_arg)
+            store.create_series(args.series, codec=args.codec,
+                                segment_size=args.segment_size,
+                                codec_options=options or None)
+        store.append(args.series, values)
+        print(f"saved {values.size} values into series {args.series!r} "
+              f"of {args.directory} (length now {store.length(args.series)})")
+    finally:
+        store.close()
+    return 0
+
+
+def _cmd_store_append(args: argparse.Namespace) -> int:
+    from .storage import DurableStore
+
+    values = _read_csv_column(Path(args.input), args.column)
+    store = DurableStore.open(Path(args.directory), fsync_policy=args.fsync)
+    try:
+        store.append(args.series, values)
+        print(f"appended {values.size} values to series {args.series!r} "
+              f"(length now {store.length(args.series)})")
+    finally:
+        store.close()
+    return 0
+
+
+def _cmd_store_load(args: argparse.Namespace) -> int:
+    from .storage import DurableStore
+
+    store = DurableStore.open(Path(args.directory))
+    try:
+        if args.series is None:
+            names = store.list_series()
+            print(f"{args.directory}: {len(names)} series")
+            for name in names:
+                info = store.info(name)
+                holes = store.holes(name)
+                line = (f"  {name}: {info.points} values, codec {info.codec}, "
+                        f"{info.segments} segments, "
+                        f"{info.bits_per_value:.2f} bits/value")
+                if holes:
+                    line += f", {len(holes)} quarantined hole(s)"
+                print(line)
+            if not store.recovery.clean:
+                print("recovery notes:")
+                print(store.recovery.summary())
+            return 0
+        values = store.read(args.series, args.start, args.stop)
+        if args.output:
+            _write_csv(Path(args.output), values, column_name=args.series)
+            print(f"wrote {values.size} values to {args.output}")
+        else:
+            for value in values:
+                print(value)
+    finally:
+        store.close()
+    return 0
+
+
+def _cmd_store_fsck(args: argparse.Namespace) -> int:
+    from .storage import fsck
+
+    report = fsck(Path(args.directory), fsync_policy=args.fsync)
+    print(report.summary())
+    return 0 if report.clean else 4
+
+
 def _cmd_list_codecs(_args: argparse.Namespace) -> int:
     specs = codec_specs()
     name_width = max(len(spec.name) for spec in specs)
@@ -547,6 +629,62 @@ def build_parser() -> argparse.ArgumentParser:
     list_codecs = subparsers.add_parser("list-codecs",
                                         help="list every registered codec")
     list_codecs.set_defaults(func=_cmd_list_codecs)
+
+    store = subparsers.add_parser(
+        "store",
+        help="crash-consistent durable time series store (WAL + checksums)")
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    def add_store_dir(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("directory", help="durable store directory")
+        sub.add_argument("--fsync", default="always",
+                         choices=("always", "interval", "never"),
+                         help="WAL fsync policy (default always)")
+
+    store_save = store_sub.add_parser(
+        "save", help="ingest a CSV column into a series (store and series "
+                     "are created when missing)")
+    add_store_dir(store_save)
+    store_save.add_argument("--input", required=True, help="CSV file to ingest")
+    store_save.add_argument("--series", required=True, help="target series name")
+    store_save.add_argument("--column", default=None,
+                            help="CSV column name or index (default: last)")
+    store_save.add_argument("--codec", default="cameo",
+                            help="codec for a newly created series "
+                                 "(default cameo)")
+    store_save.add_argument("--codec-arg", action="append", default=[],
+                            metavar="K=V", help="codec option, repeatable")
+    store_save.add_argument("--segment-size", type=int, default=None,
+                            help="values per sealed segment for a new series")
+    store_save.set_defaults(func=_cmd_store_save)
+
+    store_append = store_sub.add_parser(
+        "append", help="append a CSV column to an existing series")
+    add_store_dir(store_append)
+    store_append.add_argument("--input", required=True, help="CSV file")
+    store_append.add_argument("--series", required=True, help="series name")
+    store_append.add_argument("--column", default=None,
+                              help="CSV column name or index (default: last)")
+    store_append.set_defaults(func=_cmd_store_append)
+
+    store_load = store_sub.add_parser(
+        "load", help="read a series back out (or summarize the store)")
+    add_store_dir(store_load)
+    store_load.add_argument("--series", default=None,
+                            help="series to read (default: summarize all)")
+    store_load.add_argument("--output", default=None,
+                            help="CSV output path (default: print values)")
+    store_load.add_argument("--start", type=int, default=0,
+                            help="first position to read (default 0)")
+    store_load.add_argument("--stop", type=int, default=None,
+                            help="one past the last position (default: end)")
+    store_load.set_defaults(func=_cmd_store_load)
+
+    store_fsck = store_sub.add_parser(
+        "fsck", help="recovery scan: verify checksums, quarantine corrupt "
+                     "segments, replay the WAL (exit 0 clean, 4 corruption)")
+    add_store_dir(store_fsck)
+    store_fsck.set_defaults(func=_cmd_store_fsck)
 
     scorecard = subparsers.add_parser(
         "scorecard",

@@ -46,10 +46,15 @@ __all__ = [
     "FaultPlan",
     "InjectedFault",
     "InjectedCrash",
+    "StorageFaultAction",
     "active_plan",
     "fire",
+    "fire_storage",
+    "inject_bit_flip",
+    "inject_torn_write",
     "load_plan",
     "random_plan",
+    "random_storage_plan",
 ]
 
 #: Environment variable carrying the active plan as JSON.
@@ -73,6 +78,48 @@ KINDS = ("crash", "hang", "raise", "corrupt")
 #:     Fires in the parent while building the shared-memory manifest —
 #:     corrupts one entry so the worker cannot view that chunk's input.
 SITES = ("chunk", "encode", "manifest")
+
+#: Recognised storage fault kinds (see :class:`StorageFaultAction`).
+#:
+#: ``crash``
+#:     Stop execution at the site: ``os._exit`` in a worker process, or
+#:     :class:`InjectedCrash` in the plan-activating process (the durable
+#:     store's kill-at-every-syncpoint harness runs in-process, so a crash
+#:     is an exception the harness catches before reopening the store).
+#: ``torn_write``
+#:     Truncate the bytes being written at ``at_byte`` — the on-disk
+#:     artifact ends up holding only a prefix, exactly what a power loss
+#:     mid-write (or a non-atomic rename) leaves behind.  Recovery must
+#:     detect it through the record/segment CRC, never decode it.
+#: ``bit_flip``
+#:     Flip bit ``bit`` of the bytes being written — silent media
+#:     corruption.  The CRC must reject the artifact.
+#: ``raise``
+#:     Raise :class:`InjectedFault` at the site (an I/O error stand-in).
+STORAGE_KINDS = ("crash", "torn_write", "bit_flip", "raise")
+
+#: Recognised storage injection sites, in write-path order.
+#:
+#: ``wal_append``
+#:     One WAL record's bytes, before they are written.  A ``crash`` here
+#:     loses the record (it was never durable); ``torn_write``/``bit_flip``
+#:     publish a corrupt record that recovery must truncate at.
+#: ``wal_sync``
+#:     After the WAL record bytes hit the file, before/at fsync return.
+#:     A ``crash`` here leaves a fully written record: the append was
+#:     never acknowledged, but recovery may legitimately replay it.
+#: ``segment_write``
+#:     One sealed segment file's bytes (``torn_write``/``bit_flip``
+#:     corrupt the published file; checksum verification must quarantine).
+#: ``wal_compact``
+#:     The rewritten WAL generation produced by a checkpoint.
+#: ``manifest_write``
+#:     The manifest bytes of an atomic manifest swap.
+#: ``before_rename`` / ``after_rename``
+#:     Immediately before / after the tmp-file → final-name rename of any
+#:     durable artifact (the ``target`` filter selects which).
+STORAGE_SITES = ("wal_append", "wal_sync", "segment_write", "wal_compact",
+                 "manifest_write", "before_rename", "after_rename")
 
 
 class InjectedFault(RuntimeError):
@@ -136,11 +183,66 @@ class FaultAction:
         return f"{self.kind}-{self.site}-{self.series}"
 
 
+@dataclass(frozen=True)
+class StorageFaultAction:
+    """One planned storage fault (see :data:`STORAGE_KINDS` / ``_SITES``).
+
+    Parameters
+    ----------
+    kind:
+        ``crash`` | ``torn_write`` | ``bit_flip`` | ``raise``.
+    site:
+        Storage injection site (:data:`STORAGE_SITES`).
+    target:
+        Substring filter on the artifact path the site is handling; an
+        empty string matches every path at the site.  Lets one plan crash
+        the rename of *the manifest* while leaving segment renames alone.
+    at_byte:
+        ``torn_write`` truncation point.  ``None`` truncates at half the
+        payload; values beyond the payload length leave it untouched
+        (the torn write happened past the end — a no-op).
+    bit:
+        ``bit_flip`` target bit index (modulo the payload's bit length).
+    skip_hits:
+        Number of matching calls to let through unharmed before firing —
+        the knob that turns one action into a *kill at the k-th syncpoint*
+        probe.  Skip accounting is per-process (the storage harness runs
+        in-process).
+    max_hits:
+        Firing budget once the skips are exhausted (``None`` = every
+        match).
+    """
+
+    kind: str
+    site: str
+    target: str = ""
+    at_byte: int | None = None
+    bit: int = 0
+    skip_hits: int = 0
+    max_hits: int | None = 1
+
+    def __post_init__(self):
+        if self.kind not in STORAGE_KINDS:
+            raise ValueError(f"unknown storage fault kind {self.kind!r}; "
+                             f"choose from {', '.join(STORAGE_KINDS)}")
+        if self.site not in STORAGE_SITES:
+            raise ValueError(f"unknown storage fault site {self.site!r}; "
+                             f"choose from {', '.join(STORAGE_SITES)}")
+
+    @property
+    def marker(self) -> str:
+        """Stable identity used for hit accounting."""
+        return (f"storage-{self.kind}-{self.site}-{self.target or '*'}"
+                f"-{self.at_byte}-{self.bit}-{self.skip_hits}")
+
+
 @dataclass
 class FaultPlan:
     """A set of actions plus the bookkeeping needed to apply them safely."""
 
     actions: list[FaultAction] = field(default_factory=list)
+    #: Storage-layer actions (fired through :func:`fire_storage`).
+    storage_actions: list[StorageFaultAction] = field(default_factory=list)
     #: Directory for hit-claim marker files (shared across processes).
     state_dir: str | None = None
     #: PID of the activating process; ``crash`` never hard-kills this one.
@@ -149,6 +251,8 @@ class FaultPlan:
     def to_json(self) -> str:
         return json.dumps({
             "actions": [asdict(action) for action in self.actions],
+            "storage_actions": [asdict(action)
+                                for action in self.storage_actions],
             "state_dir": self.state_dir,
             "pid": self.pid,
         })
@@ -158,6 +262,8 @@ class FaultPlan:
         document = json.loads(payload)
         return cls(
             actions=[FaultAction(**entry) for entry in document["actions"]],
+            storage_actions=[StorageFaultAction(**entry)
+                             for entry in document.get("storage_actions", [])],
             state_dir=document.get("state_dir"),
             pid=int(document.get("pid") or 0))
 
@@ -168,6 +274,8 @@ class FaultPlan:
 _plan_cache: tuple[str, FaultPlan] | None = None
 #: In-process fallback hit counters (used when a plan has no state_dir).
 _local_hits: dict[str, int] = {}
+#: In-process skip counters for :class:`StorageFaultAction.skip_hits`.
+_local_skips: dict[str, int] = {}
 
 
 def load_plan() -> FaultPlan | None:
@@ -270,6 +378,99 @@ def _perform(plan: FaultPlan, action: FaultAction, manifest: dict | None) -> Non
 
 
 # --------------------------------------------------------------------- #
+# the storage hook
+# --------------------------------------------------------------------- #
+def fire_storage(site: str, *, path, data: bytes | None = None) -> bytes | None:
+    """Fire matching storage actions; returns ``data`` (possibly corrupted).
+
+    The durable store calls this at every write-path syncpoint (see
+    :data:`STORAGE_SITES`) with the artifact ``path`` and, at byte-carrying
+    sites, the ``data`` about to be written.  Without an active plan the
+    call is a no-op returning ``data`` unchanged.
+
+    ``torn_write`` / ``bit_flip`` actions transform ``data`` — the caller
+    writes the corrupted bytes, simulating corruption that made it to disk.
+    ``crash`` raises :class:`InjectedCrash` (in the activating process) or
+    hard-exits (in a worker); ``raise`` raises :class:`InjectedFault`.
+    """
+    plan = load_plan()
+    if plan is None or not plan.storage_actions:
+        return data
+    path_text = str(path)
+    for action in plan.storage_actions:
+        if action.site != site:
+            continue
+        if action.target and action.target not in path_text:
+            continue
+        if action.skip_hits:
+            skipped = _local_skips.get(action.marker, 0)
+            if skipped < action.skip_hits:
+                _local_skips[action.marker] = skipped + 1
+                continue
+        if not _claim_hit(plan, action):
+            continue
+        data = _perform_storage(plan, action, path_text, data)
+    return data
+
+
+def _perform_storage(plan: FaultPlan, action: StorageFaultAction,
+                     path: str, data: bytes | None) -> bytes | None:
+    if action.kind == "raise":
+        raise InjectedFault(
+            f"injected storage fault at site {action.site!r} ({path})")
+    if action.kind == "crash":
+        if plan.pid and os.getpid() != plan.pid:
+            os._exit(CRASH_EXIT_CODE)
+        raise InjectedCrash(
+            f"injected storage crash at site {action.site!r} ({path}; "
+            "in-process, represented as an exception)")
+    if data is None:
+        return None
+    if action.kind == "torn_write":
+        cut = len(data) // 2 if action.at_byte is None else int(action.at_byte)
+        return data[: max(cut, 0)]
+    if action.kind == "bit_flip" and data:
+        mutated = bytearray(data)
+        bit = int(action.bit) % (len(mutated) * 8)
+        mutated[bit // 8] ^= 1 << (bit % 8)
+        return bytes(mutated)
+    return data
+
+
+# --------------------------------------------------------------------- #
+# at-rest corruption helpers (deterministic, for fsck/recovery tests)
+# --------------------------------------------------------------------- #
+def inject_torn_write(path, keep_bytes: int) -> int:
+    """Truncate the file at ``path`` to its first ``keep_bytes`` bytes.
+
+    Simulates a torn write discovered *after* publication (a non-atomic
+    filesystem, or corruption below the rename boundary).  Returns the
+    number of bytes removed.
+    """
+    data = open(path, "rb").read()
+    keep = max(min(int(keep_bytes), len(data)), 0)
+    with open(path, "wb") as handle:
+        handle.write(data[:keep])
+    return len(data) - keep
+
+
+def inject_bit_flip(path, bit_index: int) -> int:
+    """Flip one bit of the file at ``path`` (index modulo the bit length).
+
+    Simulates silent media corruption of an artifact at rest.  Returns the
+    absolute bit index actually flipped.
+    """
+    data = bytearray(open(path, "rb").read())
+    if not data:
+        raise ValueError(f"cannot flip a bit of empty file {path}")
+    bit = int(bit_index) % (len(data) * 8)
+    data[bit // 8] ^= 1 << (bit % 8)
+    with open(path, "wb") as handle:
+        handle.write(data)
+    return bit
+
+
+# --------------------------------------------------------------------- #
 # activation helpers
 # --------------------------------------------------------------------- #
 @contextmanager
@@ -287,12 +488,17 @@ def active_plan(actions, state_dir: str | None = None):
     owned_dir = None
     if state_dir is None:
         owned_dir = state_dir = tempfile.mkdtemp(prefix="repro-faults-")
-    plan = FaultPlan(actions=list(actions), state_dir=str(state_dir),
-                     pid=os.getpid())
+    engine_actions = [action for action in actions
+                      if isinstance(action, FaultAction)]
+    storage_actions = [action for action in actions
+                       if isinstance(action, StorageFaultAction)]
+    plan = FaultPlan(actions=engine_actions, storage_actions=storage_actions,
+                     state_dir=str(state_dir), pid=os.getpid())
     previous = os.environ.get(ENV_PLAN)
     os.environ[ENV_PLAN] = plan.to_json()
     # Forget any counters claimed by a previous in-process plan.
     _local_hits.clear()
+    _local_skips.clear()
     try:
         yield plan
     finally:
@@ -301,6 +507,7 @@ def active_plan(actions, state_dir: str | None = None):
         else:
             os.environ[ENV_PLAN] = previous
         _local_hits.clear()
+        _local_skips.clear()
         if owned_dir is not None:
             shutil.rmtree(owned_dir, ignore_errors=True)
 
@@ -326,4 +533,33 @@ def random_plan(seed: int, series_count: int, *,
             kind=kind, series=series, site=site,
             seconds=round(rng.uniform(0.2, hang_seconds), 3),
             max_hits=None if persistent else 1))
+    return actions
+
+
+def random_storage_plan(seed: int, *, max_actions: int = 2,
+                        max_skip: int = 6) -> list[StorageFaultAction]:
+    """A reproducible storage fault plan derived from ``seed``.
+
+    Drives the seeded torn-write/bit-flip storage soak (``-m stress``):
+    every plan is a pure function of its seed, so a failing soak replays
+    exactly.  Crashes dominate the mix — they are the cheap, always-legal
+    probe (recovery must succeed after any of them); torn writes and bit
+    flips exercise the checksum rejection paths.
+    """
+    rng = random.Random(int(seed))
+    count = rng.randint(1, max(int(max_actions), 1))
+    actions: list[StorageFaultAction] = []
+    for _ in range(count):
+        kind = rng.choice(("crash", "crash", "torn_write", "bit_flip", "raise"))
+        site = rng.choice(STORAGE_SITES)
+        if kind in ("torn_write", "bit_flip") and site in (
+                "before_rename", "after_rename"):
+            site = rng.choice(("wal_append", "segment_write",
+                               "manifest_write", "wal_compact"))
+        actions.append(StorageFaultAction(
+            kind=kind, site=site,
+            at_byte=rng.randrange(512) if kind == "torn_write" else None,
+            bit=rng.randrange(1 << 14),
+            skip_hits=rng.randrange(max(int(max_skip), 1)),
+            max_hits=1))
     return actions

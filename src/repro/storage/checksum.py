@@ -1,0 +1,67 @@
+"""CRC32C (Castagnoli) checksums for the durable storage layer.
+
+Every durable artifact — WAL records, sealed segment files, the manifest's
+per-segment references — carries a CRC32C so a flipped bit or a torn write
+is *detected* instead of decoding into silently wrong values.  CRC32C is
+the polynomial used by iSCSI, ext4 metadata, and LevelDB's log format; the
+implementation here is a pure-Python slicing-by-8 table walk (stdlib only,
+no compiled dependency), fast enough for segment-sized payloads and
+byte-for-byte compatible with hardware CRC32C implementations.
+
+>>> hex(crc32c(b"123456789"))
+'0xe3069283'
+"""
+
+from __future__ import annotations
+
+__all__ = ["crc32c", "crc32c_hex"]
+
+#: Reflected CRC32C (Castagnoli) polynomial.
+_POLY = 0x82F63B78
+
+
+def _make_tables() -> list[list[int]]:
+    """Slicing-by-8 lookup tables (table[0] is the classic byte table)."""
+    tables = [[0] * 256 for _ in range(8)]
+    for index in range(256):
+        crc = index
+        for _ in range(8):
+            crc = (crc >> 1) ^ (_POLY if crc & 1 else 0)
+        tables[0][index] = crc
+    for index in range(256):
+        crc = tables[0][index]
+        for slab in range(1, 8):
+            crc = (crc >> 8) ^ tables[0][crc & 0xFF]
+            tables[slab][index] = crc
+    return tables
+
+
+_TABLES = _make_tables()
+
+
+def crc32c(data: bytes, value: int = 0) -> int:
+    """CRC32C of ``data``, optionally continuing from a previous ``value``.
+
+    ``crc32c(b + c, crc32c(a)) == crc32c(a + b + c)[-incremental-]`` — the
+    running form lets callers checksum streamed writes without buffering.
+    """
+    crc = (int(value) & 0xFFFFFFFF) ^ 0xFFFFFFFF
+    data = memoryview(bytes(data))
+    t0, t1, t2, t3, t4, t5, t6, t7 = _TABLES
+    length = len(data)
+    position = 0
+    # Slicing-by-8: fold eight bytes per iteration through eight tables.
+    for position in range(0, length - (length % 8), 8):
+        b0, b1, b2, b3, b4, b5, b6, b7 = data[position:position + 8]
+        crc ^= b0 | (b1 << 8) | (b2 << 16) | (b3 << 24)
+        crc = (t7[crc & 0xFF] ^ t6[(crc >> 8) & 0xFF]
+               ^ t5[(crc >> 16) & 0xFF] ^ t4[(crc >> 24) & 0xFF]
+               ^ t3[b4] ^ t2[b5] ^ t1[b6] ^ t0[b7])
+    for byte in data[length - (length % 8):]:
+        crc = (crc >> 8) ^ t0[(crc ^ byte) & 0xFF]
+    return crc ^ 0xFFFFFFFF
+
+
+def crc32c_hex(data: bytes, value: int = 0) -> str:
+    """Zero-padded lowercase hex form of :func:`crc32c` (manifest fields)."""
+    return f"{crc32c(data, value):08x}"

@@ -1,0 +1,836 @@
+"""Crash-consistent durable store: WAL + checksummed segments + manifest.
+
+:class:`DurableStore` wraps the in-memory
+:class:`~repro.storage.store.TimeSeriesStore` with an on-disk layout built
+for crashes (ARIES/LevelDB-style write-ahead discipline applied to the
+paper's compressed-block model)::
+
+    <root>/
+      manifest.json            atomic catalog (CRC32C footer, tmp->fsync->
+      manifest.json.prev       rename swap; .prev is the last-known-good
+                               fallback for torn manifest publications)
+      segments/<shard>/<series>/seg-000000.json
+                               one sealed segment per file: the codec-encoded
+                               block document plus a CRC32C footer covering
+                               payload + summary + metadata
+      wal/shard-<shard>.<generation>.wal
+                               per-shard append WAL holding the unsealed
+                               buffer tails (see repro.storage.wal)
+      quarantine/              corrupt segments moved here by recovery, each
+                               with a machine-readable .reason.json sidecar
+
+Durability contract
+-------------------
+* ``append`` returns only after the values are in the shard WAL (fsynced
+  under ``fsync_policy="always"``) — that return is the acknowledgement.
+* Sealed segments and the manifest are updated *after* the WAL, via
+  tmp-file → fsync → rename → directory fsync, so a crash at any point
+  leaves either the old or the new state, never a torn hybrid.
+* A checkpoint (triggered by sealing or ``flush``) rotates the shard WAL
+  to a fresh generation holding only the current buffers; the manifest
+  references segment files by name + checksum and the WAL generation, so
+  recovery replays exactly the not-yet-sealed tail.
+* Opening a store is always a recovery scan (see
+  :mod:`repro.storage.recovery`): checksums verified, corrupt segments
+  quarantined with a reason (reads of their range *raise*, they are never
+  silently dropped), torn WAL tails truncated at the last intact record.
+
+Every write-path syncpoint calls :func:`repro.faultinject.fire_storage`,
+so the kill-at-every-syncpoint harness in ``tests/storage/`` can prove the
+contract by crashing at each site and diffing the reopened store against
+the acknowledged state.
+
+Version-1 manifests (the monolithic :func:`repro.storage.persistence.
+save_store` format) open transparently: the store is loaded through the
+v1 reader and migrated to the v2 layout on the spot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from .._validation import as_float_array
+from ..exceptions import StorageError
+from ..faultinject import fire_storage
+from .checksum import crc32c, crc32c_hex
+from .codecs import make_codec
+from .persistence import (
+    MANIFEST_NAME,
+    _codec_spec,
+    _segment_from_document,
+    _segment_to_document,
+    _store_from_manifest,
+)
+from .recovery import QuarantinedSegment, RecoveryReport
+from .store import DEFAULT_SEGMENT_SIZE, TimeSeriesStore
+from .wal import (
+    FSYNC_POLICIES,
+    WalRecord,
+    WriteAheadLog,
+    encode_record,
+    scan_wal,
+)
+
+__all__ = [
+    "DURABLE_FORMAT_VERSION",
+    "DurableStore",
+    "PREV_MANIFEST_NAME",
+    "QUARANTINE_DIR",
+]
+
+#: Manifest version written by :class:`DurableStore`.
+DURABLE_FORMAT_VERSION = 2
+
+#: Last-known-good manifest kept beside the live one.
+PREV_MANIFEST_NAME = "manifest.json.prev"
+
+#: Directory names inside a durable store root.
+SEGMENTS_DIR = "segments"
+WAL_DIR = "wal"
+QUARANTINE_DIR = "quarantine"
+
+#: Footer marker separating a checksummed file's payload from its CRC32C.
+FOOTER_PREFIX = b"\n#crc32c="
+
+
+# --------------------------------------------------------------------- #
+# checksummed file helpers
+# --------------------------------------------------------------------- #
+def attach_footer(payload: bytes) -> bytes:
+    """Append the CRC32C footer line to ``payload``."""
+    return payload + FOOTER_PREFIX + crc32c_hex(payload).encode("ascii") + b"\n"
+
+
+def split_footer(data: bytes) -> tuple[bytes | None, str, str]:
+    """Verify a checksummed file's bytes.
+
+    Returns ``(payload, reason, detail)`` — ``payload`` is ``None`` when
+    verification fails, with a machine-readable ``reason`` code
+    (``truncated-footer`` / ``checksum-mismatch``).
+    """
+    position = data.rfind(FOOTER_PREFIX)
+    if position < 0:
+        return None, "truncated-footer", "no checksum footer found"
+    payload = bytes(data[:position])
+    tail = data[position + len(FOOTER_PREFIX):].strip()
+    try:
+        stored = int(tail.decode("ascii"), 16)
+    except (UnicodeDecodeError, ValueError):
+        return None, "truncated-footer", "unparseable checksum footer"
+    actual = crc32c(payload)
+    if stored != actual:
+        return (None, "checksum-mismatch",
+                f"stored {stored:08x}, computed {actual:08x}")
+    return payload, "", ""
+
+
+def _read_checksummed_json(path: Path) -> tuple[dict | None, str, str, str]:
+    """Read + verify a footer-checksummed JSON file.
+
+    Returns ``(document, payload_crc_hex, reason, detail)``; ``document``
+    is ``None`` on any failure.
+    """
+    try:
+        data = path.read_bytes()
+    except FileNotFoundError:
+        return None, "", "missing-file", f"{path.name} does not exist"
+    except OSError as exc:  # pragma: no cover - environment-specific
+        return None, "", "missing-file", str(exc)
+    payload, reason, detail = split_footer(data)
+    if payload is None:
+        return None, "", reason, detail
+    try:
+        document = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        return None, "", "parse-error", str(exc)
+    if not isinstance(document, dict):
+        return None, "", "parse-error", "document is not a JSON object"
+    return document, crc32c_hex(payload), "", ""
+
+
+def _series_slug(name: str) -> str:
+    """Filesystem-safe, collision-free directory name for a series."""
+    cleaned = "".join(ch if ch.isalnum() or ch in "._-" else "_"
+                      for ch in name)[:40] or "series"
+    return f"{cleaned}-{crc32c_hex(name.encode('utf-8'))[:8]}"
+
+
+def _fsync_dir(path: Path) -> None:
+    """fsync a directory so a rename inside it survives power loss."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platforms without dir fds
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class DurableStore:
+    """Crash-consistent on-disk wrapper around :class:`TimeSeriesStore`.
+
+    Use :meth:`create` for a fresh directory and :meth:`open` for an
+    existing one (``open(..., create=True)`` does open-or-create).  Every
+    open runs a recovery scan whose findings land in :attr:`recovery`.
+
+    Parameters
+    ----------
+    fsync_policy:
+        WAL durability: ``"always"`` (default — every acknowledged append
+        survives power loss), ``"interval"``, or ``"never"``; see
+        :data:`repro.storage.wal.FSYNC_POLICIES`.
+    shards:
+        Number of WAL/segment shard directories (1-256; fixed at store
+        creation and recorded in the manifest).
+
+    Examples
+    --------
+    >>> import numpy as np, tempfile
+    >>> root = tempfile.mkdtemp()
+    >>> store = DurableStore.create(root, default_segment_size=64)
+    >>> store.create_series("sensor", codec="raw")
+    >>> _ = store.append("sensor", np.arange(100.0))
+    >>> store.close()
+    >>> reopened = DurableStore.open(root)
+    >>> bool(np.array_equal(reopened.read("sensor"), np.arange(100.0)))
+    True
+    >>> reopened.recovery.clean
+    True
+    >>> reopened.close()
+    """
+
+    def __init__(self, directory, *, create: bool = False,
+                 must_create: bool = False, fsync_policy: str = "always",
+                 fsync_interval: int = 16,
+                 default_segment_size: int | None = None, shards: int = 8):
+        if fsync_policy not in FSYNC_POLICIES:
+            raise StorageError(
+                f"unknown fsync_policy {fsync_policy!r}; "
+                f"choose from {', '.join(FSYNC_POLICIES)}")
+        if not 1 <= int(shards) <= 256:
+            raise StorageError("shards must be between 1 and 256")
+        self.directory = Path(directory)
+        self.fsync_policy = fsync_policy
+        self.fsync_interval = int(fsync_interval)
+        self._closed = False
+        self._memory = TimeSeriesStore(
+            default_segment_size=default_segment_size or DEFAULT_SEGMENT_SIZE)
+        self._shards = int(shards)
+        self._series_shard: dict[str, str] = {}
+        self._refs: dict[str, list[dict]] = {}
+        self._next_file_index: dict[str, int] = {}
+        self._generations: dict[str, int] = {}
+        self._next_sequence: dict[str, int] = {}
+        self._wals: dict[str, WriteAheadLog] = {}
+        self.recovery = RecoveryReport()
+
+        manifest_path = self.directory / MANIFEST_NAME
+        prev_path = self.directory / PREV_MANIFEST_NAME
+        exists = manifest_path.exists() or prev_path.exists()
+        if must_create and exists:
+            raise StorageError(
+                f"{self.directory} already contains a store manifest")
+        if not exists:
+            if not (create or must_create):
+                raise StorageError(
+                    f"no store manifest in {self.directory}; use "
+                    "DurableStore.create(...) or open(..., create=True)")
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._write_manifest()
+            return
+        self._recover()
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(cls, directory, **options) -> "DurableStore":
+        """Initialize a fresh durable store (fails on an existing one)."""
+        return cls(directory, must_create=True, **options)
+
+    @classmethod
+    def open(cls, directory, *, create: bool = False, **options) -> "DurableStore":
+        """Open an existing store with a full recovery scan.
+
+        ``create=True`` initializes an empty store when the directory has
+        no manifest yet (open-or-create).
+        """
+        return cls(directory, create=create, **options)
+
+    # ------------------------------------------------------------------ #
+    # catalog and ingest
+    # ------------------------------------------------------------------ #
+    def create_series(self, name: str, codec="cameo", *,
+                      segment_size: int | None = None,
+                      codec_options: dict | None = None,
+                      metadata: dict | None = None) -> None:
+        """Register a new series (durably — the manifest is swapped)."""
+        self._check_open()
+        self._memory.create_series(name, codec, segment_size=segment_size,
+                                   codec_options=codec_options,
+                                   metadata=metadata)
+        name = str(name).strip()
+        shard = self._shard_of(name)
+        self._series_shard[name] = shard
+        self._refs[name] = []
+        self._next_file_index[name] = 0
+        self._generations.setdefault(shard, 0)
+        self._next_sequence.setdefault(shard, 0)
+        self._write_manifest()
+
+    def append(self, name, values) -> int:
+        """Durably append values; returns the number of segments sealed.
+
+        The values are acknowledged once they are in the shard WAL (fsynced
+        under ``fsync_policy="always"``); sealing and the manifest swap
+        happen after, and a crash anywhere in between is recovered by WAL
+        replay on the next open.
+        """
+        self._check_open()
+        name = str(name)
+        self._memory._state(name)  # noqa: SLF001 - existence check
+        if np.isscalar(values):
+            values = [float(values)]
+        if np.asarray(values, dtype=np.float64).size == 0:
+            return 0  # an empty append is acknowledged trivially
+        values = as_float_array(values, name="values")
+        shard = self._series_shard[name]
+        sequence = self._next_sequence[shard]
+        self._wal(shard).append(
+            WalRecord(sequence=sequence, series=name, values=values))
+        self._next_sequence[shard] = sequence + 1
+        sealed = self._memory.append(name, values)
+        if sealed:
+            self._checkpoint({shard})
+        return sealed
+
+    def flush(self, name: str | None = None) -> int:
+        """Seal buffered values into (possibly short) segments, durably."""
+        self._check_open()
+        names = [str(name)] if name is not None else self.list_series()
+        shards: set[str] = set()
+        sealed = 0
+        for series_name in names:
+            state = self._memory._state(series_name)  # noqa: SLF001
+            if not state.buffer:
+                continue
+            sealed += self._memory.flush(series_name)
+            shards.add(self._series_shard[series_name])
+        if shards:
+            self._checkpoint(shards)
+        return sealed
+
+    # ------------------------------------------------------------------ #
+    # reads (delegated to the in-memory store)
+    # ------------------------------------------------------------------ #
+    @property
+    def memory(self) -> TimeSeriesStore:
+        """The in-memory store view (for the query engine and reporting)."""
+        return self._memory
+
+    def list_series(self) -> list[str]:
+        """Names of all stored series, sorted alphabetically."""
+        return self._memory.list_series()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._memory
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def read(self, name, start: int = 0, stop: int | None = None) -> np.ndarray:
+        """Reconstruct ``[start, stop)``; raises on quarantined ranges."""
+        return self._memory.read(name, start, stop)
+
+    def value_at(self, name, position: int) -> float:
+        """Reconstructed value at one global position."""
+        return self._memory.value_at(name, position)
+
+    def length(self, name) -> int:
+        """Number of ingested values (sealed + quarantined + buffered)."""
+        return self._memory.length(name)
+
+    def info(self, name):
+        """Per-series footprint summary (see :class:`SeriesInfo`)."""
+        return self._memory.info(name)
+
+    def holes(self, name) -> list[dict]:
+        """Quarantined position ranges of a series (empty when intact)."""
+        return [dict(hole)
+                for hole in self._memory._state(str(name)).holes]  # noqa: SLF001
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Directory holding quarantined segment files and reasons."""
+        return self.directory / QUARANTINE_DIR
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def sync(self) -> None:
+        """Force-fsync every open WAL handle (regardless of policy)."""
+        for wal in self._wals.values():
+            wal.sync()
+
+    def close(self) -> None:
+        """Close WAL handles.  Buffers stay durable in the WAL."""
+        if self._closed:
+            return
+        for wal in self._wals.values():
+            wal.close()
+        self._wals.clear()
+        self._closed = True
+
+    def __enter__(self) -> "DurableStore":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError("the durable store has been closed")
+
+    # ------------------------------------------------------------------ #
+    # write path
+    # ------------------------------------------------------------------ #
+    def _shard_of(self, name: str) -> str:
+        return format(crc32c(name.encode("utf-8")) % self._shards, "02x")
+
+    def _series_dir(self, name: str) -> str:
+        return f"{SEGMENTS_DIR}/{self._series_shard[name]}/{_series_slug(name)}"
+
+    def _wal_relpath(self, shard: str, generation: int) -> str:
+        return f"{WAL_DIR}/shard-{shard}.{generation:06d}.wal"
+
+    def _wal(self, shard: str) -> WriteAheadLog:
+        if shard not in self._wals:
+            path = self.directory / self._wal_relpath(
+                shard, self._generations[shard])
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._wals[shard] = WriteAheadLog(
+                path, fsync_policy=self.fsync_policy,
+                fsync_interval=self.fsync_interval)
+        return self._wals[shard]
+
+    def _atomic_write(self, relpath: str, data: bytes, site: str) -> None:
+        """tmp-file → fsync → rename → dir fsync, with fault hooks."""
+        final = self.directory / relpath
+        final.parent.mkdir(parents=True, exist_ok=True)
+        data = fire_storage(site, path=relpath, data=data)
+        tmp = final.with_name(final.name + ".tmp")
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        fire_storage("before_rename", path=relpath)
+        os.replace(tmp, final)
+        fire_storage("after_rename", path=relpath)
+        _fsync_dir(final.parent)
+
+    def _write_segment(self, name: str, segment) -> dict:
+        """Persist one sealed segment; returns its manifest reference."""
+        index = self._next_file_index[name]
+        self._next_file_index[name] = index + 1
+        document = _segment_to_document(segment)
+        payload = json.dumps(document, sort_keys=True,
+                             default=float).encode("utf-8")
+        relpath = f"{self._series_dir(name)}/seg-{index:06d}.json"
+        self._atomic_write(relpath, attach_footer(payload),
+                           site="segment_write")
+        summary = segment.summary
+        return {
+            "file": relpath,
+            "crc32c": crc32c_hex(payload),
+            "start": int(segment.start),
+            "length": int(segment.length),
+            "summary": {"count": summary.count, "minimum": summary.minimum,
+                        "maximum": summary.maximum, "total": summary.total},
+        }
+
+    def _manifest_document(self) -> dict:
+        series_documents = {}
+        for name in self._memory.list_series():
+            state = self._memory._state(name)  # noqa: SLF001
+            series_documents[name] = {
+                "codec": _codec_spec(state.codec),
+                "segment_size": state.segment_size,
+                "metadata": state.metadata,
+                "shard": self._series_shard[name],
+                "segments": self._refs[name],
+                "holes": state.holes,
+                "next_segment_file": self._next_file_index[name],
+            }
+        return {
+            "format": "repro.timeseries-store",
+            "version": DURABLE_FORMAT_VERSION,
+            "default_segment_size": self._memory.default_segment_size,
+            "shards": self._shards,
+            "wal": {shard: {"generation": generation,
+                            "next_sequence": self._next_sequence.get(shard, 0)}
+                    for shard, generation in sorted(self._generations.items())},
+            "series": series_documents,
+        }
+
+    def _write_manifest(self) -> None:
+        """Atomic manifest swap, preserving the previous one as fallback."""
+        payload = json.dumps(self._manifest_document(), sort_keys=True,
+                             default=float).encode("utf-8")
+        final = self.directory / MANIFEST_NAME
+        if final.exists():
+            # Keep the last-known-good manifest: a torn publication of the
+            # new one (non-atomic rename, injected torn_write) must not
+            # leave the store unopenable.
+            prev = self.directory / PREV_MANIFEST_NAME
+            with open(prev, "wb") as handle:
+                handle.write(final.read_bytes())
+                handle.flush()
+                os.fsync(handle.fileno())
+        self._atomic_write(MANIFEST_NAME, attach_footer(payload),
+                           site="manifest_write")
+
+    def _rotate_wal(self, shard: str) -> int:
+        """Write the next WAL generation holding only current buffers.
+
+        Returns the superseded generation number.  The new generation is
+        not referenced until the following manifest swap, so a crash here
+        is invisible to recovery.
+        """
+        old_generation = self._generations[shard]
+        new_generation = old_generation + 1
+        records: list[WalRecord] = []
+        for name in self._memory.list_series():
+            if self._series_shard[name] != shard:
+                continue
+            buffer = self._memory._state(name).buffer  # noqa: SLF001
+            if buffer:
+                sequence = self._next_sequence[shard]
+                self._next_sequence[shard] = sequence + 1
+                records.append(WalRecord(
+                    sequence=sequence, series=name,
+                    values=np.asarray(buffer, dtype=np.float64)))
+        blob = b"".join(encode_record(record) for record in records)
+        relpath = self._wal_relpath(shard, new_generation)
+        path = self.directory / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        blob = fire_storage("wal_compact", path=relpath, data=blob)
+        with open(path, "wb") as handle:
+            if blob:
+                handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        _fsync_dir(path.parent)
+        if shard in self._wals:
+            self._wals.pop(shard).close()
+        self._generations[shard] = new_generation
+        return old_generation
+
+    def _prune_wals(self, shard: str) -> int:
+        """Remove WAL generations older than current-1 (best effort).
+
+        The previous generation is kept because ``manifest.json.prev`` may
+        still reference it.
+        """
+        keep = {self._generations[shard], self._generations[shard] - 1}
+        removed = 0
+        wal_dir = self.directory / WAL_DIR
+        for path in wal_dir.glob(f"shard-{shard}.*.wal"):
+            try:
+                generation = int(path.name.rsplit(".", 2)[-2])
+            except ValueError:  # pragma: no cover - foreign file
+                continue
+            if generation not in keep:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:  # pragma: no cover - race/permissions
+                    pass
+        return removed
+
+    def _checkpoint(self, shards: set[str]) -> None:
+        """Persist sealed segments, rotate WALs, swap the manifest."""
+        for name in self._memory.list_series():
+            if self._series_shard[name] not in shards:
+                continue
+            state = self._memory._state(name)  # noqa: SLF001
+            refs = self._refs[name]
+            for segment in state.segments[len(refs):]:
+                refs.append(self._write_segment(name, segment))
+        superseded = {shard: self._rotate_wal(shard)
+                      for shard in sorted(shards)}
+        self._write_manifest()
+        for shard in superseded:
+            self._prune_wals(shard)
+
+    # ------------------------------------------------------------------ #
+    # recovery
+    # ------------------------------------------------------------------ #
+    def _recover(self) -> None:
+        report = self.recovery
+        report.removed_tmp_files = self._remove_tmp_files()
+        document, used_prev = self._load_manifest()
+        report.used_prev_manifest = used_prev
+        version = int(document.get("version", 0))
+        if version == 1:
+            self._migrate_v1(document)
+            return
+        if version != DURABLE_FORMAT_VERSION:
+            raise StorageError(
+                f"manifest version {version} is newer than supported "
+                f"({DURABLE_FORMAT_VERSION})")
+
+        self._shards = int(document.get("shards", self._shards))
+        self._memory = TimeSeriesStore(default_segment_size=int(
+            document.get("default_segment_size", DEFAULT_SEGMENT_SIZE)))
+        for shard, info in (document.get("wal") or {}).items():
+            self._generations[str(shard)] = int(info.get("generation", 0))
+            self._next_sequence[str(shard)] = int(info.get("next_sequence", 0))
+
+        series_items = document.get("series")
+        if not isinstance(series_items, dict):
+            raise StorageError("manifest has no series catalog")
+        for name, entry in series_items.items():
+            self._load_series(str(name), entry, report)
+
+        touched = self._replay_wals(report)
+        dirty = (bool(report.quarantined) or used_prev
+                 or report.removed_tmp_files > 0)
+        if touched:
+            self._checkpoint(touched)
+        elif dirty:
+            self._write_manifest()
+        report.removed_stale_wals = sum(
+            self._prune_wals(shard) for shard in self._generations)
+
+    def _remove_tmp_files(self) -> int:
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.rglob("*.tmp"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:  # pragma: no cover - race/permissions
+                    pass
+        return removed
+
+    def _load_manifest(self) -> tuple[dict, bool]:
+        """Parse + verify the manifest, falling back to the previous one."""
+        primary = self.directory / MANIFEST_NAME
+        document, reason = self._parse_manifest_file(primary)
+        if document is not None:
+            return document, False
+        fallback = self.directory / PREV_MANIFEST_NAME
+        recovered, fallback_reason = self._parse_manifest_file(fallback)
+        if recovered is None:
+            raise StorageError(
+                f"cannot read store manifest at {primary}: {reason}; "
+                f"fallback {fallback.name}: {fallback_reason}")
+        # Preserve the corrupt primary for forensics, out of the way.
+        self._quarantine_file(primary, reason="manifest-corrupt",
+                              detail=reason, series="")
+        return recovered, True
+
+    def _parse_manifest_file(self, path: Path) -> tuple[dict | None, str]:
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            return None, "missing"
+        except OSError as exc:  # pragma: no cover - environment-specific
+            return None, str(exc)
+        payload, reason, detail = split_footer(data)
+        if payload is None:
+            # No footer: accept plain version-1 JSON (the legacy format).
+            try:
+                document = json.loads(data.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                return None, f"{reason}: {detail}"
+            if (isinstance(document, dict)
+                    and document.get("format") == "repro.timeseries-store"
+                    and int(document.get("version", 0)) == 1):
+                return document, ""
+            return None, f"{reason}: {detail}"
+        try:
+            document = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return None, f"parse-error: {exc}"
+        if not isinstance(document, dict) or document.get(
+                "format") != "repro.timeseries-store":
+            return None, "not a repro.timeseries-store manifest"
+        return document, ""
+
+    def _migrate_v1(self, document: dict) -> None:
+        """Load a version-1 manifest and rewrite it as the v2 layout."""
+        self._memory = _store_from_manifest(
+            document, self.directory / MANIFEST_NAME)
+        for name in self._memory.list_series():
+            shard = self._shard_of(name)
+            self._series_shard[name] = shard
+            self._refs[name] = []
+            self._next_file_index[name] = 0
+            self._generations.setdefault(shard, 0)
+            self._next_sequence.setdefault(shard, 0)
+        self.recovery.migrated_from_v1 = True
+        # Persist everything: segments to files, buffers to WALs, manifest
+        # to v2.  Touch every shard so empty ones are recorded too.
+        self._checkpoint(set(self._generations) or {self._shard_of("")})
+
+    def _load_series(self, name: str, entry, report: RecoveryReport) -> None:
+        if not isinstance(entry, dict):
+            raise StorageError(f"manifest entry for series {name!r} "
+                               "is not an object")
+        spec = entry.get("codec") or {}
+        codec = make_codec(spec["name"], **spec.get("options", {}))
+        self._memory.create_series(
+            name, codec=codec, segment_size=int(entry["segment_size"]),
+            metadata=dict(entry.get("metadata", {})))
+        state = self._memory._state(name)  # noqa: SLF001
+        state.holes = [dict(hole) for hole in entry.get("holes", [])]
+        report.prior_holes += len(state.holes)
+        shard = str(entry.get("shard") or self._shard_of(name))
+        self._series_shard[name] = shard
+        self._generations.setdefault(shard, 0)
+        self._next_sequence.setdefault(shard, 0)
+
+        kept_refs: list[dict] = []
+        for ref in entry.get("segments", []):
+            segment, failure = self._verify_segment(name, ref, codec)
+            if segment is not None:
+                state.segments.append(segment)
+                kept_refs.append(ref)
+                report.segments_verified += 1
+                continue
+            reason, detail = failure
+            self._quarantine_segment(name, ref, reason, detail, report)
+        self._refs[name] = kept_refs
+        self._next_file_index[name] = int(
+            entry.get("next_segment_file", len(entry.get("segments", []))))
+        self._validate_geometry(name, state)
+
+    def _verify_segment(self, name: str, ref: dict, codec):
+        """Verify one manifest segment reference against its file.
+
+        Returns ``(segment, None)`` on success or ``(None, (reason,
+        detail))`` when the segment must be quarantined.
+        """
+        relpath = str(ref.get("file", ""))
+        document, payload_crc, reason, detail = _read_checksummed_json(
+            self.directory / relpath)
+        if document is None:
+            return None, (reason, detail)
+        expected_crc = str(ref.get("crc32c", ""))
+        if payload_crc != expected_crc:
+            return None, ("manifest-mismatch",
+                          f"manifest records crc32c {expected_crc}, "
+                          f"file payload has {payload_crc}")
+        try:
+            segment = _segment_from_document(document, codec)
+        except (KeyError, TypeError, ValueError, StorageError) as exc:
+            return None, ("parse-error", f"cannot rebuild segment: {exc}")
+        if (segment.start != int(ref.get("start", -1))
+                or segment.length != int(ref.get("length", -1))):
+            return None, ("manifest-mismatch",
+                          f"segment covers [{segment.start}, {segment.end})"
+                          f", manifest says start={ref.get('start')} "
+                          f"length={ref.get('length')}")
+        if segment.summary.count != segment.length:
+            return None, ("invalid-geometry",
+                          f"summary.count {segment.summary.count} != "
+                          f"length {segment.length}")
+        return segment, None
+
+    def _quarantine_segment(self, name: str, ref: dict, reason: str,
+                            detail: str, report: RecoveryReport) -> None:
+        relpath = str(ref.get("file", ""))
+        start = int(ref.get("start", 0))
+        length = int(ref.get("length", 0))
+        quarantined_name = self._quarantine_file(
+            self.directory / relpath, reason=reason, detail=detail,
+            series=name)
+        state = self._memory._state(name)  # noqa: SLF001
+        state.holes.append({"start": start, "length": length,
+                            "file": quarantined_name or relpath,
+                            "reason": reason})
+        report.quarantined.append(QuarantinedSegment(
+            series=name, file=relpath, reason=reason, detail=detail,
+            start=start, length=length))
+
+    def _quarantine_file(self, path: Path, *, reason: str, detail: str,
+                         series: str) -> str | None:
+        """Move a corrupt file into ``quarantine/`` with a reason sidecar.
+
+        Returns the quarantine-relative name, or ``None`` when the file
+        does not exist (missing-file corruption has nothing to move).
+        """
+        quarantine = self.quarantine_dir
+        quarantine.mkdir(parents=True, exist_ok=True)
+        flat = str(path.relative_to(self.directory)).replace(
+            "/", "__") if path.is_relative_to(self.directory) else path.name
+        target = quarantine / flat
+        moved = None
+        if path.exists():
+            os.replace(path, target)
+            moved = f"{QUARANTINE_DIR}/{flat}"
+        reason_document = {"series": series, "file": flat,
+                           "original_path": str(path.relative_to(self.directory))
+                           if path.is_relative_to(self.directory)
+                           else str(path),
+                           "reason": reason, "detail": detail}
+        (quarantine / f"{flat}.reason.json").write_text(
+            json.dumps(reason_document, sort_keys=True), encoding="utf-8")
+        return moved
+
+    def _validate_geometry(self, name: str, state) -> None:
+        """Segments + holes must tile ``[0, sealed_points)`` contiguously."""
+        pieces = ([(segment.start, segment.length, "segment")
+                   for segment in state.segments]
+                  + [(int(hole["start"]), int(hole["length"]), "hole")
+                     for hole in state.holes])
+        pieces.sort()
+        position = 0
+        for start, length, kind in pieces:
+            if start != position or length <= 0:
+                raise StorageError(
+                    f"manifest geometry of series {name!r} is broken: "
+                    f"{kind} at {start} (length {length}) does not continue "
+                    f"from position {position}")
+            position += length
+        state.segments.sort(key=lambda segment: segment.start)
+
+    def _replay_wals(self, report: RecoveryReport) -> set[str]:
+        """Replay every shard's referenced WAL generation.
+
+        Returns the shards whose replay sealed segments or whose WAL had a
+        corrupt tail (they need a checkpoint to converge).
+        """
+        touched: set[str] = set()
+        for shard in sorted(self._generations):
+            scan = scan_wal(self.directory / self._wal_relpath(
+                shard, self._generations[shard]))
+            if scan.truncated_bytes:
+                report.truncated_wal_bytes += scan.truncated_bytes
+                report.truncated_wal_files += 1
+                report.truncation_reasons.append(
+                    f"shard {shard}: {scan.truncation_reason}")
+                touched.add(shard)
+            last_sequence = -1
+            for record in scan.records:
+                last_sequence = record.sequence
+                if record.series not in self._memory:
+                    # A record for a series the (possibly fallback) manifest
+                    # does not know.  Count it; never guess a codec for it.
+                    report.orphan_records += 1
+                    continue
+                sealed = self._memory.append(record.series, record.values)
+                report.replayed_records += 1
+                report.replayed_values += int(record.values.size)
+                if sealed:
+                    report.resealed_segments += sealed
+                    touched.add(shard)
+            self._next_sequence[shard] = max(
+                self._next_sequence.get(shard, 0), last_sequence + 1)
+        return touched

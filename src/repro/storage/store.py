@@ -71,14 +71,34 @@ class _SeriesState:
     segments: list[Segment] = field(default_factory=list)
     buffer: list[float] = field(default_factory=list)
     metadata: dict = field(default_factory=dict)
+    #: Position ranges lost to quarantined (corrupt) segments — recorded by
+    #: durable-store recovery as ``{"start", "length", "file", "reason"}``.
+    #: Reads overlapping a hole raise instead of silently skipping it.
+    holes: list[dict] = field(default_factory=list)
+
+    @property
+    def lost_points(self) -> int:
+        """Values covered by quarantined segments (position-space only)."""
+        return sum(int(hole["length"]) for hole in self.holes)
 
     @property
     def sealed_points(self) -> int:
-        return sum(segment.length for segment in self.segments)
+        """Global position one past the last sealed (or quarantined) value."""
+        return (sum(segment.length for segment in self.segments)
+                + self.lost_points)
 
     @property
     def total_points(self) -> int:
         return self.sealed_points + len(self.buffer)
+
+    def hole_overlapping(self, start: int, stop: int) -> dict | None:
+        """The first quarantine hole intersecting ``[start, stop)``, if any."""
+        for hole in self.holes:
+            hole_start = int(hole["start"])
+            hole_stop = hole_start + int(hole["length"])
+            if hole_start < stop and start < hole_stop:
+                return hole
+        return None
 
 
 class TimeSeriesStore:
@@ -201,6 +221,13 @@ class TimeSeriesStore:
         start, stop = self._resolve_range(start, stop, total)
         if start >= stop:
             return np.empty(0, dtype=np.float64)
+        hole = state.hole_overlapping(start, stop)
+        if hole is not None:
+            raise StorageError(
+                f"range [{start}, {stop}) of series {name!r} overlaps the "
+                f"quarantined segment {hole.get('file', '?')} "
+                f"[{hole.get('reason', 'corrupt')}]; the data was corrupt and "
+                "is preserved in the store's quarantine/ directory")
 
         pieces: list[np.ndarray] = []
         for segment in state.segments:
@@ -228,6 +255,12 @@ class TimeSeriesStore:
         sealed_points = state.sealed_points
         if position >= sealed_points:
             return float(state.buffer[position - sealed_points])
+        hole = state.hole_overlapping(position, position + 1)
+        if hole is not None:
+            raise StorageError(
+                f"position {position} of series {name!r} falls inside the "
+                f"quarantined segment {hole.get('file', '?')} "
+                f"[{hole.get('reason', 'corrupt')}]")
         for segment in state.segments:
             if segment.contains(position):
                 return segment.value_at(position)

@@ -417,6 +417,16 @@ class MultiStreamCompressor:
     policy:
         Optional :class:`~repro.sanitize.InputPolicy` applied per
         :meth:`add` batch, exactly as in :class:`StreamingCompressor`.
+    spool_to:
+        Optional directory for a crash-safe ingest spool: every
+        :meth:`add` batch is appended to a
+        :class:`repro.storage.durable.DurableStore` series (raw codec,
+        one series per stream) *before* it is buffered, so an ingest-tier
+        crash loses nothing — a fresh compressor pointed at the same
+        directory calls :meth:`replay_spool` to re-ingest everything the
+        spool holds.  ``spool_fsync`` sets the spool WAL's fsync policy
+        (default ``"always"``; see
+        :data:`repro.storage.wal.FSYNC_POLICIES`).
 
     Examples
     --------
@@ -438,7 +448,8 @@ class MultiStreamCompressor:
                  workers: int | None = None, fastpath: bool = True,
                  timeout: float | None = None, retries: int = 1,
                  on_degrade: str = "degrade",
-                 policy: InputPolicy | None = None):
+                 policy: InputPolicy | None = None,
+                 spool_to=None, spool_fsync: str = "always"):
         from ..engine import BatchEngine
 
         self.chunk_size = check_positive_int(chunk_size, "chunk_size")
@@ -456,6 +467,12 @@ class MultiStreamCompressor:
         self._results: dict[str, list[ChunkResult]] = {}
         self._reports: dict[str, StreamReport] = {}
         self.errors: list = []
+        self.spool = None
+        if spool_to is not None:
+            from ..storage.durable import DurableStore
+
+            self.spool = DurableStore.open(spool_to, create=True,
+                                           fsync_policy=spool_fsync)
 
     # ------------------------------------------------------------------ #
     @property
@@ -471,13 +488,16 @@ class MultiStreamCompressor:
             self._reports[stream] = StreamReport()
         return self._buffers[stream], self._results[stream], self._reports[stream]
 
-    def add(self, stream: str, values, timestamps=None) -> int:
+    def add(self, stream: str, values, timestamps=None, *,
+            _spool: bool = True) -> int:
         """Feed values into one stream; returns chunks sealed by this call.
 
         Sealed chunks are queued; call :meth:`drain` (or :meth:`flush`) to
         encode everything queued across all streams in one engine batch.
         With an input policy, split boundaries seal the stream's buffer
         early (possibly as a short chunk) so no chunk bridges a gap.
+        With a spool configured, the (sanitized) values are durably
+        appended to it before they are buffered.
         """
         buffer, _results, report = self._stream_state(str(stream))
         if np.isscalar(values):
@@ -492,6 +512,14 @@ class MultiStreamCompressor:
         else:
             segments = _policy_segments(values, timestamps, self.policy,
                                         report)
+        if self.spool is not None and _spool:
+            name = str(stream)
+            if name not in self.spool:
+                self.spool.create_series(name, codec="raw",
+                                         segment_size=self.chunk_size)
+            for segment in segments:
+                if segment.size:
+                    self.spool.append(name, segment)
         sealed = 0
         for position, segment in enumerate(segments):
             if position and buffer:
@@ -578,6 +606,48 @@ class MultiStreamCompressor:
             return np.empty(0, dtype=np.float64)
         return np.concatenate([self.codec.decode(result.block)
                                for result in results])
+
+    # ------------------------------------------------------------------ #
+    # durable spool
+    # ------------------------------------------------------------------ #
+    def replay_spool(self) -> int:
+        """Re-ingest everything the durable spool holds; returns the count.
+
+        Meant for a *fresh* compressor after an ingest-tier crash: the
+        spool directory survives the crash (its WAL acknowledged every
+        :meth:`add`), so replaying it restores every stream's pending
+        chunks and buffer tail.  Values are re-added without being spooled
+        again and without re-applying the input policy (the spool holds
+        already-sanitized values).
+        """
+        if self.spool is None:
+            raise InvalidParameterError(
+                "no spool configured (pass spool_to=... at construction)")
+        if any(self._buffers.values()) or self._pending:
+            raise InvalidParameterError(
+                "replay_spool must run before any values are ingested")
+        policy, self.policy = self.policy, None
+        replayed = 0
+        try:
+            for name in self.spool.list_series():
+                values = self.spool.read(name)
+                if values.size:
+                    self.add(name, values, _spool=False)
+                    replayed += int(values.size)
+        finally:
+            self.policy = policy
+        return replayed
+
+    def close(self) -> None:
+        """Close the durable spool, if one is configured."""
+        if self.spool is not None:
+            self.spool.close()
+
+    def __enter__(self) -> "MultiStreamCompressor":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
 
 def concat_irregular(chunks, name: str = "stream") -> IrregularSeries:

@@ -30,7 +30,8 @@ def _load_check_links():
 class TestDocsPages:
     def test_required_pages_exist(self):
         for page in ("architecture.md", "codecs.md", "evaluation.md",
-                     "native.md", "performance.md", "robustness.md"):
+                     "native.md", "performance.md", "robustness.md",
+                     "storage.md"):
             assert (DOCS / page).is_file(), f"docs/{page} is missing"
 
     def test_every_registered_codec_documented(self):
@@ -43,7 +44,7 @@ class TestDocsPages:
         for needle in ("docs/architecture.md", "docs/codecs.md",
                        "docs/evaluation.md", "docs/native.md",
                        "docs/performance.md", "docs/robustness.md",
-                       "_kernels/reference.py"):
+                       "docs/storage.md", "_kernels/reference.py"):
             assert needle in readme, f"README.md should mention {needle}"
 
     def test_roadmap_points_to_performance_page(self):

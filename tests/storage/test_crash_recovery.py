@@ -1,0 +1,224 @@
+"""Kill-at-every-syncpoint crash recovery harness.
+
+The acceptance bar for the durable store: with ``fsync_policy="always"``,
+after a crash injected at *any* registered storage fault site — at every
+hit of that site the workload produces — the reopened store reads
+bit-identical to the last acknowledged durable state.
+
+The harness runs a fixed workload (creates, appends that seal segments
+and trigger checkpoints, a final flush) under a plan that crashes at the
+``k``-th hit of one site, for every ``k`` until the workload completes
+without crashing.  Acknowledged operations must all survive; the one
+in-flight operation may additionally survive exactly when the crash site
+lies past the WAL acknowledgement point.
+"""
+
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.exceptions import StorageError
+from repro.faultinject import (
+    STORAGE_SITES,
+    InjectedCrash,
+    StorageFaultAction,
+    active_plan,
+)
+from repro.storage import DurableStore
+
+SERIES = ("s0", "s1")
+
+#: Sites at or past which the in-flight append's WAL record is already on
+#: disk, so recovery replays it.  ``wal_append`` fires *before* the record
+#: is written — a crash there loses exactly the unacknowledged append.
+_IN_FLIGHT_SURVIVES = tuple(site for site in STORAGE_SITES
+                            if site != "wal_append")
+
+
+def _batch(i):
+    return np.arange(3, dtype=np.float64) + 10.0 * i
+
+
+def _run_workload(directory):
+    """Run the workload; returns (acked_ops, in_flight_op, crashed)."""
+    acked, in_flight = [], None
+    try:
+        in_flight = ("create-store", None, None)
+        store = DurableStore.create(directory, default_segment_size=8)
+        acked.append(in_flight)
+        for name in SERIES:
+            in_flight = ("create", name, None)
+            store.create_series(name, codec="raw")
+            acked.append(in_flight)
+        for i in range(12):
+            name = SERIES[i % 2]
+            in_flight = ("append", name, _batch(i))
+            store.append(name, _batch(i))
+            acked.append(in_flight)
+        in_flight = ("flush", None, None)
+        store.flush()
+        acked.append(in_flight)
+        store.close()
+        return acked, None, False
+    except InjectedCrash:
+        return acked, in_flight, True
+
+
+def _check_recovery(directory, acked, in_flight, site):
+    """Reopen after the crash and diff against the acknowledged state."""
+    expected = {}
+    for op, name, values in acked:
+        if op == "create":
+            expected[name] = []
+        elif op == "append":
+            expected[name].extend(values)
+    maybe_created = None
+    if in_flight is not None:
+        op, name, values = in_flight
+        if op == "create":
+            maybe_created = name
+        elif op == "append" and site in _IN_FLIGHT_SURVIVES:
+            expected[name].extend(values)
+
+    try:
+        store = DurableStore.open(directory)
+    except StorageError:
+        # The store itself was never acknowledged as created.
+        assert all(op == "create-store" for op, *_rest in acked)
+        return
+
+    names = set(store.list_series())
+    assert set(expected) <= names, (
+        f"acknowledged series lost at {site}: {set(expected) - names}")
+    extra = names - set(expected)
+    assert extra <= ({maybe_created} if maybe_created else set()), (
+        f"unexpected series after {site} crash: {extra}")
+    for name, values in expected.items():
+        got = store.read(name)
+        assert np.array_equal(got, np.asarray(values)), (
+            f"series {name} after crash at {site}: "
+            f"{got.size} values, expected {len(values)}")
+    assert store.recovery.quarantined == []
+    store.close()
+
+    # A second open must be clean and bit-identical again.
+    second = DurableStore.open(directory)
+    assert second.recovery.clean
+    for name, values in expected.items():
+        assert np.array_equal(second.read(name), np.asarray(values))
+    second.close()
+
+
+@pytest.mark.parametrize("site", STORAGE_SITES)
+def test_kill_at_every_syncpoint(site, tmp_path):
+    crash_points = 0
+    for k in range(200):
+        directory = tmp_path / f"{site}-{k}"
+        with active_plan([StorageFaultAction(kind="crash", site=site,
+                                             skip_hits=k)]):
+            acked, in_flight, crashed = _run_workload(directory)
+            if not crashed:
+                break
+            crash_points += 1
+            _check_recovery(directory, acked, in_flight, site)
+        shutil.rmtree(directory, ignore_errors=True)
+    else:
+        pytest.fail(f"site {site} fired more than 200 times")
+    assert crash_points > 0, f"site {site} never fired during the workload"
+
+
+@pytest.mark.parametrize("site", ["wal_append", "wal_compact",
+                                  "segment_write", "manifest_write"])
+def test_injected_torn_write_never_surfaces_bad_data(site, tmp_path):
+    """A torn write at any byte-carrying site is detected, not decoded.
+
+    The workload completes (torn writes do not crash the writer — they
+    model corruption that reached the platter); recovery must terminate,
+    surface the corruption (truncated WAL tail, quarantined segment, or
+    previous-manifest fallback), and every readable value must match the
+    ingested sequence exactly.
+    """
+    directory = tmp_path / "store"
+    with active_plan([StorageFaultAction(kind="torn_write", site=site,
+                                         at_byte=11, skip_hits=2)]):
+        acked, in_flight, crashed = _run_workload(directory)
+    assert not crashed
+    ingested = {}
+    for op, name, values in acked:
+        if op == "create":
+            ingested[name] = []
+        elif op == "append":
+            ingested[name].extend(values)
+
+    store = DurableStore.open(directory)
+    for name, values in ingested.items():
+        expected = np.asarray(values)
+        try:
+            got = store.read(name)
+        except StorageError:
+            # A quarantined range: corruption surfaced, never silently read.
+            assert store.holes(name), f"read failed without a hole: {name}"
+            continue
+        assert got.size <= expected.size
+        assert np.array_equal(got, expected[: got.size]), (
+            f"recovered values of {name} are not a prefix of the ingested "
+            f"sequence after a torn {site} write")
+    store.close()
+
+    # Recovery converges: the second scan reports clean.
+    second = DurableStore.open(directory)
+    assert second.recovery.clean
+    second.close()
+
+
+@pytest.mark.parametrize("site", ["wal_append", "wal_compact",
+                                  "segment_write", "manifest_write"])
+def test_injected_bit_flip_never_surfaces_bad_data(site, tmp_path):
+    directory = tmp_path / "store"
+    with active_plan([StorageFaultAction(kind="bit_flip", site=site,
+                                         bit=137, skip_hits=1)]):
+        acked, _in_flight, crashed = _run_workload(directory)
+    assert not crashed
+    ingested = {}
+    for op, name, values in acked:
+        if op == "create":
+            ingested[name] = []
+        elif op == "append":
+            ingested[name].extend(values)
+
+    store = DurableStore.open(directory)
+    for name, values in ingested.items():
+        expected = np.asarray(values)
+        try:
+            got = store.read(name)
+        except StorageError:
+            assert store.holes(name), f"read failed without a hole: {name}"
+            continue
+        assert got.size <= expected.size
+        assert np.array_equal(got, expected[: got.size])
+    store.close()
+    second = DurableStore.open(directory)
+    assert second.recovery.clean
+    second.close()
+
+
+def test_crash_during_recovery_checkpoint_is_survivable(tmp_path):
+    """A crash while recovery itself checkpoints leaves a recoverable store."""
+    directory = tmp_path / "store"
+    values = np.arange(20.0)
+    with DurableStore.create(directory, default_segment_size=8) as store:
+        store.create_series("x", codec="raw")
+        store.append("x", values)
+    # Corrupt the WAL tail so the next open truncates and checkpoints...
+    wal = max((directory / "wal").glob("*.wal"))
+    wal.write_bytes(wal.read_bytes() + b"\xde\xad\xbe\xef")
+    # ...and crash that recovery checkpoint at its manifest swap.
+    with active_plan([StorageFaultAction(kind="crash",
+                                         site="manifest_write")]):
+        with pytest.raises(InjectedCrash):
+            DurableStore.open(directory)
+    with DurableStore.open(directory) as recovered:
+        assert np.array_equal(recovered.read("x"), values)
+    with DurableStore.open(directory) as clean:
+        assert clean.recovery.clean

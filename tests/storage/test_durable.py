@@ -1,0 +1,393 @@
+"""DurableStore: round trips, recovery, quarantine, migration, spool."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SeriesNotFoundError, StorageError
+from repro.faultinject import inject_bit_flip, inject_torn_write
+from repro.storage import (
+    DurableStore,
+    TimeSeriesStore,
+    fsck,
+    load_store,
+    recover,
+    save_store,
+)
+from repro.storage.durable import attach_footer, split_footer
+
+
+@pytest.fixture()
+def root(tmp_path):
+    return tmp_path / "store"
+
+
+def _values(n, seed=0):
+    return np.round(np.random.default_rng(seed).normal(size=n), 3)
+
+
+class TestFooter:
+    def test_roundtrip(self):
+        payload = b'{"k": 1}'
+        verified, reason, _ = split_footer(attach_footer(payload))
+        assert verified == payload and reason == ""
+
+    def test_missing_footer(self):
+        payload, reason, _ = split_footer(b"just bytes")
+        assert payload is None and reason == "truncated-footer"
+
+    def test_corrupt_payload(self):
+        data = bytearray(attach_footer(b'{"k": 1}'))
+        data[2] ^= 0x01
+        payload, reason, _ = split_footer(bytes(data))
+        assert payload is None and reason == "checksum-mismatch"
+
+
+class TestRoundTrip:
+    def test_create_append_read(self, root):
+        with DurableStore.create(root, default_segment_size=32) as store:
+            store.create_series("a", codec="raw")
+            values = _values(100)
+            store.append("a", values)
+            assert np.array_equal(store.read("a"), values)
+
+    def test_reopen_reads_identical(self, root):
+        values = _values(100)
+        with DurableStore.create(root, default_segment_size=32) as store:
+            store.create_series("a", codec="raw")
+            store.append("a", values)
+        with DurableStore.open(root) as reopened:
+            assert reopened.recovery.clean
+            assert np.array_equal(reopened.read("a"), values)
+
+    def test_buffer_tail_survives_reopen(self, root):
+        with DurableStore.create(root, default_segment_size=64) as store:
+            store.create_series("a", codec="raw")
+            store.append("a", [1.0, 2.0, 3.0])  # never sealed
+        with DurableStore.open(root) as reopened:
+            assert reopened.recovery.replayed_records == 1
+            assert np.array_equal(reopened.read("a"),
+                                  np.asarray([1.0, 2.0, 3.0]))
+
+    def test_lossy_codec_roundtrips_its_reconstruction(self, root):
+        values = np.sin(np.arange(200) / 5.0)
+        with DurableStore.create(root, default_segment_size=64) as store:
+            store.create_series("c", codec="cameo",
+                                codec_options={"max_lag": 8, "epsilon": 0.05})
+            store.append("c", values)
+            store.flush("c")
+            expected = store.read("c")
+        with DurableStore.open(root) as reopened:
+            assert np.array_equal(reopened.read("c"), expected)
+
+    def test_multiple_series_across_shards(self, root):
+        data = {f"series-{i}": _values(40, seed=i) for i in range(12)}
+        with DurableStore.create(root, default_segment_size=16,
+                                 shards=4) as store:
+            for name, values in data.items():
+                store.create_series(name, codec="raw")
+                store.append(name, values)
+        with DurableStore.open(root) as reopened:
+            for name, values in data.items():
+                assert np.array_equal(reopened.read(name), values)
+
+    def test_flush_then_reopen(self, root):
+        with DurableStore.create(root, default_segment_size=64) as store:
+            store.create_series("a", codec="gorilla")
+            store.append("a", _values(30))
+            assert store.flush() == 1
+        with DurableStore.open(root) as reopened:
+            assert reopened.recovery.replayed_records == 0
+            assert reopened.length("a") == 30
+
+    def test_scalar_append_and_empty_append(self, root):
+        with DurableStore.create(root) as store:
+            store.create_series("a", codec="raw")
+            store.append("a", 4.5)
+            assert store.append("a", []) == 0
+            assert store.read("a").tolist() == [4.5]
+
+    def test_open_missing_directory_raises(self, tmp_path):
+        with pytest.raises(StorageError, match="no store manifest"):
+            DurableStore.open(tmp_path / "absent")
+
+    def test_create_twice_raises(self, root):
+        DurableStore.create(root).close()
+        with pytest.raises(StorageError, match="already contains"):
+            DurableStore.create(root)
+
+    def test_append_unknown_series_raises(self, root):
+        with DurableStore.create(root) as store:
+            with pytest.raises(SeriesNotFoundError):
+                store.append("ghost", [1.0])
+
+    def test_closed_store_rejects_writes(self, root):
+        store = DurableStore.create(root)
+        store.close()
+        with pytest.raises(StorageError, match="closed"):
+            store.create_series("a")
+
+    def test_invalid_fsync_policy_rejected(self, root):
+        with pytest.raises(StorageError, match="fsync_policy"):
+            DurableStore.create(root, fsync_policy="later")
+
+    @pytest.mark.parametrize("policy", ["interval", "never"])
+    def test_relaxed_fsync_policies_work(self, root, policy):
+        with DurableStore.create(root, fsync_policy=policy,
+                                 default_segment_size=8) as store:
+            store.create_series("a", codec="raw")
+            store.append("a", _values(20))
+        with DurableStore.open(root) as reopened:
+            assert reopened.length("a") == 20
+
+
+class TestQuarantine:
+    def _seeded(self, root, n=64, segment_size=16):
+        values = _values(n)
+        store = DurableStore.create(root, default_segment_size=segment_size)
+        store.create_series("x", codec="raw")
+        store.append("x", values)
+        store.close()
+        return values
+
+    def _segment_files(self, root):
+        return sorted(root.glob("segments/*/*/seg-*.json"))
+
+    def test_bit_flip_is_quarantined(self, root):
+        self._seeded(root)
+        inject_bit_flip(self._segment_files(root)[1], 200)
+        with DurableStore.open(root) as store:
+            report = store.recovery
+            assert len(report.quarantined) == 1
+            entry = report.quarantined[0]
+            assert entry.series == "x"
+            assert entry.reason == "checksum-mismatch"
+            assert (entry.start, entry.length) == (16, 16)
+            assert not report.clean
+
+    def test_torn_segment_is_quarantined(self, root):
+        self._seeded(root)
+        target = self._segment_files(root)[0]
+        inject_torn_write(target, target.stat().st_size // 3)
+        with DurableStore.open(root) as store:
+            assert store.recovery.quarantined[0].reason == "truncated-footer"
+
+    def test_missing_segment_is_quarantined(self, root):
+        self._seeded(root)
+        self._segment_files(root)[2].unlink()
+        with DurableStore.open(root) as store:
+            assert store.recovery.quarantined[0].reason == "missing-file"
+
+    def test_read_of_quarantined_range_raises(self, root):
+        values = self._seeded(root)
+        inject_bit_flip(self._segment_files(root)[1], 99)
+        with DurableStore.open(root) as store:
+            with pytest.raises(StorageError, match="quarantined"):
+                store.read("x")
+            with pytest.raises(StorageError, match="quarantined"):
+                store.value_at("x", 20)
+            # Ranges outside the hole still read, bit-identical.
+            assert np.array_equal(store.read("x", 0, 16), values[:16])
+            assert np.array_equal(store.read("x", 32, 64), values[32:64])
+
+    def test_quarantine_dir_holds_file_and_reason(self, root):
+        self._seeded(root)
+        inject_bit_flip(self._segment_files(root)[1], 99)
+        with DurableStore.open(root) as store:
+            quarantined = store.recovery.quarantined[0]
+        names = sorted(p.name for p in (root / "quarantine").iterdir())
+        assert len(names) == 2  # the segment + its reason sidecar
+        reason_doc = json.loads(
+            (root / "quarantine" / names[1]).read_text())
+        assert reason_doc["reason"] == "checksum-mismatch"
+        assert reason_doc["series"] == "x"
+        assert reason_doc["original_path"] == quarantined.file
+
+    def test_second_open_is_clean_with_prior_hole(self, root):
+        self._seeded(root)
+        inject_bit_flip(self._segment_files(root)[1], 99)
+        DurableStore.open(root).close()
+        with DurableStore.open(root) as store:
+            assert store.recovery.clean
+            assert store.recovery.prior_holes == 1
+            assert store.holes("x")[0]["start"] == 16
+
+    def test_appends_continue_after_quarantine(self, root):
+        self._seeded(root)
+        inject_bit_flip(self._segment_files(root)[1], 99)
+        with DurableStore.open(root) as store:
+            store.append("x", [7.0, 8.0])
+            assert store.length("x") == 66
+        with DurableStore.open(root) as store:
+            assert np.array_equal(store.read("x", 64, 66),
+                                  np.asarray([7.0, 8.0]))
+
+    def test_every_bit_flip_position_is_rejected(self, root, tmp_path):
+        """Checksum verification rejects 100% of injected bit flips."""
+        import shutil
+
+        self._seeded(root, n=16, segment_size=16)
+        pristine = tmp_path / "pristine"
+        shutil.copytree(root, pristine)
+        bits = self._segment_files(root)[0].stat().st_size * 8
+        for bit in range(0, bits, 97):
+            shutil.rmtree(root)
+            shutil.copytree(pristine, root)
+            inject_bit_flip(self._segment_files(root)[0], bit)
+            report = fsck(root)
+            assert len(report.quarantined) == 1, f"bit {bit} not rejected"
+
+    def test_every_torn_write_position_is_rejected(self, root, tmp_path):
+        """Checksum verification rejects 100% of injected torn writes."""
+        import shutil
+
+        self._seeded(root, n=16, segment_size=16)
+        pristine = tmp_path / "pristine"
+        shutil.copytree(root, pristine)
+        size = self._segment_files(root)[0].stat().st_size
+        for keep in range(0, size, 53):
+            shutil.rmtree(root)
+            shutil.copytree(pristine, root)
+            inject_torn_write(self._segment_files(root)[0], keep)
+            report = fsck(root)
+            assert len(report.quarantined) == 1, f"cut at {keep} not rejected"
+
+
+class TestManifestFallback:
+    def test_torn_manifest_recovers_from_prev(self, root):
+        values = _values(20)
+        with DurableStore.create(root, default_segment_size=8) as store:
+            store.create_series("z", codec="raw")
+            store.append("z", values)
+        manifest = root / "manifest.json"
+        inject_torn_write(manifest, manifest.stat().st_size // 2)
+        store, report = recover(root)
+        assert report.used_prev_manifest
+        assert np.array_equal(store.read("z"), values)
+        store.close()
+        with DurableStore.open(root) as repaired:
+            assert repaired.recovery.clean
+            assert np.array_equal(repaired.read("z"), values)
+
+    def test_bit_flipped_manifest_recovers_from_prev(self, root):
+        values = _values(20)
+        with DurableStore.create(root, default_segment_size=8) as store:
+            store.create_series("z", codec="raw")
+            store.append("z", values)
+        inject_bit_flip(root / "manifest.json", 400)
+        report = fsck(root)
+        assert report.used_prev_manifest and report.corruption_found
+        assert fsck(root).clean
+
+    def test_both_manifests_gone_raises(self, root):
+        with DurableStore.create(root) as store:
+            store.create_series("z", codec="raw")
+        (root / "manifest.json").write_bytes(b"garbage")
+        (root / "manifest.json.prev").unlink()
+        with pytest.raises(StorageError, match="cannot read store manifest"):
+            DurableStore.open(root)
+
+
+class TestV1Migration:
+    def _v1_store(self, directory):
+        store = TimeSeriesStore(default_segment_size=16)
+        store.create_series("g", codec="gorilla")
+        store.create_series("r", codec="raw", segment_size=8)
+        store.append("g", _values(40, seed=1))
+        store.append("r", _values(20, seed=2))
+        save_store(store, directory)
+        return store
+
+    def test_v1_opens_and_migrates(self, root):
+        original = self._v1_store(root)
+        with DurableStore.open(root) as migrated:
+            assert migrated.recovery.migrated_from_v1
+            for name in ("g", "r"):
+                assert np.array_equal(migrated.read(name),
+                                      original.read(name))
+        # The rewrite is the v2 layout now: segment files exist, next
+        # open is an ordinary clean recovery.
+        assert list(root.glob("segments/*/*/seg-*.json"))
+        with DurableStore.open(root) as again:
+            assert again.recovery.clean
+            assert not again.recovery.migrated_from_v1
+
+    def test_load_store_reads_v2_directories(self, root):
+        values = _values(30)
+        with DurableStore.create(root, default_segment_size=8) as store:
+            store.create_series("a", codec="raw")
+            store.append("a", values)
+        memory = load_store(root)
+        assert isinstance(memory, TimeSeriesStore)
+        assert np.array_equal(memory.read("a"), values)
+
+
+class TestFsck:
+    def test_clean_report(self, root):
+        with DurableStore.create(root, default_segment_size=8) as store:
+            store.create_series("a", codec="raw")
+            store.append("a", _values(20))
+        report = fsck(root)
+        assert report.clean
+        assert "store is clean" in report.summary()
+
+    def test_corrupt_then_repaired(self, root):
+        with DurableStore.create(root, default_segment_size=8) as store:
+            store.create_series("a", codec="raw")
+            store.append("a", _values(20))
+        target = sorted(root.glob("segments/*/*/seg-*.json"))[0]
+        inject_bit_flip(target, 50)
+        report = fsck(root)
+        assert report.corruption_found
+        assert "quarantined 1 segment(s)" in report.summary()
+        assert fsck(root).clean
+
+    def test_torn_wal_tail_reported(self, root):
+        with DurableStore.create(root, default_segment_size=100) as store:
+            store.create_series("a", codec="raw")
+            store.append("a", _values(10))
+        wal = next((root / "wal").glob("*.wal"))
+        inject_torn_write(wal, wal.stat().st_size - 5)
+        report = fsck(root)
+        assert report.truncated_wal_files == 1
+        assert report.truncated_wal_bytes > 0
+        assert fsck(root).clean
+
+
+class TestSpool:
+    def test_multistream_spool_replay(self, tmp_path):
+        from repro.streaming import MultiStreamCompressor
+
+        x = _values(300, seed=3)
+        spool = tmp_path / "spool"
+        multi = MultiStreamCompressor(chunk_size=128, codec="gorilla",
+                                      spool_to=spool)
+        multi.add("a", x)
+        multi.add("b", x[:50])
+        del multi  # ingest tier crashes before drain/flush
+
+        with MultiStreamCompressor(chunk_size=128, codec="gorilla",
+                                   spool_to=spool) as fresh:
+            assert fresh.replay_spool() == 350
+            fresh.flush()
+            assert np.array_equal(fresh.reconstruct("a"), x)
+            assert np.array_equal(fresh.reconstruct("b"), x[:50])
+
+    def test_replay_requires_fresh_compressor(self, tmp_path):
+        from repro.exceptions import InvalidParameterError
+        from repro.streaming import MultiStreamCompressor
+
+        with MultiStreamCompressor(chunk_size=8, codec="raw",
+                                   spool_to=tmp_path / "s") as multi:
+            multi.add("a", [1.0, 2.0])
+            with pytest.raises(InvalidParameterError, match="before any"):
+                multi.replay_spool()
+
+    def test_no_spool_configured_raises(self):
+        from repro.exceptions import InvalidParameterError
+        from repro.streaming import MultiStreamCompressor
+
+        multi = MultiStreamCompressor(chunk_size=8, codec="raw")
+        with pytest.raises(InvalidParameterError, match="no spool"):
+            multi.replay_spool()

@@ -137,3 +137,77 @@ class TestPersistenceErrors:
     def test_save_requires_store(self, tmp_path):
         with pytest.raises(StorageError):
             save_store(object(), tmp_path)  # type: ignore[arg-type]
+
+
+class TestAtomicSave:
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        store, _ = _populated_store()
+        save_store(store, tmp_path / "db")
+        assert not list((tmp_path / "db").glob("*.tmp"))
+
+    def test_resave_replaces_manifest_atomically(self, tmp_path):
+        store, _ = _populated_store()
+        first = save_store(store, tmp_path / "db").read_text()
+        store.append("raw-series", [1.0, 2.0])
+        second = save_store(store, tmp_path / "db").read_text()
+        assert first != second
+        load_store(tmp_path / "db")  # still a valid manifest
+
+    def test_load_truncated_manifest_raises_clearly(self, tmp_path):
+        store, _ = _populated_store()
+        path = save_store(store, tmp_path / "db")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(StorageError, match="truncated or not valid JSON"):
+            load_store(tmp_path / "db")
+
+
+class TestManifestValidation:
+    def _manifest(self, tmp_path):
+        store, _ = _populated_store()
+        path = save_store(store, tmp_path / "db")
+        return path, json.loads(path.read_text())
+
+    def test_non_contiguous_segment_starts_rejected(self, tmp_path):
+        path, manifest = self._manifest(tmp_path)
+        manifest["series"]["cameo-series"]["segments"][1]["start"] = 999
+        path.write_text(json.dumps(manifest, default=float))
+        with pytest.raises(StorageError, match="cameo-series.*segment 1.*999"):
+            load_store(tmp_path / "db")
+
+    def test_reordered_segments_rejected(self, tmp_path):
+        path, manifest = self._manifest(tmp_path)
+        segments = manifest["series"]["cameo-series"]["segments"]
+        segments.reverse()
+        path.write_text(json.dumps(manifest, default=float))
+        with pytest.raises(StorageError, match="contiguous"):
+            load_store(tmp_path / "db")
+
+    def test_summary_count_disagreement_rejected(self, tmp_path):
+        path, manifest = self._manifest(tmp_path)
+        manifest["series"]["cameo-series"]["segments"][0]["summary"]["count"] = 7
+        path.write_text(json.dumps(manifest, default=float))
+        with pytest.raises(StorageError, match="disagrees with its summary"):
+            load_store(tmp_path / "db")
+
+    def test_overlong_buffer_rejected(self, tmp_path):
+        path, manifest = self._manifest(tmp_path)
+        entry = manifest["series"]["raw-series"]
+        entry["buffer"] = [0.0] * (entry["segment_size"] + 1)
+        path.write_text(json.dumps(manifest, default=float))
+        with pytest.raises(StorageError, match="raw-series.*buffered tail"):
+            load_store(tmp_path / "db")
+
+    def test_malformed_series_entry_names_the_series(self, tmp_path):
+        path, manifest = self._manifest(tmp_path)
+        del manifest["series"]["gorilla-series"]["codec"]
+        path.write_text(json.dumps(manifest, default=float))
+        with pytest.raises(StorageError, match="gorilla-series"):
+            load_store(tmp_path / "db")
+
+    def test_series_catalog_must_be_object(self, tmp_path):
+        path, manifest = self._manifest(tmp_path)
+        manifest["series"] = ["not", "a", "mapping"]
+        path.write_text(json.dumps(manifest, default=float))
+        with pytest.raises(StorageError, match="not an object"):
+            load_store(tmp_path / "db")

@@ -380,3 +380,88 @@ class TestBatchExitCodes:
         assert args.on_degrade == "degrade"
         assert args.on_nan == "raise"
         assert args.on_inf == "raise"
+
+
+class TestStoreCommands:
+    @pytest.fixture()
+    def plain_csv(self, tmp_path):
+        values = np.round(np.random.default_rng(5).normal(size=40), 3)
+        path = tmp_path / "plain.csv"
+        path.write_text("\n".join(f"{v}" for v in values) + "\n",
+                        encoding="utf-8")
+        return path, values
+
+    def test_store_subcommands_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["store", "fsck", "dir"])
+        assert args.store_command == "fsck" and args.fsync == "always"
+        args = parser.parse_args(["store", "save", "dir", "--input", "x.csv",
+                                  "--series", "s", "--codec", "raw"])
+        assert args.codec == "raw" and args.segment_size is None
+
+    def test_save_load_roundtrip(self, plain_csv, tmp_path, capsys):
+        path, values = plain_csv
+        directory = tmp_path / "db"
+        assert main(["store", "save", str(directory), "--input", str(path),
+                     "--series", "t", "--codec", "raw",
+                     "--segment-size", "16"]) == 0
+        assert "saved 40 values" in capsys.readouterr().out
+
+        out_csv = tmp_path / "out.csv"
+        assert main(["store", "load", str(directory), "--series", "t",
+                     "--output", str(out_csv)]) == 0
+        restored = np.loadtxt(out_csv, delimiter=",", skiprows=1,
+                              usecols=1)
+        assert np.array_equal(restored, values)
+
+    def test_append_extends_series(self, plain_csv, tmp_path, capsys):
+        path, values = plain_csv
+        directory = tmp_path / "db"
+        main(["store", "save", str(directory), "--input", str(path),
+              "--series", "t", "--codec", "raw"])
+        assert main(["store", "append", str(directory), "--input", str(path),
+                     "--series", "t"]) == 0
+        assert "length now 80" in capsys.readouterr().out
+
+    def test_append_to_missing_store_errors(self, plain_csv, tmp_path):
+        path, _values = plain_csv
+        assert main(["store", "append", str(tmp_path / "absent"),
+                     "--input", str(path), "--series", "t"]) == 2
+
+    def test_load_summary_lists_series(self, plain_csv, tmp_path, capsys):
+        path, _values = plain_csv
+        directory = tmp_path / "db"
+        main(["store", "save", str(directory), "--input", str(path),
+              "--series", "t", "--codec", "gorilla"])
+        capsys.readouterr()
+        assert main(["store", "load", str(directory)]) == 0
+        output = capsys.readouterr().out
+        assert "1 series" in output and "codec gorilla" in output
+
+    def test_fsck_exit_code_matrix(self, plain_csv, tmp_path, capsys):
+        """Exit 0 on a clean store, 4 after corruption, 0 once repaired."""
+        from repro.faultinject import inject_bit_flip
+
+        path, _values = plain_csv
+        directory = tmp_path / "db"
+        main(["store", "save", str(directory), "--input", str(path),
+              "--series", "t", "--codec", "raw", "--segment-size", "8"])
+        assert main(["store", "fsck", str(directory)]) == 0
+        assert "store is clean" in capsys.readouterr().out
+
+        target = sorted(directory.glob("segments/*/*/seg-*.json"))[0]
+        inject_bit_flip(target, 123)
+        assert main(["store", "fsck", str(directory)]) == 4
+        output = capsys.readouterr().out
+        assert "quarantined 1 segment(s)" in output
+        assert "checksum-mismatch" in output
+
+        # The corruption was contained: the next scan is clean again.
+        assert main(["store", "fsck", str(directory)]) == 0
+
+        # Reads of the quarantined range fail loudly, not silently.
+        assert main(["store", "load", str(directory), "--series", "t",
+                     "--output", str(tmp_path / "o.csv")]) == 2
+
+    def test_fsck_missing_store_errors(self, tmp_path):
+        assert main(["store", "fsck", str(tmp_path / "absent")]) == 2

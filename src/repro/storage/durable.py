@@ -51,6 +51,11 @@ import json
 import os
 from pathlib import Path
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
 import numpy as np
 
 from .._validation import as_float_array
@@ -92,6 +97,9 @@ PREV_MANIFEST_NAME = "manifest.json.prev"
 SEGMENTS_DIR = "segments"
 WAL_DIR = "wal"
 QUARANTINE_DIR = "quarantine"
+
+#: Advisory lock file guarding a store root against concurrent handles.
+LOCK_NAME = ".lock"
 
 #: Footer marker separating a checksummed file's payload from its CRC32C.
 FOOTER_PREFIX = b"\n#crc32c="
@@ -227,6 +235,7 @@ class DurableStore:
         self._generations: dict[str, int] = {}
         self._next_sequence: dict[str, int] = {}
         self._wals: dict[str, WriteAheadLog] = {}
+        self._lock_handle = None
         self.recovery = RecoveryReport()
 
         manifest_path = self.directory / MANIFEST_NAME
@@ -235,15 +244,20 @@ class DurableStore:
         if must_create and exists:
             raise StorageError(
                 f"{self.directory} already contains a store manifest")
-        if not exists:
-            if not (create or must_create):
-                raise StorageError(
-                    f"no store manifest in {self.directory}; use "
-                    "DurableStore.create(...) or open(..., create=True)")
-            self.directory.mkdir(parents=True, exist_ok=True)
-            self._write_manifest()
-            return
-        self._recover()
+        if not exists and not (create or must_create):
+            raise StorageError(
+                f"no store manifest in {self.directory}; use "
+                "DurableStore.create(...) or open(..., create=True)")
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._acquire_lock()
+        try:
+            if not exists:
+                self._write_manifest()
+            else:
+                self._recover()
+        except BaseException:
+            self._release_lock()
+            raise
 
     # ------------------------------------------------------------------ #
     # constructors
@@ -369,6 +383,47 @@ class DurableStore:
         """Directory holding quarantined segment files and reasons."""
         return self.directory / QUARANTINE_DIR
 
+    def metadata(self, name) -> dict:
+        """A copy of one series' metadata dict."""
+        return dict(self._memory._state(str(name)).metadata)  # noqa: SLF001
+
+    def update_metadata(self, entries: dict) -> None:
+        """Durably merge metadata updates into one or more series.
+
+        ``entries`` maps series name to a dict of metadata keys to merge;
+        a single manifest swap publishes every update.  Unknown series
+        raise before anything is modified.
+        """
+        self._check_open()
+        states = [(self._memory._state(str(name)), dict(updates))  # noqa: SLF001
+                  for name, updates in entries.items()]
+        if not states:
+            return
+        for state, updates in states:
+            state.metadata.update(updates)
+        self._write_manifest()
+
+    def drop_series(self, name: str) -> None:
+        """Durably remove a series: manifest entry, segments, WAL records.
+
+        The shard WAL is rotated (so stale records for the dropped series
+        are never replayed), the manifest is swapped without the series,
+        and only then are its segment files unlinked — a crash in between
+        leaks unreferenced files, it never resurrects the series.
+        """
+        self._check_open()
+        name = str(name)
+        self._memory.drop_series(name)
+        shard = self._series_shard.pop(name)
+        refs = self._refs.pop(name, [])
+        self._next_file_index.pop(name, None)
+        self._checkpoint({shard})
+        for ref in refs:
+            try:
+                (self.directory / str(ref.get("file", ""))).unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
@@ -378,13 +433,15 @@ class DurableStore:
             wal.sync()
 
     def close(self) -> None:
-        """Close WAL handles.  Buffers stay durable in the WAL."""
+        """Close WAL handles and release the store lock.  Buffers stay
+        durable in the WAL."""
         if self._closed:
             return
         for wal in self._wals.values():
             wal.close()
         self._wals.clear()
         self._closed = True
+        self._release_lock()
 
     def __enter__(self) -> "DurableStore":
         return self
@@ -392,9 +449,41 @@ class DurableStore:
     def __exit__(self, *_exc) -> None:
         self.close()
 
+    def __del__(self):  # pragma: no cover - GC safety net
+        self._release_lock()
+
     def _check_open(self) -> None:
         if self._closed:
             raise StorageError("the durable store has been closed")
+
+    def _acquire_lock(self) -> None:
+        """Take the root's exclusive advisory lock (one handle per store).
+
+        Two live handles would interleave WAL sequences and each handle's
+        manifest swap would silently drop the other's acknowledged state.
+        The lock is ``flock``-based, so the OS releases it when a holder
+        crashes — a dead writer never wedges recovery.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            return
+        handle = open(self.directory / LOCK_NAME, "ab")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            handle.close()
+            raise StorageError(
+                f"store at {self.directory} is already open "
+                "(another DurableStore handle holds its lock)") from None
+        self._lock_handle = handle
+
+    def _release_lock(self) -> None:
+        handle = getattr(self, "_lock_handle", None)
+        if handle is not None:
+            try:
+                handle.close()  # closing the fd releases the flock
+            except OSError:  # pragma: no cover - already closed
+                pass
+            self._lock_handle = None
 
     # ------------------------------------------------------------------ #
     # write path
@@ -485,12 +574,16 @@ class DurableStore:
         if final.exists():
             # Keep the last-known-good manifest: a torn publication of the
             # new one (non-atomic rename, injected torn_write) must not
-            # leave the store unopenable.
-            prev = self.directory / PREV_MANIFEST_NAME
-            with open(prev, "wb") as handle:
-                handle.write(final.read_bytes())
-                handle.flush()
-                os.fsync(handle.fileno())
+            # leave the store unopenable.  Verify the current manifest
+            # first — copying externally corrupted bytes over a good
+            # fallback would destroy the last recovery path.
+            document, _reason = self._parse_manifest_file(final)
+            if document is not None:
+                prev = self.directory / PREV_MANIFEST_NAME
+                with open(prev, "wb") as handle:
+                    handle.write(final.read_bytes())
+                    handle.flush()
+                    os.fsync(handle.fileno())
         self._atomic_write(MANIFEST_NAME, attach_footer(payload),
                            site="manifest_write")
 
@@ -513,7 +606,8 @@ class DurableStore:
                 self._next_sequence[shard] = sequence + 1
                 records.append(WalRecord(
                     sequence=sequence, series=name,
-                    values=np.asarray(buffer, dtype=np.float64)))
+                    values=np.asarray(buffer, dtype=np.float64),
+                    compaction=True))
         blob = b"".join(encode_record(record) for record in records)
         relpath = self._wal_relpath(shard, new_generation)
         path = self.directory / relpath
@@ -674,10 +768,16 @@ class DurableStore:
             self._next_file_index[name] = 0
             self._generations.setdefault(shard, 0)
             self._next_sequence.setdefault(shard, 0)
+        if not self._generations:
+            # A v1 store with zero series still needs one seeded shard so
+            # the migration checkpoint has a WAL to rotate.
+            shard = self._shard_of("")
+            self._generations[shard] = 0
+            self._next_sequence[shard] = 0
         self.recovery.migrated_from_v1 = True
         # Persist everything: segments to files, buffers to WALs, manifest
         # to v2.  Touch every shard so empty ones are recorded too.
-        self._checkpoint(set(self._generations) or {self._shard_of("")})
+        self._checkpoint(set(self._generations))
 
     def _load_series(self, name: str, entry, report: RecoveryReport) -> None:
         if not isinstance(entry, dict):
@@ -801,36 +901,91 @@ class DurableStore:
             position += length
         state.segments.sort(key=lambda segment: segment.start)
 
-    def _replay_wals(self, report: RecoveryReport) -> set[str]:
-        """Replay every shard's referenced WAL generation.
+    def _on_disk_generations(self, shard: str) -> list[int]:
+        """Sorted WAL generation numbers present on disk for ``shard``."""
+        generations = []
+        for path in (self.directory / WAL_DIR).glob(f"shard-{shard}.*.wal"):
+            try:
+                generations.append(int(path.name.rsplit(".", 2)[-2]))
+            except ValueError:  # pragma: no cover - foreign file
+                continue
+        return sorted(generations)
 
-        Returns the shards whose replay sealed segments or whose WAL had a
-        corrupt tail (they need a checkpoint to converge).
+    def _replay_wals(self, report: RecoveryReport) -> set[str]:
+        """Replay every shard's WAL chain, oldest generation first.
+
+        The chain is the manifest's referenced generation plus every newer
+        generation still on disk — newer generations hold appends that were
+        fsync-acknowledged after the recovered manifest was published (the
+        ``manifest.json.prev`` fallback case, or a crash between a WAL
+        rotation and its manifest swap); skipping them would silently lose
+        acknowledged data.  Compaction records (each rotated generation's
+        re-encoding of the buffers at rotation time) *replace* the series'
+        buffer instead of appending, so replaying multiple generations
+        never duplicates values an earlier generation already carried
+        (sequences stay strictly increasing across the chain).
+
+        Returns the shards whose replay sealed segments, spanned extra
+        generations, or hit a corrupt tail (they need a checkpoint to
+        converge).
         """
         touched: set[str] = set()
         for shard in sorted(self._generations):
-            scan = scan_wal(self.directory / self._wal_relpath(
-                shard, self._generations[shard]))
-            if scan.truncated_bytes:
-                report.truncated_wal_bytes += scan.truncated_bytes
-                report.truncated_wal_files += 1
-                report.truncation_reasons.append(
-                    f"shard {shard}: {scan.truncation_reason}")
-                touched.add(shard)
+            referenced = self._generations[shard]
+            newer = [generation
+                     for generation in self._on_disk_generations(shard)
+                     if generation > referenced]
             last_sequence = -1
-            for record in scan.records:
-                last_sequence = record.sequence
-                if record.series not in self._memory:
-                    # A record for a series the (possibly fallback) manifest
-                    # does not know.  Count it; never guess a codec for it.
-                    report.orphan_records += 1
-                    continue
-                sealed = self._memory.append(record.series, record.values)
-                report.replayed_records += 1
-                report.replayed_values += int(record.values.size)
-                if sealed:
-                    report.resealed_segments += sealed
+            broken = False
+            for position, generation in enumerate([referenced, *newer]):
+                if position:
+                    report.extra_wal_generations += 1
                     touched.add(shard)
+                scan = scan_wal(self.directory / self._wal_relpath(
+                    shard, generation))
+                if scan.truncated_bytes:
+                    report.truncated_wal_bytes += scan.truncated_bytes
+                    report.truncated_wal_files += 1
+                    report.truncation_reasons.append(
+                        f"shard {shard} generation {generation}: "
+                        f"{scan.truncation_reason}")
+                    touched.add(shard)
+                for record in scan.records:
+                    if record.sequence <= last_sequence:
+                        report.truncation_reasons.append(
+                            f"shard {shard} generation {generation}: "
+                            f"sequence {record.sequence} not past "
+                            f"{last_sequence} from the previous generation")
+                        touched.add(shard)
+                        broken = True
+                        break
+                    last_sequence = record.sequence
+                    if record.series not in self._memory:
+                        # A record for a series the (possibly fallback)
+                        # manifest does not know.  Count it; never guess a
+                        # codec for it.
+                        report.orphan_records += 1
+                        continue
+                    if record.compaction:
+                        # A rotation's authoritative buffer re-encoding:
+                        # replace the buffer so values an earlier generation
+                        # already replayed are not duplicated.
+                        state = self._memory._state(record.series)  # noqa: SLF001
+                        state.buffer[:] = record.values.tolist()
+                        report.replayed_records += 1
+                        report.replayed_values += int(record.values.size)
+                        continue
+                    sealed = self._memory.append(record.series, record.values)
+                    report.replayed_records += 1
+                    report.replayed_values += int(record.values.size)
+                    if sealed:
+                        report.resealed_segments += sealed
+                        touched.add(shard)
+                if broken:
+                    break
+            # Future rotations must start past every generation seen on
+            # disk, so an existing file is never overwritten.
+            self._generations[shard] = max([referenced, *newer])
             self._next_sequence[shard] = max(
                 self._next_sequence.get(shard, 0), last_sequence + 1)
         return touched

@@ -71,6 +71,11 @@ class RecoveryReport:
     #: WAL records naming a series the manifest does not know (only
     #: possible after a ``manifest.json.prev`` fallback); counted, skipped.
     orphan_records: int = 0
+    #: WAL generations newer than the manifest's that were replayed —
+    #: acknowledged appends that landed after the recovered manifest was
+    #: published (``manifest.json.prev`` fallback, or a crash between a
+    #: WAL rotation and its manifest swap).
+    extra_wal_generations: int = 0
     #: Leftover ``*.tmp`` files from interrupted atomic writes, removed.
     removed_tmp_files: int = 0
     #: Stale (unreferenced) WAL generations removed.
@@ -113,6 +118,9 @@ class RecoveryReport:
         if self.orphan_records:
             lines.append(f"skipped {self.orphan_records} WAL record(s) for "
                          "series unknown to the recovered manifest")
+        if self.extra_wal_generations:
+            lines.append(f"replayed {self.extra_wal_generations} WAL "
+                         "generation(s) newer than the recovered manifest")
         if self.migrated_from_v1:
             lines.append("migrated from a version-1 manifest")
         lines.append("store is clean" if self.clean

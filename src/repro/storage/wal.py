@@ -13,9 +13,17 @@ Record layout (little-endian)::
     u64  sequence    per-shard, strictly increasing
     u16  name_len    length of the series name (utf-8 bytes)
     u32  count       number of float64 values
+    u8   flags       bit 0: compaction record (see below); others reserved
     ...  name        utf-8 series name
     ...  values      count * 8 bytes (IEEE-754 float64, little-endian)
     u32  crc32c      over every preceding byte of the record
+
+A *compaction* record (flag bit 0) is written at the head of a rotated
+WAL generation and re-encodes a series' entire unsealed buffer at
+rotation time.  Replay treats it as authoritative — it *replaces* the
+series' buffer instead of appending — so a recovery that replays several
+generations of one shard (see ``DurableStore._replay_wals``) never
+duplicates the values an ordinary append record already carried.
 
 A torn write leaves a truncated final record (header or CRC missing); a
 flipped bit fails the CRC.  Both stop the scan at the *previous* record —
@@ -49,9 +57,14 @@ __all__ = [
 #: Per-record magic ("RWAL" little-endian), a cheap first corruption check.
 RECORD_MAGIC = 0x4C415752
 
-#: Fixed-size record header: magic, sequence, name length, value count.
-_HEADER = struct.Struct("<IQHI")
+#: Fixed-size record header: magic, sequence, name length, value count,
+#: flags byte.
+_HEADER = struct.Struct("<IQHIB")
 _CRC = struct.Struct("<I")
+
+#: Known record flag bits (bit 0: compaction record).
+_FLAG_COMPACTION = 0x01
+_KNOWN_FLAGS = _FLAG_COMPACTION
 
 #: Supported WAL fsync policies.
 #:
@@ -69,11 +82,16 @@ FSYNC_POLICIES = ("always", "interval", "never")
 
 @dataclass(frozen=True)
 class WalRecord:
-    """One acknowledged append: which series received which values."""
+    """One acknowledged append: which series received which values.
+
+    ``compaction=True`` marks a rotation's buffer re-encoding — replay
+    replaces the series' buffer with these values instead of appending.
+    """
 
     sequence: int
     series: str
     values: np.ndarray
+    compaction: bool = False
 
     def __post_init__(self):
         object.__setattr__(
@@ -90,7 +108,8 @@ def encode_record(record: WalRecord) -> bytes:
         raise StorageError(
             f"series name too long for a WAL record ({len(name)} bytes)")
     body = (_HEADER.pack(RECORD_MAGIC, int(record.sequence), len(name),
-                         int(record.values.size))
+                         int(record.values.size),
+                         _FLAG_COMPACTION if record.compaction else 0)
             + name
             + record.values.astype("<f8", copy=False).tobytes())
     return body + _CRC.pack(crc32c(body))
@@ -106,7 +125,7 @@ def decode_record(buffer: bytes, offset: int = 0) -> tuple[WalRecord, int]:
     view = memoryview(buffer)
     if offset + _HEADER.size > len(view):
         raise StorageError("truncated WAL record header")
-    magic, sequence, name_len, count = _HEADER.unpack_from(view, offset)
+    magic, sequence, name_len, count, flags = _HEADER.unpack_from(view, offset)
     if magic != RECORD_MAGIC:
         raise StorageError(f"bad WAL record magic {magic:#010x}")
     body_end = offset + _HEADER.size + name_len + count * 8
@@ -118,12 +137,15 @@ def decode_record(buffer: bytes, offset: int = 0) -> tuple[WalRecord, int]:
         raise StorageError(
             f"WAL record CRC mismatch (stored {stored_crc:#010x}, "
             f"computed {actual_crc:#010x})")
+    if flags & ~_KNOWN_FLAGS:
+        raise StorageError(f"unknown WAL record flags {flags:#04x}")
     name_start = offset + _HEADER.size
     series = bytes(view[name_start:name_start + name_len]).decode("utf-8")
     values = np.frombuffer(view, dtype="<f8", count=count,
                            offset=name_start + name_len).astype(np.float64)
-    return WalRecord(sequence=int(sequence), series=series,
-                     values=values), body_end + _CRC.size
+    return WalRecord(sequence=int(sequence), series=series, values=values,
+                     compaction=bool(flags & _FLAG_COMPACTION)), \
+        body_end + _CRC.size
 
 
 @dataclass

@@ -423,10 +423,15 @@ class MultiStreamCompressor:
         :class:`repro.storage.durable.DurableStore` series (raw codec,
         one series per stream) *before* it is buffered, so an ingest-tier
         crash loses nothing — a fresh compressor pointed at the same
-        directory calls :meth:`replay_spool` to re-ingest everything the
-        spool holds.  ``spool_fsync`` sets the spool WAL's fsync policy
-        (default ``"always"``; see
-        :data:`repro.storage.wal.FSYNC_POLICIES`).
+        directory calls :meth:`replay_spool` to re-ingest the undrained
+        tail (pending chunks and buffer, not chunks already emitted by
+        earlier drains).  Each :meth:`drain` advances a durable per-stream
+        drained watermark and resets fully-drained spool series, and
+        input-policy split boundaries are spooled too, so replayed
+        chunking matches the pre-crash run.  ``spool_fsync`` sets the
+        spool WAL's fsync policy (default ``"always"``; see
+        :data:`repro.storage.wal.FSYNC_POLICIES`).  The spool store is
+        exclusively locked while the compressor holds it.
 
     Examples
     --------
@@ -468,6 +473,9 @@ class MultiStreamCompressor:
         self._reports: dict[str, StreamReport] = {}
         self.errors: list = []
         self.spool = None
+        # Spool position of a stream's value = its report count plus this
+        # offset (non-zero after a replay or a spool compaction).
+        self._spool_offset: dict[str, int] = {}
         if spool_to is not None:
             from ..storage.durable import DurableStore
 
@@ -515,8 +523,22 @@ class MultiStreamCompressor:
         if self.spool is not None and _spool:
             name = str(stream)
             if name not in self.spool:
-                self.spool.create_series(name, codec="raw",
-                                         segment_size=self.chunk_size)
+                self.spool.create_series(
+                    name, codec="raw", segment_size=self.chunk_size,
+                    metadata={"drained": 0, "splits": []})
+            if len(segments) > 1:
+                # Persist the policy's split boundaries *before* the values:
+                # replay must seal the buffer at the same positions, and a
+                # boundary pointing past the spooled data is harmless while
+                # a missing one would let a replayed chunk bridge a gap.
+                splits = [int(s) for s in
+                          self.spool.metadata(name).get("splits", [])]
+                position = int(self.spool.length(name))
+                for segment in segments[:-1]:
+                    position += int(segment.size)
+                    if position and (not splits or position > splits[-1]):
+                        splits.append(position)
+                self.spool.update_metadata({name: {"splits": splits}})
             for segment in segments:
                 if segment.size:
                     self.spool.append(name, segment)
@@ -573,6 +595,8 @@ class MultiStreamCompressor:
             report.worst_chunk_deviation = max(report.worst_chunk_deviation,
                                                deviation)
             sealed.append((stream, result))
+        if self.spool is not None:
+            self._mark_drained({stream for stream, _values in pending})
         return sealed
 
     def flush(self) -> list[tuple[str, ChunkResult]]:
@@ -610,15 +634,51 @@ class MultiStreamCompressor:
     # ------------------------------------------------------------------ #
     # durable spool
     # ------------------------------------------------------------------ #
+    def _mark_drained(self, streams) -> None:
+        """Persist the drained watermark for ``streams``; compact spool
+        series whose every spooled value has now been emitted.
+
+        The watermark is written when the drain that consumed the chunks
+        completes, so a crash between a drain and its caller persisting
+        the results replays exactly that one batch again (at-least-once);
+        chunks from earlier drains are never re-ingested.
+        """
+        updates = {}
+        for stream in sorted(streams):
+            if stream not in self.spool:
+                continue
+            report = self._reports[stream]
+            drained = report.sealed_points + self._spool_offset.get(stream, 0)
+            spooled = self.spool.length(stream)
+            if spooled and drained >= spooled:
+                # Everything spooled was emitted (the buffer is necessarily
+                # empty too): reset the series so the spool directory does
+                # not grow without bound across the compressor's lifetime.
+                self.spool.drop_series(stream)
+                self.spool.create_series(
+                    stream, codec="raw", segment_size=self.chunk_size,
+                    metadata={"drained": 0, "splits": []})
+                self._spool_offset[stream] = -report.sealed_points
+            elif drained > int(self.spool.metadata(stream).get("drained", 0)):
+                updates[stream] = {"drained": int(drained)}
+        if updates:
+            self.spool.update_metadata(updates)
+
     def replay_spool(self) -> int:
-        """Re-ingest everything the durable spool holds; returns the count.
+        """Re-ingest the spool's undrained values; returns the count.
 
         Meant for a *fresh* compressor after an ingest-tier crash: the
         spool directory survives the crash (its WAL acknowledged every
-        :meth:`add`), so replaying it restores every stream's pending
-        chunks and buffer tail.  Values are re-added without being spooled
-        again and without re-applying the input policy (the spool holds
-        already-sanitized values).
+        :meth:`add`), and each series carries a durable *drained
+        watermark* plus the input policy's recorded split boundaries.
+        Replay re-ingests only values past the watermark — the pending
+        chunks and buffer tail, not chunks already emitted by earlier
+        drains — and seals the buffer at every recorded split so
+        post-crash chunking matches the pre-crash run.  A crash between a
+        drain and its caller persisting the results duplicates exactly
+        that one batch (see :meth:`_mark_drained`).  Values are re-added
+        without being spooled again and without re-applying the input
+        policy (the spool holds already-sanitized values).
         """
         if self.spool is None:
             raise InvalidParameterError(
@@ -630,10 +690,30 @@ class MultiStreamCompressor:
         replayed = 0
         try:
             for name in self.spool.list_series():
-                values = self.spool.read(name)
-                if values.size:
-                    self.add(name, values, _spool=False)
-                    replayed += int(values.size)
+                meta = self.spool.metadata(name)
+                total = self.spool.length(name)
+                watermark = min(int(meta.get("drained", 0)), total)
+                if watermark:
+                    self._stream_state(name)
+                    self._spool_offset[name] = watermark
+                values = self.spool.read(name, watermark)
+                if not values.size:
+                    continue
+                splits = sorted({int(s) - watermark
+                                 for s in meta.get("splits", [])
+                                 if watermark < int(s) <= total})
+                buffer, _results, _report = self._stream_state(name)
+                pieces = np.split(values, splits) if splits else [values]
+                for position, piece in enumerate(pieces):
+                    if position and buffer:
+                        # Recorded split boundary: seal the partial buffer
+                        # exactly as add() did before the crash.
+                        chunk_values = np.asarray(buffer, dtype=np.float64)
+                        buffer.clear()
+                        self._pending.append((name, chunk_values))
+                    if piece.size:
+                        self.add(name, piece, _spool=False)
+                replayed += int(values.size)
         finally:
             self.policy = policy
         return replayed

@@ -288,6 +288,60 @@ class TestManifestFallback:
         with pytest.raises(StorageError, match="cannot read store manifest"):
             DurableStore.open(root)
 
+    def test_fallback_replays_newer_wal_generations(self, root):
+        # manifest.json.prev lags behind the current WAL generation;
+        # appends acknowledged after the fallback manifest was published
+        # must still be replayed, not pruned or overwritten.
+        head, tail = np.arange(10.0), np.array([100.0, 101.0, 102.0])
+        with DurableStore.create(root, default_segment_size=8) as store:
+            store.create_series("z", codec="raw")
+            store.append("z", head)  # seals a segment -> WAL rotation
+            store.append("z", tail)  # lands in the newer generation
+        inject_bit_flip(root / "manifest.json", 400)
+        store, report = recover(root)
+        assert report.used_prev_manifest
+        assert report.extra_wal_generations >= 1
+        assert "generation(s) newer" in report.summary()
+        assert np.array_equal(store.read("z"), np.concatenate([head, tail]))
+        store.close()
+        with DurableStore.open(root) as repaired:
+            assert repaired.recovery.clean
+            assert np.array_equal(repaired.read("z"),
+                                  np.concatenate([head, tail]))
+
+
+class TestLocking:
+    def test_second_open_raises_while_locked(self, root):
+        with DurableStore.create(root) as store:
+            store.create_series("a", codec="raw")
+            with pytest.raises(StorageError, match="already open"):
+                DurableStore.open(root)
+
+    def test_lock_released_on_close(self, root):
+        store = DurableStore.create(root)
+        store.create_series("a", codec="raw")
+        store.append("a", _values(5))
+        store.close()
+        with DurableStore.open(root) as again:
+            assert again.recovery.clean
+            assert again.length("a") == 5
+
+    def test_failed_open_releases_lock(self, root):
+        values = _values(5)
+        with DurableStore.create(root) as store:
+            store.create_series("z", codec="raw")
+            store.append("z", values)
+        manifest = root / "manifest.json"
+        good = manifest.read_bytes()
+        manifest.write_bytes(b"garbage")
+        (root / "manifest.json.prev").unlink()
+        with pytest.raises(StorageError):
+            DurableStore.open(root)
+        # The failed recovery must not leave the store wedged.
+        manifest.write_bytes(good)
+        with DurableStore.open(root) as again:
+            assert np.array_equal(again.read("z"), values)
+
 
 class TestV1Migration:
     def _v1_store(self, directory):
@@ -312,6 +366,16 @@ class TestV1Migration:
         with DurableStore.open(root) as again:
             assert again.recovery.clean
             assert not again.recovery.migrated_from_v1
+
+    def test_empty_v1_store_migrates(self, root):
+        save_store(TimeSeriesStore(), root)
+        with DurableStore.open(root) as migrated:
+            assert migrated.recovery.migrated_from_v1
+            assert migrated.list_series() == []
+        with DurableStore.open(root) as again:
+            assert again.recovery.clean
+            again.create_series("late", codec="raw")
+            again.append("late", _values(5))
 
     def test_load_store_reads_v2_directories(self, root):
         values = _values(30)
@@ -355,6 +419,38 @@ class TestFsck:
         assert fsck(root).clean
 
 
+class TestMetadataAndDrop:
+    def test_update_metadata_persists_across_reopen(self, root):
+        with DurableStore.create(root) as store:
+            store.create_series("a", codec="raw", metadata={"unit": "C"})
+            store.update_metadata({"a": {"site": "lab", "unit": "K"}})
+            assert store.metadata("a") == {"unit": "K", "site": "lab"}
+        with DurableStore.open(root) as again:
+            assert again.metadata("a") == {"unit": "K", "site": "lab"}
+
+    def test_update_metadata_unknown_series_changes_nothing(self, root):
+        with DurableStore.create(root) as store:
+            store.create_series("a", codec="raw")
+            with pytest.raises(SeriesNotFoundError):
+                store.update_metadata({"a": {"k": 1}, "ghost": {"k": 2}})
+            assert "k" not in store.metadata("a")
+
+    def test_drop_series_is_durable(self, root):
+        with DurableStore.create(root, default_segment_size=8) as store:
+            store.create_series("a", codec="raw")
+            store.create_series("b", codec="raw")
+            store.append("a", _values(20, seed=1))
+            store.append("b", _values(20, seed=2))
+            store.drop_series("a")
+            assert store.list_series() == ["b"]
+        with DurableStore.open(root) as again:
+            assert again.recovery.clean
+            assert again.list_series() == ["b"]
+            assert np.array_equal(again.read("b"), _values(20, seed=2))
+            with pytest.raises(SeriesNotFoundError):
+                again.read("a")
+
+
 class TestSpool:
     def test_multistream_spool_replay(self, tmp_path):
         from repro.streaming import MultiStreamCompressor
@@ -391,3 +487,68 @@ class TestSpool:
         multi = MultiStreamCompressor(chunk_size=8, codec="raw")
         with pytest.raises(InvalidParameterError, match="no spool"):
             multi.replay_spool()
+
+    def test_replay_skips_drained_chunks(self, tmp_path):
+        from repro.streaming import MultiStreamCompressor
+
+        x = _values(300, seed=4)
+        spool = tmp_path / "spool"
+        multi = MultiStreamCompressor(chunk_size=128, codec="gorilla",
+                                      spool_to=spool)
+        multi.add("a", x)                 # seals 2x128, 44 stay buffered
+        emitted = multi.drain()           # two chunks leave the compressor
+        assert len(emitted) == 2
+        del multi                         # crash after the drain
+
+        with MultiStreamCompressor(chunk_size=128, codec="gorilla",
+                                   spool_to=spool) as fresh:
+            # Only the undrained buffer tail is re-ingested; the two
+            # emitted chunks are not duplicated.
+            assert fresh.replay_spool() == 44
+            fresh.flush()
+            assert np.array_equal(fresh.reconstruct("a"), x[256:])
+
+    def test_spool_compacts_fully_drained_streams(self, tmp_path):
+        from repro.streaming import MultiStreamCompressor
+
+        x = _values(256, seed=5)
+        spool = tmp_path / "spool"
+        multi = MultiStreamCompressor(chunk_size=128, codec="gorilla",
+                                      spool_to=spool)
+        multi.add("a", x)
+        multi.drain()                     # everything spooled was emitted
+        assert multi.spool.length("a") == 0   # spool series was reset
+        tail = _values(30, seed=6)
+        multi.add("a", tail)              # post-compaction ingest
+        assert multi.spool.length("a") == 30
+        del multi
+
+        with MultiStreamCompressor(chunk_size=128, codec="gorilla",
+                                   spool_to=spool) as fresh:
+            assert fresh.replay_spool() == 30
+            fresh.flush()
+            assert np.array_equal(fresh.reconstruct("a"), tail)
+
+    def test_replay_preserves_policy_splits(self, tmp_path):
+        from repro.sanitize import InputPolicy
+        from repro.streaming import MultiStreamCompressor
+
+        head, tail = _values(50, seed=7), _values(30, seed=8)
+        x = np.concatenate([head, [np.nan], tail])
+        spool = tmp_path / "spool"
+        multi = MultiStreamCompressor(chunk_size=64, codec="raw",
+                                      policy=InputPolicy(on_nan="split"),
+                                      spool_to=spool)
+        multi.add("a", x)                 # policy splits at the NaN
+        del multi                         # crash before any drain
+
+        with MultiStreamCompressor(chunk_size=64, codec="raw",
+                                   policy=InputPolicy(on_nan="split"),
+                                   spool_to=spool) as fresh:
+            assert fresh.replay_spool() == 80
+            fresh.flush()
+            # The recorded boundary keeps the replayed chunks from
+            # bridging the gap: [50, 30], never [64, 16].
+            assert [r.length for r in fresh.results("a")] == [50, 30]
+            assert np.array_equal(fresh.reconstruct("a"),
+                                  np.concatenate([head, tail]))

@@ -515,6 +515,39 @@ def _cmd_store_fsck(args: argparse.Namespace) -> int:
     return 0 if report.clean else 4
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .exceptions import StorageError
+    from .service import (CompressionService, ServiceConfig,
+                          install_signal_handlers)
+
+    config = ServiceConfig(
+        host=args.host, port=args.port, workers=args.workers,
+        queue_depth=args.queue_depth, drain_timeout=args.drain_timeout,
+        codec=args.codec, chunk_size=args.chunk_size,
+        default_deadline=args.default_deadline,
+        store=args.store, spool_fsync=args.fsync)
+    try:
+        service = CompressionService(config)
+    except StorageError as exc:
+        print(f"error: cannot open store: {exc}", file=sys.stderr)
+        return 4
+    try:
+        service.start()
+    except OSError as exc:
+        print(f"error: cannot bind {config.host}:{config.port}: {exc}",
+              file=sys.stderr)
+        return 4
+    install_signal_handlers(service)
+    print(f"serving on {config.host}:{service.port} "
+          f"(store: {config.store or 'none'}, workers: {config.workers}, "
+          f"queue depth: {config.queue_depth}); SIGTERM drains gracefully",
+          flush=True)
+    report = service.serve_forever()
+    print(f"drained: reason={report.reason} clean={report.clean} "
+          f"shed={report.shed_jobs} aborted={report.aborted}", flush=True)
+    return 1 if report.aborted else 0
+
+
 def _cmd_list_codecs(_args: argparse.Namespace) -> int:
     specs = codec_specs()
     name_width = max(len(spec.name) for spec in specs)
@@ -685,6 +718,36 @@ def build_parser() -> argparse.ArgumentParser:
                      "segments, replay the WAL (exit 0 clean, 4 corruption)")
     add_store_dir(store_fsck)
     store_fsck.set_defaults(func=_cmd_store_fsck)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the crash-tolerant compression service (exit 0 after a "
+             "clean drain, 4 when the bind or store open fails)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="bind port; 0 picks a free one (default 8765)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="job-executor threads (default 2)")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="admission queue cap (default 64)")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       help="seconds queued jobs get to finish on SIGTERM "
+                            "before the rest is shed (default 10)")
+    serve.add_argument("--store", default=None,
+                       help="durable store directory enabling /ingest "
+                            "spooling and idempotency (default: none)")
+    serve.add_argument("--fsync", default="always",
+                       choices=("always", "interval", "never"),
+                       help="spool WAL fsync policy (default always)")
+    serve.add_argument("--codec", default="gorilla",
+                       help="default codec for requests (default gorilla)")
+    serve.add_argument("--chunk-size", type=int, default=256,
+                       help="values per sealed ingest chunk (default 256)")
+    serve.add_argument("--default-deadline", type=float, default=30.0,
+                       help="request budget in seconds when the client "
+                            "sends no X-Deadline-Ms (default 30)")
+    serve.set_defaults(func=_cmd_serve)
 
     scorecard = subparsers.add_parser(
         "scorecard",

@@ -29,6 +29,7 @@ Example
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import time
 
@@ -170,8 +171,24 @@ class BatchEngine:
                     sanitize_meta[index] = result.report.as_metadata()
         return pre_errors, sanitize_meta
 
-    def compress(self, source, *, names=None) -> BatchResult:
-        """Compress every series of ``source``; outcomes in input order."""
+    def compress(self, source, *, names=None,
+                 deadline: float | None = None) -> BatchResult:
+        """Compress every series of ``source``; outcomes in input order.
+
+        ``deadline`` is an optional wall-clock budget in seconds for this
+        call.  The supervisor clamps every chunk wait to the remaining
+        budget and writes chunks abandoned at expiry off as
+        :class:`~repro.exceptions.DeadlineExceededError` outcomes — the
+        call still returns a full :class:`BatchResult`, with whatever
+        completed in time reported per series.
+        """
+        policy = self.supervisor_policy
+        if deadline is not None:
+            if not float(deadline) > 0:
+                raise InvalidParameterError(
+                    f"deadline must be positive or None, got {deadline!r}")
+            policy = dataclasses.replace(
+                policy, deadline=time.monotonic() + float(deadline))
         series_list, series_names = _normalize_source(source, names)
         pre_errors: dict[int, SeriesOutcome] = {}
         sanitize_meta: dict[int, dict] = {}
@@ -195,7 +212,7 @@ class BatchEngine:
         outcomes, stats = run_supervised(
             self.backend, chunks, series_list, series_names, self.codec,
             self.codec_options, self.fastpath, self.workers,
-            policy=self.supervisor_policy)
+            policy=policy)
         wall = time.perf_counter() - wall_start
         cpu = self._cpu_seconds() - cpu_start
 
@@ -241,7 +258,8 @@ def compress_batch(source, codec: str = "cameo", *, names=None,
                    workers: int | None = None, fastpath: bool = True,
                    timeout: float | None = None, retries: int = 1,
                    on_degrade: str = "degrade",
-                   policy: InputPolicy | None = None) -> BatchResult:
+                   policy: InputPolicy | None = None,
+                   deadline: float | None = None) -> BatchResult:
     """One-shot convenience wrapper around :class:`BatchEngine`.
 
     Parameters
@@ -257,6 +275,9 @@ def compress_batch(source, codec: str = "cameo", *, names=None,
         store series to read.
     backend, workers, fastpath, timeout, retries, on_degrade, policy:
         See :class:`BatchEngine`.
+    deadline:
+        Optional wall-clock budget in seconds for this call (see
+        :meth:`BatchEngine.compress`).
 
     Returns
     -------
@@ -267,4 +288,4 @@ def compress_batch(source, codec: str = "cameo", *, names=None,
     engine = BatchEngine(codec, codec_options=codec_options, backend=backend,
                          workers=workers, fastpath=fastpath, timeout=timeout,
                          retries=retries, on_degrade=on_degrade, policy=policy)
-    return engine.compress(source, names=names)
+    return engine.compress(source, names=names, deadline=deadline)

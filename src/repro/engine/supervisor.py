@@ -51,7 +51,12 @@ import numpy as np
 
 from .. import faultinject
 from ..codecs.serialize import block_from_document
-from ..exceptions import ChunkTimeoutError, InvalidParameterError, ReproError
+from ..exceptions import (
+    ChunkTimeoutError,
+    DeadlineExceededError,
+    InvalidParameterError,
+    ReproError,
+)
 from .backends import (
     BACKENDS,
     build_shared_input,
@@ -88,17 +93,32 @@ class SupervisorPolicy:
         the ladder ``process → thread → serial``), ``serial`` (skip the
         thread rung, go straight to the serial guard), or ``error``
         (record error outcomes immediately).
+    deadline:
+        Absolute ``time.monotonic()`` instant after which no further work
+        may start (``None`` = unbounded).  Every tier clamps its future
+        waits to the remaining budget, skips retries once the budget is
+        gone, and records :class:`~repro.exceptions.DeadlineExceededError`
+        outcomes for chunks abandoned at expiry — so a request-level
+        deadline bounds the whole run regardless of per-chunk ``timeout``.
     """
 
     timeout: float | None = None
     retries: int = 1
     backoff: float = 0.05
     on_degrade: str = "degrade"
+    deadline: float | None = None
 
     def __post_init__(self):
         if self.timeout is not None and not float(self.timeout) > 0:
             raise InvalidParameterError(
                 f"timeout must be positive or None, got {self.timeout!r}")
+        if self.deadline is not None:
+            try:
+                float(self.deadline)
+            except (TypeError, ValueError):
+                raise InvalidParameterError(
+                    f"deadline must be a monotonic instant or None, "
+                    f"got {self.deadline!r}") from None
         if int(self.retries) < 0:
             raise InvalidParameterError(
                 f"retries must be >= 0, got {self.retries!r}")
@@ -174,7 +194,58 @@ def _payload_to_outcomes(payload) -> list[SeriesOutcome]:
 
 def _sleep_backoff(policy: SupervisorPolicy, attempt: int) -> None:
     if policy.backoff > 0:
-        time.sleep(policy.backoff * (2 ** max(attempt - 1, 0)))
+        sleep = policy.backoff * (2 ** max(attempt - 1, 0))
+        remaining = _remaining(policy)
+        if remaining is not None:
+            sleep = min(sleep, max(remaining, 0.0))
+        time.sleep(sleep)
+
+
+# --------------------------------------------------------------------- #
+# deadline accounting
+# --------------------------------------------------------------------- #
+def _remaining(policy: SupervisorPolicy) -> float | None:
+    """Seconds left in the run budget, or ``None`` when unbounded."""
+    if policy.deadline is None:
+        return None
+    return policy.deadline - time.monotonic()
+
+
+def _expired(policy: SupervisorPolicy) -> bool:
+    remaining = _remaining(policy)
+    return remaining is not None and remaining <= 0
+
+
+def _wait_timeout(policy: SupervisorPolicy) -> float | None:
+    """The effective future-wait timeout: per-chunk cap ∧ remaining budget."""
+    remaining = _remaining(policy)
+    if remaining is None:
+        return policy.timeout
+    remaining = max(remaining, 0.0)
+    if policy.timeout is None:
+        return remaining
+    return min(policy.timeout, remaining)
+
+
+def _deadline_outcomes(job: _Job, chunk: list[int],
+                       degraded_to: str | None = None
+                       ) -> list[SeriesOutcome]:
+    error = DeadlineExceededError(
+        f"run deadline expired before the chunk of {len(chunk)} series "
+        f"completed")
+    return _error_outcomes(job, chunk, error, degraded_to=degraded_to)
+
+
+def _timeout_failure(policy: SupervisorPolicy, chunk_size: int,
+                     where: str) -> ChunkTimeoutError:
+    """The right error for a future wait that ran out of time."""
+    if _expired(policy):
+        return DeadlineExceededError(
+            f"chunk of {chunk_size} series abandoned on the {where}: the "
+            f"run deadline expired")
+    return ChunkTimeoutError(
+        f"chunk of {chunk_size} series exceeded the {policy.timeout:g}s "
+        f"timeout on the {where}")
 
 
 # --------------------------------------------------------------------- #
@@ -186,6 +257,9 @@ def _serial_chunk(job: _Job, chunk: list[int], policy: SupervisorPolicy,
     """One chunk in-process, with chunk-level retry then error outcomes."""
     failure: BaseException | None = None
     for attempt in range(policy.retries + 1):
+        if _expired(policy):
+            stats.timeouts += 1
+            return _deadline_outcomes(job, chunk, degraded_to=degraded_to)
         if attempt:
             stats.retries += 1
             _sleep_backoff(policy, attempt)
@@ -222,17 +296,19 @@ def _degrade_chunk(job: _Job, chunk: list[int], policy: SupervisorPolicy,
         return _error_outcomes(job, chunk, failure)
     stats.degraded_chunks += 1
     stats.degraded_series += len(chunk)
+    if _expired(policy):
+        stats.timeouts += 1
+        return _deadline_outcomes(job, chunk)
 
     if policy.on_degrade == "degrade" and "thread" in ladder:
         pool = ThreadPoolExecutor(max_workers=1)
         try:
             outcomes = pool.submit(_encode, job, chunk).result(
-                timeout=policy.timeout)
+                timeout=_wait_timeout(policy))
         except FutureTimeoutError:
             stats.timeouts += 1
-            failure = ChunkTimeoutError(
-                f"chunk of {len(chunk)} series exceeded the "
-                f"{policy.timeout:g}s timeout on the degraded thread rung")
+            failure = _timeout_failure(policy, len(chunk),
+                                       "degraded thread rung")
         except Exception as exc:
             failure = exc
         else:
@@ -271,17 +347,23 @@ def _run_thread(job: _Job, chunks, workers: int, policy: SupervisorPolicy,
         while queue:
             cid = queue.popleft()
             try:
-                results[cid] = inflight[cid].result(timeout=policy.timeout)
+                results[cid] = inflight[cid].result(
+                    timeout=_wait_timeout(policy))
                 continue
             except FutureTimeoutError:
                 stats.timeouts += 1
-                failure: BaseException = ChunkTimeoutError(
-                    f"chunk of {len(chunks[cid])} series exceeded the "
-                    f"{policy.timeout:g}s timeout on the thread backend")
+                failure: BaseException = _timeout_failure(
+                    policy, len(chunks[cid]), "thread backend")
+                if _expired(policy):
+                    # The budget is gone: no retry, no degrade — record
+                    # deadline outcomes and let the abandoned task die with
+                    # the pool shutdown below.
+                    results[cid] = _error_outcomes(job, chunks[cid], failure)
+                    continue
             except Exception as exc:
                 failure = exc
             attempts[cid] += 1
-            if attempts[cid] <= policy.retries:
+            if attempts[cid] <= policy.retries and not _expired(policy):
                 stats.retries += 1
                 _sleep_backoff(policy, attempts[cid])
                 inflight[cid] = pool.submit(_encode, job, chunks[cid])
@@ -397,19 +479,42 @@ def _supervise_process_chunks(job, chunks, tasks, workers, policy, stats
         inflight = {cid: box.submit(process_chunk_task, tasks[cid])
                     for cid in range(count)}
         queue = deque(range(count))
+        deadline_reaped = False
         while queue:
             cid = queue.popleft()
             if cid in results:
                 continue
+            if _expired(policy):
+                # Reaped futures raise CancelledError (a BaseException) on
+                # .result(); harvest finished chunks, write the rest off.
+                future = inflight[cid]
+                if future.done() and not future.cancelled():
+                    try:
+                        results[cid] = _payload_to_outcomes(
+                            future.result(timeout=0))
+                        continue
+                    except Exception:
+                        pass
+                stats.timeouts += 1
+                results[cid] = _deadline_outcomes(job, chunks[cid])
+                continue
             try:
-                payload = inflight[cid].result(timeout=policy.timeout)
+                payload = inflight[cid].result(timeout=_wait_timeout(policy))
                 results[cid] = _payload_to_outcomes(payload)
                 continue
             except FutureTimeoutError:
                 stats.timeouts += 1
-                failure: BaseException = ChunkTimeoutError(
-                    f"chunk of {len(chunks[cid])} series exceeded the "
-                    f"{policy.timeout:g}s timeout on the process backend")
+                failure: BaseException = _timeout_failure(
+                    policy, len(chunks[cid]), "process backend")
+                if _expired(policy):
+                    # Budget gone: record deadline outcomes and reap the
+                    # workers still grinding (once) instead of resubmitting.
+                    results[cid] = _error_outcomes(job, chunks[cid], failure)
+                    if not deadline_reaped:
+                        deadline_reaped = True
+                        stats.pool_rebuilds += 1
+                        box.rebuild(kill=True)
+                    continue
                 stats.pool_rebuilds += 1
                 box.rebuild(kill=True)
                 _resubmit_pending(box, tasks, inflight, results, skip=cid)
@@ -423,7 +528,7 @@ def _supervise_process_chunks(job, chunks, tasks, workers, policy, stats
             except Exception as exc:
                 failure = exc
             attempts[cid] += 1
-            if attempts[cid] <= policy.retries:
+            if attempts[cid] <= policy.retries and not _expired(policy):
                 stats.retries += 1
                 _sleep_backoff(policy, attempts[cid])
                 inflight[cid] = box.submit(process_chunk_task, tasks[cid])

@@ -30,6 +30,15 @@ class ChunkTimeoutError(ReproError):
     """A batch-engine chunk exceeded its per-chunk execution timeout."""
 
 
+class DeadlineExceededError(ChunkTimeoutError):
+    """A request-level deadline expired before the work completed.
+
+    Subclasses :class:`ChunkTimeoutError` so the supervisor's timeout
+    discipline applies unchanged — work abandoned for a blown deadline must
+    never fall through to the untimed serial rung.
+    """
+
+
 class InvalidParameterError(ReproError):
     """A user-provided parameter is outside its valid domain."""
 

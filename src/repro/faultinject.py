@@ -46,14 +46,17 @@ __all__ = [
     "FaultPlan",
     "InjectedFault",
     "InjectedCrash",
+    "ServiceFaultAction",
     "StorageFaultAction",
     "active_plan",
     "fire",
+    "fire_service",
     "fire_storage",
     "inject_bit_flip",
     "inject_torn_write",
     "load_plan",
     "random_plan",
+    "random_service_plan",
     "random_storage_plan",
 ]
 
@@ -120,6 +123,44 @@ STORAGE_KINDS = ("crash", "torn_write", "bit_flip", "raise")
 #:     durable artifact (the ``target`` filter selects which).
 STORAGE_SITES = ("wal_append", "wal_sync", "segment_write", "wal_compact",
                  "manifest_write", "before_rename", "after_rename")
+
+#: Recognised service fault kinds (see :class:`ServiceFaultAction`).
+#:
+#: ``crash``
+#:     Stop the service at the site: :class:`InjectedCrash` in the
+#:     plan-activating process (the in-process chaos harness treats it as
+#:     process death — abandon the service, reopen the store, replay), or
+#:     ``os._exit`` in a separate service process.
+#: ``hang``
+#:     Sleep ``seconds`` at the site — a stalled parser, a slow enqueue, a
+#:     wedged response write.  Deadlines and drain budgets must bound it.
+#: ``raise``
+#:     Raise :class:`InjectedFault` at the site; the service must map it to
+#:     a well-formed error response (or a best-effort drain), never a hung
+#:     connection.
+SERVICE_KINDS = ("crash", "hang", "raise")
+
+#: Recognised service injection sites, in request-lifecycle order.
+#:
+#: ``request_parse``
+#:     Before the request body is parsed — a failure here must produce a
+#:     well-formed 400/500, never a hung connection.
+#: ``enqueue``
+#:     At job admission, after shedding decisions but before the job is
+#:     queued — the window where an accepted-but-unqueued request exists.
+#: ``mid_job_crash``
+#:     Inside job execution: for ingest jobs *after* the spool append (the
+#:     acked-but-unanswered window that idempotent retry must cover); for
+#:     compress jobs before the engine runs.
+#: ``drain``
+#:     At the start of the graceful-drain sequence — drain must be
+#:     best-effort through injected failures and crash-consistent through
+#:     injected crashes.
+#: ``response_write``
+#:     Immediately before response bytes are written — a crash here is the
+#:     classic "server died after committing, before answering" window.
+SERVICE_SITES = ("request_parse", "enqueue", "mid_job_crash", "drain",
+                 "response_write")
 
 
 class InjectedFault(RuntimeError):
@@ -236,6 +277,52 @@ class StorageFaultAction:
                 f"-{self.at_byte}-{self.bit}-{self.skip_hits}")
 
 
+@dataclass(frozen=True)
+class ServiceFaultAction:
+    """One planned service-layer fault (see :data:`SERVICE_KINDS`/``_SITES``).
+
+    Parameters
+    ----------
+    kind:
+        ``crash`` | ``hang`` | ``raise``.
+    site:
+        Service injection site (:data:`SERVICE_SITES`).
+    target:
+        Substring filter on the ``detail`` the site reports (usually the
+        endpoint path, e.g. ``"/ingest"``); empty matches every call.
+    seconds:
+        Sleep duration for ``hang`` actions.
+    skip_hits:
+        Matching calls to let through unharmed before firing (per-process
+        accounting, like :class:`StorageFaultAction`).
+    max_hits:
+        Firing budget once the skips are exhausted (``None`` = every
+        match).
+    """
+
+    kind: str
+    site: str
+    target: str = ""
+    seconds: float = 0.2
+    skip_hits: int = 0
+    max_hits: int | None = 1
+
+    def __post_init__(self):
+        if self.kind not in SERVICE_KINDS:
+            raise ValueError(f"unknown service fault kind {self.kind!r}; "
+                             f"choose from {', '.join(SERVICE_KINDS)}")
+        if self.site not in SERVICE_SITES:
+            raise ValueError(f"unknown service fault site {self.site!r}; "
+                             f"choose from {', '.join(SERVICE_SITES)}")
+
+    @property
+    def marker(self) -> str:
+        """Stable identity used for hit accounting (filename-safe)."""
+        target = "".join(ch if ch.isalnum() or ch in "-._" else "~"
+                         for ch in (self.target or "*"))
+        return f"service-{self.kind}-{self.site}-{target}-{self.skip_hits}"
+
+
 @dataclass
 class FaultPlan:
     """A set of actions plus the bookkeeping needed to apply them safely."""
@@ -243,6 +330,8 @@ class FaultPlan:
     actions: list[FaultAction] = field(default_factory=list)
     #: Storage-layer actions (fired through :func:`fire_storage`).
     storage_actions: list[StorageFaultAction] = field(default_factory=list)
+    #: Service-layer actions (fired through :func:`fire_service`).
+    service_actions: list[ServiceFaultAction] = field(default_factory=list)
     #: Directory for hit-claim marker files (shared across processes).
     state_dir: str | None = None
     #: PID of the activating process; ``crash`` never hard-kills this one.
@@ -253,6 +342,8 @@ class FaultPlan:
             "actions": [asdict(action) for action in self.actions],
             "storage_actions": [asdict(action)
                                 for action in self.storage_actions],
+            "service_actions": [asdict(action)
+                                for action in self.service_actions],
             "state_dir": self.state_dir,
             "pid": self.pid,
         })
@@ -264,6 +355,8 @@ class FaultPlan:
             actions=[FaultAction(**entry) for entry in document["actions"]],
             storage_actions=[StorageFaultAction(**entry)
                              for entry in document.get("storage_actions", [])],
+            service_actions=[ServiceFaultAction(**entry)
+                             for entry in document.get("service_actions", [])],
             state_dir=document.get("state_dir"),
             pid=int(document.get("pid") or 0))
 
@@ -438,6 +531,48 @@ def _perform_storage(plan: FaultPlan, action: StorageFaultAction,
 
 
 # --------------------------------------------------------------------- #
+# the service hook
+# --------------------------------------------------------------------- #
+def fire_service(site: str, *, detail: str = "") -> None:
+    """Fire matching service actions at ``site`` (no-op without a plan).
+
+    The compression service calls this at every request-lifecycle site
+    (:data:`SERVICE_SITES`) with a ``detail`` string (usually the endpoint
+    path) that ``target`` filters select on.  ``hang`` sleeps in place;
+    ``raise`` raises :class:`InjectedFault` (the service must answer with a
+    well-formed error); ``crash`` raises :class:`InjectedCrash` in the
+    activating process or hard-exits in a separate service process — the
+    chaos harness treats either as process death.
+    """
+    plan = load_plan()
+    if plan is None or not plan.service_actions:
+        return
+    for action in plan.service_actions:
+        if action.site != site:
+            continue
+        if action.target and action.target not in detail:
+            continue
+        if action.skip_hits:
+            skipped = _local_skips.get(action.marker, 0)
+            if skipped < action.skip_hits:
+                _local_skips[action.marker] = skipped + 1
+                continue
+        if not _claim_hit(plan, action):
+            continue
+        if action.kind == "hang":
+            time.sleep(max(float(action.seconds), 0.0))
+            continue
+        if action.kind == "raise":
+            raise InjectedFault(
+                f"injected service fault at site {site!r} ({detail or '*'})")
+        if plan.pid and os.getpid() != plan.pid:
+            os._exit(CRASH_EXIT_CODE)
+        raise InjectedCrash(
+            f"injected service crash at site {site!r} ({detail or '*'}; "
+            "in-process, represented as an exception)")
+
+
+# --------------------------------------------------------------------- #
 # at-rest corruption helpers (deterministic, for fsck/recovery tests)
 # --------------------------------------------------------------------- #
 def inject_torn_write(path, keep_bytes: int) -> int:
@@ -492,7 +627,10 @@ def active_plan(actions, state_dir: str | None = None):
                       if isinstance(action, FaultAction)]
     storage_actions = [action for action in actions
                        if isinstance(action, StorageFaultAction)]
+    service_actions = [action for action in actions
+                       if isinstance(action, ServiceFaultAction)]
     plan = FaultPlan(actions=engine_actions, storage_actions=storage_actions,
+                     service_actions=service_actions,
                      state_dir=str(state_dir), pid=os.getpid())
     previous = os.environ.get(ENV_PLAN)
     os.environ[ENV_PLAN] = plan.to_json()
@@ -533,6 +671,34 @@ def random_plan(seed: int, series_count: int, *,
             kind=kind, series=series, site=site,
             seconds=round(rng.uniform(0.2, hang_seconds), 3),
             max_hits=None if persistent else 1))
+    return actions
+
+
+def random_service_plan(seed: int, *, max_actions: int = 2,
+                        max_skip: int = 4, hang_seconds: float = 0.4
+                        ) -> list[ServiceFaultAction]:
+    """A reproducible service fault plan derived from ``seed``.
+
+    Drives the seeded service chaos soak (``-m stress``): every plan is a
+    pure function of its seed, so a failing soak replays exactly.  Crashes
+    dominate — any of them must leave the store recoverable and acked
+    ingests exactly-once; hangs and raises probe the well-formed-error
+    contract at every lifecycle site.
+    """
+    rng = random.Random(int(seed))
+    count = rng.randint(1, max(int(max_actions), 1))
+    actions: list[ServiceFaultAction] = []
+    for _ in range(count):
+        kind = rng.choice(("crash", "crash", "hang", "raise", "raise"))
+        site = rng.choice(SERVICE_SITES)
+        target = rng.choice(("", "", "/ingest", "/compress"))
+        if site == "drain":
+            target = ""
+        actions.append(ServiceFaultAction(
+            kind=kind, site=site, target=target,
+            seconds=round(rng.uniform(0.05, hang_seconds), 3),
+            skip_hits=rng.randrange(max(int(max_skip), 1)),
+            max_hits=1))
     return actions
 
 

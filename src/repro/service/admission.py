@@ -1,0 +1,227 @@
+"""Admission control: a bounded job queue that sheds before it grows.
+
+The queue's invariants are the service's memory-safety story:
+
+* depth never exceeds ``queue_depth`` — submissions beyond it (or while
+  watermark shedding is latched) get a 429 + ``Retry-After`` estimate, so
+  sustained overload costs the client a retry, never the server its heap;
+* watermark *hysteresis*: shedding latches when depth reaches
+  ``high_watermark`` and only unlatches once depth falls to
+  ``low_watermark``, so the service does not flap at the boundary;
+* per-tenant in-flight caps: one hot tenant saturating its cap gets 429s
+  while other tenants' budgets stay unaffected;
+* once admission stops (drain), every submission gets a 503 — nothing new
+  is ever queued behind a drain.
+
+Every job carries a :class:`~repro.service.deadlines.Deadline`; workers
+discard jobs that expired while queued (the request thread has already
+answered 504 for them).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import Counter, deque
+from dataclasses import dataclass, field
+
+from .. import faultinject
+from .deadlines import Deadline
+
+__all__ = ["AdmissionController", "Job", "Shed"]
+
+
+@dataclass(frozen=True)
+class Shed:
+    """A rejected submission: HTTP status, reason, and retry hint."""
+
+    status: int
+    reason: str
+    retry_after: float
+
+
+_ids = itertools.count(1)
+
+
+@dataclass
+class Job:
+    """One admitted unit of work plus its response slot."""
+
+    kind: str                       # "compress" | "ingest"
+    tenant: str
+    deadline: Deadline
+    payload: dict = field(default_factory=dict)
+    id: int = field(default_factory=lambda: next(_ids))
+    done: threading.Event = field(default_factory=threading.Event)
+    cancelled: threading.Event = field(default_factory=threading.Event)
+    status: int = 0
+    body: dict = field(default_factory=dict)
+    headers: dict = field(default_factory=dict)
+
+    def finish(self, status: int, body: dict,
+               headers: dict | None = None) -> None:
+        """Record the response exactly once and wake the waiter."""
+        if self.done.is_set():
+            return
+        self.status = int(status)
+        self.body = body
+        self.headers = dict(headers or {})
+        self.done.set()
+
+    @property
+    def path(self) -> str:
+        return "/compress" if self.kind == "compress" else "/ingest"
+
+
+class AdmissionController:
+    """Bounded queue + tenant caps + watermark shedding + drain support."""
+
+    def __init__(self, config, metrics, *, clock=time.monotonic):
+        self.config = config
+        self.metrics = metrics
+        self.clock = clock
+        self._cond = threading.Condition()
+        self._queue: deque[Job] = deque()
+        self._tenant_inflight: Counter = Counter()
+        self._running = 0
+        self._shedding = False
+        self._stopped_reason: str | None = None
+        # EWMA of job service time, seeding the Retry-After estimate.
+        self._ewma_seconds = 0.25
+
+    # ------------------------------------------------------------------ #
+    # intake
+    # ------------------------------------------------------------------ #
+    def _retry_after(self, depth: int) -> float:
+        """Seconds until the backlog plausibly clears (clamped [1, 30])."""
+        backlog = (depth + self._running) * self._ewma_seconds
+        return min(max(backlog / max(self.config.workers, 1), 1.0), 30.0)
+
+    def submit(self, job: Job) -> Shed | None:
+        """Admit ``job`` or explain why not.  ``None`` means queued."""
+        with self._cond:
+            shed = self._check_admission(job)
+        if shed is not None:
+            self.metrics.inc("repro_shed_total", labels={"reason": shed.reason})
+            return shed
+        # The accepted-but-unqueued window: a fault here must surface as a
+        # well-formed error (raise) or be survivable as a crash.  Fired
+        # outside the lock so an injected hang cannot wedge admission.
+        faultinject.fire_service("enqueue", detail=job.path)
+        with self._cond:
+            shed = self._check_admission(job)
+            if shed is not None:
+                pass
+            else:
+                self._tenant_inflight[job.tenant] += 1
+                self._queue.append(job)
+                self._cond.notify()
+                return None
+        self.metrics.inc("repro_shed_total", labels={"reason": shed.reason})
+        return shed
+
+    def _check_admission(self, job: Job) -> Shed | None:
+        """Admission decision under the lock (no side effects on jobs)."""
+        if self._stopped_reason is not None:
+            return Shed(status=503, reason=self._stopped_reason,
+                        retry_after=self._retry_after(len(self._queue)))
+        depth = len(self._queue)
+        if self._shedding and depth <= self.config.low_watermark:
+            self._shedding = False
+        if depth >= self.config.high_watermark:
+            self._shedding = True
+        if self._shedding or depth >= self.config.queue_depth:
+            return Shed(status=429, reason="overload",
+                        retry_after=self._retry_after(depth))
+        if (self._tenant_inflight[job.tenant]
+                >= self.config.per_tenant_inflight):
+            return Shed(status=429, reason="tenant-cap",
+                        retry_after=self._retry_after(depth))
+        return None
+
+    # ------------------------------------------------------------------ #
+    # worker side
+    # ------------------------------------------------------------------ #
+    def next_job(self, timeout: float = 0.1) -> Job | None:
+        """Pop the next job (None on timeout or stopped-and-empty)."""
+        with self._cond:
+            if not self._queue:
+                self._cond.wait(timeout)
+            if not self._queue:
+                return None
+            job = self._queue.popleft()
+            self._running += 1
+            self._cond.notify_all()
+            return job
+
+    def finish(self, job: Job, *, started_at: float | None = None) -> None:
+        """Account a popped job as done (success, failure, or discard)."""
+        with self._cond:
+            self._running -= 1
+            self._tenant_inflight[job.tenant] -= 1
+            if self._tenant_inflight[job.tenant] <= 0:
+                del self._tenant_inflight[job.tenant]
+            if started_at is not None:
+                elapsed = max(self.clock() - started_at, 0.0)
+                self._ewma_seconds += 0.2 * (elapsed - self._ewma_seconds)
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # drain support
+    # ------------------------------------------------------------------ #
+    def stop(self, reason: str = "draining") -> None:
+        """Refuse every future submission with a 503 (idempotent)."""
+        with self._cond:
+            if self._stopped_reason is None:
+                self._stopped_reason = reason
+            self._cond.notify_all()
+
+    def wait_idle(self, timeout: float) -> bool:
+        """Block until queue and running both hit zero (or timeout)."""
+        deadline = self.clock() + max(timeout, 0.0)
+        with self._cond:
+            while self._queue or self._running:
+                remaining = deadline - self.clock()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(min(remaining, 0.1))
+            return True
+
+    def shed_queued(self, *, status: int = 503,
+                    reason: str = "draining") -> list[Job]:
+        """Pop every queued job and answer it with a shed response.
+
+        Tenant accounting is released here because these jobs will never
+        reach a worker's :meth:`finish`.
+        """
+        with self._cond:
+            shed, self._queue = list(self._queue), deque()
+            for job in shed:
+                self._tenant_inflight[job.tenant] -= 1
+                if self._tenant_inflight[job.tenant] <= 0:
+                    del self._tenant_inflight[job.tenant]
+            self._cond.notify_all()
+        for job in shed:
+            retry = self._retry_after(0)
+            self.metrics.inc("repro_shed_total", labels={"reason": reason})
+            job.finish(status, {"error": f"request shed: {reason}",
+                                "reason": reason},
+                       headers={"Retry-After": f"{retry:.0f}"})
+        return shed
+
+    # ------------------------------------------------------------------ #
+    @property
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    @property
+    def running(self) -> int:
+        with self._cond:
+            return self._running
+
+    @property
+    def shedding(self) -> bool:
+        with self._cond:
+            return self._shedding

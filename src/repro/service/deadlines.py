@@ -1,0 +1,63 @@
+"""Request deadlines on the monotonic clock.
+
+A :class:`Deadline` is an absolute ``time.monotonic()`` instant plus the
+budget it was minted from.  Requests carry one from parse time; the
+remaining budget flows into the engine supervisor
+(:class:`repro.engine.supervisor.SupervisorPolicy`'s ``deadline``) so a
+slow chunk can never hold a connection past its deadline, and the request
+thread's wait on its job is bounded by the same instant.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..exceptions import InvalidParameterError
+
+__all__ = ["Deadline", "parse_budget"]
+
+#: Header carrying the request budget in milliseconds.
+DEADLINE_HEADER = "X-Deadline-Ms"
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute expiry instant on the monotonic clock."""
+
+    expires_at: float
+    budget: float
+
+    @classmethod
+    def after(cls, budget_seconds: float) -> "Deadline":
+        budget = float(budget_seconds)
+        if not budget > 0:
+            raise InvalidParameterError(
+                f"deadline budget must be positive, got {budget_seconds!r}")
+        return cls(expires_at=time.monotonic() + budget, budget=budget)
+
+    def remaining(self) -> float:
+        """Seconds left (clamped at zero)."""
+        return max(self.expires_at - time.monotonic(), 0.0)
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+
+def parse_budget(raw, *, default: float, maximum: float) -> float:
+    """A request's budget in seconds from its ``X-Deadline-Ms`` value.
+
+    ``None``/empty falls back to ``default``; anything else must be a
+    positive number of milliseconds (:class:`ValueError` otherwise — the
+    route maps it to 400).  The result is capped at ``maximum``.
+    """
+    if raw is None or raw == "":
+        return min(float(default), float(maximum))
+    try:
+        millis = float(raw)
+    except (TypeError, ValueError):
+        raise ValueError(f"deadline must be a number of milliseconds, "
+                         f"got {raw!r}") from None
+    if not millis > 0:
+        raise ValueError(f"deadline must be positive, got {raw!r}")
+    return min(millis / 1000.0, float(maximum))

@@ -462,18 +462,39 @@ class DurableStore:
         Two live handles would interleave WAL sequences and each handle's
         manifest swap would silently drop the other's acknowledged state.
         The lock is ``flock``-based, so the OS releases it when a holder
-        crashes — a dead writer never wedges recovery.
+        crashes — a dead writer never wedges recovery.  The holder's PID is
+        written into the lock file (best-effort, purely diagnostic) so a
+        contention error can name who to look at — typically a service
+        restart racing an unfinished drain.
         """
         if fcntl is None:  # pragma: no cover - non-POSIX platforms
             return
-        handle = open(self.directory / LOCK_NAME, "ab")
+        lock_path = self.directory / LOCK_NAME
+        # a+b: creates without truncating — a failed contender must never
+        # wipe the holder's PID while losing the flock race.
+        handle = open(lock_path, "a+b")
         try:
             fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
         except OSError:
+            try:
+                handle.seek(0)
+                holder = handle.read(64).decode("ascii", "replace").strip()
+            except OSError:  # pragma: no cover - unreadable lock file
+                holder = ""
             handle.close()
+            held_by = (f"held by pid {holder}" if holder
+                       else "holder pid unknown")
             raise StorageError(
-                f"store at {self.directory} is already open "
-                "(another DurableStore handle holds its lock)") from None
+                f"store at {self.directory} is already open: another "
+                f"DurableStore handle holds the lock at {lock_path} "
+                f"({held_by})") from None
+        try:
+            handle.seek(0)
+            handle.truncate()
+            handle.write(str(os.getpid()).encode("ascii"))
+            handle.flush()
+        except OSError:  # pragma: no cover - diagnostic only
+            pass
         self._lock_handle = handle
 
     def _release_lock(self) -> None:

@@ -1,6 +1,7 @@
 """Streaming extensions: codec-generic chunked compression, online ACF tooling."""
 
 from .chunked import (
+    IDEMPOTENCY_SERIES,
     ChunkResult,
     MultiStreamCompressor,
     StreamingCameoCompressor,
@@ -15,6 +16,7 @@ __all__ = [
     "StreamingCameoCompressor",
     "MultiStreamCompressor",
     "ChunkResult",
+    "IDEMPOTENCY_SERIES",
     "StreamReport",
     "concat_irregular",
     "OnlineAcfEstimator",

@@ -35,12 +35,18 @@ from .online_acf import OnlineAcfEstimator
 
 __all__ = [
     "ChunkResult",
+    "IDEMPOTENCY_SERIES",
     "StreamReport",
     "StreamingCompressor",
     "StreamingCameoCompressor",
     "MultiStreamCompressor",
     "concat_irregular",
 ]
+
+#: Reserved spool series whose metadata journals idempotency keys.  It never
+#: holds values (length stays 0, so :meth:`MultiStreamCompressor.replay_spool`
+#: would skip it even without its explicit guard) and is not a stream.
+IDEMPOTENCY_SERIES = "__idempotency__"
 
 
 @dataclass(frozen=True)
@@ -432,6 +438,10 @@ class MultiStreamCompressor:
         spool WAL's fsync policy (default ``"always"``; see
         :data:`repro.storage.wal.FSYNC_POLICIES`).  The spool store is
         exclusively locked while the compressor holds it.
+    idempotency_cap:
+        Maximum retained idempotency-journal entries (see
+        :meth:`add_idempotent`); the oldest *applied* entries are evicted
+        beyond it.
 
     Examples
     --------
@@ -454,7 +464,8 @@ class MultiStreamCompressor:
                  timeout: float | None = None, retries: int = 1,
                  on_degrade: str = "degrade",
                  policy: InputPolicy | None = None,
-                 spool_to=None, spool_fsync: str = "always"):
+                 spool_to=None, spool_fsync: str = "always",
+                 idempotency_cap: int = 1024):
         from ..engine import BatchEngine
 
         self.chunk_size = check_positive_int(chunk_size, "chunk_size")
@@ -476,11 +487,17 @@ class MultiStreamCompressor:
         # Spool position of a stream's value = its report count plus this
         # offset (non-zero after a replay or a spool compaction).
         self._spool_offset: dict[str, int] = {}
+        # Idempotency journal: key -> {stream, start, count, applied, seq}.
+        self._idem_keys: dict[str, dict] = {}
+        self._idem_seq = 0
+        self._idem_dirty = False
+        self._idem_cap = check_positive_int(idempotency_cap, "idempotency_cap")
         if spool_to is not None:
             from ..storage.durable import DurableStore
 
             self.spool = DurableStore.open(spool_to, create=True,
                                            fsync_policy=spool_fsync)
+            self._load_idempotency()
 
     # ------------------------------------------------------------------ #
     @property
@@ -522,6 +539,10 @@ class MultiStreamCompressor:
                                         report)
         if self.spool is not None and _spool:
             name = str(stream)
+            if name == IDEMPOTENCY_SERIES:
+                raise InvalidParameterError(
+                    f"{IDEMPOTENCY_SERIES!r} is reserved for the idempotency "
+                    "journal and cannot be used as a stream name")
             if name not in self.spool:
                 self.spool.create_series(
                     name, codec="raw", segment_size=self.chunk_size,
@@ -632,6 +653,137 @@ class MultiStreamCompressor:
                                for result in results])
 
     # ------------------------------------------------------------------ #
+    # idempotent ingest
+    # ------------------------------------------------------------------ #
+    def add_idempotent(self, stream: str, values,
+                       key: str) -> tuple[int, bool]:
+        """Feed values exactly once per ``key``; returns ``(sealed, dup)``.
+
+        The exactly-once protocol journals an *intent* record — stream,
+        spool start position, value count — into the reserved
+        :data:`IDEMPOTENCY_SERIES` metadata via a durable manifest swap
+        *before* the values are appended to the spool WAL.  A key whose
+        values provably landed (``spool length >= start + count``, or the
+        entry is already flagged applied) is acknowledged as a duplicate
+        without touching the stream; a key whose intent is dangling (the
+        append never became durable, so the original call was never
+        acknowledged) is rewritten and applied fresh.  Crash-window
+        reconciliation happens at construction (see
+        :meth:`_load_idempotency`), so a crashed-then-retried ingest is
+        applied exactly once after :meth:`replay_spool`.
+
+        Requires a spool and ``policy=None`` — an input policy may split
+        one batch into several spool appends, which would make the
+        single-append landed check ambiguous.
+        """
+        if self.spool is None:
+            raise InvalidParameterError(
+                "idempotent ingest requires a spool (pass spool_to=... at "
+                "construction)")
+        if self.policy is not None:
+            raise InvalidParameterError(
+                "idempotent ingest requires policy=None: a policy may split "
+                "one batch into several spool appends, which breaks the "
+                "landed check")
+        key = str(key)
+        if not key:
+            raise InvalidParameterError("idempotency key must be non-empty")
+        name = str(stream)
+        if name == IDEMPOTENCY_SERIES:
+            raise InvalidParameterError(
+                f"{IDEMPOTENCY_SERIES!r} is reserved for the idempotency "
+                "journal and cannot be used as a stream name")
+        entry = self._idem_keys.get(key)
+        if entry is not None:
+            if entry.get("applied"):
+                return 0, True
+            landed_stream = str(entry.get("stream", ""))
+            if (landed_stream in self.spool
+                    and self.spool.length(landed_stream)
+                    >= int(entry["start"]) + int(entry["count"])):
+                entry["applied"] = True
+                self._idem_dirty = True
+                return 0, True
+            # Dangling intent: the append never landed, so the original
+            # call was never acknowledged — rewrite and apply fresh.
+        if np.isscalar(values):
+            values = [float(values)]
+        segment = as_float_array(values, name="values")
+        if not segment.size:
+            raise InvalidParameterError(
+                "idempotent ingest requires at least one value")
+        if name not in self.spool:
+            self.spool.create_series(
+                name, codec="raw", segment_size=self.chunk_size,
+                metadata={"drained": 0, "splits": []})
+        self._idem_seq += 1
+        self._idem_keys[key] = {
+            "stream": name, "start": int(self.spool.length(name)),
+            "count": int(segment.size), "applied": False,
+            "seq": self._idem_seq}
+        self._evict_idempotency()
+        # Intent must be durable before the append it describes.
+        self._persist_idempotency()
+        sealed = self.add(name, segment)
+        self._idem_keys[key]["applied"] = True
+        self._idem_dirty = True
+        return sealed, False
+
+    def _load_idempotency(self) -> None:
+        """Load the journal and reconcile the crash window at open.
+
+        A pending entry whose values landed in the spool covers an append
+        that was acknowledged durable but whose applied flag never
+        persisted — flip it, the retry must dedupe.  A pending entry whose
+        values did not land covers an append that never happened, so the
+        original caller was never acknowledged — drop it, the retry
+        applies fresh.
+        """
+        if IDEMPOTENCY_SERIES not in self.spool:
+            return
+        meta = self.spool.metadata(IDEMPOTENCY_SERIES)
+        keys = {str(key): dict(entry)
+                for key, entry in (meta.get("keys") or {}).items()}
+        self._idem_seq = int(meta.get("next_seq") or 0)
+        changed = False
+        for key, entry in list(keys.items()):
+            if entry.get("applied"):
+                continue
+            stream = str(entry.get("stream", ""))
+            landed = (stream in self.spool
+                      and self.spool.length(stream)
+                      >= int(entry["start"]) + int(entry["count"]))
+            if landed:
+                entry["applied"] = True
+            else:
+                del keys[key]
+            changed = True
+        self._idem_keys = keys
+        if changed:
+            self._persist_idempotency()
+
+    def _persist_idempotency(self) -> None:
+        """Durably swap the journal into the reserved series' metadata."""
+        if IDEMPOTENCY_SERIES not in self.spool:
+            self.spool.create_series(
+                IDEMPOTENCY_SERIES, codec="raw",
+                segment_size=self.chunk_size, metadata={})
+        self.spool.update_metadata({IDEMPOTENCY_SERIES: {
+            "keys": self._idem_keys, "next_seq": self._idem_seq}})
+        self._idem_dirty = False
+
+    def _evict_idempotency(self) -> None:
+        """Drop the oldest *applied* entries once the journal exceeds cap."""
+        excess = len(self._idem_keys) - self._idem_cap
+        if excess <= 0:
+            return
+        applied = sorted(
+            (int(entry.get("seq", 0)), key)
+            for key, entry in self._idem_keys.items() if entry.get("applied"))
+        for _seq, key in applied[:excess]:
+            del self._idem_keys[key]
+
+    # ------------------------------------------------------------------ #
     # durable spool
     # ------------------------------------------------------------------ #
     def _mark_drained(self, streams) -> None:
@@ -643,6 +795,11 @@ class MultiStreamCompressor:
         the results replays exactly that one batch again (at-least-once);
         chunks from earlier drains are never re-ingested.
         """
+        # Applied flips recorded since the last persist must be durable
+        # before any compaction below: dropping a series resets the spool
+        # positions that a pending entry's landed check relies on.
+        if self._idem_dirty:
+            self._persist_idempotency()
         updates = {}
         for stream in sorted(streams):
             if stream not in self.spool:
@@ -654,6 +811,16 @@ class MultiStreamCompressor:
                 # Everything spooled was emitted (the buffer is necessarily
                 # empty too): reset the series so the spool directory does
                 # not grow without bound across the compressor's lifetime.
+                # Journal entries for this stream are all landed by
+                # construction (their appends preceded the drain); flag
+                # them applied while their positions are still valid.
+                for entry in self._idem_keys.values():
+                    if (str(entry.get("stream", "")) == stream
+                            and not entry.get("applied")):
+                        entry["applied"] = True
+                        self._idem_dirty = True
+                if self._idem_dirty:
+                    self._persist_idempotency()
                 self.spool.drop_series(stream)
                 self.spool.create_series(
                     stream, codec="raw", segment_size=self.chunk_size,
@@ -690,6 +857,8 @@ class MultiStreamCompressor:
         replayed = 0
         try:
             for name in self.spool.list_series():
+                if name == IDEMPOTENCY_SERIES:
+                    continue
                 meta = self.spool.metadata(name)
                 total = self.spool.length(name)
                 watermark = min(int(meta.get("drained", 0)), total)
@@ -719,8 +888,10 @@ class MultiStreamCompressor:
         return replayed
 
     def close(self) -> None:
-        """Close the durable spool, if one is configured."""
+        """Persist pending journal flips and close the spool, if any."""
         if self.spool is not None:
+            if self._idem_dirty:
+                self._persist_idempotency()
             self.spool.close()
 
     def __enter__(self) -> "MultiStreamCompressor":

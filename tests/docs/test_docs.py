@@ -31,7 +31,7 @@ class TestDocsPages:
     def test_required_pages_exist(self):
         for page in ("architecture.md", "codecs.md", "evaluation.md",
                      "native.md", "performance.md", "robustness.md",
-                     "storage.md"):
+                     "service.md", "storage.md"):
             assert (DOCS / page).is_file(), f"docs/{page} is missing"
 
     def test_every_registered_codec_documented(self):
@@ -44,8 +44,22 @@ class TestDocsPages:
         for needle in ("docs/architecture.md", "docs/codecs.md",
                        "docs/evaluation.md", "docs/native.md",
                        "docs/performance.md", "docs/robustness.md",
-                       "docs/storage.md", "_kernels/reference.py"):
+                       "docs/service.md", "docs/storage.md",
+                       "_kernels/reference.py"):
             assert needle in readme, f"README.md should mention {needle}"
+
+    def test_service_page_documents_every_fault_site_and_status(self):
+        from repro.faultinject import SERVICE_KINDS, SERVICE_SITES
+
+        text = (DOCS / "service.md").read_text(encoding="utf-8")
+        missing = [site for site in SERVICE_SITES if f"`{site}`" not in text]
+        assert not missing, \
+            f"fault sites missing from docs/service.md: {missing}"
+        for kind in SERVICE_KINDS:
+            assert kind in text, f"docs/service.md should cover kind {kind!r}"
+        for status in ("207", "413", "429", "503", "504"):
+            assert status in text, \
+                f"docs/service.md should document status {status}"
 
     def test_roadmap_points_to_performance_page(self):
         roadmap = (REPO_ROOT / "ROADMAP.md").read_text(encoding="utf-8")

@@ -326,6 +326,28 @@ class TestLocking:
             assert again.recovery.clean
             assert again.length("a") == 5
 
+    def test_lock_error_names_path_and_holder_pid(self, root):
+        import os
+
+        with DurableStore.create(root):
+            with pytest.raises(StorageError) as error:
+                DurableStore.open(root)
+            message = str(error.value)
+            # Diagnosable contention: the message must say which lock file
+            # is held and by whom, so an operator can find the holder.
+            assert str(root / ".lock") in message
+            assert f"held by pid {os.getpid()}" in message
+
+    def test_lock_contention_does_not_clobber_holder_pid(self, root):
+        import os
+
+        with DurableStore.create(root):
+            for _ in range(3):   # repeated losers must not truncate the pid
+                with pytest.raises(StorageError, match="already open"):
+                    DurableStore.open(root)
+            recorded = (root / ".lock").read_text().strip()
+            assert recorded == str(os.getpid())
+
     def test_failed_open_releases_lock(self, root):
         values = _values(5)
         with DurableStore.create(root) as store:

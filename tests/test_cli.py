@@ -465,3 +465,112 @@ class TestStoreCommands:
 
     def test_fsck_missing_store_errors(self, tmp_path):
         assert main(["store", "fsck", str(tmp_path / "absent")]) == 2
+
+
+class TestServe:
+    """The `repro serve` matrix: parse, boot, drain, and failure exits."""
+
+    def test_serve_flags_parse_with_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8765
+        assert args.workers == 2
+        assert args.queue_depth == 64
+        assert args.drain_timeout == 10.0
+        assert args.store is None
+        assert args.codec == "gorilla"
+
+    def test_serve_flags_parse_explicit(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "4", "--queue-depth", "16",
+             "--drain-timeout", "2.5", "--store", "/tmp/s",
+             "--fsync", "never", "--chunk-size", "32"])
+        assert (args.port, args.workers, args.queue_depth) == (0, 4, 16)
+        assert args.drain_timeout == 2.5
+        assert args.store == "/tmp/s" and args.fsync == "never"
+
+    def _spawn(self, *extra, port):
+        import os
+        import subprocess
+        import sys
+
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--port", str(port), *extra],
+            env=dict(os.environ), stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, text=True)
+
+    @staticmethod
+    def _free_port() -> int:
+        import socket
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            return probe.getsockname()[1]
+
+    def _wait_ready(self, port: int) -> None:
+        import time
+        import urllib.request
+
+        for _ in range(200):
+            try:
+                urllib.request.urlopen(
+                    f"http://127.0.0.1:{port}/readyz", timeout=1)
+                return
+            except OSError:
+                time.sleep(0.05)
+        raise AssertionError("service never became ready")
+
+    def test_sigterm_drains_and_exits_zero(self, tmp_path):
+        import json
+        import signal
+        import urllib.request
+
+        port = self._free_port()
+        process = self._spawn("--store", str(tmp_path / "store"),
+                              "--chunk-size", "8", port=port)
+        try:
+            self._wait_ready(port)
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{port}/ingest",
+                data=json.dumps({"stream": "s",
+                                 "values": [1.0] * 20}).encode(),
+                method="POST", headers={"Idempotency-Key": "cli"})
+            with urllib.request.urlopen(request, timeout=10) as response:
+                assert response.status == 200
+            process.send_signal(signal.SIGTERM)
+            output, _ = process.communicate(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+        assert process.returncode == 0, output
+        assert "drained" in output
+        # The drained store is unlocked and fsck-clean.
+        assert main(["store", "fsck", str(tmp_path / "store")]) == 0
+
+    def test_bind_failure_exits_four(self):
+        import socket
+
+        with socket.socket() as occupier:
+            occupier.bind(("127.0.0.1", 0))
+            occupier.listen(1)
+            busy_port = occupier.getsockname()[1]
+            process = self._spawn(port=busy_port)
+            output, _ = process.communicate(timeout=30)
+        assert process.returncode == 4, output
+        assert "cannot bind" in output
+
+    def test_locked_store_exits_four(self, tmp_path):
+        from repro.storage import DurableStore
+
+        store_dir = tmp_path / "locked"
+        with DurableStore.create(store_dir):
+            process = self._spawn("--store", str(store_dir),
+                                  port=self._free_port())
+            output, _ = process.communicate(timeout=30)
+        assert process.returncode == 4, output
+        assert "cannot open store" in output
+        assert "held by pid" in output
+
+    def test_bad_flags_exit_two(self, tmp_path):
+        assert main(["serve", "--port", "70000"]) == 2
+        assert main(["serve", "--workers", "0"]) == 2
